@@ -1,0 +1,281 @@
+//! Abstract syntax tree of the AHDL subset.
+
+/// A parsed AHDL module.
+///
+/// ```text
+/// module mixer(rf, lo, if_out) {
+///     input rf, lo;
+///     output if_out;
+///     parameter real gain = 1.0;
+///     analog {
+///         V(if_out) <- gain * V(rf) * V(lo);
+///     }
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Ports in declaration order.
+    pub ports: Vec<String>,
+    /// Subset of ports declared `input`.
+    pub inputs: Vec<String>,
+    /// Subset of ports declared `output`.
+    pub outputs: Vec<String>,
+    /// Parameters with default values.
+    pub params: Vec<Param>,
+    /// Statements of the `analog` block.
+    pub body: Vec<Stmt>,
+}
+
+/// A module parameter (`parameter real g = 2.0;`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Default value.
+    pub default: f64,
+}
+
+/// Statements allowed inside `analog { ... }`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `real x = expr;` local binding (per-tick, not persistent).
+    Local {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        value: Expr,
+    },
+    /// `V(port) <- expr;`
+    Assign {
+        /// Output port name.
+        port: String,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `if (cond) { ... } else { ... }`
+    If {
+        /// Condition (non-zero = true).
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Optional else branch.
+        else_body: Vec<Stmt>,
+    },
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// Parameter or local variable reference.
+    Var(String),
+    /// Port voltage read `V(port)`.
+    PortV(String),
+    /// `$time` — current simulation time (s).
+    Time,
+    /// `$dt` — current timestep (s).
+    Dt,
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Ternary `cond ? a : b`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Pure math function call (`sin`, `exp`, …).
+    Call(MathFn, Vec<Expr>),
+    /// `idt(expr)` or `idt(expr, initial)` — running integral; `state`
+    /// indexes the instance state slot (assigned by the checker).
+    Idt {
+        /// Integrand.
+        arg: Box<Expr>,
+        /// Initial value (defaults to 0).
+        initial: Option<Box<Expr>>,
+        /// State slot.
+        state: usize,
+    },
+    /// `ddt(expr)` — time derivative (backward difference).
+    Ddt {
+        /// Differentiand.
+        arg: Box<Expr>,
+        /// State slot (stores previous value).
+        state: usize,
+    },
+    /// `delay(expr, tdelay)` — transport delay; `tdelay` must be a
+    /// constant expression.
+    Delay {
+        /// Delayed expression.
+        arg: Box<Expr>,
+        /// Delay in seconds (resolved constant).
+        seconds: f64,
+        /// State slot (ring buffer id).
+        state: usize,
+    },
+}
+
+/// Pure math functions available in expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MathFn {
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `tan(x)`
+    Tan,
+    /// `atan(x)`
+    Atan,
+    /// `atan2(y, x)`
+    Atan2,
+    /// `tanh(x)`
+    Tanh,
+    /// `exp(x)`
+    Exp,
+    /// `limexp(x)` (linearized above 80)
+    Limexp,
+    /// `ln(x)`
+    Ln,
+    /// `log(x)` — base 10
+    Log,
+    /// `sqrt(x)`
+    Sqrt,
+    /// `abs(x)`
+    Abs,
+    /// `pow(x, y)`
+    Pow,
+    /// `min(x, y)`
+    Min,
+    /// `max(x, y)`
+    Max,
+    /// `floor(x)`
+    Floor,
+    /// `ceil(x)`
+    Ceil,
+}
+
+impl MathFn {
+    /// Looks up a function by name.
+    pub fn by_name(name: &str) -> Option<MathFn> {
+        Some(match name {
+            "sin" => MathFn::Sin,
+            "cos" => MathFn::Cos,
+            "tan" => MathFn::Tan,
+            "atan" => MathFn::Atan,
+            "atan2" => MathFn::Atan2,
+            "tanh" => MathFn::Tanh,
+            "exp" => MathFn::Exp,
+            "limexp" => MathFn::Limexp,
+            "ln" => MathFn::Ln,
+            "log" => MathFn::Log,
+            "sqrt" => MathFn::Sqrt,
+            "abs" => MathFn::Abs,
+            "pow" => MathFn::Pow,
+            "min" => MathFn::Min,
+            "max" => MathFn::Max,
+            "floor" => MathFn::Floor,
+            "ceil" => MathFn::Ceil,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the function takes.
+    pub fn arity(self) -> usize {
+        match self {
+            MathFn::Atan2 | MathFn::Pow | MathFn::Min | MathFn::Max => 2,
+            _ => 1,
+        }
+    }
+
+    /// Evaluates the function.
+    pub fn eval(self, args: &[f64]) -> f64 {
+        match self {
+            MathFn::Sin => args[0].sin(),
+            MathFn::Cos => args[0].cos(),
+            MathFn::Tan => args[0].tan(),
+            MathFn::Atan => args[0].atan(),
+            MathFn::Atan2 => args[0].atan2(args[1]),
+            MathFn::Tanh => args[0].tanh(),
+            MathFn::Exp => args[0].exp(),
+            MathFn::Limexp => {
+                if args[0] < 80.0 {
+                    args[0].exp()
+                } else {
+                    80f64.exp() * (1.0 + args[0] - 80.0)
+                }
+            }
+            MathFn::Ln => args[0].ln(),
+            MathFn::Log => args[0].log10(),
+            MathFn::Sqrt => args[0].sqrt(),
+            MathFn::Abs => args[0].abs(),
+            MathFn::Pow => args[0].powf(args[1]),
+            MathFn::Min => args[0].min(args[1]),
+            MathFn::Max => args[0].max(args[1]),
+            MathFn::Floor => args[0].floor(),
+            MathFn::Ceil => args[0].ceil(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_lookup_and_arity() {
+        assert_eq!(MathFn::by_name("sin"), Some(MathFn::Sin));
+        assert_eq!(MathFn::by_name("pow").unwrap().arity(), 2);
+        assert_eq!(MathFn::by_name("cos").unwrap().arity(), 1);
+        assert_eq!(MathFn::by_name("nope"), None);
+    }
+
+    #[test]
+    fn fn_eval_spot_checks() {
+        assert!((MathFn::Pow.eval(&[2.0, 10.0]) - 1024.0).abs() < 1e-9);
+        assert!((MathFn::Atan2.eval(&[1.0, 1.0]) - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        assert_eq!(MathFn::Max.eval(&[1.0, 3.0]), 3.0);
+        assert_eq!(MathFn::Floor.eval(&[1.7]), 1.0);
+        assert!(MathFn::Limexp.eval(&[1000.0]).is_finite());
+        assert!((MathFn::Limexp.eval(&[1.0]) - 1f64.exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,16 @@
+//! Built-in behavioral block library: arithmetic, oscillators, filters,
+//! phase shifters, noise and static nonlinearities.
+
+pub mod arith;
+pub mod filter;
+pub mod noise;
+pub mod nonlin;
+pub mod osc;
+pub mod phase;
+
+pub use arith::{Adder, Constant, Gain, Mixer};
+pub use filter::{Biquad, FilterChain, FirstOrderLp};
+pub use noise::GaussianNoise;
+pub use nonlin::{HardLimiter, Polynomial, SoftLimiter};
+pub use osc::{QuadratureLo, SineSource, Vco};
+pub use phase::{ImpairedShifter90, PhaseShifter90};

@@ -1,0 +1,302 @@
+//! Semantic checks on parsed AHDL modules.
+
+use crate::ast::{Expr, Module, Stmt};
+use crate::error::{AhdlError, Result};
+use std::collections::HashSet;
+
+/// Validates a module:
+///
+/// - every port is declared `input` or `output` (and nothing is both);
+/// - every declared input/output is a port;
+/// - `V(x)` reads reference inputs (or already-assigned outputs);
+/// - assignments target outputs only;
+/// - every output is assigned on every control path;
+/// - variables are defined before use; parameter/local names don't clash.
+///
+/// # Errors
+///
+/// Returns [`AhdlError::Check`] naming the module and problem.
+pub fn check(module: &Module) -> Result<()> {
+    let fail = |message: String| -> Result<()> {
+        Err(AhdlError::Check {
+            module: module.name.clone(),
+            message,
+        })
+    };
+
+    let ports: HashSet<&str> = module.ports.iter().map(String::as_str).collect();
+    if ports.len() != module.ports.len() {
+        return fail("duplicate port names".into());
+    }
+    let inputs: HashSet<&str> = module.inputs.iter().map(String::as_str).collect();
+    let outputs: HashSet<&str> = module.outputs.iter().map(String::as_str).collect();
+    if let Some(p) = inputs.intersection(&outputs).next() {
+        return fail(format!("port {p} declared both input and output"));
+    }
+    for name in inputs.iter().chain(outputs.iter()) {
+        if !ports.contains(name) {
+            return fail(format!("{name} declared but not in the port list"));
+        }
+    }
+    for p in &module.ports {
+        if !inputs.contains(p.as_str()) && !outputs.contains(p.as_str()) {
+            return fail(format!("port {p} has no direction (declare input/output)"));
+        }
+    }
+    let mut names: HashSet<String> = HashSet::new();
+    for p in &module.params {
+        if !names.insert(p.name.clone()) {
+            return fail(format!("duplicate parameter {}", p.name));
+        }
+        if ports.contains(p.name.as_str()) {
+            return fail(format!("parameter {} shadows a port", p.name));
+        }
+    }
+
+    // Walk the body tracking defined variables and assigned outputs.
+    let mut scope: HashSet<String> = module.params.iter().map(|p| p.name.clone()).collect();
+    scope.insert("PI".into());
+    scope.insert("TWO_PI".into());
+    let assigned = check_stmts(module, &module.body, &mut scope, &inputs, &outputs)?;
+    for o in &module.outputs {
+        if !assigned.contains(o.as_str()) {
+            return fail(format!("output {o} is not assigned on every path"));
+        }
+    }
+    Ok(())
+}
+
+/// Checks a statement list; returns the set of outputs assigned on *all*
+/// paths through it.
+fn check_stmts(
+    module: &Module,
+    stmts: &[Stmt],
+    scope: &mut HashSet<String>,
+    inputs: &HashSet<&str>,
+    outputs: &HashSet<&str>,
+) -> Result<HashSet<String>> {
+    let fail = |message: String| AhdlError::Check {
+        module: module.name.clone(),
+        message,
+    };
+    let mut assigned: HashSet<String> = HashSet::new();
+    for stmt in stmts {
+        match stmt {
+            Stmt::Local { name, value } => {
+                check_expr(module, value, scope, inputs, outputs, &assigned)?;
+                if inputs.contains(name.as_str()) || outputs.contains(name.as_str()) {
+                    return Err(fail(format!("local {name} shadows a port")));
+                }
+                scope.insert(name.clone());
+            }
+            Stmt::Assign { port, value } => {
+                check_expr(module, value, scope, inputs, outputs, &assigned)?;
+                if !outputs.contains(port.as_str()) {
+                    return Err(fail(format!("cannot assign to non-output {port}")));
+                }
+                assigned.insert(port.clone());
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                check_expr(module, cond, scope, inputs, outputs, &assigned)?;
+                let mut then_scope = scope.clone();
+                let a1 = check_stmts(module, then_body, &mut then_scope, inputs, outputs)?;
+                let mut else_scope = scope.clone();
+                let a2 = check_stmts(module, else_body, &mut else_scope, inputs, outputs)?;
+                for port in a1.intersection(&a2) {
+                    assigned.insert(port.clone());
+                }
+            }
+        }
+    }
+    Ok(assigned)
+}
+
+fn check_expr(
+    module: &Module,
+    expr: &Expr,
+    scope: &HashSet<String>,
+    inputs: &HashSet<&str>,
+    outputs: &HashSet<&str>,
+    assigned: &HashSet<String>,
+) -> Result<()> {
+    let fail = |message: String| AhdlError::Check {
+        module: module.name.clone(),
+        message,
+    };
+    match expr {
+        Expr::Number(_) | Expr::Time | Expr::Dt => Ok(()),
+        Expr::Var(name) => {
+            if scope.contains(name) {
+                Ok(())
+            } else {
+                Err(fail(format!("undefined variable {name}")))
+            }
+        }
+        Expr::PortV(port) => {
+            if inputs.contains(port.as_str()) {
+                Ok(())
+            } else if outputs.contains(port.as_str()) {
+                if assigned.contains(port.as_str()) {
+                    Ok(())
+                } else {
+                    Err(fail(format!("output {port} read before assignment")))
+                }
+            } else {
+                Err(fail(format!("V({port}) references an unknown port")))
+            }
+        }
+        Expr::Bin(_, a, b) => {
+            check_expr(module, a, scope, inputs, outputs, assigned)?;
+            check_expr(module, b, scope, inputs, outputs, assigned)
+        }
+        Expr::Un(_, a) => check_expr(module, a, scope, inputs, outputs, assigned),
+        Expr::Cond(c, a, b) => {
+            check_expr(module, c, scope, inputs, outputs, assigned)?;
+            check_expr(module, a, scope, inputs, outputs, assigned)?;
+            check_expr(module, b, scope, inputs, outputs, assigned)
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                check_expr(module, a, scope, inputs, outputs, assigned)?;
+            }
+            Ok(())
+        }
+        Expr::Idt { arg, initial, .. } => {
+            check_expr(module, arg, scope, inputs, outputs, assigned)?;
+            if let Some(init) = initial {
+                check_expr(module, init, scope, inputs, outputs, assigned)?;
+            }
+            Ok(())
+        }
+        Expr::Ddt { arg, .. } | Expr::Delay { arg, .. } => {
+            check_expr(module, arg, scope, inputs, outputs, assigned)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn check_src(src: &str) -> Result<()> {
+        check(&parse_module(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_formed_module() {
+        check_src(
+            "module amp(in, out) { input in; output out;
+             parameter real g = 2;
+             analog { V(out) <- g * V(in); } }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undirected_port() {
+        let e = check_src(
+            "module a(x, y) { input x;
+             analog { V(y) <- V(x); } }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("no direction"), "{e}");
+    }
+
+    #[test]
+    fn rejects_assignment_to_input() {
+        let e = check_src(
+            "module a(x, y) { input x; output y;
+             analog { V(x) <- 1; V(y) <- 0; } }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("non-output"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unassigned_output() {
+        let e = check_src(
+            "module a(x, y, z) { input x; output y, z;
+             analog { V(y) <- V(x); } }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("not assigned"), "{e}");
+    }
+
+    #[test]
+    fn conditional_assignment_must_cover_both_branches() {
+        let e = check_src(
+            "module a(x, y) { input x; output y;
+             analog { if (V(x) > 0) { V(y) <- 1; } } }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("not assigned"), "{e}");
+        // Covering both branches is fine.
+        check_src(
+            "module a(x, y) { input x; output y;
+             analog { if (V(x) > 0) { V(y) <- 1; } else { V(y) <- 0; } } }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undefined_variable() {
+        let e = check_src(
+            "module a(x, y) { input x; output y;
+             analog { V(y) <- mystery * V(x); } }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("undefined variable"), "{e}");
+    }
+
+    #[test]
+    fn locals_scope_into_branches_but_not_out() {
+        let e = check_src(
+            "module a(x, y) { input x; output y;
+             analog {
+                if (V(x) > 0) { real t = 1; V(y) <- t; } else { V(y) <- t; }
+             } }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("undefined variable t"), "{e}");
+    }
+
+    #[test]
+    fn output_read_after_assignment_ok_before_not() {
+        check_src(
+            "module a(x, y) { input x; output y;
+             analog { V(y) <- V(x); V(y) <- V(y) * 2; } }",
+        )
+        .unwrap();
+        let e = check_src(
+            "module a(x, y) { input x; output y;
+             analog { V(y) <- V(y) * 2; } }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("read before"), "{e}");
+    }
+
+    #[test]
+    fn pi_is_predefined() {
+        check_src(
+            "module a(x, y) { input x; output y;
+             analog { V(y) <- sin(2 * PI * V(x)); } }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn duplicate_params_rejected() {
+        let e = check_src(
+            "module a(x, y) { input x; output y;
+             parameter real g = 1; parameter real g = 2;
+             analog { V(y) <- g * V(x); } }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("duplicate parameter"), "{e}");
+    }
+}

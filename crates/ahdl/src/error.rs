@@ -1,0 +1,76 @@
+//! Error types for AHDL compilation and behavioral simulation.
+
+use std::fmt;
+
+/// Error raised while lexing, parsing, checking or running AHDL.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AhdlError {
+    /// Tokenizer failure.
+    Lex {
+        /// 1-based source line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Parser failure.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Semantic check failure (undeclared port, unassigned output, …).
+    Check {
+        /// Module being checked.
+        module: String,
+        /// Description.
+        message: String,
+    },
+    /// Instantiation failure (unknown parameter, missing module).
+    Instantiate(String),
+    /// System wiring failure (net arity mismatch, unknown net).
+    Wiring(String),
+    /// Simulation failure (non-finite value, bad probe).
+    Simulation(String),
+}
+
+impl fmt::Display for AhdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AhdlError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            AhdlError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            AhdlError::Check { module, message } => {
+                write!(f, "semantic error in module {module}: {message}")
+            }
+            AhdlError::Instantiate(m) => write!(f, "instantiation error: {m}"),
+            AhdlError::Wiring(m) => write!(f, "wiring error: {m}"),
+            AhdlError::Simulation(m) => write!(f, "simulation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AhdlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, AhdlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = AhdlError::Parse {
+            line: 7,
+            message: "expected `)`".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = AhdlError::Check {
+            module: "amp".into(),
+            message: "output y never assigned".into(),
+        };
+        assert!(e.to_string().contains("amp"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Tokenizer for the AHDL subset.
+
+use crate::error::{AhdlError, Result};
+
+/// A lexical token with its source line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `<-` (analog assignment)
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `$` prefixed identifier (e.g. `$time`).
+    Dollar(String),
+    /// End of input.
+    Eof,
+}
+
+/// Tokenizes AHDL source. `//` line comments and `/* */` block comments
+/// are skipped.
+///
+/// # Errors
+///
+/// Returns [`AhdlError::Lex`] on unexpected characters or malformed
+/// numbers.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                i += 2;
+                while i + 1 < n && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= n {
+                    return Err(AhdlError::Lex {
+                        line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                i += 2;
+            }
+            '(' => push(&mut out, TokenKind::LParen, line, &mut i),
+            ')' => push(&mut out, TokenKind::RParen, line, &mut i),
+            '{' => push(&mut out, TokenKind::LBrace, line, &mut i),
+            '}' => push(&mut out, TokenKind::RBrace, line, &mut i),
+            ',' => push(&mut out, TokenKind::Comma, line, &mut i),
+            ';' => push(&mut out, TokenKind::Semi, line, &mut i),
+            '+' => push(&mut out, TokenKind::Plus, line, &mut i),
+            '*' => push(&mut out, TokenKind::Star, line, &mut i),
+            '/' => push(&mut out, TokenKind::Slash, line, &mut i),
+            '%' => push(&mut out, TokenKind::Percent, line, &mut i),
+            '?' => push(&mut out, TokenKind::Question, line, &mut i),
+            ':' => push(&mut out, TokenKind::Colon, line, &mut i),
+            '-' => {
+                if i + 1 < n && bytes[i + 1] == '>' {
+                    // Allow both `<-` and `->`? Only `<-` is in the
+                    // grammar; `-` followed by `>` is a minus then Gt.
+                    out.push(Token {
+                        kind: TokenKind::Minus,
+                        line,
+                    });
+                    i += 1;
+                } else {
+                    push(&mut out, TokenKind::Minus, line, &mut i);
+                }
+            }
+            '<' => {
+                if i + 1 < n && bytes[i + 1] == '-' {
+                    out.push(Token {
+                        kind: TokenKind::Arrow,
+                        line,
+                    });
+                    i += 2;
+                } else if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Lt, line, &mut i);
+                }
+            }
+            '>' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Gt, line, &mut i);
+                }
+            }
+            '=' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Token {
+                        kind: TokenKind::EqEq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Assign, line, &mut i);
+                }
+            }
+            '!' => {
+                if i + 1 < n && bytes[i + 1] == '=' {
+                    out.push(Token {
+                        kind: TokenKind::NotEq,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    push(&mut out, TokenKind::Not, line, &mut i);
+                }
+            }
+            '&' => {
+                if i + 1 < n && bytes[i + 1] == '&' {
+                    out.push(Token {
+                        kind: TokenKind::AndAnd,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(AhdlError::Lex {
+                        line,
+                        message: "single `&` is not an operator".into(),
+                    });
+                }
+            }
+            '|' => {
+                if i + 1 < n && bytes[i + 1] == '|' {
+                    out.push(Token {
+                        kind: TokenKind::OrOr,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    return Err(AhdlError::Lex {
+                        line,
+                        message: "single `|` is not an operator".into(),
+                    });
+                }
+            }
+            '$' => {
+                i += 1;
+                let start = i;
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(AhdlError::Lex {
+                        line,
+                        message: "`$` must be followed by a name".into(),
+                    });
+                }
+                let name: String = bytes[start..i].iter().collect();
+                out.push(Token {
+                    kind: TokenKind::Dollar(name),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < n
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
+                        || bytes[i] == 'E'
+                        || ((bytes[i] == '+' || bytes[i] == '-')
+                            && i > start
+                            && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let value: f64 = text.parse().map_err(|_| AhdlError::Lex {
+                    line,
+                    message: format!("bad number `{text}`"),
+                })?;
+                out.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let name: String = bytes[start..i].iter().collect();
+                out.push(Token {
+                    kind: TokenKind::Ident(name),
+                    line,
+                });
+            }
+            other => {
+                return Err(AhdlError::Lex {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+fn push(out: &mut Vec<Token>, kind: TokenKind, line: usize, i: &mut usize) {
+    out.push(Token { kind, line });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_module_header() {
+        let k = kinds("module amp(in, out)");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("module".into()),
+                TokenKind::Ident("amp".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("in".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("out".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_arrow_and_comparisons() {
+        let k = kinds("V(out) <- a <= b != c");
+        assert!(k.contains(&TokenKind::Arrow));
+        assert!(k.contains(&TokenKind::Le));
+        assert!(k.contains(&TokenKind::NotEq));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let k = kinds("1 2.5 1e-3 3.0E+2 .5");
+        let nums: Vec<f64> = k
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Number(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec![1.0, 2.5, 1e-3, 300.0, 0.5]);
+    }
+
+    #[test]
+    fn comments_skipped_and_lines_tracked() {
+        let toks = lex("a // hi\n/* multi\nline */ b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+        match &toks[1].kind {
+            TokenKind::Ident(n) => assert_eq!(n, "b"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn dollar_names() {
+        let k = kinds("$time + $dt");
+        assert_eq!(k[0], TokenKind::Dollar("time".into()));
+        assert_eq!(k[2], TokenKind::Dollar("dt".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("$ x").is_err());
+        assert!(lex("/* open").is_err());
+    }
+}

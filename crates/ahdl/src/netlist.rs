@@ -1,0 +1,498 @@
+//! Textual system netlists: the "block diagram" level of the paper's
+//! Fig. 1 design flow, as a parseable format.
+//!
+//! A system file holds AHDL `module` definitions plus one `system` block
+//! wiring built-in and user-defined blocks by named nets:
+//!
+//! ```text
+//! module square(x, y) {
+//!     input x; output y;
+//!     analog { V(y) <- V(x) * V(x); }
+//! }
+//!
+//! system demo {
+//!     S1 : sine(freq=1e6, ampl=1.0) -> (a);
+//!     G1 : gain(k=2.0) (a) -> (b);
+//!     Q1 : square() (b) -> (c);
+//!     SUM : adder(n=2) (b, c) -> (out);
+//! }
+//! ```
+//!
+//! Built-in kinds: `sine`, `constant`, `gain`, `adder`, `mixer`,
+//! `limiter`, `softlimiter`, `poly`, `noise`, `quadlo`, `vco`,
+//! `phase90`, `phase90err`, `lp1`, `butterworth`, `bandpass`. A kind
+//! matching a `module` name instantiates that AHDL module (parameters
+//! become overrides).
+
+use crate::ast::Module;
+use crate::block::Block;
+use crate::blocks::arith::{Adder, Constant, Gain, Mixer};
+use crate::blocks::filter::{FilterChain, FirstOrderLp};
+use crate::blocks::noise::GaussianNoise;
+use crate::blocks::nonlin::{HardLimiter, Polynomial, SoftLimiter};
+use crate::blocks::osc::{QuadratureLo, SineSource, Vco};
+use crate::blocks::phase::{ImpairedShifter90, PhaseShifter90};
+use crate::error::{AhdlError, Result};
+use crate::eval::CompiledModule;
+use crate::system::System;
+use std::collections::HashMap;
+
+/// A parsed system netlist, ready to elaborate.
+#[derive(Clone, Debug)]
+pub struct SystemNetlist {
+    /// System name.
+    pub name: String,
+    /// Block instantiations in file order.
+    pub instances: Vec<InstanceDecl>,
+    /// AHDL modules defined alongside.
+    pub modules: Vec<CompiledModule>,
+}
+
+/// One `NAME : kind(params) (ins) -> (outs);` declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InstanceDecl {
+    /// Instance name.
+    pub name: String,
+    /// Block kind (builtin name or module name).
+    pub kind: String,
+    /// `key=value` parameters.
+    pub params: Vec<(String, f64)>,
+    /// Input net names.
+    pub inputs: Vec<String>,
+    /// Output net names.
+    pub outputs: Vec<String>,
+}
+
+/// Parses a system file (modules + one `system` block).
+///
+/// # Errors
+///
+/// Lex/parse errors with line numbers; a parse error if no `system`
+/// block is present.
+pub fn parse_system(src: &str) -> Result<SystemNetlist> {
+    // Split the source: `module ...` sections are handed to the AHDL
+    // parser; the `system { ... }` section is parsed here. We scan
+    // brace-balanced top-level items.
+    let items = split_items(src)?;
+    let mut modules = Vec::new();
+    let mut system: Option<(String, String)> = None;
+    for item in items {
+        if item.text.trim_start().starts_with("module") {
+            let m: Module = crate::parse::parse_module(&item.text)?;
+            modules.push(CompiledModule::from_module(m)?);
+        } else if let Some(rest) = item.text.trim_start().strip_prefix("system") {
+            let (name, body) = rest.split_once('{').ok_or(AhdlError::Parse {
+                line: item.line,
+                message: "system needs `{`".into(),
+            })?;
+            let body = body
+                .trim_end()
+                .strip_suffix('}')
+                .ok_or(AhdlError::Parse {
+                    line: item.line,
+                    message: "system block not closed".into(),
+                })?;
+            if system.is_some() {
+                return Err(AhdlError::Parse {
+                    line: item.line,
+                    message: "multiple system blocks".into(),
+                });
+            }
+            system = Some((name.trim().to_string(), body.to_string()));
+        } else {
+            return Err(AhdlError::Parse {
+                line: item.line,
+                message: format!("expected `module` or `system`, found: {}", snippet(&item.text)),
+            });
+        }
+    }
+    let (name, body) = system.ok_or(AhdlError::Parse {
+        line: 1,
+        message: "no system block found".into(),
+    })?;
+    let instances = parse_instances(&body)?;
+    Ok(SystemNetlist {
+        name,
+        instances,
+        modules,
+    })
+}
+
+fn snippet(text: &str) -> String {
+    text.trim().chars().take(24).collect()
+}
+
+struct Item {
+    line: usize,
+    text: String,
+}
+
+/// Splits top-level `module`/`system` items by brace balance, skipping
+/// `//` comments.
+fn split_items(src: &str) -> Result<Vec<Item>> {
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    let mut cur_line = 1usize;
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '\n' {
+            line += 1;
+        }
+        if c == '/' && chars.peek() == Some(&'/') {
+            for cc in chars.by_ref() {
+                if cc == '\n' {
+                    line += 1;
+                    break;
+                }
+            }
+            cur.push('\n');
+            continue;
+        }
+        if cur.trim().is_empty() && !c.is_whitespace() {
+            cur_line = line;
+        }
+        cur.push(c);
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth = depth.checked_sub(1).ok_or(AhdlError::Parse {
+                    line,
+                    message: "unbalanced `}`".into(),
+                })?;
+                if depth == 0 {
+                    items.push(Item {
+                        line: cur_line,
+                        text: std::mem::take(&mut cur),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(AhdlError::Parse {
+            line,
+            message: "unbalanced `{`".into(),
+        });
+    }
+    if !cur.trim().is_empty() {
+        return Err(AhdlError::Parse {
+            line,
+            message: format!("trailing text outside any block: {}", snippet(&cur)),
+        });
+    }
+    Ok(items)
+}
+
+fn parse_instances(body: &str) -> Result<Vec<InstanceDecl>> {
+    let mut out = Vec::new();
+    for (k, stmt) in body.split(';').enumerate() {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let err = |m: String| AhdlError::Parse {
+            line: k + 1,
+            message: m,
+        };
+        // NAME : kind(params) [(ins)] -> (outs)
+        let (name, rest) = stmt
+            .split_once(':')
+            .ok_or_else(|| err(format!("instance needs `name : kind`, got `{stmt}`")))?;
+        let (head, outs) = rest
+            .split_once("->")
+            .ok_or_else(|| err(format!("instance needs `-> (outputs)`: `{stmt}`")))?;
+        let outputs = parse_name_list(outs).map_err(&err)?;
+        let head = head.trim();
+        let open = head
+            .find('(')
+            .ok_or_else(|| err(format!("kind needs parameter parens: `{head}`")))?;
+        let kind = head[..open].trim().to_string();
+        let close = head[open..]
+            .find(')')
+            .map(|p| open + p)
+            .ok_or_else(|| err("unclosed parameter list".into()))?;
+        let params = parse_params(&head[open + 1..close]).map_err(&err)?;
+        let tail = head[close + 1..].trim();
+        let inputs = if tail.is_empty() {
+            Vec::new()
+        } else {
+            parse_name_list(tail).map_err(&err)?
+        };
+        if kind.is_empty() || name.trim().is_empty() {
+            return Err(err(format!("empty name or kind in `{stmt}`")));
+        }
+        out.push(InstanceDecl {
+            name: name.trim().to_string(),
+            kind,
+            params,
+            inputs,
+            outputs,
+        });
+    }
+    Ok(out)
+}
+
+fn parse_name_list(text: &str) -> std::result::Result<Vec<String>, String> {
+    let t = text.trim();
+    let inner = t
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| format!("expected `(a, b, ...)`, got `{t}`"))?;
+    Ok(inner
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect())
+}
+
+fn parse_params(text: &str) -> std::result::Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for item in text.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let (k, v) = item
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{item}`"))?;
+        let value: f64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad number `{}`", v.trim()))?;
+        out.push((k.trim().to_string(), value));
+    }
+    Ok(out)
+}
+
+/// Elaborates a parsed netlist into a runnable [`System`].
+///
+/// `fs` is needed because sampled filters are designed against it.
+///
+/// # Errors
+///
+/// [`AhdlError::Wiring`] for unknown kinds, missing parameters or arity
+/// mismatches.
+pub fn elaborate(netlist: &SystemNetlist, fs: f64) -> Result<System> {
+    let modules: HashMap<&str, &CompiledModule> = netlist
+        .modules
+        .iter()
+        .map(|m| (m.name(), m))
+        .collect();
+    let mut sys = System::new();
+    for inst in &netlist.instances {
+        let ins: Vec<_> = inst.inputs.iter().map(|n| sys.net(n)).collect();
+        let outs: Vec<_> = inst.outputs.iter().map(|n| sys.net(n)).collect();
+        let block = build_block(inst, &modules, fs)?;
+        sys.add_boxed(&inst.name, block, &ins, &outs)?;
+    }
+    Ok(sys)
+}
+
+/// Parses and elaborates in one call.
+///
+/// # Errors
+///
+/// As [`parse_system`] and [`elaborate`].
+pub fn load_system(src: &str, fs: f64) -> Result<System> {
+    elaborate(&parse_system(src)?, fs)
+}
+
+fn build_block(
+    inst: &InstanceDecl,
+    modules: &HashMap<&str, &CompiledModule>,
+    fs: f64,
+) -> Result<Box<dyn Block>> {
+    let p = Params {
+        inst,
+        map: inst.params.iter().cloned().collect(),
+    };
+    let b: Box<dyn Block> = match inst.kind.as_str() {
+        "sine" => Box::new(SineSource {
+            freq: p.req("freq")?,
+            ampl: p.opt("ampl", 1.0),
+            phase: p.opt("phase_deg", 0.0).to_radians(),
+            offset: p.opt("offset", 0.0),
+        }),
+        "constant" => Box::new(Constant::new(p.req("value")?)),
+        "gain" => Box::new(Gain::new(p.req("k")?)),
+        "adder" => Box::new(Adder::new(p.opt("n", 2.0) as usize)),
+        "mixer" => Box::new(Mixer::new(p.opt("k", 1.0))),
+        "limiter" => Box::new(HardLimiter::new(p.req("limit")?)),
+        "softlimiter" => Box::new(SoftLimiter::new(p.req("limit")?)),
+        "poly" => Box::new(Polynomial::new(
+            p.opt("a1", 1.0),
+            p.opt("a2", 0.0),
+            p.opt("a3", 0.0),
+        )),
+        "noise" => Box::new(GaussianNoise::new(p.req("rms")?, p.opt("seed", 1.0) as u64)),
+        "quadlo" => Box::new(
+            QuadratureLo::new(p.req("freq")?, p.opt("ampl", 1.0))
+                .with_errors(p.opt("gain_err", 0.0), p.opt("phase_err_deg", 0.0)),
+        ),
+        "vco" => Box::new(Vco::new(
+            p.req("f0")?,
+            p.req("kvco")?,
+            p.opt("ampl", 1.0),
+        )),
+        "phase90" => Box::new(PhaseShifter90::new(p.req("f0")?, fs)),
+        "phase90err" => Box::new(ImpairedShifter90::new(
+            p.req("f0")?,
+            fs,
+            p.opt("phase_err_deg", 0.0),
+            p.opt("gain_err", 0.0),
+        )),
+        "lp1" => Box::new(FirstOrderLp::new(p.req("fc")?, fs)),
+        "butterworth" => Box::new(FilterChain::butterworth_lowpass(
+            p.opt("order", 2.0) as usize,
+            p.req("fc")?,
+            fs,
+        )),
+        "bandpass" => Box::new(FilterChain::bandpass(
+            p.req("f0")?,
+            p.req("bw")?,
+            p.opt("sections", 2.0) as usize,
+            fs,
+        )),
+        other => match modules.get(other) {
+            Some(module) => {
+                let overrides: Vec<(&str, f64)> = inst
+                    .params
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), *v))
+                    .collect();
+                Box::new(module.instantiate(&overrides)?)
+            }
+            None => {
+                return Err(AhdlError::Wiring(format!(
+                    "{}: unknown block kind `{other}`",
+                    inst.name
+                )))
+            }
+        },
+    };
+    Ok(b)
+}
+
+struct Params<'a> {
+    inst: &'a InstanceDecl,
+    map: HashMap<String, f64>,
+}
+
+impl Params<'_> {
+    fn req(&self, key: &str) -> Result<f64> {
+        self.map.get(key).copied().ok_or_else(|| {
+            AhdlError::Wiring(format!(
+                "{}: kind `{}` requires parameter `{key}`",
+                self.inst.name, self.inst.kind
+            ))
+        })
+    }
+
+    fn opt(&self, key: &str, default: f64) -> f64 {
+        self.map.get(key).copied().unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spectrum::tone_power;
+
+    #[test]
+    fn parses_and_runs_builtin_chain() {
+        let sys_src = "
+            system demo {
+                S1 : sine(freq=1e6, ampl=1.0) -> (a);
+                G1 : gain(k=2.0) (a) -> (b);
+            }";
+        let mut sys = load_system(sys_src, 50e6).unwrap();
+        let trace = sys.run(50e6, 50e-6).unwrap();
+        let p = tone_power(&trace, "b", 1e6, 0.5).unwrap();
+        assert!((p - 2.0).abs() < 1e-3, "p = {p}"); // (2.0)^2/2
+    }
+
+    #[test]
+    fn user_module_instantiated_by_kind() {
+        let src = "
+            module square(x, y) {
+                input x; output y;
+                analog { V(y) <- V(x) * V(x); }
+            }
+            system s {
+                C : constant(value=3.0) -> (a);
+                SQ : square() (a) -> (b);
+            }";
+        let mut sys = load_system(src, 1e6).unwrap();
+        let trace = sys.run(1e6, 10e-6).unwrap();
+        assert_eq!(*trace.signal("b").unwrap().last().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn module_params_forward_as_overrides() {
+        let src = "
+            module amp(x, y) {
+                input x; output y;
+                parameter real g = 1.0;
+                analog { V(y) <- g * V(x); }
+            }
+            system s {
+                C : constant(value=1.0) -> (a);
+                A : amp(g=7.5) (a) -> (b);
+            }";
+        let mut sys = load_system(src, 1e6).unwrap();
+        let trace = sys.run(1e6, 5e-6).unwrap();
+        assert_eq!(*trace.signal("b").unwrap().last().unwrap(), 7.5);
+    }
+
+    #[test]
+    fn mini_receiver_in_one_file() {
+        // A mixer + bandpass receiver written entirely as a system file.
+        let src = "
+            system rx {
+                RF  : sine(freq=10e6, ampl=1.0) -> (rf);
+                LO  : sine(freq=9e6, ampl=1.0) -> (lo);
+                MIX : mixer(k=1.0) (rf, lo) -> (mixed);
+                IF  : bandpass(f0=1e6, bw=0.4e6, sections=2) (mixed) -> (ifout);
+            }";
+        let fs = 200e6;
+        let mut sys = load_system(src, fs).unwrap();
+        let trace = sys.run(fs, 60e-6).unwrap();
+        let p_if = tone_power(&trace, "ifout", 1e6, 0.4).unwrap();
+        let p_sum = tone_power(&trace, "ifout", 19e6, 0.4).unwrap();
+        assert!(p_if > 0.1, "difference product passes: {p_if}");
+        assert!(p_sum < p_if / 100.0, "sum product rejected: {p_sum}");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_system("").is_err(), "no system");
+        assert!(parse_system("system s { B : bogus() -> (a); }").is_ok());
+        assert!(
+            load_system("system s { B : bogus() -> (a); }", 1e6).is_err(),
+            "unknown kind at elaboration"
+        );
+        assert!(
+            load_system("system s { S : sine() -> (a); }", 1e6).is_err(),
+            "missing required param"
+        );
+        assert!(parse_system("system s { S1 sine() -> (a); }").is_err());
+        assert!(parse_system("garbage { }").is_err());
+        assert!(parse_system("system a { } system b { }").is_err());
+        assert!(parse_system("system a { S : sine(freq=1) -> (x); ").is_err());
+    }
+
+    #[test]
+    fn comments_allowed() {
+        let src = "
+            // the whole tuner in one line of comment
+            system s {
+                C : constant(value=1.0) -> (a); // source
+            }";
+        let mut sys = load_system(src, 1e6).unwrap();
+        let trace = sys.run(1e6, 2e-6).unwrap();
+        assert_eq!(*trace.signal("a").unwrap().last().unwrap(), 1.0);
+    }
+}

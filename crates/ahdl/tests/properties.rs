@@ -1,0 +1,107 @@
+//! Property-based tests for the AHDL compiler and the block library.
+
+use ahfic_ahdl::block::Block;
+use ahfic_ahdl::blocks::filter::FilterChain;
+use ahfic_ahdl::blocks::phase::PhaseShifter90;
+use ahfic_ahdl::eval::CompiledModule;
+use ahfic_ahdl::parse::parse;
+use proptest::prelude::*;
+
+proptest! {
+    /// The parser must never panic, whatever bytes arrive (errors are
+    /// fine; crashes are not).
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// ...including near-miss module text built from grammar fragments.
+    #[test]
+    fn parser_never_panics_on_fragments(
+        head in "(module|mod|)",
+        name in "[a-z]{1,6}",
+        punct in "[(){};,<>=-]{0,12}",
+        body in "(V\\(y\\) <- V\\(x\\);|real t = 1;|if \\(1\\) \\{\\}|){0,3}",
+    ) {
+        let src = format!("{head} {name}(x, y) {{ input x; output y; analog {{ {body} }} }} {punct}");
+        let _ = parse(&src);
+    }
+
+    /// Butterworth low-pass filters are BIBO stable: bounded noise-ish
+    /// input never produces unbounded output.
+    #[test]
+    fn butterworth_is_stable(
+        order in 1usize..6,
+        fc_frac in 0.001f64..0.4,
+        drive in proptest::collection::vec(-1.0f64..1.0, 256),
+    ) {
+        let fs = 1e6;
+        let mut f = FilterChain::butterworth_lowpass(order, fc_frac * fs, fs);
+        let mut out = [0.0];
+        let mut peak = 0.0f64;
+        for (k, &x) in drive.iter().enumerate() {
+            f.tick(k as f64 / fs, 1.0 / fs, &[x], &mut out);
+            peak = peak.max(out[0].abs());
+            prop_assert!(out[0].is_finite());
+        }
+        // DC gain is 1; a unit-bounded input cannot exceed a small
+        // overshoot bound for any Butterworth order here.
+        prop_assert!(peak < 4.0, "peak {peak}");
+    }
+
+    /// The all-pass phase shifter preserves signal energy (|H| = 1).
+    #[test]
+    fn allpass_preserves_energy(f0_frac in 0.01f64..0.3, tone_frac in 0.01f64..0.4) {
+        let fs = 1e6;
+        let mut ps = PhaseShifter90::new(f0_frac * fs, fs);
+        let n = 4000;
+        let mut in_energy = 0.0;
+        let mut out_energy = 0.0;
+        let mut out = [0.0];
+        for k in 0..n {
+            let t = k as f64 / fs;
+            let x = (2.0 * std::f64::consts::PI * tone_frac * fs * t).sin();
+            ps.tick(t, 1.0 / fs, &[x], &mut out);
+            // Skip the settling prefix in the energy tally.
+            if k > n / 4 {
+                in_energy += x * x;
+                out_energy += out[0] * out[0];
+            }
+        }
+        let ratio = out_energy / in_energy;
+        prop_assert!((ratio - 1.0).abs() < 0.05, "energy ratio {ratio}");
+    }
+
+    /// A compiled gain module is exactly linear for any gain and input.
+    #[test]
+    fn gain_module_is_linear(g in -100.0f64..100.0, x in -1e3f64..1e3) {
+        let m = CompiledModule::compile(
+            "module amp(a, y) { input a; output y;
+             parameter real g = 1.0;
+             analog { V(y) <- g * V(a); } }",
+        ).unwrap();
+        let mut b = m.instantiate(&[("g", g)]).unwrap();
+        let mut out = [0.0];
+        b.tick(0.0, 1e-9, &[x], &mut out);
+        prop_assert!((out[0] - g * x).abs() <= 1e-9 * (1.0 + (g * x).abs()));
+    }
+
+    /// Module evaluation is deterministic: two fresh instances agree
+    /// sample-for-sample on a stateful program.
+    #[test]
+    fn stateful_module_is_deterministic(xs in proptest::collection::vec(-10.0f64..10.0, 50)) {
+        let m = CompiledModule::compile(
+            "module acc(a, y) { input a; output y;
+             analog { V(y) <- idt(V(a)) + ddt(V(a)); } }",
+        ).unwrap();
+        let mut b1 = m.instantiate(&[]).unwrap();
+        let mut b2 = m.instantiate(&[]).unwrap();
+        let (mut o1, mut o2) = ([0.0], [0.0]);
+        for (k, &x) in xs.iter().enumerate() {
+            let t = k as f64 * 1e-3;
+            b1.tick(t, 1e-3, &[x], &mut o1);
+            b2.tick(t, 1e-3, &[x], &mut o2);
+            prop_assert_eq!(o1[0], o2[0]);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! AHDL engine benches: compilation and behavioral tick throughput.
+
+use ahfic_ahdl::block::Block;
+use ahfic_ahdl::blocks::arith::{Constant, Gain, Mixer};
+use ahfic_ahdl::blocks::osc::SineSource;
+use ahfic_ahdl::eval::CompiledModule;
+use ahfic_ahdl::system::System;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const MIXER_SRC: &str = "module mixer(rf, lo, if_out) {
+    input rf, lo; output if_out;
+    parameter real k = 0.5;
+    analog {
+        real prod = k * V(rf) * V(lo);
+        V(if_out) <- prod + 0.001 * prod * prod * prod;
+    }
+}";
+
+fn bench_ahdl(c: &mut Criterion) {
+    c.bench_function("ahdl_compile_mixer", |b| {
+        b.iter(|| black_box(CompiledModule::compile(black_box(MIXER_SRC)).unwrap()))
+    });
+
+    let module = CompiledModule::compile(MIXER_SRC).unwrap();
+    let mut inst = module.instantiate(&[]).unwrap();
+    c.bench_function("ahdl_tick_mixer", |b| {
+        let mut out = [0.0];
+        let mut t = 0.0;
+        b.iter(|| {
+            inst.tick(t, 1e-10, black_box(&[0.4, 0.9]), &mut out);
+            t += 1e-10;
+            black_box(out[0])
+        })
+    });
+
+    c.bench_function("system_10k_ticks_5_blocks", |b| {
+        b.iter(|| {
+            let mut sys = System::new();
+            let a = sys.net("a");
+            let lo = sys.net("lo");
+            let m = sys.net("m");
+            let g = sys.net("g");
+            let k = sys.net("k");
+            sys.add("src", SineSource::new(1e6, 1.0), &[], &[a]).unwrap();
+            sys.add("lo", SineSource::new(0.9e6, 1.0), &[], &[lo]).unwrap();
+            sys.add("mix", Mixer::new(1.0), &[a, lo], &[m]).unwrap();
+            sys.add("gain", Gain::new(2.0), &[m], &[g]).unwrap();
+            sys.add("ofs", Constant::new(0.1), &[], &[k]).unwrap();
+            let trace = sys.run_probed(100e6, 100e-6, &[g]).unwrap();
+            black_box(trace.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_ahdl);
+criterion_main!(benches);

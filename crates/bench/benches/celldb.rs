@@ -1,0 +1,30 @@
+//! Cell database benches: registration (with view validation), search,
+//! and persistence.
+
+use ahfic_celldb::search::{search, SearchQuery};
+use ahfic_celldb::seed::seed_library;
+use ahfic_celldb::CellDb;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_celldb(c: &mut Criterion) {
+    c.bench_function("seed_library_register_validate", |b| {
+        b.iter(|| black_box(seed_library().unwrap().len()))
+    });
+
+    let db = seed_library().unwrap();
+    c.bench_function("search_keyword", |b| {
+        b.iter(|| {
+            let hits = search(&db, &SearchQuery::keywords(black_box("image rejection mixer")));
+            black_box(hits.len())
+        })
+    });
+
+    let json = db.to_json().unwrap();
+    c.bench_function("load_from_json", |b| {
+        b.iter(|| black_box(CellDb::from_json(black_box(&json)).unwrap().len()))
+    });
+}
+
+criterion_group!(benches, bench_celldb);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for the Fig. 3 kernel: tuner transient + windowed
+//! spectra at three nodes.
+
+use ahfic_rf::plan::FrequencyPlan;
+use ahfic_rf::spectrum_scan::scan_conventional_tuner;
+use ahfic_rf::tuner::TunerConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_scan(c: &mut Criterion) {
+    let plan = FrequencyPlan::catv(500e6);
+    let cfg = TunerConfig::for_plan(&plan);
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("tuner_spectrum_scan", |b| {
+        b.iter(|| {
+            let scan = scan_conventional_tuner(black_box(&plan), &cfg, 0.5).unwrap();
+            black_box(scan.nodes.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the Fig. 5 kernel: one behavioral IRR measurement
+//! (two full tuner transient runs + tone extraction).
+
+use ahfic_rf::image_rejection::measure_irr_db;
+use ahfic_rf::plan::FrequencyPlan;
+use ahfic_rf::tuner::{ImageRejectionErrors, TunerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_irr(c: &mut Criterion) {
+    let plan = FrequencyPlan::catv(500e6);
+    let cfg = TunerConfig::for_plan(&plan);
+    let errors = ImageRejectionErrors {
+        lo_phase_err_deg: 3.0,
+        gain_err: 0.03,
+        shifter_phase_err_deg: 0.0,
+    };
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("irr_measurement_0p5us", |b| {
+        b.iter(|| {
+            let irr = measure_irr_db(&plan, &cfg, black_box(&errors), Some(0.5e-6)).unwrap();
+            black_box(irr)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_irr);
+criterion_main!(benches);

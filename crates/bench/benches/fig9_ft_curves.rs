@@ -1,0 +1,31 @@
+//! Criterion bench for the Fig. 9 kernel: model generation + one
+//! fT extraction (bias search + AC probing).
+
+use ahfic_geom::prelude::*;
+use ahfic_spice::analysis::Options;
+use ahfic_spice::measure::ft_at_bias;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ft(c: &mut Criterion) {
+    let generator = ModelGenerator::new(ProcessData::default(), MaskRules::default());
+    let shape: TransistorShape = "N1.2-12D".parse().unwrap();
+    let model = generator.generate(&shape);
+    let opts = Options::default();
+
+    let mut group = c.benchmark_group("fig9");
+    group.bench_function("model_generation", |b| {
+        b.iter(|| black_box(generator.generate(black_box(&shape))))
+    });
+    group.sample_size(20);
+    group.bench_function("ft_extraction_1mA", |b| {
+        b.iter(|| {
+            let p = ft_at_bias(black_box(&model), 3.0, 1e-3, &opts).unwrap();
+            black_box(p.ft)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ft);
+criterion_main!(benches);

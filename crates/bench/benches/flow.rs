@@ -1,0 +1,25 @@
+//! Methodology benches: spec budgeting and the mixed-level
+//! characterization kernel (the full six-stage flow is exercised by
+//! `examples/top_down_flow.rs`).
+
+use ahfic::budget::derive_balance_budget;
+use ahfic::mixed::characterize_rc_cr;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_flow(c: &mut Criterion) {
+    c.bench_function("budget_inversion", |b| {
+        let gains = [0.005, 0.01, 0.02, 0.03, 0.05, 0.07, 0.09];
+        b.iter(|| black_box(derive_balance_budget(black_box(30.0), &gains).len()))
+    });
+
+    c.bench_function("rc_cr_characterization", |b| {
+        b.iter(|| {
+            let bal = characterize_rc_cr(45e6, 1e-12, black_box(0.05)).unwrap();
+            black_box(bal.phase_err_deg)
+        })
+    });
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Engine benches: MNA solve scaling with circuit size, LU kernel, and
+//! the Gummel–Poon evaluation hot path.
+
+use ahfic_num::{lu::LuFactors, Matrix};
+use ahfic_spice::analysis::{op, Options};
+use ahfic_spice::circuit::{Circuit, Prepared};
+use ahfic_spice::devices::bjt::eval_bjt;
+use ahfic_spice::model::BjtModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Resistor-ladder circuit with `n` sections (n+1 nodes).
+fn ladder(n: usize) -> Prepared {
+    let mut c = Circuit::new();
+    let mut prev = c.node("in");
+    c.vsource("V1", prev, Circuit::gnd(), 1.0);
+    for k in 0..n {
+        let next = c.node(&format!("n{k}"));
+        c.resistor(&format!("Rs{k}"), prev, next, 100.0);
+        c.resistor(&format!("Rp{k}"), next, Circuit::gnd(), 1e3);
+        prev = next;
+    }
+    Prepared::compile(c).unwrap()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let opts = Options::default();
+    let mut group = c.benchmark_group("mna-op");
+    for &n in &[10usize, 40, 160] {
+        let prep = ladder(n);
+        group.bench_with_input(BenchmarkId::new("ladder", n), &prep, |b, prep| {
+            b.iter(|| black_box(op(prep, &opts).unwrap().x[0]))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lu");
+    for &n in &[16usize, 64, 128] {
+        // Diagonally dominant dense system.
+        let mut m = Matrix::<f64>::zeros(n, n);
+        for r in 0..n {
+            for cc in 0..n {
+                m[(r, cc)] = if r == cc {
+                    n as f64 + 1.0
+                } else {
+                    ((r * 31 + cc * 17) % 13) as f64 / 13.0
+                };
+            }
+        }
+        let rhs = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::new("factor+solve", n), &m, |b, m| {
+            b.iter(|| {
+                let f = LuFactors::factor(m.clone()).unwrap();
+                black_box(f.solve(&rhs))
+            })
+        });
+    }
+    group.finish();
+
+    let model = BjtModel {
+        ikf: 5e-3,
+        ise: 1e-18,
+        vaf: 50.0,
+        cje: 80e-15,
+        cjc: 45e-15,
+        tf: 15e-12,
+        xtf: 4.0,
+        vtf: 3.0,
+        itf: 10e-3,
+        ..BjtModel::default()
+    };
+    c.bench_function("gummel_poon_eval", |b| {
+        b.iter(|| {
+            black_box(eval_bjt(
+                black_box(&model),
+                0.75,
+                -2.0,
+                -3.0,
+                0.025852,
+                1e-12,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the Table 1 kernel: a short 3-stage ring
+//! oscillator transient (the full 5-stage / 30 ns experiment lives in the
+//! regeneration binary).
+
+use ahfic_geom::prelude::*;
+use ahfic_rf::ringosc::{measure_ring_frequency, RingOscParams};
+use ahfic_spice::analysis::Options;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ring(c: &mut Criterion) {
+    let generator = ModelGenerator::new(ProcessData::default(), MaskRules::default());
+    let pair = generator.generate(&"N1.2-12D".parse().unwrap());
+    let params = RingOscParams {
+        stages: 3,
+        t_stop: 5e-9,
+        dt_max: 5e-12,
+        ..RingOscParams::default()
+    };
+    let opts = Options::default();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("ring3_5ns_transient", |b| {
+        b.iter(|| {
+            let m = measure_ring_frequency(black_box(&params), &pair, &pair, &opts).unwrap();
+            black_box(m.frequency)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation for the paper's §4 motivation: how wrong is SPICE's
+//! emitter-area-factor scaling compared with geometry-aware model
+//! generation?
+//!
+//! Two comparisons:
+//! 1. per-parameter errors (RB/RE/RC/CJE/CJC/CJS) for every Fig. 8 shape;
+//! 2. the Table 1 ring-oscillator experiment rerun with area-factor
+//!    models — showing the *ranking* it would mispredict.
+
+use ahfic_bench::{fmt_freq, standard_generator};
+use ahfic_geom::area_factor::{area_factor_model, parameter_errors};
+use ahfic_geom::generate::ModelGenerator;
+use ahfic_geom::shape::TransistorShape;
+use ahfic_rf::ringosc::{measure_ring_frequency, RingOscParams};
+use ahfic_spice::analysis::Options;
+
+fn main() {
+    let generator = standard_generator();
+    let ref_shape = ModelGenerator::reference_shape();
+    let reference = generator.generate(&ref_shape);
+
+    println!("# Ablation: SPICE area-factor scaling vs geometry-aware generation");
+    println!("# reference device: {ref_shape}");
+    println!();
+    println!("## Parameter errors of area-factor scaling (relative to full generation)");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "shape", "RB", "RE", "RC", "CJE", "CJC", "CJS"
+    );
+    for shape in TransistorShape::fig8_catalogue() {
+        let full = generator.generate(&shape);
+        let af = area_factor_model(&reference, &ref_shape, &shape);
+        let errs = parameter_errors(&full, &af);
+        print!("{:<12}", shape.to_string());
+        for (_, _, _, rel) in &errs {
+            print!(" {:>7.1}%", rel * 100.0);
+        }
+        println!();
+    }
+
+    println!();
+    println!("## Table 1 rerun with area-factor models");
+    let params = RingOscParams::default();
+    let opts = Options::default();
+    let follower = generator.generate(&"N1.2-12D".parse().expect("valid"));
+    println!(
+        "{:<12} {:>18} {:>18} {:>9}",
+        "shape", "geometry-aware", "area-factor", "error"
+    );
+    let mut best_full = (String::new(), 0.0f64);
+    let mut best_af = (String::new(), 0.0f64);
+    for shape in TransistorShape::fig8_catalogue() {
+        let full_model = generator.generate(&shape);
+        let af_model = area_factor_model(&reference, &ref_shape, &shape);
+        let f_full = measure_ring_frequency(&params, &full_model, &follower, &opts)
+            .map(|m| m.frequency)
+            .unwrap_or(f64::NAN);
+        let f_af = measure_ring_frequency(&params, &af_model, &follower, &opts)
+            .map(|m| m.frequency)
+            .unwrap_or(f64::NAN);
+        if f_full > best_full.1 {
+            best_full = (shape.to_string(), f_full);
+        }
+        if f_af > best_af.1 {
+            best_af = (shape.to_string(), f_af);
+        }
+        println!(
+            "{:<12} {:>18} {:>18} {:>8.1}%",
+            shape.to_string(),
+            fmt_freq(f_full),
+            fmt_freq(f_af),
+            (f_af / f_full - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!(
+        "# geometry-aware winner: {} at {}",
+        best_full.0,
+        fmt_freq(best_full.1)
+    );
+    println!(
+        "# area-factor winner:    {} at {}  {}",
+        best_af.0,
+        fmt_freq(best_af.1),
+        if best_af.0 == best_full.0 {
+            "(same ranking, but biased frequencies)"
+        } else {
+            "(WRONG shape would be chosen!)"
+        }
+    );
+}

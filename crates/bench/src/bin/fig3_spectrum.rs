@@ -1,0 +1,41 @@
+//! Regenerates the paper's Fig. 3: the frequency spectrum of the
+//! double-super tuner, showing the wanted channel and the image folding
+//! onto the same second IF.
+
+use ahfic_bench::fmt_freq;
+use ahfic_rf::plan::FrequencyPlan;
+use ahfic_rf::spectrum_scan::scan_conventional_tuner;
+use ahfic_rf::tuner::TunerConfig;
+
+fn main() {
+    let plan = FrequencyPlan::catv(500e6);
+    let cfg = TunerConfig::for_plan(&plan);
+
+    println!("# Fig. 3: frequency spectrum of the double-super tuner");
+    println!(
+        "# plan: RF1 = {} (wanted), RF2 = {} (image), Fup = {}, Fdown = {}",
+        fmt_freq(plan.rf_wanted),
+        fmt_freq(plan.rf_image()),
+        fmt_freq(plan.f_up()),
+        fmt_freq(plan.f_down())
+    );
+    println!(
+        "# 1st IF = {}, image at 1st IF = {}, 2nd IF = {}",
+        fmt_freq(plan.f1_if),
+        fmt_freq(plan.if1_image()),
+        fmt_freq(plan.f2_if)
+    );
+    println!();
+
+    let scan = scan_conventional_tuner(&plan, &cfg, 0.5).expect("spectrum scan");
+    for node in &scan.nodes {
+        println!("node {}:", node.node);
+        for &(f, a) in &node.peaks {
+            println!("    {:>14}   amplitude {a:.4}", fmt_freq(f));
+        }
+    }
+    println!();
+    println!("# Note: at the 2nd IF both channels appear at 45 MHz — the image");
+    println!("# cannot be removed by filtering (rf2 - Fdown = Fdown - rf1),");
+    println!("# motivating the image rejection mixer of Fig. 4.");
+}

@@ -1,0 +1,40 @@
+//! Regenerates the paper's Fig. 8: the transistor shape catalogue with
+//! the layout geometry and generated model parameters of each shape.
+
+use ahfic_bench::standard_generator;
+use ahfic_geom::layout::DeviceGeometry;
+use ahfic_geom::rules::MaskRules;
+use ahfic_geom::shape::TransistorShape;
+
+fn main() {
+    let generator = standard_generator();
+    let rules = MaskRules::default();
+
+    println!("# Fig. 8: transistor shapes and their geometry-aware model cards");
+    println!(
+        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "shape", "Ae[um2]", "Pe[um]", "Ab[um2]", "RB[ohm]", "RE[ohm]", "RC[ohm]", "CJE[fF]", "CJC[fF]"
+    );
+    for (tag, shape) in ["(a)", "(b)", "(c)", "(d)", "(e)", "(f)"]
+        .iter()
+        .zip(TransistorShape::fig8_catalogue())
+    {
+        let g = DeviceGeometry::derive(&shape, &rules);
+        let m = generator.generate(&shape);
+        println!(
+            "{tag} {:<7} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.2} {:>9.1} {:>9.1} {:>9.1}",
+            shape.to_string(),
+            g.emitter_area,
+            g.emitter_perimeter,
+            g.base_area,
+            m.rb,
+            m.re,
+            m.rc,
+            m.cje * 1e15,
+            m.cjc * 1e15
+        );
+    }
+    println!();
+    println!("# Full model card for the reference family member:");
+    println!("{}", generator.generate(&"N1.2-12D".parse().expect("valid")).to_card());
+}

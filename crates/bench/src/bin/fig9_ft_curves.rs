@@ -1,0 +1,51 @@
+//! Regenerates the paper's Fig. 9: transition frequency vs collector
+//! current for the N1.2-6D / 12D / 24D / 48D emitter-length family.
+
+use ahfic_bench::standard_generator;
+use ahfic_geom::shape::TransistorShape;
+use ahfic_num::interp::logspace;
+use ahfic_spice::analysis::Options;
+use ahfic_spice::measure::{ft_sweep, peak_ft};
+
+fn main() {
+    let generator = standard_generator();
+    let opts = Options::default();
+    let shapes = TransistorShape::fig9_series();
+    let currents = logspace(0.05e-3, 30e-3, 19);
+
+    println!("# Fig. 9: transition frequency vs collector current (VCE = 3 V)");
+    print!("{:>10}", "Ic [mA]");
+    for s in &shapes {
+        print!("{:>12}", s.to_string());
+    }
+    println!();
+
+    let columns: Vec<_> = shapes
+        .iter()
+        .map(|s| ft_sweep(&generator.generate(s), 3.0, &currents, &opts))
+        .collect();
+    for (k, &ic) in currents.iter().enumerate() {
+        print!("{:>10.3}", ic * 1e3);
+        for col in &columns {
+            match col.get(k).filter(|p| (p.ic - ic).abs() < 1e-12) {
+                Some(p) => print!("{:>9.2} GHz", p.ft / 1e9),
+                None => print!("{:>12}", "-"),
+            }
+        }
+        println!();
+    }
+
+    println!();
+    println!("# Peak fT per shape (the paper's point: peak current scales with area):");
+    for (s, col) in shapes.iter().zip(&columns) {
+        if let Ok((ic_pk, ft_pk)) = peak_ft(col) {
+            println!(
+                "#   {:<9} Ae {:>5.1} um^2 -> {:.2} GHz at {:.2} mA",
+                s.to_string(),
+                s.emitter_area_um2(),
+                ft_pk / 1e9,
+                ic_pk * 1e3
+            );
+        }
+    }
+}

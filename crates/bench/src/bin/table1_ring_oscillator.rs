@@ -1,0 +1,55 @@
+//! Regenerates the paper's Table 1 (with Figs. 10–11): free-running
+//! frequency of the five-stage ring oscillator for each Fig. 8 transistor
+//! shape, using the full model-generation flow.
+
+use ahfic_bench::{fmt_freq, standard_generator};
+use ahfic_geom::shape::TransistorShape;
+use ahfic_rf::ringosc::{table1_experiment, RingOscParams};
+use ahfic_spice::analysis::Options;
+
+fn main() {
+    let generator = standard_generator();
+    let params = RingOscParams::default();
+    let opts = Options::default();
+    let shapes = TransistorShape::fig8_catalogue();
+
+    println!("# Table 1: free-running frequency of the 5-stage ring oscillator");
+    println!(
+        "# diff-pair shapes swept uniformly (Q1,Q2,Q5,Q6,...); tail current {} mA; followers N1.2-12D",
+        params.tail_current * 1e3
+    );
+    println!();
+    println!(
+        "{:<12} {:>10} {:>20} {:>12} {:>8}",
+        "Shape", "Ae [um^2]", "Free-running freq", "Swing [V]", "Cycles"
+    );
+    println!("{}", "-".repeat(66));
+
+    let rows =
+        table1_experiment(&params, &generator, &shapes, &opts).expect("ring simulations");
+    let best = rows
+        .iter()
+        .max_by(|a, b| {
+            a.measurement
+                .frequency
+                .partial_cmp(&b.measurement.frequency)
+                .expect("finite")
+        })
+        .expect("rows");
+    for row in &rows {
+        let marker = if row.shape == best.shape { "  <== best" } else { "" };
+        println!(
+            "{:<12} {:>10.1} {:>20} {:>12.3} {:>8}{marker}",
+            row.shape.to_string(),
+            row.shape.emitter_area_um2(),
+            fmt_freq(row.measurement.frequency),
+            row.measurement.amplitude_pp,
+            row.measurement.cycles
+        );
+    }
+    println!();
+    println!(
+        "# Conclusion: best shape {} (paper's conclusion: N1.2-12D)",
+        best.shape
+    );
+}

@@ -1,0 +1,173 @@
+//! Static catalog rendering — the stand-in for the paper's intranet WWW
+//! server used "to make a quick inspection of circuit diagrams and
+//! documents".
+
+use crate::db::CellDb;
+use std::fmt::Write as _;
+
+/// Renders the whole database as a single HTML page: a Fig. 6-style
+/// taxonomy index followed by one section per cell with its document,
+/// symbol pins, schematic and behavioral source.
+pub fn render_html(db: &CellDb) -> String {
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">");
+    out.push_str("<title>Analog Cell Library</title></head><body>\n");
+    out.push_str("<h1>Analog Cell Library</h1>\n");
+
+    // Taxonomy index.
+    out.push_str("<h2>Index</h2>\n<ul>\n");
+    let mut last_lib = String::new();
+    for (lib, cat, sub) in db.taxonomy() {
+        if lib != last_lib {
+            let _ = writeln!(out, "<li><b>{}</b></li>", escape(&lib));
+            last_lib = lib.clone();
+        }
+        let _ = writeln!(out, "<li style=\"margin-left:2em\">{} / {}<ul>", escape(&cat), escape(&sub));
+        for cell in db.iter().filter(|c| {
+            c.path.library == lib && c.path.category == cat && c.path.subcategory == sub
+        }) {
+            let _ = writeln!(
+                out,
+                "<li><a href=\"#{0}\">{0}</a></li>",
+                escape(&cell.name)
+            );
+        }
+        out.push_str("</ul></li>\n");
+    }
+    out.push_str("</ul>\n");
+
+    // Cell pages.
+    for cell in db.iter() {
+        let _ = writeln!(
+            out,
+            "<hr><h2 id=\"{0}\">{0}</h2>\n<p><i>{1}</i> — rev {2}</p>",
+            escape(&cell.name),
+            escape(&cell.path.to_string()),
+            cell.revision
+        );
+        if !cell.author.is_empty() {
+            let _ = writeln!(
+                out,
+                "<p>author: {} — proven in: {}</p>",
+                escape(&cell.author),
+                escape(&cell.proven_in)
+            );
+        }
+        if let Some(doc) = &cell.views.document {
+            let _ = writeln!(out, "<h3>Document</h3>\n<p>{}</p>", escape(doc));
+        }
+        if let Some(sym) = &cell.views.symbol {
+            let _ = writeln!(out, "<h3>Symbol: {}</h3>\n<ul>", escape(&sym.label));
+            for p in &sym.ports {
+                let _ = writeln!(out, "<li>{} ({:?})</li>", escape(&p.name), p.direction);
+            }
+            out.push_str("</ul>\n");
+        }
+        if let Some(sch) = &cell.views.schematic {
+            let _ = writeln!(out, "<h3>Schematic (SPICE)</h3>\n<pre>{}</pre>", escape(sch));
+        }
+        if let Some(beh) = &cell.views.behavioral {
+            let _ = writeln!(out, "<h3>Behavioral (AHDL)</h3>\n<pre>{}</pre>", escape(beh));
+        }
+        for data in &cell.views.simulation_data {
+            let _ = writeln!(
+                out,
+                "<h3>Simulation data: {}</h3>\n<p>{} vs {} ({} points)</p>",
+                escape(&data.name),
+                escape(&data.value),
+                escape(&data.axis),
+                data.points.len()
+            );
+        }
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// Renders a compact Markdown index (one line per cell).
+pub fn render_markdown_index(db: &CellDb) -> String {
+    let mut out = String::from("# Analog Cell Library\n\n");
+    let _ = writeln!(out, "| Cell | Category | Views | Rev |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for cell in db.iter() {
+        let mut views = Vec::new();
+        if cell.views.schematic.is_some() {
+            views.push("schematic");
+        }
+        if cell.views.behavioral.is_some() {
+            views.push("behavioral");
+        }
+        if cell.views.symbol.is_some() {
+            views.push("symbol");
+        }
+        if cell.views.document.is_some() {
+            views.push("doc");
+        }
+        if !cell.views.simulation_data.is_empty() {
+            views.push("simdata");
+        }
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} |",
+            cell.name,
+            cell.path,
+            views.join("+"),
+            cell.revision
+        );
+    }
+    out
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, CategoryPath};
+    use crate::views::{CellViews, PortDirection, SymbolPort, SymbolView};
+
+    fn db() -> CellDb {
+        let mut db = CellDb::new();
+        db.register(
+            Cell::new(
+                "GCA1",
+                CategoryPath::new("TV", "Video", "GCA"),
+                CellViews {
+                    document: Some("Gain controlled amp with <50 ohm> input.".into()),
+                    schematic: Some("R1 in out 1k\n".into()),
+                    symbol: Some(SymbolView {
+                        ports: vec![SymbolPort {
+                            name: "in1".into(),
+                            direction: PortDirection::Input,
+                        }],
+                        label: "GCA".into(),
+                    }),
+                    ..Default::default()
+                },
+            )
+            .with_provenance("oumi", "TA8885"),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn html_contains_cell_and_escapes() {
+        let html = render_html(&db());
+        assert!(html.contains("<h2 id=\"GCA1\">GCA1</h2>"));
+        assert!(html.contains("&lt;50 ohm&gt;"), "escaped");
+        assert!(html.contains("TV/Video/GCA"));
+        assert!(html.contains("proven in: TA8885"));
+        assert!(html.contains("R1 in out 1k"));
+    }
+
+    #[test]
+    fn markdown_index_lists_views() {
+        let md = render_markdown_index(&db());
+        assert!(md.contains("| GCA1 | TV/Video/GCA | schematic+symbol+doc | 1 |"));
+    }
+}

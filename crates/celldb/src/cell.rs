@@ -1,0 +1,120 @@
+//! A registered analog cell and its taxonomy position (paper Figs. 6–7).
+
+use crate::views::CellViews;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Taxonomy position: `library / category / subcategory` (Fig. 6's
+/// "Library → Category 1 → Category 2").
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CategoryPath {
+    /// Application field (e.g. `TV`, `Tuner`).
+    pub library: String,
+    /// First-level category (e.g. `Chroma`).
+    pub category: String,
+    /// Second-level category (e.g. `ACC`).
+    pub subcategory: String,
+}
+
+impl CategoryPath {
+    /// Creates a path.
+    pub fn new(library: &str, category: &str, subcategory: &str) -> Self {
+        CategoryPath {
+            library: library.to_string(),
+            category: category.to_string(),
+            subcategory: subcategory.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CategoryPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.library, self.category, self.subcategory)
+    }
+}
+
+/// A reusable analog cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Unique cell name (`ACC1`, `GCA1`, …).
+    pub name: String,
+    /// Taxonomy position.
+    pub path: CategoryPath,
+    /// Contents.
+    pub views: CellViews,
+    /// Designer recorded at registration.
+    pub author: String,
+    /// Source IC / project the cell was proven in.
+    pub proven_in: String,
+    /// Revision counter, bumped on re-registration.
+    pub revision: u32,
+}
+
+impl Cell {
+    /// Creates a new cell at revision 1.
+    pub fn new(name: &str, path: CategoryPath, views: CellViews) -> Self {
+        Cell {
+            name: name.to_string(),
+            path,
+            views,
+            author: String::new(),
+            proven_in: String::new(),
+            revision: 1,
+        }
+    }
+
+    /// Builder: sets provenance metadata.
+    pub fn with_provenance(mut self, author: &str, proven_in: &str) -> Self {
+        self.author = author.to_string();
+        self.proven_in = proven_in.to_string();
+        self
+    }
+
+    /// Clones this cell under a new name for modification in a new design
+    /// — the "copy from the database for re-use" operation of the paper.
+    pub fn copy_as(&self, new_name: &str) -> Cell {
+        let mut c = self.clone();
+        c.name = new_name.to_string();
+        c.revision = 1;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_display() {
+        let p = CategoryPath::new("TV", "Chroma", "ACC");
+        assert_eq!(p.to_string(), "TV/Chroma/ACC");
+    }
+
+    #[test]
+    fn copy_as_resets_revision() {
+        let mut c = Cell::new(
+            "ACC1",
+            CategoryPath::new("TV", "Chroma", "ACC"),
+            CellViews::default(),
+        )
+        .with_provenance("miyahara", "TA8880");
+        c.revision = 5;
+        let d = c.copy_as("ACC1_COPY");
+        assert_eq!(d.name, "ACC1_COPY");
+        assert_eq!(d.revision, 1);
+        assert_eq!(d.author, "miyahara");
+        assert_eq!(c.revision, 5, "original untouched");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Cell::new(
+            "GCA1",
+            CategoryPath::new("TV", "Video", "GCA"),
+            CellViews::default(),
+        );
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Cell = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

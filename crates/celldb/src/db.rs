@@ -1,0 +1,280 @@
+//! The Analog Cell-based Design Supporting System: registration (with
+//! view validation) and retrieval.
+
+use crate::cell::{Cell, CategoryPath};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error raised by database operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellDbError {
+    /// A cell with the same name already exists (and `overwrite` was not
+    /// requested).
+    Duplicate(String),
+    /// The requested cell does not exist.
+    NotFound(String),
+    /// A view failed validation at registration time.
+    InvalidView {
+        /// Cell being registered.
+        cell: String,
+        /// Which view failed.
+        view: &'static str,
+        /// Underlying message.
+        message: String,
+    },
+    /// Persistence failure.
+    Store(String),
+}
+
+impl fmt::Display for CellDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellDbError::Duplicate(n) => write!(f, "cell {n} already registered"),
+            CellDbError::NotFound(n) => write!(f, "no cell named {n}"),
+            CellDbError::InvalidView {
+                cell,
+                view,
+                message,
+            } => write!(f, "cell {cell}: invalid {view} view: {message}"),
+            CellDbError::Store(m) => write!(f, "store error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CellDbError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, CellDbError>;
+
+/// The cell database. Cells are keyed by name; taxonomy queries walk the
+/// `CategoryPath` fields.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CellDb {
+    cells: BTreeMap<String, Cell>,
+}
+
+impl CellDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        CellDb::default()
+    }
+
+    /// Number of registered cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cells are registered.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Registers a cell after validating its views:
+    /// the behavioral view must compile as AHDL, and the schematic view
+    /// must parse as a SPICE netlist. Re-registering an existing name
+    /// fails; use [`Self::update`] to bump a revision.
+    ///
+    /// # Errors
+    ///
+    /// [`CellDbError::Duplicate`] or [`CellDbError::InvalidView`].
+    pub fn register(&mut self, cell: Cell) -> Result<()> {
+        if self.cells.contains_key(&cell.name) {
+            return Err(CellDbError::Duplicate(cell.name));
+        }
+        validate_views(&cell)?;
+        self.cells.insert(cell.name.clone(), cell);
+        Ok(())
+    }
+
+    /// Replaces an existing cell, bumping its revision.
+    ///
+    /// # Errors
+    ///
+    /// [`CellDbError::NotFound`] or [`CellDbError::InvalidView`].
+    pub fn update(&mut self, mut cell: Cell) -> Result<u32> {
+        let old = self
+            .cells
+            .get(&cell.name)
+            .ok_or_else(|| CellDbError::NotFound(cell.name.clone()))?;
+        validate_views(&cell)?;
+        cell.revision = old.revision + 1;
+        let rev = cell.revision;
+        self.cells.insert(cell.name.clone(), cell);
+        Ok(rev)
+    }
+
+    /// Fetches a cell by name.
+    ///
+    /// # Errors
+    ///
+    /// [`CellDbError::NotFound`].
+    pub fn get(&self, name: &str) -> Result<&Cell> {
+        self.cells
+            .get(name)
+            .ok_or_else(|| CellDbError::NotFound(name.to_string()))
+    }
+
+    /// Copies a registered cell out of the database under a new name —
+    /// the re-use operation. The copy is *not* registered.
+    ///
+    /// # Errors
+    ///
+    /// [`CellDbError::NotFound`].
+    pub fn copy_out(&self, name: &str, new_name: &str) -> Result<Cell> {
+        Ok(self.get(name)?.copy_as(new_name))
+    }
+
+    /// All cells, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.values()
+    }
+
+    /// Cells under a library (e.g. `TV`).
+    pub fn in_library<'a>(&'a self, library: &'a str) -> impl Iterator<Item = &'a Cell> + 'a {
+        self.cells
+            .values()
+            .filter(move |c| c.path.library == library)
+    }
+
+    /// Cells under a full category path.
+    pub fn in_category<'a>(
+        &'a self,
+        path: &'a CategoryPath,
+    ) -> impl Iterator<Item = &'a Cell> + 'a {
+        self.cells.values().filter(move |c| c.path == *path)
+    }
+
+    /// Distinct libraries, categories and subcategories (the Fig. 6
+    /// tree), as `(library, category, subcategory)` rows in order.
+    pub fn taxonomy(&self) -> Vec<(String, String, String)> {
+        let mut rows: Vec<_> = self
+            .cells
+            .values()
+            .map(|c| {
+                (
+                    c.path.library.clone(),
+                    c.path.category.clone(),
+                    c.path.subcategory.clone(),
+                )
+            })
+            .collect();
+        rows.sort();
+        rows.dedup();
+        rows
+    }
+}
+
+fn validate_views(cell: &Cell) -> Result<()> {
+    if let Some(src) = &cell.views.behavioral {
+        ahfic_ahdl::eval::CompiledModule::compile(src).map_err(|e| CellDbError::InvalidView {
+            cell: cell.name.clone(),
+            view: "behavioral",
+            message: e.to_string(),
+        })?;
+    }
+    if let Some(deck) = &cell.views.schematic {
+        ahfic_spice::parse::parse_netlist(deck).map_err(|e| CellDbError::InvalidView {
+            cell: cell.name.clone(),
+            view: "schematic",
+            message: e.to_string(),
+        })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::CellViews;
+
+    fn amp_cell(name: &str) -> Cell {
+        Cell::new(
+            name,
+            CategoryPath::new("TV", "Video", "GCA"),
+            CellViews {
+                behavioral: Some(
+                    "module amp(in, out) { input in; output out;
+                     parameter real gain = 2.0;
+                     analog { V(out) <- gain * V(in); } }"
+                        .into(),
+                ),
+                schematic: Some("R1 in out 1k\nR2 out 0 1k\n".into()),
+                document: Some("A simple gain stage.".into()),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn register_get_copy() {
+        let mut db = CellDb::new();
+        db.register(amp_cell("GCA1")).unwrap();
+        assert_eq!(db.len(), 1);
+        let c = db.get("GCA1").unwrap();
+        assert_eq!(c.revision, 1);
+        let copy = db.copy_out("GCA1", "GCA1_MK2").unwrap();
+        assert_eq!(copy.name, "GCA1_MK2");
+        assert!(db.get("GCA1_MK2").is_err(), "copy not registered");
+    }
+
+    #[test]
+    fn duplicate_rejected_update_bumps() {
+        let mut db = CellDb::new();
+        db.register(amp_cell("GCA1")).unwrap();
+        assert!(matches!(
+            db.register(amp_cell("GCA1")),
+            Err(CellDbError::Duplicate(_))
+        ));
+        let rev = db.update(amp_cell("GCA1")).unwrap();
+        assert_eq!(rev, 2);
+        assert!(db.update(amp_cell("NOPE")).is_err());
+    }
+
+    #[test]
+    fn invalid_behavioral_view_rejected() {
+        let mut db = CellDb::new();
+        let mut c = amp_cell("BAD");
+        c.views.behavioral = Some("module broken(".into());
+        match db.register(c) {
+            Err(CellDbError::InvalidView { view, .. }) => assert_eq!(view, "behavioral"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_schematic_view_rejected() {
+        let mut db = CellDb::new();
+        let mut c = amp_cell("BAD");
+        c.views.schematic = Some("R1 a 0 banana\n".into());
+        match db.register(c) {
+            Err(CellDbError::InvalidView { view, .. }) => assert_eq!(view, "schematic"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn taxonomy_and_category_queries() {
+        let mut db = CellDb::new();
+        db.register(amp_cell("GCA1")).unwrap();
+        let mut c2 = amp_cell("ACC1");
+        c2.path = CategoryPath::new("TV", "Chroma", "ACC");
+        db.register(c2).unwrap();
+        let mut c3 = amp_cell("MIX1");
+        c3.path = CategoryPath::new("Tuner", "Mixer", "Image-rejection");
+        db.register(c3).unwrap();
+
+        assert_eq!(db.in_library("TV").count(), 2);
+        assert_eq!(db.in_library("Tuner").count(), 1);
+        let path = CategoryPath::new("TV", "Chroma", "ACC");
+        assert_eq!(db.in_category(&path).count(), 1);
+        let tax = db.taxonomy();
+        assert_eq!(tax.len(), 3);
+        assert!(tax.contains(&("TV".into(), "Chroma".into(), "ACC".into())));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CellDbError::NotFound("X".into()).to_string().contains("X"));
+    }
+}

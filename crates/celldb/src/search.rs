@@ -1,0 +1,208 @@
+//! Keyword search over the cell database — the "other part … for those
+//! who search registered circuits" of the paper's §3.
+
+use crate::cell::Cell;
+use crate::db::CellDb;
+
+/// A scored search hit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchHit<'a> {
+    /// The matching cell.
+    pub cell: &'a Cell,
+    /// Relevance score (higher is better).
+    pub score: f64,
+}
+
+/// Search options.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SearchQuery {
+    /// Free-text keywords (matched against name, document, taxonomy).
+    pub keywords: String,
+    /// Restrict to a library, if set.
+    pub library: Option<String>,
+    /// Require a behavioral view.
+    pub needs_behavioral: bool,
+    /// Require a schematic view.
+    pub needs_schematic: bool,
+}
+
+impl SearchQuery {
+    /// Plain keyword query.
+    pub fn keywords(text: &str) -> Self {
+        SearchQuery {
+            keywords: text.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Builder: restrict to a library.
+    pub fn in_library(mut self, library: &str) -> Self {
+        self.library = Some(library.to_string());
+        self
+    }
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+fn score_cell(cell: &Cell, terms: &[String]) -> f64 {
+    if terms.is_empty() {
+        return 1.0;
+    }
+    let name_toks = tokenize(&cell.name);
+    let doc_toks = tokenize(cell.views.document.as_deref().unwrap_or(""));
+    let tax_toks = tokenize(&cell.path.to_string());
+    let mut score = 0.0;
+    for term in terms {
+        // Name match is worth the most, then taxonomy, then document;
+        // document matches accumulate with term frequency. Terms match
+        // as prefixes ("amp" hits "amplifier").
+        if name_toks.iter().any(|t| t == term || t.contains(term)) {
+            score += 5.0;
+        }
+        if tax_toks.iter().any(|t| t.starts_with(term)) {
+            score += 3.0;
+        }
+        score += doc_toks.iter().filter(|t| t.starts_with(term)).count() as f64;
+    }
+    score
+}
+
+/// Runs a search, returning hits sorted by descending score (ties by
+/// name). Cells scoring zero are omitted.
+pub fn search<'a>(db: &'a CellDb, query: &SearchQuery) -> Vec<SearchHit<'a>> {
+    let terms = tokenize(&query.keywords);
+    let mut hits: Vec<SearchHit<'a>> = db
+        .iter()
+        .filter(|c| {
+            query
+                .library
+                .as_ref()
+                .is_none_or(|lib| c.path.library == *lib)
+        })
+        .filter(|c| !query.needs_behavioral || c.views.behavioral.is_some())
+        .filter(|c| !query.needs_schematic || c.views.schematic.is_some())
+        .map(|cell| SearchHit {
+            score: score_cell(cell, &terms),
+            cell,
+        })
+        .filter(|h| h.score > 0.0)
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then_with(|| a.cell.name.cmp(&b.cell.name))
+    });
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CategoryPath;
+    use crate::views::CellViews;
+
+    fn db() -> CellDb {
+        let mut db = CellDb::new();
+        let mk = |name: &str, lib: &str, cat: &str, sub: &str, doc: &str, behavioral: bool| {
+            let mut views = CellViews {
+                document: Some(doc.to_string()),
+                ..Default::default()
+            };
+            if behavioral {
+                views.behavioral = Some(
+                    "module m(a, b) { input a; output b; analog { V(b) <- V(a); } }".into(),
+                );
+            }
+            Cell::new(name, CategoryPath::new(lib, cat, sub), views)
+        };
+        db.register(mk(
+            "ACC1",
+            "TV",
+            "Chroma",
+            "ACC",
+            "Automatic color control amplifier for TV chroma.",
+            true,
+        ))
+        .unwrap();
+        db.register(mk(
+            "GCA1",
+            "TV",
+            "Video",
+            "GCA",
+            "This circuit operates like a gain controlled amp. Input impedance 50 ohm.",
+            false,
+        ))
+        .unwrap();
+        db.register(mk(
+            "IRMIX1",
+            "Tuner",
+            "Mixer",
+            "Image-rejection",
+            "Image rejection mixer with quadrature LO for the double-super tuner.",
+            true,
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn keyword_finds_by_document() {
+        let db = db();
+        let hits = search(&db, &SearchQuery::keywords("gain controlled"));
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].cell.name, "GCA1");
+    }
+
+    #[test]
+    fn name_match_outranks_document_match() {
+        let db = db();
+        let hits = search(&db, &SearchQuery::keywords("acc"));
+        assert_eq!(hits[0].cell.name, "ACC1");
+    }
+
+    #[test]
+    fn library_filter_applies() {
+        let db = db();
+        let hits = search(&db, &SearchQuery::keywords("mixer").in_library("TV"));
+        assert!(hits.iter().all(|h| h.cell.path.library == "TV"));
+        let hits = search(&db, &SearchQuery::keywords("mixer").in_library("Tuner"));
+        assert_eq!(hits[0].cell.name, "IRMIX1");
+    }
+
+    #[test]
+    fn view_requirements_filter() {
+        let db = db();
+        let q = SearchQuery {
+            keywords: "amp".into(),
+            needs_behavioral: true,
+            ..Default::default()
+        };
+        let hits = search(&db, &q);
+        assert!(hits.iter().all(|h| h.cell.views.behavioral.is_some()));
+        assert!(hits.iter().any(|h| h.cell.name == "ACC1"));
+        assert!(!hits.iter().any(|h| h.cell.name == "GCA1"));
+    }
+
+    #[test]
+    fn empty_keywords_with_filter_lists_all_in_scope() {
+        let db = db();
+        let q = SearchQuery {
+            keywords: String::new(),
+            library: Some("TV".into()),
+            ..Default::default()
+        };
+        assert_eq!(search(&db, &q).len(), 2);
+    }
+
+    #[test]
+    fn no_hits_for_nonsense() {
+        let db = db();
+        assert!(search(&db, &SearchQuery::keywords("zyzzyva")).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! JSON persistence for the cell database.
+
+use crate::db::{CellDb, CellDbError, Result};
+use std::fs;
+use std::path::Path;
+
+impl CellDb {
+    /// Serializes the database to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`CellDbError::Store`] on serialization failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| CellDbError::Store(e.to_string()))
+    }
+
+    /// Deserializes a database from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`CellDbError::Store`] on malformed input.
+    pub fn from_json(json: &str) -> Result<CellDb> {
+        serde_json::from_str(json).map_err(|e| CellDbError::Store(e.to_string()))
+    }
+
+    /// Saves to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`CellDbError::Store`] on I/O or serialization failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        fs::write(path, self.to_json()?).map_err(|e| CellDbError::Store(e.to_string()))
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    ///
+    /// [`CellDbError::Store`] on I/O or parse failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<CellDb> {
+        let text = fs::read_to_string(path).map_err(|e| CellDbError::Store(e.to_string()))?;
+        CellDb::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, CategoryPath};
+    use crate::views::{CellViews, SimulationData};
+
+    fn sample_db() -> CellDb {
+        let mut db = CellDb::new();
+        db.register(Cell::new(
+            "ACC1",
+            CategoryPath::new("TV", "Chroma", "ACC"),
+            CellViews {
+                document: Some("doc".into()),
+                simulation_data: vec![SimulationData {
+                    name: "gain".into(),
+                    axis: "f [Hz]".into(),
+                    value: "dB".into(),
+                    points: vec![(1e6, 20.0), (1e9, 3.0)],
+                }],
+                ..Default::default()
+            },
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let db = sample_db();
+        let json = db.to_json().unwrap();
+        let back = CellDb::from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        let c = back.get("ACC1").unwrap();
+        assert_eq!(c.views.simulation_data[0].points.len(), 2);
+        assert_eq!(*c, *db.get("ACC1").unwrap());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ahfic-celldb-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        let db = sample_db();
+        db.save(&path).unwrap();
+        let back = CellDb::load(&path).unwrap();
+        assert_eq!(back.len(), db.len());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_store_error() {
+        assert!(matches!(
+            CellDb::from_json("{nope"),
+            Err(CellDbError::Store(_))
+        ));
+        assert!(CellDb::load("/nonexistent/path/db.json").is_err());
+    }
+}

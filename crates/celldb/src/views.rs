@@ -1,0 +1,113 @@
+//! The multi-view contents of an analog cell (paper Fig. 7): schematic,
+//! symbol, behavioral description, document and simulation data.
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a symbol port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortDirection {
+    /// Signal input.
+    Input,
+    /// Signal output.
+    Output,
+    /// Supply/bias pin.
+    Supply,
+}
+
+/// One pin of a cell symbol.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolPort {
+    /// Pin name.
+    pub name: String,
+    /// Pin direction.
+    pub direction: PortDirection,
+}
+
+/// Block symbol for top-down schematics.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SymbolView {
+    /// Pins in display order.
+    pub ports: Vec<SymbolPort>,
+    /// Short label drawn in the symbol body.
+    pub label: String,
+}
+
+/// Named waveform stored with the cell ("simulation data" in Fig. 7).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimulationData {
+    /// Dataset name (e.g. `gain_vs_freq`).
+    pub name: String,
+    /// Axis label (e.g. `frequency [Hz]`).
+    pub axis: String,
+    /// Value label (e.g. `gain [dB]`).
+    pub value: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// All views a registered cell may carry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub struct CellViews {
+    /// Primitive-element implementation: a SPICE netlist fragment.
+    pub schematic: Option<String>,
+    /// Behavioral implementation: AHDL source.
+    pub behavioral: Option<String>,
+    /// Block symbol.
+    pub symbol: Option<SymbolView>,
+    /// Free-text document describing circuit operation.
+    pub document: Option<String>,
+    /// Stored characterization data.
+    pub simulation_data: Vec<SimulationData>,
+}
+
+impl CellViews {
+    /// Number of populated views (simulation datasets count as one view).
+    pub fn view_count(&self) -> usize {
+        let mut n = 0;
+        n += usize::from(self.schematic.is_some());
+        n += usize::from(self.behavioral.is_some());
+        n += usize::from(self.symbol.is_some());
+        n += usize::from(self.document.is_some());
+        n += usize::from(!self.simulation_data.is_empty());
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_count_counts_populated() {
+        let mut v = CellViews::default();
+        assert_eq!(v.view_count(), 0);
+        v.document = Some("a doc".into());
+        v.behavioral = Some("module ...".into());
+        assert_eq!(v.view_count(), 2);
+        v.simulation_data.push(SimulationData {
+            name: "gain".into(),
+            axis: "f".into(),
+            value: "dB".into(),
+            points: vec![(1.0, 2.0)],
+        });
+        assert_eq!(v.view_count(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = CellViews {
+            schematic: Some("R1 a 0 1k".into()),
+            symbol: Some(SymbolView {
+                ports: vec![SymbolPort {
+                    name: "in".into(),
+                    direction: PortDirection::Input,
+                }],
+                label: "AMP".into(),
+            }),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&v).unwrap();
+        let back: CellViews = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,139 @@
+//! Spec budgeting: turning a system requirement into block-level specs,
+//! the designer's move in §2.2 of the paper ("by using Fig. 5, an IC
+//! circuit designer can determine an optimum set of specifications for
+//! the combination of the gain balance and the phase balance").
+
+use crate::spec::{Quantity, Requirement};
+use ahfic_rf::image_rejection::{irr_analytic_db, max_phase_error_for_irr};
+
+/// One feasible `(gain balance, max phase error)` pair for a required
+/// IRR.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BalanceSpec {
+    /// Fractional gain imbalance budgeted to the block.
+    pub gain_err: f64,
+    /// Maximum tolerable quadrature phase error (degrees).
+    pub max_phase_err_deg: f64,
+    /// IRR actually achieved at that corner (dB).
+    pub irr_at_corner_db: f64,
+}
+
+/// Derives the feasible gain/phase balance frontier for a required
+/// image-rejection ratio — the Fig. 5 inverse lookup. Infeasible gain
+/// candidates are dropped.
+pub fn derive_balance_budget(required_irr_db: f64, gain_candidates: &[f64]) -> Vec<BalanceSpec> {
+    gain_candidates
+        .iter()
+        .filter_map(|&g| {
+            max_phase_error_for_irr(required_irr_db, g).map(|e| BalanceSpec {
+                gain_err: g,
+                max_phase_err_deg: e,
+                irr_at_corner_db: irr_analytic_db(e, g),
+            })
+        })
+        .collect()
+}
+
+/// Converts a balance spec into block-level [`Requirement`]s for the 90°
+/// phase-shifter block.
+pub fn balance_requirements(spec: &BalanceSpec) -> Vec<Requirement> {
+    vec![
+        Requirement::at_most(Quantity::PhaseBalanceDeg, spec.max_phase_err_deg),
+        Requirement::at_most(Quantity::GainBalance, spec.gain_err),
+    ]
+}
+
+/// Generic two-parameter feasibility frontier: for each `x`, the largest
+/// `y` (scanning `ys` in order) at which `metric(x, y) >= threshold`.
+/// Returns `(x, best_y)` pairs, omitting x-values with no feasible y.
+///
+/// This is the general form of the Fig. 5 inversion for arbitrary metric
+/// surfaces (measured or analytic).
+pub fn feasible_frontier(
+    metric: impl Fn(f64, f64) -> f64,
+    xs: &[f64],
+    ys: &[f64],
+    threshold: f64,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for &x in xs {
+        let mut best: Option<f64> = None;
+        for &y in ys {
+            if metric(x, y) >= threshold {
+                best = Some(match best {
+                    Some(b) if b >= y => b,
+                    _ => y,
+                });
+            }
+        }
+        if let Some(y) = best {
+            out.push((x, y));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_matches_closed_form() {
+        let specs = derive_balance_budget(30.0, &[0.01, 0.03, 0.05]);
+        assert_eq!(specs.len(), 3);
+        for s in &specs {
+            assert!(
+                (s.irr_at_corner_db - 30.0).abs() < 1e-6,
+                "corner IRR {}",
+                s.irr_at_corner_db
+            );
+            // Tighter gain budget buys looser phase budget.
+        }
+        assert!(specs[0].max_phase_err_deg > specs[2].max_phase_err_deg);
+    }
+
+    #[test]
+    fn infeasible_gains_dropped() {
+        let specs = derive_balance_budget(30.0, &[0.01, 0.07, 0.09]);
+        assert_eq!(specs.len(), 1, "7% and 9% cannot reach 30 dB");
+        assert_eq!(specs[0].gain_err, 0.01);
+    }
+
+    #[test]
+    fn requirements_generated() {
+        let spec = BalanceSpec {
+            gain_err: 0.03,
+            max_phase_err_deg: 3.2,
+            irr_at_corner_db: 30.0,
+        };
+        let reqs = balance_requirements(&spec);
+        assert_eq!(reqs.len(), 2);
+        assert!(reqs[0].check(2.0).is_pass());
+        assert!(!reqs[0].check(4.0).is_pass());
+        assert!(reqs[1].check(0.01).is_pass());
+    }
+
+    #[test]
+    fn generic_frontier_on_analytic_surface() {
+        let gains = [0.01, 0.05];
+        let phases: Vec<f64> = (1..=100).map(|k| k as f64 * 0.1).collect();
+        let frontier = feasible_frontier(
+            |g, p| irr_analytic_db(p, g),
+            &gains,
+            &phases,
+            30.0,
+        );
+        assert_eq!(frontier.len(), 2);
+        // Grid frontier should approximate the closed-form inversion.
+        for (g, p) in frontier {
+            let exact = max_phase_error_for_irr(30.0, g).unwrap();
+            assert!((p - exact).abs() <= 0.1 + 1e-9, "g={g}: {p} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn frontier_empty_when_unreachable() {
+        let frontier = feasible_frontier(|_, _| 10.0, &[1.0], &[1.0], 30.0);
+        assert!(frontier.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! AHDL-in-SPICE co-simulation: wrap a *memoryless* AHDL module as a
+//! behavioral voltage source inside the circuit simulator.
+//!
+//! This is the downward-facing twin of [`crate::mixed`]: instead of
+//! back-annotating circuit reality into the behavioral system, an AHDL
+//! block description is dropped straight into a transistor-level netlist
+//! — the designer can keep most of the IC behavioral while detailing one
+//! block at the transistor level, exactly the Fig. 1 workflow.
+
+use ahfic_ahdl::block::Block;
+use ahfic_ahdl::eval::CompiledModule;
+use ahfic_spice::circuit::BehavioralFn;
+use std::cell::RefCell;
+use std::fmt;
+
+/// Error converting an AHDL module into a behavioral source.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CosimError {
+    /// The module keeps state (`idt`/`ddt`/`delay`), which a per-Newton
+    /// re-evaluated source cannot support.
+    Stateful {
+        /// Module name.
+        module: String,
+        /// State slots found.
+        states: usize,
+    },
+    /// The module must have exactly one output.
+    Arity {
+        /// Module name.
+        module: String,
+        /// Outputs found.
+        outputs: usize,
+    },
+    /// Instantiation failed (bad parameter override).
+    Instantiate(String),
+}
+
+impl fmt::Display for CosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CosimError::Stateful { module, states } => write!(
+                f,
+                "module {module} uses {states} stateful operator(s); behavioral sources must be memoryless"
+            ),
+            CosimError::Arity { module, outputs } => {
+                write!(f, "module {module} has {outputs} outputs, need exactly 1")
+            }
+            CosimError::Instantiate(m) => write!(f, "instantiation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CosimError {}
+
+/// Wraps a compiled AHDL module as a [`BehavioralFn`] for
+/// [`ahfic_spice::circuit::Circuit::behavioral_vsource`].
+///
+/// The module's inputs become the source's controlling nodes (in input
+/// declaration order); its single output is the source voltage.
+///
+/// # Errors
+///
+/// [`CosimError::Stateful`] for modules using `idt`/`ddt`/`delay`,
+/// [`CosimError::Arity`] unless there is exactly one output,
+/// [`CosimError::Instantiate`] for unknown parameter overrides.
+pub fn ahdl_behavioral_fn(
+    module: &CompiledModule,
+    params: &[(&str, f64)],
+) -> Result<BehavioralFn, CosimError> {
+    if module.num_states() != 0 {
+        return Err(CosimError::Stateful {
+            module: module.name().to_string(),
+            states: module.num_states(),
+        });
+    }
+    if module.outputs().len() != 1 {
+        return Err(CosimError::Arity {
+            module: module.name().to_string(),
+            outputs: module.outputs().len(),
+        });
+    }
+    let inst = module
+        .instantiate(params)
+        .map_err(|e| CosimError::Instantiate(e.to_string()))?;
+    let cell = RefCell::new(inst);
+    Ok(BehavioralFn::new(move |controls: &[f64]| {
+        let mut out = [0.0];
+        // Memoryless: time and dt are irrelevant.
+        cell.borrow_mut().tick(0.0, 1.0, controls, &mut out);
+        out[0]
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahfic_spice::analysis::{op, Options};
+    use ahfic_spice::circuit::{Circuit, Prepared};
+
+    #[test]
+    fn ahdl_limiter_inside_spice_netlist() {
+        let module = CompiledModule::compile(
+            "module lim(x, y) { input x; output y;
+             parameter real c = 1.0;
+             analog { V(y) <- c * tanh(V(x) / c); } }",
+        )
+        .unwrap();
+        let f = ahdl_behavioral_fn(&module, &[("c", 0.5)]).unwrap();
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::gnd(), 3.0);
+        ckt.behavioral_vsource("B1", b, Circuit::gnd(), &[a], f);
+        ckt.resistor("RL", b, Circuit::gnd(), 1e3);
+        let prep = Prepared::compile(ckt).unwrap();
+        let r = op(&prep, &Options::default()).unwrap();
+        let expect = 0.5 * (3.0f64 / 0.5).tanh();
+        assert!((prep.voltage(&r.x, b) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_input_ahdl_mixer_inside_spice() {
+        let module = CompiledModule::compile(
+            "module mul(a, b, y) { input a, b; output y;
+             analog { V(y) <- V(a) * V(b); } }",
+        )
+        .unwrap();
+        let f = ahdl_behavioral_fn(&module, &[]).unwrap();
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let y = ckt.node("y");
+        ckt.vsource("VA", a, Circuit::gnd(), 2.0);
+        ckt.vsource("VB", b, Circuit::gnd(), -1.5);
+        ckt.behavioral_vsource("B1", y, Circuit::gnd(), &[a, b], f);
+        ckt.resistor("RL", y, Circuit::gnd(), 1e3);
+        let prep = Prepared::compile(ckt).unwrap();
+        let r = op(&prep, &Options::default()).unwrap();
+        assert!((prep.voltage(&r.x, y) + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stateful_module_rejected() {
+        let module = CompiledModule::compile(
+            "module i(x, y) { input x; output y;
+             analog { V(y) <- idt(V(x)); } }",
+        )
+        .unwrap();
+        assert!(matches!(
+            ahdl_behavioral_fn(&module, &[]),
+            Err(CosimError::Stateful { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_output_module_rejected() {
+        let module = CompiledModule::compile(
+            "module s(x, a, b) { input x; output a, b;
+             analog { V(a) <- V(x); V(b) <- -V(x); } }",
+        )
+        .unwrap();
+        assert!(matches!(
+            ahdl_behavioral_fn(&module, &[]),
+            Err(CosimError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_param_rejected() {
+        let module = CompiledModule::compile(
+            "module g(x, y) { input x; output y;
+             analog { V(y) <- V(x); } }",
+        )
+        .unwrap();
+        assert!(matches!(
+            ahdl_behavioral_fn(&module, &[("nope", 1.0)]),
+            Err(CosimError::Instantiate(_))
+        ));
+    }
+}

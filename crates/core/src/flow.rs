@@ -1,0 +1,267 @@
+//! The end-to-end top-down design flow of the paper, as an executable
+//! pipeline over the tuner case study:
+//!
+//! 1. system specification (required image rejection);
+//! 2. behavioral (AHDL) exploration of the whole system;
+//! 3. block spec budgeting via the Fig. 5 inversion;
+//! 4. re-use: pull candidate cells from the analog cell database;
+//! 5. component-level reality check (mixed-level simulation);
+//! 6. final system verification against the spec.
+
+use crate::budget::{balance_requirements, derive_balance_budget, BalanceSpec};
+use crate::hierarchy::{Design, DesignBlock};
+use crate::mixed::{mixed_level_study, MixedLevelReport};
+use crate::spec::{Quantity, Requirement};
+use ahfic_celldb::search::{search, SearchQuery};
+use ahfic_celldb::CellDb;
+use ahfic_rf::plan::FrequencyPlan;
+use ahfic_rf::tuner::TunerConfig;
+use std::fmt;
+
+/// Flow failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowError(pub String);
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Top-down flow configuration.
+#[derive(Clone, Debug)]
+pub struct TopDownFlow {
+    /// Frequency plan of the tuner under design.
+    pub plan: FrequencyPlan,
+    /// Behavioral simulation configuration.
+    pub cfg: TunerConfig,
+    /// System requirement: minimum image rejection (dB).
+    pub required_irr_db: f64,
+    /// Gain-balance candidates offered to the budgeting step.
+    pub gain_candidates: Vec<f64>,
+    /// Component mismatch assumed for the shifter reality check
+    /// (fractional resistor error).
+    pub shifter_mismatch: f64,
+}
+
+impl TopDownFlow {
+    /// Flow preset matching the paper's worked example (30 dB IRR).
+    pub fn paper_example() -> Self {
+        let plan = FrequencyPlan::catv(500e6);
+        let cfg = TunerConfig::for_plan(&plan);
+        TopDownFlow {
+            plan,
+            cfg,
+            required_irr_db: 30.0,
+            gain_candidates: vec![0.01, 0.03, 0.05, 0.07, 0.09],
+            shifter_mismatch: 0.02,
+        }
+    }
+}
+
+/// Record of one flow stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageRecord {
+    /// Stage name.
+    pub name: &'static str,
+    /// Human-readable outcome.
+    pub summary: String,
+    /// Whether the stage met its gate.
+    pub passed: bool,
+}
+
+/// Complete flow outcome.
+#[derive(Clone, Debug)]
+pub struct FlowReport {
+    /// Ordered stage records.
+    pub stages: Vec<StageRecord>,
+    /// The budget selected at stage 3.
+    pub chosen_budget: Option<BalanceSpec>,
+    /// Cells pulled from the library at stage 4.
+    pub reused_cells: Vec<String>,
+    /// The design skeleton assembled from reused cells.
+    pub design: Design,
+    /// The mixed-level study of stage 5.
+    pub mixed: Option<MixedLevelReport>,
+    /// Final verdict: the real system meets the system spec.
+    pub final_pass: bool,
+}
+
+impl TopDownFlow {
+    /// Executes the flow against a cell library.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError`] when a simulation stage fails outright (spec
+    /// *misses* are reported in the `FlowReport`, not as errors).
+    pub fn run(&self, db: &CellDb) -> Result<FlowReport, FlowError> {
+        let mut stages = Vec::new();
+        let fail = |m: String| FlowError(m);
+
+        // Stage 1: system specification.
+        let system_req = Requirement::at_least(Quantity::ImageRejectionDb, self.required_irr_db);
+        stages.push(StageRecord {
+            name: "system-spec",
+            summary: format!("system designer requests {system_req}"),
+            passed: true,
+        });
+
+        // Stage 2: behavioral exploration — the ideal AHDL system must
+        // have headroom, otherwise the architecture itself is wrong.
+        let ideal_irr =
+            ahfic_rf::image_rejection::measure_irr_db(
+                &self.plan,
+                &self.cfg,
+                &Default::default(),
+                Some(2e-6),
+            )
+            .map_err(|e| fail(format!("behavioral exploration failed: {e}")))?;
+        let headroom_ok = ideal_irr >= self.required_irr_db + 10.0;
+        stages.push(StageRecord {
+            name: "behavioral-exploration",
+            summary: format!(
+                "ideal image-rejection architecture achieves {ideal_irr:.1} dB \
+                 (requirement {:.1} dB)",
+                self.required_irr_db
+            ),
+            passed: headroom_ok,
+        });
+
+        // Stage 3: block spec budgeting (Fig. 5 inversion).
+        let budgets = derive_balance_budget(self.required_irr_db, &self.gain_candidates);
+        // Pick the loosest-gain candidate that still allows >= 1 deg of
+        // phase budget (manufacturable).
+        let chosen = budgets
+            .iter()
+            .rev()
+            .find(|b| b.max_phase_err_deg >= 1.0)
+            .or(budgets.first())
+            .copied();
+        stages.push(StageRecord {
+            name: "spec-budgeting",
+            summary: match &chosen {
+                Some(b) => format!(
+                    "{} feasible balance pairs; chose gain {:.0}% / phase {:.2} deg",
+                    budgets.len(),
+                    b.gain_err * 100.0,
+                    b.max_phase_err_deg
+                ),
+                None => "no feasible gain/phase balance pair".to_string(),
+            },
+            passed: chosen.is_some(),
+        });
+        let chosen = chosen.ok_or_else(|| fail("budgeting found no feasible point".into()))?;
+
+        // Stage 4: re-use from the cell database.
+        let mut design = Design::new("double-super tuner");
+        design.system_requirements.push(system_req);
+        let mut reused_cells = Vec::new();
+        for (block_name, query) in [
+            ("IRMIX", "image rejection mixer"),
+            ("QVCO", "quadrature oscillator 90"),
+            ("PS90", "phase shifter IF"),
+        ] {
+            let hits = search(db, &SearchQuery::keywords(query));
+            if let Some(hit) = hits.first() {
+                let mut block = DesignBlock::from_cell(block_name, hit.cell)
+                    .map_err(|e| fail(format!("re-use of {}: {e}", hit.cell.name)))?;
+                for req in balance_requirements(&chosen) {
+                    block.require(req);
+                }
+                reused_cells.push(hit.cell.name.clone());
+                design
+                    .add_block(block)
+                    .map_err(|e| fail(e.to_string()))?;
+            }
+        }
+        stages.push(StageRecord {
+            name: "cell-reuse",
+            summary: format!(
+                "reused {} of 3 blocks from the library: {}",
+                reused_cells.len(),
+                reused_cells.join(", ")
+            ),
+            passed: reused_cells.len() >= 2,
+        });
+
+        // Stage 5: component-level reality (mixed-level simulation).
+        let mixed = mixed_level_study(&self.plan, &self.cfg, self.shifter_mismatch)
+            .map_err(|e| fail(format!("mixed-level study failed: {e}")))?;
+        let balance_ok = mixed.real_balance.phase_err_deg.abs() <= chosen.max_phase_err_deg
+            && mixed.real_balance.gain_err.abs() <= chosen.gain_err;
+        stages.push(StageRecord {
+            name: "mixed-level",
+            summary: format!(
+                "real shifter: phase err {:.2} deg, gain err {:.2}% -> budget {}",
+                mixed.real_balance.phase_err_deg,
+                mixed.real_balance.gain_err * 100.0,
+                if balance_ok { "met" } else { "exceeded" }
+            ),
+            passed: balance_ok,
+        });
+
+        // Stage 6: final system verification.
+        let final_pass = mixed.real_irr_db >= self.required_irr_db;
+        stages.push(StageRecord {
+            name: "system-verification",
+            summary: format!(
+                "system with real shifter: {:.1} dB IRR vs required {:.1} dB",
+                mixed.real_irr_db, self.required_irr_db
+            ),
+            passed: final_pass,
+        });
+
+        Ok(FlowReport {
+            stages,
+            chosen_budget: Some(chosen),
+            reused_cells,
+            design,
+            mixed: Some(mixed),
+            final_pass,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahfic_celldb::seed::seed_library;
+
+    #[test]
+    fn paper_example_flow_passes_end_to_end() {
+        let db = seed_library().unwrap();
+        let flow = TopDownFlow::paper_example();
+        let report = flow.run(&db).unwrap();
+        assert_eq!(report.stages.len(), 6);
+        for s in &report.stages {
+            assert!(s.passed, "stage {} failed: {}", s.name, s.summary);
+        }
+        assert!(report.final_pass);
+        assert!(report.reused_cells.contains(&"IRMIX1".to_string()));
+        assert!(report.design.blocks().len() >= 2);
+        let mixed = report.mixed.unwrap();
+        assert!(mixed.real_irr_db >= 30.0);
+    }
+
+    #[test]
+    fn sloppy_process_fails_verification_but_flow_completes() {
+        let db = seed_library().unwrap();
+        let mut flow = TopDownFlow::paper_example();
+        flow.shifter_mismatch = 0.35; // terrible matching
+        let report = flow.run(&db).unwrap();
+        assert!(!report.final_pass, "35% mismatch cannot meet 30 dB");
+        let verify = report.stages.last().unwrap();
+        assert!(!verify.passed);
+    }
+
+    #[test]
+    fn impossible_spec_errors_out_at_budgeting() {
+        let db = seed_library().unwrap();
+        let mut flow = TopDownFlow::paper_example();
+        flow.required_irr_db = 80.0;
+        flow.gain_candidates = vec![0.05, 0.09];
+        assert!(flow.run(&db).is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! The top-down design hierarchy: function blocks with swappable views.
+//!
+//! Fig. 1 of the paper: every function block exists first as an AHDL
+//! behavioral description, later as a transistor-level circuit; the
+//! designer flips a block between views to "examine the difference
+//! between an ideal circuit and a real circuit".
+
+use crate::spec::{Requirement, SpecStatus};
+use ahfic_celldb::cell::Cell;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error raised by hierarchy operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DesignError {
+    /// Duplicate or missing block.
+    Block(String),
+    /// A view failed validation.
+    View(String),
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesignError::Block(m) => write!(f, "block error: {m}"),
+            DesignError::View(m) => write!(f, "view error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, DesignError>;
+
+/// Abstraction level of a view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViewLevel {
+    /// AHDL behavioral description.
+    Behavioral,
+    /// Primitive-element (transistor) netlist.
+    Transistor,
+}
+
+/// One implementation view of a block.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BlockView {
+    /// AHDL source with parameter overrides.
+    Behavioral {
+        /// Module source.
+        ahdl: String,
+        /// Parameter overrides applied on instantiation.
+        params: Vec<(String, f64)>,
+    },
+    /// SPICE netlist text.
+    Transistor {
+        /// Netlist source.
+        netlist: String,
+    },
+}
+
+impl BlockView {
+    /// Level of this view.
+    pub fn level(&self) -> ViewLevel {
+        match self {
+            BlockView::Behavioral { .. } => ViewLevel::Behavioral,
+            BlockView::Transistor { .. } => ViewLevel::Transistor,
+        }
+    }
+
+    /// Validates that the view's source compiles/parses.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::View`] with the underlying compiler message.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            BlockView::Behavioral { ahdl, params } => {
+                let m = ahfic_ahdl::eval::CompiledModule::compile(ahdl)
+                    .map_err(|e| DesignError::View(e.to_string()))?;
+                let refs: Vec<(&str, f64)> =
+                    params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                m.instantiate(&refs)
+                    .map_err(|e| DesignError::View(e.to_string()))?;
+                Ok(())
+            }
+            BlockView::Transistor { netlist } => {
+                ahfic_spice::parse::parse_netlist(netlist)
+                    .map_err(|e| DesignError::View(e.to_string()))?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A function block in the hierarchy.
+#[derive(Clone, Debug)]
+pub struct DesignBlock {
+    /// Block instance name.
+    pub name: String,
+    /// Views by level.
+    views: HashMap<ViewLevel, BlockView>,
+    /// Level currently used for simulation.
+    active: ViewLevel,
+    /// Derived block-level requirements.
+    pub requirements: Vec<Requirement>,
+    /// Measured values per requirement (filled by verification).
+    pub measured: Vec<Option<f64>>,
+}
+
+impl DesignBlock {
+    /// Creates a block with an initial (behavioral) view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates view validation failures.
+    pub fn new(name: &str, view: BlockView) -> Result<Self> {
+        view.validate()?;
+        let level = view.level();
+        let mut views = HashMap::new();
+        views.insert(level, view);
+        Ok(DesignBlock {
+            name: name.to_string(),
+            views,
+            active: level,
+            requirements: Vec::new(),
+            measured: Vec::new(),
+        })
+    }
+
+    /// Builds a block from a library cell, preferring its behavioral view
+    /// — the re-use entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::View`] if the cell has no implementation view or it
+    /// fails validation.
+    pub fn from_cell(name: &str, cell: &Cell) -> Result<Self> {
+        let mut block: Option<DesignBlock> = None;
+        if let Some(ahdl) = &cell.views.behavioral {
+            block = Some(DesignBlock::new(
+                name,
+                BlockView::Behavioral {
+                    ahdl: ahdl.clone(),
+                    params: Vec::new(),
+                },
+            )?);
+        }
+        if let Some(netlist) = &cell.views.schematic {
+            let view = BlockView::Transistor {
+                netlist: netlist.clone(),
+            };
+            match &mut block {
+                Some(b) => {
+                    b.add_view(view)?;
+                }
+                None => block = Some(DesignBlock::new(name, view)?),
+            }
+        }
+        block.ok_or_else(|| {
+            DesignError::View(format!(
+                "cell {} has neither behavioral nor schematic view",
+                cell.name
+            ))
+        })
+    }
+
+    /// Adds (or replaces) a view at its level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures.
+    pub fn add_view(&mut self, view: BlockView) -> Result<&mut Self> {
+        view.validate()?;
+        self.views.insert(view.level(), view);
+        Ok(self)
+    }
+
+    /// Switches the active level — the paper's behavioral ↔ transistor
+    /// swap.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::View`] when no view exists at that level.
+    pub fn activate(&mut self, level: ViewLevel) -> Result<()> {
+        if !self.views.contains_key(&level) {
+            return Err(DesignError::View(format!(
+                "block {} has no {level:?} view",
+                self.name
+            )));
+        }
+        self.active = level;
+        Ok(())
+    }
+
+    /// Currently active level.
+    pub fn active_level(&self) -> ViewLevel {
+        self.active
+    }
+
+    /// The active view.
+    pub fn active_view(&self) -> &BlockView {
+        &self.views[&self.active]
+    }
+
+    /// View at a specific level, if present.
+    pub fn view(&self, level: ViewLevel) -> Option<&BlockView> {
+        self.views.get(&level)
+    }
+
+    /// Attaches a derived requirement.
+    pub fn require(&mut self, req: Requirement) {
+        self.requirements.push(req);
+        self.measured.push(None);
+    }
+
+    /// Records a measured value for requirement `idx` and returns its
+    /// status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn record_measurement(&mut self, idx: usize, value: f64) -> SpecStatus {
+        self.measured[idx] = Some(value);
+        self.requirements[idx].check(value)
+    }
+
+    /// True when every requirement has a passing measurement.
+    pub fn meets_spec(&self) -> bool {
+        self.requirements
+            .iter()
+            .zip(self.measured.iter())
+            .all(|(r, m)| m.map(|v| r.check(v).is_pass()).unwrap_or(false))
+    }
+}
+
+/// The whole-IC design: an ordered set of blocks plus system-level
+/// requirements.
+#[derive(Clone, Debug, Default)]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    blocks: Vec<DesignBlock>,
+    /// System (whole-IC) requirements.
+    pub system_requirements: Vec<Requirement>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new(name: &str) -> Self {
+        Design {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a block.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::Block`] on duplicate names.
+    pub fn add_block(&mut self, block: DesignBlock) -> Result<()> {
+        if self.blocks.iter().any(|b| b.name == block.name) {
+            return Err(DesignError::Block(format!(
+                "duplicate block {}",
+                block.name
+            )));
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Blocks in insertion order.
+    pub fn blocks(&self) -> &[DesignBlock] {
+        &self.blocks
+    }
+
+    /// Mutable access to a block by name.
+    ///
+    /// # Errors
+    ///
+    /// [`DesignError::Block`] when missing.
+    pub fn block_mut(&mut self, name: &str) -> Result<&mut DesignBlock> {
+        self.blocks
+            .iter_mut()
+            .find(|b| b.name == name)
+            .ok_or_else(|| DesignError::Block(format!("no block named {name}")))
+    }
+
+    /// How many blocks are still at the behavioral level — the designer's
+    /// progress indicator during top-down refinement.
+    pub fn behavioral_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| b.active_level() == ViewLevel::Behavioral)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Quantity;
+
+    fn amp_view() -> BlockView {
+        BlockView::Behavioral {
+            ahdl: "module amp(in, out) { input in; output out;
+                   parameter real gain = 2.0;
+                   analog { V(out) <- gain * V(in); } }"
+                .into(),
+            params: vec![("gain".into(), 4.0)],
+        }
+    }
+
+    fn netlist_view() -> BlockView {
+        BlockView::Transistor {
+            netlist: "R1 in out 1k\nR2 out 0 1k\n".into(),
+        }
+    }
+
+    #[test]
+    fn block_view_swap() {
+        let mut b = DesignBlock::new("IFAMP", amp_view()).unwrap();
+        assert_eq!(b.active_level(), ViewLevel::Behavioral);
+        assert!(b.activate(ViewLevel::Transistor).is_err());
+        b.add_view(netlist_view()).unwrap();
+        b.activate(ViewLevel::Transistor).unwrap();
+        assert_eq!(b.active_level(), ViewLevel::Transistor);
+        assert!(matches!(
+            b.active_view(),
+            BlockView::Transistor { .. }
+        ));
+        // And back.
+        b.activate(ViewLevel::Behavioral).unwrap();
+        assert_eq!(b.active_level(), ViewLevel::Behavioral);
+    }
+
+    #[test]
+    fn invalid_views_rejected() {
+        let bad = BlockView::Behavioral {
+            ahdl: "module broken(".into(),
+            params: vec![],
+        };
+        assert!(DesignBlock::new("X", bad).is_err());
+        let bad_param = BlockView::Behavioral {
+            ahdl: "module a(x, y) { input x; output y; analog { V(y) <- V(x); } }".into(),
+            params: vec![("nope".into(), 1.0)],
+        };
+        assert!(DesignBlock::new("X", bad_param).is_err());
+        let bad_net = BlockView::Transistor {
+            netlist: "R1 a 0 banana\n".into(),
+        };
+        assert!(DesignBlock::new("X", bad_net).is_err());
+    }
+
+    #[test]
+    fn requirements_and_measurements() {
+        let mut b = DesignBlock::new("PS90", amp_view()).unwrap();
+        b.require(Requirement::at_most(Quantity::PhaseBalanceDeg, 3.0));
+        b.require(Requirement::at_most(Quantity::GainBalance, 0.05));
+        assert!(!b.meets_spec(), "nothing measured yet");
+        assert!(b.record_measurement(0, 2.0).is_pass());
+        assert!(b.record_measurement(1, 0.01).is_pass());
+        assert!(b.meets_spec());
+        assert!(!b.record_measurement(1, 0.2).is_pass());
+        assert!(!b.meets_spec());
+    }
+
+    #[test]
+    fn design_block_management() {
+        let mut d = Design::new("tuner");
+        d.add_block(DesignBlock::new("A", amp_view()).unwrap()).unwrap();
+        d.add_block(DesignBlock::new("B", amp_view()).unwrap()).unwrap();
+        assert!(d
+            .add_block(DesignBlock::new("A", amp_view()).unwrap())
+            .is_err());
+        assert_eq!(d.blocks().len(), 2);
+        assert_eq!(d.behavioral_count(), 2);
+        d.block_mut("A")
+            .unwrap()
+            .add_view(netlist_view())
+            .unwrap();
+        d.block_mut("A").unwrap().activate(ViewLevel::Transistor).unwrap();
+        assert_eq!(d.behavioral_count(), 1);
+        assert!(d.block_mut("Z").is_err());
+    }
+
+    #[test]
+    fn from_cell_prefers_behavioral_and_keeps_schematic() {
+        let db = ahfic_celldb::seed::seed_library().unwrap();
+        let cell = db.get("GCA1").unwrap();
+        let b = DesignBlock::from_cell("VIDEO_GCA", cell).unwrap();
+        assert_eq!(b.active_level(), ViewLevel::Behavioral);
+        assert!(b.view(ViewLevel::Transistor).is_some());
+    }
+}

@@ -1,0 +1,169 @@
+//! Mixed-level simulation: the paper's key move of replacing an ideal
+//! AHDL block by its real (transistor/component-level) implementation
+//! and re-running the system.
+//!
+//! Case study: the 90° phase shifter of the image-rejection tuner. At
+//! component level it is an RC-CR network; resistor mismatch shifts its
+//! phase/gain balance away from the ideal, and the system-level IRR
+//! degrades exactly along the paper's Fig. 5 surface.
+
+use ahfic_rf::image_rejection::{irr_analytic_db, measure_irr_db};
+use ahfic_rf::plan::FrequencyPlan;
+use ahfic_rf::tuner::{ImageRejectionErrors, TunerConfig};
+use ahfic_spice::analysis::{ac_sweep, op, Options};
+use ahfic_spice::circuit::{Circuit, Prepared};
+use ahfic_spice::error::Result;
+
+/// Balance errors extracted from a component-level 90° shifter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShifterBalance {
+    /// Deviation of the path phase difference from 90° (degrees).
+    pub phase_err_deg: f64,
+    /// Fractional gain imbalance between the paths.
+    pub gain_err: f64,
+}
+
+/// Characterizes an RC-CR quadrature network at `f0` via AC analysis.
+///
+/// The network: low-pass arm `R1/C1` (output `a`) and high-pass arm
+/// `C2/R2` (output `b`). With `R1 C1 = R2 C2 = 1/(2*pi*f0)` the outputs
+/// are exactly 90° apart with equal magnitude; component mismatch
+/// (`r1_mismatch`, fractional) breaks both balances.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn characterize_rc_cr(f0: f64, c: f64, r1_mismatch: f64) -> Result<ShifterBalance> {
+    let r_nom = 1.0 / (2.0 * std::f64::consts::PI * f0 * c);
+    let mut ckt = Circuit::new();
+    let input = ckt.node("in");
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource("VIN", input, Circuit::gnd(), 0.0);
+    ckt.set_ac("VIN", 1.0, 0.0)?;
+    ckt.resistor("R1", input, a, r_nom * (1.0 + r1_mismatch));
+    ckt.capacitor("C1", a, Circuit::gnd(), c);
+    ckt.capacitor("C2", input, b, c);
+    ckt.resistor("R2", b, Circuit::gnd(), r_nom);
+    let prep = Prepared::compile(ckt)?;
+    let opts = Options::default();
+    let dc = op(&prep, &opts)?;
+    let acw = ac_sweep(&prep, &dc.x, &opts, &[f0])?;
+    let va = acw.signal("v(a)")?[0];
+    let vb = acw.signal("v(b)")?[0];
+    let mut dphi = (vb.arg() - va.arg()).to_degrees();
+    while dphi > 180.0 {
+        dphi -= 360.0;
+    }
+    while dphi < -180.0 {
+        dphi += 360.0;
+    }
+    Ok(ShifterBalance {
+        phase_err_deg: dphi - 90.0,
+        gain_err: vb.abs() / va.abs() - 1.0,
+    })
+}
+
+/// Result of the mixed-level study.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MixedLevelReport {
+    /// Balance of the real (component-level) shifter.
+    pub real_balance: ShifterBalance,
+    /// System IRR with the ideal behavioral shifter (dB).
+    pub ideal_irr_db: f64,
+    /// System IRR after substituting the real shifter's balance (dB),
+    /// from the behavioral simulation.
+    pub real_irr_db: f64,
+    /// The closed-form prediction for the real balance (dB).
+    pub predicted_irr_db: f64,
+}
+
+impl MixedLevelReport {
+    /// IRR penalty paid for the real circuit (dB).
+    pub fn degradation_db(&self) -> f64 {
+        self.ideal_irr_db - self.real_irr_db
+    }
+}
+
+/// Runs the mixed-level study: characterize the RC-CR shifter with the
+/// given resistor mismatch at the second IF, back-annotate its balance
+/// into the behavioral tuner and re-measure the image rejection.
+///
+/// # Errors
+///
+/// Propagates SPICE errors (characterization) and converts behavioral
+/// simulation failures into [`ahfic_spice::SpiceError::Measure`].
+pub fn mixed_level_study(
+    plan: &FrequencyPlan,
+    cfg: &TunerConfig,
+    r1_mismatch: f64,
+) -> Result<MixedLevelReport> {
+    use ahfic_spice::error::SpiceError;
+    let real_balance = characterize_rc_cr(plan.f2_if, 1e-12, r1_mismatch)?;
+    let sim = |errors: ImageRejectionErrors| -> Result<f64> {
+        measure_irr_db(plan, cfg, &errors, Some(2e-6))
+            .map_err(|e| SpiceError::Measure(format!("behavioral simulation failed: {e}")))
+    };
+    let ideal_irr_db = sim(ImageRejectionErrors::default())?;
+    let real_errors = ImageRejectionErrors {
+        lo_phase_err_deg: 0.0,
+        gain_err: real_balance.gain_err,
+        shifter_phase_err_deg: real_balance.phase_err_deg,
+    };
+    let real_irr_db = sim(real_errors)?;
+    Ok(MixedLevelReport {
+        real_balance,
+        ideal_irr_db,
+        real_irr_db,
+        predicted_irr_db: irr_analytic_db(real_balance.phase_err_deg, real_balance.gain_err),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matched_rc_cr_is_perfect_quadrature() {
+        let b = characterize_rc_cr(45e6, 1e-12, 0.0).unwrap();
+        assert!(b.phase_err_deg.abs() < 1e-6, "{:?}", b);
+        assert!(b.gain_err.abs() < 1e-9, "{:?}", b);
+    }
+
+    #[test]
+    fn mismatch_shifts_phase_and_gain() {
+        let b = characterize_rc_cr(45e6, 1e-12, 0.05).unwrap();
+        // 5% R error: phase error = atan(1.05)-45deg = 1.40 deg; the LP
+        // arm loses amplitude, so the HP/LP ratio gains +2.5 %.
+        assert!((b.phase_err_deg - 1.397).abs() < 0.05, "{:?}", b);
+        assert!((b.gain_err - 0.0253).abs() < 0.003, "{:?}", b);
+    }
+
+    #[test]
+    fn mismatch_sign_flips_phase_direction() {
+        let plus = characterize_rc_cr(45e6, 1e-12, 0.05).unwrap();
+        let minus = characterize_rc_cr(45e6, 1e-12, -0.05).unwrap();
+        assert!(plus.phase_err_deg * minus.phase_err_deg < 0.0);
+    }
+
+    #[test]
+    fn study_shows_fig5_consistent_degradation() {
+        let plan = FrequencyPlan::catv(500e6);
+        let cfg = TunerConfig::for_plan(&plan);
+        let report = mixed_level_study(&plan, &cfg, 0.10).unwrap();
+        // Ideal rejection is essentially unbounded; the real one is
+        // finite and matches the Fig. 5 closed form.
+        assert!(report.ideal_irr_db > 45.0, "{report:?}");
+        assert!(
+            report.real_irr_db < 40.0 && report.real_irr_db > 15.0,
+            "{report:?}"
+        );
+        assert!(
+            (report.real_irr_db - report.predicted_irr_db).abs() < 1.0,
+            "sim {} vs predicted {}",
+            report.real_irr_db,
+            report.predicted_irr_db
+        );
+        assert!(report.degradation_db() > 5.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Text rendering of flow reports.
+
+use crate::flow::FlowReport;
+use std::fmt::Write as _;
+
+/// Renders a flow report as a plain-text summary table.
+pub fn render_text(report: &FlowReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== Top-down design flow report ==");
+    for (k, stage) in report.stages.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{} [{}] {:<24} {}",
+            k + 1,
+            if stage.passed { "PASS" } else { "FAIL" },
+            stage.name,
+            stage.summary
+        );
+    }
+    if let Some(budget) = &report.chosen_budget {
+        let _ = writeln!(
+            out,
+            "block budget: gain balance <= {:.1}%, phase balance <= {:.2} deg",
+            budget.gain_err * 100.0,
+            budget.max_phase_err_deg
+        );
+    }
+    if let Some(mixed) = &report.mixed {
+        let _ = writeln!(
+            out,
+            "mixed-level: ideal {:.1} dB -> real {:.1} dB (predicted {:.1} dB)",
+            mixed.ideal_irr_db, mixed.real_irr_db, mixed.predicted_irr_db
+        );
+    }
+    let _ = writeln!(
+        out,
+        "verdict: {}",
+        if report.final_pass {
+            "DESIGN MEETS SYSTEM SPEC"
+        } else {
+            "DESIGN DOES NOT MEET SYSTEM SPEC"
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::TopDownFlow;
+    use ahfic_celldb::seed::seed_library;
+
+    #[test]
+    fn report_renders_all_stages() {
+        let db = seed_library().unwrap();
+        let report = TopDownFlow::paper_example().run(&db).unwrap();
+        let text = render_text(&report);
+        assert!(text.contains("system-spec"));
+        assert!(text.contains("system-verification"));
+        assert!(text.contains("DESIGN MEETS SYSTEM SPEC"));
+        assert!(text.contains("block budget"));
+        assert_eq!(text.matches("PASS").count(), 6, "{text}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Specification quantities and requirements.
+//!
+//! In the paper's flow, the system designer fixes whole-IC specs and the
+//! circuit designer derives per-block specs from behavioral simulation;
+//! this module is the shared vocabulary for both.
+
+use std::fmt;
+
+/// Physical quantity a requirement constrains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Quantity {
+    /// Voltage gain in dB.
+    GainDb,
+    /// Image-rejection ratio in dB.
+    ImageRejectionDb,
+    /// Phase in degrees.
+    PhaseDeg,
+    /// Gain balance (fractional error).
+    GainBalance,
+    /// Phase balance in degrees.
+    PhaseBalanceDeg,
+    /// -3 dB bandwidth in Hz.
+    BandwidthHz,
+    /// A frequency (oscillation, center…) in Hz.
+    FrequencyHz,
+    /// Total harmonic distortion in dB (negative numbers are better).
+    ThdDb,
+    /// Supply current in A.
+    SupplyCurrentA,
+}
+
+impl Quantity {
+    /// Unit suffix for display.
+    pub fn unit(self) -> &'static str {
+        match self {
+            Quantity::GainDb | Quantity::ImageRejectionDb | Quantity::ThdDb => "dB",
+            Quantity::PhaseDeg | Quantity::PhaseBalanceDeg => "deg",
+            Quantity::GainBalance => "",
+            Quantity::BandwidthHz | Quantity::FrequencyHz => "Hz",
+            Quantity::SupplyCurrentA => "A",
+        }
+    }
+}
+
+impl fmt::Display for Quantity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Quantity::GainDb => "gain",
+            Quantity::ImageRejectionDb => "image rejection",
+            Quantity::PhaseDeg => "phase",
+            Quantity::GainBalance => "gain balance",
+            Quantity::PhaseBalanceDeg => "phase balance",
+            Quantity::BandwidthHz => "bandwidth",
+            Quantity::FrequencyHz => "frequency",
+            Quantity::ThdDb => "THD",
+            Quantity::SupplyCurrentA => "supply current",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A bounded requirement on a quantity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Requirement {
+    /// Constrained quantity.
+    pub quantity: Quantity,
+    /// Lower bound (inclusive), if any.
+    pub min: Option<f64>,
+    /// Upper bound (inclusive), if any.
+    pub max: Option<f64>,
+}
+
+impl Requirement {
+    /// `quantity >= value`.
+    pub fn at_least(quantity: Quantity, value: f64) -> Self {
+        Requirement {
+            quantity,
+            min: Some(value),
+            max: None,
+        }
+    }
+
+    /// `quantity <= value`.
+    pub fn at_most(quantity: Quantity, value: f64) -> Self {
+        Requirement {
+            quantity,
+            min: None,
+            max: Some(value),
+        }
+    }
+
+    /// `min <= quantity <= max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn between(quantity: Quantity, min: f64, max: f64) -> Self {
+        assert!(min <= max, "empty requirement interval");
+        Requirement {
+            quantity,
+            min: Some(min),
+            max: Some(max),
+        }
+    }
+
+    /// Checks a measured value.
+    pub fn check(&self, value: f64) -> SpecStatus {
+        if let Some(lo) = self.min {
+            if value < lo {
+                return SpecStatus::Fail {
+                    value,
+                    violated_bound: lo,
+                };
+            }
+        }
+        if let Some(hi) = self.max {
+            if value > hi {
+                return SpecStatus::Fail {
+                    value,
+                    violated_bound: hi,
+                };
+            }
+        }
+        SpecStatus::Pass { value }
+    }
+
+    /// Margin to the nearest bound (positive = passing with room).
+    pub fn margin(&self, value: f64) -> f64 {
+        let m_lo = self.min.map(|lo| value - lo).unwrap_or(f64::INFINITY);
+        let m_hi = self.max.map(|hi| hi - value).unwrap_or(f64::INFINITY);
+        m_lo.min(m_hi)
+    }
+}
+
+impl fmt::Display for Requirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) => {
+                write!(f, "{} in [{lo}, {hi}] {}", self.quantity, self.quantity.unit())
+            }
+            (Some(lo), None) => write!(f, "{} >= {lo} {}", self.quantity, self.quantity.unit()),
+            (None, Some(hi)) => write!(f, "{} <= {hi} {}", self.quantity, self.quantity.unit()),
+            (None, None) => write!(f, "{} unconstrained", self.quantity),
+        }
+    }
+}
+
+/// Outcome of checking a requirement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpecStatus {
+    /// Value met the requirement.
+    Pass {
+        /// Measured value.
+        value: f64,
+    },
+    /// Value violated a bound.
+    Fail {
+        /// Measured value.
+        value: f64,
+        /// The bound it crossed.
+        violated_bound: f64,
+    },
+}
+
+impl SpecStatus {
+    /// True on pass.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, SpecStatus::Pass { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_checked() {
+        let r = Requirement::at_least(Quantity::ImageRejectionDb, 30.0);
+        assert!(r.check(35.0).is_pass());
+        assert!(!r.check(25.0).is_pass());
+        let r = Requirement::at_most(Quantity::PhaseBalanceDeg, 3.0);
+        assert!(r.check(1.0).is_pass());
+        assert!(!r.check(5.0).is_pass());
+        let r = Requirement::between(Quantity::FrequencyHz, 0.9e9, 1.1e9);
+        assert!(r.check(1.0e9).is_pass());
+        assert!(!r.check(1.3e9).is_pass());
+    }
+
+    #[test]
+    fn margin_sign() {
+        let r = Requirement::at_least(Quantity::GainDb, 20.0);
+        assert_eq!(r.margin(25.0), 5.0);
+        assert_eq!(r.margin(15.0), -5.0);
+        let r = Requirement::between(Quantity::GainDb, 10.0, 30.0);
+        assert_eq!(r.margin(12.0), 2.0);
+    }
+
+    #[test]
+    fn display_readable() {
+        let r = Requirement::at_least(Quantity::ImageRejectionDb, 30.0);
+        assert_eq!(r.to_string(), "image rejection >= 30 dB");
+        let r = Requirement::between(Quantity::FrequencyHz, 1.0, 2.0);
+        assert!(r.to_string().contains("[1, 2] Hz"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty requirement")]
+    fn inverted_interval_panics() {
+        let _ = Requirement::between(Quantity::GainDb, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Monte-Carlo yield analysis: the paper's §2.2 requires designers to
+//! "examine the performance of this system taking IC process variations
+//! into account" — this module quantifies it for the image-rejection
+//! spec.
+//!
+//! Each sample draws a component mismatch for the 90° shifter, runs the
+//! SPICE characterization of the RC-CR network, maps the resulting
+//! balance through the system-level IRR relation, and scores it against
+//! the requirement.
+
+use crate::mixed::characterize_rc_cr;
+use ahfic_rf::image_rejection::irr_analytic_db;
+use ahfic_spice::error::Result;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Yield study configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct YieldStudy {
+    /// System requirement (dB).
+    pub required_irr_db: f64,
+    /// 1-sigma fractional resistor mismatch of the shifter.
+    pub sigma_mismatch: f64,
+    /// Second IF (shifter design frequency), Hz.
+    pub f2_if: f64,
+    /// Number of Monte-Carlo samples.
+    pub samples: usize,
+    /// RNG seed (reproducible).
+    pub seed: u64,
+}
+
+impl YieldStudy {
+    /// The paper's example: 30 dB at 45 MHz.
+    pub fn paper_example(sigma_mismatch: f64) -> Self {
+        YieldStudy {
+            required_irr_db: 30.0,
+            sigma_mismatch,
+            f2_if: 45e6,
+            samples: 200,
+            seed: 1996,
+        }
+    }
+}
+
+/// Outcome of a yield study.
+#[derive(Clone, Debug, PartialEq)]
+pub struct YieldResult {
+    /// Per-sample IRR (dB), in draw order.
+    pub irr_db: Vec<f64>,
+    /// Fraction of samples meeting the requirement.
+    pub yield_frac: f64,
+    /// Mean IRR (dB).
+    pub mean_db: f64,
+    /// 5th-percentile IRR (dB) — the "slow corner" number.
+    pub p5_db: f64,
+}
+
+impl YieldStudy {
+    /// Runs the study.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SPICE characterization failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn run(&self) -> Result<YieldResult> {
+        assert!(self.samples > 0, "need at least one sample");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut irr_db = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mismatch = self.sigma_mismatch * standard_normal(&mut rng);
+            let balance = characterize_rc_cr(self.f2_if, 1e-12, mismatch)?;
+            irr_db.push(irr_analytic_db(balance.phase_err_deg, balance.gain_err));
+        }
+        let pass = irr_db
+            .iter()
+            .filter(|&&v| v >= self.required_irr_db)
+            .count();
+        let mean_db = irr_db.iter().sum::<f64>() / irr_db.len() as f64;
+        let mut sorted = irr_db.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite IRR"));
+        let p5_db = sorted[(sorted.len() as f64 * 0.05) as usize];
+        Ok(YieldResult {
+            yield_frac: pass as f64 / irr_db.len() as f64,
+            mean_db,
+            p5_db,
+            irr_db,
+        })
+    }
+}
+
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-15);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_process_yields_everything() {
+        let r = YieldStudy {
+            samples: 60,
+            ..YieldStudy::paper_example(0.005)
+        }
+        .run()
+        .unwrap();
+        assert!(r.yield_frac > 0.95, "yield {}", r.yield_frac);
+        assert!(r.mean_db > 40.0);
+    }
+
+    #[test]
+    fn loose_process_loses_yield() {
+        let tight = YieldStudy {
+            samples: 80,
+            ..YieldStudy::paper_example(0.01)
+        }
+        .run()
+        .unwrap();
+        let loose = YieldStudy {
+            samples: 80,
+            ..YieldStudy::paper_example(0.15)
+        }
+        .run()
+        .unwrap();
+        assert!(loose.yield_frac < tight.yield_frac);
+        assert!(loose.p5_db < tight.p5_db);
+        assert!(loose.yield_frac < 0.95, "15% sigma must hurt");
+    }
+
+    #[test]
+    fn reproducible_with_seed() {
+        let a = YieldStudy::paper_example(0.05).run().unwrap();
+        let b = YieldStudy::paper_example(0.05).run().unwrap();
+        assert_eq!(a.irr_db, b.irr_db);
+    }
+
+    #[test]
+    fn statistics_are_consistent() {
+        let r = YieldStudy {
+            samples: 50,
+            ..YieldStudy::paper_example(0.05)
+        }
+        .run()
+        .unwrap();
+        assert_eq!(r.irr_db.len(), 50);
+        assert!(r.p5_db <= r.mean_db);
+        assert!((0.0..=1.0).contains(&r.yield_frac));
+    }
+}

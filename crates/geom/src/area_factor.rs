@@ -1,0 +1,105 @@
+//! The SPICE emitter-area-factor baseline the paper argues against.
+//!
+//! Berkeley SPICE scales a reference model by a single `AREA` multiplier:
+//! currents and capacitances multiply, resistances divide. That is exact
+//! only for parameters proportional to emitter *area*; anything tied to
+//! perimeter, base/collector junction geometry or contact arrangement
+//! (RB, RE, RC, CJE, CJC, CJS) is misestimated — the paper's §4
+//! motivation. This module implements the baseline so the ablation
+//! benches can quantify the error.
+
+use crate::shape::TransistorShape;
+use ahfic_spice::circuit::scale_bjt_model;
+use ahfic_spice::model::BjtModel;
+
+/// Scales `reference` (a card measured at `ref_shape`) to `target` using
+/// only the emitter-area ratio, exactly as `Q... AREA=x` would in SPICE.
+/// The returned card is named `<target>-af`.
+pub fn area_factor_model(
+    reference: &BjtModel,
+    ref_shape: &TransistorShape,
+    target: &TransistorShape,
+) -> BjtModel {
+    let factor = target.emitter_area_um2() / ref_shape.emitter_area_um2();
+    let mut m = scale_bjt_model(reference, factor);
+    m.name = format!("{target}-af");
+    m
+}
+
+/// Relative error table between a geometry-aware card and the area-factor
+/// card, for the parameters the paper calls out (RB, RE, RC, CJE, CJC,
+/// CJS). Entries are `(name, full_value, area_factor_value, rel_error)`.
+pub fn parameter_errors(full: &BjtModel, af: &BjtModel) -> Vec<(&'static str, f64, f64, f64)> {
+    let rel = |a: f64, b: f64| {
+        if a == 0.0 {
+            0.0
+        } else {
+            (b - a) / a
+        }
+    };
+    vec![
+        ("RB", full.rb, af.rb, rel(full.rb, af.rb)),
+        ("RE", full.re, af.re, rel(full.re, af.re)),
+        ("RC", full.rc, af.rc, rel(full.rc, af.rc)),
+        ("CJE", full.cje, af.cje, rel(full.cje, af.cje)),
+        ("CJC", full.cjc, af.cjc, rel(full.cjc, af.cjc)),
+        ("CJS", full.cjs, af.cjs, rel(full.cjs, af.cjs)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::ModelGenerator;
+    use crate::process::ProcessData;
+    use crate::rules::MaskRules;
+
+    fn generator() -> ModelGenerator {
+        ModelGenerator::new(ProcessData::default(), MaskRules::default())
+    }
+
+    #[test]
+    fn unit_factor_is_identity_except_name() {
+        let g = generator();
+        let r = ModelGenerator::reference_shape();
+        let reference = g.generate(&r);
+        let m = area_factor_model(&reference, &r, &r);
+        assert_eq!(m.is_, reference.is_);
+        assert_eq!(m.rb, reference.rb);
+        assert_eq!(m.name, "N1.2-6S-af");
+    }
+
+    #[test]
+    fn area_factor_misses_shape_dependence() {
+        // N1.2-12D vs N2.4-6D have the same emitter area, so area-factor
+        // scaling produces *identical* cards for them; the geometry-aware
+        // generator does not.
+        let g = generator();
+        let r: TransistorShape = "N1.2-6D".parse().unwrap();
+        let reference = g.generate(&r);
+        let long: TransistorShape = "N1.2-12D".parse().unwrap();
+        let wide: TransistorShape = "N2.4-6D".parse().unwrap();
+        let af_long = area_factor_model(&reference, &r, &long);
+        let af_wide = area_factor_model(&reference, &r, &wide);
+        assert_eq!(af_long.rb, af_wide.rb);
+        assert_eq!(af_long.cjc, af_wide.cjc);
+        let full_long = g.generate(&long);
+        let full_wide = g.generate(&wide);
+        assert!((full_wide.rb / full_long.rb) > 1.5);
+    }
+
+    #[test]
+    fn error_table_flags_rb() {
+        let g = generator();
+        let r: TransistorShape = "N1.2-6D".parse().unwrap();
+        let reference = g.generate(&r);
+        let wide: TransistorShape = "N2.4-6D".parse().unwrap();
+        let af = area_factor_model(&reference, &r, &wide);
+        let full = g.generate(&wide);
+        let errs = parameter_errors(&full, &af);
+        let rb = errs.iter().find(|e| e.0 == "RB").unwrap();
+        // The wide emitter's real RB is much larger than the halved value
+        // area-factor scaling predicts.
+        assert!(rb.3 < -0.4, "rb rel err = {}", rb.3);
+    }
+}

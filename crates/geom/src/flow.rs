@@ -1,0 +1,121 @@
+//! The Fig. 10 generation flow: read schematic data, extract transistor
+//! shapes, calculate model parameters, hand the annotated netlist to
+//! SPICE.
+//!
+//! Shape extraction follows the convention that a BJT's *model name* names
+//! its shape (`Q1 c b e N1.2-12D`). Every model whose name parses as a
+//! shape is regenerated in place from the process data.
+
+use crate::generate::ModelGenerator;
+use crate::shape::TransistorShape;
+use ahfic_spice::circuit::Circuit;
+
+/// Summary of one regenerated model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeneratedModelReport {
+    /// Shape name (also the model name).
+    pub shape: TransistorShape,
+    /// How many transistors in the schematic reference it.
+    pub instance_count: usize,
+}
+
+/// Extracts the distinct shapes referenced by the circuit's BJTs (model
+/// names that parse as shape names), in first-appearance order.
+pub fn extract_shapes(ckt: &Circuit) -> Vec<(TransistorShape, usize)> {
+    let mut found: Vec<(String, TransistorShape, usize)> = Vec::new();
+    for el in ckt.elements() {
+        if let ahfic_spice::circuit::ElementKind::Bjt { model, .. } = &el.kind {
+            let name = ckt.bjt_models[*model].name.clone();
+            if let Ok(shape) = name.parse::<TransistorShape>() {
+                match found.iter_mut().find(|(n, _, _)| *n == name) {
+                    Some(entry) => entry.2 += 1,
+                    None => found.push((name, shape, 1)),
+                }
+            }
+        }
+    }
+    found.into_iter().map(|(_, s, c)| (s, c)).collect()
+}
+
+/// Runs the Fig. 10 flow over a circuit: every BJT model named after a
+/// shape is replaced by a freshly generated geometry-aware card
+/// (polarity preserved). Returns a report of what was regenerated.
+pub fn annotate_circuit(ckt: &mut Circuit, generator: &ModelGenerator) -> Vec<GeneratedModelReport> {
+    let usage = extract_shapes(ckt);
+    let mut reports = Vec::new();
+    for (shape, count) in usage {
+        let fresh = generator.generate(&shape);
+        for model in &mut ckt.bjt_models {
+            if model.name == shape.to_string() {
+                let polarity = model.polarity;
+                *model = fresh.clone();
+                model.polarity = polarity;
+            }
+        }
+        reports.push(GeneratedModelReport {
+            shape,
+            instance_count: count,
+        });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::ProcessData;
+    use crate::rules::MaskRules;
+    use ahfic_spice::model::BjtModel;
+    use ahfic_spice::parse::parse_netlist;
+
+    fn generator() -> ModelGenerator {
+        ModelGenerator::new(ProcessData::default(), MaskRules::default())
+    }
+
+    #[test]
+    fn extracts_shapes_with_counts() {
+        let ckt = parse_netlist(
+            ".model N1.2-6D NPN (IS=1e-16)\n.model other NPN (IS=1e-16)\n\
+             Q1 c1 b1 0 N1.2-6D\nQ2 c2 b2 0 N1.2-6D\nQ3 c3 b3 0 other\n",
+        )
+        .unwrap();
+        let shapes = extract_shapes(&ckt);
+        assert_eq!(shapes.len(), 1);
+        assert_eq!(shapes[0].1, 2);
+        assert_eq!(shapes[0].0.to_string(), "N1.2-6D");
+    }
+
+    #[test]
+    fn annotate_replaces_placeholder_cards() {
+        let mut ckt = parse_netlist(
+            ".model N1.2-12D NPN (IS=1e-16)\nVCC vcc 0 5\nRC vcc c 1k\n\
+             RB vcc b 400k\nQ1 c b 0 N1.2-12D\n",
+        )
+        .unwrap();
+        let before = ckt.bjt_models[0].clone();
+        assert_eq!(before.rb, 0.0);
+        let reports = annotate_circuit(&mut ckt, &generator());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].instance_count, 1);
+        let after = &ckt.bjt_models[0];
+        assert!(after.rb > 0.0, "generated rb");
+        assert!(after.cje > 0.0);
+        assert_eq!(after.name, "N1.2-12D");
+        // And the circuit still simulates.
+        let prep = ahfic_spice::circuit::Prepared::compile(ckt).unwrap();
+        let r = ahfic_spice::analysis::op(&prep, &Default::default()).unwrap();
+        assert!(r.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn non_shape_models_untouched() {
+        let mut ckt = Circuit::new();
+        let (c, b) = (ckt.node("c"), ckt.node("b"));
+        let mi = ckt.add_bjt_model(BjtModel::named("custom"));
+        ckt.bjt("Q1", c, b, Circuit::gnd(), mi, 1.0);
+        let snapshot = ckt.bjt_models[0].clone();
+        let reports = annotate_circuit(&mut ckt, &generator());
+        assert!(reports.is_empty());
+        assert_eq!(ckt.bjt_models[0], snapshot);
+    }
+}

@@ -1,0 +1,352 @@
+//! The model parameter generation technique (paper §4, Fig. 10).
+//!
+//! [`ModelGenerator`] turns a [`TransistorShape`] into a full Gummel–Poon
+//! card by computing every geometry-dependent parameter from junction
+//! areas, perimeters and resistance path factors — the paper's improvement
+//! over SPICE's emitter-area-factor scaling, which cannot capture
+//! perimeter- and layout-dependent parasitics (see
+//! [`crate::area_factor`] for that baseline).
+
+use crate::layout::DeviceGeometry;
+use crate::process::ProcessData;
+use crate::rules::MaskRules;
+use crate::shape::TransistorShape;
+use ahfic_spice::model::{BjtModel, BjtPolarity};
+
+/// Generates geometry-aware SPICE model cards for arbitrary transistor
+/// shapes on a given process.
+///
+/// # Example
+///
+/// ```
+/// use ahfic_geom::prelude::*;
+/// let generator = ModelGenerator::new(ProcessData::default(), MaskRules::default());
+/// let m6 = generator.generate(&"N1.2-6D".parse()?);
+/// let m12 = generator.generate(&"N1.2-12D".parse()?);
+/// // Twice the emitter: twice the saturation current, half-ish the RB.
+/// assert!(m12.is_ / m6.is_ > 1.8);
+/// assert!(m12.rb < m6.rb);
+/// # Ok::<(), ahfic_geom::shape::ParseShapeError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ModelGenerator {
+    process: ProcessData,
+    rules: MaskRules,
+    calibration: Option<Calibration>,
+}
+
+/// Multiplicative per-parameter corrections derived from a measured
+/// reference transistor (the paper's "reference transistor model
+/// parameters which are based on actual measurements").
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Calibration {
+    is_: f64,
+    ise: f64,
+    ikf: f64,
+    itf: f64,
+    bf: f64,
+    tf: f64,
+    cje: f64,
+    cjc: f64,
+    cjs: f64,
+    rb: f64,
+    rbm: f64,
+    re: f64,
+    rc: f64,
+}
+
+impl ModelGenerator {
+    /// Creates a generator working purely from process data and mask
+    /// rules.
+    pub fn new(process: ProcessData, rules: MaskRules) -> Self {
+        ModelGenerator {
+            process,
+            rules,
+            calibration: None,
+        }
+    }
+
+    /// Creates a generator calibrated against a measured reference model
+    /// card: the generated card for `ref_shape` will reproduce
+    /// `reference` exactly in every geometry-dependent parameter, and all
+    /// other shapes inherit the same per-parameter corrections.
+    pub fn with_reference(
+        process: ProcessData,
+        rules: MaskRules,
+        reference: &BjtModel,
+        ref_shape: &TransistorShape,
+    ) -> Self {
+        let mut g = ModelGenerator::new(process, rules);
+        let nominal = g.generate(ref_shape);
+        let ratio = |measured: f64, nom: f64| {
+            if nom.abs() > 0.0 && measured.is_finite() && nom.is_finite() {
+                measured / nom
+            } else {
+                1.0
+            }
+        };
+        g.calibration = Some(Calibration {
+            is_: ratio(reference.is_, nominal.is_),
+            ise: ratio(reference.ise, nominal.ise),
+            ikf: ratio(reference.ikf, nominal.ikf),
+            itf: ratio(reference.itf, nominal.itf),
+            bf: ratio(reference.bf, nominal.bf),
+            tf: ratio(reference.tf, nominal.tf),
+            cje: ratio(reference.cje, nominal.cje),
+            cjc: ratio(reference.cjc, nominal.cjc),
+            cjs: ratio(reference.cjs, nominal.cjs),
+            rb: ratio(reference.rb, nominal.rb),
+            rbm: ratio(reference.rbm, nominal.rbm),
+            re: ratio(reference.re, nominal.re),
+            rc: ratio(reference.rc, nominal.rc),
+        });
+        g
+    }
+
+    /// The process this generator models.
+    pub fn process(&self) -> &ProcessData {
+        &self.process
+    }
+
+    /// The mask rules this generator lays out against.
+    pub fn rules(&self) -> &MaskRules {
+        &self.rules
+    }
+
+    /// The conventional reference device of the kit (`N1.2-6S`, the
+    /// smallest single-base transistor).
+    pub fn reference_shape() -> TransistorShape {
+        TransistorShape::new(1.2, 6.0, 1, 1)
+    }
+
+    /// Generates a full Gummel–Poon model card for `shape`. The model is
+    /// named after the shape (`N1.2-12D` …).
+    pub fn generate(&self, shape: &TransistorShape) -> BjtModel {
+        let p = &self.process;
+        let g = DeviceGeometry::derive(shape, &self.rules);
+
+        let mut m = BjtModel::named(shape.to_string());
+        m.polarity = BjtPolarity::Npn;
+        m.is_ = p.js_area * g.emitter_area + p.js_perim * g.emitter_perimeter;
+        m.bf = p.beta_f;
+        m.nf = 1.0;
+        m.vaf = p.vaf;
+        m.ikf = p.jkf_area * g.emitter_area;
+        m.ise = p.jse_perim * g.emitter_perimeter;
+        m.ne = 1.9;
+        m.br = p.beta_r;
+        m.nr = 1.0;
+        m.var = p.var;
+        m.ikr = m.ikf;
+        m.isc = 0.0;
+
+        m.rb = p.rsb_intrinsic * g.rb_intrinsic_factor
+            + p.rsb_extrinsic * g.rb_extrinsic_factor
+            + p.rc_base_contact / g.base_contact_area;
+        m.rbm = p.rsb_extrinsic * g.rb_extrinsic_factor + p.rc_base_contact / g.base_contact_area;
+        m.irb = p.jrb_area * g.emitter_area;
+        m.re = p.rc_emitter / g.emitter_area;
+        m.rc = p.rho_epi * self.rules.epi_thickness / g.emitter_area
+            + p.rho_epi * (self.rules.base_collector_space + g.base_width / 2.0)
+                / (g.collector_length * self.rules.epi_thickness)
+            + p.rc_collector_contact / g.collector_contact_area;
+
+        m.cje = p.cje_area * g.emitter_area + p.cje_perim * g.emitter_perimeter;
+        m.vje = p.vje;
+        m.mje = p.mje;
+        m.tf = p.tf0;
+        m.xtf = p.xtf;
+        m.vtf = p.vtf;
+        m.itf = p.jtf_area * g.emitter_area;
+        m.cjc = p.cjc_area * g.base_area + p.cjc_perim * g.base_perimeter;
+        m.vjc = p.vjc;
+        m.mjc = p.mjc;
+        // Fraction of the B-C junction under the intrinsic device.
+        let intrinsic = (shape.emitter_strips as f64 * shape.emitter_width_um
+            + (shape.emitter_strips + shape.base_stripes - 1) as f64
+                * self.rules.emitter_base_space)
+            * g.base_length;
+        m.xcjc = (intrinsic / g.base_area).clamp(0.05, 0.95);
+        m.tr = p.tr;
+        m.cjs = p.cjs_area * g.collector_area + p.cjs_perim * g.collector_perimeter;
+        m.vjs = p.vjs;
+        m.mjs = p.mjs;
+        m.fc = 0.5;
+
+        if let Some(c) = &self.calibration {
+            m.is_ *= c.is_;
+            m.ise *= c.ise;
+            m.ikf *= c.ikf;
+            m.ikr = m.ikf;
+            m.itf *= c.itf;
+            m.bf *= c.bf;
+            m.tf *= c.tf;
+            m.cje *= c.cje;
+            m.cjc *= c.cjc;
+            m.cjs *= c.cjs;
+            m.rb *= c.rb;
+            m.rbm *= c.rbm;
+            m.re *= c.re;
+            m.rc *= c.rc;
+        }
+        m
+    }
+
+    /// Generates models for a set of shapes (convenience for sweeps).
+    pub fn generate_all(&self, shapes: &[TransistorShape]) -> Vec<BjtModel> {
+        shapes.iter().map(|s| self.generate(s)).collect()
+    }
+
+    /// Emits a ready-to-`.include` SPICE model library with one card per
+    /// shape — what the paper's generation program hands to SPICE.
+    pub fn model_library(&self, shapes: &[TransistorShape]) -> String {
+        let mut out = String::from(
+            "* Geometry-aware bipolar model library (generated by ahfic-geom)\n",
+        );
+        for shape in shapes {
+            out.push_str(&format!(
+                "* {}: Ae = {:.2} um^2, {} emitter strip(s), {} base stripe(s)\n",
+                shape,
+                shape.emitter_area_um2(),
+                shape.emitter_strips,
+                shape.base_stripes
+            ));
+            out.push_str(&self.generate(shape).to_card());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator() -> ModelGenerator {
+        ModelGenerator::new(ProcessData::default(), MaskRules::default())
+    }
+
+    fn gen(name: &str) -> BjtModel {
+        generator().generate(&name.parse().unwrap())
+    }
+
+    #[test]
+    fn model_named_after_shape() {
+        assert_eq!(gen("N1.2-12D").name, "N1.2-12D");
+    }
+
+    #[test]
+    fn currents_scale_with_emitter_area() {
+        let m6 = gen("N1.2-6D");
+        let m48 = gen("N1.2-48D");
+        assert!((m48.ikf / m6.ikf - 8.0).abs() < 1e-9);
+        assert!((m48.itf / m6.itf - 8.0).abs() < 1e-9);
+        // IS grows slightly less than 8x: perimeter grows slower than area.
+        let r = m48.is_ / m6.is_;
+        assert!(r > 6.5 && r < 8.0, "r = {r}");
+    }
+
+    #[test]
+    fn base_resistance_ordering_matches_layout_physics() {
+        let s = gen("N1.2-6S");
+        let d = gen("N1.2-6D");
+        let wide = gen("N2.4-6D");
+        let long = gen("N1.2-12D");
+        assert!(s.rb > d.rb, "single > double");
+        assert!(wide.rb > d.rb, "wide > narrow");
+        assert!(long.rb < d.rb, "long < short");
+        // RBM is always below RB.
+        for m in [&s, &d, &wide, &long] {
+            assert!(m.rbm < m.rb, "{}", m.name);
+            assert!(m.rbm > 0.0);
+        }
+    }
+
+    #[test]
+    fn values_are_plausible_for_a_6ghz_process() {
+        let m = gen("N1.2-6D");
+        assert!(m.is_ > 1e-18 && m.is_ < 1e-15, "is = {:e}", m.is_);
+        assert!(m.rb > 50.0 && m.rb < 500.0, "rb = {}", m.rb);
+        assert!(m.re > 1.0 && m.re < 30.0, "re = {}", m.re);
+        assert!(m.rc > 5.0 && m.rc < 200.0, "rc = {}", m.rc);
+        assert!(m.cje > 20e-15 && m.cje < 300e-15, "cje = {:e}", m.cje);
+        assert!(m.cjc > 10e-15 && m.cjc < 300e-15, "cjc = {:e}", m.cjc);
+        assert!(m.cjs > m.cjc * 0.1, "cjs = {:e}", m.cjs);
+        assert!(m.ikf > 1e-3 && m.ikf < 20e-3, "ikf = {:e}", m.ikf);
+        assert!(m.xcjc > 0.05 && m.xcjc < 0.95);
+    }
+
+    #[test]
+    fn equal_area_shapes_get_distinct_cards() {
+        // The whole point of the technique: area-factor scaling would make
+        // these identical, geometry-aware generation must not.
+        let long = gen("N1.2-12D");
+        let wide = gen("N2.4-6D");
+        let multi = gen("N1.2x2-6T");
+        assert!((long.ikf - wide.ikf).abs() < 1e-12, "same emitter area");
+        assert!(wide.rb / long.rb > 1.5, "rb: {} vs {}", wide.rb, long.rb);
+        // Equal-area cards must still be electrically distinct where the
+        // layout differs (junction footprints).
+        assert!((multi.cjc - long.cjc).abs() / long.cjc > 0.02);
+        assert!((multi.cjs - long.cjs).abs() / long.cjs > 0.02);
+        assert!((wide.rb - multi.rb).abs() / multi.rb > 0.5);
+        // Narrow long emitter has more perimeter -> more CJE sidewall.
+        assert!(long.cje > wide.cje);
+    }
+
+    #[test]
+    fn reference_calibration_round_trips() {
+        let reference = {
+            // A "measured" card that deviates from nominal by various
+            // factors.
+            let mut m = gen("N1.2-6S");
+            m.is_ *= 1.3;
+            m.rb *= 0.8;
+            m.cjc *= 1.15;
+            m.tf *= 1.07;
+            m.name = "measured-ref".into();
+            m
+        };
+        let cal = ModelGenerator::with_reference(
+            ProcessData::default(),
+            MaskRules::default(),
+            &reference,
+            &ModelGenerator::reference_shape(),
+        );
+        let back = cal.generate(&ModelGenerator::reference_shape());
+        assert!((back.is_ - reference.is_).abs() / reference.is_ < 1e-12);
+        assert!((back.rb - reference.rb).abs() / reference.rb < 1e-12);
+        assert!((back.cjc - reference.cjc).abs() / reference.cjc < 1e-12);
+        assert!((back.tf - reference.tf).abs() / reference.tf < 1e-12);
+        // And other shapes inherit the corrections.
+        let m12 = cal.generate(&"N1.2-12D".parse().unwrap());
+        let nom12 = gen("N1.2-12D");
+        assert!((m12.is_ / nom12.is_ - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_library_parses_back_in_spice() {
+        let g = generator();
+        let lib = g.model_library(&TransistorShape::fig9_series());
+        let ckt = ahfic_spice::parse::parse_netlist(&lib).unwrap();
+        assert_eq!(ckt.bjt_models.len(), 4);
+        assert!(ckt.find_bjt_model("N1.2-48D").is_some());
+        // Parsed parameters agree with the generated ones (within the
+        // 4-digit card precision).
+        let m = &ckt.bjt_models[ckt.find_bjt_model("N1.2-6D").unwrap()];
+        let direct = g.generate(&"N1.2-6D".parse().unwrap());
+        assert!((m.cje - direct.cje).abs() / direct.cje < 1e-3);
+        assert!((m.rb - direct.rb).abs() / direct.rb < 1e-3);
+    }
+
+    #[test]
+    fn generate_all_matches_individual() {
+        let g = generator();
+        let shapes = TransistorShape::fig9_series();
+        let all = g.generate_all(&shapes);
+        assert_eq!(all.len(), 4);
+        for (m, s) in all.iter().zip(shapes.iter()) {
+            assert_eq!(*m, g.generate(s));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Derived device geometry: junction areas, perimeters and resistance
+//! path factors computed from a [`TransistorShape`] plus [`MaskRules`].
+
+use crate::rules::MaskRules;
+use crate::shape::TransistorShape;
+
+/// All geometry numbers the parameter generator needs (µm / µm²).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceGeometry {
+    /// Emitter junction area.
+    pub emitter_area: f64,
+    /// Emitter junction perimeter.
+    pub emitter_perimeter: f64,
+    /// Active region width (across the strip direction).
+    pub active_width: f64,
+    /// Base diffusion width.
+    pub base_width: f64,
+    /// Base diffusion length.
+    pub base_length: f64,
+    /// Base-collector junction area.
+    pub base_area: f64,
+    /// Base-collector junction perimeter.
+    pub base_perimeter: f64,
+    /// Collector island width.
+    pub collector_width: f64,
+    /// Collector island length.
+    pub collector_length: f64,
+    /// Collector-substrate junction area.
+    pub collector_area: f64,
+    /// Collector-substrate junction perimeter.
+    pub collector_perimeter: f64,
+    /// Number of base-contact sides serving each emitter strip (1 or 2).
+    pub base_sides: u32,
+    /// Dimensionless intrinsic base-resistance factor: multiply by the
+    /// pinched base sheet resistance to get ohms (`w/(3l)` single-sided,
+    /// `w/(12l)` double-sided, divided by the strip count).
+    pub rb_intrinsic_factor: f64,
+    /// Extrinsic (gap + far-strip) base-resistance factor: multiply by the
+    /// extrinsic base sheet resistance.
+    pub rb_extrinsic_factor: f64,
+    /// Total base contact area (for contact resistance).
+    pub base_contact_area: f64,
+    /// Total collector contact area.
+    pub collector_contact_area: f64,
+}
+
+impl DeviceGeometry {
+    /// Computes the layout-derived geometry of `shape` under `rules`.
+    pub fn derive(shape: &TransistorShape, rules: &MaskRules) -> Self {
+        rules.validate();
+        let w = shape.emitter_width_um;
+        let l = shape.emitter_length_um;
+        let ne = shape.emitter_strips as f64;
+        let nb = shape.base_stripes as f64;
+
+        let emitter_area = shape.emitter_area_um2();
+        let emitter_perimeter = shape.emitter_perimeter_um();
+
+        // Interleaved stripes: every emitter/base adjacency costs one
+        // emitter-base spacing.
+        let gaps = ne + nb - 1.0;
+        let active_width = ne * w + nb * rules.base_contact_width + gaps * rules.emitter_base_space;
+        let base_width = active_width + 2.0 * rules.base_enclosure;
+        let base_length = l + 2.0 * rules.base_enclosure;
+        let base_area = base_width * base_length;
+        let base_perimeter = 2.0 * (base_width + base_length);
+
+        let collector_width = base_width
+            + rules.base_collector_space
+            + rules.collector_contact_width
+            + 2.0 * rules.collector_enclosure;
+        let collector_length = base_length + 2.0 * rules.collector_enclosure;
+        let collector_area = collector_width * collector_length;
+        let collector_perimeter = 2.0 * (collector_width + collector_length);
+
+        // Distributed base resistance under the emitter: w/(3l) when the
+        // contact is on one side only, w/(12l) when both sides carry
+        // current; strips are in parallel.
+        let base_sides: u32 = if shape.double_sided_base() { 2 } else { 1 };
+        let k = if base_sides == 2 { 1.0 / 12.0 } else { 1.0 / 3.0 };
+        let rb_intrinsic_factor = k * (w / l) / ne;
+
+        // Extrinsic: emitter-base gap sheet path, in parallel over every
+        // conducting side; strips beyond the contact count pay an extra
+        // lateral detour of one strip pitch.
+        let n_paths = ne * base_sides as f64;
+        let gap_factor = rules.emitter_base_space / l / n_paths;
+        let starved = (ne - nb).max(0.0);
+        let detour_factor = starved * (w + rules.emitter_base_space) / l / ne;
+        let rb_extrinsic_factor = gap_factor + detour_factor;
+
+        let base_contact_area = nb * rules.base_contact_width * l;
+        let collector_contact_area = rules.collector_contact_width * collector_length;
+
+        DeviceGeometry {
+            emitter_area,
+            emitter_perimeter,
+            active_width,
+            base_width,
+            base_length,
+            base_area,
+            base_perimeter,
+            collector_width,
+            collector_length,
+            collector_area,
+            collector_perimeter,
+            base_sides,
+            rb_intrinsic_factor,
+            rb_extrinsic_factor,
+            base_contact_area,
+            collector_contact_area,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(name: &str) -> DeviceGeometry {
+        DeviceGeometry::derive(&name.parse().unwrap(), &MaskRules::default())
+    }
+
+    #[test]
+    fn single_vs_double_base_resistance() {
+        let s = geo("N1.2-6S");
+        let d = geo("N1.2-6D");
+        // Double-sided contact quarters the intrinsic factor.
+        assert!((s.rb_intrinsic_factor / d.rb_intrinsic_factor - 4.0).abs() < 1e-12);
+        assert_eq!(s.base_sides, 1);
+        assert_eq!(d.base_sides, 2);
+        // ...at the cost of a wider base diffusion.
+        assert!(d.base_area > s.base_area);
+    }
+
+    #[test]
+    fn long_emitter_cuts_base_resistance() {
+        let short = geo("N1.2-6D");
+        let long = geo("N1.2-12D");
+        assert!((short.rb_intrinsic_factor / long.rb_intrinsic_factor - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_emitter_raises_base_resistance() {
+        let narrow = geo("N1.2-6D");
+        let wide = geo("N2.4-6D");
+        assert!((wide.rb_intrinsic_factor / narrow.rb_intrinsic_factor - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_area_shapes_differ_in_base_area() {
+        // N1.2-12D vs N1.2x2-6T: same emitter area, but the two-strip
+        // triple-base layout spends more width on contacts.
+        let long = geo("N1.2-12D");
+        let multi = geo("N1.2x2-6T");
+        assert!((long.emitter_area - multi.emitter_area).abs() < 1e-12);
+        assert!(multi.base_width > long.base_width);
+        // Long single strip has the smaller collector junction per length.
+        assert!(multi.base_area / multi.base_length > long.base_area / long.base_length);
+    }
+
+    #[test]
+    fn areas_nest_properly() {
+        for name in ["N1.2-6S", "N1.2-6D", "N2.4-6D", "N1.2x2-6T", "N1.2-48D"] {
+            let g = geo(name);
+            assert!(g.base_area > g.emitter_area, "{name}");
+            assert!(g.collector_area > g.base_area, "{name}");
+            assert!(g.collector_perimeter > g.base_perimeter, "{name}");
+        }
+    }
+
+    #[test]
+    fn starved_multi_emitter_pays_detour() {
+        let ok = geo("N1.2x2-6T"); // nb=3 >= ne+1, fully contacted
+        let starved = geo("N1.2x2-6S"); // nb=1 < ne
+        assert_eq!(ok.rb_extrinsic_factor.partial_cmp(&starved.rb_extrinsic_factor),
+                   Some(std::cmp::Ordering::Less));
+    }
+
+    #[test]
+    fn active_width_formula() {
+        // N1.2-6D: B E B -> 1 emitter + 2 contacts + 2 gaps.
+        let g = geo("N1.2-6D");
+        let expect = 1.2 + 2.0 * 1.0 + 2.0 * 0.8;
+        assert!((g.active_width - expect).abs() < 1e-12);
+    }
+}

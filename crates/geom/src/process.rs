@@ -1,0 +1,180 @@
+//! Electrical process data of the synthetic high-frequency bipolar
+//! process.
+//!
+//! The paper used Toshiba's proprietary process; this module defines a
+//! self-consistent synthetic substitute typical of mid-90s 6–8 GHz
+//! double-poly bipolar technology. All current-like quantities are
+//! densities (per emitter area/perimeter) so that geometry scaling is
+//! physical rather than the SPICE area-factor approximation.
+
+/// Electrical process description. Units noted per field; lengths in µm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProcessData {
+    /// Emitter saturation current density (A/µm²).
+    pub js_area: f64,
+    /// Emitter sidewall saturation current density (A/µm).
+    pub js_perim: f64,
+    /// B-E leakage (recombination) current density along the perimeter
+    /// (A/µm).
+    pub jse_perim: f64,
+    /// Kirk-effect knee current density (A/µm²) — sets `IKF`.
+    pub jkf_area: f64,
+    /// Transit-time knee current density (A/µm²) — sets `ITF`.
+    pub jtf_area: f64,
+    /// Ideal forward beta.
+    pub beta_f: f64,
+    /// Reverse beta.
+    pub beta_r: f64,
+    /// Forward Early voltage (V).
+    pub vaf: f64,
+    /// Reverse Early voltage (V).
+    pub var: f64,
+    /// Base transit time (s).
+    pub tf0: f64,
+    /// `XTF` bias coefficient of the transit time.
+    pub xtf: f64,
+    /// `VTF` (V).
+    pub vtf: f64,
+    /// Reverse transit time (s).
+    pub tr: f64,
+    /// B-E depletion capacitance per area (F/µm²).
+    pub cje_area: f64,
+    /// B-E depletion capacitance per perimeter (F/µm).
+    pub cje_perim: f64,
+    /// B-E built-in potential (V) / grading.
+    pub vje: f64,
+    /// B-E grading coefficient.
+    pub mje: f64,
+    /// B-C depletion capacitance per area (F/µm²).
+    pub cjc_area: f64,
+    /// B-C depletion capacitance per perimeter (F/µm).
+    pub cjc_perim: f64,
+    /// B-C built-in potential (V).
+    pub vjc: f64,
+    /// B-C grading coefficient.
+    pub mjc: f64,
+    /// Collector-substrate capacitance per area (F/µm²).
+    pub cjs_area: f64,
+    /// Collector-substrate capacitance per perimeter (F/µm).
+    pub cjs_perim: f64,
+    /// Substrate junction potential (V).
+    pub vjs: f64,
+    /// Substrate grading coefficient.
+    pub mjs: f64,
+    /// Pinched (intrinsic) base sheet resistance (ohm/sq).
+    pub rsb_intrinsic: f64,
+    /// Extrinsic base sheet resistance (ohm/sq).
+    pub rsb_extrinsic: f64,
+    /// Base contact resistivity (ohm·µm²).
+    pub rc_base_contact: f64,
+    /// Emitter contact + poly resistivity (ohm·µm²).
+    pub rc_emitter: f64,
+    /// Collector epi resistivity (ohm·µm — sheet times thickness form).
+    pub rho_epi: f64,
+    /// Collector sinker/contact resistivity (ohm·µm²).
+    pub rc_collector_contact: f64,
+    /// Current where base resistance falls halfway, per emitter area
+    /// (A/µm²).
+    pub jrb_area: f64,
+}
+
+impl Default for ProcessData {
+    fn default() -> Self {
+        ProcessData {
+            js_area: 2.0e-18,
+            js_perim: 2.5e-19,
+            jse_perim: 4.0e-20,
+            jkf_area: 8.0e-4,
+            jtf_area: 1.0e-3,
+            beta_f: 120.0,
+            beta_r: 3.0,
+            vaf: 45.0,
+            var: 4.0,
+            tf0: 15e-12,
+            xtf: 4.0,
+            vtf: 3.0,
+            tr: 0.6e-9,
+            cje_area: 6.0e-15,
+            cje_perim: 1.8e-15,
+            vje: 0.9,
+            mje: 0.35,
+            cjc_area: 1.0e-15,
+            cjc_perim: 0.35e-15,
+            vjc: 0.65,
+            mjc: 0.4,
+            cjs_area: 0.35e-15,
+            cjs_perim: 0.25e-15,
+            vjs: 0.55,
+            mjs: 0.3,
+            rsb_intrinsic: 9e3,
+            rsb_extrinsic: 450.0,
+            rc_base_contact: 60.0,
+            rc_emitter: 45.0,
+            rho_epi: 14.0,
+            rc_collector_contact: 40.0,
+            jrb_area: 2.5e-5,
+        }
+    }
+}
+
+impl ProcessData {
+    /// Peak transition frequency implied by the transit time alone:
+    /// `1/(2*pi*tf0)` — the technology's asymptotic fT ceiling.
+    pub fn ft_ceiling(&self) -> f64 {
+        1.0 / (2.0 * std::f64::consts::PI * self.tf0)
+    }
+
+    /// Multiplies every density-like quantity by independent lognormal-ish
+    /// factors to emulate a process corner; `frac` is the fractional
+    /// 1-sigma spread and `draws` supplies unit-normal samples via the
+    /// closure (so callers control the RNG).
+    pub fn perturbed(&self, frac: f64, mut draw: impl FnMut() -> f64) -> ProcessData {
+        let mut p = *self;
+        let mut tweak = |v: &mut f64| {
+            *v *= (frac * draw()).exp();
+        };
+        tweak(&mut p.js_area);
+        tweak(&mut p.js_perim);
+        tweak(&mut p.jkf_area);
+        tweak(&mut p.tf0);
+        tweak(&mut p.cje_area);
+        tweak(&mut p.cje_perim);
+        tweak(&mut p.cjc_area);
+        tweak(&mut p.cjc_perim);
+        tweak(&mut p.rsb_intrinsic);
+        tweak(&mut p.rsb_extrinsic);
+        tweak(&mut p.rho_epi);
+        tweak(&mut p.beta_f);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ft_ceiling_is_ghz_class() {
+        let p = ProcessData::default();
+        let f = p.ft_ceiling();
+        assert!(f > 5e9 && f < 20e9, "ceiling {f:.3e}");
+    }
+
+    #[test]
+    fn perturbation_with_zero_sigma_is_identity() {
+        let p = ProcessData::default();
+        let q = p.perturbed(0.0, || 1.0);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn perturbation_moves_values() {
+        let p = ProcessData::default();
+        let q = p.perturbed(0.1, || 1.0); // +10% lognormal shift everywhere
+        assert!(q.js_area > p.js_area);
+        assert!(q.tf0 > p.tf0);
+        assert!((q.js_area / p.js_area - (0.1f64).exp()).abs() < 1e-12);
+        // Untouched parameters stay put.
+        assert_eq!(q.vje, p.vje);
+    }
+}

@@ -1,0 +1,86 @@
+//! Mask design rules (layout spacings/enclosures) of the synthetic
+//! bipolar process.
+//!
+//! These are the "mask design rule" inputs of the paper's Fig. 10 flow:
+//! together with a [`crate::process::ProcessData`] they turn a
+//! [`crate::shape::TransistorShape`] into junction areas, perimeters and
+//! resistance path lengths.
+
+/// Layout rules, all in µm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MaskRules {
+    /// Emitter-to-base-contact spacing.
+    pub emitter_base_space: f64,
+    /// Base contact stripe width.
+    pub base_contact_width: f64,
+    /// Base region enclosure of the outermost emitter/base-contact
+    /// geometry (along both axes).
+    pub base_enclosure: f64,
+    /// Collector (island) enclosure of the base region.
+    pub collector_enclosure: f64,
+    /// Collector contact (sinker) stripe width.
+    pub collector_contact_width: f64,
+    /// Spacing between base region and collector sinker.
+    pub base_collector_space: f64,
+    /// Epitaxial layer thickness (for the vertical collector resistance).
+    pub epi_thickness: f64,
+}
+
+impl Default for MaskRules {
+    /// A 0.8 µm-class double-poly bipolar rule set.
+    fn default() -> Self {
+        MaskRules {
+            emitter_base_space: 0.8,
+            base_contact_width: 1.0,
+            base_enclosure: 0.8,
+            collector_enclosure: 1.5,
+            collector_contact_width: 1.5,
+            base_collector_space: 1.2,
+            epi_thickness: 1.0,
+        }
+    }
+}
+
+impl MaskRules {
+    /// Validates that every rule is positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a rule is non-positive (a broken rule deck is a
+    /// programming error, not a runtime condition).
+    pub fn validate(&self) {
+        let vals = [
+            self.emitter_base_space,
+            self.base_contact_width,
+            self.base_enclosure,
+            self.collector_enclosure,
+            self.collector_contact_width,
+            self.base_collector_space,
+            self.epi_thickness,
+        ];
+        assert!(
+            vals.iter().all(|&v| v > 0.0),
+            "all mask rules must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        MaskRules::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rule_panics() {
+        let r = MaskRules {
+            base_enclosure: 0.0,
+            ..MaskRules::default()
+        };
+        r.validate();
+    }
+}

@@ -1,0 +1,254 @@
+//! Transistor shape descriptors and the `N1.2-12D` naming scheme of the
+//! paper's Fig. 8.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Geometry of a bipolar transistor's emitter/base structure.
+///
+/// The paper's Fig. 8 catalogue is spanned by four degrees of freedom:
+/// emitter strip width and length, the number of emitter strips, and the
+/// number of base contact stripes interleaved with them.
+///
+/// # Example
+///
+/// ```
+/// use ahfic_geom::shape::TransistorShape;
+/// let s: TransistorShape = "N1.2-12D".parse()?;
+/// assert!((s.emitter_area_um2() - 14.4).abs() < 1e-12);
+/// assert_eq!(s.to_string(), "N1.2-12D");
+/// # Ok::<(), ahfic_geom::shape::ParseShapeError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransistorShape {
+    /// Emitter strip width (µm).
+    pub emitter_width_um: f64,
+    /// Emitter strip length (µm).
+    pub emitter_length_um: f64,
+    /// Number of emitter strips.
+    pub emitter_strips: u32,
+    /// Number of base contact stripes (1 = single, 2 = double, 3 = triple).
+    pub base_stripes: u32,
+}
+
+impl TransistorShape {
+    /// Creates a shape; validates positivity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or count is non-positive.
+    pub fn new(width_um: f64, length_um: f64, emitter_strips: u32, base_stripes: u32) -> Self {
+        assert!(width_um > 0.0 && length_um > 0.0, "dimensions must be > 0");
+        assert!(
+            emitter_strips >= 1 && base_stripes >= 1,
+            "strip counts must be >= 1"
+        );
+        TransistorShape {
+            emitter_width_um: width_um,
+            emitter_length_um: length_um,
+            emitter_strips,
+            base_stripes,
+        }
+    }
+
+    /// Total emitter area (µm²).
+    pub fn emitter_area_um2(&self) -> f64 {
+        self.emitter_width_um * self.emitter_length_um * self.emitter_strips as f64
+    }
+
+    /// Total emitter junction perimeter (µm).
+    pub fn emitter_perimeter_um(&self) -> f64 {
+        2.0 * (self.emitter_width_um + self.emitter_length_um) * self.emitter_strips as f64
+    }
+
+    /// True when every emitter strip has base contacts on both sides
+    /// (full interdigitation) — this quarters the intrinsic base
+    /// resistance relative to single-sided contacting.
+    pub fn double_sided_base(&self) -> bool {
+        self.base_stripes > self.emitter_strips
+    }
+
+    /// The paper's six Fig. 8 shapes, in the order (a)–(f).
+    ///
+    /// Per the Fig. 8 caption, the double-emitter devices (d) and (f) have
+    /// the *same total emitter size as (a)* — two 1.2 µm x 3 µm strips.
+    /// In this crate's naming (per-strip length) they print as
+    /// `N1.2x2-3S` / `N1.2x2-3T`.
+    pub fn fig8_catalogue() -> Vec<TransistorShape> {
+        vec![
+            TransistorShape::new(1.2, 6.0, 1, 1),  // (a) N1.2-6S
+            TransistorShape::new(1.2, 6.0, 1, 2),  // (b) N1.2-6D
+            TransistorShape::new(2.4, 6.0, 1, 2),  // (c) N2.4-6D
+            TransistorShape::new(1.2, 3.0, 2, 1),  // (d) double emitter, single base
+            TransistorShape::new(1.2, 12.0, 1, 2), // (e) N1.2-12D
+            TransistorShape::new(1.2, 3.0, 2, 3),  // (f) double emitter, triple base
+        ]
+    }
+
+    /// The Fig. 9 emitter-length series: N1.2-6D / 12D / 24D / 48D.
+    pub fn fig9_series() -> Vec<TransistorShape> {
+        [6.0, 12.0, 24.0, 48.0]
+            .iter()
+            .map(|&l| TransistorShape::new(1.2, l, 1, 2))
+            .collect()
+    }
+}
+
+impl fmt::Display for TransistorShape {
+    /// Formats in the paper's naming scheme: `N<w>[x<n>]-<l><S|D|T>`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", trim_num(self.emitter_width_um))?;
+        if self.emitter_strips > 1 {
+            write!(f, "x{}", self.emitter_strips)?;
+        }
+        write!(f, "-{}", trim_num(self.emitter_length_um))?;
+        let suffix = match self.base_stripes {
+            1 => "S".to_string(),
+            2 => "D".to_string(),
+            3 => "T".to_string(),
+            n => format!("B{n}"),
+        };
+        write!(f, "{suffix}")
+    }
+}
+
+fn trim_num(v: f64) -> String {
+    let s = format!("{v:.2}");
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+/// Error parsing a shape name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseShapeError {
+    /// The offending text.
+    pub input: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse shape `{}`: {}", self.input, self.message)
+    }
+}
+
+impl std::error::Error for ParseShapeError {}
+
+impl FromStr for TransistorShape {
+    type Err = ParseShapeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |msg: &str| ParseShapeError {
+            input: s.to_string(),
+            message: msg.to_string(),
+        };
+        let body = s
+            .trim()
+            .strip_prefix(['N', 'n'])
+            .ok_or_else(|| err("must start with N"))?;
+        let (we_part, rest) = body.split_once('-').ok_or_else(|| err("missing `-`"))?;
+        let (width_txt, strips) = match we_part.split_once(['x', 'X']) {
+            Some((w, n)) => (
+                w,
+                n.parse::<u32>().map_err(|_| err("bad strip count"))?,
+            ),
+            None => (we_part, 1),
+        };
+        let width: f64 = width_txt.parse().map_err(|_| err("bad emitter width"))?;
+        let suffix = rest
+            .chars()
+            .last()
+            .ok_or_else(|| err("missing base suffix"))?;
+        let length_txt = &rest[..rest.len() - suffix.len_utf8()];
+        let length: f64 = length_txt.parse().map_err(|_| err("bad emitter length"))?;
+        let base_stripes = match suffix.to_ascii_uppercase() {
+            'S' => 1,
+            'D' => 2,
+            'T' => 3,
+            _ => return Err(err("base suffix must be S, D or T")),
+        };
+        if width <= 0.0 || length <= 0.0 || strips == 0 {
+            return Err(err("dimensions must be positive"));
+        }
+        Ok(TransistorShape::new(width, length, strips, base_stripes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_fig8_names() {
+        let cases = [
+            ("N1.2-6S", (1.2, 6.0, 1, 1)),
+            ("N1.2-6D", (1.2, 6.0, 1, 2)),
+            ("N2.4-6D", (2.4, 6.0, 1, 2)),
+            ("N1.2x2-6S", (1.2, 6.0, 2, 1)),
+            ("N1.2-12D", (1.2, 12.0, 1, 2)),
+            ("N1.2x2-6T", (1.2, 6.0, 2, 3)),
+        ];
+        for (name, (w, l, ne, nb)) in cases {
+            let s: TransistorShape = name.parse().unwrap();
+            assert_eq!(s.emitter_width_um, w, "{name}");
+            assert_eq!(s.emitter_length_um, l, "{name}");
+            assert_eq!(s.emitter_strips, ne, "{name}");
+            assert_eq!(s.base_stripes, nb, "{name}");
+        }
+    }
+
+    #[test]
+    fn round_trip_display_parse() {
+        for s in TransistorShape::fig8_catalogue() {
+            let back: TransistorShape = s.to_string().parse().unwrap();
+            assert_eq!(back, s, "{s}");
+        }
+        for s in TransistorShape::fig9_series() {
+            let back: TransistorShape = s.to_string().parse().unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn areas_match_fig8_caption() {
+        // (a), (b), (d), (f): 7.2 um^2 ("same emitter size as (a)");
+        // (c), (e): 14.4 um^2.
+        let cat = TransistorShape::fig8_catalogue();
+        assert!((cat[0].emitter_area_um2() - 7.2).abs() < 1e-12);
+        assert!((cat[1].emitter_area_um2() - 7.2).abs() < 1e-12);
+        assert!((cat[2].emitter_area_um2() - 14.4).abs() < 1e-12);
+        assert!((cat[3].emitter_area_um2() - 7.2).abs() < 1e-12);
+        assert!((cat[4].emitter_area_um2() - 14.4).abs() < 1e-12);
+        assert!((cat[5].emitter_area_um2() - 7.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_sided_detection() {
+        assert!(!TransistorShape::new(1.2, 6.0, 1, 1).double_sided_base());
+        assert!(TransistorShape::new(1.2, 6.0, 1, 2).double_sided_base());
+        assert!(!TransistorShape::new(1.2, 6.0, 2, 2).double_sided_base());
+        assert!(TransistorShape::new(1.2, 6.0, 2, 3).double_sided_base());
+    }
+
+    #[test]
+    fn perimeter_formula() {
+        let s = TransistorShape::new(1.2, 6.0, 2, 3);
+        assert!((s.emitter_perimeter_um() - 2.0 * 7.2 * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!("X1.2-6D".parse::<TransistorShape>().is_err());
+        assert!("N1.2_6D".parse::<TransistorShape>().is_err());
+        assert!("N1.2-6Q".parse::<TransistorShape>().is_err());
+        assert!("N-6D".parse::<TransistorShape>().is_err());
+        assert!("N1.2-D".parse::<TransistorShape>().is_err());
+        assert!("N1.2x0-6D".parse::<TransistorShape>().is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_input() {
+        let e = "bogus".parse::<TransistorShape>().unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Monte-Carlo process variation: the paper's §2.2 notes that designers
+//! must "examine the performance … taking IC process variations into
+//! account"; this module provides reproducible process-corner sampling.
+
+use crate::generate::ModelGenerator;
+use crate::process::ProcessData;
+use crate::rules::MaskRules;
+use crate::shape::TransistorShape;
+use ahfic_spice::model::BjtModel;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Reproducible sampler of process corners.
+#[derive(Debug)]
+pub struct ProcessSampler {
+    nominal: ProcessData,
+    rules: MaskRules,
+    sigma_frac: f64,
+    rng: StdRng,
+}
+
+impl ProcessSampler {
+    /// Creates a sampler with fractional 1-sigma spread `sigma_frac`
+    /// (e.g. `0.05` for a 5 % process) and a fixed seed.
+    pub fn new(nominal: ProcessData, rules: MaskRules, sigma_frac: f64, seed: u64) -> Self {
+        ProcessSampler {
+            nominal,
+            rules,
+            sigma_frac,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws one process corner.
+    pub fn sample_process(&mut self) -> ProcessData {
+        let rng = &mut self.rng;
+        self.nominal
+            .perturbed(self.sigma_frac, || standard_normal(rng))
+    }
+
+    /// Draws one corner and generates a model card for `shape` on it.
+    pub fn sample_model(&mut self, shape: &TransistorShape) -> BjtModel {
+        let p = self.sample_process();
+        ModelGenerator::new(p, self.rules).generate(shape)
+    }
+
+    /// Generates `n` Monte-Carlo model cards for `shape`.
+    pub fn sample_models(&mut self, shape: &TransistorShape, n: usize) -> Vec<BjtModel> {
+        (0..n).map(|_| self.sample_model(shape)).collect()
+    }
+}
+
+/// Box–Muller standard normal draw.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler(sigma: f64, seed: u64) -> ProcessSampler {
+        ProcessSampler::new(ProcessData::default(), MaskRules::default(), sigma, seed)
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let shape: TransistorShape = "N1.2-6D".parse().unwrap();
+        let a = sampler(0.05, 42).sample_models(&shape, 5);
+        let b = sampler(0.05, 42).sample_models(&shape, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let shape: TransistorShape = "N1.2-6D".parse().unwrap();
+        let a = sampler(0.05, 1).sample_model(&shape);
+        let b = sampler(0.05, 2).sample_model(&shape);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn spread_is_calibrated() {
+        let shape: TransistorShape = "N1.2-6D".parse().unwrap();
+        let mut s = sampler(0.10, 7);
+        let models = s.sample_models(&shape, 400);
+        let nominal = ModelGenerator::new(ProcessData::default(), MaskRules::default())
+            .generate(&shape);
+        let logs: Vec<f64> = models.iter().map(|m| (m.is_ / nominal.is_).ln()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / logs.len() as f64;
+        let sd = var.sqrt();
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((sd - 0.10).abs() < 0.02, "sd = {sd}");
+    }
+
+    #[test]
+    fn zero_sigma_gives_nominal() {
+        let shape: TransistorShape = "N1.2-6D".parse().unwrap();
+        let mut s = sampler(0.0, 9);
+        let m = s.sample_model(&shape);
+        let nominal = ModelGenerator::new(ProcessData::default(), MaskRules::default())
+            .generate(&shape);
+        assert_eq!(m, nominal);
+    }
+}

@@ -1,0 +1,77 @@
+//! Decibel conversions.
+//!
+//! RF measurements mix amplitude-ratio dB (`20 log10`) and power-ratio dB
+//! (`10 log10`); keeping both behind named functions avoids the classic
+//! factor-of-two mistakes.
+
+/// Converts an amplitude (voltage/current) ratio to decibels: `20*log10(x)`.
+///
+/// Returns `-inf` for `x == 0` and NaN for negative input.
+pub fn to_db_amplitude(x: f64) -> f64 {
+    20.0 * x.log10()
+}
+
+/// Converts a power ratio to decibels: `10*log10(x)`.
+pub fn to_db_power(x: f64) -> f64 {
+    10.0 * x.log10()
+}
+
+/// Inverse of [`to_db_amplitude`].
+pub fn from_db_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Inverse of [`to_db_power`].
+pub fn from_db_power(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Power in dBm given power in watts.
+pub fn watts_to_dbm(p_watts: f64) -> f64 {
+    to_db_power(p_watts / 1e-3)
+}
+
+/// Power in watts given dBm.
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    from_db_power(dbm) * 1e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_round_trip() {
+        for &x in &[0.001, 0.5, 1.0, 3.3, 1e6] {
+            assert!((from_db_amplitude(to_db_amplitude(x)) - x).abs() < 1e-9 * x);
+        }
+    }
+
+    #[test]
+    fn power_round_trip() {
+        for &x in &[1e-9, 0.25, 1.0, 40.0] {
+            assert!((from_db_power(to_db_power(x)) - x).abs() < 1e-9 * x);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((to_db_amplitude(10.0) - 20.0).abs() < 1e-12);
+        assert!((to_db_power(10.0) - 10.0).abs() < 1e-12);
+        assert!((to_db_amplitude(2.0) - 6.0206).abs() < 1e-3);
+        assert!((to_db_power(2.0) - 3.0103).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dbm_reference() {
+        assert!((watts_to_dbm(1e-3) - 0.0).abs() < 1e-12);
+        assert!((watts_to_dbm(1.0) - 30.0).abs() < 1e-12);
+        assert!((dbm_to_watts(30.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_amplitude_is_neg_inf() {
+        assert!(to_db_amplitude(0.0).is_infinite());
+        assert!(to_db_amplitude(0.0) < 0.0);
+    }
+}

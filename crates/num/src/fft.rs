@@ -1,0 +1,172 @@
+//! Radix-2 FFT and spectrum helpers for real signals.
+
+use crate::Complex;
+use std::f64::consts::PI;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// use ahfic_num::{fft::fft, Complex};
+/// let mut x = vec![Complex::ONE; 4];
+/// fft(&mut x);
+/// assert!((x[0].re - 4.0).abs() < 1e-12); // DC bin holds the sum
+/// assert!(x[1].abs() < 1e-12);
+/// ```
+pub fn fft(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (includes the `1/N` normalization).
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        *v = *v / n;
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Next power of two at or above `n` (minimum 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two().max(1)
+}
+
+/// Computes the single-sided amplitude spectrum of a real signal.
+///
+/// The signal is zero-padded to a power of two. Returns `(freqs_hz,
+/// amplitudes)` for bins `0..=N/2`; amplitudes are scaled so a full-scale
+/// sine of amplitude `A` that falls exactly on a bin reads `A` (DC and
+/// Nyquist read their exact level).
+#[allow(clippy::needless_range_loop)]
+pub fn real_spectrum(signal: &[f64], fs: f64) -> (Vec<f64>, Vec<f64>) {
+    let n_sig = signal.len();
+    let n = next_pow2(n_sig);
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_re(x)).collect();
+    buf.resize(n, Complex::ZERO);
+    fft(&mut buf);
+    let half = n / 2;
+    let mut freqs = Vec::with_capacity(half + 1);
+    let mut amps = Vec::with_capacity(half + 1);
+    for k in 0..=half {
+        freqs.push(k as f64 * fs / n as f64);
+        // Scale by the *signal* length so zero padding does not dilute
+        // amplitude; double interior bins for single-sided view.
+        let scale = if k == 0 || k == half { 1.0 } else { 2.0 };
+        amps.push(scale * buf[k].abs() / n_sig as f64);
+    }
+    (freqs, amps)
+}
+
+/// Index of the spectrum bin nearest `f` given sample rate `fs` and FFT
+/// size `n`.
+pub fn bin_of(f: f64, fs: f64, n: usize) -> usize {
+    ((f * n as f64 / fs).round() as usize).min(n / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!((v.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip_fft_ifft() {
+        let orig: Vec<Complex> = (0..16)
+            .map(|k| Complex::new((k as f64).sin(), (k as f64 * 0.3).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let sig: Vec<Complex> = (0..64)
+            .map(|k| Complex::from_re((0.7 * k as f64).sin()))
+            .collect();
+        let time_energy: f64 = sig.iter().map(|v| v.norm_sqr()).sum();
+        let mut x = sig.clone();
+        fft(&mut x);
+        let freq_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn spectrum_finds_tone_amplitude() {
+        let fs = 1024.0;
+        let f0 = 64.0; // exactly on a bin for n=1024
+        let sig: Vec<f64> = (0..1024)
+            .map(|k| 0.8 * (2.0 * PI * f0 * k as f64 / fs).sin())
+            .collect();
+        let (freqs, amps) = real_spectrum(&sig, fs);
+        let k = bin_of(f0, fs, 1024);
+        assert!((freqs[k] - f0).abs() < 1e-9);
+        assert!((amps[k] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut x = vec![Complex::ZERO; 6];
+        fft(&mut x);
+    }
+}

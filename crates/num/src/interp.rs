@@ -1,0 +1,133 @@
+//! Interpolation and sweep-grid helpers.
+
+/// Linear interpolation of `y(x)` on a sorted grid `xs`/`ys`.
+///
+/// Clamps outside the grid (returns the end value).
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` differ in length or are empty.
+pub fn lerp_at(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "grid length mismatch");
+    assert!(!xs.is_empty(), "empty grid");
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let i = match xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+        Ok(i) => return ys[i],
+        Err(i) => i,
+    };
+    let t = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);
+    ys[i - 1] + t * (ys[i] - ys[i - 1])
+}
+
+/// Finds the `x` at which linearly interpolated `y(x)` first crosses
+/// `target`, scanning left to right. Returns `None` if it never crosses.
+pub fn first_crossing(xs: &[f64], ys: &[f64], target: f64) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    for i in 1..xs.len() {
+        let (y0, y1) = (ys[i - 1], ys[i]);
+        if (y0 - target) == 0.0 {
+            return Some(xs[i - 1]);
+        }
+        if (y0 - target) * (y1 - target) < 0.0 {
+            let t = (target - y0) / (y1 - y0);
+            return Some(xs[i - 1] + t * (xs[i] - xs[i - 1]));
+        }
+    }
+    None
+}
+
+/// `n` points linearly spaced over `[a, b]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least two points");
+    (0..n)
+        .map(|k| a + (b - a) * k as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// `n` points logarithmically spaced over `[a, b]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or either endpoint is non-positive.
+pub fn logspace(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(a > 0.0 && b > 0.0, "logspace endpoints must be positive");
+    linspace(a.ln(), b.ln(), n).into_iter().map(f64::exp).collect()
+}
+
+/// Parabolic (three-point) refinement of a peak location: given samples
+/// `y0, y1, y2` at `x1-h, x1, x1+h` with `y1` the discrete maximum, returns
+/// the interpolated abscissa of the true peak.
+pub fn parabolic_peak(x1: f64, h: f64, y0: f64, y1: f64, y2: f64) -> f64 {
+    let denom = y0 - 2.0 * y1 + y2;
+    if denom.abs() < 1e-300 {
+        return x1;
+    }
+    let delta = 0.5 * (y0 - y2) / denom;
+    x1 + delta.clamp(-1.0, 1.0) * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_exact_and_between() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 10.0, 40.0];
+        assert_eq!(lerp_at(&xs, &ys, 1.0), 10.0);
+        assert_eq!(lerp_at(&xs, &ys, 0.5), 5.0);
+        assert_eq!(lerp_at(&xs, &ys, 1.5), 25.0);
+    }
+
+    #[test]
+    fn lerp_clamps() {
+        let xs = [0.0, 1.0];
+        let ys = [3.0, 7.0];
+        assert_eq!(lerp_at(&xs, &ys, -5.0), 3.0);
+        assert_eq!(lerp_at(&xs, &ys, 5.0), 7.0);
+    }
+
+    #[test]
+    fn crossing_found() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 2.0, -2.0];
+        let x = first_crossing(&xs, &ys, 1.0).unwrap();
+        assert!((x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_missing() {
+        assert_eq!(first_crossing(&[0.0, 1.0], &[0.0, 0.5], 2.0), None);
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let g = linspace(-1.0, 1.0, 5);
+        assert_eq!(g, vec![-1.0, -0.5, 0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn logspace_is_geometric() {
+        let g = logspace(1.0, 100.0, 3);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[1] - 10.0).abs() < 1e-9);
+        assert!((g[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parabolic_peak_recovers_vertex() {
+        // y = -(x-0.3)^2 sampled at -1, 0, 1
+        let f = |x: f64| -(x - 0.3) * (x - 0.3);
+        let x = parabolic_peak(0.0, 1.0, f(-1.0), f(0.0), f(1.0));
+        assert!((x - 0.3).abs() < 1e-12);
+    }
+}

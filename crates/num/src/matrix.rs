@@ -1,0 +1,212 @@
+//! Dense row-major matrix used by the MNA assembly code.
+
+use crate::Scalar;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `rows x cols` matrix over a [`Scalar`].
+///
+/// The MNA engines in `ahfic-spice` assemble into this type and hand it to
+/// [`crate::lu::LuFactors`] for solving. Element access is through
+/// `m[(r, c)]` indexing.
+///
+/// # Example
+///
+/// ```
+/// use ahfic_num::Matrix;
+/// let mut m = Matrix::<f64>::zeros(2, 2);
+/// m[(0, 0)] = 2.0;
+/// m[(1, 1)] = 4.0;
+/// assert_eq!(m.diag_product_modulus(), 8.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major nested slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[T]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        for v in &mut self.data {
+            *v = T::ZERO;
+        }
+    }
+
+    /// Adds `v` to entry `(r, c)` — the fundamental "stamp" operation of
+    /// modified nodal analysis.
+    #[inline]
+    pub fn add_at(&mut self, r: usize, c: usize, v: T) {
+        self[(r, c)] += v;
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[allow(clippy::needless_range_loop)] // row-major dot products
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut y = vec![T::ZERO; self.rows];
+        for r in 0..self.rows {
+            let mut acc = T::ZERO;
+            let base = r * self.cols;
+            for c in 0..self.cols {
+                acc += self.data[base + c] * x[c];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Product of the moduli of the diagonal entries; a quick singularity
+    /// smell test used in diagnostics.
+    pub fn diag_product_modulus(&self) -> f64 {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)].modulus()).product()
+    }
+
+    /// Maximum modulus over all entries (infinity-ish norm ingredient).
+    pub fn max_modulus(&self) -> f64 {
+        self.data.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+    }
+
+    /// Immutable view of the backing storage (row-major).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:?} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::<f64>::zeros(3, 2);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 2);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::<f64>::identity(3);
+        assert_eq!(i.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut m = Matrix::<f64>::zeros(2, 2);
+        m.add_at(0, 0, 1.0);
+        m.add_at(0, 0, 2.5);
+        assert_eq!(m[(0, 0)], 3.5);
+    }
+
+    #[test]
+    fn mul_vec_known_product() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn complex_matrix_product() {
+        let j = Complex::J;
+        let m = Matrix::from_rows(&[&[j, Complex::ZERO], &[Complex::ZERO, j]]);
+        let y = m.mul_vec(&[Complex::ONE, j]);
+        assert_eq!(y, vec![j, -Complex::ONE]);
+    }
+
+    #[test]
+    fn clear_keeps_dims() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        m.clear();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.max_modulus(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_wrong_len_panics() {
+        let m = Matrix::<f64>::zeros(2, 2);
+        let _ = m.mul_vec(&[1.0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Small descriptive statistics used by measurement post-processing.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; `0.0` for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Root-mean-square value.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Minimum value; `None` for an empty slice or if any value is NaN-free
+/// minimum cannot be established.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().fold(None, |acc, x| match acc {
+        None => Some(x),
+        Some(m) => Some(m.min(x)),
+    })
+}
+
+/// Maximum value; `None` for an empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().fold(None, |acc, x| match acc {
+        None => Some(x),
+        Some(m) => Some(m.max(x)),
+    })
+}
+
+/// Peak-to-peak span; `0.0` for an empty slice.
+pub fn peak_to_peak(xs: &[f64]) -> f64 {
+    match (min(xs), max(xs)) {
+        (Some(lo), Some(hi)) => hi - lo,
+        _ => 0.0,
+    }
+}
+
+/// Index of the maximum value; `None` for an empty slice.
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        match best {
+            None => best = Some((i, x)),
+            Some((_, bx)) if x > bx => best = Some((i, x)),
+            _ => {}
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(peak_to_peak(&[]), 0.0);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[3.0; 10]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremes() {
+        let xs = [1.0, -2.0, 5.0, 0.0];
+        assert_eq!(min(&xs), Some(-2.0));
+        assert_eq!(max(&xs), Some(5.0));
+        assert_eq!(peak_to_peak(&xs), 7.0);
+        assert_eq!(argmax(&xs), Some(2));
+    }
+
+    #[test]
+    fn argmax_takes_first_of_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+    }
+}

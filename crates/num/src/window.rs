@@ -1,0 +1,116 @@
+//! Window (taper) functions for leakage control in spectral analysis.
+
+use std::f64::consts::PI;
+
+/// Supported window shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// No taper (all ones).
+    #[default]
+    Rect,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window (three-term).
+    Blackman,
+}
+
+impl Window {
+    /// Sample `k` of an `n`-point window, `k < n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n` or `n == 0`.
+    pub fn coeff(self, k: usize, n: usize) -> f64 {
+        assert!(n > 0 && k < n, "window index out of range");
+        if n == 1 {
+            return 1.0;
+        }
+        let x = 2.0 * PI * k as f64 / (n - 1) as f64;
+        match self {
+            Window::Rect => 1.0,
+            Window::Hann => 0.5 - 0.5 * x.cos(),
+            Window::Hamming => 0.54 - 0.46 * x.cos(),
+            Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+        }
+    }
+
+    /// Generates the full `n`-point window.
+    pub fn generate(self, n: usize) -> Vec<f64> {
+        (0..n).map(|k| self.coeff(k, n)).collect()
+    }
+
+    /// Applies the window to `signal`, returning a new vector.
+    pub fn apply(self, signal: &[f64]) -> Vec<f64> {
+        let n = signal.len();
+        signal
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| v * self.coeff(k, n))
+            .collect()
+    }
+
+    /// Coherent gain (mean of the coefficients); divide measured tone
+    /// amplitudes by this to undo the window attenuation.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        if n == 0 {
+            return 1.0;
+        }
+        self.generate(n).iter().sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_is_ones() {
+        assert!(Window::Rect.generate(8).iter().all(|&v| v == 1.0));
+        assert_eq!(Window::Rect.coherent_gain(16), 1.0);
+    }
+
+    #[test]
+    fn hann_is_symmetric_and_zero_ended() {
+        let w = Window::Hann.generate(64);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[63].abs() < 1e-12);
+        for k in 0..32 {
+            assert!((w[k] - w[63 - k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hann_peak_is_one() {
+        let w = Window::Hann.generate(65);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_ends_nonzero() {
+        let w = Window::Hamming.generate(32);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_coherent_gain_near_042() {
+        let g = Window::Blackman.coherent_gain(4096);
+        assert!((g - 0.42).abs() < 1e-3);
+    }
+
+    #[test]
+    fn apply_scales_signal() {
+        let s = vec![2.0; 8];
+        let out = Window::Hann.apply(&s);
+        let w = Window::Hann.generate(8);
+        for k in 0..8 {
+            assert!((out[k] - 2.0 * w[k]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn single_point_window_is_one() {
+        assert_eq!(Window::Hann.coeff(0, 1), 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based cross-validation of the numeric kernels.
+
+use ahfic_num::fft::{fft, ifft, real_spectrum};
+use ahfic_num::goertzel::tone_amplitude;
+use ahfic_num::interp::{lerp_at, linspace, logspace};
+use ahfic_num::Complex;
+use proptest::prelude::*;
+use std::f64::consts::PI;
+
+/// Naive O(n^2) DFT reference.
+fn dft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (m, &v) in x.iter().enumerate() {
+                acc += v * Complex::from_polar(1.0, -2.0 * PI * (k * m) as f64 / n as f64);
+            }
+            acc
+        })
+        .collect()
+}
+
+proptest! {
+    /// The radix-2 FFT must agree with the naive DFT on random inputs.
+    #[test]
+    fn fft_matches_naive_dft(values in proptest::collection::vec(-10.0f64..10.0, 32)) {
+        let x: Vec<Complex> = values
+            .chunks(2)
+            .map(|c| Complex::new(c[0], c[1]))
+            .collect(); // 16 points
+        let mut fast = x.clone();
+        fft(&mut fast);
+        let slow = dft(&x);
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    /// fft → ifft is the identity.
+    #[test]
+    fn fft_ifft_identity(values in proptest::collection::vec(-5.0f64..5.0, 64)) {
+        let x: Vec<Complex> = values.chunks(2).map(|c| Complex::new(c[0], c[1])).collect();
+        let mut y = x.clone();
+        fft(&mut y);
+        ifft(&mut y);
+        for (a, b) in x.iter().zip(y.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    /// Goertzel and the FFT spectrum agree on on-grid tones.
+    #[test]
+    fn goertzel_matches_fft_bin(bin in 1usize..30, ampl in 0.1f64..5.0, phase in 0.0f64..6.2) {
+        let n = 256usize;
+        let fs = 256.0;
+        let f0 = bin as f64; // exactly on the FFT grid
+        let sig: Vec<f64> = (0..n)
+            .map(|k| ampl * (2.0 * PI * f0 * k as f64 / fs + phase).sin())
+            .collect();
+        let g = tone_amplitude(&sig, fs, f0).abs();
+        let (_, amps) = real_spectrum(&sig, fs);
+        let f = amps[bin];
+        prop_assert!((g - ampl).abs() < 1e-9, "goertzel {g}");
+        prop_assert!((f - ampl).abs() < 1e-9, "fft {f}");
+    }
+
+    /// Linear interpolation is exact on affine data and bounded by the
+    /// data range in general.
+    #[test]
+    fn lerp_exact_on_affine(a in -5.0f64..5.0, b in -5.0f64..5.0, x in 0.0f64..10.0) {
+        let xs = linspace(0.0, 10.0, 11);
+        let ys: Vec<f64> = xs.iter().map(|&t| a * t + b).collect();
+        let v = lerp_at(&xs, &ys, x);
+        prop_assert!((v - (a * x + b)).abs() < 1e-9 * (1.0 + (a * x + b).abs()));
+    }
+
+    /// Logspace is a geometric progression with exact endpoints.
+    #[test]
+    fn logspace_is_geometric(lo_exp in -6.0f64..0.0, span in 0.5f64..8.0, n in 3usize..40) {
+        let lo = 10f64.powf(lo_exp);
+        let hi = lo * 10f64.powf(span);
+        let g = logspace(lo, hi, n);
+        prop_assert!((g[0] - lo).abs() <= 1e-12 * lo);
+        prop_assert!((g[n - 1] - hi).abs() <= 1e-9 * hi);
+        let r0 = g[1] / g[0];
+        for w in g.windows(2) {
+            prop_assert!((w[1] / w[0] - r0).abs() < 1e-9 * r0);
+        }
+    }
+}

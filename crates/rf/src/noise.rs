@@ -1,0 +1,148 @@
+//! Noise measurements — the second of the paper's tuner concerns.
+//!
+//! Behavioral noise-figure testing: a tone plus calibrated white noise
+//! drives a stage; SNR is measured at input and output (tone power vs
+//! integrated noise density in a bandwidth), and the noise figure is the
+//! SNR degradation.
+
+use ahfic_ahdl::block::Block;
+use ahfic_ahdl::blocks::arith::Adder;
+use ahfic_ahdl::blocks::noise::GaussianNoise;
+use ahfic_ahdl::blocks::osc::SineSource;
+use ahfic_ahdl::error::Result;
+use ahfic_ahdl::probe::Trace;
+use ahfic_ahdl::spectrum::tone_power;
+use ahfic_num::goertzel::tone_amplitude;
+
+/// Signal-to-noise ratio of `net`: tone power at `f0` against the noise
+/// power in `bandwidth` around it (tone bins excluded by measuring the
+/// density away from the carrier).
+///
+/// # Errors
+///
+/// Propagates missing-signal errors.
+pub fn snr_db(trace: &Trace, net: &str, f0: f64, bandwidth: f64) -> Result<f64> {
+    let y = trace.tail(net, 0.8)?;
+    let fs = trace.fs();
+    let p_tone = tone_power(trace, net, f0, 0.8)?;
+    // Noise estimate: reconstruct the carrier from its complex amplitude
+    // and subtract it, so the full residual power is noise (leakage-free
+    // even off the bin grid). Assume white noise and scale the total
+    // residual power to the requested bandwidth.
+    let a = tone_amplitude(y, fs, f0);
+    let ampl = a.abs();
+    let phase = a.arg() + std::f64::consts::FRAC_PI_2;
+    let w = 2.0 * std::f64::consts::PI * f0 / fs;
+    let mut p_resid = 0.0;
+    for (k, &v) in y.iter().enumerate() {
+        let tone = ampl * (w * k as f64 + phase).sin();
+        let r = v - tone;
+        p_resid += r * r;
+    }
+    p_resid /= y.len() as f64;
+    let p_noise = p_resid * (bandwidth / (fs / 2.0)).min(1.0);
+    Ok(10.0 * (p_tone / p_noise.max(1e-300)).log10())
+}
+
+/// Result of a noise-figure measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseFigureResult {
+    /// SNR at the stage input (dB).
+    pub snr_in_db: f64,
+    /// SNR at the stage output (dB).
+    pub snr_out_db: f64,
+    /// Noise figure (dB): `SNR_in - SNR_out`.
+    pub nf_db: f64,
+}
+
+/// Measures the noise figure of a behavioral stage: a tone plus source
+/// noise drives it, and the stage may add its own noise internally
+/// (model it as an input-referred noise generator summed by the caller).
+///
+/// `added_noise_rms` is the stage's input-referred noise contribution;
+/// `0.0` gives a noiseless stage (NF ≈ 0 dB).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn measure_noise_figure(
+    stage: impl Block + 'static,
+    added_noise_rms: f64,
+    f0: f64,
+    source_noise_rms: f64,
+    fs: f64,
+    duration: f64,
+) -> Result<NoiseFigureResult> {
+    let mut sys = ahfic_ahdl::system::System::new();
+    let tone = sys.net("tone");
+    let src_noise = sys.net("src_noise");
+    let input = sys.net("input");
+    let stage_noise = sys.net("stage_noise");
+    let stage_in = sys.net("stage_in");
+    let out = sys.net("out");
+    sys.add("TONE", SineSource::new(f0, 1.0), &[], &[tone])?;
+    sys.add("NSRC", GaussianNoise::new(source_noise_rms, 11), &[], &[src_noise])?;
+    sys.add("SUMIN", Adder::new(2), &[tone, src_noise], &[input])?;
+    sys.add(
+        "NSTAGE",
+        GaussianNoise::new(added_noise_rms.max(1e-12), 23),
+        &[],
+        &[stage_noise],
+    )?;
+    sys.add("SUMST", Adder::new(2), &[input, stage_noise], &[stage_in])?;
+    sys.add("DUT", stage, &[stage_in], &[out])?;
+    let probes = [
+        sys.find_net("input").expect("net"),
+        sys.find_net("out").expect("net"),
+    ];
+    let trace = sys.run_probed(fs, duration, &probes)?;
+    let bw = f0 / 10.0;
+    let snr_in_db = snr_db(&trace, "input", f0, bw)?;
+    let snr_out_db = snr_db(&trace, "out", f0, bw)?;
+    Ok(NoiseFigureResult {
+        snr_in_db,
+        snr_out_db,
+        nf_db: snr_in_db - snr_out_db,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahfic_ahdl::blocks::arith::Gain;
+
+    #[test]
+    fn noiseless_gain_stage_has_near_zero_nf() {
+        let r = measure_noise_figure(Gain::new(4.0), 0.0, 1e6, 0.05, 64e6, 2e-3).unwrap();
+        assert!(r.nf_db.abs() < 1.0, "NF {} dB", r.nf_db);
+        // Gain does not change SNR.
+        assert!(r.snr_in_db > 20.0, "sanity: {}", r.snr_in_db);
+    }
+
+    #[test]
+    fn noisy_stage_shows_expected_nf() {
+        // Equal added and source noise: F = 1 + Na/Ns = 2 -> 3.01 dB.
+        let r = measure_noise_figure(Gain::new(4.0), 0.05, 1e6, 0.05, 64e6, 2e-3).unwrap();
+        assert!((r.nf_db - 3.01).abs() < 1.0, "NF {} dB", r.nf_db);
+    }
+
+    #[test]
+    fn more_added_noise_means_higher_nf() {
+        let a = measure_noise_figure(Gain::new(2.0), 0.02, 1e6, 0.05, 64e6, 2e-3).unwrap();
+        let b = measure_noise_figure(Gain::new(2.0), 0.15, 1e6, 0.05, 64e6, 2e-3).unwrap();
+        assert!(b.nf_db > a.nf_db + 3.0, "{} vs {}", a.nf_db, b.nf_db);
+    }
+
+    #[test]
+    fn snr_scales_with_noise_level() {
+        let lo = measure_noise_figure(Gain::new(1.0), 0.0, 1e6, 0.02, 64e6, 2e-3).unwrap();
+        let hi = measure_noise_figure(Gain::new(1.0), 0.0, 1e6, 0.2, 64e6, 2e-3).unwrap();
+        // 10x the noise RMS -> 20 dB worse SNR.
+        assert!(
+            (lo.snr_in_db - hi.snr_in_db - 20.0).abs() < 2.0,
+            "{} vs {}",
+            lo.snr_in_db,
+            hi.snr_in_db
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Frequency planning for the double-super CATV tuner (paper Figs. 2–3).
+
+/// Frequency plan of a double-conversion tuner.
+///
+/// Up-conversion: `1st IF = RF + Fup` (sum mixing), so the wanted channel
+/// lands on the fixed 1.3 GHz first IF. Down-conversion:
+/// `2nd IF = Fdown - 1st IF` with high-side injection
+/// (`Fdown = 1st IF + 2nd IF`). The image at the first IF sits at
+/// `Fdown + 2nd IF`, i.e. `2*f2if` = 90 MHz above the wanted — far too
+/// close for the 1st-IF band-pass filter, which is why the paper
+/// introduces the image-rejection mixer (Fig. 4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrequencyPlan {
+    /// Wanted RF channel frequency (Hz).
+    pub rf_wanted: f64,
+    /// First IF (Hz) — 1.3 GHz in the paper.
+    pub f1_if: f64,
+    /// Second IF (Hz) — 45 MHz in the paper.
+    pub f2_if: f64,
+}
+
+impl FrequencyPlan {
+    /// CATV plan from the paper: 1.3 GHz / 45 MHz IFs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rf_wanted` is within the paper's 90–770 MHz band.
+    pub fn catv(rf_wanted: f64) -> Self {
+        assert!(
+            (90e6..=770e6).contains(&rf_wanted),
+            "CATV RF must be within 90-770 MHz"
+        );
+        FrequencyPlan {
+            rf_wanted,
+            f1_if: 1.3e9,
+            f2_if: 45e6,
+        }
+    }
+
+    /// First local oscillator (up-converter) frequency `Fup`.
+    pub fn f_up(&self) -> f64 {
+        self.f1_if - self.rf_wanted
+    }
+
+    /// Second local oscillator frequency `Fdown` (high-side injection).
+    pub fn f_down(&self) -> f64 {
+        self.f1_if + self.f2_if
+    }
+
+    /// RF frequency of the image channel.
+    pub fn rf_image(&self) -> f64 {
+        self.rf_wanted + 2.0 * self.f2_if
+    }
+
+    /// First-IF frequency of the image (`Fdown + f2if`).
+    pub fn if1_image(&self) -> f64 {
+        self.f1_if + 2.0 * self.f2_if
+    }
+
+    /// Highest tone any node of the behavioral tuner carries: the sum
+    /// products of the second mixer. Used to choose the sample rate.
+    pub fn max_product(&self) -> f64 {
+        self.if1_image() + self.f_down()
+    }
+
+    /// A sample rate comfortably above Nyquist for every product.
+    pub fn recommended_fs(&self) -> f64 {
+        3.0 * self.max_product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let p = FrequencyPlan::catv(500e6);
+        assert_eq!(p.f1_if, 1.3e9);
+        assert_eq!(p.f2_if, 45e6);
+        assert_eq!(p.f_up(), 0.8e9);
+        assert_eq!(p.f_down(), 1.345e9);
+        assert_eq!(p.rf_image(), 590e6);
+        assert_eq!(p.if1_image(), 1.39e9);
+    }
+
+    #[test]
+    fn image_relation_from_paper_holds() {
+        // rf2 - Fdown == Fdown - rf1 == f2if
+        let p = FrequencyPlan::catv(300e6);
+        assert!((p.if1_image() - p.f_down() - p.f2_if).abs() < 1.0);
+        assert!((p.f_down() - p.f1_if - p.f2_if).abs() < 1.0);
+    }
+
+    #[test]
+    fn both_channels_convert_to_same_second_if() {
+        let p = FrequencyPlan::catv(470e6);
+        // wanted: RF + Fup = 1.3 GHz; |Fdown - 1.3G| = 45 MHz
+        let if1_wanted = p.rf_wanted + p.f_up();
+        assert!((p.f_down() - if1_wanted - p.f2_if).abs() < 1.0);
+        // image: RF2 + Fup = 1.39 GHz; |1.39G - Fdown| = 45 MHz
+        let if1_image = p.rf_image() + p.f_up();
+        assert!((if1_image - p.f_down() - p.f2_if).abs() < 1.0);
+    }
+
+    #[test]
+    fn sample_rate_covers_products() {
+        let p = FrequencyPlan::catv(500e6);
+        assert!(p.recommended_fs() > 2.0 * p.max_product());
+    }
+
+    #[test]
+    #[should_panic(expected = "90-770")]
+    fn out_of_band_rf_rejected() {
+        let _ = FrequencyPlan::catv(2e9);
+    }
+}

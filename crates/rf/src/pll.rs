@@ -1,0 +1,186 @@
+//! Behavioral phase-locked loop — the `PLL` box of the paper's Fig. 2
+//! block diagram that synthesizes the tuner's first LO.
+//!
+//! Architecture: multiplying phase detector → first-order loop filter →
+//! VCO, closed through the system simulator's feedback path (one-sample
+//! delay). A first-order ("type I") loop: the lock range is
+//! `K = Kpd * Kvco` around the VCO center frequency.
+
+use ahfic_ahdl::blocks::arith::{Gain, Mixer};
+use ahfic_ahdl::blocks::filter::FirstOrderLp;
+use ahfic_ahdl::blocks::osc::{SineSource, Vco};
+use ahfic_ahdl::error::Result;
+use ahfic_ahdl::probe::Trace;
+use ahfic_ahdl::system::{NetId, System};
+
+/// PLL design parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PllConfig {
+    /// Reference frequency (Hz).
+    pub f_ref: f64,
+    /// VCO center (free-running) frequency (Hz).
+    pub f0_vco: f64,
+    /// VCO tuning gain (Hz/V).
+    pub kvco: f64,
+    /// Loop-filter corner (Hz).
+    pub loop_bw: f64,
+    /// Amplitudes of reference and VCO (set the detector gain
+    /// `Kpd = a_ref*a_vco/2`).
+    pub ampl: f64,
+    /// Extra DC loop gain after the filter.
+    pub loop_gain: f64,
+}
+
+impl PllConfig {
+    /// A 10 MHz reference loop with a deliberately offset VCO.
+    pub fn demo() -> Self {
+        PllConfig {
+            f_ref: 10e6,
+            f0_vco: 9.7e6,
+            kvco: 2e6,
+            loop_bw: 200e3,
+            ampl: 1.0,
+            loop_gain: 4.0,
+        }
+    }
+
+    /// DC loop gain `K = Kpd * loop_gain * Kvco` (Hz) — the type-I hold
+    /// range around the VCO center.
+    pub fn hold_range(&self) -> f64 {
+        (self.ampl * self.ampl / 2.0) * self.loop_gain * self.kvco
+    }
+}
+
+/// Nets exposed by a built PLL.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PllNets {
+    /// Reference oscillator output.
+    pub reference: NetId,
+    /// VCO output.
+    pub vco: NetId,
+    /// Loop-filter output (the VCO control voltage).
+    pub control: NetId,
+}
+
+/// Builds the PLL into a system.
+///
+/// # Errors
+///
+/// Propagates wiring errors.
+pub fn build_pll(sys: &mut System, cfg: &PllConfig) -> Result<PllNets> {
+    let reference = sys.net("pll_ref");
+    let vco = sys.net("pll_vco");
+    let pd = sys.net("pll_pd");
+    let filt = sys.net("pll_filt");
+    let control = sys.net("pll_ctrl");
+
+    sys.add("PLLREF", SineSource::new(cfg.f_ref, cfg.ampl), &[], &[reference])?;
+    sys.add("PLLPD", Mixer::new(1.0), &[reference, vco], &[pd])?;
+    sys.add("PLLLF", FirstOrderLp::new(cfg.loop_bw, suggested_fs(cfg)), &[pd], &[filt])?;
+    sys.add("PLLGAIN", Gain::new(cfg.loop_gain), &[filt], &[control])?;
+    sys.add("PLLVCO", Vco::new(cfg.f0_vco, cfg.kvco, cfg.ampl), &[control], &[vco])?;
+    Ok(PllNets {
+        reference,
+        vco,
+        control,
+    })
+}
+
+/// Sample rate the loop filter in [`build_pll`] is designed against; run
+/// the system at this rate.
+pub fn suggested_fs(cfg: &PllConfig) -> f64 {
+    100.0 * cfg.f_ref.max(cfg.f0_vco)
+}
+
+/// Measured lock state of a PLL run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LockMeasurement {
+    /// Average VCO frequency over the analysis window (Hz).
+    pub vco_frequency: f64,
+    /// Final control voltage (V).
+    pub control_voltage: f64,
+    /// Whether the VCO frequency matched the reference within 0.5 %.
+    pub locked: bool,
+}
+
+/// Measures lock from a recorded run (last 30 % of the trace).
+///
+/// # Errors
+///
+/// Propagates missing-signal errors.
+pub fn measure_lock(trace: &Trace, cfg: &PllConfig) -> Result<LockMeasurement> {
+    let vco = trace.tail("pll_vco", 0.3)?;
+    let ctrl = trace.tail("pll_ctrl", 0.05)?;
+    // Count rising zero crossings.
+    let mut crossings = 0usize;
+    for k in 1..vco.len() {
+        if vco[k - 1] <= 0.0 && vco[k] > 0.0 {
+            crossings += 1;
+        }
+    }
+    let span = vco.len() as f64 / trace.fs();
+    let vco_frequency = crossings as f64 / span;
+    let control_voltage = ctrl.iter().sum::<f64>() / ctrl.len() as f64;
+    Ok(LockMeasurement {
+        vco_frequency,
+        control_voltage,
+        locked: (vco_frequency / cfg.f_ref - 1.0).abs() < 0.005,
+    })
+}
+
+/// Builds, runs and measures a PLL in one call.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_pll(cfg: &PllConfig, duration: f64) -> Result<LockMeasurement> {
+    let mut sys = System::new();
+    let nets = build_pll(&mut sys, cfg)?;
+    let trace = sys.run_probed(
+        suggested_fs(cfg),
+        duration,
+        &[nets.vco, nets.control],
+    )?;
+    measure_lock(&trace, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pll_locks_to_reference() {
+        let cfg = PllConfig::demo();
+        // Offset (300 kHz) is well inside the hold range.
+        assert!(cfg.hold_range() > (cfg.f_ref - cfg.f0_vco).abs());
+        let lock = run_pll(&cfg, 200e-6).unwrap();
+        assert!(
+            lock.locked,
+            "vco at {:.4e}, expected {:.4e}",
+            lock.vco_frequency, cfg.f_ref
+        );
+        // Type-I loop: control voltage carries the static offset
+        // (f_ref - f0)/kvco (up to detector nonlinearity).
+        let expect = (cfg.f_ref - cfg.f0_vco) / cfg.kvco;
+        assert!(
+            (lock.control_voltage - expect).abs() < 0.6 * expect.abs() + 0.02,
+            "ctrl {} vs {expect}",
+            lock.control_voltage
+        );
+    }
+
+    #[test]
+    fn pll_fails_outside_hold_range() {
+        let mut cfg = PllConfig::demo();
+        cfg.f0_vco = 4e6; // 6 MHz away with a ~4 MHz hold range
+        cfg.loop_gain = 0.5; // shrink the hold range to ~0.5 MHz
+        let lock = run_pll(&cfg, 150e-6).unwrap();
+        assert!(!lock.locked, "locked across {:.1e} Hz?!", cfg.f_ref - cfg.f0_vco);
+    }
+
+    #[test]
+    fn hold_range_formula() {
+        let cfg = PllConfig::demo();
+        assert!((cfg.hold_range() - 0.5 * 4.0 * 2e6).abs() < 1e-6);
+    }
+}

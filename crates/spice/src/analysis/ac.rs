@@ -1,0 +1,358 @@
+//! Small-signal AC analysis: linearize at the operating point, assemble a
+//! complex admittance system per frequency, solve.
+
+use crate::analysis::stamp::Options;
+use crate::circuit::{read_slot, ElementKind, Prepared, GROUND_SLOT};
+use crate::devices::bjt::eval_bjt;
+use crate::devices::diode::eval_diode;
+use crate::devices::junction::depletion;
+use crate::error::{Result, SpiceError};
+use crate::waveform::AcWaveform;
+use ahfic_num::{lu::LuFactors, Complex, Matrix};
+
+struct CSys<'m> {
+    mat: &'m mut Matrix<Complex>,
+    rhs: &'m mut [Complex],
+}
+
+impl CSys<'_> {
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: Complex) {
+        if r != GROUND_SLOT && c != GROUND_SLOT {
+            self.mat.add_at(r, c, v);
+        }
+    }
+
+    #[inline]
+    fn rhs_add(&mut self, r: usize, v: Complex) {
+        if r != GROUND_SLOT {
+            self.rhs[r] += v;
+        }
+    }
+
+    fn admittance(&mut self, p: usize, n: usize, y: Complex) {
+        self.add(p, p, y);
+        self.add(n, n, y);
+        self.add(p, n, -y);
+        self.add(n, p, -y);
+    }
+
+    fn current(&mut self, p: usize, n: usize, i: Complex) {
+        self.rhs_add(p, -i);
+        self.rhs_add(n, i);
+    }
+
+    fn transadmittance(&mut self, p: usize, n: usize, cp: usize, cn: usize, y: Complex) {
+        self.add(p, cp, y);
+        self.add(p, cn, -y);
+        self.add(n, cp, -y);
+        self.add(n, cn, y);
+    }
+}
+
+/// Assembles the complex MNA system at angular frequency `omega`,
+/// linearized around the operating point `x_op`.
+pub fn assemble_ac(
+    prep: &Prepared,
+    x_op: &[f64],
+    opts: &Options,
+    omega: f64,
+    mat: &mut Matrix<Complex>,
+    rhs: &mut [Complex],
+) {
+    mat.clear();
+    rhs.fill(Complex::ZERO);
+    let mut sys = CSys { mat, rhs };
+    let jw = Complex::new(0.0, omega);
+    let re = Complex::from_re;
+
+    for (idx, el) in prep.circuit.elements().iter().enumerate() {
+        match &el.kind {
+            ElementKind::Resistor { p, n, r } => {
+                sys.admittance(prep.slot_of(*p), prep.slot_of(*n), re(1.0 / r));
+            }
+            ElementKind::Capacitor { p, n, c } => {
+                sys.admittance(prep.slot_of(*p), prep.slot_of(*n), jw * *c);
+            }
+            ElementKind::Inductor { p, n, l } => {
+                let k = prep.branch_of[idx].0.expect("inductor branch");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.add(p, k, Complex::ONE);
+                sys.add(n, k, -Complex::ONE);
+                sys.add(k, p, Complex::ONE);
+                sys.add(k, n, -Complex::ONE);
+                sys.add(k, k, -(jw * *l));
+            }
+            ElementKind::Vsource { p, n, ac, .. } => {
+                let k = prep.branch_of[idx].0.expect("vsource branch");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.add(p, k, Complex::ONE);
+                sys.add(n, k, -Complex::ONE);
+                sys.add(k, p, Complex::ONE);
+                sys.add(k, n, -Complex::ONE);
+                sys.rhs_add(k, Complex::from_polar(ac.mag, ac.phase_deg.to_radians()));
+            }
+            ElementKind::Isource { p, n, ac, .. } => {
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.current(p, n, Complex::from_polar(ac.mag, ac.phase_deg.to_radians()));
+            }
+            ElementKind::Vcvs { p, n, cp, cn, gain } => {
+                let k = prep.branch_of[idx].0.expect("vcvs branch");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                let (cp, cn) = (prep.slot_of(*cp), prep.slot_of(*cn));
+                sys.add(p, k, Complex::ONE);
+                sys.add(n, k, -Complex::ONE);
+                sys.add(k, p, Complex::ONE);
+                sys.add(k, n, -Complex::ONE);
+                sys.add(k, cp, re(-gain));
+                sys.add(k, cn, re(*gain));
+            }
+            ElementKind::Vccs { p, n, cp, cn, gm } => {
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                let (cp, cn) = (prep.slot_of(*cp), prep.slot_of(*cn));
+                sys.transadmittance(p, n, cp, cn, re(*gm));
+            }
+            ElementKind::Cccs {
+                p, n, vsource, gain,
+            } => {
+                let j = prep.branch_slot(vsource).expect("validated");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.add(p, j, re(*gain));
+                sys.add(n, j, re(-gain));
+            }
+            ElementKind::Ccvs { p, n, vsource, r } => {
+                let k = prep.branch_of[idx].0.expect("ccvs branch");
+                let j = prep.branch_slot(vsource).expect("validated");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.add(p, k, Complex::ONE);
+                sys.add(n, k, -Complex::ONE);
+                sys.add(k, p, Complex::ONE);
+                sys.add(k, n, -Complex::ONE);
+                sys.add(k, j, re(-r));
+            }
+            ElementKind::BehavioralV {
+                p, n, controls, func,
+            } => {
+                // Small-signal: a multi-input VCVS with gains = partial
+                // derivatives at the operating point.
+                let k = prep.branch_of[idx].0.expect("behavioral branch");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.add(p, k, Complex::ONE);
+                sys.add(n, k, -Complex::ONE);
+                sys.add(k, p, Complex::ONE);
+                sys.add(k, n, -Complex::ONE);
+                let slots: Vec<usize> = controls.iter().map(|&c| prep.slot_of(c)).collect();
+                let vc: Vec<f64> = slots.iter().map(|&s| read_slot(x_op, s)).collect();
+                for (i, &cs) in slots.iter().enumerate() {
+                    let d = func.derivative(&vc, i);
+                    sys.add(k, cs, re(-d));
+                }
+            }
+            ElementKind::Diode { p, n, .. } => {
+                let model = prep.scaled_diode[idx].as_ref().expect("scaled diode");
+                let (pa, nc) = (prep.slot_of(*p), prep.slot_of(*n));
+                let ai = prep.diode_internal[idx].unwrap_or(pa);
+                if ai != pa {
+                    sys.admittance(pa, ai, re(1.0 / model.rs));
+                }
+                let vd = read_slot(x_op, ai) - read_slot(x_op, nc);
+                let op = eval_diode(model, vd, opts.vt, opts.gmin);
+                sys.admittance(ai, nc, re(op.gd) + jw * op.cd);
+            }
+            ElementKind::Bjt { .. } => {
+                let model = prep.scaled_bjt[idx].as_ref().expect("scaled bjt");
+                let nodes = prep.bjt_nodes[idx].expect("bjt nodes");
+                let sg = model.polarity.sign();
+                let vbe = sg * (read_slot(x_op, nodes.bi) - read_slot(x_op, nodes.ei));
+                let vbc = sg * (read_slot(x_op, nodes.bi) - read_slot(x_op, nodes.ci));
+                let vcs = sg * (read_slot(x_op, nodes.s) - read_slot(x_op, nodes.ci));
+                let op = eval_bjt(model, vbe, vbc, vcs, opts.vt, opts.gmin);
+
+                if nodes.bi != nodes.b {
+                    sys.admittance(nodes.b, nodes.bi, re(1.0 / op.rbb.max(1e-3)));
+                }
+                if nodes.ci != nodes.c {
+                    sys.admittance(nodes.c, nodes.ci, re(1.0 / model.rc));
+                }
+                if nodes.ei != nodes.e {
+                    sys.admittance(nodes.e, nodes.ei, re(1.0 / model.re));
+                }
+
+                // Junction conductances + diffusion/depletion capacitances.
+                sys.admittance(nodes.bi, nodes.ei, re(op.gpi) + jw * op.cbe);
+                sys.admittance(nodes.bi, nodes.ci, re(op.gmu) + jw * op.cbc);
+                // Cross capacitance d(qbe)/d(vbc): current in b'-e' branch
+                // driven by vbc.
+                if op.cbe_bc != 0.0 {
+                    sys.transadmittance(nodes.bi, nodes.ei, nodes.bi, nodes.ci, jw * op.cbe_bc);
+                }
+                // Transport transconductances.
+                let gmf = re(op.gmf);
+                let gmr = re(op.gmr);
+                sys.add(nodes.ci, nodes.bi, gmf + gmr);
+                sys.add(nodes.ci, nodes.ei, -gmf);
+                sys.add(nodes.ci, nodes.ci, -gmr);
+                sys.add(nodes.ei, nodes.bi, -(gmf + gmr));
+                sys.add(nodes.ei, nodes.ei, gmf);
+                sys.add(nodes.ei, nodes.ci, gmr);
+                // External-base fraction of CJC.
+                let vbx = sg * (read_slot(x_op, nodes.b) - read_slot(x_op, nodes.ci));
+                let (_, cbx) = depletion(
+                    vbx,
+                    model.cjc * (1.0 - model.xcjc.clamp(0.0, 1.0)),
+                    model.vjc,
+                    model.mjc,
+                    model.fc,
+                );
+                if cbx > 0.0 {
+                    sys.admittance(nodes.b, nodes.ci, jw * cbx);
+                }
+                // Collector-substrate capacitance.
+                if op.ccs > 0.0 {
+                    sys.admittance(nodes.s, nodes.ci, jw * op.ccs);
+                }
+            }
+        }
+    }
+}
+
+/// Runs an AC sweep over the given frequencies (Hz), recording every
+/// unknown as a complex signal (names follow `Prepared::unknown_names`).
+///
+/// # Errors
+///
+/// [`SpiceError::BadAnalysis`] for an empty frequency list,
+/// [`SpiceError::Singular`] if the admittance matrix is singular.
+pub fn ac_sweep(
+    prep: &Prepared,
+    x_op: &[f64],
+    opts: &Options,
+    freqs: &[f64],
+) -> Result<AcWaveform> {
+    if freqs.is_empty() {
+        return Err(SpiceError::BadAnalysis("empty AC frequency list".into()));
+    }
+    let n = prep.num_unknowns;
+    let mut out = AcWaveform::new();
+    for name in &prep.unknown_names {
+        out.push_signal(name);
+    }
+    let mut mat = Matrix::zeros(n, n);
+    let mut rhs = vec![Complex::ZERO; n];
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        assemble_ac(prep, x_op, opts, omega, &mut mat, &mut rhs);
+        let factors = LuFactors::factor(mat.clone()).map_err(|e| SpiceError::Singular {
+            unknown: prep
+                .unknown_names
+                .get(e.column)
+                .cloned()
+                .unwrap_or_else(|| format!("#{}", e.column)),
+        })?;
+        let sol = factors.solve(&rhs);
+        out.push_sample(f, &sol);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::op::op;
+    use crate::circuit::Circuit;
+    use ahfic_num::interp::logspace;
+
+    fn run_ac(ckt: Circuit, freqs: &[f64]) -> (Prepared, AcWaveform) {
+        let prep = Prepared::compile(ckt).unwrap();
+        let opts = Options::default();
+        let r = op(&prep, &opts).unwrap();
+        let w = ac_sweep(&prep, &r.x, &opts, freqs).unwrap();
+        (prep, w)
+    }
+
+    #[test]
+    fn rc_lowpass_pole() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let out = c.node("out");
+        c.vsource("V1", a, Circuit::gnd(), 0.0);
+        c.set_ac("V1", 1.0, 0.0).unwrap();
+        c.resistor("R1", a, out, 1e3);
+        c.capacitor("C1", out, Circuit::gnd(), 1e-9);
+        let fp = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9); // ~159 kHz
+        let (_, w) = run_ac(c, &[fp / 100.0, fp, 100.0 * fp]);
+        let mag = w.magnitude("v(out)").unwrap();
+        let ph = w.phase_deg("v(out)").unwrap();
+        assert!((mag[0] - 1.0).abs() < 1e-3);
+        assert!((mag[1] - 1.0 / 2.0f64.sqrt()).abs() < 1e-3);
+        assert!((ph[1] + 45.0).abs() < 0.1);
+        assert!(mag[2] < 0.011);
+    }
+
+    #[test]
+    fn lc_resonance() {
+        // Series RLC driven by 1 V: current peaks at f0 with |i| = 1/R.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let d = c.node("d");
+        c.vsource("V1", a, Circuit::gnd(), 0.0);
+        c.set_ac("V1", 1.0, 0.0).unwrap();
+        c.resistor("R1", a, b, 10.0);
+        c.inductor("L1", b, d, 1e-6);
+        c.capacitor("C1", d, Circuit::gnd(), 1e-9);
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
+        let (prep, w) = run_ac(c, &[f0]);
+        let i = w.signal("i(V1)").unwrap()[0];
+        assert!((i.abs() - 0.1).abs() < 1e-4, "i = {}", i.abs());
+        let _ = prep;
+    }
+
+    #[test]
+    fn bjt_amplifier_gain_and_rolloff() {
+        // Common-emitter stage: gain ~ gm * RC at low f, rolls off.
+        let mut c = Circuit::new();
+        let vcc = c.node("vcc");
+        let b = c.node("b");
+        let col = c.node("c");
+        c.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+        c.vsource("VB", b, Circuit::gnd(), 0.75);
+        c.set_ac("VB", 1.0, 0.0).unwrap();
+        c.resistor("RC", vcc, col, 1e3);
+        let mut m = crate::model::BjtModel::named("n1");
+        m.bf = 100.0;
+        m.cje = 1e-12;
+        m.cjc = 0.5e-12;
+        m.tf = 50e-12;
+        let mi = c.add_bjt_model(m);
+        c.bjt("Q1", col, b, Circuit::gnd(), mi, 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        let opts = Options::default();
+        let r = op(&prep, &opts).unwrap();
+        let q = crate::analysis::op::bjt_operating(&prep, &r.x, &opts, "Q1").unwrap();
+        let freqs = logspace(1e3, 10e9, 40);
+        let w = ac_sweep(&prep, &r.x, &opts, &freqs).unwrap();
+        let mag = w.magnitude("v(c)").unwrap();
+        // Low-frequency gain = gm*RC (inverting).
+        let expect = q.gmf * 1e3;
+        assert!(
+            (mag[0] - expect).abs() / expect < 0.02,
+            "gain {} vs {expect}",
+            mag[0]
+        );
+        // High-frequency magnitude must fall well below the midband gain.
+        assert!(mag[39] < 0.2 * mag[0]);
+        // Low-frequency phase ~ 180 deg (inverting).
+        let ph = w.phase_deg("v(c)").unwrap();
+        assert!((ph[0].abs() - 180.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn empty_freqs_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, Circuit::gnd(), 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        assert!(ac_sweep(&prep, &[0.0], &Options::default(), &[]).is_err());
+    }
+}

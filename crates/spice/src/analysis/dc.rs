@@ -1,0 +1,145 @@
+//! DC transfer sweeps: step a source value, solve the OP at each point
+//! with warm starting.
+
+use crate::analysis::op::op_from;
+use crate::analysis::stamp::Options;
+use crate::circuit::Prepared;
+use crate::error::{Result, SpiceError};
+use crate::wave::SourceWave;
+use crate::waveform::Waveform;
+
+/// Sweeps the DC value of the named independent source over `values`,
+/// returning every unknown at each point (axis = swept value).
+///
+/// The source's waveform is restored after the sweep.
+///
+/// # Errors
+///
+/// [`SpiceError::BadAnalysis`] for an empty sweep; netlist errors if the
+/// source does not exist; OP failures at any point.
+pub fn dc_sweep(
+    prep: &mut Prepared,
+    opts: &Options,
+    source: &str,
+    values: &[f64],
+) -> Result<Waveform> {
+    if values.is_empty() {
+        return Err(SpiceError::BadAnalysis("empty DC sweep".into()));
+    }
+    let idx = prep
+        .circuit
+        .find_element(source)
+        .ok_or_else(|| SpiceError::Netlist(format!("no element named {source}")))?;
+    let original = match &prep.circuit.elements()[idx].kind {
+        crate::circuit::ElementKind::Vsource { wave, .. }
+        | crate::circuit::ElementKind::Isource { wave, .. } => wave.clone(),
+        _ => {
+            return Err(SpiceError::Netlist(format!(
+                "{source} is not an independent source"
+            )))
+        }
+    };
+
+    let mut out = Waveform::new(source);
+    for name in &prep.unknown_names {
+        out.push_signal(name);
+    }
+    let mut prev: Option<Vec<f64>> = None;
+    let mut result = Ok(());
+    for &v in values {
+        prep.circuit.set_source_wave(source, SourceWave::Dc(v))?;
+        match op_from(prep, opts, prev.as_deref()) {
+            Ok(r) => {
+                out.push_sample(v, &r.x);
+                prev = Some(r.x);
+            }
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        }
+    }
+    prep.circuit.set_source_wave(source, original)?;
+    result.map(|()| out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::model::DiodeModel;
+    use ahfic_num::interp::linspace;
+
+    #[test]
+    fn linear_sweep_is_proportional() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), 0.0);
+        c.resistor("R1", a, b, 1e3);
+        c.resistor("R2", b, Circuit::gnd(), 1e3);
+        let mut prep = Prepared::compile(c).unwrap();
+        let w = dc_sweep(
+            &mut prep,
+            &Options::default(),
+            "V1",
+            &linspace(0.0, 10.0, 11),
+        )
+        .unwrap();
+        let vb = w.signal("v(b)").unwrap();
+        for (k, &v) in w.axis().iter().enumerate() {
+            assert!((vb[k] - v / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn diode_iv_curve_is_exponential() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::gnd(), 0.0);
+        let dm = c.add_diode_model(DiodeModel::default());
+        c.diode("D1", a, Circuit::gnd(), dm, 1.0);
+        let mut prep = Prepared::compile(c).unwrap();
+        let vs = linspace(0.4, 0.7, 13);
+        let w = dc_sweep(&mut prep, &Options::default(), "V1", &vs).unwrap();
+        let i = w.signal("i(V1)").unwrap();
+        // Current through V1 is -(diode current); check 60 mV/decade law.
+        let i0 = -i[0];
+        let i1 = -i[12];
+        let decades = (i1 / i0).log10();
+        let expected = (0.7 - 0.4) / (0.025852 * std::f64::consts::LN_10 / 1.0);
+        let expected_decades = expected * 0.025852 * std::f64::consts::LN_10 / 0.0595;
+        // ~ (0.3 V) / (59.5 mV/decade) ~ 5.04 decades.
+        assert!(
+            (decades - expected_decades).abs() < 0.15,
+            "{decades} vs {expected_decades}"
+        );
+    }
+
+    #[test]
+    fn sweep_restores_original_wave() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::gnd(), 7.0);
+        c.resistor("R1", a, Circuit::gnd(), 1e3);
+        let mut prep = Prepared::compile(c).unwrap();
+        dc_sweep(&mut prep, &Options::default(), "V1", &[1.0, 2.0]).unwrap();
+        match &prep.circuit.elements()[0].kind {
+            crate::circuit::ElementKind::Vsource { wave, .. } => {
+                assert_eq!(*wave, SourceWave::Dc(7.0));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn empty_sweep_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::gnd(), 1.0);
+        c.resistor("R1", a, Circuit::gnd(), 1.0);
+        let mut prep = Prepared::compile(c).unwrap();
+        assert!(dc_sweep(&mut prep, &Options::default(), "V1", &[]).is_err());
+        assert!(dc_sweep(&mut prep, &Options::default(), "R1", &[1.0]).is_err());
+    }
+}

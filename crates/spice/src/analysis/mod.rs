@@ -1,0 +1,17 @@
+//! Circuit analyses: operating point, DC sweep, AC sweep, transient.
+
+pub mod ac;
+pub mod dc;
+pub mod noise;
+pub mod op;
+pub mod report;
+pub mod stamp;
+pub mod tran;
+
+pub use ac::ac_sweep;
+pub use dc::dc_sweep;
+pub use noise::{noise_analysis, NoiseContribution, NoisePoint};
+pub use op::{bjt_operating, op, op_from, OpResult};
+pub use report::op_report;
+pub use stamp::Options;
+pub use tran::{tran, TranParams};

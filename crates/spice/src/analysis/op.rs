@@ -1,0 +1,397 @@
+//! DC operating-point analysis: Newton–Raphson with gmin stepping and
+//! source stepping fallbacks.
+
+use crate::analysis::stamp::{assemble, converged, Mode, NonlinMemory, Options};
+use crate::circuit::Prepared;
+use crate::devices::bjt::{eval_bjt, BjtOperating};
+use crate::error::{Result, SpiceError};
+use ahfic_num::{lu::LuFactors, Matrix};
+
+/// Converged operating point.
+#[derive(Clone, Debug)]
+pub struct OpResult {
+    /// Solution vector (node voltages then branch currents).
+    pub x: Vec<f64>,
+    /// Newton iterations spent (total across continuation stages).
+    pub iterations: usize,
+}
+
+/// Runs one Newton solve in the given mode.
+///
+/// `diag_gmin` is added to every voltage-unknown diagonal (used by gmin
+/// stepping; `0.0` normally). Returns the solution and iteration count.
+pub(crate) fn newton_solve(
+    prep: &Prepared,
+    opts: &Options,
+    mode: &Mode,
+    mem: &mut NonlinMemory,
+    x0: &[f64],
+    diag_gmin: f64,
+) -> Result<(Vec<f64>, usize)> {
+    let n = prep.num_unknowns;
+    let mut mat = Matrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+    let mut x = x0.to_vec();
+    for iter in 1..=opts.max_newton {
+        assemble(prep, &x, opts, mode, mem, &mut mat, &mut rhs, None);
+        if diag_gmin > 0.0 {
+            for k in 0..prep.num_voltage_unknowns {
+                mat.add_at(k, k, diag_gmin);
+            }
+        }
+        let factors = LuFactors::factor(mat.clone()).map_err(|e| SpiceError::Singular {
+            unknown: prep
+                .unknown_names
+                .get(e.column)
+                .cloned()
+                .unwrap_or_else(|| format!("#{}", e.column)),
+        })?;
+        let x_new = factors.solve(&rhs);
+        if x_new.iter().any(|v| !v.is_finite()) {
+            return Err(SpiceError::NoConvergence {
+                analysis: "newton",
+                iterations: iter,
+                time: None,
+            });
+        }
+        let done = converged(prep, &x, &x_new, opts) && !mem.limited;
+        x = x_new;
+        if done {
+            return Ok((x, iter));
+        }
+    }
+    Err(SpiceError::NoConvergence {
+        analysis: "newton",
+        iterations: opts.max_newton,
+        time: None,
+    })
+}
+
+/// Computes the DC operating point.
+///
+/// Strategy: plain Newton from a zero start; on failure, gmin stepping
+/// (a conductance from every node to ground, progressively relaxed);
+/// on failure, source stepping (all sources ramped from 10 % to 100 %).
+///
+/// # Errors
+///
+/// [`SpiceError::Singular`] for structurally singular circuits,
+/// [`SpiceError::NoConvergence`] when every strategy fails.
+pub fn op(prep: &Prepared, opts: &Options) -> Result<OpResult> {
+    op_from(prep, opts, None)
+}
+
+/// Operating point warm-started from a previous solution (used by sweeps).
+///
+/// # Errors
+///
+/// Same as [`op`].
+pub fn op_from(prep: &Prepared, opts: &Options, x0: Option<&[f64]>) -> Result<OpResult> {
+    let n = prep.num_unknowns;
+    let zero = vec![0.0; n];
+    let start = x0.unwrap_or(&zero);
+    let mode = Mode::Dc { source_scale: 1.0 };
+
+    // 1. Plain Newton.
+    let mut mem = NonlinMemory::new(prep);
+    let mut total_iters = 0usize;
+    match newton_solve(prep, opts, &mode, &mut mem, start, 0.0) {
+        Ok((x, it)) => {
+            return Ok(OpResult {
+                x,
+                iterations: it,
+            })
+        }
+        Err(SpiceError::Singular { unknown }) => {
+            // A structurally singular matrix will not be cured by source
+            // stepping; gmin on the diagonal may cure floating nodes, so
+            // try one damped pass before giving up.
+            let mut mem = NonlinMemory::new(prep);
+            if let Ok((x, it)) = newton_solve(prep, opts, &mode, &mut mem, start, 1e-9) {
+                return Ok(OpResult { x, iterations: it });
+            }
+            return Err(SpiceError::Singular { unknown });
+        }
+        Err(_) => {}
+    }
+
+    // 2. Gmin stepping.
+    let mut x = start.to_vec();
+    let mut mem = NonlinMemory::new(prep);
+    let gmin_ladder = [1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 0.0];
+    let mut ladder_ok = true;
+    for &g in &gmin_ladder {
+        match newton_solve(prep, opts, &mode, &mut mem, &x, g) {
+            Ok((xs, it)) => {
+                total_iters += it;
+                x = xs;
+            }
+            Err(_) => {
+                ladder_ok = false;
+                break;
+            }
+        }
+    }
+    if ladder_ok {
+        return Ok(OpResult {
+            x,
+            iterations: total_iters,
+        });
+    }
+
+    // 3. Source stepping.
+    let mut x = vec![0.0; n];
+    let mut mem = NonlinMemory::new(prep);
+    let mut scale = 0.0f64;
+    let mut step = 0.1f64;
+    let mut failures = 0usize;
+    while scale < 1.0 {
+        let target = (scale + step).min(1.0);
+        let mode = Mode::Dc {
+            source_scale: target,
+        };
+        match newton_solve(prep, opts, &mode, &mut mem, &x, 0.0) {
+            Ok((xs, it)) => {
+                total_iters += it;
+                x = xs;
+                scale = target;
+                step = (step * 1.5).min(0.25);
+            }
+            Err(e) => {
+                failures += 1;
+                step *= 0.25;
+                if failures > 12 || step < 1e-5 {
+                    return Err(match e {
+                        SpiceError::Singular { .. } => e,
+                        _ => SpiceError::NoConvergence {
+                            analysis: "op",
+                            iterations: total_iters,
+                            time: None,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    Ok(OpResult {
+        x,
+        iterations: total_iters,
+    })
+}
+
+/// Re-evaluates the Gummel–Poon state of a named BJT at a converged
+/// operating point (normalized NPN polarity).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::Measure`] if the element is not a BJT.
+pub fn bjt_operating(
+    prep: &Prepared,
+    x: &[f64],
+    opts: &Options,
+    name: &str,
+) -> Result<BjtOperating> {
+    let idx = prep
+        .circuit
+        .find_element(name)
+        .ok_or_else(|| SpiceError::Measure(format!("no element named {name}")))?;
+    let model = prep.scaled_bjt[idx]
+        .as_ref()
+        .ok_or_else(|| SpiceError::Measure(format!("{name} is not a BJT")))?;
+    let nodes = prep.bjt_nodes[idx].expect("bjt nodes");
+    let sg = model.polarity.sign();
+    let rd = |slot: usize| crate::circuit::read_slot(x, slot);
+    let vbe = sg * (rd(nodes.bi) - rd(nodes.ei));
+    let vbc = sg * (rd(nodes.bi) - rd(nodes.ci));
+    let vcs = sg * (rd(nodes.s) - rd(nodes.ci));
+    Ok(eval_bjt(model, vbe, vbc, vcs, opts.vt, opts.gmin))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::model::{BjtModel, BjtPolarity, DiodeModel};
+
+    fn opts() -> Options {
+        Options::default()
+    }
+
+    #[test]
+    fn linear_divider_in_one_shot() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), 12.0);
+        c.resistor("R1", a, b, 2e3);
+        c.resistor("R2", b, Circuit::gnd(), 1e3);
+        let prep = Prepared::compile(c).unwrap();
+        let r = op(&prep, &opts()).unwrap();
+        assert!((prep.voltage(&r.x, b) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diode_forward_drop() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let d = c.node("d");
+        c.vsource("V1", a, Circuit::gnd(), 5.0);
+        c.resistor("R1", a, d, 1e3);
+        let dm = c.add_diode_model(DiodeModel::default());
+        c.diode("D1", d, Circuit::gnd(), dm, 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        let r = op(&prep, &opts()).unwrap();
+        let vd = prep.voltage(&r.x, d);
+        assert!(vd > 0.55 && vd < 0.75, "vd = {vd}");
+        // i = (5 - vd)/1k through the diode: check consistency with the
+        // source branch current.
+        let i_src = r.x[prep.branch_slot("V1").unwrap()];
+        assert!((i_src + (5.0 - vd) / 1e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diode_reverse_blocks() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let d = c.node("d");
+        c.vsource("V1", a, Circuit::gnd(), -5.0);
+        c.resistor("R1", a, d, 1e3);
+        let dm = c.add_diode_model(DiodeModel::default());
+        c.diode("D1", d, Circuit::gnd(), dm, 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        let r = op(&prep, &opts()).unwrap();
+        // Essentially the full supply across the diode.
+        assert!((prep.voltage(&r.x, d) + 5.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn npn_common_emitter_bias() {
+        let mut c = Circuit::new();
+        let vcc = c.node("vcc");
+        let b = c.node("b");
+        let col = c.node("c");
+        c.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+        c.resistor("RB", vcc, b, 430e3);
+        c.resistor("RC", vcc, col, 1e3);
+        let mut m = BjtModel::named("n1");
+        m.bf = 100.0;
+        let mi = c.add_bjt_model(m);
+        c.bjt("Q1", col, b, Circuit::gnd(), mi, 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        let r = op(&prep, &opts()).unwrap();
+        let vb = prep.voltage(&r.x, b);
+        let vc = prep.voltage(&r.x, col);
+        // With IS = 1e-16 a ~1 mA collector current needs vbe ~ 0.77 V.
+        assert!(vb > 0.6 && vb < 0.85, "vb = {vb}");
+        // ib ~ (5-0.65)/430k ~ 10 uA, ic ~ 1 mA, vc ~ 5 - 1 = 4 V.
+        assert!(vc > 3.0 && vc < 4.7, "vc = {vc}");
+        let q = bjt_operating(&prep, &r.x, &opts(), "Q1").unwrap();
+        assert!(q.ic > 0.5e-3 && q.ic < 1.6e-3, "ic = {}", q.ic);
+        assert!((q.beta_dc() - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn pnp_mirror_polarity() {
+        let mut c = Circuit::new();
+        let vee = c.node("vee");
+        let b = c.node("b");
+        let col = c.node("c");
+        c.vsource("VEE", vee, Circuit::gnd(), 5.0);
+        c.resistor("RB", b, Circuit::gnd(), 430e3);
+        c.resistor("RC", col, Circuit::gnd(), 1e3);
+        let mut m = BjtModel::named("p1");
+        m.polarity = BjtPolarity::Pnp;
+        m.bf = 100.0;
+        let mi = c.add_bjt_model(m);
+        // Emitter at VEE (the + rail), collector pulled to ground.
+        c.bjt("Q1", col, b, vee, mi, 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        let r = op(&prep, &opts()).unwrap();
+        let vb = prep.voltage(&r.x, b);
+        // Base sits one VEB below the emitter rail.
+        assert!(vb > 4.2 && vb < 4.5, "vb = {vb}");
+        let vc = prep.voltage(&r.x, col);
+        assert!(vc > 0.2, "vc = {vc}");
+    }
+
+    #[test]
+    fn bjt_with_parasitic_resistances_converges() {
+        let mut c = Circuit::new();
+        let vcc = c.node("vcc");
+        let b = c.node("b");
+        let col = c.node("c");
+        let e = c.node("e");
+        c.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+        c.vsource("VB", b, Circuit::gnd(), 0.8);
+        c.resistor("RC", vcc, col, 500.0);
+        c.resistor("RE", e, Circuit::gnd(), 100.0);
+        let mut m = BjtModel::named("n2");
+        m.rb = 150.0;
+        m.re = 2.0;
+        m.rc = 30.0;
+        m.cje = 1e-13;
+        m.cjc = 5e-14;
+        let mi = c.add_bjt_model(m);
+        c.bjt("Q1", col, b, e, mi, 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        let r = op(&prep, &opts()).unwrap();
+        let ve = prep.voltage(&r.x, e);
+        // Emitter follower-ish: ve ~ 0.8 - 0.7 = ~0.1..0.2 V
+        assert!(ve > 0.02 && ve < 0.3, "ve = {ve}");
+    }
+
+    #[test]
+    fn floating_node_reports_singular_or_resolves_via_gmin() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let f = c.node("floating");
+        c.vsource("V1", a, Circuit::gnd(), 1.0);
+        c.resistor("R1", a, Circuit::gnd(), 1e3);
+        c.capacitor("C1", f, Circuit::gnd(), 1e-12);
+        let prep = Prepared::compile(c).unwrap();
+        // DC: the capacitor is open, node `floating` has no DC path. The
+        // engine should either flag it or pin it via diagonal gmin.
+        match op(&prep, &opts()) {
+            Ok(r) => assert!(prep.voltage(&r.x, f).abs() < 1e-6),
+            Err(SpiceError::Singular { unknown }) => assert!(unknown.contains("floating")),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn series_diode_chain_needs_limiting() {
+        // A hard start: 3 stacked diodes directly across a source. Newton
+        // without pnjlim would overflow immediately.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let n1 = c.node("n1");
+        let n2 = c.node("n2");
+        c.vsource("V1", a, Circuit::gnd(), 2.1);
+        let dm = c.add_diode_model(DiodeModel::default());
+        c.diode("D1", a, n1, dm, 1.0);
+        c.diode("D2", n1, n2, dm, 1.0);
+        c.diode("D3", n2, Circuit::gnd(), dm, 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        let r = op(&prep, &opts()).unwrap();
+        let v1 = prep.voltage(&r.x, n1);
+        let v2 = prep.voltage(&r.x, n2);
+        assert!((v1 - 1.4).abs() < 0.1, "v1 = {v1}");
+        assert!((v2 - 0.7).abs() < 0.05, "v2 = {v2}");
+    }
+
+    #[test]
+    fn warm_start_converges_fast() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let d = c.node("d");
+        c.vsource("V1", a, Circuit::gnd(), 3.0);
+        c.resistor("R1", a, d, 1e3);
+        let dm = c.add_diode_model(DiodeModel::default());
+        c.diode("D1", d, Circuit::gnd(), dm, 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        let cold = op(&prep, &opts()).unwrap();
+        let warm = op_from(&prep, &opts(), Some(&cold.x)).unwrap();
+        assert!(warm.iterations <= cold.iterations);
+        assert!(warm.iterations <= 3, "warm took {}", warm.iterations);
+    }
+}

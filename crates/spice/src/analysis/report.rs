@@ -1,0 +1,101 @@
+//! Human-readable operating-point reports (the `.op` printout of
+//! classic SPICE).
+
+use crate::analysis::op::bjt_operating;
+use crate::analysis::stamp::Options;
+use crate::circuit::{ElementKind, Prepared};
+use crate::units::format_value;
+use std::fmt::Write as _;
+
+/// Renders node voltages, branch currents and BJT operating points at a
+/// converged solution.
+pub fn op_report(prep: &Prepared, x: &[f64], opts: &Options) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== operating point ==");
+    let _ = writeln!(out, "-- node voltages --");
+    for (k, name) in prep.unknown_names.iter().enumerate() {
+        if k < prep.num_voltage_unknowns {
+            let _ = writeln!(out, "  {name:<18} {:>12}V", format_value(x[k]));
+        }
+    }
+    let _ = writeln!(out, "-- branch currents --");
+    for (k, name) in prep.unknown_names.iter().enumerate() {
+        if k >= prep.num_voltage_unknowns {
+            let _ = writeln!(out, "  {name:<18} {:>12}A", format_value(x[k]));
+        }
+    }
+    let mut header_done = false;
+    for el in prep.circuit.elements() {
+        if let ElementKind::Bjt { .. } = el.kind {
+            if !header_done {
+                let _ = writeln!(out, "-- bipolar transistors --");
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:>10} {:>10} {:>10} {:>8} {:>10}",
+                    "name", "ic", "ib", "vbe", "beta", "ft"
+                );
+                header_done = true;
+            }
+            if let Ok(q) = bjt_operating(prep, x, opts, &el.name) {
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:>9}A {:>9}A {:>9}V {:>8.1} {:>9}Hz",
+                    el.name,
+                    format_value(q.ic),
+                    format_value(q.ib),
+                    format_value(q.vbe),
+                    q.beta_dc(),
+                    format_value(q.ft())
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::op;
+    use crate::circuit::Circuit;
+    use crate::model::BjtModel;
+
+    #[test]
+    fn report_lists_everything() {
+        let mut c = Circuit::new();
+        let vcc = c.node("vcc");
+        let b = c.node("b");
+        let col = c.node("c");
+        c.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+        c.resistor("RB", vcc, b, 470e3);
+        c.resistor("RC", vcc, col, 1e3);
+        let mut m = BjtModel::named("n1");
+        m.cje = 80e-15;
+        m.cjc = 40e-15;
+        m.tf = 15e-12;
+        let mi = c.add_bjt_model(m);
+        c.bjt("Q1", col, b, Circuit::gnd(), mi, 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        let opts = Options::default();
+        let r = op(&prep, &opts).unwrap();
+        let text = op_report(&prep, &r.x, &opts);
+        assert!(text.contains("node voltages"));
+        assert!(text.contains("v(c)"));
+        assert!(text.contains("i(VCC)"));
+        assert!(text.contains("Q1"), "{text}");
+        assert!(text.contains("beta") && text.contains("ft"));
+    }
+
+    #[test]
+    fn report_without_bjts_omits_table() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::gnd(), 1.0);
+        c.resistor("R1", a, Circuit::gnd(), 1e3);
+        let prep = Prepared::compile(c).unwrap();
+        let opts = Options::default();
+        let r = op(&prep, &opts).unwrap();
+        let text = op_report(&prep, &r.x, &opts);
+        assert!(!text.contains("bipolar"));
+    }
+}

@@ -1,0 +1,654 @@
+//! MNA assembly shared by the operating-point, DC-sweep and transient
+//! engines.
+//!
+//! The assembler walks the element list and stamps the linearized
+//! companion of every device into a dense real matrix/RHS pair. Nonlinear
+//! devices (diode, BJT) are linearized at the candidate solution with
+//! SPICE-style junction-voltage limiting; charge-storage elements get
+//! trapezoidal companion models in transient mode.
+
+use crate::circuit::{read_slot, ElementKind, Prepared, GROUND_SLOT};
+use crate::devices::bjt::eval_bjt;
+use crate::devices::diode::eval_diode;
+use crate::devices::junction::{depletion, pnjlim, vcrit};
+use crate::wave::SourceWave;
+use ahfic_num::Matrix;
+
+/// Simulator tolerance and iteration options (SPICE names).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Options {
+    /// Relative convergence tolerance.
+    pub reltol: f64,
+    /// Absolute voltage tolerance (V).
+    pub vntol: f64,
+    /// Absolute current tolerance (A).
+    pub abstol: f64,
+    /// Junction convergence-aid conductance (S).
+    pub gmin: f64,
+    /// Maximum Newton iterations per solve.
+    pub max_newton: usize,
+    /// Thermal voltage kT/q (V); change to simulate other temperatures.
+    pub vt: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            reltol: 1e-3,
+            vntol: 1e-6,
+            abstol: 1e-12,
+            gmin: 1e-12,
+            max_newton: 100,
+            vt: crate::devices::junction::VT_300K,
+        }
+    }
+}
+
+impl Options {
+    /// Default options with the thermal voltage set for a junction
+    /// temperature in °C (first-order temperature support: `kT/q` only;
+    /// model parameters are not re-derated).
+    ///
+    /// # Panics
+    ///
+    /// Panics below absolute zero.
+    pub fn at_celsius(temp_c: f64) -> Self {
+        assert!(temp_c > -273.15, "temperature below absolute zero");
+        const K_OVER_Q: f64 = 8.617333262e-5; // eV/K
+        Options {
+            vt: K_OVER_Q * (temp_c + 273.15),
+            ..Options::default()
+        }
+    }
+}
+
+/// Stored charge and its branch current for one charge element slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChargeState {
+    /// Charge (C), normalized polarity for BJTs.
+    pub q: f64,
+    /// Charge current `dq/dt` (A), normalized polarity.
+    pub i: f64,
+}
+
+/// All charge-element state for a circuit, indexed per element.
+#[derive(Clone, Debug)]
+pub struct ChargeBank {
+    /// First slot of each element (`usize::MAX` when it stores no charge).
+    pub base: Vec<usize>,
+    /// Flat state storage.
+    pub states: Vec<ChargeState>,
+}
+
+impl ChargeBank {
+    /// Allocates zeroed charge slots for every storage element.
+    pub fn new(prep: &Prepared) -> Self {
+        let mut base = vec![usize::MAX; prep.circuit.elements().len()];
+        let mut next = 0usize;
+        for (idx, el) in prep.circuit.elements().iter().enumerate() {
+            let n = match el.kind {
+                ElementKind::Capacitor { .. } => 1,
+                ElementKind::Diode { .. } => 1,
+                ElementKind::Bjt { .. } => 4,
+                _ => 0,
+            };
+            if n > 0 {
+                base[idx] = next;
+                next += n;
+            }
+        }
+        ChargeBank {
+            base,
+            states: vec![ChargeState::default(); next],
+        }
+    }
+}
+
+/// Junction-voltage memory for Newton limiting, per element.
+#[derive(Clone, Debug)]
+pub struct NonlinMemory {
+    /// `(vbe, vbc)` per element (meaningful for BJTs), normalized polarity.
+    pub bjt: Vec<(f64, f64)>,
+    /// `vd` per element (meaningful for diodes).
+    pub diode: Vec<f64>,
+    /// Whether any junction was limited during the last assembly.
+    pub limited: bool,
+}
+
+impl NonlinMemory {
+    /// Fresh memory with all junctions at zero bias.
+    pub fn new(prep: &Prepared) -> Self {
+        let n = prep.circuit.elements().len();
+        NonlinMemory {
+            bjt: vec![(0.0, 0.0); n],
+            diode: vec![0.0; n],
+            limited: false,
+        }
+    }
+}
+
+/// Assembly mode.
+#[derive(Clone, Copy, Debug)]
+pub enum Mode<'a> {
+    /// DC: capacitors open, inductors short; sources at their DC value
+    /// scaled by `source_scale` (1.0 normally, <1 during source stepping).
+    Dc {
+        /// Multiplier applied to all independent sources.
+        source_scale: f64,
+    },
+    /// Transient Newton iteration at `time` with integration coefficient
+    /// `a` (`2/h` for trapezoidal, `1/h` for backward Euler, `0` to
+    /// initialize charges) against the previous-step `bank` and previous
+    /// solution `x_prev`.
+    Tran {
+        /// Current simulation time (s).
+        time: f64,
+        /// Companion coefficient (1/s).
+        a: f64,
+        /// Charge states at the previous accepted timepoint.
+        bank: &'a ChargeBank,
+        /// Solution at the previous accepted timepoint.
+        x_prev: &'a [f64],
+    },
+}
+
+struct Sys<'m> {
+    mat: &'m mut Matrix<f64>,
+    rhs: &'m mut [f64],
+}
+
+impl Sys<'_> {
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        if r != GROUND_SLOT && c != GROUND_SLOT {
+            self.mat.add_at(r, c, v);
+        }
+    }
+
+    #[inline]
+    fn rhs_add(&mut self, r: usize, v: f64) {
+        if r != GROUND_SLOT {
+            self.rhs[r] += v;
+        }
+    }
+
+    /// Conductance `g` between unknowns `p` and `n`.
+    fn conductance(&mut self, p: usize, n: usize, g: f64) {
+        self.add(p, p, g);
+        self.add(n, n, g);
+        self.add(p, n, -g);
+        self.add(n, p, -g);
+    }
+
+    /// Constant current `i` flowing from `p` to `n` (through the element).
+    fn current(&mut self, p: usize, n: usize, i: f64) {
+        self.rhs_add(p, -i);
+        self.rhs_add(n, i);
+    }
+
+    /// Current `g * (v(cp) - v(cn))` flowing from `p` to `n`.
+    fn transadmittance(&mut self, p: usize, n: usize, cp: usize, cn: usize, g: f64) {
+        self.add(p, cp, g);
+        self.add(p, cn, -g);
+        self.add(n, cp, -g);
+        self.add(n, cn, g);
+    }
+}
+
+fn source_value(wave: &SourceWave, mode: &Mode) -> f64 {
+    match mode {
+        Mode::Dc { source_scale } => wave.dc_value() * source_scale,
+        Mode::Tran { time, .. } => wave.eval(*time),
+    }
+}
+
+/// Assembles the linearized MNA system at candidate solution `x`.
+///
+/// `mem` carries junction-limiting memory between Newton iterations and
+/// reports whether limiting fired. In transient mode `new_charges` (when
+/// provided, sized like `bank.states`) receives the charge/current pair of
+/// every storage element evaluated at `x`, which the engine commits once
+/// the step is accepted.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble(
+    prep: &Prepared,
+    x: &[f64],
+    opts: &Options,
+    mode: &Mode,
+    mem: &mut NonlinMemory,
+    mat: &mut Matrix<f64>,
+    rhs: &mut [f64],
+    mut new_charges: Option<&mut [ChargeState]>,
+) {
+    mat.clear();
+    rhs.fill(0.0);
+    mem.limited = false;
+    let mut sys = Sys { mat, rhs };
+    let gmin = opts.gmin;
+    let vt = opts.vt;
+
+    for (idx, el) in prep.circuit.elements().iter().enumerate() {
+        match &el.kind {
+            ElementKind::Resistor { p, n, r } => {
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.conductance(p, n, 1.0 / r);
+            }
+            ElementKind::Capacitor { p, n, c } => {
+                if let Mode::Tran { a, bank, .. } = mode {
+                    let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                    let v = read_slot(x, p) - read_slot(x, n);
+                    let st = bank.states[bank.base[idx]];
+                    let q = c * v;
+                    let i = a * (q - st.q) - st.i;
+                    let geq = a * c;
+                    sys.conductance(p, n, geq);
+                    sys.current(p, n, i - geq * v);
+                    if let Some(nc) = new_charges.as_deref_mut() {
+                        nc[bank.base[idx]] = ChargeState { q, i };
+                    }
+                }
+            }
+            ElementKind::Inductor { p, n, l } => {
+                let k = prep.branch_of[idx].0.expect("inductor branch");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.add(p, k, 1.0);
+                sys.add(n, k, -1.0);
+                sys.add(k, p, 1.0);
+                sys.add(k, n, -1.0);
+                match mode {
+                    Mode::Dc { .. } => {
+                        // Short: v(p) - v(n) = 0 (plus a tiny series
+                        // resistance to avoid singular source loops).
+                        sys.add(k, k, -1e-9);
+                    }
+                    Mode::Tran { a, x_prev, .. } => {
+                        // v = L di/dt, trapezoidal companion.
+                        let i_prev = x_prev[k];
+                        let v_prev = read_slot(x_prev, p) - read_slot(x_prev, n);
+                        sys.add(k, k, -l * a);
+                        let correction = if *a == 0.0 { 0.0 } else { -(l * a * i_prev + v_prev) };
+                        sys.rhs_add(k, correction);
+                    }
+                }
+            }
+            ElementKind::Vsource { p, n, wave, .. } => {
+                let k = prep.branch_of[idx].0.expect("vsource branch");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.add(p, k, 1.0);
+                sys.add(n, k, -1.0);
+                sys.add(k, p, 1.0);
+                sys.add(k, n, -1.0);
+                sys.rhs_add(k, source_value(wave, mode));
+            }
+            ElementKind::Isource { p, n, wave, .. } => {
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.current(p, n, source_value(wave, mode));
+            }
+            ElementKind::Vcvs { p, n, cp, cn, gain } => {
+                let k = prep.branch_of[idx].0.expect("vcvs branch");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                let (cp, cn) = (prep.slot_of(*cp), prep.slot_of(*cn));
+                sys.add(p, k, 1.0);
+                sys.add(n, k, -1.0);
+                sys.add(k, p, 1.0);
+                sys.add(k, n, -1.0);
+                sys.add(k, cp, -gain);
+                sys.add(k, cn, *gain);
+            }
+            ElementKind::Vccs { p, n, cp, cn, gm } => {
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                let (cp, cn) = (prep.slot_of(*cp), prep.slot_of(*cn));
+                sys.transadmittance(p, n, cp, cn, *gm);
+            }
+            ElementKind::Cccs {
+                p, n, vsource, gain,
+            } => {
+                let j = prep
+                    .branch_slot(vsource)
+                    .expect("validated at compile time");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.add(p, j, *gain);
+                sys.add(n, j, -gain);
+            }
+            ElementKind::Ccvs { p, n, vsource, r } => {
+                let k = prep.branch_of[idx].0.expect("ccvs branch");
+                let j = prep
+                    .branch_slot(vsource)
+                    .expect("validated at compile time");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.add(p, k, 1.0);
+                sys.add(n, k, -1.0);
+                sys.add(k, p, 1.0);
+                sys.add(k, n, -1.0);
+                sys.add(k, j, -r);
+            }
+            ElementKind::BehavioralV {
+                p, n, controls, func,
+            } => {
+                let k = prep.branch_of[idx].0.expect("behavioral branch");
+                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
+                sys.add(p, k, 1.0);
+                sys.add(n, k, -1.0);
+                sys.add(k, p, 1.0);
+                sys.add(k, n, -1.0);
+                let slots: Vec<usize> = controls.iter().map(|&c| prep.slot_of(c)).collect();
+                let vc: Vec<f64> = slots.iter().map(|&s| read_slot(x, s)).collect();
+                let f0 = func.eval(&vc);
+                let mut rhs_val = f0;
+                for (i, &cs) in slots.iter().enumerate() {
+                    let d = func.derivative(&vc, i);
+                    sys.add(k, cs, -d);
+                    rhs_val -= d * vc[i];
+                }
+                sys.rhs_add(k, rhs_val);
+            }
+            ElementKind::Diode { p, n, .. } => {
+                let model = prep.scaled_diode[idx].as_ref().expect("scaled diode");
+                let (pa, nc) = (prep.slot_of(*p), prep.slot_of(*n));
+                let ai = prep.diode_internal[idx].unwrap_or(pa);
+                if ai != pa {
+                    sys.conductance(pa, ai, 1.0 / model.rs);
+                }
+                let vd_raw = read_slot(x, ai) - read_slot(x, nc);
+                let nvt = model.n * vt;
+                let vc = vcrit(model.is_, nvt);
+                let vd = pnjlim(vd_raw, mem.diode[idx], nvt, vc);
+                if (vd - vd_raw).abs() > 1e-15 {
+                    mem.limited = true;
+                }
+                mem.diode[idx] = vd;
+                let op = eval_diode(model, vd, vt, gmin);
+                sys.conductance(ai, nc, op.gd);
+                sys.current(ai, nc, op.id - op.gd * vd);
+                if let Mode::Tran { a, bank, .. } = mode {
+                    let st = bank.states[bank.base[idx]];
+                    let i = a * (op.qd - st.q) - st.i;
+                    let geq = a * op.cd;
+                    sys.conductance(ai, nc, geq);
+                    sys.current(ai, nc, i - geq * vd);
+                    if let Some(ncs) = new_charges.as_deref_mut() {
+                        ncs[bank.base[idx]] = ChargeState { q: op.qd, i };
+                    }
+                }
+            }
+            ElementKind::Bjt { .. } => {
+                let model = prep.scaled_bjt[idx].as_ref().expect("scaled bjt");
+                let nodes = prep.bjt_nodes[idx].expect("bjt nodes");
+                let sg = model.polarity.sign();
+                let vbe_raw = sg * (read_slot(x, nodes.bi) - read_slot(x, nodes.ei));
+                let vbc_raw = sg * (read_slot(x, nodes.bi) - read_slot(x, nodes.ci));
+                let vcs = sg * (read_slot(x, nodes.s) - read_slot(x, nodes.ci));
+                let nfvt = model.nf * vt;
+                let nrvt = model.nr * vt;
+                let (vbe_old, vbc_old) = mem.bjt[idx];
+                let vbe = pnjlim(vbe_raw, vbe_old, nfvt, vcrit(model.is_, nfvt));
+                let vbc = pnjlim(vbc_raw, vbc_old, nrvt, vcrit(model.is_, nrvt));
+                if (vbe - vbe_raw).abs() > 1e-15 || (vbc - vbc_raw).abs() > 1e-15 {
+                    mem.limited = true;
+                }
+                mem.bjt[idx] = (vbe, vbc);
+                let op = eval_bjt(model, vbe, vbc, vcs, vt, gmin);
+
+                // Parasitic resistances external->internal.
+                if nodes.bi != nodes.b {
+                    sys.conductance(nodes.b, nodes.bi, 1.0 / op.rbb.max(1e-3));
+                }
+                if nodes.ci != nodes.c {
+                    sys.conductance(nodes.c, nodes.ci, 1.0 / model.rc);
+                }
+                if nodes.ei != nodes.e {
+                    sys.conductance(nodes.e, nodes.ei, 1.0 / model.re);
+                }
+
+                // Base-emitter diode.
+                sys.conductance(nodes.bi, nodes.ei, op.gpi);
+                sys.current(nodes.bi, nodes.ei, sg * (op.ibe - op.gpi * vbe));
+                // Base-collector diode.
+                sys.conductance(nodes.bi, nodes.ci, op.gmu);
+                sys.current(nodes.bi, nodes.ci, sg * (op.ibc - op.gmu * vbc));
+                // Transport current ci -> ei with two controlling voltages.
+                let (gmf, gmr) = (op.gmf, op.gmr);
+                sys.add(nodes.ci, nodes.bi, gmf + gmr);
+                sys.add(nodes.ci, nodes.ei, -gmf);
+                sys.add(nodes.ci, nodes.ci, -gmr);
+                sys.add(nodes.ei, nodes.bi, -(gmf + gmr));
+                sys.add(nodes.ei, nodes.ei, gmf);
+                sys.add(nodes.ei, nodes.ci, gmr);
+                sys.current(
+                    nodes.ci,
+                    nodes.ei,
+                    sg * (op.it - gmf * vbe - gmr * vbc),
+                );
+
+                if let Mode::Tran { a, bank, .. } = mode {
+                    let b0 = bank.base[idx];
+                    // qbe between bi-ei, controlled by vbe and (weakly) vbc.
+                    {
+                        let st = bank.states[b0];
+                        let i = a * (op.qbe - st.q) - st.i;
+                        let (gbe, gx) = (a * op.cbe, a * op.cbe_bc);
+                        sys.add(nodes.bi, nodes.bi, gbe + gx);
+                        sys.add(nodes.bi, nodes.ei, -gbe);
+                        sys.add(nodes.bi, nodes.ci, -gx);
+                        sys.add(nodes.ei, nodes.bi, -(gbe + gx));
+                        sys.add(nodes.ei, nodes.ei, gbe);
+                        sys.add(nodes.ei, nodes.ci, gx);
+                        sys.current(nodes.bi, nodes.ei, sg * (i - gbe * vbe - gx * vbc));
+                        if let Some(ncs) = new_charges.as_deref_mut() {
+                            ncs[b0] = ChargeState { q: op.qbe, i };
+                        }
+                    }
+                    // qbc between bi-ci.
+                    {
+                        let st = bank.states[b0 + 1];
+                        let i = a * (op.qbc - st.q) - st.i;
+                        let geq = a * op.cbc;
+                        sys.conductance(nodes.bi, nodes.ci, geq);
+                        sys.current(nodes.bi, nodes.ci, sg * (i - geq * vbc));
+                        if let Some(ncs) = new_charges.as_deref_mut() {
+                            ncs[b0 + 1] = ChargeState { q: op.qbc, i };
+                        }
+                    }
+                    // qbx: external-base fraction of CJC between b and ci.
+                    {
+                        let vbx = sg * (read_slot(x, nodes.b) - read_slot(x, nodes.ci));
+                        let (qbx, cbx) = depletion(
+                            vbx,
+                            model.cjc * (1.0 - model.xcjc.clamp(0.0, 1.0)),
+                            model.vjc,
+                            model.mjc,
+                            model.fc,
+                        );
+                        let st = bank.states[b0 + 2];
+                        let i = a * (qbx - st.q) - st.i;
+                        let geq = a * cbx;
+                        sys.conductance(nodes.b, nodes.ci, geq);
+                        sys.current(nodes.b, nodes.ci, sg * (i - geq * vbx));
+                        if let Some(ncs) = new_charges.as_deref_mut() {
+                            ncs[b0 + 2] = ChargeState { q: qbx, i };
+                        }
+                    }
+                    // qcs between s and ci.
+                    {
+                        let st = bank.states[b0 + 3];
+                        let i = a * (op.qcs - st.q) - st.i;
+                        let geq = a * op.ccs;
+                        sys.conductance(nodes.s, nodes.ci, geq);
+                        sys.current(nodes.s, nodes.ci, sg * (i - geq * vcs));
+                        if let Some(ncs) = new_charges.as_deref_mut() {
+                            ncs[b0 + 3] = ChargeState { q: op.qcs, i };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convergence check between successive Newton iterates.
+pub fn converged(prep: &Prepared, x_old: &[f64], x_new: &[f64], opts: &Options) -> bool {
+    for k in 0..prep.num_unknowns {
+        let (tol_abs, _is_v) = if k < prep.num_voltage_unknowns {
+            (opts.vntol, true)
+        } else {
+            (opts.abstol, false)
+        };
+        let tol = opts.reltol * x_new[k].abs().max(x_old[k].abs()) + tol_abs;
+        if (x_new[k] - x_old[k]).abs() > tol {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use ahfic_num::lu;
+
+    /// Assemble and directly solve a linear circuit in DC mode.
+    fn solve_dc(ckt: Circuit) -> (Prepared, Vec<f64>) {
+        let prep = Prepared::compile(ckt).unwrap();
+        let n = prep.num_unknowns;
+        let mut mat = Matrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+        let mut mem = NonlinMemory::new(&prep);
+        let x = vec![0.0; n];
+        let opts = Options::default();
+        assemble(
+            &prep,
+            &x,
+            &opts,
+            &Mode::Dc { source_scale: 1.0 },
+            &mut mem,
+            &mut mat,
+            &mut rhs,
+            None,
+        );
+        let sol = lu::solve(mat, &rhs).unwrap();
+        (prep, sol)
+    }
+
+    #[test]
+    fn voltage_divider() {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource("V1", vin, Circuit::gnd(), 10.0);
+        c.resistor("R1", vin, out, 1e3);
+        c.resistor("R2", out, Circuit::gnd(), 3e3);
+        let (prep, x) = solve_dc(c);
+        assert!((prep.voltage(&x, out) - 7.5).abs() < 1e-9);
+        // Source current: 10V over 4k = 2.5 mA flowing out of + terminal,
+        // i.e. -2.5 mA into it per the SPICE convention.
+        let i = x[prep.branch_slot("V1").unwrap()];
+        assert!((i + 2.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_source_polarity() {
+        let mut c = Circuit::new();
+        let out = c.node("out");
+        // 1 mA from ground into `out` through a 1k to ground: v = +1V.
+        c.isource("I1", Circuit::gnd(), out, 1e-3);
+        c.resistor("R1", out, Circuit::gnd(), 1e3);
+        let (prep, x) = solve_dc(c);
+        assert!((prep.voltage(&x, out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vcvs_gain() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), 2.0);
+        c.vcvs("E1", b, Circuit::gnd(), a, Circuit::gnd(), 5.0);
+        c.resistor("RL", b, Circuit::gnd(), 1e3);
+        let (prep, x) = solve_dc(c);
+        assert!((prep.voltage(&x, b) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vccs_injects_current() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), 1.0);
+        // gm = 1mS controlled by v(a): pushes 1 mA from gnd into b.
+        c.vccs("G1", Circuit::gnd(), b, a, Circuit::gnd(), 1e-3);
+        c.resistor("RL", b, Circuit::gnd(), 1e3);
+        let (prep, x) = solve_dc(c);
+        assert!((prep.voltage(&x, b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cccs_mirrors_current() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), 1.0);
+        c.resistor("R1", a, Circuit::gnd(), 1e3); // i(V1) = -1 mA
+        c.cccs("F1", Circuit::gnd(), b, "V1", 2.0);
+        c.resistor("RL", b, Circuit::gnd(), 1e3);
+        let (prep, x) = solve_dc(c);
+        // F injects 2*i(V1) = -2 mA from gnd to b -> v(b) = -2 V.
+        assert!((prep.voltage(&x, b) + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ccvs_transresistance() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), 1.0);
+        c.resistor("R1", a, Circuit::gnd(), 1e3);
+        c.ccvs("H1", b, Circuit::gnd(), "V1", 500.0);
+        c.resistor("RL", b, Circuit::gnd(), 1e3);
+        let (prep, x) = solve_dc(c);
+        // v(b) = 500 * (-1 mA) = -0.5 V.
+        assert!((prep.voltage(&x, b) + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), 1.0);
+        c.inductor("L1", a, b, 1e-6);
+        c.resistor("R1", b, Circuit::gnd(), 100.0);
+        let (prep, x) = solve_dc(c);
+        assert!((prep.voltage(&x, b) - 1.0).abs() < 1e-6);
+        let i = x[prep.branch_slot("L1").unwrap()];
+        assert!((i - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn temperature_scales_thermal_voltage() {
+        let cold = Options::at_celsius(-40.0);
+        let room = Options::at_celsius(26.85);
+        let hot = Options::at_celsius(125.0);
+        assert!(cold.vt < room.vt && room.vt < hot.vt);
+        assert!((room.vt - Options::default().vt).abs() < 1e-4);
+        // A diode drop shrinks with temperature at fixed current: check
+        // via the junction law directly.
+        use crate::devices::diode::eval_diode;
+        use crate::model::DiodeModel;
+        let m = DiodeModel::default();
+        let i_cold = eval_diode(&m, 0.65, cold.vt, 0.0).id;
+        let i_hot = eval_diode(&m, 0.65, hot.vt, 0.0).id;
+        assert!(i_cold > i_hot, "same V -> more current when cold (fixed IS)");
+    }
+
+    #[test]
+    fn converged_checks_tolerances() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, Circuit::gnd(), 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        let opts = Options::default();
+        assert!(converged(&prep, &[1.0], &[1.0 + 1e-7], &opts));
+        assert!(!converged(&prep, &[1.0], &[1.01], &opts));
+    }
+}

@@ -1,0 +1,382 @@
+//! Transient analysis: trapezoidal integration with Newton at every step,
+//! source breakpoints, and iteration-count step control.
+
+use crate::analysis::op::{newton_solve, op};
+use crate::analysis::stamp::{assemble, ChargeBank, Mode, NonlinMemory, Options};
+use crate::circuit::{ElementKind, Prepared};
+use crate::error::{Result, SpiceError};
+use crate::waveform::Waveform;
+use ahfic_num::Matrix;
+
+/// Transient analysis parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TranParams {
+    /// Stop time (s).
+    pub t_stop: f64,
+    /// Maximum internal timestep (s); also bounds output resolution.
+    pub dt_max: f64,
+    /// Initial timestep; defaults to `dt_max / 10`.
+    pub dt_init: Option<f64>,
+    /// Skip the DC operating point and start from declared initial
+    /// conditions (SPICE `UIC`).
+    pub uic: bool,
+}
+
+impl TranParams {
+    /// Conventional setup: simulate to `t_stop` with steps bounded by
+    /// `dt_max`, starting from the DC operating point.
+    pub fn new(t_stop: f64, dt_max: f64) -> Self {
+        TranParams {
+            t_stop,
+            dt_max,
+            dt_init: None,
+            uic: false,
+        }
+    }
+
+    /// Same, but starting from initial conditions instead of the OP.
+    pub fn with_uic(mut self) -> Self {
+        self.uic = true;
+        self
+    }
+}
+
+/// Hard cap on accepted plus rejected steps, as a runaway guard.
+const MAX_STEPS: usize = 50_000_000;
+
+/// Runs a transient simulation, recording every unknown at every accepted
+/// timestep (signal names follow `Prepared::unknown_names`:
+/// `v(node)` / `i(element)`).
+///
+/// # Errors
+///
+/// Propagates OP failures; returns [`SpiceError::NoConvergence`] when the
+/// timestep controller cannot find a converging step, and
+/// [`SpiceError::BadAnalysis`] for nonsensical parameters.
+pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Waveform> {
+    if params.t_stop <= 0.0 || params.dt_max <= 0.0 {
+        return Err(SpiceError::BadAnalysis(
+            "transient needs positive t_stop and dt_max".into(),
+        ));
+    }
+    let n = prep.num_unknowns;
+
+    // Initial state.
+    let mut x = if params.uic {
+        let mut x0 = vec![0.0; n];
+        for &(node, v) in prep.circuit.ics() {
+            let slot = prep.slot_of(node);
+            if slot != crate::circuit::GROUND_SLOT {
+                x0[slot] = v;
+            }
+        }
+        x0
+    } else {
+        op(prep, opts)?.x
+    };
+
+    // Charge bank initialized at the starting solution (a = 0 turns the
+    // companion into a pure charge evaluation with zero current).
+    let mut bank = ChargeBank::new(prep);
+    let mut mem = NonlinMemory::new(prep);
+    {
+        let mut mat = Matrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+        let mut fresh = bank.states.clone();
+        let mode = Mode::Tran {
+            time: 0.0,
+            a: 0.0,
+            bank: &bank,
+            x_prev: &x,
+        };
+        assemble(
+            prep,
+            &x,
+            opts,
+            &mode,
+            &mut mem,
+            &mut mat,
+            &mut rhs,
+            Some(&mut fresh),
+        );
+        bank.states = fresh;
+    }
+
+    // Source breakpoints.
+    let mut breakpoints: Vec<f64> = prep
+        .circuit
+        .elements()
+        .iter()
+        .filter_map(|el| match &el.kind {
+            ElementKind::Vsource { wave, .. } | ElementKind::Isource { wave, .. } => {
+                Some(wave.breakpoints(params.t_stop))
+            }
+            _ => None,
+        })
+        .flatten()
+        .filter(|&t| t > 0.0)
+        .collect();
+    breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+    let mut next_bp = 0usize;
+
+    let h_init = params.dt_init.unwrap_or(params.dt_max / 10.0).min(params.dt_max);
+    let h_min = (params.t_stop * 1e-12).max(1e-21);
+    let mut h = h_init;
+
+    let mut wave = Waveform::new("time");
+    for name in &prep.unknown_names {
+        wave.push_signal(name);
+    }
+    wave.push_sample(0.0, &x);
+
+    let mut t = 0.0f64;
+    let mut steps = 0usize;
+    let mut new_states = bank.states.clone();
+    while t < params.t_stop - 1e-15 * params.t_stop {
+        steps += 1;
+        if steps > MAX_STEPS {
+            return Err(SpiceError::NoConvergence {
+                analysis: "tran",
+                iterations: steps,
+                time: Some(t),
+            });
+        }
+        // Clip the step to the stop time and the next breakpoint.
+        let mut h_eff = h.min(params.t_stop - t);
+        let mut hit_bp = false;
+        if next_bp < breakpoints.len() {
+            let bp = breakpoints[next_bp];
+            if t + h_eff >= bp - 1e-18 {
+                h_eff = bp - t;
+                hit_bp = true;
+            }
+        }
+        if h_eff <= 0.0 {
+            // Breakpoint coincides with current time.
+            next_bp += 1;
+            continue;
+        }
+
+        let t_new = t + h_eff;
+        let a = 2.0 / h_eff; // trapezoidal
+        let x_prev = x.clone();
+        let mode = Mode::Tran {
+            time: t_new,
+            a,
+            bank: &bank,
+            x_prev: &x_prev,
+        };
+        match newton_solve(prep, opts, &mode, &mut mem, &x_prev, 0.0) {
+            Ok((x_new, iters)) => {
+                // Collect accepted charge states with one extra assembly at
+                // the converged solution.
+                let mut mat = Matrix::zeros(n, n);
+                let mut rhs = vec![0.0; n];
+                assemble(
+                    prep,
+                    &x_new,
+                    opts,
+                    &mode,
+                    &mut mem,
+                    &mut mat,
+                    &mut rhs,
+                    Some(&mut new_states),
+                );
+                bank.states.copy_from_slice(&new_states);
+                x = x_new;
+                t = t_new;
+                wave.push_sample(t, &x);
+                if hit_bp {
+                    next_bp += 1;
+                    h = h_init.min(params.dt_max);
+                } else if iters <= 3 {
+                    h = (h * 1.5).min(params.dt_max);
+                } else if iters >= 10 {
+                    h = (h * 0.5).max(h_min);
+                }
+            }
+            Err(SpiceError::Singular { unknown }) => {
+                return Err(SpiceError::Singular { unknown });
+            }
+            Err(_) => {
+                h *= 0.25;
+                if h < h_min {
+                    return Err(SpiceError::NoConvergence {
+                        analysis: "tran",
+                        iterations: steps,
+                        time: Some(t),
+                    });
+                }
+            }
+        }
+    }
+    Ok(wave)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::wave::SourceWave;
+
+    fn opts() -> Options {
+        Options::default()
+    }
+
+    #[test]
+    fn rc_charging_matches_analytic() {
+        // 1 V step into R=1k, C=1n: tau = 1 us.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let out = c.node("out");
+        c.vsource_wave(
+            "V1",
+            a,
+            Circuit::gnd(),
+            SourceWave::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 0.0,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 1.0,
+                period: 0.0,
+            },
+        );
+        c.resistor("R1", a, out, 1e3);
+        c.capacitor("C1", out, Circuit::gnd(), 1e-9);
+        let prep = Prepared::compile(c).unwrap();
+        let w = tran(&prep, &opts(), &TranParams::new(5e-6, 5e-9)).unwrap();
+        let v = w.signal("v(out)").unwrap();
+        let ts = w.axis();
+        for (k, &t) in ts.iter().enumerate() {
+            if t < 5e-9 {
+                continue;
+            }
+            let expect = 1.0 - (-(t - 1e-9) / 1e-6).exp();
+            assert!(
+                (v[k] - expect).abs() < 6e-3,
+                "t={t:.3e}: {} vs {expect}",
+                v[k]
+            );
+        }
+        // Practically fully charged at the end.
+        assert!((w.last("v(out)").unwrap() - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn lc_oscillation_period() {
+        // UIC start: C charged to 1 V rings with L at f = 1/(2 pi sqrt(LC)).
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor("C1", a, Circuit::gnd(), 1e-9);
+        c.inductor("L1", a, Circuit::gnd(), 1e-6);
+        c.resistor("Rdamp", a, Circuit::gnd(), 1e6);
+        c.set_ic(a, 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
+        let period = 1.0 / f0;
+        let w = tran(
+            &prep,
+            &opts(),
+            &TranParams::new(3.0 * period, period / 400.0).with_uic(),
+        )
+        .unwrap();
+        let v = w.signal("v(a)").unwrap();
+        let ts = w.axis();
+        // Find the first two downward zero crossings to estimate period.
+        let mut crossings = Vec::new();
+        for k in 1..v.len() {
+            if v[k - 1] > 0.0 && v[k] <= 0.0 {
+                let frac = v[k - 1] / (v[k - 1] - v[k]);
+                crossings.push(ts[k - 1] + frac * (ts[k] - ts[k - 1]));
+            }
+        }
+        assert!(crossings.len() >= 2, "no oscillation seen");
+        let measured = crossings[1] - crossings[0];
+        assert!(
+            (measured - period).abs() / period < 0.01,
+            "period {measured:.3e} vs {period:.3e}"
+        );
+    }
+
+    #[test]
+    fn sin_source_amplitude_preserved() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource_wave(
+            "V1",
+            a,
+            Circuit::gnd(),
+            SourceWave::Sin {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 1e6,
+                delay: 0.0,
+                damping: 0.0,
+                phase_deg: 0.0,
+            },
+        );
+        c.resistor("R1", a, Circuit::gnd(), 50.0);
+        let prep = Prepared::compile(c).unwrap();
+        let w = tran(&prep, &opts(), &TranParams::new(3e-6, 5e-9)).unwrap();
+        let v = w.signal("v(a)").unwrap();
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        let min = v.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - 1.0).abs() < 1e-3);
+        assert!((min + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn uic_respects_initial_condition() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.capacitor("C1", a, Circuit::gnd(), 1e-9);
+        c.resistor("R1", a, Circuit::gnd(), 1e3);
+        c.set_ic(a, 2.0);
+        let prep = Prepared::compile(c).unwrap();
+        let w = tran(
+            &prep,
+            &opts(),
+            &TranParams::new(5e-6, 10e-9).with_uic(),
+        )
+        .unwrap();
+        let v = w.signal("v(a)").unwrap();
+        assert!((v[0] - 2.0).abs() < 1e-12);
+        // Decays with tau = 1 us.
+        let t1 = w.axis().iter().position(|&t| t >= 1e-6).unwrap();
+        assert!((v[t1] - 2.0 * (-1.0f64).exp()).abs() < 0.02);
+        assert!(w.last("v(a)").unwrap().abs() < 0.02);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, Circuit::gnd(), 1.0);
+        let prep = Prepared::compile(c).unwrap();
+        assert!(tran(&prep, &opts(), &TranParams::new(0.0, 1e-9)).is_err());
+        assert!(tran(&prep, &opts(), &TranParams::new(1e-6, 0.0)).is_err());
+    }
+
+    #[test]
+    fn breakpoints_are_hit_exactly() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource_wave(
+            "V1",
+            a,
+            Circuit::gnd(),
+            SourceWave::Pwl(vec![(0.0, 0.0), (1e-6, 0.0), (1.001e-6, 1.0), (2e-6, 1.0)]),
+        );
+        c.resistor("R1", a, Circuit::gnd(), 1e3);
+        let prep = Prepared::compile(c).unwrap();
+        let w = tran(&prep, &opts(), &TranParams::new(2e-6, 0.5e-6)).unwrap();
+        // The sharp edge between 1.0 us and 1.001 us must be resolved even
+        // though dt_max is 0.5 us.
+        assert!(w.axis().iter().any(|&t| (t - 1e-6).abs() < 1e-15));
+        assert!(w.axis().iter().any(|&t| (t - 1.001e-6).abs() < 1e-15));
+        assert!((w.last("v(a)").unwrap() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,405 @@
+//! Gummel–Poon bipolar transistor evaluation.
+//!
+//! [`eval_bjt`] computes terminal currents, the full Newton Jacobian,
+//! stored charges and incremental capacitances at a junction-voltage pair.
+//! Everything is done in *normalized* (NPN) space: for PNP devices the
+//! caller flips terminal voltage signs before and current/charge signs
+//! after (conductances and capacitances are invariant under that
+//! transformation).
+
+use crate::devices::junction::{depletion, diode_current, limexp};
+use crate::model::BjtModel;
+
+/// Complete Gummel–Poon operating state at a `(vbe, vbc, vcs)` triple.
+///
+/// All quantities are in normalized NPN polarity. Currents flow *into* the
+/// respective terminal.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BjtOperating {
+    /// Internal base-emitter voltage used for evaluation (V).
+    pub vbe: f64,
+    /// Internal base-collector voltage (V).
+    pub vbc: f64,
+    /// Collector terminal current (A).
+    pub ic: f64,
+    /// Base terminal current (A).
+    pub ib: f64,
+    /// Emitter terminal current (A), `-(ic + ib)`.
+    pub ie: f64,
+    /// Transport (collector-to-emitter) current (A).
+    pub it: f64,
+    /// Total base-emitter diode current (A).
+    pub ibe: f64,
+    /// Total base-collector diode current (A).
+    pub ibc: f64,
+    /// `d(ibe)/d(vbe)` (S).
+    pub gpi: f64,
+    /// `d(ibc)/d(vbc)` (S).
+    pub gmu: f64,
+    /// `d(it)/d(vbe)` — forward transconductance (S).
+    pub gmf: f64,
+    /// `d(it)/d(vbc)` — reverse transconductance, negative of the Early
+    /// output conductance contribution (S).
+    pub gmr: f64,
+    /// Normalized majority base charge `qb`.
+    pub qb: f64,
+    /// B-E stored charge: diffusion + depletion (C).
+    pub qbe: f64,
+    /// Internal B'-C' stored charge (C).
+    pub qbc: f64,
+    /// External B-C' depletion charge (the `1-XCJC` fraction) (C).
+    pub qbx: f64,
+    /// Collector-substrate depletion charge (C).
+    pub qcs: f64,
+    /// `d(qbe)/d(vbe)` (F).
+    pub cbe: f64,
+    /// `d(qbe)/d(vbc)` — cross capacitance via the bias-dependent transit
+    /// time (F).
+    pub cbe_bc: f64,
+    /// `d(qbc)/d(vbc)` (F).
+    pub cbc: f64,
+    /// `d(qbx)/d(vbc_ext)` (F).
+    pub cbx: f64,
+    /// `d(qcs)/d(vcs)` (F).
+    pub ccs: f64,
+    /// Bias-dependent base resistance (ohm).
+    pub rbb: f64,
+}
+
+impl BjtOperating {
+    /// DC beta `ic/ib` at this point (guards against `ib == 0`).
+    pub fn beta_dc(&self) -> f64 {
+        if self.ib.abs() < 1e-300 {
+            f64::INFINITY
+        } else {
+            self.ic / self.ib
+        }
+    }
+
+    /// Unity-gain transition frequency from the small-signal parameters:
+    /// `fT = gm / (2*pi*(cpi + cmu))`.
+    pub fn ft(&self) -> f64 {
+        let ctot = self.cbe + self.cbc + self.cbx;
+        if ctot <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.gmf / (2.0 * std::f64::consts::PI * ctot)
+    }
+}
+
+/// Evaluates the Gummel–Poon equations at internal junction voltages
+/// `(vbe, vbc)` and collector-substrate voltage `vcs`, all in normalized
+/// NPN polarity.
+///
+/// `vt` is the thermal voltage and `gmin` the convergence-aid conductance
+/// placed across both junctions.
+pub fn eval_bjt(model: &BjtModel, vbe: f64, vbc: f64, vcs: f64, vt: f64, gmin: f64) -> BjtOperating {
+    let m = model;
+    let nfvt = m.nf * vt;
+    let nrvt = m.nr * vt;
+
+    // Ideal transport diode currents.
+    let (ef, def) = limexp(vbe, nfvt);
+    let i_f = m.is_ * (ef - 1.0);
+    let gif = m.is_ * def;
+    let (er, der) = limexp(vbc, nrvt);
+    let i_r = m.is_ * (er - 1.0);
+    let gir = m.is_ * der;
+
+    // Base charge qb = q1/2 (1 + sqrt(1 + 4 q2)).
+    let inv_q1 = {
+        let mut x = 1.0;
+        if m.vaf.is_finite() {
+            x -= vbc / m.vaf;
+        }
+        if m.var.is_finite() {
+            x -= vbe / m.var;
+        }
+        // SPICE clamps to keep qb positive in deep saturation corners.
+        x.max(1e-4)
+    };
+    let q1 = 1.0 / inv_q1;
+    let mut q2 = 0.0;
+    let mut dq2_dvbe = 0.0;
+    let mut dq2_dvbc = 0.0;
+    if m.ikf.is_finite() && m.ikf > 0.0 {
+        q2 += i_f / m.ikf;
+        dq2_dvbe += gif / m.ikf;
+    }
+    if m.ikr.is_finite() && m.ikr > 0.0 {
+        q2 += i_r / m.ikr;
+        dq2_dvbc += gir / m.ikr;
+    }
+    let s = (1.0 + 4.0 * q2).max(0.0).sqrt();
+    let qb = q1 * (1.0 + s) / 2.0;
+    let dq1_dvbe = if m.var.is_finite() { q1 * q1 / m.var } else { 0.0 };
+    let dq1_dvbc = if m.vaf.is_finite() { q1 * q1 / m.vaf } else { 0.0 };
+    let dqb_dvbe = dq1_dvbe * (1.0 + s) / 2.0 + q1 / s.max(1e-12) * dq2_dvbe;
+    let dqb_dvbc = dq1_dvbc * (1.0 + s) / 2.0 + q1 / s.max(1e-12) * dq2_dvbc;
+
+    // Transport current and transconductances.
+    let it = (i_f - i_r) / qb;
+    let gmf = gif / qb - it / qb * dqb_dvbe;
+    let gmr = -gir / qb - it / qb * dqb_dvbc;
+
+    // Base current components (ideal / qb-independent + leakage).
+    let (ibe_ideal, gbe_ideal) = (i_f / m.bf, gif / m.bf);
+    let (ible, gble) = if m.ise > 0.0 {
+        diode_current(vbe, m.ise, m.ne * vt, 0.0)
+    } else {
+        (0.0, 0.0)
+    };
+    let (ibc_ideal, gbc_ideal) = (i_r / m.br, gir / m.br);
+    let (iblc, gblc) = if m.isc > 0.0 {
+        diode_current(vbc, m.isc, m.nc * vt, 0.0)
+    } else {
+        (0.0, 0.0)
+    };
+    let ibe = ibe_ideal + ible + gmin * vbe;
+    let gpi = gbe_ideal + gble + gmin;
+    let ibc = ibc_ideal + iblc + gmin * vbc;
+    let gmu = gbc_ideal + gblc + gmin;
+
+    // Bias-dependent transit time (XTF/VTF/ITF Kirk-effect surrogate).
+    let (tff, dtff_dvbe, dtff_dvbc) = if m.tf > 0.0 && m.xtf > 0.0 {
+        let denom = i_f + m.itf;
+        let ratio = if denom > 0.0 { i_f / denom } else { 0.0 };
+        let expv = if m.vtf.is_finite() {
+            (vbc / (1.44 * m.vtf)).exp()
+        } else {
+            1.0
+        };
+        let tff = m.tf * (1.0 + m.xtf * ratio * ratio * expv);
+        let dratio_dvbe = if denom > 0.0 {
+            gif * m.itf / (denom * denom)
+        } else {
+            0.0
+        };
+        let dtff_dvbe = m.tf * m.xtf * 2.0 * ratio * dratio_dvbe * expv;
+        let dtff_dvbc = if m.vtf.is_finite() {
+            m.tf * m.xtf * ratio * ratio * expv / (1.44 * m.vtf)
+        } else {
+            0.0
+        };
+        (tff, dtff_dvbe, dtff_dvbc)
+    } else {
+        (m.tf, 0.0, 0.0)
+    };
+
+    // Stored charges.
+    let (qje, cje) = depletion(vbe, m.cje, m.vje, m.mje, m.fc);
+    let qbe = tff * i_f + qje;
+    let cbe = tff * gif + dtff_dvbe * i_f + cje;
+    let cbe_bc = dtff_dvbc * i_f;
+
+    let xcjc = m.xcjc.clamp(0.0, 1.0);
+    let (qjc_int, cjc_int) = depletion(vbc, m.cjc * xcjc, m.vjc, m.mjc, m.fc);
+    let qbc = m.tr * i_r + qjc_int;
+    let cbc = m.tr * gir + cjc_int;
+    // External (extrinsic-base) fraction of the B-C capacitance. The
+    // caller evaluates it at the *external* base to internal collector
+    // voltage; here vbc is used as an adequate proxy when RB is small.
+    let (qbx, cbx) = depletion(vbc, m.cjc * (1.0 - xcjc), m.vjc, m.mjc, m.fc);
+
+    let (qcs, ccs) = depletion(vcs, m.cjs, m.vjs, m.mjs, m.fc);
+
+    // Bias-dependent base resistance (SPICE formulation without IRB uses
+    // qb; with IRB uses the tan(x)/x solution — we use the qb form, and
+    // interpolate toward RBM with IRB when given).
+    let rbm = m.rbm_effective();
+    let rbb = if m.rb <= 0.0 {
+        0.0
+    } else if m.irb.is_finite() && m.irb > 0.0 {
+        let ib_total = (ibe + ibc).abs();
+        // Smooth interpolation: rbb = rbm + (rb - rbm)/(1 + ib/irb).
+        rbm + (m.rb - rbm) / (1.0 + ib_total / m.irb)
+    } else {
+        rbm + (m.rb - rbm) / qb
+    };
+
+    let ic = it - ibc;
+    let ib = ibe + ibc;
+    BjtOperating {
+        vbe,
+        vbc,
+        ic,
+        ib,
+        ie: -(ic + ib),
+        it,
+        ibe,
+        ibc,
+        gpi,
+        gmu,
+        gmf,
+        gmr,
+        qb,
+        qbe,
+        qbc,
+        qbx,
+        qcs,
+        cbe,
+        cbe_bc,
+        cbc,
+        cbx,
+        ccs,
+        rbb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::junction::VT_300K;
+
+    fn test_model() -> BjtModel {
+        BjtModel {
+            name: "t".into(),
+            is_: 1e-16,
+            bf: 100.0,
+            nf: 1.0,
+            vaf: 50.0,
+            ikf: 10e-3,
+            ise: 1e-18,
+            ne: 2.0,
+            br: 2.0,
+            nr: 1.0,
+            cje: 50e-15,
+            vje: 0.9,
+            mje: 0.35,
+            tf: 15e-12,
+            xtf: 2.0,
+            vtf: 3.0,
+            itf: 20e-3,
+            cjc: 30e-15,
+            vjc: 0.7,
+            mjc: 0.4,
+            xcjc: 0.8,
+            tr: 1e-9,
+            cjs: 60e-15,
+            vjs: 0.6,
+            mjs: 0.3,
+            ..BjtModel::default()
+        }
+    }
+
+    #[test]
+    fn cutoff_currents_are_tiny() {
+        let op = eval_bjt(&test_model(), 0.0, -3.0, -3.0, VT_300K, 0.0);
+        assert!(op.ic.abs() < 1e-12);
+        assert!(op.ib.abs() < 1e-12);
+    }
+
+    #[test]
+    fn active_region_beta() {
+        let m = test_model();
+        // Forward active, moderate current (well below IKF).
+        let op = eval_bjt(&m, 0.62, -2.0, -3.0, VT_300K, 0.0);
+        assert!(op.ic > 1e-7 && op.ic < 1e-3, "ic = {}", op.ic);
+        let beta = op.beta_dc();
+        assert!(beta > 40.0 && beta <= 110.0, "beta = {beta}");
+        // KCL: ie = -(ic+ib)
+        assert!((op.ie + op.ic + op.ib).abs() < 1e-18);
+    }
+
+    #[test]
+    fn high_injection_rolls_off_beta_and_gm() {
+        let m = test_model();
+        let lo = eval_bjt(&m, 0.65, -2.0, -3.0, VT_300K, 0.0);
+        let hi = eval_bjt(&m, 0.95, -2.0, -3.0, VT_300K, 0.0);
+        // gm/ic at low current ~ 1/vt; at high current it halves.
+        let gm_over_ic_lo = lo.gmf / lo.ic;
+        let gm_over_ic_hi = hi.gmf / hi.ic;
+        assert!(gm_over_ic_hi < 0.75 * gm_over_ic_lo);
+    }
+
+    #[test]
+    fn early_effect_gives_output_conductance() {
+        let m = test_model();
+        let a = eval_bjt(&m, 0.65, -1.0, -3.0, VT_300K, 0.0);
+        let b = eval_bjt(&m, 0.65, -3.0, -3.0, VT_300K, 0.0);
+        // More reverse vbc (higher vce) -> larger collector current.
+        assert!(b.ic > a.ic);
+        // gmr must be negative (it decreases with rising vbc in fwd active).
+        assert!(a.gmr < 0.0);
+    }
+
+    #[test]
+    fn jacobian_matches_finite_differences() {
+        let m = test_model();
+        let (vbe, vbc) = (0.68, -1.3);
+        let h = 1e-7;
+        let base = eval_bjt(&m, vbe, vbc, -3.0, VT_300K, 1e-12);
+        let dbe = eval_bjt(&m, vbe + h, vbc, -3.0, VT_300K, 1e-12);
+        let dbc = eval_bjt(&m, vbe, vbc + h, -3.0, VT_300K, 1e-12);
+        let gmf_num = (dbe.it - base.it) / h;
+        let gmr_num = (dbc.it - base.it) / h;
+        let gpi_num = (dbe.ibe - base.ibe) / h;
+        let gmu_num = (dbc.ibc - base.ibc) / h;
+        assert!((base.gmf - gmf_num).abs() / gmf_num.abs() < 1e-4);
+        assert!((base.gmr - gmr_num).abs() / gmr_num.abs().max(1e-12) < 1e-3);
+        assert!((base.gpi - gpi_num).abs() / gpi_num < 1e-4);
+        assert!((base.gmu - gmu_num).abs() / gmu_num.abs().max(1e-15) < 1e-3);
+    }
+
+    #[test]
+    fn capacitances_match_charge_derivatives() {
+        let m = test_model();
+        let (vbe, vbc) = (0.7, -1.5);
+        let h = 1e-6;
+        let base = eval_bjt(&m, vbe, vbc, -3.0, VT_300K, 0.0);
+        let dbe = eval_bjt(&m, vbe + h, vbc, -3.0, VT_300K, 0.0);
+        let dbc = eval_bjt(&m, vbe, vbc + h, -3.0, VT_300K, 0.0);
+        let cbe_num = (dbe.qbe - base.qbe) / h;
+        let cbc_num = (dbc.qbc - base.qbc) / h;
+        let cbe_bc_num = (dbc.qbe - base.qbe) / h;
+        assert!((base.cbe - cbe_num).abs() / cbe_num < 1e-3, "cbe");
+        assert!((base.cbc - cbc_num).abs() / cbc_num < 1e-3, "cbc");
+        assert!(
+            (base.cbe_bc - cbe_bc_num).abs() / cbe_bc_num.abs().max(1e-18) < 1e-2,
+            "cbe_bc: {} vs {}",
+            base.cbe_bc,
+            cbe_bc_num
+        );
+    }
+
+    #[test]
+    fn ft_peaks_then_falls_with_current() {
+        let m = test_model();
+        let mut fts = Vec::new();
+        for k in 0..40 {
+            let vbe = 0.55 + 0.012 * k as f64;
+            let op = eval_bjt(&m, vbe, -2.0, -3.0, VT_300K, 0.0);
+            fts.push((op.ic, op.ft()));
+        }
+        let peak_idx = fts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+            .unwrap()
+            .0;
+        // Interior peak: rises from the left edge, falls before the right.
+        assert!(peak_idx > 0 && peak_idx < fts.len() - 1, "idx {peak_idx}");
+        assert!(fts[peak_idx].1 > 2.0 * fts[0].1);
+        assert!(fts[peak_idx].1 > 1.2 * fts.last().unwrap().1);
+    }
+
+    #[test]
+    fn base_resistance_decreases_with_current() {
+        let mut m = test_model();
+        m.rb = 100.0;
+        m.rbm = 20.0;
+        m.irb = 1e-4;
+        let lo = eval_bjt(&m, 0.55, -1.0, -3.0, VT_300K, 0.0);
+        let hi = eval_bjt(&m, 0.85, -1.0, -3.0, VT_300K, 0.0);
+        assert!(lo.rbb > hi.rbb);
+        assert!(hi.rbb >= 20.0 && lo.rbb <= 100.0);
+    }
+
+    #[test]
+    fn saturation_has_both_junctions_conducting() {
+        let m = test_model();
+        let op = eval_bjt(&m, 0.75, 0.6, -3.0, VT_300K, 0.0);
+        assert!(op.ibc > 1e-9);
+        assert!(op.ibe > 1e-9);
+    }
+}

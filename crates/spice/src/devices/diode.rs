@@ -1,0 +1,93 @@
+//! Junction diode evaluation.
+
+use crate::devices::junction::{depletion, diode_current, limexp};
+use crate::model::DiodeModel;
+
+/// Operating state of a diode at junction voltage `vd`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DiodeOperating {
+    /// Junction voltage (V).
+    pub vd: f64,
+    /// Junction current (A).
+    pub id: f64,
+    /// Small-signal conductance `d(id)/d(vd)` (S).
+    pub gd: f64,
+    /// Stored charge: diffusion + depletion (C).
+    pub qd: f64,
+    /// Incremental capacitance `d(qd)/d(vd)` (F).
+    pub cd: f64,
+}
+
+/// Evaluates the diode equations at junction voltage `vd`.
+///
+/// Includes reverse breakdown as an exponential branch when the model's
+/// `bv` is finite.
+pub fn eval_diode(model: &DiodeModel, vd: f64, vt: f64, gmin: f64) -> DiodeOperating {
+    let nvt = model.n * vt;
+    let (mut id, mut gd) = diode_current(vd, model.is_, nvt, gmin);
+    if model.bv.is_finite() && vd < -model.bv + 10.0 * nvt {
+        // Breakdown branch: current grows exponentially below -BV.
+        let (eb, deb) = limexp(-(vd + model.bv), nvt);
+        id -= model.is_ * eb;
+        gd += model.is_ * deb;
+    }
+    let (qj, cj) = depletion(vd, model.cjo, model.vj, model.m, model.fc);
+    let idiff = model.is_ * ((vd / nvt).min(80.0).exp() - 1.0);
+    let qd = model.tt * idiff + qj;
+    let cd = model.tt * (model.is_ / nvt) * (vd / nvt).min(80.0).exp() + cj;
+    DiodeOperating { vd, id, gd, qd, cd }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::junction::VT_300K;
+
+    #[test]
+    fn forward_conduction() {
+        let m = DiodeModel::default();
+        let op = eval_diode(&m, 0.7, VT_300K, 0.0);
+        assert!(op.id > 1e-3, "id = {}", op.id);
+        assert!(op.gd > 0.0);
+    }
+
+    #[test]
+    fn reverse_leakage_is_saturation_current() {
+        let m = DiodeModel::default();
+        let op = eval_diode(&m, -5.0, VT_300K, 0.0);
+        assert!((op.id + m.is_).abs() < 1e-16);
+    }
+
+    #[test]
+    fn breakdown_conducts() {
+        let m = DiodeModel {
+            bv: 5.0,
+            ..DiodeModel::default()
+        };
+        let op = eval_diode(&m, -5.5, VT_300K, 0.0);
+        assert!(op.id < -1e-6, "id = {}", op.id);
+    }
+
+    #[test]
+    fn capacitance_includes_diffusion_term() {
+        let m = DiodeModel {
+            tt: 1e-9,
+            cjo: 1e-12,
+            ..DiodeModel::default()
+        };
+        let rev = eval_diode(&m, -1.0, VT_300K, 0.0);
+        let fwd = eval_diode(&m, 0.7, VT_300K, 0.0);
+        assert!(fwd.cd > 100.0 * rev.cd);
+    }
+
+    #[test]
+    fn conductance_is_current_derivative() {
+        let m = DiodeModel::default();
+        let h = 1e-7;
+        let a = eval_diode(&m, 0.6 - h, VT_300K, 1e-12);
+        let b = eval_diode(&m, 0.6 + h, VT_300K, 1e-12);
+        let mid = eval_diode(&m, 0.6, VT_300K, 1e-12);
+        let g_num = (b.id - a.id) / (2.0 * h);
+        assert!((mid.gd - g_num).abs() / g_num < 1e-5);
+    }
+}

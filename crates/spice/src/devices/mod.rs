@@ -1,0 +1,8 @@
+//! Device physics: junction primitives and model evaluation.
+
+pub mod bjt;
+pub mod diode;
+pub mod junction;
+
+pub use bjt::{eval_bjt, BjtOperating};
+pub use diode::{eval_diode, DiodeOperating};

@@ -1,0 +1,110 @@
+//! Error types for circuit construction and simulation.
+
+use std::fmt;
+
+/// Error produced while building, parsing or simulating a circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpiceError {
+    /// The MNA matrix was singular (typically a floating node or a loop of
+    /// ideal voltage sources).
+    Singular {
+        /// Human-readable description of the offending unknown, when it can
+        /// be attributed (`v(node)` or `i(element)`).
+        unknown: String,
+    },
+    /// Newton iteration failed to converge in the allotted iterations even
+    /// after gmin and source stepping.
+    NoConvergence {
+        /// Analysis that failed (`"op"`, `"tran"`, …).
+        analysis: &'static str,
+        /// Iterations spent before giving up.
+        iterations: usize,
+        /// Simulation time at failure for transient analyses.
+        time: Option<f64>,
+    },
+    /// Netlist text could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The netlist is structurally invalid (unknown model, bad node, …).
+    Netlist(String),
+    /// An analysis was asked for something impossible (empty sweep, zero
+    /// stop time, missing probe …).
+    BadAnalysis(String),
+    /// A measurement could not be extracted from simulation results.
+    Measure(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::Singular { unknown } => {
+                write!(f, "singular MNA matrix near unknown {unknown}")
+            }
+            SpiceError::NoConvergence {
+                analysis,
+                iterations,
+                time,
+            } => match time {
+                Some(t) => write!(
+                    f,
+                    "{analysis} analysis failed to converge after {iterations} iterations at t={t:.4e}s"
+                ),
+                None => write!(
+                    f,
+                    "{analysis} analysis failed to converge after {iterations} iterations"
+                ),
+            },
+            SpiceError::Parse { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
+            SpiceError::Netlist(msg) => write!(f, "invalid netlist: {msg}"),
+            SpiceError::BadAnalysis(msg) => write!(f, "invalid analysis request: {msg}"),
+            SpiceError::Measure(msg) => write!(f, "measurement failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, SpiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SpiceError::Singular {
+            unknown: "v(out)".into(),
+        };
+        assert!(e.to_string().contains("v(out)"));
+        let e = SpiceError::NoConvergence {
+            analysis: "op",
+            iterations: 100,
+            time: None,
+        };
+        assert!(e.to_string().contains("op"));
+        let e = SpiceError::NoConvergence {
+            analysis: "tran",
+            iterations: 7,
+            time: Some(1e-9),
+        };
+        assert!(e.to_string().contains("t=1.0000e-9"));
+        let e = SpiceError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SpiceError::Netlist("x".into()));
+        assert!(e.to_string().contains("invalid netlist"));
+    }
+}

@@ -1,0 +1,66 @@
+//! A SPICE-class analog circuit simulator.
+//!
+//! This crate is the transistor-level substrate of the AHFIC design kit:
+//! a modified-nodal-analysis simulator with the device set and analyses
+//! needed to reproduce the DAC'96 high-frequency bipolar design flow:
+//!
+//! - **Devices**: R, C, L, independent V/I sources (DC/SIN/PULSE/PWL),
+//!   all four controlled sources (E/G/F/H), junction diodes and full
+//!   Gummel–Poon BJTs with internal `RB`/`RE`/`RC` nodes, bias-dependent
+//!   base resistance, depletion + diffusion charge storage and the
+//!   `XTF/VTF/ITF` transit-time model that produces realistic fT roll-off.
+//! - **Analyses**: Newton operating point with gmin/source stepping
+//!   ([`analysis::op()`]), DC sweeps ([`analysis::dc_sweep`]), complex AC
+//!   sweeps ([`analysis::ac_sweep`]) and adaptive trapezoidal transient
+//!   ([`analysis::tran()`]).
+//! - **Measurements** ([`measure`]): fT extraction from `|h21|`
+//!   extrapolation, oscillation frequency from zero crossings, THD, AC
+//!   gain/bandwidth.
+//! - **Netlists**: a builder API ([`circuit::Circuit`]) and a SPICE deck
+//!   parser ([`parse::parse_netlist`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ahfic_spice::prelude::*;
+//!
+//! // 2:1 resistive divider driven by 10 V.
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.vsource("V1", vin, Circuit::gnd(), 10.0);
+//! ckt.resistor("R1", vin, out, 1e3);
+//! ckt.resistor("R2", out, Circuit::gnd(), 1e3);
+//! let prep = Prepared::compile(ckt)?;
+//! let op = ahfic_spice::analysis::op(&prep, &Options::default())?;
+//! assert!((prep.voltage(&op.x, out) - 5.0).abs() < 1e-9);
+//! # Ok::<(), ahfic_spice::error::SpiceError>(())
+//! ```
+
+pub mod analysis;
+pub mod circuit;
+pub mod devices;
+pub mod error;
+pub mod measure;
+pub mod model;
+pub mod parse;
+pub mod subckt;
+pub mod units;
+pub mod wave;
+pub mod waveform;
+
+/// Convenient glob import for typical use.
+pub mod prelude {
+    pub use crate::analysis::{
+        ac_sweep, bjt_operating, dc_sweep, op, op_from, tran, Options, TranParams,
+    };
+    pub use crate::circuit::{Circuit, NodeId, Prepared};
+    pub use crate::error::SpiceError;
+    pub use crate::model::{BjtModel, BjtPolarity, DiodeModel};
+    pub use crate::wave::SourceWave;
+    pub use crate::waveform::{AcWaveform, Waveform};
+}
+
+pub use circuit::{Circuit, NodeId, Prepared};
+pub use error::SpiceError;
+pub use model::{BjtModel, BjtPolarity, DiodeModel};

@@ -1,0 +1,134 @@
+//! AC gain / bandwidth extraction from frequency sweeps.
+
+use crate::error::{Result, SpiceError};
+use crate::waveform::AcWaveform;
+use ahfic_num::db::to_db_amplitude;
+use ahfic_num::interp::{first_crossing, lerp_at};
+
+/// Small-signal transfer characterization of one output signal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AcCharacterization {
+    /// Reference (usually midband/first-point) gain magnitude.
+    pub gain: f64,
+    /// Reference gain in dB.
+    pub gain_db: f64,
+    /// Phase at the reference frequency (degrees).
+    pub phase_deg: f64,
+    /// Reference frequency (Hz).
+    pub f_ref: f64,
+    /// -3 dB bandwidth (Hz), if the sweep reaches it.
+    pub bw_3db: Option<f64>,
+}
+
+/// Characterizes `signal` from an AC sweep: gain/phase at `f_ref`
+/// (interpolated) and the frequency where the magnitude first falls 3 dB
+/// below that reference.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::Measure`] for missing signals or empty sweeps.
+pub fn characterize(wave: &AcWaveform, signal: &str, f_ref: f64) -> Result<AcCharacterization> {
+    let mags = wave.magnitude(signal)?;
+    let phases = wave.phase_deg(signal)?;
+    let freqs = wave.freqs();
+    if freqs.is_empty() {
+        return Err(SpiceError::Measure("empty AC sweep".into()));
+    }
+    let gain = lerp_at(freqs, &mags, f_ref);
+    let phase_deg = lerp_at(freqs, &phases, f_ref);
+    let target = gain / 2.0f64.sqrt();
+    // Scan only above the reference frequency for the roll-off.
+    let start = freqs.partition_point(|&f| f < f_ref);
+    let bw_3db = if start < freqs.len() {
+        first_crossing(&freqs[start..], &mags[start..], target)
+    } else {
+        None
+    };
+    Ok(AcCharacterization {
+        gain,
+        gain_db: to_db_amplitude(gain),
+        phase_deg,
+        f_ref,
+        bw_3db,
+    })
+}
+
+/// Gain magnitude of `out` relative to `inp` at each frequency.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::Measure`] when either signal is missing.
+pub fn gain_ratio(wave: &AcWaveform, out: &str, inp: &str) -> Result<Vec<f64>> {
+    let o = wave.signal(out)?;
+    let i = wave.signal(inp)?;
+    Ok(o.iter()
+        .zip(i.iter())
+        .map(|(a, b)| {
+            let d = b.abs();
+            if d == 0.0 {
+                f64::INFINITY
+            } else {
+                a.abs() / d
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahfic_num::Complex;
+
+    /// Synthesizes a single-pole response with DC gain `a0` and pole `fp`.
+    fn one_pole(a0: f64, fp: f64, freqs: &[f64]) -> AcWaveform {
+        let mut w = AcWaveform::new();
+        w.push_signal("v(out)");
+        w.push_signal("v(in)");
+        for &f in freqs {
+            let h = Complex::from_re(a0) / (Complex::ONE + Complex::new(0.0, f / fp));
+            w.push_sample(f, &[h, Complex::ONE]);
+        }
+        w
+    }
+
+    #[test]
+    fn finds_3db_point_of_one_pole() {
+        let freqs: Vec<f64> = (0..400).map(|k| 10f64.powf(3.0 + k as f64 * 0.01)).collect();
+        let w = one_pole(10.0, 1e5, &freqs);
+        let c = characterize(&w, "v(out)", 1e3).unwrap();
+        assert!((c.gain - 10.0).abs() < 1e-3);
+        assert!((c.gain_db - 20.0).abs() < 1e-2);
+        let bw = c.bw_3db.expect("bandwidth found");
+        assert!((bw - 1e5).abs() / 1e5 < 0.02, "bw = {bw:.3e}");
+    }
+
+    #[test]
+    fn no_bandwidth_when_sweep_too_short() {
+        let freqs: Vec<f64> = vec![1e3, 2e3, 5e3];
+        let w = one_pole(10.0, 1e6, &freqs);
+        let c = characterize(&w, "v(out)", 1e3).unwrap();
+        assert!(c.bw_3db.is_none());
+    }
+
+    #[test]
+    fn gain_ratio_divides() {
+        let freqs = vec![1e3, 1e4];
+        let mut w = AcWaveform::new();
+        w.push_signal("v(out)");
+        w.push_signal("v(in)");
+        w.push_sample(1e3, &[Complex::from_re(4.0), Complex::from_re(2.0)]);
+        w.push_sample(1e4, &[Complex::from_re(1.0), Complex::ZERO]);
+        let g = gain_ratio(&w, "v(out)", "v(in)").unwrap();
+        assert_eq!(g[0], 2.0);
+        assert!(g[1].is_infinite());
+        let _ = freqs;
+    }
+
+    #[test]
+    fn phase_at_pole_is_minus_45() {
+        let freqs: Vec<f64> = (0..200).map(|k| 10f64.powf(3.0 + k as f64 * 0.02)).collect();
+        let w = one_pole(1.0, 1e4, &freqs);
+        let c = characterize(&w, "v(out)", 1e4).unwrap();
+        assert!((c.phase_deg + 45.0).abs() < 1.0, "phase = {}", c.phase_deg);
+    }
+}

@@ -1,0 +1,12 @@
+//! Measurement extraction on simulation results: fT, oscillation
+//! frequency, harmonic distortion and AC gain/bandwidth.
+
+pub mod acgain;
+pub mod ft;
+pub mod osc;
+pub mod thd;
+
+pub use acgain::{characterize, gain_ratio, AcCharacterization};
+pub use ft::{ft_at_bias, ft_sweep, peak_ft, FtPoint};
+pub use osc::{oscillation_frequency, OscMeasurement};
+pub use thd::{harmonics, thd, HarmonicAnalysis};

@@ -1,0 +1,143 @@
+//! Oscillation-frequency measurement from transient waveforms.
+
+use crate::error::{Result, SpiceError};
+use crate::waveform::Waveform;
+
+/// Result of an oscillation measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OscMeasurement {
+    /// Fundamental frequency (Hz), averaged over the observed cycles.
+    pub frequency: f64,
+    /// Average period (s).
+    pub period: f64,
+    /// Number of full cycles used for the estimate.
+    pub cycles: usize,
+    /// Peak-to-peak amplitude over the analysis window.
+    pub amplitude_pp: f64,
+}
+
+/// Measures the free-running frequency of `signal` by averaging the
+/// spacing of interpolated rising crossings of its mean value, ignoring
+/// the first `settle_frac` of the record (startup transient).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::Measure`] if fewer than three rising crossings
+/// (two full cycles) are found.
+pub fn oscillation_frequency(
+    wave: &Waveform,
+    signal: &str,
+    settle_frac: f64,
+) -> Result<OscMeasurement> {
+    let y = wave.signal(signal)?;
+    let t = wave.axis();
+    if y.len() < 8 {
+        return Err(SpiceError::Measure(format!(
+            "signal {signal} too short for oscillation measurement"
+        )));
+    }
+    let start = ((y.len() as f64) * settle_frac.clamp(0.0, 0.95)) as usize;
+    let window = &y[start..];
+    let tw = &t[start..];
+    let mean = window.iter().sum::<f64>() / window.len() as f64;
+    let (mut lo, mut hi) = (f64::MAX, f64::MIN);
+    for &v in window {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    // Hysteresis band avoids counting noise wiggles as crossings.
+    let band = 0.05 * (hi - lo);
+    let mut crossings: Vec<f64> = Vec::new();
+    let mut armed = false;
+    for k in 1..window.len() {
+        if window[k - 1] < mean - band {
+            armed = true;
+        }
+        if armed && window[k - 1] <= mean && window[k] > mean {
+            let frac = (mean - window[k - 1]) / (window[k] - window[k - 1]);
+            crossings.push(tw[k - 1] + frac * (tw[k] - tw[k - 1]));
+            armed = false;
+        }
+    }
+    if crossings.len() < 3 {
+        return Err(SpiceError::Measure(format!(
+            "signal {signal}: only {} rising crossings found (need >= 3); not oscillating?",
+            crossings.len()
+        )));
+    }
+    let cycles = crossings.len() - 1;
+    let period = (crossings[crossings.len() - 1] - crossings[0]) / cycles as f64;
+    Ok(OscMeasurement {
+        frequency: 1.0 / period,
+        period,
+        cycles,
+        amplitude_pp: hi - lo,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn synth(f: f64, fs: f64, n: usize, offset: f64) -> Waveform {
+        let mut w = Waveform::new("time");
+        w.push_signal("v(x)");
+        for k in 0..n {
+            let t = k as f64 / fs;
+            w.push_sample(t, &[offset + (2.0 * PI * f * t).sin()]);
+        }
+        w
+    }
+
+    #[test]
+    fn measures_pure_tone() {
+        let w = synth(1e9, 50e9, 2000, 0.0);
+        let m = oscillation_frequency(&w, "v(x)", 0.1).unwrap();
+        assert!((m.frequency - 1e9).abs() / 1e9 < 1e-4, "f = {}", m.frequency);
+        assert!(m.cycles >= 20);
+        assert!((m.amplitude_pp - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn offset_does_not_matter() {
+        let w = synth(2e9, 80e9, 4000, 3.3);
+        let m = oscillation_frequency(&w, "v(x)", 0.2).unwrap();
+        assert!((m.frequency - 2e9).abs() / 2e9 < 1e-4);
+    }
+
+    #[test]
+    fn rejects_dc_signal() {
+        let mut w = Waveform::new("time");
+        w.push_signal("v(x)");
+        for k in 0..100 {
+            w.push_sample(k as f64, &[1.0]);
+        }
+        assert!(oscillation_frequency(&w, "v(x)", 0.0).is_err());
+    }
+
+    #[test]
+    fn rejects_too_short() {
+        let w = synth(1e9, 50e9, 4, 0.0);
+        assert!(oscillation_frequency(&w, "v(x)", 0.0).is_err());
+    }
+
+    #[test]
+    fn settle_fraction_skips_startup() {
+        // Signal silent for first half, then oscillates.
+        let mut w = Waveform::new("time");
+        w.push_signal("v(x)");
+        let fs = 50e9;
+        for k in 0..4000 {
+            let t = k as f64 / fs;
+            let v = if k < 2000 {
+                0.0
+            } else {
+                (2.0 * PI * 1e9 * t).sin()
+            };
+            w.push_sample(t, &[v]);
+        }
+        let m = oscillation_frequency(&w, "v(x)", 0.6).unwrap();
+        assert!((m.frequency - 1e9).abs() / 1e9 < 1e-3);
+    }
+}

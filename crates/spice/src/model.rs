@@ -1,0 +1,338 @@
+//! Device model cards (Gummel–Poon BJT, junction diode).
+
+use crate::units::format_value;
+use std::fmt;
+
+/// Polarity of a bipolar transistor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum BjtPolarity {
+    /// NPN device.
+    #[default]
+    Npn,
+    /// PNP device.
+    Pnp,
+}
+
+impl BjtPolarity {
+    /// `+1.0` for NPN, `-1.0` for PNP; multiplies terminal voltages and
+    /// currents so one set of equations serves both polarities.
+    pub fn sign(self) -> f64 {
+        match self {
+            BjtPolarity::Npn => 1.0,
+            BjtPolarity::Pnp => -1.0,
+        }
+    }
+}
+
+/// A SPICE Gummel–Poon bipolar transistor model card.
+///
+/// Field names and semantics follow Berkeley SPICE 2G6 [Vladimirescu et
+/// al.]; defaults are the SPICE defaults except where noted. Parameters
+/// that depend on device *geometry* (`is_`, `ikf`, `ise`, `irb`, `itf`,
+/// `rb`, `rbm`, `re`, `rc`, `cje`, `cjc`, `cjs`) are exactly the ones the
+/// generator in `ahfic-geom` synthesizes per transistor shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BjtModel {
+    /// Model name as referenced by `Q` elements.
+    pub name: String,
+    /// Device polarity.
+    pub polarity: BjtPolarity,
+    /// Transport saturation current (A). SPICE `IS`.
+    pub is_: f64,
+    /// Ideal maximum forward beta. `BF`.
+    pub bf: f64,
+    /// Forward current emission coefficient. `NF`.
+    pub nf: f64,
+    /// Forward Early voltage (V); `INFINITY` disables. `VAF`.
+    pub vaf: f64,
+    /// Corner for forward-beta high-current roll-off (A). `IKF`.
+    pub ikf: f64,
+    /// B-E leakage saturation current (A). `ISE`.
+    pub ise: f64,
+    /// B-E leakage emission coefficient. `NE`.
+    pub ne: f64,
+    /// Ideal maximum reverse beta. `BR`.
+    pub br: f64,
+    /// Reverse current emission coefficient. `NR`.
+    pub nr: f64,
+    /// Reverse Early voltage (V). `VAR`.
+    pub var: f64,
+    /// Corner for reverse-beta high-current roll-off (A). `IKR`.
+    pub ikr: f64,
+    /// B-C leakage saturation current (A). `ISC`.
+    pub isc: f64,
+    /// B-C leakage emission coefficient. `NC`.
+    pub nc: f64,
+    /// Zero-bias base resistance (ohm). `RB`.
+    pub rb: f64,
+    /// Current where base resistance falls halfway to `RBM` (A). `IRB`.
+    pub irb: f64,
+    /// Minimum base resistance at high current (ohm). `RBM` (defaults to `RB`).
+    pub rbm: f64,
+    /// Emitter resistance (ohm). `RE`.
+    pub re: f64,
+    /// Collector resistance (ohm). `RC`.
+    pub rc: f64,
+    /// B-E zero-bias depletion capacitance (F). `CJE`.
+    pub cje: f64,
+    /// B-E built-in potential (V). `VJE`.
+    pub vje: f64,
+    /// B-E junction grading coefficient. `MJE`.
+    pub mje: f64,
+    /// Ideal forward transit time (s). `TF`.
+    pub tf: f64,
+    /// Coefficient for bias dependence of `TF`. `XTF`.
+    pub xtf: f64,
+    /// Voltage describing VBC dependence of `TF` (V). `VTF`.
+    pub vtf: f64,
+    /// High-current parameter for `TF` dependence (A). `ITF`.
+    pub itf: f64,
+    /// B-C zero-bias depletion capacitance (F). `CJC`.
+    pub cjc: f64,
+    /// B-C built-in potential (V). `VJC`.
+    pub vjc: f64,
+    /// B-C grading coefficient. `MJC`.
+    pub mjc: f64,
+    /// Fraction of B-C capacitance at the internal base node. `XCJC`.
+    pub xcjc: f64,
+    /// Ideal reverse transit time (s). `TR`.
+    pub tr: f64,
+    /// Collector-substrate zero-bias capacitance (F). `CJS`.
+    pub cjs: f64,
+    /// Substrate junction built-in potential (V). `VJS`.
+    pub vjs: f64,
+    /// Substrate junction grading coefficient. `MJS`.
+    pub mjs: f64,
+    /// Forward-bias depletion capacitance coefficient. `FC`.
+    pub fc: f64,
+}
+
+impl Default for BjtModel {
+    /// SPICE 2G6 defaults (with `VAF`/`VAR` infinite and unit betas raised
+    /// to a practical `BF = 100`).
+    fn default() -> Self {
+        BjtModel {
+            name: "generic".to_string(),
+            polarity: BjtPolarity::Npn,
+            is_: 1e-16,
+            bf: 100.0,
+            nf: 1.0,
+            vaf: f64::INFINITY,
+            ikf: f64::INFINITY,
+            ise: 0.0,
+            ne: 1.5,
+            br: 1.0,
+            nr: 1.0,
+            var: f64::INFINITY,
+            ikr: f64::INFINITY,
+            isc: 0.0,
+            nc: 2.0,
+            rb: 0.0,
+            irb: f64::INFINITY,
+            rbm: 0.0,
+            re: 0.0,
+            rc: 0.0,
+            cje: 0.0,
+            vje: 0.75,
+            mje: 0.33,
+            tf: 0.0,
+            xtf: 0.0,
+            vtf: f64::INFINITY,
+            itf: 0.0,
+            cjc: 0.0,
+            vjc: 0.75,
+            mjc: 0.33,
+            xcjc: 1.0,
+            tr: 0.0,
+            cjs: 0.0,
+            vjs: 0.75,
+            mjs: 0.0,
+            fc: 0.5,
+        }
+    }
+}
+
+impl BjtModel {
+    /// Creates a default model with the given name.
+    pub fn named(name: impl Into<String>) -> Self {
+        BjtModel {
+            name: name.into(),
+            ..BjtModel::default()
+        }
+    }
+
+    /// Effective minimum base resistance: `RBM` defaults to `RB` when unset.
+    pub fn rbm_effective(&self) -> f64 {
+        if self.rbm > 0.0 {
+            self.rbm
+        } else {
+            self.rb
+        }
+    }
+
+    /// Emits a SPICE `.model` card line.
+    pub fn to_card(&self) -> String {
+        let kind = match self.polarity {
+            BjtPolarity::Npn => "NPN",
+            BjtPolarity::Pnp => "PNP",
+        };
+        let mut parts: Vec<String> = Vec::new();
+        let mut put = |key: &str, v: f64, default: f64| {
+            let differs = if default.is_infinite() {
+                v.is_finite()
+            } else {
+                (v - default).abs() > 1e-300 + 1e-12 * default.abs()
+            };
+            if differs && v.is_finite() {
+                parts.push(format!("{key}={}", format_value(v)));
+            }
+        };
+        let d = BjtModel::default();
+        put("IS", self.is_, d.is_);
+        put("BF", self.bf, d.bf);
+        put("NF", self.nf, d.nf);
+        put("VAF", self.vaf, d.vaf);
+        put("IKF", self.ikf, d.ikf);
+        put("ISE", self.ise, d.ise);
+        put("NE", self.ne, d.ne);
+        put("BR", self.br, d.br);
+        put("NR", self.nr, d.nr);
+        put("VAR", self.var, d.var);
+        put("IKR", self.ikr, d.ikr);
+        put("ISC", self.isc, d.isc);
+        put("NC", self.nc, d.nc);
+        put("RB", self.rb, d.rb);
+        put("IRB", self.irb, d.irb);
+        put("RBM", self.rbm, d.rbm);
+        put("RE", self.re, d.re);
+        put("RC", self.rc, d.rc);
+        put("CJE", self.cje, d.cje);
+        put("VJE", self.vje, d.vje);
+        put("MJE", self.mje, d.mje);
+        put("TF", self.tf, d.tf);
+        put("XTF", self.xtf, d.xtf);
+        put("VTF", self.vtf, d.vtf);
+        put("ITF", self.itf, d.itf);
+        put("CJC", self.cjc, d.cjc);
+        put("VJC", self.vjc, d.vjc);
+        put("MJC", self.mjc, d.mjc);
+        put("XCJC", self.xcjc, d.xcjc);
+        put("TR", self.tr, d.tr);
+        put("CJS", self.cjs, d.cjs);
+        put("VJS", self.vjs, d.vjs);
+        put("MJS", self.mjs, d.mjs);
+        put("FC", self.fc, d.fc);
+        format!(".model {} {kind} ({})", self.name, parts.join(" "))
+    }
+}
+
+impl fmt::Display for BjtModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_card())
+    }
+}
+
+/// A SPICE junction diode model card.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiodeModel {
+    /// Model name.
+    pub name: String,
+    /// Saturation current (A). `IS`.
+    pub is_: f64,
+    /// Emission coefficient. `N`.
+    pub n: f64,
+    /// Ohmic series resistance (ohm). `RS`.
+    pub rs: f64,
+    /// Zero-bias junction capacitance (F). `CJO`.
+    pub cjo: f64,
+    /// Built-in potential (V). `VJ`.
+    pub vj: f64,
+    /// Grading coefficient. `M`.
+    pub m: f64,
+    /// Transit time (s). `TT`.
+    pub tt: f64,
+    /// Forward-bias capacitance coefficient. `FC`.
+    pub fc: f64,
+    /// Reverse breakdown voltage (V, positive number); infinite disables.
+    pub bv: f64,
+}
+
+impl Default for DiodeModel {
+    fn default() -> Self {
+        DiodeModel {
+            name: "d".to_string(),
+            is_: 1e-14,
+            n: 1.0,
+            rs: 0.0,
+            cjo: 0.0,
+            vj: 1.0,
+            m: 0.5,
+            tt: 0.0,
+            fc: 0.5,
+            bv: f64::INFINITY,
+        }
+    }
+}
+
+impl DiodeModel {
+    /// Creates a default model with the given name.
+    pub fn named(name: impl Into<String>) -> Self {
+        DiodeModel {
+            name: name.into(),
+            ..DiodeModel::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_spice() {
+        let m = BjtModel::default();
+        assert_eq!(m.is_, 1e-16);
+        assert_eq!(m.nf, 1.0);
+        assert!(m.vaf.is_infinite());
+        assert_eq!(m.fc, 0.5);
+        let d = DiodeModel::default();
+        assert_eq!(d.is_, 1e-14);
+        assert_eq!(d.n, 1.0);
+    }
+
+    #[test]
+    fn polarity_sign() {
+        assert_eq!(BjtPolarity::Npn.sign(), 1.0);
+        assert_eq!(BjtPolarity::Pnp.sign(), -1.0);
+    }
+
+    #[test]
+    fn rbm_falls_back_to_rb() {
+        let mut m = BjtModel {
+            rb: 50.0,
+            ..BjtModel::default()
+        };
+        assert_eq!(m.rbm_effective(), 50.0);
+        m.rbm = 10.0;
+        assert_eq!(m.rbm_effective(), 10.0);
+    }
+
+    #[test]
+    fn card_only_lists_non_defaults() {
+        let mut m = BjtModel::named("q1");
+        m.bf = 120.0;
+        m.cje = 1e-13;
+        let card = m.to_card();
+        assert!(card.starts_with(".model q1 NPN ("));
+        assert!(card.contains("BF=120"));
+        assert!(card.contains("CJE=100f"));
+        assert!(!card.contains("NR="), "{card}");
+        assert!(!card.contains("VAF"), "{card}");
+    }
+
+    #[test]
+    fn display_is_card() {
+        let m = BjtModel::named("x");
+        assert_eq!(m.to_string(), m.to_card());
+    }
+}

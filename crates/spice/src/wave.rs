@@ -1,0 +1,297 @@
+//! Time-domain waveforms for independent sources.
+
+use std::f64::consts::PI;
+
+/// Transient shape of an independent voltage or current source.
+///
+/// All sources also carry an AC magnitude/phase used only by the AC
+/// analysis (see [`crate::circuit::Circuit`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SourceWave {
+    /// Constant value.
+    Dc(f64),
+    /// `SIN(offset ampl freq [delay [damping [phase_deg]]])`.
+    Sin {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency in Hz.
+        freq: f64,
+        /// Turn-on delay in seconds.
+        delay: f64,
+        /// Exponential damping factor (1/s) applied after `delay`.
+        damping: f64,
+        /// Phase in degrees.
+        phase_deg: f64,
+    },
+    /// `PULSE(v1 v2 delay rise fall width period)`.
+    Pulse {
+        /// Initial level.
+        v1: f64,
+        /// Pulsed level.
+        v2: f64,
+        /// Delay before the first edge.
+        delay: f64,
+        /// Rise time (0 is snapped to a 1 ps minimum internally).
+        rise: f64,
+        /// Fall time.
+        fall: f64,
+        /// Pulse width at `v2`.
+        width: f64,
+        /// Repetition period; `0` means single-shot.
+        period: f64,
+    },
+    /// Piece-wise linear `(t, v)` points; flat extrapolation outside.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl SourceWave {
+    /// Value at time `t` (seconds).
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            SourceWave::Dc(v) => *v,
+            SourceWave::Sin {
+                offset,
+                ampl,
+                freq,
+                delay,
+                damping,
+                phase_deg,
+            } => {
+                let phase0 = phase_deg.to_radians();
+                if t < *delay {
+                    offset + ampl * phase0.sin()
+                } else {
+                    let tt = t - delay;
+                    offset
+                        + ampl
+                            * (-damping * tt).exp()
+                            * (2.0 * PI * freq * tt + phase0).sin()
+                }
+            }
+            SourceWave::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let mut tt = t - delay;
+                if *period > 0.0 {
+                    tt %= period;
+                }
+                let rise = rise.max(1e-12);
+                let fall = fall.max(1e-12);
+                if tt < rise {
+                    v1 + (v2 - v1) * tt / rise
+                } else if tt < rise + width {
+                    *v2
+                } else if tt < rise + width + fall {
+                    v2 + (v1 - v2) * (tt - rise - width) / fall
+                } else {
+                    *v1
+                }
+            }
+            SourceWave::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t <= t1 {
+                        if t1 <= t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// DC (operating-point) value: the value at `t = 0`.
+    pub fn dc_value(&self) -> f64 {
+        match self {
+            SourceWave::Dc(v) => *v,
+            _ => self.eval(0.0),
+        }
+    }
+
+    /// Time breakpoints at which the transient engine should place steps
+    /// (corners of pulses and PWL segments) up to `t_stop`.
+    pub fn breakpoints(&self, t_stop: f64) -> Vec<f64> {
+        match self {
+            SourceWave::Dc(_) | SourceWave::Sin { .. } => Vec::new(),
+            SourceWave::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
+                let rise = rise.max(1e-12);
+                let fall = fall.max(1e-12);
+                let mut out = Vec::new();
+                let cycle = [0.0, rise, rise + width, rise + width + fall];
+                let mut base = *delay;
+                loop {
+                    for c in cycle {
+                        let t = base + c;
+                        if t <= t_stop {
+                            out.push(t);
+                        }
+                    }
+                    if *period <= 0.0 {
+                        break;
+                    }
+                    base += period;
+                    if base > t_stop {
+                        break;
+                    }
+                }
+                out
+            }
+            SourceWave::Pwl(points) => points
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|&t| t <= t_stop)
+                .collect(),
+        }
+    }
+}
+
+impl Default for SourceWave {
+    fn default() -> Self {
+        SourceWave::Dc(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = SourceWave::Dc(5.0);
+        assert_eq!(w.eval(0.0), 5.0);
+        assert_eq!(w.eval(1.0), 5.0);
+        assert_eq!(w.dc_value(), 5.0);
+    }
+
+    #[test]
+    fn sin_basics() {
+        let w = SourceWave::Sin {
+            offset: 1.0,
+            ampl: 2.0,
+            freq: 1.0,
+            delay: 0.0,
+            damping: 0.0,
+            phase_deg: 0.0,
+        };
+        assert!((w.eval(0.0) - 1.0).abs() < 1e-12);
+        assert!((w.eval(0.25) - 3.0).abs() < 1e-12);
+        assert!((w.eval(0.75) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sin_delay_holds_start_value() {
+        let w = SourceWave::Sin {
+            offset: 0.5,
+            ampl: 1.0,
+            freq: 10.0,
+            delay: 1.0,
+            damping: 0.0,
+            phase_deg: 0.0,
+        };
+        assert!((w.eval(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sin_damping_decays() {
+        let w = SourceWave::Sin {
+            offset: 0.0,
+            ampl: 1.0,
+            freq: 1.0,
+            delay: 0.0,
+            damping: 1.0,
+            phase_deg: 90.0,
+        };
+        // at t=1: exp(-1)*cos(2pi) = exp(-1)
+        assert!((w.eval(1.0) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let w = SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 0.0,
+        };
+        assert_eq!(w.eval(0.5), 0.0);
+        assert!((w.eval(1.5) - 0.5).abs() < 1e-12); // mid-rise
+        assert_eq!(w.eval(3.0), 1.0); // flat top
+        assert!((w.eval(4.5) - 0.5).abs() < 1e-12); // mid-fall
+        assert_eq!(w.eval(10.0), 0.0);
+    }
+
+    #[test]
+    fn pulse_repeats() {
+        let w = SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.3,
+            period: 1.0,
+        };
+        assert!((w.eval(0.2) - w.eval(1.2)).abs() < 1e-12);
+        assert!((w.eval(0.2) - w.eval(7.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = SourceWave::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (2.0, -2.0)]);
+        assert_eq!(w.eval(-1.0), 0.0);
+        assert!((w.eval(0.5) - 1.0).abs() < 1e-12);
+        assert!((w.eval(1.5) - 0.0).abs() < 1e-12);
+        assert_eq!(w.eval(5.0), -2.0);
+    }
+
+    #[test]
+    fn breakpoints_of_pulse() {
+        let w = SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1.0,
+            rise: 0.5,
+            fall: 0.5,
+            width: 1.0,
+            period: 0.0,
+        };
+        let bp = w.breakpoints(10.0);
+        assert_eq!(bp, vec![1.0, 1.5, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn breakpoints_respect_stop_time() {
+        let w = SourceWave::Pwl(vec![(0.0, 0.0), (5.0, 1.0), (20.0, 0.0)]);
+        assert_eq!(w.breakpoints(10.0), vec![0.0, 5.0]);
+    }
+}

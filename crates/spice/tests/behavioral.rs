@@ -1,0 +1,139 @@
+//! Tests for the behavioral (closure-defined) voltage source — the
+//! mixed-level hook that embeds block-level behavior inside the circuit
+//! simulator.
+
+use ahfic_spice::analysis::{ac_sweep, op, tran, Options, TranParams};
+use ahfic_spice::circuit::{BehavioralFn, Circuit, Prepared};
+use ahfic_spice::wave::SourceWave;
+
+#[test]
+fn linear_behavioral_source_acts_as_vcvs() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource("V1", a, Circuit::gnd(), 2.0);
+    ckt.behavioral_vsource(
+        "B1",
+        b,
+        Circuit::gnd(),
+        &[a],
+        BehavioralFn::new(|v| 5.0 * v[0]),
+    );
+    ckt.resistor("RL", b, Circuit::gnd(), 1e3);
+    let prep = Prepared::compile(ckt).unwrap();
+    let r = op(&prep, &Options::default()).unwrap();
+    assert!((prep.voltage(&r.x, b) - 10.0).abs() < 1e-9);
+}
+
+#[test]
+fn nonlinear_behavioral_source_converges() {
+    // v(b) = tanh(3 * v(a)) — a soft limiter in the loop.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource("V1", a, Circuit::gnd(), 0.4);
+    ckt.behavioral_vsource(
+        "B1",
+        b,
+        Circuit::gnd(),
+        &[a],
+        BehavioralFn::new(|v| (3.0 * v[0]).tanh()),
+    );
+    ckt.resistor("RL", b, Circuit::gnd(), 1e3);
+    let prep = Prepared::compile(ckt).unwrap();
+    let r = op(&prep, &Options::default()).unwrap();
+    assert!((prep.voltage(&r.x, b) - (1.2f64).tanh()).abs() < 1e-9);
+}
+
+#[test]
+fn two_control_mixer_in_transient() {
+    // A behavioral multiplier (ideal mixer) inside a transient run:
+    // product of 10 MHz and 8 MHz tones shows 2 MHz and 18 MHz.
+    let mut ckt = Circuit::new();
+    let rf = ckt.node("rf");
+    let lo = ckt.node("lo");
+    let out = ckt.node("out");
+    let sine = |f: f64| SourceWave::Sin {
+        offset: 0.0,
+        ampl: 1.0,
+        freq: f,
+        delay: 0.0,
+        damping: 0.0,
+        phase_deg: 0.0,
+    };
+    ckt.vsource_wave("VRF", rf, Circuit::gnd(), sine(10e6));
+    ckt.vsource_wave("VLO", lo, Circuit::gnd(), sine(8e6));
+    ckt.behavioral_vsource(
+        "BMIX",
+        out,
+        Circuit::gnd(),
+        &[rf, lo],
+        BehavioralFn::new(|v| v[0] * v[1]),
+    );
+    ckt.resistor("RL", out, Circuit::gnd(), 1e3);
+    let prep = Prepared::compile(ckt).unwrap();
+    let wave = tran(&prep, &Options::default(), &TranParams::new(2e-6, 1e-9)).unwrap();
+    let (fs, y) = wave.resample_uniform("v(out)", 4000).unwrap();
+    let a_dif = ahfic_num::goertzel::tone_amplitude(&y, fs, 2e6).abs();
+    let a_sum = ahfic_num::goertzel::tone_amplitude(&y, fs, 18e6).abs();
+    assert!((a_dif - 0.5).abs() < 0.02, "difference product {a_dif}");
+    assert!((a_sum - 0.5).abs() < 0.05, "sum product {a_sum}");
+}
+
+#[test]
+fn ac_linearizes_at_operating_point() {
+    // f(v) = v^2 has small-signal gain 2*V0 at the OP.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource("V1", a, Circuit::gnd(), 1.5);
+    ckt.set_ac("V1", 1.0, 0.0).unwrap();
+    ckt.behavioral_vsource(
+        "B1",
+        b,
+        Circuit::gnd(),
+        &[a],
+        BehavioralFn::new(|v| v[0] * v[0]),
+    );
+    ckt.resistor("RL", b, Circuit::gnd(), 1e3);
+    let prep = Prepared::compile(ckt).unwrap();
+    let opts = Options::default();
+    let dc = op(&prep, &opts).unwrap();
+    assert!((prep.voltage(&dc.x, b) - 2.25).abs() < 1e-9);
+    let acw = ac_sweep(&prep, &dc.x, &opts, &[1e6]).unwrap();
+    let gain = acw.signal("v(b)").unwrap()[0].abs();
+    assert!((gain - 3.0).abs() < 1e-4, "small-signal gain {gain}");
+}
+
+#[test]
+fn behavioral_source_with_bjt_load_converges() {
+    // Behavioral bias generator driving a real transistor — the two
+    // worlds in one Newton loop.
+    let mut ckt = Circuit::new();
+    let ctrl = ckt.node("ctrl");
+    let base = ckt.node("base");
+    let col = ckt.node("col");
+    let vcc = ckt.node("vcc");
+    ckt.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+    ckt.vsource("VCTRL", ctrl, Circuit::gnd(), 1.0);
+    // Behavioral soft clamp keeps the base near 0.75 V.
+    ckt.behavioral_vsource(
+        "BBIAS",
+        base,
+        Circuit::gnd(),
+        &[ctrl],
+        BehavioralFn::new(|v| 0.65 + 0.1 * (v[0]).tanh()),
+    );
+    let mut m = ahfic_spice::model::BjtModel::named("n");
+    m.cje = 50e-15;
+    m.tf = 15e-12;
+    let mi = ckt.add_bjt_model(m);
+    ckt.resistor("RC", vcc, col, 1e3);
+    ckt.bjt("Q1", col, base, Circuit::gnd(), mi, 1.0);
+    let prep = Prepared::compile(ckt).unwrap();
+    let r = op(&prep, &Options::default()).unwrap();
+    let vb = prep.voltage(&r.x, base);
+    assert!((vb - (0.65 + 0.1 * 1.0f64.tanh())).abs() < 1e-9);
+    let vc = prep.voltage(&r.x, col);
+    assert!(vc > 0.1 && vc < 5.0, "vc = {vc}");
+}

@@ -1,0 +1,242 @@
+//! Harder simulator workouts: rectifiers, switching, saturation, sweeps
+//! across operating regions — the stress cases a production simulator
+//! must take in stride.
+
+use ahfic_num::interp::{linspace, logspace};
+use ahfic_spice::analysis::{ac_sweep, dc_sweep, op, tran, Options, TranParams};
+use ahfic_spice::circuit::{Circuit, Prepared};
+use ahfic_spice::model::{BjtModel, DiodeModel};
+use ahfic_spice::parse::parse_netlist;
+use ahfic_spice::wave::SourceWave;
+
+fn opts() -> Options {
+    Options::default()
+}
+
+/// Half-wave rectifier with smoothing cap: the classic stiff transient
+/// (diode switching + large RC time constant).
+#[test]
+fn half_wave_rectifier_charges_and_ripples() {
+    let mut c = Circuit::new();
+    let ac = c.node("ac");
+    let out = c.node("out");
+    c.vsource_wave(
+        "VAC",
+        ac,
+        Circuit::gnd(),
+        SourceWave::Sin {
+            offset: 0.0,
+            ampl: 5.0,
+            freq: 1e3,
+            delay: 0.0,
+            damping: 0.0,
+            phase_deg: 0.0,
+        },
+    );
+    let dm = c.add_diode_model(DiodeModel::default());
+    c.diode("D1", ac, out, dm, 1.0);
+    c.capacitor("C1", out, Circuit::gnd(), 10e-6);
+    c.resistor("RL", out, Circuit::gnd(), 10e3);
+    let prep = Prepared::compile(c).unwrap();
+    let w = tran(&prep, &opts(), &TranParams::new(10e-3, 5e-6)).unwrap();
+    let v = w.signal("v(out)").unwrap();
+    let t = w.axis();
+    // After a few cycles the output sits near the peak minus a diode drop.
+    let late: Vec<f64> = t
+        .iter()
+        .zip(v.iter())
+        .filter(|(tt, _)| **tt > 5e-3)
+        .map(|(_, vv)| *vv)
+        .collect();
+    let vmin = late.iter().cloned().fold(f64::MAX, f64::min);
+    let vmax = late.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(vmax > 4.0 && vmax < 5.0, "peak {vmax}");
+    // Ripple: tau = RC = 0.1 s >> period, so only a small sag.
+    assert!(vmax - vmin < 0.5, "ripple {}", vmax - vmin);
+    assert!(vmin > 3.5, "valley {vmin}");
+}
+
+/// BJT saturated switch: drive a common-emitter stage rail to rail and
+/// check both logic levels plus the propagation behaviour.
+#[test]
+fn bjt_switch_saturates_and_cuts_off() {
+    let mut c = Circuit::new();
+    let vcc = c.node("vcc");
+    let b = c.node("b");
+    let col = c.node("c");
+    c.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+    c.vsource_wave(
+        "VIN",
+        b,
+        Circuit::gnd(),
+        SourceWave::Pulse {
+            v1: 0.0,
+            v2: 5.0,
+            delay: 10e-9,
+            rise: 1e-9,
+            fall: 1e-9,
+            width: 50e-9,
+            period: 0.0,
+        },
+    );
+    let mut m = BjtModel::named("sw");
+    m.bf = 80.0;
+    m.cje = 60e-15;
+    m.cjc = 30e-15;
+    m.tf = 20e-12;
+    m.tr = 2e-9;
+    m.rb = 0.0;
+    let mi = c.add_bjt_model(m);
+    // Base resistor limits drive; collector load to VCC.
+    let bb = c.node("bb");
+    c.resistor("RBB", b, bb, 10e3);
+    c.resistor("RC", vcc, col, 1e3);
+    c.bjt("Q1", col, bb, Circuit::gnd(), mi, 1.0);
+    let prep = Prepared::compile(c).unwrap();
+    let w = tran(&prep, &opts(), &TranParams::new(120e-9, 0.2e-9)).unwrap();
+    let v = w.signal("v(c)").unwrap();
+    let t = w.axis();
+    let at = |time: f64| {
+        let k = t.iter().position(|&tt| tt >= time).unwrap();
+        v[k]
+    };
+    assert!(at(5e-9) > 4.9, "off level {}", at(5e-9)); // before the pulse
+    assert!(at(40e-9) < 0.4, "saturated level {}", at(40e-9)); // on
+    assert!(at(115e-9) > 4.0, "recovered level {}", at(115e-9)); // off again
+}
+
+/// Gummel plot: sweep VBE over five decades of collector current and
+/// verify the exponential slope plus the high-injection knee.
+#[test]
+fn gummel_plot_shows_ideal_slope_and_knee() {
+    let ckt = parse_netlist(
+        ".model g NPN (IS=1e-16 BF=100 IKF=3m NF=1.0)\n\
+         VB b 0 0.5\nVC c 0 2\nQ1 c b 0 g\n",
+    )
+    .unwrap();
+    let mut prep = Prepared::compile(ckt).unwrap();
+    let vbes = linspace(0.45, 0.95, 26);
+    let sweep = dc_sweep(&mut prep, &opts(), "VB", &vbes).unwrap();
+    let ic: Vec<f64> = sweep
+        .signal("i(VC)")
+        .unwrap()
+        .iter()
+        .map(|i| -i)
+        .collect();
+    // Low-injection slope: one decade per ~59.5 mV.
+    let k1 = 2; // 0.49 V
+    let k2 = 7; // 0.59 V
+    let decades = (ic[k2] / ic[k1]).log10();
+    let mv_per_decade = (vbes[k2] - vbes[k1]) * 1e3 / decades;
+    assert!(
+        (mv_per_decade - 59.5).abs() < 2.0,
+        "slope {mv_per_decade} mV/dec"
+    );
+    // High injection: above IKF the log-slope (decades per volt of VBE)
+    // drops to about half the ideal value.
+    let slope_lo = (ic[k2] / ic[k1]).log10() / (vbes[k2] - vbes[k1]);
+    let slope_hi = (ic[25] / ic[20]).log10() / (vbes[25] - vbes[20]);
+    assert!(
+        slope_hi < 0.75 * slope_lo,
+        "knee: hi {slope_hi:.2} vs lo {slope_lo:.2} dec/V"
+    );
+    assert!(ic[25] > 3e-3, "deep high injection reached: {}", ic[25]);
+}
+
+/// AC across six decades on a two-pole amplifier: monotonic roll-off and
+/// ~-40 dB/dec asymptote.
+#[test]
+fn two_pole_rolloff_is_40db_per_decade() {
+    let mut c = Circuit::new();
+    let (a, m, o) = (c.node("a"), c.node("m"), c.node("o"));
+    c.vsource("VIN", a, Circuit::gnd(), 0.0);
+    c.set_ac("VIN", 1.0, 0.0).unwrap();
+    c.resistor("R1", a, m, 1e3);
+    c.capacitor("C1", m, Circuit::gnd(), 1e-9); // pole at 159 kHz
+    let buf = c.node("buf");
+    c.vcvs("E1", buf, Circuit::gnd(), m, Circuit::gnd(), 1.0);
+    c.resistor("R2", buf, o, 10e3);
+    c.capacitor("C2", o, Circuit::gnd(), 1e-9); // pole at 15.9 kHz
+    let prep = Prepared::compile(c).unwrap();
+    let dc = op(&prep, &opts()).unwrap();
+    let freqs = logspace(1e2, 1e8, 61);
+    let w = ac_sweep(&prep, &dc.x, &opts(), &freqs).unwrap();
+    let mag = w.magnitude("v(o)").unwrap();
+    for k in 1..mag.len() {
+        assert!(mag[k] <= mag[k - 1] + 1e-12, "monotonic roll-off");
+    }
+    // Asymptotic slope between 10 MHz and 100 MHz.
+    let k10 = freqs.iter().position(|&f| f >= 1e7).unwrap();
+    let k100 = freqs.len() - 1;
+    let slope_db = 20.0 * (mag[k100] / mag[k10]).log10()
+        / (freqs[k100] / freqs[k10]).log10();
+    assert!((slope_db + 40.0).abs() < 1.5, "slope {slope_db} dB/dec");
+}
+
+/// A differential pair driven to full switching: transfer curve is a
+/// tanh with limits at +/- I*R.
+#[test]
+fn diff_pair_transfer_is_tanh_limited() {
+    let ckt = parse_netlist(
+        ".model d NPN (IS=1e-16 BF=120)\n\
+         VCC vcc 0 5\n\
+         VIP inp 0 2.5\n\
+         VIN inn 0 2.5\n\
+         RLP vcc cp 1k\n\
+         RLN vcc cn 1k\n\
+         Q1 cp inp e d\n\
+         Q2 cn inn e d\n\
+         IT e 0 1m\n",
+    )
+    .unwrap();
+    let mut prep = Prepared::compile(ckt).unwrap();
+    let sweep = dc_sweep(&mut prep, &opts(), "VIP", &linspace(2.2, 2.8, 25)).unwrap();
+    let cp = sweep.signal("v(cp)").unwrap();
+    let cn = sweep.signal("v(cn)").unwrap();
+    // Fully steered at the ends: one side carries all the current.
+    assert!((cp[0] - 5.0).abs() < 0.01, "Q1 off at low vin: {}", cp[0]);
+    assert!((cn[0] - 4.0).abs() < 0.02, "Q2 carries 1 mA: {}", cn[0]);
+    assert!((cp[24] - 4.0).abs() < 0.02);
+    assert!((cn[24] - 5.0).abs() < 0.01);
+    // Balanced in the middle.
+    let mid = 12;
+    assert!((cp[mid] - cn[mid]).abs() < 1e-6);
+    assert!((cp[mid] - 4.5).abs() < 0.01);
+    // Differential output follows alpha*I*R*tanh(vd/(2*Vt)); check at the
+    // grid point nearest vd = 2 Vt using the actual grid drive.
+    let vt = 0.025852;
+    let vd_idx = sweep
+        .axis()
+        .iter()
+        .position(|&v| v >= 2.5 + 2.0 * vt)
+        .unwrap();
+    let vd = sweep.axis()[vd_idx] - 2.5;
+    let vdiff = cn[vd_idx] - cp[vd_idx];
+    let expect = 1e-3 * 1e3 * (vd / (2.0 * vt)).tanh();
+    assert!(
+        (vdiff - expect).abs() < 0.03,
+        "tanh point at vd={vd:.4}: {vdiff} vs {expect}"
+    );
+}
+
+/// Same netlist through the subckt path must match the flat netlist
+/// exactly.
+#[test]
+fn subckt_expansion_matches_flat_netlist() {
+    let flat = parse_netlist(
+        "V1 in 0 3\nR1 in m 1k\nR2 m 0 2k\nC1 m 0 1p\n",
+    )
+    .unwrap();
+    let hier = parse_netlist(
+        ".subckt rdiv a b\nR1 a b 1k\n.ends\n\
+         V1 in 0 3\nX1 in m rdiv\nR2 m 0 2k\nC1 m 0 1p\n",
+    )
+    .unwrap();
+    let pf = Prepared::compile(flat).unwrap();
+    let ph = Prepared::compile(hier).unwrap();
+    let rf = op(&pf, &opts()).unwrap();
+    let rh = op(&ph, &opts()).unwrap();
+    let mf = pf.circuit.find_node("m").unwrap();
+    let mh = ph.circuit.find_node("m").unwrap();
+    assert!((pf.voltage(&rf.x, mf) - ph.voltage(&rh.x, mh)).abs() < 1e-12);
+}

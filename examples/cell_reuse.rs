@@ -1,0 +1,70 @@
+//! The §3 re-use workflow: register a new cell, search the library, copy
+//! a proven circuit into a new design, and render the WWW catalog.
+//!
+//! Run with: `cargo run --release --example cell_reuse`
+
+use ahfic_celldb::catalog::render_markdown_index;
+use ahfic_celldb::cell::{Cell, CategoryPath};
+use ahfic_celldb::search::{search, SearchQuery};
+use ahfic_celldb::seed::seed_library;
+use ahfic_celldb::views::CellViews;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = seed_library()?;
+    println!("seed library: {} cells\n{}", db.len(), render_markdown_index(&db));
+
+    // A designer registers today's block (views are validated!).
+    let new_cell = Cell::new(
+        "LNA900",
+        CategoryPath::new("Tuner", "Amplifier", "LNA"),
+        CellViews {
+            document: Some(
+                "900 MHz low-noise amplifier, 15 dB gain, emitter-degenerated \
+                 cascode. Proven on the evaluation board."
+                    .into(),
+            ),
+            behavioral: Some(
+                "module lna(in, out) {
+                    input in; output out;
+                    parameter real gain = 5.6;
+                    analog { V(out) <- gain * V(in); }
+                }"
+                .into(),
+            ),
+            schematic: Some(
+                ".model lna_npn NPN (IS=2e-16 BF=120 TF=14p CJE=70f CJC=40f RB=80)\n\
+                 VCC vcc 0 5\nVIN b 0 0.8\nRC vcc c 300\nLE e 0 1n\nQ1 c b e lna_npn\n"
+                    .into(),
+            ),
+            ..Default::default()
+        },
+    )
+    .with_provenance("you", "eval board v2");
+    db.register(new_cell)?;
+    println!("registered LNA900; library now {} cells", db.len());
+
+    // A colleague searches for it next month…
+    let hits = search(&db, &SearchQuery::keywords("low noise amplifier 900"));
+    println!("\nsearch 'low noise amplifier 900':");
+    for h in &hits {
+        println!("  {} (score {:.0}) — {}", h.cell.name, h.score, h.cell.path);
+    }
+
+    // …and copies it into their design.
+    let mine = db.copy_out("LNA900", "LNA900_BS")?;
+    println!(
+        "\ncopied LNA900 -> {} ({} views travel with it)",
+        mine.name,
+        mine.views.view_count()
+    );
+
+    // The behavioral view drops straight into a system simulation.
+    let module =
+        ahfic_ahdl::eval::CompiledModule::compile(mine.views.behavioral.as_ref().expect("view"))?;
+    println!(
+        "behavioral view compiles: module `{}`, params {:?}",
+        module.name(),
+        module.params()
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Process variation study (paper §2.2: "taking IC process variations
+//! into account"):
+//!
+//! 1. Monte-Carlo yield of the image-rejection spec vs component
+//!    matching quality (SPICE-characterized RC-CR shifter per sample);
+//! 2. fT spread of a generated transistor over process corners.
+//!
+//! Run with: `cargo run --release --example process_variation`
+
+use ahfic::yield_mc::YieldStudy;
+use ahfic_geom::prelude::*;
+use ahfic_spice::analysis::Options;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("## Yield of the 30 dB image-rejection spec vs resistor matching\n");
+    println!(
+        "{:>12} {:>10} {:>12} {:>12}",
+        "sigma [%]", "yield", "mean [dB]", "p5 [dB]"
+    );
+    for sigma in [0.005, 0.01, 0.02, 0.05, 0.10, 0.20] {
+        let result = YieldStudy {
+            samples: 150,
+            ..YieldStudy::paper_example(sigma)
+        }
+        .run()?;
+        println!(
+            "{:>12.1} {:>9.1}% {:>12.1} {:>12.1}",
+            sigma * 100.0,
+            result.yield_frac * 100.0,
+            result.mean_db,
+            result.p5_db
+        );
+    }
+    println!("\n(the budget from Fig. 5 tells the designer which matching spec to buy)");
+
+    println!("\n## fT spread of N1.2-12D at 1.5 mA over 8% process corners\n");
+    let shape: TransistorShape = "N1.2-12D".parse()?;
+    let mut sampler =
+        ProcessSampler::new(ProcessData::default(), MaskRules::default(), 0.08, 2026);
+    let opts = Options::default();
+    let mut fts = Vec::new();
+    for k in 0..12 {
+        let model = sampler.sample_model(&shape);
+        let p = ahfic_spice::measure::ft_at_bias(&model, 3.0, 1.5e-3, &opts)?;
+        println!("  corner {k:>2}: fT = {:.2} GHz", p.ft / 1e9);
+        fts.push(p.ft);
+    }
+    let mean = fts.iter().sum::<f64>() / fts.len() as f64;
+    let lo = fts.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = fts.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "\n  mean {:.2} GHz, range {:.2}..{:.2} GHz ({:+.1}% / {:+.1}%)",
+        mean / 1e9,
+        lo / 1e9,
+        hi / 1e9,
+        (lo / mean - 1.0) * 100.0,
+        (hi / mean - 1.0) * 100.0
+    );
+    Ok(())
+}

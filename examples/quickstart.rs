@@ -1,0 +1,63 @@
+//! Quickstart: one taste of each layer of the kit in ~60 lines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ahfic_ahdl::prelude::*;
+use ahfic_geom::prelude::*;
+use ahfic_spice::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Transistor level: bias a generated device and read its fT.
+    let generator = ModelGenerator::new(ProcessData::default(), MaskRules::default());
+    let model = generator.generate(&"N1.2-12D".parse()?);
+    println!("generated card: {}", model.to_card());
+    let ft = ahfic_spice::measure::ft_at_bias(&model, 3.0, 1e-3, &Options::default())?;
+    println!("fT at 1 mA / 3 V: {:.2} GHz\n", ft.ft / 1e9);
+
+    // 2. Circuit level: a SPICE deck, straight from text.
+    let ckt = ahfic_spice::parse::parse_netlist(
+        "* common-emitter amplifier
+         .model n NPN (IS=2e-16 BF=120 CJE=80f CJC=45f TF=16p RB=100)
+         VCC vcc 0 5
+         VIN b 0 0.78 AC 1
+         RC vcc c 500
+         Q1 c b 0 n",
+    )?;
+    let prep = Prepared::compile(ckt)?;
+    let op = ahfic_spice::analysis::op(&prep, &Options::default())?;
+    let vout = prep.voltage(&op.x, prep.circuit.find_node("c").expect("node c"));
+    println!("CE amplifier operating point: v(c) = {vout:.3} V");
+    let acw = ahfic_spice::analysis::ac_sweep(
+        &prep,
+        &op.x,
+        &Options::default(),
+        &ahfic_num::interp::logspace(1e6, 10e9, 31),
+    )?;
+    let gain = acw.magnitude("v(c)")?[0];
+    println!("CE amplifier low-frequency gain: {gain:.1} V/V\n");
+
+    // 3. Behavioral level: an AHDL module in a block-diagram system.
+    let amp = CompiledModule::compile(
+        "module amp(in, out) {
+            input in; output out;
+            parameter real gain = 1.0;
+            analog { V(out) <- gain * tanh(V(in)); }
+        }",
+    )?;
+    let mut sys = System::new();
+    let src = sys.net("src");
+    let out = sys.net("out");
+    sys.add("tone", SineSource::new(1e6, 0.2), &[], &[src])?;
+    sys.add("amp", amp.instantiate(&[("gain", 5.0)])?, &[src], &[out])?;
+    let trace = sys.run(100e6, 20e-6)?;
+    let p = ahfic_ahdl::spectrum::tone_power(&trace, "out", 1e6, 0.5)?;
+    println!("behavioral amp output tone power: {:.4} V^2 (~{:.3} V amplitude)",
+        p, (2.0 * p).sqrt());
+
+    // 4. Re-use: find a proven cell in the library.
+    let db = ahfic_celldb::seed::seed_library()?;
+    let hits = ahfic_celldb::search(&db, &ahfic_celldb::SearchQuery::keywords("mixer"));
+    println!("\nlibrary offers {} mixer cells; best match: {}",
+        hits.len(), hits[0].cell.name);
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! The circuit simulator as a standalone tool: parse a textual SPICE
+//! deck and run all four analyses on it.
+//!
+//! Run with: `cargo run --release --example spice_playground`
+
+use ahfic_num::interp::{linspace, logspace};
+use ahfic_spice::analysis::{ac_sweep, dc_sweep, op, tran, Options, TranParams};
+use ahfic_spice::circuit::Prepared;
+use ahfic_spice::parse::parse_netlist;
+
+const DECK: &str = "* differential pair with emitter follower output
+.model rf_npn NPN (IS=2e-16 BF=120 VAF=45 IKF=5m RB=90 RE=3 RC=25
++ CJE=80f VJE=0.9 MJE=0.35 CJC=45f VJC=0.65 MJC=0.4 TF=16p XTF=4 VTF=3 ITF=12m TR=0.6n CJS=90f)
+VCC vcc 0 5
+VINP inp 0 DC 2.5 AC 0.5 SIN(2.5 0.05 100meg)
+VINN inn 0 DC 2.5 AC -0.5
+RLP vcc cp 1k
+RLN vcc cn 1k
+Q1 cp inp tail rf_npn
+Q2 cn inn tail rf_npn
+IT tail 0 2m
+QF vcc cp out rf_npn
+RF out 0 2k
+.end";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ckt = parse_netlist(DECK)?;
+    let prep = Prepared::compile(ckt)?;
+    let opts = Options::default();
+
+    // Operating point.
+    let dc = op(&prep, &opts)?;
+    println!("## operating point");
+    for name in ["v(cp)", "v(cn)", "v(tail)", "v(out)"] {
+        let idx = prep
+            .unknown_names
+            .iter()
+            .position(|n| n == name)
+            .expect("known node");
+        println!("  {name} = {:.4} V", dc.x[idx]);
+    }
+
+    // DC transfer: sweep the positive input.
+    let mut prep_sweep = prep.clone();
+    let sweep = dc_sweep(&mut prep_sweep, &opts, "VINP", &linspace(2.2, 2.8, 13))?;
+    println!("\n## DC transfer v(out) vs VINP");
+    let vout = sweep.signal("v(out)")?;
+    for (k, &vin) in sweep.axis().iter().enumerate() {
+        println!("  {vin:.2} V -> {:.3} V", vout[k]);
+    }
+
+    // AC: differential gain and bandwidth.
+    let acw = ac_sweep(&prep, &dc.x, &opts, &logspace(1e6, 20e9, 41))?;
+    let c = ahfic_spice::measure::characterize(&acw, "v(cp)", 1e6)?;
+    println!("\n## AC: gain {:.2} dB, f_3dB = {:.2} GHz",
+        c.gain_db, c.bw_3db.unwrap_or(f64::NAN) / 1e9);
+
+    // Transient: 100 MHz drive.
+    let wave = tran(&prep, &opts, &TranParams::new(50e-9, 25e-12))?;
+    let h = ahfic_spice::measure::harmonics(&wave, "v(cp)", 100e6, 5, 0.3)?;
+    println!("\n## transient: fundamental {:.1} mV at the collector, THD {:.1} dB",
+        h.amplitudes[0] * 1e3, h.thd_db());
+
+    // Noise: output density at the collector with a per-device breakdown.
+    let out_node = prep.circuit.find_node("cp").expect("node cp");
+    let noise = ahfic_spice::analysis::noise_analysis(&prep, &dc.x, &opts, out_node, &[100e6])?;
+    let p = &noise[0];
+    println!("\n## noise at 100 MHz: {:.2} nV/rtHz at v(cp); top contributors:",
+        p.output_rms_density() * 1e9);
+    for c in p.contributions.iter().take(4) {
+        println!("    {:<8} {:<10} {:.2} nV/rtHz",
+            c.element, c.generator, c.output_density.sqrt() * 1e9);
+    }
+    Ok(())
+}

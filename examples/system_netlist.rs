@@ -1,0 +1,66 @@
+//! The whole image-rejection receiver written as a *textual system
+//! netlist* — the "block diagram" level of the paper's Fig. 1 — plus an
+//! AHDL module in the same file, then simulated and measured.
+//!
+//! Run with: `cargo run --release --example system_netlist`
+
+use ahfic_ahdl::netlist::load_system;
+use ahfic_ahdl::spectrum::tone_power;
+
+/// 1st IF in, quadrature downconversion, 90° recombination — the Fig. 4
+/// core written as text. The `rfsum` module shows AHDL and built-ins
+/// mixing freely.
+const SRC: &str = "
+    module rfsum(a, b, y) {
+        input a, b; output y;
+        analog { V(y) <- V(a) + V(b); }
+    }
+
+    system image_rejection_rx {
+        // Both channels arrive at the first IF, 90 MHz apart.
+        WANT : sine(freq=1.3e9, ampl=1.0) -> (if_want);
+        IMG  : sine(freq=1.39e9, ampl=1.0) -> (if_img);
+        SUM  : rfsum() (if_want, if_img) -> (if1);
+
+        // Quadrature second LO with deliberate impairments.
+        LO   : quadlo(freq=1.345e9, ampl=1.0, gain_err=0.03, phase_err_deg=2.0) -> (lo_i, lo_q);
+        MI   : mixer(k=1.0) (if1, lo_i) -> (arm_i);
+        MQ   : mixer(k=1.0) (if1, lo_q) -> (arm_q);
+
+        // 90 degree shift on the I arm, then recombine.
+        PS   : phase90(f0=45e6) (arm_i) -> (arm_i_s);
+        OUT  : adder(n=2) (arm_i_s, arm_q) -> (if2);
+    }";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fs = 8e9;
+    println!("elaborating system netlist...");
+    let mut sys = load_system(SRC, fs)?;
+    println!("  {} blocks, nets: {:?}", sys.num_blocks(), sys.net_names());
+
+    let trace = sys.run(fs, 2e-6)?;
+    let p45 = tone_power(&trace, "if2", 45e6, 0.5)?;
+    println!("\noutput tone at 45 MHz: {:.4e} V^2", p45);
+    println!("(wanted minus leaked image; with both channels equal at the input,");
+    println!(" the residual reflects the 3% / 2deg impairments — compare to the");
+    println!(" ideal-case cancellation in `tuner_image_rejection`)");
+
+    // For reference, re-run with the wanted channel only.
+    let src_wanted_only = SRC.replace("ampl=1.0) -> (if_img)", "ampl=0.0) -> (if_img)");
+    let mut sys_w = load_system(&src_wanted_only, fs)?;
+    let tw = sys_w.run(fs, 2e-6)?;
+    let pw = tone_power(&tw, "if2", 45e6, 0.5)?;
+    let src_img_only = SRC.replace("ampl=1.0) -> (if_want)", "ampl=0.0) -> (if_want)");
+    let mut sys_i = load_system(&src_img_only, fs)?;
+    let ti = sys_i.run(fs, 2e-6)?;
+    let pi = tone_power(&ti, "if2", 45e6, 0.5)?;
+    println!(
+        "\nwanted-only power {:.3e}, image-only power {:.3e}  ->  IRR = {:.1} dB",
+        pw,
+        pi,
+        10.0 * (pw / pi).log10()
+    );
+    println!("closed form for (2 deg, 3%): {:.1} dB",
+        ahfic_rf::image_rejection::irr_analytic_db(2.0, 0.03));
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! The full top-down methodology end to end (paper §2 + §3 + §4 glue):
+//! system spec → behavioral exploration → spec budgeting → cell re-use →
+//! mixed-level reality check → final verification.
+//!
+//! Run with: `cargo run --release --example top_down_flow`
+
+use ahfic::flow::TopDownFlow;
+use ahfic::report::render_text;
+use ahfic_celldb::seed::seed_library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = seed_library()?;
+
+    println!("### Case A: the paper's example — 30 dB IRR, 2% component matching\n");
+    let flow = TopDownFlow::paper_example();
+    let report = flow.run(&db)?;
+    println!("{}", render_text(&report));
+
+    println!("### Case B: sloppier process — 12% component matching\n");
+    let mut sloppy = TopDownFlow::paper_example();
+    sloppy.shifter_mismatch = 0.12;
+    let report_b = sloppy.run(&db)?;
+    println!("{}", render_text(&report_b));
+
+    println!("### Case C: tighter system spec — 38 dB IRR\n");
+    let mut tight = TopDownFlow::paper_example();
+    tight.required_irr_db = 38.0;
+    tight.gain_candidates = vec![0.005, 0.01, 0.02];
+    let report_c = tight.run(&db)?;
+    println!("{}", render_text(&report_c));
+
+    println!(
+        "summary: A {}, B {}, C {}",
+        verdict(report.final_pass),
+        verdict(report_b.final_pass),
+        verdict(report_c.final_pass)
+    );
+    Ok(())
+}
+
+fn verdict(pass: bool) -> &'static str {
+    if pass {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}

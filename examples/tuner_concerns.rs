@@ -1,0 +1,67 @@
+//! "In such CATV tuner systems, distortion, noise and image signal are
+//! main concerns in circuit design." (paper §2.2)
+//!
+//! This example measures all three concerns behaviorally:
+//! 1. distortion — two-tone IM3 / IIP3 of a front-end with a cubic
+//!    nonlinearity;
+//! 2. noise — noise figure of the same front-end;
+//! 3. image — rejection ratio of the Fig. 4 mixer with realistic
+//!    balance errors.
+//!
+//! Run with: `cargo run --release --example tuner_concerns`
+
+use ahfic_ahdl::blocks::arith::Gain;
+use ahfic_ahdl::blocks::nonlin::Polynomial;
+use ahfic_rf::distortion::two_tone_test;
+use ahfic_rf::image_rejection::{irr_analytic_db, measure_irr_db};
+use ahfic_rf::noise::measure_noise_figure;
+use ahfic_rf::plan::FrequencyPlan;
+use ahfic_rf::tuner::{ImageRejectionErrors, TunerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Distortion -------------------------------------------------
+    println!("## 1. Distortion (two-tone test on the RF front-end)\n");
+    let front_end = Polynomial::new(4.0, 0.0, -0.12); // gain 4, compressive
+    println!("{:>12} {:>14} {:>12} {:>12}", "drive [V]", "IM3 [dBc]", "IIP3 [V]", "analytic");
+    for a in [0.05, 0.1, 0.2, 0.4] {
+        let r = two_tone_test(front_end, 1.00e6, 1.10e6, a, 64e6, 400e-6)?;
+        println!(
+            "{:>12.2} {:>14.1} {:>12.2} {:>12.2}",
+            a,
+            r.im3_dbc,
+            r.iip3_amplitude,
+            front_end.iip3_amplitude()
+        );
+    }
+
+    // --- 2. Noise -------------------------------------------------------
+    println!("\n## 2. Noise (noise figure of the front-end)\n");
+    println!("{:>20} {:>10}", "added noise [Vrms]", "NF [dB]");
+    for na in [0.0, 0.02, 0.05, 0.1] {
+        let r = measure_noise_figure(Gain::new(4.0), na, 1e6, 0.05, 64e6, 2e-3)?;
+        println!("{:>20.2} {:>10.2}", na, r.nf_db);
+    }
+    println!("(theory: NF = 10*log10(1 + (Na/Ns)^2) with Ns = 0.05 Vrms)");
+
+    // --- 3. Image -------------------------------------------------------
+    println!("\n## 3. Image (rejection of the Fig. 4 mixer)\n");
+    let plan = FrequencyPlan::catv(500e6);
+    let cfg = TunerConfig::for_plan(&plan);
+    println!("{:>12} {:>10} {:>12} {:>12}", "phase [deg]", "gain [%]", "IRR sim", "IRR analytic");
+    for (p, g) in [(1.0, 0.01), (3.0, 0.03), (5.0, 0.05)] {
+        let errors = ImageRejectionErrors {
+            lo_phase_err_deg: p,
+            gain_err: g,
+            shifter_phase_err_deg: 0.0,
+        };
+        let sim = measure_irr_db(&plan, &cfg, &errors, Some(2e-6))?;
+        println!(
+            "{:>12.1} {:>10.0} {:>12.2} {:>12.2}",
+            p,
+            g * 100.0,
+            sim,
+            irr_analytic_db(p, g)
+        );
+    }
+    Ok(())
+}

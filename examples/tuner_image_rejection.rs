@@ -1,0 +1,54 @@
+//! Reproduces Fig. 5 of the paper: image-rejection ratio of the Fig. 4
+//! double-super tuner versus quadrature phase error, with the gain
+//! balance as the curve parameter — the AHDL top-down experiment that
+//! lets a designer turn "30 dB IRR" into block-level specs.
+//!
+//! Run with: `cargo run --release --example tuner_image_rejection`
+
+use ahfic_rf::image_rejection::{fig5_sweep, max_phase_error_for_irr};
+use ahfic_rf::plan::FrequencyPlan;
+use ahfic_rf::tuner::TunerConfig;
+
+fn main() {
+    let plan = FrequencyPlan::catv(500e6);
+    let cfg = TunerConfig::for_plan(&plan);
+    let phase_errors = [0.25, 0.5, 1.0, 2.0, 3.0, 5.0, 7.0, 10.0];
+    let gain_errors = [0.01, 0.03, 0.05, 0.07, 0.09];
+
+    println!("# Fig. 5 reproduction: image rejection ratio [dB] vs phase error");
+    println!("# behavioral AHDL simulation (sim) vs closed form (ana)");
+    println!();
+    print!("{:>10}", "phase[deg]");
+    for g in gain_errors {
+        print!(" | {:>5.0}% sim  ana", g * 100.0);
+    }
+    println!();
+    println!("{}", "-".repeat(10 + gain_errors.len() * 18));
+
+    let points = fig5_sweep(&plan, &cfg, &phase_errors, &gain_errors, Some(2e-6))
+        .expect("fig5 sweep");
+    for (pi, &p) in phase_errors.iter().enumerate() {
+        print!("{p:>10.2}");
+        for (gi, _) in gain_errors.iter().enumerate() {
+            let pt = &points[gi * phase_errors.len() + pi];
+            print!(" | {:>9.2} {:>5.2}", pt.simulated_db, pt.analytic_db);
+        }
+        println!();
+    }
+
+    println!();
+    println!("# Designer's inverse lookup (paper 2.2): required IRR = 30 dB");
+    for g in gain_errors {
+        match max_phase_error_for_irr(30.0, g) {
+            Some(e) => println!(
+                "  gain balance {:>3.0}% -> max phase error {:.2} deg",
+                g * 100.0,
+                e
+            ),
+            None => println!(
+                "  gain balance {:>3.0}% -> unreachable: gain imbalance alone exceeds 30 dB budget",
+                g * 100.0
+            ),
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-engine integration tests: the behavioral (AHDL) and
+//! transistor-level (SPICE) simulators must agree wherever they model the
+//! same physics.
+
+use ahfic_ahdl::block::Block;
+use ahfic_ahdl::blocks::filter::FirstOrderLp;
+use ahfic_ahdl::blocks::phase::PhaseShifter90;
+use ahfic_spice::analysis::{ac_sweep, op, tran, Options, TranParams};
+use ahfic_spice::circuit::{Circuit, Prepared};
+use ahfic_spice::wave::SourceWave;
+
+/// An RC low-pass simulated at transistor level (tran) and behaviorally
+/// (first-order LP block) must produce the same step response.
+#[test]
+fn rc_step_response_matches_between_engines() {
+    let (r, c) = (1e3, 1e-9); // tau = 1 us, fc = 159 kHz
+    let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+
+    // SPICE transient.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let out = ckt.node("out");
+    ckt.vsource_wave(
+        "V1",
+        a,
+        Circuit::gnd(),
+        SourceWave::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: 1.0,
+            period: 0.0,
+        },
+    );
+    ckt.resistor("R1", a, out, r);
+    ckt.capacitor("C1", out, Circuit::gnd(), c);
+    let prep = Prepared::compile(ckt).unwrap();
+    let wave = tran(&prep, &Options::default(), &TranParams::new(4e-6, 2e-9)).unwrap();
+    let spice_v = wave.signal("v(out)").unwrap();
+    let spice_t = wave.axis();
+
+    // Behavioral step response at a fixed rate.
+    let fs = 500e6;
+    let mut lp = FirstOrderLp::new(fc, fs);
+    let dt = 1.0 / fs;
+    let mut beh = vec![];
+    let mut o = [0.0];
+    for k in 0..((4e-6 * fs) as usize) {
+        lp.tick(k as f64 * dt, dt, &[1.0], &mut o);
+        beh.push(o[0]);
+    }
+
+    // Compare at a handful of times.
+    for &t in &[0.5e-6, 1e-6, 2e-6, 3.5e-6] {
+        let ks = spice_t.iter().position(|&tt| tt >= t).unwrap();
+        let kb = (t * fs) as usize;
+        assert!(
+            (spice_v[ks] - beh[kb]).abs() < 0.02,
+            "t={t:.1e}: spice {} vs behavioral {}",
+            spice_v[ks],
+            beh[kb]
+        );
+    }
+}
+
+/// The behavioral 90° all-pass and the component-level RC-CR network must
+/// report the same quadrature relation at the design frequency.
+#[test]
+fn phase_shifter_agrees_with_rc_cr_network() {
+    let f0 = 45e6;
+    let fs = 8e9;
+    let ps = PhaseShifter90::new(f0, fs);
+    let behavioral_phase = ps.phase_at(f0, fs).to_degrees();
+
+    // SPICE AC of the RC-CR network, matched arms.
+    let c = 1e-12;
+    let r = 1.0 / (2.0 * std::f64::consts::PI * f0 * c);
+    let mut ckt = Circuit::new();
+    let input = ckt.node("in");
+    let lp = ckt.node("lp");
+    let hp = ckt.node("hp");
+    ckt.vsource("VIN", input, Circuit::gnd(), 0.0);
+    ckt.set_ac("VIN", 1.0, 0.0).unwrap();
+    ckt.resistor("R1", input, lp, r);
+    ckt.capacitor("C1", lp, Circuit::gnd(), c);
+    ckt.capacitor("C2", input, hp, c);
+    ckt.resistor("R2", hp, Circuit::gnd(), r);
+    let prep = Prepared::compile(ckt).unwrap();
+    let opts = Options::default();
+    let dc = op(&prep, &opts).unwrap();
+    let acw = ac_sweep(&prep, &dc.x, &opts, &[f0]).unwrap();
+    let vlp = acw.signal("v(lp)").unwrap()[0];
+    let vhp = acw.signal("v(hp)").unwrap()[0];
+    let spice_quad = (vlp.arg() - vhp.arg()).to_degrees();
+
+    assert!(
+        (behavioral_phase - (-90.0)).abs() < 1e-6,
+        "behavioral shifter: {behavioral_phase}"
+    );
+    assert!(
+        (spice_quad - (-90.0)).abs() < 1e-6,
+        "RC-CR quadrature: {spice_quad}"
+    );
+    // Equal magnitudes at f0 (both arms at -3 dB).
+    assert!((vlp.abs() - vhp.abs()).abs() < 1e-9);
+}
+
+/// An AHDL gain module and a SPICE VCVS of the same gain must agree on a
+/// resistive divider's output.
+#[test]
+fn ahdl_gain_matches_spice_vcvs() {
+    let gain = 3.7;
+
+    // SPICE: E source driving a load.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource("V1", a, Circuit::gnd(), 0.4);
+    ckt.vcvs("E1", b, Circuit::gnd(), a, Circuit::gnd(), gain);
+    ckt.resistor("RL", b, Circuit::gnd(), 1e3);
+    let prep = Prepared::compile(ckt).unwrap();
+    let dc = op(&prep, &Options::default()).unwrap();
+    let spice_out = prep.voltage(&dc.x, b);
+
+    // AHDL.
+    let m = ahfic_ahdl::eval::CompiledModule::compile(
+        "module amp(in, out) { input in; output out;
+         parameter real g = 1.0;
+         analog { V(out) <- g * V(in); } }",
+    )
+    .unwrap();
+    let mut inst = m.instantiate(&[("g", gain)]).unwrap();
+    let mut o = [0.0];
+    inst.tick(0.0, 1e-9, &[0.4], &mut o);
+
+    assert!((spice_out - o[0]).abs() < 1e-9, "{spice_out} vs {}", o[0]);
+}

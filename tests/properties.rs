@@ -1,0 +1,139 @@
+//! Property-based integration tests (proptest) on cross-crate
+//! invariants.
+
+use ahfic_num::{lu, Matrix};
+use ahfic_rf::image_rejection::irr_analytic_db;
+use ahfic_spice::analysis::{op, Options};
+use ahfic_spice::circuit::{Circuit, Prepared};
+use ahfic_spice::units::{format_value, parse_value};
+use proptest::prelude::*;
+
+proptest! {
+    /// LU solves random diagonally dominant systems to tight residuals.
+    #[test]
+    fn lu_residual_small(
+        seed_vals in proptest::collection::vec(-1.0f64..1.0, 36),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 6),
+    ) {
+        let n = 6;
+        let mut m = Matrix::<f64>::zeros(n, n);
+        for r in 0..n {
+            let mut row_sum = 0.0;
+            for c in 0..n {
+                let v = seed_vals[r * n + c];
+                m[(r, c)] = v;
+                row_sum += v.abs();
+            }
+            m[(r, r)] = row_sum + 1.0; // strict diagonal dominance
+        }
+        let x = lu::solve(m.clone(), &rhs).unwrap();
+        let back = m.mul_vec(&x);
+        for k in 0..n {
+            prop_assert!((back[k] - rhs[k]).abs() < 1e-9);
+        }
+    }
+
+    /// Any converged OP of a random resistor-divider tree satisfies KCL:
+    /// the source current equals the sum of what flows back to ground.
+    #[test]
+    fn resistor_network_op_satisfies_kcl(
+        rs in proptest::collection::vec(10.0f64..100e3, 4),
+        vin in -10.0f64..10.0,
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("V1", a, Circuit::gnd(), vin);
+        ckt.resistor("R0", a, b, rs[0]);
+        ckt.resistor("R1", b, Circuit::gnd(), rs[1]);
+        ckt.resistor("R2", b, Circuit::gnd(), rs[2]);
+        ckt.resistor("R3", a, Circuit::gnd(), rs[3]);
+        let prep = Prepared::compile(ckt).unwrap();
+        let r = op(&prep, &Options::default()).unwrap();
+        let va = prep.voltage(&r.x, a);
+        let vb = prep.voltage(&r.x, b);
+        let i_src = r.x[prep.branch_slot("V1").unwrap()];
+        // Current leaving the source's + terminal externally:
+        let i_ext = (va - vb) / rs[0] + va / rs[3];
+        prop_assert!((i_src + i_ext).abs() < 1e-9 * (1.0 + i_ext.abs()));
+        // Node b KCL:
+        let kcl_b = (va - vb) / rs[0] - vb / rs[1] - vb / rs[2];
+        prop_assert!(kcl_b.abs() < 1e-9);
+    }
+
+    /// The IRR closed form is symmetric in the sign of the phase error
+    /// and monotonically decreasing in its magnitude.
+    #[test]
+    fn irr_formula_symmetry_and_monotonicity(
+        phase in 0.1f64..15.0,
+        gain in 0.0f64..0.2,
+    ) {
+        let plus = irr_analytic_db(phase, gain);
+        let minus = irr_analytic_db(-phase, gain);
+        prop_assert!((plus - minus).abs() < 1e-9);
+        let worse = irr_analytic_db(phase * 1.5, gain);
+        prop_assert!(worse <= plus + 1e-9);
+    }
+
+    /// SPICE value formatting round-trips through the parser.
+    #[test]
+    fn spice_value_round_trip(v in -1e14f64..1e14) {
+        let text = format_value(v);
+        let back = parse_value(&text).unwrap();
+        let tol = 1e-3 * v.abs().max(1e-18);
+        prop_assert!((back - v).abs() <= tol, "{v} -> {text} -> {back}");
+    }
+
+    /// Shape names round-trip for arbitrary (sane) geometry.
+    #[test]
+    fn shape_name_round_trip(
+        w in 0.6f64..5.0,
+        l in 2.0f64..60.0,
+        ne in 1u32..4,
+        nb in 1u32..4,
+    ) {
+        use ahfic_geom::shape::TransistorShape;
+        // Two-decimal quantization matches the display format.
+        let w = (w * 100.0).round() / 100.0;
+        let l = (l * 100.0).round() / 100.0;
+        let s = TransistorShape::new(w, l, ne, nb);
+        let back: TransistorShape = s.to_string().parse().unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    /// Generated model cards scale sanely: more emitter area never
+    /// reduces IS/IKF/CJE and never increases RE.
+    #[test]
+    fn generated_cards_scale_monotonically(l1 in 3.0f64..20.0, scale in 1.1f64..4.0) {
+        use ahfic_geom::prelude::*;
+        let g = ModelGenerator::new(ProcessData::default(), MaskRules::default());
+        let l1 = (l1 * 10.0).round() / 10.0;
+        let l2 = ((l1 * scale) * 10.0).round() / 10.0;
+        let small = g.generate(&TransistorShape::new(1.2, l1, 1, 2));
+        let big = g.generate(&TransistorShape::new(1.2, l2, 1, 2));
+        prop_assert!(big.is_ > small.is_);
+        prop_assert!(big.ikf > small.ikf);
+        prop_assert!(big.cje > small.cje);
+        prop_assert!(big.re < small.re);
+        prop_assert!(big.rb < small.rb);
+    }
+}
+
+// Cell database save/load round-trips arbitrary text content.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn celldb_json_round_trip(doc in "[a-zA-Z0-9 .,<>&]{0,120}", name in "[A-Z][A-Z0-9]{1,10}") {
+        use ahfic_celldb::cell::{Cell, CategoryPath};
+        use ahfic_celldb::views::CellViews;
+        use ahfic_celldb::CellDb;
+        let mut db = CellDb::new();
+        db.register(Cell::new(
+            &name,
+            CategoryPath::new("TV", "Chroma", "ACC"),
+            CellViews { document: Some(doc.clone()), ..Default::default() },
+        )).unwrap();
+        let back = CellDb::from_json(&db.to_json().unwrap()).unwrap();
+        prop_assert_eq!(back.get(&name).unwrap().views.document.as_deref(), Some(doc.as_str()));
+    }
+}

@@ -1,0 +1,97 @@
+//! System-level integration tests: the Fig. 2–5 tuner experiments across
+//! `ahfic-ahdl`, `ahfic-rf` and `ahfic` (core).
+
+use ahfic::flow::TopDownFlow;
+use ahfic_celldb::seed::seed_library;
+use ahfic_rf::image_rejection::{irr_analytic_db, measure_irr_db};
+use ahfic_rf::plan::FrequencyPlan;
+use ahfic_rf::tuner::{ImageRejectionErrors, TunerConfig};
+
+/// The Fig. 5 surface: behavioral simulation must track the closed form
+/// across the whole sweep region within a fraction of a dB.
+#[test]
+fn fig5_simulation_tracks_closed_form() {
+    let plan = FrequencyPlan::catv(500e6);
+    let cfg = TunerConfig::for_plan(&plan);
+    for (p, g) in [(0.5, 0.01), (3.0, 0.03), (10.0, 0.09)] {
+        let errors = ImageRejectionErrors {
+            lo_phase_err_deg: p,
+            gain_err: g,
+            shifter_phase_err_deg: 0.0,
+        };
+        let sim = measure_irr_db(&plan, &cfg, &errors, Some(1.5e-6)).unwrap();
+        let ana = irr_analytic_db(p, g);
+        assert!(
+            (sim - ana).abs() < 0.6,
+            "({p} deg, {g}): sim {sim:.2} vs analytic {ana:.2}"
+        );
+    }
+}
+
+/// Splitting the error between the LO quadrature and the IF shifter
+/// composes: total phase error is what matters.
+#[test]
+fn phase_error_location_is_interchangeable() {
+    let plan = FrequencyPlan::catv(500e6);
+    let cfg = TunerConfig::for_plan(&plan);
+    let on_lo = measure_irr_db(
+        &plan,
+        &cfg,
+        &ImageRejectionErrors {
+            lo_phase_err_deg: 4.0,
+            gain_err: 0.0,
+            shifter_phase_err_deg: 0.0,
+        },
+        Some(1.5e-6),
+    )
+    .unwrap();
+    let on_shifter = measure_irr_db(
+        &plan,
+        &cfg,
+        &ImageRejectionErrors {
+            lo_phase_err_deg: 0.0,
+            gain_err: 0.0,
+            shifter_phase_err_deg: 4.0,
+        },
+        Some(1.5e-6),
+    )
+    .unwrap();
+    assert!(
+        (on_lo - on_shifter).abs() < 1.0,
+        "LO {on_lo:.2} vs shifter {on_shifter:.2}"
+    );
+}
+
+/// Image rejection must be insensitive to which channel frequency we
+/// tune (the architecture works across the band).
+#[test]
+fn image_rejection_holds_across_the_band() {
+    for rf in [150e6, 470e6, 740e6] {
+        let plan = FrequencyPlan::catv(rf);
+        let cfg = TunerConfig::for_plan(&plan);
+        let errors = ImageRejectionErrors {
+            lo_phase_err_deg: 2.0,
+            gain_err: 0.02,
+            shifter_phase_err_deg: 0.0,
+        };
+        let sim = measure_irr_db(&plan, &cfg, &errors, Some(1.5e-6)).unwrap();
+        let ana = irr_analytic_db(2.0, 0.02);
+        assert!((sim - ana).abs() < 0.8, "rf={rf:.0}: {sim:.2} vs {ana:.2}");
+    }
+}
+
+/// The complete six-stage methodology over the seeded library.
+#[test]
+fn full_top_down_flow_with_library() {
+    let db = seed_library().unwrap();
+    let report = TopDownFlow::paper_example().run(&db).unwrap();
+    assert!(report.final_pass, "{:#?}", report.stages);
+    assert_eq!(report.stages.len(), 6);
+    // The flow reused library cells and built a design skeleton.
+    assert!(!report.reused_cells.is_empty());
+    assert!(!report.design.blocks().is_empty());
+    // The mixed-level stage produced a physically consistent story.
+    let mixed = report.mixed.unwrap();
+    assert!(mixed.ideal_irr_db > mixed.real_irr_db);
+    assert!((mixed.real_irr_db - mixed.predicted_irr_db).abs() < 1.5);
+}
