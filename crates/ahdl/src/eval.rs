@@ -7,7 +7,7 @@ use crate::check::check;
 use crate::error::{AhdlError, Result};
 use crate::parse::parse_module;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Applies a binary operator; booleans are encoded as `0.0` / `1.0`.
 pub fn apply_bin(op: BinOp, a: f64, b: f64) -> f64 {
@@ -49,7 +49,7 @@ pub fn apply_bin(op: BinOp, a: f64, b: f64) -> f64 {
 /// ```
 #[derive(Clone, Debug)]
 pub struct CompiledModule {
-    module: Rc<Module>,
+    module: Arc<Module>,
     num_states: usize,
 }
 
@@ -75,7 +75,7 @@ impl CompiledModule {
             walk_states_stmt(s, &mut max_state);
         }
         Ok(CompiledModule {
-            module: Rc::new(module),
+            module: Arc::new(module),
             num_states: max_state,
         })
     }
@@ -134,7 +134,7 @@ impl CompiledModule {
             }
         }
         Ok(ModuleBlock {
-            module: Rc::clone(&self.module),
+            module: Arc::clone(&self.module),
             params,
             states: vec![OpState::Unused; self.num_states],
             scope: Vec::new(),
@@ -425,7 +425,7 @@ fn exec_stmts(stmts: &[Stmt], ctx: &mut RunCtx) {
 /// An instantiated AHDL module usable as a behavioral [`Block`].
 #[derive(Clone, Debug)]
 pub struct ModuleBlock {
-    module: Rc<Module>,
+    module: Arc<Module>,
     params: Vec<(String, f64)>,
     states: Vec<OpState>,
     scope: Vec<(String, f64)>,
@@ -471,7 +471,7 @@ impl Block for ModuleBlock {
 
     fn tick(&mut self, t: f64, dt: f64, inputs: &[f64], outputs: &mut [f64]) {
         self.scope.clear();
-        let module = Rc::clone(&self.module);
+        let module = Arc::clone(&self.module);
         let mut ctx = RunCtx {
             module: &module,
             params: &self.params,

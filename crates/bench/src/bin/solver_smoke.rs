@@ -1,0 +1,153 @@
+//! Dense-vs-sparse solver smoke benchmark.
+//!
+//! Builds a capacitively-coupled BJT amplifier chain (the device and
+//! stamp mix of the paper's benches, with a well-defined DC point) at
+//! three sizes, then times operating point, a short transient, and an
+//! AC sweep with the dense solver and the sparse solver, writing the
+//! results to `BENCH_solver.json` at the repo root.
+//!
+//! Run with `cargo run --release -p ahfic-bench --bin solver_smoke`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ahfic_bench::standard_generator;
+use ahfic_num::interp::logspace;
+use ahfic_spice::analysis::{ac_sweep, op, tran, Options, SolverChoice, TranParams};
+use ahfic_spice::circuit::{Circuit, Prepared};
+use ahfic_spice::model::BjtModel;
+use ahfic_spice::wave::SourceWave;
+
+/// A chain of `stages` common-emitter amplifiers with RC interstage
+/// coupling, driven by a small sine with an AC magnitude of 1.
+fn amplifier_chain(stages: usize, model: &BjtModel) -> Prepared {
+    let mut c = Circuit::new();
+    let vcc = c.node("vcc");
+    c.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+    let vin = c.node("vin");
+    c.vsource_wave(
+        "VIN",
+        vin,
+        Circuit::gnd(),
+        SourceWave::Sin {
+            offset: 0.0,
+            ampl: 1e-3,
+            freq: 100e6,
+            delay: 0.0,
+            damping: 0.0,
+            phase_deg: 0.0,
+        },
+    );
+    c.set_ac("VIN", 1.0, 0.0).expect("VIN exists");
+    let mi = c.add_bjt_model(model.clone());
+
+    let mut prev = vin;
+    for k in 0..stages {
+        let b = c.node(&format!("b{k}"));
+        let col = c.node(&format!("c{k}"));
+        let e = c.node(&format!("e{k}"));
+        c.resistor(&format!("RB1_{k}"), vcc, b, 47e3);
+        c.resistor(&format!("RB2_{k}"), b, Circuit::gnd(), 10e3);
+        c.capacitor(&format!("CIN{k}"), prev, b, 5e-12);
+        c.resistor(&format!("RC{k}"), vcc, col, 1e3);
+        c.resistor(&format!("RE{k}"), e, Circuit::gnd(), 470.0);
+        c.capacitor(&format!("CE{k}"), e, Circuit::gnd(), 10e-12);
+        c.bjt(&format!("Q{k}"), col, b, e, mi, 1.0);
+        prev = col;
+    }
+    c.resistor("RL", prev, Circuit::gnd(), 10e3);
+    Prepared::compile(c).expect("compile")
+}
+
+struct Timings {
+    op_ms: f64,
+    tran_ms: f64,
+    ac_ms: f64,
+}
+
+impl Timings {
+    fn total(&self) -> f64 {
+        self.op_ms + self.tran_ms + self.ac_ms
+    }
+}
+
+fn run_suite(prep: &Prepared, solver: SolverChoice, tran_params: &TranParams) -> Timings {
+    let opts = Options {
+        solver,
+        ..Options::default()
+    };
+    let t0 = Instant::now();
+    let dc = op(prep, &opts).expect("operating point");
+    let op_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    tran(prep, &opts, tran_params).expect("transient");
+    let tran_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let freqs = logspace(1e6, 1e10, 60);
+    let t0 = Instant::now();
+    ac_sweep(prep, &dc.x, &opts, &freqs).expect("ac sweep");
+    let ac_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    Timings {
+        op_ms,
+        tran_ms,
+        ac_ms,
+    }
+}
+
+fn main() {
+    let generator = standard_generator();
+    let model = generator.generate(&"N1.2-12D".parse().expect("valid shape"));
+
+    let mut json_sizes = String::new();
+    println!("# Solver smoke: dense vs sparse on the amplifier-chain netlist family");
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "stages", "n", "dense op", "dense tran", "sparse tran", "sparse ac", "speedup"
+    );
+
+    let tran_params = TranParams::new(1.0e-9, 10e-12);
+    for (i, &stages) in [4usize, 12, 36].iter().enumerate() {
+        let prep = amplifier_chain(stages, &model);
+        let n = prep.num_unknowns;
+
+        let dense = run_suite(&prep, SolverChoice::Dense, &tran_params);
+        let sparse = run_suite(&prep, SolverChoice::Sparse, &tran_params);
+        let speedup = dense.total() / sparse.total();
+
+        println!(
+            "{:<8} {:>6} {:>10.1}ms {:>10.1}ms {:>10.1}ms {:>10.1}ms {:>8.2}x",
+            stages, n, dense.op_ms, dense.tran_ms, sparse.tran_ms, sparse.ac_ms, speedup
+        );
+
+        if i > 0 {
+            json_sizes.push_str(",\n");
+        }
+        write!(
+            json_sizes,
+            concat!(
+                "    {{\"stages\": {}, \"n\": {},\n",
+                "     \"dense\":  {{\"op_ms\": {:.3}, \"tran_ms\": {:.3}, \"ac_ms\": {:.3}}},\n",
+                "     \"sparse\": {{\"op_ms\": {:.3}, \"tran_ms\": {:.3}, \"ac_ms\": {:.3}}},\n",
+                "     \"speedup\": {:.3}}}"
+            ),
+            stages,
+            n,
+            dense.op_ms,
+            dense.tran_ms,
+            dense.ac_ms,
+            sparse.op_ms,
+            sparse.tran_ms,
+            sparse.ac_ms,
+            speedup
+        )
+        .expect("write to string");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"solver_smoke\",\n  \"unit\": \"ms\",\n  \"sizes\": [\n{json_sizes}\n  ]\n}}\n"
+    );
+    std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
+    println!("\nwrote BENCH_solver.json");
+}

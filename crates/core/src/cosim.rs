@@ -10,7 +10,7 @@
 use ahfic_ahdl::block::Block;
 use ahfic_ahdl::eval::CompiledModule;
 use ahfic_spice::circuit::BehavioralFn;
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::fmt;
 
 /// Error converting an AHDL module into a behavioral source.
@@ -82,11 +82,11 @@ pub fn ahdl_behavioral_fn(
     let inst = module
         .instantiate(params)
         .map_err(|e| CosimError::Instantiate(e.to_string()))?;
-    let cell = RefCell::new(inst);
+    let cell = Mutex::new(inst);
     Ok(BehavioralFn::new(move |controls: &[f64]| {
         let mut out = [0.0];
         // Memoryless: time and dt are irrelevant.
-        cell.borrow_mut().tick(0.0, 1.0, controls, &mut out);
+        cell.lock().expect("behavioral eval panicked").tick(0.0, 1.0, controls, &mut out);
         out[0]
     }))
 }

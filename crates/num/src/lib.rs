@@ -41,6 +41,7 @@ pub mod interp;
 pub mod lu;
 pub mod matrix;
 pub mod scalar;
+pub mod sparse;
 pub mod stats;
 pub mod window;
 
@@ -48,3 +49,4 @@ pub use complex::Complex;
 pub use lu::LuFactors;
 pub use matrix::Matrix;
 pub use scalar::Scalar;
+pub use sparse::{CscMatrix, SparseLu, TripletBuilder};

@@ -125,6 +125,11 @@ impl<T: Scalar> Matrix<T> {
     pub fn as_slice(&self) -> &[T] {
         &self.data
     }
+
+    /// Mutable view of the backing storage (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
 }
 
 impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {

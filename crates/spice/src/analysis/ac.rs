@@ -1,25 +1,26 @@
 //! Small-signal AC analysis: linearize at the operating point, assemble a
 //! complex admittance system per frequency, solve.
 
-use crate::analysis::stamp::Options;
+use crate::analysis::solver::{parallel_freq_map, singular_unknown, SolverWorkspace};
+use crate::analysis::stamp::{MnaSink, Options};
 use crate::circuit::{read_slot, ElementKind, Prepared, GROUND_SLOT};
 use crate::devices::bjt::eval_bjt;
 use crate::devices::diode::eval_diode;
 use crate::devices::junction::depletion;
 use crate::error::{Result, SpiceError};
 use crate::waveform::AcWaveform;
-use ahfic_num::{lu::LuFactors, Complex, Matrix};
+use ahfic_num::Complex;
 
-struct CSys<'m> {
-    mat: &'m mut Matrix<Complex>,
+struct CSys<'m, M> {
+    mat: &'m mut M,
     rhs: &'m mut [Complex],
 }
 
-impl CSys<'_> {
+impl<M: MnaSink<Complex>> CSys<'_, M> {
     #[inline]
     fn add(&mut self, r: usize, c: usize, v: Complex) {
         if r != GROUND_SLOT && c != GROUND_SLOT {
-            self.mat.add_at(r, c, v);
+            self.mat.add(r, c, v);
         }
     }
 
@@ -52,15 +53,15 @@ impl CSys<'_> {
 
 /// Assembles the complex MNA system at angular frequency `omega`,
 /// linearized around the operating point `x_op`.
-pub fn assemble_ac(
+pub fn assemble_ac<M: MnaSink<Complex>>(
     prep: &Prepared,
     x_op: &[f64],
     opts: &Options,
     omega: f64,
-    mat: &mut Matrix<Complex>,
+    mat: &mut M,
     rhs: &mut [Complex],
 ) {
-    mat.clear();
+    mat.reset();
     rhs.fill(Complex::ZERO);
     let mut sys = CSys { mat, rhs };
     let jw = Complex::new(0.0, omega);
@@ -219,6 +220,10 @@ pub fn assemble_ac(
 /// Runs an AC sweep over the given frequencies (Hz), recording every
 /// unknown as a complex signal (names follow `Prepared::unknown_names`).
 ///
+/// The sweep is split in contiguous chunks across scoped worker threads;
+/// each worker keeps a private [`SolverWorkspace`], so within a chunk the
+/// matrix pattern and factor storage are reused from point to point.
+///
 /// # Errors
 ///
 /// [`SpiceError::BadAnalysis`] for an empty frequency list,
@@ -233,24 +238,23 @@ pub fn ac_sweep(
         return Err(SpiceError::BadAnalysis("empty AC frequency list".into()));
     }
     let n = prep.num_unknowns;
+    let sols = parallel_freq_map(n, opts.solver, freqs, |ws: &mut SolverWorkspace<Complex>, f| {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        loop {
+            assemble_ac(prep, x_op, opts, omega, &mut ws.kernel, &mut ws.rhs);
+            if !ws.finish_assembly() {
+                break;
+            }
+        }
+        ws.factor().map_err(|e| singular_unknown(prep, e))?;
+        Ok(ws.solve().to_vec())
+    })?;
     let mut out = AcWaveform::new();
     for name in &prep.unknown_names {
         out.push_signal(name);
     }
-    let mut mat = Matrix::zeros(n, n);
-    let mut rhs = vec![Complex::ZERO; n];
-    for &f in freqs {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        assemble_ac(prep, x_op, opts, omega, &mut mat, &mut rhs);
-        let factors = LuFactors::factor(mat.clone()).map_err(|e| SpiceError::Singular {
-            unknown: prep
-                .unknown_names
-                .get(e.column)
-                .cloned()
-                .unwrap_or_else(|| format!("#{}", e.column)),
-        })?;
-        let sol = factors.solve(&rhs);
-        out.push_sample(f, &sol);
+    for (&f, sol) in freqs.iter().zip(&sols) {
+        out.push_sample(f, sol);
     }
     Ok(out)
 }

@@ -1,7 +1,8 @@
 //! DC transfer sweeps: step a source value, solve the OP at each point
 //! with warm starting.
 
-use crate::analysis::op::op_from;
+use crate::analysis::op::op_from_ws;
+use crate::analysis::solver::SolverWorkspace;
 use crate::analysis::stamp::Options;
 use crate::circuit::Prepared;
 use crate::error::{Result, SpiceError};
@@ -44,11 +45,14 @@ pub fn dc_sweep(
     for name in &prep.unknown_names {
         out.push_signal(name);
     }
+    // One workspace for the whole sweep: the stamp pattern is fixed, so
+    // every point after the first replays slots and refactors in place.
+    let mut ws = SolverWorkspace::new(prep.num_unknowns, opts.solver);
     let mut prev: Option<Vec<f64>> = None;
     let mut result = Ok(());
     for &v in values {
         prep.circuit.set_source_wave(source, SourceWave::Dc(v))?;
-        match op_from(prep, opts, prev.as_deref()) {
+        match op_from_ws(prep, opts, prev.as_deref(), &mut ws) {
             Ok(r) => {
                 out.push_sample(v, &r.x);
                 prev = Some(r.x);

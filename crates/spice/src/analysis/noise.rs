@@ -10,10 +10,11 @@
 
 use crate::analysis::ac::assemble_ac;
 use crate::analysis::op::bjt_operating;
+use crate::analysis::solver::{parallel_freq_map, singular_unknown, SolverWorkspace};
 use crate::analysis::stamp::Options;
 use crate::circuit::{ElementKind, NodeId, Prepared, GROUND_SLOT};
 use crate::error::{Result, SpiceError};
-use ahfic_num::{lu::LuFactors, Complex, Matrix};
+use ahfic_num::Complex;
 
 /// Boltzmann constant (J/K).
 const KB: f64 = 1.380649e-23;
@@ -172,35 +173,32 @@ pub fn noise_analysis(
         ));
     }
     let gens = collect_generators(prep, x_op, opts)?;
+    let gens = &gens;
     let n = prep.num_unknowns;
-    let mut mat = Matrix::zeros(n, n);
-    let mut rhs = vec![Complex::ZERO; n];
-    let mut points = Vec::with_capacity(freqs.len());
-    for &f in freqs {
+    // Frequencies split across scoped worker threads; each factors its
+    // workspace once per point and reuses the factors for every
+    // generator's transfer-function solve.
+    parallel_freq_map(n, opts.solver, freqs, |ws: &mut SolverWorkspace<Complex>, f| {
         let omega = 2.0 * std::f64::consts::PI * f;
-        assemble_ac(prep, x_op, opts, omega, &mut mat, &mut rhs);
-        let factors = LuFactors::factor(mat.clone()).map_err(|e| SpiceError::Singular {
-            unknown: prep
-                .unknown_names
-                .get(e.column)
-                .cloned()
-                .unwrap_or_default(),
-        })?;
+        loop {
+            assemble_ac(prep, x_op, opts, omega, &mut ws.kernel, &mut ws.rhs);
+            if !ws.finish_assembly() {
+                break;
+            }
+        }
+        ws.factor().map_err(|e| singular_unknown(prep, e))?;
         let mut total = 0.0;
         let mut contributions = Vec::with_capacity(gens.len());
-        let mut b = vec![Complex::ZERO; n];
-        for g in &gens {
+        for g in gens.iter() {
             // Unit current from g.p to g.n.
-            for v in b.iter_mut() {
-                *v = Complex::ZERO;
-            }
+            ws.rhs.fill(Complex::ZERO);
             if g.p != GROUND_SLOT {
-                b[g.p] -= Complex::ONE;
+                ws.rhs[g.p] -= Complex::ONE;
             }
             if g.n != GROUND_SLOT {
-                b[g.n] += Complex::ONE;
+                ws.rhs[g.n] += Complex::ONE;
             }
-            let sol = factors.solve(&b);
+            let sol = ws.solve();
             let h2 = sol[out_slot].norm_sqr();
             let density = h2 * g.psd;
             total += density;
@@ -215,13 +213,12 @@ pub fn noise_analysis(
                 .partial_cmp(&a.output_density)
                 .expect("finite densities")
         });
-        points.push(NoisePoint {
+        Ok(NoisePoint {
             freq: f,
             output_density: total,
             contributions,
-        });
-    }
-    Ok(points)
+        })
+    })
 }
 
 #[cfg(test)]

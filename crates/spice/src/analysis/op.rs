@@ -1,11 +1,11 @@
 //! DC operating-point analysis: Newton–Raphson with gmin stepping and
 //! source stepping fallbacks.
 
-use crate::analysis::stamp::{assemble, converged, Mode, NonlinMemory, Options};
+use crate::analysis::solver::{singular_unknown, SolverWorkspace};
+use crate::analysis::stamp::{assemble, converged, ChargeState, MnaSink, Mode, NonlinMemory, Options};
 use crate::circuit::Prepared;
 use crate::devices::bjt::{eval_bjt, BjtOperating};
 use crate::error::{Result, SpiceError};
-use ahfic_num::{lu::LuFactors, Matrix};
 
 /// Converged operating point.
 #[derive(Clone, Debug)]
@@ -16,10 +16,15 @@ pub struct OpResult {
     pub iterations: usize,
 }
 
-/// Runs one Newton solve in the given mode.
+/// Runs one Newton solve in the given mode, reusing `ws` for assembly,
+/// factorization, and solution buffers — no heap allocation inside the
+/// iteration loop beyond the returned solution vector.
 ///
 /// `diag_gmin` is added to every voltage-unknown diagonal (used by gmin
-/// stepping; `0.0` normally). Returns the solution and iteration count.
+/// stepping; `0.0` normally). In transient mode `new_charges` receives the
+/// charge states of the last assembly, which the caller commits once the
+/// step is accepted. Returns the solution and iteration count.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_solve(
     prep: &Prepared,
     opts: &Options,
@@ -27,26 +32,33 @@ pub(crate) fn newton_solve(
     mem: &mut NonlinMemory,
     x0: &[f64],
     diag_gmin: f64,
+    ws: &mut SolverWorkspace<f64>,
+    mut new_charges: Option<&mut [ChargeState]>,
 ) -> Result<(Vec<f64>, usize)> {
-    let n = prep.num_unknowns;
-    let mut mat = Matrix::zeros(n, n);
-    let mut rhs = vec![0.0; n];
     let mut x = x0.to_vec();
     for iter in 1..=opts.max_newton {
-        assemble(prep, &x, opts, mode, mem, &mut mat, &mut rhs, None);
-        if diag_gmin > 0.0 {
+        loop {
+            assemble(
+                prep,
+                &x,
+                opts,
+                mode,
+                mem,
+                &mut ws.kernel,
+                &mut ws.rhs,
+                new_charges.as_deref_mut(),
+            );
+            // Stamped even at 0.0 so the recorded sparse stamp sequence
+            // is identical across the OP strategies sharing a workspace.
             for k in 0..prep.num_voltage_unknowns {
-                mat.add_at(k, k, diag_gmin);
+                ws.kernel.add(k, k, diag_gmin);
+            }
+            if !ws.finish_assembly() {
+                break;
             }
         }
-        let factors = LuFactors::factor(mat.clone()).map_err(|e| SpiceError::Singular {
-            unknown: prep
-                .unknown_names
-                .get(e.column)
-                .cloned()
-                .unwrap_or_else(|| format!("#{}", e.column)),
-        })?;
-        let x_new = factors.solve(&rhs);
+        ws.factor().map_err(|e| singular_unknown(prep, e))?;
+        let x_new = ws.solve();
         if x_new.iter().any(|v| !v.is_finite()) {
             return Err(SpiceError::NoConvergence {
                 analysis: "newton",
@@ -54,8 +66,8 @@ pub(crate) fn newton_solve(
                 time: None,
             });
         }
-        let done = converged(prep, &x, &x_new, opts) && !mem.limited;
-        x = x_new;
+        let done = converged(prep, &x, x_new, opts) && !mem.limited;
+        x.copy_from_slice(x_new);
         if done {
             return Ok((x, iter));
         }
@@ -87,6 +99,18 @@ pub fn op(prep: &Prepared, opts: &Options) -> Result<OpResult> {
 ///
 /// Same as [`op`].
 pub fn op_from(prep: &Prepared, opts: &Options, x0: Option<&[f64]>) -> Result<OpResult> {
+    let mut ws = SolverWorkspace::new(prep.num_unknowns, opts.solver);
+    op_from_ws(prep, opts, x0, &mut ws)
+}
+
+/// [`op_from`] against a caller-provided workspace, so sweeps reuse one
+/// assembled pattern and factor storage across all their points.
+pub(crate) fn op_from_ws(
+    prep: &Prepared,
+    opts: &Options,
+    x0: Option<&[f64]>,
+    ws: &mut SolverWorkspace<f64>,
+) -> Result<OpResult> {
     let n = prep.num_unknowns;
     let zero = vec![0.0; n];
     let start = x0.unwrap_or(&zero);
@@ -95,7 +119,7 @@ pub fn op_from(prep: &Prepared, opts: &Options, x0: Option<&[f64]>) -> Result<Op
     // 1. Plain Newton.
     let mut mem = NonlinMemory::new(prep);
     let mut total_iters = 0usize;
-    match newton_solve(prep, opts, &mode, &mut mem, start, 0.0) {
+    match newton_solve(prep, opts, &mode, &mut mem, start, 0.0, ws, None) {
         Ok((x, it)) => {
             return Ok(OpResult {
                 x,
@@ -107,7 +131,7 @@ pub fn op_from(prep: &Prepared, opts: &Options, x0: Option<&[f64]>) -> Result<Op
             // stepping; gmin on the diagonal may cure floating nodes, so
             // try one damped pass before giving up.
             let mut mem = NonlinMemory::new(prep);
-            if let Ok((x, it)) = newton_solve(prep, opts, &mode, &mut mem, start, 1e-9) {
+            if let Ok((x, it)) = newton_solve(prep, opts, &mode, &mut mem, start, 1e-9, ws, None) {
                 return Ok(OpResult { x, iterations: it });
             }
             return Err(SpiceError::Singular { unknown });
@@ -121,7 +145,7 @@ pub fn op_from(prep: &Prepared, opts: &Options, x0: Option<&[f64]>) -> Result<Op
     let gmin_ladder = [1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 0.0];
     let mut ladder_ok = true;
     for &g in &gmin_ladder {
-        match newton_solve(prep, opts, &mode, &mut mem, &x, g) {
+        match newton_solve(prep, opts, &mode, &mut mem, &x, g, ws, None) {
             Ok((xs, it)) => {
                 total_iters += it;
                 x = xs;
@@ -150,7 +174,7 @@ pub fn op_from(prep: &Prepared, opts: &Options, x0: Option<&[f64]>) -> Result<Op
         let mode = Mode::Dc {
             source_scale: target,
         };
-        match newton_solve(prep, opts, &mode, &mut mem, &x, 0.0) {
+        match newton_solve(prep, opts, &mode, &mut mem, &x, 0.0, ws, None) {
             Ok((xs, it)) => {
                 total_iters += it;
                 x = xs;

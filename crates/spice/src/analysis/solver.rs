@@ -1,0 +1,444 @@
+//! Per-analysis linear-solver workspace: assembled values, right-hand
+//! side, solution and factor storage reused across Newton iterations,
+//! timesteps, and frequency points.
+//!
+//! The workspace's kernel implements
+//! [`MnaSink`](crate::analysis::stamp::MnaSink), so the stamp assemblers
+//! write into it directly. The dense backend accumulates into a
+//! [`Matrix`] and refactors in place; the sparse backend records the
+//! stamp's `(row, col)` call sequence on the first assembly, compiles it
+//! once into compressed-sparse-column storage plus a slot table, and
+//! replays every later assembly through precomputed value indices — no
+//! coordinate lookups, no `n x n` writes, and no heap allocation in the
+//! Newton hot loop. The LU symbolic pattern (ordering and fill-in) is
+//! likewise computed once and reused numerically per solve.
+
+use crate::analysis::stamp::MnaSink;
+use crate::circuit::Prepared;
+use crate::error::SpiceError;
+use ahfic_num::lu::{LuFactors, SingularMatrixError};
+use ahfic_num::sparse::{CscMatrix, SparseLu, TripletBuilder};
+use ahfic_num::{Matrix, Scalar};
+
+/// Linear-solver selection, set via
+/// [`Options::solver`](crate::analysis::stamp::Options::solver).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolverChoice {
+    /// Sparse at or above [`AUTO_SPARSE_MIN_N`] unknowns, dense below.
+    #[default]
+    Auto,
+    /// Dense LU regardless of system size.
+    Dense,
+    /// Sparse LU with symbolic-pattern reuse regardless of system size.
+    Sparse,
+}
+
+/// Unknown count at which [`SolverChoice::Auto`] switches from dense to
+/// sparse. Below this the dense factorization's tight inner loops beat
+/// the sparse scatter/gather bookkeeping.
+pub const AUTO_SPARSE_MIN_N: usize = 16;
+
+/// The matrix-side storage of a workspace: either a dense matrix or the
+/// sparse record/replay machinery.
+pub(crate) enum Kernel<T: Scalar> {
+    /// Dense backend: stamp into a [`Matrix`], refactor into a reused
+    /// [`LuFactors`] buffer.
+    Dense {
+        mat: Matrix<T>,
+        lu: Option<LuFactors<T>>,
+    },
+    /// Sparse backend with slot replay.
+    Sparse {
+        /// True while the current assembly records its stamp sequence.
+        recording: bool,
+        /// `(row, col)` of every stamp, in call order.
+        coords: Vec<(usize, usize)>,
+        /// Values captured alongside `coords` during a recording pass.
+        rec_vals: Vec<T>,
+        /// CSC value index of the k-th stamp.
+        slots: Vec<usize>,
+        /// Compiled matrix (present once the pattern is recorded).
+        csc: Option<CscMatrix<T>>,
+        /// Next stamp index during replay.
+        cursor: usize,
+        /// A replayed stamp disagreed with the recorded sequence.
+        mismatch: bool,
+        lu: Option<SparseLu<T>>,
+    },
+}
+
+impl<T: Scalar> MnaSink<T> for Kernel<T> {
+    fn reset(&mut self) {
+        match self {
+            Kernel::Dense { mat, .. } => mat.clear(),
+            Kernel::Sparse {
+                recording,
+                coords,
+                rec_vals,
+                csc,
+                cursor,
+                mismatch,
+                ..
+            } => {
+                if *recording {
+                    coords.clear();
+                    rec_vals.clear();
+                } else {
+                    csc.as_mut().expect("compiled pattern").clear_values();
+                }
+                *cursor = 0;
+                *mismatch = false;
+            }
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: T) {
+        match self {
+            Kernel::Dense { mat, .. } => mat.add_at(r, c, v),
+            Kernel::Sparse {
+                recording,
+                coords,
+                rec_vals,
+                slots,
+                csc,
+                cursor,
+                mismatch,
+                ..
+            } => {
+                if *recording {
+                    coords.push((r, c));
+                    rec_vals.push(v);
+                } else if *cursor < slots.len() && coords[*cursor] == (r, c) {
+                    csc.as_mut().expect("compiled pattern").values_mut()[slots[*cursor]] += v;
+                    *cursor += 1;
+                } else {
+                    *mismatch = true;
+                }
+            }
+        }
+    }
+}
+
+/// Reusable solver state for one analysis (one fixed stamp sequence).
+///
+/// Lifecycle per linear solve:
+///
+/// ```text
+/// loop {
+///     assemble(.., &mut ws.kernel, &mut ws.rhs, ..);
+///     if !ws.finish_assembly() { break; }   // true at most once per pattern
+/// }
+/// ws.factor()?;
+/// let x = ws.solve();                       // borrows ws until next use
+/// ```
+pub struct SolverWorkspace<T: Scalar> {
+    n: usize,
+    pub(crate) kernel: Kernel<T>,
+    /// Right-hand side, filled by the assemblers.
+    pub(crate) rhs: Vec<T>,
+    x: Vec<T>,
+}
+
+impl<T: Scalar> SolverWorkspace<T> {
+    /// Allocates a workspace for an `n`-unknown system.
+    pub fn new(n: usize, choice: SolverChoice) -> Self {
+        let sparse = match choice {
+            SolverChoice::Dense => false,
+            SolverChoice::Sparse => true,
+            SolverChoice::Auto => n >= AUTO_SPARSE_MIN_N,
+        };
+        let kernel = if sparse {
+            Kernel::Sparse {
+                recording: true,
+                coords: Vec::new(),
+                rec_vals: Vec::new(),
+                slots: Vec::new(),
+                csc: None,
+                cursor: 0,
+                mismatch: false,
+                lu: None,
+            }
+        } else {
+            Kernel::Dense {
+                mat: Matrix::zeros(n, n),
+                lu: None,
+            }
+        };
+        SolverWorkspace {
+            n,
+            kernel,
+            rhs: vec![T::ZERO; n],
+            x: Vec::with_capacity(n),
+        }
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the sparse backend is active.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.kernel, Kernel::Sparse { .. })
+    }
+
+    /// Completes an assembly pass. Returns `true` when the stamp pattern
+    /// just changed — first assembly, or a replay that diverged from the
+    /// recorded sequence — and the caller must rerun the assembly. This
+    /// happens at most once per pattern change, so `loop { assemble;
+    /// if !finish_assembly() { break } }` terminates after two passes in
+    /// the worst case.
+    pub fn finish_assembly(&mut self) -> bool {
+        let n = self.n;
+        match &mut self.kernel {
+            Kernel::Dense { .. } => false,
+            Kernel::Sparse {
+                recording,
+                coords,
+                rec_vals,
+                slots,
+                csc,
+                cursor,
+                mismatch,
+                lu,
+            } => {
+                if *recording {
+                    let mut tb = TripletBuilder::new(n);
+                    for &(r, c) in coords.iter() {
+                        tb.add(r, c);
+                    }
+                    let (mut m, sl) = tb.compile::<T>();
+                    for (k, &v) in rec_vals.iter().enumerate() {
+                        m.values_mut()[sl[k]] += v;
+                    }
+                    *slots = sl;
+                    *csc = Some(m);
+                    *recording = false;
+                    rec_vals.clear();
+                    false
+                } else if *mismatch || *cursor != slots.len() {
+                    // The stamp sequence changed under a frozen pattern;
+                    // drop pattern and factors and re-record.
+                    *recording = true;
+                    *csc = None;
+                    *lu = None;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Factors the assembled matrix, reusing prior symbolic work and
+    /// factor storage: the dense backend refactors into its existing
+    /// buffers; the sparse backend replays the frozen pivot order and
+    /// fill pattern, falling back to a full re-pivot on the same pattern
+    /// if a replayed pivot degrades.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] when the matrix is singular to
+    /// working precision (map with [`singular_unknown`] for reporting).
+    pub fn factor(&mut self) -> Result<(), SingularMatrixError> {
+        match &mut self.kernel {
+            Kernel::Dense { mat, lu } => match lu {
+                Some(f) => f.refactor_from(mat),
+                None => {
+                    *lu = Some(LuFactors::factor(mat.clone())?);
+                    Ok(())
+                }
+            },
+            Kernel::Sparse { csc, lu, .. } => {
+                let m = csc.as_ref().expect("assembled before factor");
+                match lu {
+                    Some(f) => f
+                        .refactor(m)
+                        .or_else(|_| SparseLu::factor(m).map(|nf| *f = nf)),
+                    None => {
+                        *lu = Some(SparseLu::factor(m)?);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solves against the current right-hand side using the stored
+    /// factors; the returned slice stays valid until the next workspace
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`SolverWorkspace::factor`] has not succeeded since the
+    /// last pattern change.
+    pub fn solve(&mut self) -> &[T] {
+        match &mut self.kernel {
+            Kernel::Dense { lu, .. } => {
+                lu.as_ref().expect("factored").solve_into(&self.rhs, &mut self.x);
+            }
+            Kernel::Sparse { lu, .. } => {
+                self.x.clear();
+                self.x.extend_from_slice(&self.rhs);
+                lu.as_mut().expect("factored").solve_in_place(&mut self.x);
+            }
+        }
+        &self.x
+    }
+}
+
+/// Maps a linear-solver breakdown to [`SpiceError::Singular`] with the
+/// name of the offending unknown.
+pub(crate) fn singular_unknown(prep: &Prepared, e: SingularMatrixError) -> SpiceError {
+    SpiceError::Singular {
+        unknown: prep
+            .unknown_names
+            .get(e.column)
+            .cloned()
+            .unwrap_or_else(|| format!("#{}", e.column)),
+    }
+}
+
+/// Maps `work` over `points` (frequencies), splitting contiguous chunks
+/// across `std::thread::scope` workers. Each worker owns a private
+/// [`SolverWorkspace`], so within a chunk the symbolic pattern and factor
+/// storage are reused from point to point. Results come back in input
+/// order; the error at the lowest index wins.
+pub(crate) fn parallel_freq_map<T, R, F>(
+    n: usize,
+    choice: SolverChoice,
+    points: &[f64],
+    work: F,
+) -> crate::error::Result<Vec<R>>
+where
+    T: Scalar,
+    R: Send,
+    F: Fn(&mut SolverWorkspace<T>, f64) -> crate::error::Result<R> + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |c| c.get())
+        .min(points.len().max(1));
+    if threads <= 1 {
+        let mut ws = SolverWorkspace::new(n, choice);
+        return points.iter().map(|&f| work(&mut ws, f)).collect();
+    }
+    let chunk = points.len().div_ceil(threads);
+    let mut results: Vec<Option<crate::error::Result<R>>> = Vec::with_capacity(points.len());
+    results.resize_with(points.len(), || None);
+    let work = &work;
+    std::thread::scope(|s| {
+        for (ps, rs) in points.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            s.spawn(move || {
+                let mut ws = SolverWorkspace::new(n, choice);
+                for (&f, slot) in ps.iter().zip(rs.iter_mut()) {
+                    *slot = Some(work(&mut ws, f));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the workspace by hand through two assemblies of a 2x2
+    /// system and checks record/replay and refactor agree with dense.
+    #[test]
+    fn sparse_record_replay_solves() {
+        let mut ws: SolverWorkspace<f64> = SolverWorkspace::new(2, SolverChoice::Sparse);
+        assert!(ws.is_sparse());
+        for round in 0..3 {
+            let scale = 1.0 + round as f64;
+            loop {
+                ws.kernel.reset();
+                ws.kernel.add(0, 0, 2.0 * scale);
+                ws.kernel.add(0, 1, 1.0);
+                ws.kernel.add(1, 0, 1.0);
+                ws.kernel.add(1, 1, 3.0 * scale);
+                ws.kernel.add(1, 1, 1.0); // duplicate slot accumulates
+                ws.rhs.copy_from_slice(&[1.0, 2.0]);
+                if !ws.finish_assembly() {
+                    break;
+                }
+            }
+            ws.factor().unwrap();
+            let x = ws.solve().to_vec();
+            // Check against the dense solve of the same system.
+            let a = Matrix::from_rows(&[
+                &[2.0 * scale, 1.0],
+                &[1.0, 3.0 * scale + 1.0],
+            ]);
+            let expect = ahfic_num::lu::solve(a, &[1.0, 2.0]).unwrap();
+            for k in 0..2 {
+                assert!((x[k] - expect[k]).abs() < 1e-12, "round {round}");
+            }
+        }
+    }
+
+    /// A changed stamp sequence is detected and re-recorded once.
+    #[test]
+    fn pattern_change_triggers_rerecord() {
+        let mut ws: SolverWorkspace<f64> = SolverWorkspace::new(2, SolverChoice::Sparse);
+        ws.kernel.reset();
+        ws.kernel.add(0, 0, 1.0);
+        ws.kernel.add(1, 1, 1.0);
+        assert!(!ws.finish_assembly());
+        // Different sequence: extra off-diagonal stamp.
+        ws.kernel.reset();
+        ws.kernel.add(0, 0, 2.0);
+        ws.kernel.add(0, 1, 5.0);
+        ws.kernel.add(1, 1, 2.0);
+        assert!(ws.finish_assembly(), "mismatch must request re-assembly");
+        ws.kernel.reset();
+        ws.kernel.add(0, 0, 2.0);
+        ws.kernel.add(0, 1, 5.0);
+        ws.kernel.add(1, 1, 2.0);
+        assert!(!ws.finish_assembly());
+        ws.rhs.copy_from_slice(&[2.0, 4.0]);
+        ws.factor().unwrap();
+        let x = ws.solve();
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[0] - (2.0 - 5.0 * 2.0) / 2.0).abs() < 1e-12);
+    }
+
+    /// Auto picks dense for small systems and sparse for large ones.
+    #[test]
+    fn auto_threshold() {
+        let small: SolverWorkspace<f64> = SolverWorkspace::new(4, SolverChoice::Auto);
+        assert!(!small.is_sparse());
+        let large: SolverWorkspace<f64> = SolverWorkspace::new(AUTO_SPARSE_MIN_N, SolverChoice::Auto);
+        assert!(large.is_sparse());
+    }
+
+    /// The parallel mapper preserves order and reports the first error.
+    #[test]
+    fn parallel_map_orders_results() {
+        let points: Vec<f64> = (0..37).map(|k| k as f64).collect();
+        let out = parallel_freq_map::<f64, f64, _>(4, SolverChoice::Dense, &points, |ws, f| {
+            assert_eq!(ws.dim(), 4);
+            Ok(2.0 * f)
+        })
+        .unwrap();
+        assert_eq!(out.len(), 37);
+        for (k, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2.0 * k as f64);
+        }
+        let err = parallel_freq_map::<f64, f64, _>(4, SolverChoice::Dense, &points, |_, f| {
+            if f >= 5.0 {
+                Err(SpiceError::Measure(format!("boom {f}")))
+            } else {
+                Ok(f)
+            }
+        });
+        match err {
+            Err(SpiceError::Measure(m)) => assert_eq!(m, "boom 5"),
+            other => panic!("expected first error, got {other:?}"),
+        }
+    }
+}

@@ -7,12 +7,13 @@
 //! SPICE-style junction-voltage limiting; charge-storage elements get
 //! trapezoidal companion models in transient mode.
 
+use crate::analysis::solver::SolverChoice;
 use crate::circuit::{read_slot, ElementKind, Prepared, GROUND_SLOT};
 use crate::devices::bjt::eval_bjt;
 use crate::devices::diode::eval_diode;
 use crate::devices::junction::{depletion, pnjlim, vcrit};
 use crate::wave::SourceWave;
-use ahfic_num::Matrix;
+use ahfic_num::{Matrix, Scalar};
 
 /// Simulator tolerance and iteration options (SPICE names).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,6 +30,8 @@ pub struct Options {
     pub max_newton: usize,
     /// Thermal voltage kT/q (V); change to simulate other temperatures.
     pub vt: f64,
+    /// Linear-solver backend (dense LU vs sparse LU with pattern reuse).
+    pub solver: SolverChoice,
 }
 
 impl Default for Options {
@@ -40,7 +43,33 @@ impl Default for Options {
             gmin: 1e-12,
             max_newton: 100,
             vt: crate::devices::junction::VT_300K,
+            solver: SolverChoice::Auto,
         }
+    }
+}
+
+/// Destination of MNA stamps.
+///
+/// The assemblers write every element's linearized companion through this
+/// trait, so the same stamping code fills either a dense [`Matrix`] or the
+/// sparse slot-replay workspace of
+/// [`crate::analysis::solver::SolverWorkspace`]. Callers guarantee indices
+/// are in range and not [`GROUND_SLOT`].
+pub trait MnaSink<T: Scalar> {
+    /// Zeroes every value, keeping structure and allocations.
+    fn reset(&mut self);
+    /// Accumulates `v` at `(r, c)`.
+    fn add(&mut self, r: usize, c: usize, v: T);
+}
+
+impl<T: Scalar> MnaSink<T> for Matrix<T> {
+    fn reset(&mut self) {
+        self.clear();
+    }
+
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: T) {
+        self.add_at(r, c, v);
     }
 }
 
@@ -152,16 +181,16 @@ pub enum Mode<'a> {
     },
 }
 
-struct Sys<'m> {
-    mat: &'m mut Matrix<f64>,
+struct Sys<'m, M> {
+    mat: &'m mut M,
     rhs: &'m mut [f64],
 }
 
-impl Sys<'_> {
+impl<M: MnaSink<f64>> Sys<'_, M> {
     #[inline]
     fn add(&mut self, r: usize, c: usize, v: f64) {
         if r != GROUND_SLOT && c != GROUND_SLOT {
-            self.mat.add_at(r, c, v);
+            self.mat.add(r, c, v);
         }
     }
 
@@ -210,17 +239,17 @@ fn source_value(wave: &SourceWave, mode: &Mode) -> f64 {
 /// every storage element evaluated at `x`, which the engine commits once
 /// the step is accepted.
 #[allow(clippy::too_many_arguments)]
-pub fn assemble(
+pub fn assemble<M: MnaSink<f64>>(
     prep: &Prepared,
     x: &[f64],
     opts: &Options,
     mode: &Mode,
     mem: &mut NonlinMemory,
-    mat: &mut Matrix<f64>,
+    mat: &mut M,
     rhs: &mut [f64],
     mut new_charges: Option<&mut [ChargeState]>,
 ) {
-    mat.clear();
+    mat.reset();
     rhs.fill(0.0);
     mem.limited = false;
     let mut sys = Sys { mat, rhs };

@@ -2,11 +2,11 @@
 //! source breakpoints, and iteration-count step control.
 
 use crate::analysis::op::{newton_solve, op};
-use crate::analysis::stamp::{assemble, ChargeBank, Mode, NonlinMemory, Options};
+use crate::analysis::solver::SolverWorkspace;
+use crate::analysis::stamp::{assemble, ChargeBank, MnaSink, Mode, NonlinMemory, Options};
 use crate::circuit::{ElementKind, Prepared};
 use crate::error::{Result, SpiceError};
 use crate::waveform::Waveform;
-use ahfic_num::Matrix;
 
 /// Transient analysis parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -75,13 +75,16 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
         op(prep, opts)?.x
     };
 
+    // One workspace for the whole transient: the Tran-mode stamp sequence
+    // is fixed, so every Newton iteration after the first assembly
+    // replays precomputed slots and refactors in place.
+    let mut ws = SolverWorkspace::new(n, opts.solver);
+
     // Charge bank initialized at the starting solution (a = 0 turns the
     // companion into a pure charge evaluation with zero current).
     let mut bank = ChargeBank::new(prep);
     let mut mem = NonlinMemory::new(prep);
     {
-        let mut mat = Matrix::zeros(n, n);
-        let mut rhs = vec![0.0; n];
         let mut fresh = bank.states.clone();
         let mode = Mode::Tran {
             time: 0.0,
@@ -89,16 +92,26 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
             bank: &bank,
             x_prev: &x,
         };
-        assemble(
-            prep,
-            &x,
-            opts,
-            &mode,
-            &mut mem,
-            &mut mat,
-            &mut rhs,
-            Some(&mut fresh),
-        );
+        loop {
+            assemble(
+                prep,
+                &x,
+                opts,
+                &mode,
+                &mut mem,
+                &mut ws.kernel,
+                &mut ws.rhs,
+                Some(&mut fresh),
+            );
+            // Match the Newton loop's diagonal-gmin stamps (value 0 here)
+            // so the recorded sparse pattern covers both sequences.
+            for k in 0..prep.num_voltage_unknowns {
+                ws.kernel.add(k, k, 0.0);
+            }
+            if !ws.finish_assembly() {
+                break;
+            }
+        }
         bank.states = fresh;
     }
 
@@ -117,7 +130,11 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
         .filter(|&t| t > 0.0)
         .collect();
     breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+    // Merge tolerance relative to the simulated span: an absolute 1e-15
+    // would treat distinct nanosecond-scale breakpoints of a long run as
+    // one, or keep float-noise duplicates of a femtosecond run apart.
+    let bp_tol = params.t_stop * 1e-12;
+    breakpoints.dedup_by(|a, b| (*a - *b).abs() <= bp_tol);
     let mut next_bp = 0usize;
 
     let h_init = params.dt_init.unwrap_or(params.dt_max / 10.0).min(params.dt_max);
@@ -167,22 +184,20 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
             bank: &bank,
             x_prev: &x_prev,
         };
-        match newton_solve(prep, opts, &mode, &mut mem, &x_prev, 0.0) {
+        match newton_solve(
+            prep,
+            opts,
+            &mode,
+            &mut mem,
+            &x_prev,
+            0.0,
+            &mut ws,
+            Some(&mut new_states),
+        ) {
             Ok((x_new, iters)) => {
-                // Collect accepted charge states with one extra assembly at
-                // the converged solution.
-                let mut mat = Matrix::zeros(n, n);
-                let mut rhs = vec![0.0; n];
-                assemble(
-                    prep,
-                    &x_new,
-                    opts,
-                    &mode,
-                    &mut mem,
-                    &mut mat,
-                    &mut rhs,
-                    Some(&mut new_states),
-                );
+                // `new_states` was filled during the final Newton assembly
+                // (within convergence tolerance of `x_new`), so the step
+                // commits without a redundant full re-assembly.
                 bank.states.copy_from_slice(&new_states);
                 x = x_new;
                 t = t_new;

@@ -10,7 +10,7 @@ use crate::model::{BjtModel, DiodeModel};
 use crate::wave::SourceWave;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A memoryless behavioral function `f(controls) -> value` used by
 /// [`ElementKind::BehavioralV`] sources. Cheap to clone (shared).
@@ -20,13 +20,14 @@ use std::rc::Rc;
 #[derive(Clone)]
 pub struct BehavioralFn(BehavioralClosure);
 
-/// The shared closure type behind [`BehavioralFn`].
-type BehavioralClosure = Rc<dyn Fn(&[f64]) -> f64>;
+/// The shared closure type behind [`BehavioralFn`]. `Send + Sync` so a
+/// compiled [`Prepared`] can be shared across analysis worker threads.
+type BehavioralClosure = Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>;
 
 impl BehavioralFn {
     /// Wraps a closure.
-    pub fn new(f: impl Fn(&[f64]) -> f64 + 'static) -> Self {
-        BehavioralFn(Rc::new(f))
+    pub fn new(f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static) -> Self {
+        BehavioralFn(Arc::new(f))
     }
 
     /// Evaluates the function.
@@ -54,7 +55,7 @@ impl fmt::Debug for BehavioralFn {
 
 impl PartialEq for BehavioralFn {
     fn eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 

@@ -52,7 +52,7 @@ pub mod waveform;
 /// Convenient glob import for typical use.
 pub mod prelude {
     pub use crate::analysis::{
-        ac_sweep, bjt_operating, dc_sweep, op, op_from, tran, Options, TranParams,
+        ac_sweep, bjt_operating, dc_sweep, op, op_from, tran, Options, SolverChoice, TranParams,
     };
     pub use crate::circuit::{Circuit, NodeId, Prepared};
     pub use crate::error::SpiceError;

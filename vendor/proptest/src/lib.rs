@@ -1,0 +1,227 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small property-testing harness with proptest's surface syntax:
+//!
+//! ```ignore
+//! proptest! {
+//!     #[test]
+//!     fn holds(x in -1.0f64..1.0, v in proptest::collection::vec(0usize..9, 8)) {
+//!         prop_assert!(x.abs() <= 1.0, "x = {x}");
+//!     }
+//! }
+//! ```
+//!
+//! Differences from the real crate: no shrinking (failing inputs are
+//! printed, not minimized), a fixed case count per test, and string
+//! strategies accept only the regex subset the workspace uses
+//! (literals, `(a|b|)` alternation, `[a-z]`/`[(){};,<>=-]` classes,
+//! `{m,n}` repetition, `\PC` printable class, `\(`-style escapes).
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod string_gen;
+
+/// Runner internals used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Cases sampled per property.
+    pub const CASES: usize = 64;
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Per-test deterministic random state.
+    pub struct Runner {
+        /// Generator the strategies draw from.
+        pub rng: StdRng,
+    }
+
+    impl Runner {
+        /// Seeds the generator from the test name (stable across runs).
+        pub fn new(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Runner {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+    }
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Cases sampled per property in the block.
+    pub cases: usize,
+}
+
+impl ProptestConfig {
+    /// Overrides the case count.
+    pub fn with_cases(cases: usize) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declares property tests: each `fn` (annotated `#[test]` in-source, as
+/// with the real crate) runs [`test_runner::CASES`] sampled cases, or the
+/// count from an optional leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg).cases; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::CASES; $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cases:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: usize = $cases;
+                let mut runner = $crate::test_runner::Runner::new(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut runner.rng);)*
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            Ok(())
+                        })();
+                    if let Err(e) = result {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure fails the case with the
+/// formatted message instead of unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({lhs:?} vs {rhs:?})",
+                stringify!($a),
+                stringify!($b)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges stay in bounds.
+        #[test]
+        fn float_range_in_bounds(x in -2.0f64..3.5) {
+            prop_assert!((-2.0..3.5).contains(&x), "x = {x}");
+        }
+
+        /// Integer ranges stay in bounds.
+        #[test]
+        fn usize_range_in_bounds(n in 3usize..40) {
+            prop_assert!((3..40).contains(&n));
+        }
+
+        /// Vectors honor their length spec.
+        #[test]
+        fn vec_len_fixed(v in crate::collection::vec(0.0f64..1.0, 17)) {
+            prop_assert_eq!(v.len(), 17);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        /// Regex-subset strings match their shape.
+        #[test]
+        fn class_repeat(s in "[a-z]{1,6}") {
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        /// Alternation picks one of the branches.
+        #[test]
+        fn alternation(s in "(module|mod|)") {
+            prop_assert!(s == "module" || s == "mod" || s.is_empty(), "s = {s:?}");
+        }
+
+        /// Printable-class strings contain no control characters.
+        #[test]
+        fn printable(s in "\\PC{0,200}") {
+            prop_assert!(s.chars().count() <= 200);
+            prop_assert!(!s.chars().any(char::is_control), "control char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::Runner::new("seed-test");
+        let mut b = crate::test_runner::Runner::new("seed-test");
+        for _ in 0..32 {
+            assert_eq!((0.0f64..1.0).sample(&mut a.rng), (0.0f64..1.0).sample(&mut b.rng));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Value-generation strategies.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::ops::Range;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                assert!(self.end > self.start, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                let off = rng.random_range(0u64..span);
+                self.start + off as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8);
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn sample(&self, rng: &mut StdRng) -> i64 {
+        assert!(self.end > self.start, "empty range strategy");
+        let span = (self.end as i128 - self.start as i128) as u64;
+        let off = rng.random_range(0u64..span);
+        (self.start as i128 + off as i128) as i64
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+
+    fn sample(&self, rng: &mut StdRng) -> i32 {
+        assert!(self.end > self.start, "empty range strategy");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        let off = rng.random_range(0u64..span);
+        (self.start as i64 + off as i64) as i32
+    }
+}
+
+/// String literals are regex-subset patterns (proptest's convention).
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        crate::string_gen::generate(self, rng)
+    }
+}
+
+/// Fixed values (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}

@@ -1,0 +1,314 @@
+//! Random string generation from a regex subset.
+//!
+//! Supports the constructs the workspace's property tests use: literal
+//! characters, `\(`-style escapes, `(a|b|)` alternation groups, `[a-z]` /
+//! `[(){};,<>=-]` character classes, `{m}` / `{m,n}` / `*` / `+` / `?`
+//! repetition, `.`, and the classes `\PC` (printable), `\d`, `\w`, `\s`.
+//! Unsupported syntax panics, so a typo in a pattern fails loudly rather
+//! than silently generating the wrong corpus.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// One of several branches (possibly empty).
+    Alt(Vec<Vec<(Node, Repeat)>>),
+    /// A literal character.
+    Char(char),
+    /// Inclusive character ranges.
+    Class(Vec<(char, char)>),
+    /// Any printable (non-control) character (`\PC`, `.`).
+    Printable,
+    /// ASCII digit (`\d`).
+    Digit,
+    /// ASCII word character (`\w`).
+    Word,
+    /// Whitespace (`\s`).
+    Space,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Repeat {
+    min: usize,
+    max: usize,
+}
+
+const ONCE: Repeat = Repeat { min: 1, max: 1 };
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// `a|b|c` — branches separated by `|`, ended by `)` or end of input.
+    fn alternation(&mut self) -> Node {
+        let mut branches = vec![self.concat()];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.concat());
+        }
+        Node::Alt(branches)
+    }
+
+    fn concat(&mut self) -> Vec<(Node, Repeat)> {
+        let mut seq = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom();
+            let rep = self.repeat();
+            seq.push((atom, rep));
+        }
+        seq
+    }
+
+    fn atom(&mut self) -> Node {
+        match self.bump().expect("atom") {
+            '(' => {
+                let inner = self.alternation();
+                assert_eq!(self.bump(), Some(')'), "unclosed group in pattern");
+                inner
+            }
+            '[' => self.class(),
+            '\\' => self.escape(),
+            '.' => Node::Printable,
+            c if c == '*' || c == '+' || c == '?' || c == '{' => {
+                panic!("dangling repetition `{c}` in pattern")
+            }
+            c => Node::Char(c),
+        }
+    }
+
+    fn escape(&mut self) -> Node {
+        match self.bump().expect("escape target") {
+            'P' => {
+                // `\PC` / `\P{C}`: complement of Unicode category C
+                // (control/other) — i.e. printable.
+                match self.bump() {
+                    Some('C') => Node::Printable,
+                    Some('{') => {
+                        let mut name = String::new();
+                        while let Some(c) = self.bump() {
+                            if c == '}' {
+                                break;
+                            }
+                            name.push(c);
+                        }
+                        assert_eq!(name, "C", "only \\P{{C}} is supported");
+                        Node::Printable
+                    }
+                    other => panic!("unsupported \\P form: {other:?}"),
+                }
+            }
+            'd' => Node::Digit,
+            'w' => Node::Word,
+            's' => Node::Space,
+            'n' => Node::Char('\n'),
+            'r' => Node::Char('\r'),
+            't' => Node::Char('\t'),
+            c if c.is_ascii_punctuation() => Node::Char(c),
+            other => panic!("unsupported escape \\{other} in pattern"),
+        }
+    }
+
+    fn class(&mut self) -> Node {
+        assert_ne!(self.peek(), Some('^'), "negated classes are unsupported");
+        let mut ranges = Vec::new();
+        loop {
+            let c = self.bump().expect("unterminated character class");
+            if c == ']' {
+                break;
+            }
+            let lo = if c == '\\' {
+                self.bump().expect("escape in class")
+            } else {
+                c
+            };
+            // `a-z` range, unless `-` is the final literal before `]`.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.bump();
+                let hi = self.bump().expect("range end in class");
+                let hi = if hi == '\\' {
+                    self.bump().expect("escape in class")
+                } else {
+                    hi
+                };
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        Node::Class(ranges)
+    }
+
+    fn repeat(&mut self) -> Repeat {
+        match self.peek() {
+            Some('*') => {
+                self.bump();
+                Repeat { min: 0, max: 8 }
+            }
+            Some('+') => {
+                self.bump();
+                Repeat { min: 1, max: 8 }
+            }
+            Some('?') => {
+                self.bump();
+                Repeat { min: 0, max: 1 }
+            }
+            Some('{') => {
+                self.bump();
+                let mut lo = String::new();
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    lo.push(self.bump().unwrap());
+                }
+                let min: usize = lo.parse().expect("repeat lower bound");
+                let max = if self.peek() == Some(',') {
+                    self.bump();
+                    let mut hi = String::new();
+                    while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                        hi.push(self.bump().unwrap());
+                    }
+                    hi.parse().expect("repeat upper bound")
+                } else {
+                    min
+                };
+                assert_eq!(self.bump(), Some('}'), "unclosed repetition");
+                assert!(max >= min, "inverted repetition bounds");
+                Repeat { min, max }
+            }
+            _ => ONCE,
+        }
+    }
+}
+
+fn emit(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let pick = rng.random_range(0usize..branches.len());
+            for (atom, rep) in &branches[pick] {
+                let n = rng.random_range(rep.min..rep.max + 1);
+                for _ in 0..n {
+                    emit(atom, rng, out);
+                }
+            }
+        }
+        Node::Char(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.random_range(0usize..ranges.len())];
+            let span = hi as u32 - lo as u32 + 1;
+            let c = char::from_u32(lo as u32 + rng.random_range(0u64..span as u64) as u32)
+                .unwrap_or(lo);
+            out.push(c);
+        }
+        Node::Printable => {
+            // Mostly ASCII printable, sprinkled with multi-byte scalars to
+            // exercise UTF-8 handling.
+            if rng.random::<f64>() < 0.92 {
+                out.push((0x20 + rng.random_range(0u64..0x5f) as u8) as char);
+            } else {
+                const EXOTIC: &[char] = &['é', 'Ω', '中', '🦀', 'ß', '→', '¤', 'þ'];
+                out.push(EXOTIC[rng.random_range(0usize..EXOTIC.len())]);
+            }
+        }
+        Node::Digit => out.push((b'0' + rng.random_range(0u64..10) as u8) as char),
+        Node::Word => {
+            const W: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+            out.push(W[rng.random_range(0usize..W.len())] as char);
+        }
+        Node::Space => {
+            const S: &[char] = &[' ', '\t', '\n'];
+            out.push(S[rng.random_range(0usize..S.len())]);
+        }
+    }
+}
+
+/// Generates one random string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported regex subset.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut p = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    let ast = p.alternation();
+    assert_eq!(
+        p.pos,
+        p.chars.len(),
+        "trailing pattern characters at {} in {pattern:?}",
+        p.pos
+    );
+    let mut out = String::new();
+    emit(&ast, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        assert_eq!(generate("abc", &mut rng()), "abc");
+    }
+
+    #[test]
+    fn escaped_metacharacters() {
+        assert_eq!(generate(r"V\(y\) <- V\(x\);", &mut rng()), "V(y) <- V(x);");
+        assert_eq!(generate(r"if \(1\) \{\}", &mut rng()), "if (1) {}");
+    }
+
+    #[test]
+    fn fragment_pattern_from_ahdl_tests() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate(r"(V\(y\) <- V\(x\);|real t = 1;|if \(1\) \{\}|){0,3}", &mut r);
+            // Concatenation of 0..=3 picks from the four branches.
+            assert!(s.len() <= 3 * 13, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_punctuation() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[(){};,<>=-]{0,12}", &mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| "(){};,<>=-".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn repeat_exact() {
+        let s = generate("[a-a]{5}", &mut rng());
+        assert_eq!(s, "aaaaa");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported escape")]
+    fn unsupported_escape_panics() {
+        generate(r"\q", &mut rng());
+    }
+}
