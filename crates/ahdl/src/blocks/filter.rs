@@ -22,7 +22,12 @@ pub struct Biquad {
 impl Biquad {
     /// Creates a section from raw coefficients.
     pub fn from_coeffs(b: [f64; 3], a: [f64; 2]) -> Self {
-        Biquad { b, a, s1: 0.0, s2: 0.0 }
+        Biquad {
+            b,
+            a,
+            s1: 0.0,
+            s2: 0.0,
+        }
     }
 
     /// Identity (pass-through) section.

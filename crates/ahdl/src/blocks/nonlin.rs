@@ -169,6 +169,8 @@ mod tests {
     fn iip3_formula() {
         let p = Polynomial::new(1.0, 0.0, -0.01);
         assert!((p.iip3_amplitude() - (400.0f64 / 3.0).sqrt()).abs() < 1e-12);
-        assert!(Polynomial::new(1.0, 0.0, 0.0).iip3_amplitude().is_infinite());
+        assert!(Polynomial::new(1.0, 0.0, 0.0)
+            .iip3_amplitude()
+            .is_infinite());
     }
 }

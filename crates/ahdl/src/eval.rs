@@ -435,10 +435,7 @@ pub struct ModuleBlock {
 impl ModuleBlock {
     /// Current value of a parameter.
     pub fn param(&self, name: &str) -> Option<f64> {
-        self.params
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.params.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Updates a parameter between runs.

@@ -85,13 +85,10 @@ pub fn parse_system(src: &str) -> Result<SystemNetlist> {
                 line: item.line,
                 message: "system needs `{`".into(),
             })?;
-            let body = body
-                .trim_end()
-                .strip_suffix('}')
-                .ok_or(AhdlError::Parse {
-                    line: item.line,
-                    message: "system block not closed".into(),
-                })?;
+            let body = body.trim_end().strip_suffix('}').ok_or(AhdlError::Parse {
+                line: item.line,
+                message: "system block not closed".into(),
+            })?;
             if system.is_some() {
                 return Err(AhdlError::Parse {
                     line: item.line,
@@ -102,7 +99,10 @@ pub fn parse_system(src: &str) -> Result<SystemNetlist> {
         } else {
             return Err(AhdlError::Parse {
                 line: item.line,
-                message: format!("expected `module` or `system`, found: {}", snippet(&item.text)),
+                message: format!(
+                    "expected `module` or `system`, found: {}",
+                    snippet(&item.text)
+                ),
             });
         }
     }
@@ -276,11 +276,8 @@ fn parse_params(text: &str) -> std::result::Result<Vec<(String, f64)>, String> {
 /// [`AhdlError::Wiring`] for unknown kinds, missing parameters or arity
 /// mismatches.
 pub fn elaborate(netlist: &SystemNetlist, fs: f64) -> Result<System> {
-    let modules: HashMap<&str, &CompiledModule> = netlist
-        .modules
-        .iter()
-        .map(|m| (m.name(), m))
-        .collect();
+    let modules: HashMap<&str, &CompiledModule> =
+        netlist.modules.iter().map(|m| (m.name(), m)).collect();
     let mut sys = System::new();
     for inst in &netlist.instances {
         let ins: Vec<_> = inst.inputs.iter().map(|n| sys.net(n)).collect();
@@ -332,11 +329,7 @@ fn build_block(
             QuadratureLo::new(p.req("freq")?, p.opt("ampl", 1.0))
                 .with_errors(p.opt("gain_err", 0.0), p.opt("phase_err_deg", 0.0)),
         ),
-        "vco" => Box::new(Vco::new(
-            p.req("f0")?,
-            p.req("kvco")?,
-            p.opt("ampl", 1.0),
-        )),
+        "vco" => Box::new(Vco::new(p.req("f0")?, p.req("kvco")?, p.opt("ampl", 1.0))),
         "phase90" => Box::new(PhaseShifter90::new(p.req("f0")?, fs)),
         "phase90err" => Box::new(ImpairedShifter90::new(
             p.req("f0")?,
@@ -358,11 +351,8 @@ fn build_block(
         )),
         other => match modules.get(other) {
             Some(module) => {
-                let overrides: Vec<(&str, f64)> = inst
-                    .params
-                    .iter()
-                    .map(|(k, v)| (k.as_str(), *v))
-                    .collect();
+                let overrides: Vec<(&str, f64)> =
+                    inst.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
                 Box::new(module.instantiate(&overrides)?)
             }
             None => {

@@ -25,10 +25,7 @@ impl Trace {
             fs,
             names: names.to_vec(),
             index,
-            data: names
-                .iter()
-                .map(|_| Vec::with_capacity(capacity))
-                .collect(),
+            data: names.iter().map(|_| Vec::with_capacity(capacity)).collect(),
             len: 0,
         }
     }

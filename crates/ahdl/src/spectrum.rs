@@ -25,7 +25,13 @@ pub fn tone_power(trace: &Trace, net: &str, f: f64, tail_frac: f64) -> Result<f6
 /// # Errors
 ///
 /// Propagates missing-signal errors.
-pub fn tone_ratio_db(trace: &Trace, net: &str, f_num: f64, f_den: f64, tail_frac: f64) -> Result<f64> {
+pub fn tone_ratio_db(
+    trace: &Trace,
+    net: &str,
+    f_num: f64,
+    f_den: f64,
+    tail_frac: f64,
+) -> Result<f64> {
     let pn = tone_power(trace, net, f_num, tail_frac)?;
     let pd = tone_power(trace, net, f_den, tail_frac)?;
     Ok(to_db_power(pn / pd))
@@ -77,7 +83,10 @@ mod tests {
         let mut t = Trace::with_capacity(fs, &["x".into()], n);
         for k in 0..n {
             let tt = k as f64 / fs;
-            let v: f64 = comps.iter().map(|&(f, a)| a * (2.0 * PI * f * tt).sin()).sum();
+            let v: f64 = comps
+                .iter()
+                .map(|&(f, a)| a * (2.0 * PI * f * tt).sin())
+                .sum();
             t.push([v].into_iter());
         }
         t

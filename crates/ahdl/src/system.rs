@@ -4,6 +4,7 @@
 use crate::block::Block;
 use crate::error::{AhdlError, Result};
 use crate::probe::Trace;
+use ahfic_trace::TraceHandle;
 use std::collections::HashMap;
 
 /// Identifier of a signal net.
@@ -53,6 +54,7 @@ pub struct System {
     net_lookup: HashMap<String, NetId>,
     instances: Vec<Instance>,
     driven: Vec<bool>,
+    trace: TraceHandle,
 }
 
 impl System {
@@ -201,6 +203,13 @@ impl System {
         order
     }
 
+    /// Installs a telemetry handle; every subsequent [`Self::run`] /
+    /// [`Self::run_probed`] emits an `ahdl.run` span with step and
+    /// block counters.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
     /// Resets every block's internal state.
     pub fn reset(&mut self) {
         for inst in &mut self.instances {
@@ -232,6 +241,8 @@ impl System {
                 "fs and duration must be positive".into(),
             ));
         }
+        let tr = self.trace.tracer();
+        let span = tr.span("ahdl.run");
         let dt = 1.0 / fs;
         let steps = (duration * fs).round() as usize;
         let order = self.schedule();
@@ -270,6 +281,10 @@ impl System {
             }
             trace.push(probes.iter().map(|&p| nets[p.0]));
         }
+        tr.counter("ahdl.steps", steps as f64);
+        tr.counter("ahdl.blocks", self.instances.len() as f64);
+        tr.counter("ahdl.nets", self.net_names.len() as f64);
+        span.end();
         Ok(trace)
     }
 }
@@ -301,8 +316,10 @@ mod tests {
         let rf = sys.net("rf");
         let lo = sys.net("lo");
         let ifo = sys.net("if");
-        sys.add("rf", SineSource::new(10.0, 1.0), &[], &[rf]).unwrap();
-        sys.add("lo", SineSource::new(8.0, 1.0), &[], &[lo]).unwrap();
+        sys.add("rf", SineSource::new(10.0, 1.0), &[], &[rf])
+            .unwrap();
+        sys.add("lo", SineSource::new(8.0, 1.0), &[], &[lo])
+            .unwrap();
         sys.add("mix", Mixer::new(1.0), &[rf, lo], &[ifo]).unwrap();
         let trace = sys.run(1e3, 1.0).unwrap();
         let y = trace.signal("if").unwrap();
@@ -339,9 +356,7 @@ mod tests {
             sys.add("dup", Constant::new(1.0), &[], &[a]).is_err(),
             "double-driven net"
         );
-        assert!(sys
-            .add("ok", Constant::new(1.0), &[], &[b])
-            .is_err());
+        assert!(sys.add("ok", Constant::new(1.0), &[], &[b]).is_err());
     }
 
     #[test]

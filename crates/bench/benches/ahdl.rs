@@ -42,8 +42,10 @@ fn bench_ahdl(c: &mut Criterion) {
             let m = sys.net("m");
             let g = sys.net("g");
             let k = sys.net("k");
-            sys.add("src", SineSource::new(1e6, 1.0), &[], &[a]).unwrap();
-            sys.add("lo", SineSource::new(0.9e6, 1.0), &[], &[lo]).unwrap();
+            sys.add("src", SineSource::new(1e6, 1.0), &[], &[a])
+                .unwrap();
+            sys.add("lo", SineSource::new(0.9e6, 1.0), &[], &[lo])
+                .unwrap();
             sys.add("mix", Mixer::new(1.0), &[a, lo], &[m]).unwrap();
             sys.add("gain", Gain::new(2.0), &[m], &[g]).unwrap();
             sys.add("ofs", Constant::new(0.1), &[], &[k]).unwrap();

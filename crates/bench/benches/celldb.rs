@@ -15,7 +15,10 @@ fn bench_celldb(c: &mut Criterion) {
     let db = seed_library().unwrap();
     c.bench_function("search_keyword", |b| {
         b.iter(|| {
-            let hits = search(&db, &SearchQuery::keywords(black_box("image rejection mixer")));
+            let hits = search(
+                &db,
+                &SearchQuery::keywords(black_box("image rejection mixer")),
+            );
             black_box(hits.len())
         })
     });

@@ -20,7 +20,7 @@ fn ladder(n: usize) -> Prepared {
         c.resistor(&format!("Rp{k}"), next, Circuit::gnd(), 1e3);
         prev = next;
     }
-    Prepared::compile(c).unwrap()
+    Prepared::compile(&c).unwrap()
 }
 
 fn bench_solver(c: &mut Criterion) {

@@ -9,12 +9,21 @@ use ahfic_celldb::seed::seed_library;
 fn main() {
     let db = seed_library().expect("seed library");
     println!("# Analog cell-based design supporting system (paper section 3)");
-    println!("# {} cells registered across {} taxonomy paths", db.len(), db.taxonomy().len());
+    println!(
+        "# {} cells registered across {} taxonomy paths",
+        db.len(),
+        db.taxonomy().len()
+    );
     println!();
     println!("{}", render_markdown_index(&db));
 
     println!("## Search demonstrations");
-    for query in ["image rejection", "gain controlled amp", "90 degree", "ring oscillator"] {
+    for query in [
+        "image rejection",
+        "gain controlled amp",
+        "90 degree",
+        "ring oscillator",
+    ] {
         let hits = search(&db, &SearchQuery::keywords(query));
         println!(
             "query {query:?}: {}",
@@ -36,7 +45,11 @@ fn main() {
     let html = render_html(&db);
     let out = std::path::Path::new("target").join("analog_cell_catalog.html");
     if std::fs::create_dir_all("target").is_ok() && std::fs::write(&out, &html).is_ok() {
-        println!("## WWW catalog written to {} ({} bytes)", out.display(), html.len());
+        println!(
+            "## WWW catalog written to {} ({} bytes)",
+            out.display(),
+            html.len()
+        );
     } else {
         println!("## WWW catalog rendered in memory ({} bytes)", html.len());
     }

@@ -20,8 +20,7 @@ fn main() {
     }
     println!("{:>12}", "(analytic 1%)");
 
-    let pts = fig5_sweep(&plan, &cfg, &phase_errors, &gain_errors, Some(2e-6))
-        .expect("fig5 sweep");
+    let pts = fig5_sweep(&plan, &cfg, &phase_errors, &gain_errors, Some(2e-6)).expect("fig5 sweep");
     for (pi, &p) in phase_errors.iter().enumerate() {
         print!("{p:>11.2}");
         for gi in 0..gain_errors.len() {
@@ -31,14 +30,19 @@ fn main() {
     }
 
     println!();
-    println!("# max |sim - analytic| over the sweep: {:.3} dB",
+    println!(
+        "# max |sim - analytic| over the sweep: {:.3} dB",
         pts.iter()
             .map(|p| (p.simulated_db - p.analytic_db).abs())
-            .fold(0.0f64, f64::max));
+            .fold(0.0f64, f64::max)
+    );
     println!("# designer lookup: for 30 dB required IRR ->");
     for g in gain_errors {
         match max_phase_error_for_irr(30.0, g) {
-            Some(e) => println!("#   gain {:.0}%: phase error must stay below {e:.2} deg", g * 100.0),
+            Some(e) => println!(
+                "#   gain {:.0}%: phase error must stay below {e:.2} deg",
+                g * 100.0
+            ),
             None => println!("#   gain {:.0}%: 30 dB unreachable", g * 100.0),
         }
     }

@@ -13,7 +13,15 @@ fn main() {
     println!("# Fig. 8: transistor shapes and their geometry-aware model cards");
     println!(
         "{:<11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "shape", "Ae[um2]", "Pe[um]", "Ab[um2]", "RB[ohm]", "RE[ohm]", "RC[ohm]", "CJE[fF]", "CJC[fF]"
+        "shape",
+        "Ae[um2]",
+        "Pe[um]",
+        "Ab[um2]",
+        "RB[ohm]",
+        "RE[ohm]",
+        "RC[ohm]",
+        "CJE[fF]",
+        "CJC[fF]"
     );
     for (tag, shape) in ["(a)", "(b)", "(c)", "(d)", "(e)", "(f)"]
         .iter()
@@ -36,5 +44,10 @@ fn main() {
     }
     println!();
     println!("# Full model card for the reference family member:");
-    println!("{}", generator.generate(&"N1.2-12D".parse().expect("valid")).to_card());
+    println!(
+        "{}",
+        generator
+            .generate(&"N1.2-12D".parse().expect("valid"))
+            .to_card()
+    );
 }

@@ -2,13 +2,23 @@
 //!
 //! Builds a capacitively-coupled BJT amplifier chain (the device and
 //! stamp mix of the paper's benches, with a well-defined DC point) at
-//! three sizes, then times operating point, a short transient, and an
+//! three sizes, then runs operating point, a short transient, and an
 //! AC sweep with the dense solver and the sparse solver, writing the
 //! results to `BENCH_solver.json` at the repo root.
+//!
+//! Timings and work counters come from the instrumented analysis path
+//! itself: each suite runs with an [`InMemorySink`] installed and the
+//! per-analysis wall times, Newton iterations and factorization counts
+//! are read back out of the trace via
+//! [`summarize_top_level`](ahfic_spice::trace::summarize_top_level).
+//! The final section measures the overhead of tracing into a
+//! [`NullSink`] against a fully disabled trace handle at the largest
+//! size.
 //!
 //! Run with `cargo run --release -p ahfic-bench --bin solver_smoke`.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ahfic_bench::standard_generator;
@@ -16,6 +26,7 @@ use ahfic_num::interp::logspace;
 use ahfic_spice::analysis::{ac_sweep, op, tran, Options, SolverChoice, TranParams};
 use ahfic_spice::circuit::{Circuit, Prepared};
 use ahfic_spice::model::BjtModel;
+use ahfic_spice::trace::{summarize_top_level, InMemorySink, NullSink};
 use ahfic_spice::wave::SourceWave;
 
 /// A chain of `stages` common-emitter amplifiers with RC interstage
@@ -56,13 +67,15 @@ fn amplifier_chain(stages: usize, model: &BjtModel) -> Prepared {
         prev = col;
     }
     c.resistor("RL", prev, Circuit::gnd(), 10e3);
-    Prepared::compile(c).expect("compile")
+    Prepared::compile(&c).expect("compile")
 }
 
 struct Timings {
     op_ms: f64,
     tran_ms: f64,
     ac_ms: f64,
+    newton_iterations: f64,
+    factorizations: f64,
 }
 
 impl Timings {
@@ -71,29 +84,74 @@ impl Timings {
     }
 }
 
-fn run_suite(prep: &Prepared, solver: SolverChoice, tran_params: &TranParams) -> Timings {
-    let opts = Options {
-        solver,
-        ..Options::default()
-    };
-    let t0 = Instant::now();
-    let dc = op(prep, &opts).expect("operating point");
-    let op_ms = t0.elapsed().as_secs_f64() * 1e3;
-
-    let t0 = Instant::now();
-    tran(prep, &opts, tran_params).expect("transient");
-    let tran_ms = t0.elapsed().as_secs_f64() * 1e3;
-
+/// Runs op + transient + AC once, returning all three analysis results
+/// (used both for the instrumented suites and the overhead probe).
+fn run_once(prep: &Prepared, opts: &Options, tran_params: &TranParams) {
+    let dc = op(prep, opts).expect("operating point");
+    tran(prep, opts, tran_params).expect("transient");
     let freqs = logspace(1e6, 1e10, 60);
-    let t0 = Instant::now();
-    ac_sweep(prep, &dc.x, &opts, &freqs).expect("ac sweep");
-    let ac_ms = t0.elapsed().as_secs_f64() * 1e3;
+    ac_sweep(prep, &dc.x, opts, &freqs).expect("ac sweep");
+}
 
+/// Runs the suite with an in-memory trace sink and reads timings and
+/// work counters back out of the recorded spans.
+fn run_suite(prep: &Prepared, solver: SolverChoice, tran_params: &TranParams) -> Timings {
+    let sink = Arc::new(InMemorySink::new());
+    let opts = Options::new().solver(solver).trace(&sink);
+    run_once(prep, &opts, tran_params);
+
+    let spans = summarize_top_level(&sink.take());
+    let wall_ms = |name: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.wall_seconds * 1e3)
+            .unwrap_or(f64::NAN)
+    };
+    let counter = |span: &str, name: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == span)
+            .and_then(|s| s.counter(name))
+            .unwrap_or(0.0)
+    };
     Timings {
-        op_ms,
-        tran_ms,
-        ac_ms,
+        op_ms: wall_ms("op"),
+        tran_ms: wall_ms("tran"),
+        ac_ms: wall_ms("ac"),
+        newton_iterations: counter("op", "op.newton_iterations")
+            + counter("tran", "tran.newton_iterations"),
+        factorizations: counter("op", "op.factorizations")
+            + counter("tran", "tran.factorizations")
+            + counter("ac", "ac.factorizations"),
     }
+}
+
+/// Best-of-`reps` wall time for two option sets, with the runs
+/// interleaved A/B/A/B so slow drift (frequency scaling, co-tenant
+/// load) hits both sides equally; the minimum is the noise-resistant
+/// estimator for code whose true cost is fixed.
+fn min_paired_suite_seconds(
+    prep: &Prepared,
+    a: &Options,
+    b: &Options,
+    tran_params: &TranParams,
+    reps: usize,
+) -> (f64, f64) {
+    let time_one = |opts: &Options| {
+        let t0 = Instant::now();
+        run_once(prep, opts, tran_params);
+        t0.elapsed().as_secs_f64()
+    };
+    // Warm caches and branch predictors outside the timed window.
+    time_one(a);
+    time_one(b);
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        best_a = best_a.min(time_one(a));
+        best_b = best_b.min(time_one(b));
+    }
+    (best_a, best_b)
 }
 
 fn main() {
@@ -108,6 +166,7 @@ fn main() {
     );
 
     let tran_params = TranParams::new(1.0e-9, 10e-12);
+    let mut largest: Option<Prepared> = None;
     for (i, &stages) in [4usize, 12, 36].iter().enumerate() {
         let prep = amplifier_chain(stages, &model);
         let n = prep.num_unknowns;
@@ -128,8 +187,10 @@ fn main() {
             json_sizes,
             concat!(
                 "    {{\"stages\": {}, \"n\": {},\n",
-                "     \"dense\":  {{\"op_ms\": {:.3}, \"tran_ms\": {:.3}, \"ac_ms\": {:.3}}},\n",
-                "     \"sparse\": {{\"op_ms\": {:.3}, \"tran_ms\": {:.3}, \"ac_ms\": {:.3}}},\n",
+                "     \"dense\":  {{\"op_ms\": {:.3}, \"tran_ms\": {:.3}, \"ac_ms\": {:.3}, ",
+                "\"newton\": {:.0}, \"factorizations\": {:.0}}},\n",
+                "     \"sparse\": {{\"op_ms\": {:.3}, \"tran_ms\": {:.3}, \"ac_ms\": {:.3}, ",
+                "\"newton\": {:.0}, \"factorizations\": {:.0}}},\n",
                 "     \"speedup\": {:.3}}}"
             ),
             stages,
@@ -137,16 +198,47 @@ fn main() {
             dense.op_ms,
             dense.tran_ms,
             dense.ac_ms,
+            dense.newton_iterations,
+            dense.factorizations,
             sparse.op_ms,
             sparse.tran_ms,
             sparse.ac_ms,
+            sparse.newton_iterations,
+            sparse.factorizations,
             speedup
         )
         .expect("write to string");
+        largest = Some(prep);
     }
 
+    // Trace overhead at the largest size: Null sink (every record built
+    // and discarded) versus a disabled handle (one branch per primitive).
+    let prep = largest.expect("at least one size ran");
+    let off = Options::new().solver(SolverChoice::Sparse);
+    let nulled = Options::new()
+        .solver(SolverChoice::Sparse)
+        .trace(&Arc::new(NullSink));
+    let reps = 15;
+    let (base_s, null_s) = min_paired_suite_seconds(&prep, &off, &nulled, &tran_params, reps);
+    let overhead_pct = (null_s / base_s - 1.0) * 100.0;
+    println!(
+        "\nnull-sink trace overhead (36 stages, sparse, best of {reps} interleaved): \
+         {base_ms:.1}ms off vs {null_ms:.1}ms null ({overhead_pct:+.2}%)",
+        base_ms = base_s * 1e3,
+        null_ms = null_s * 1e3,
+    );
+
     let json = format!(
-        "{{\n  \"bench\": \"solver_smoke\",\n  \"unit\": \"ms\",\n  \"sizes\": [\n{json_sizes}\n  ]\n}}\n"
+        concat!(
+            "{{\n  \"bench\": \"solver_smoke\",\n  \"unit\": \"ms\",\n  \"sizes\": [\n",
+            "{sizes}\n  ],\n",
+            "  \"trace_overhead\": {{\"baseline_ms\": {base:.3}, \"null_sink_ms\": {null:.3}, ",
+            "\"overhead_pct\": {pct:.3}}}\n}}\n"
+        ),
+        sizes = json_sizes,
+        base = base_s * 1e3,
+        null = null_s * 1e3,
+        pct = overhead_pct,
     );
     std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
     println!("\nwrote BENCH_solver.json");

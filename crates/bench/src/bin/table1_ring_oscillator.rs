@@ -25,8 +25,7 @@ fn main() {
     );
     println!("{}", "-".repeat(66));
 
-    let rows =
-        table1_experiment(&params, &generator, &shapes, &opts).expect("ring simulations");
+    let rows = table1_experiment(&params, &generator, &shapes, &opts).expect("ring simulations");
     let best = rows
         .iter()
         .max_by(|a, b| {
@@ -37,7 +36,11 @@ fn main() {
         })
         .expect("rows");
     for row in &rows {
-        let marker = if row.shape == best.shape { "  <== best" } else { "" };
+        let marker = if row.shape == best.shape {
+            "  <== best"
+        } else {
+            ""
+        };
         println!(
             "{:<12} {:>10.1} {:>20} {:>12.3} {:>8}{marker}",
             row.shape.to_string(),

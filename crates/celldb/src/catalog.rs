@@ -22,15 +22,16 @@ pub fn render_html(db: &CellDb) -> String {
             let _ = writeln!(out, "<li><b>{}</b></li>", escape(&lib));
             last_lib = lib.clone();
         }
-        let _ = writeln!(out, "<li style=\"margin-left:2em\">{} / {}<ul>", escape(&cat), escape(&sub));
+        let _ = writeln!(
+            out,
+            "<li style=\"margin-left:2em\">{} / {}<ul>",
+            escape(&cat),
+            escape(&sub)
+        );
         for cell in db.iter().filter(|c| {
             c.path.library == lib && c.path.category == cat && c.path.subcategory == sub
         }) {
-            let _ = writeln!(
-                out,
-                "<li><a href=\"#{0}\">{0}</a></li>",
-                escape(&cell.name)
-            );
+            let _ = writeln!(out, "<li><a href=\"#{0}\">{0}</a></li>", escape(&cell.name));
         }
         out.push_str("</ul></li>\n");
     }
@@ -64,10 +65,18 @@ pub fn render_html(db: &CellDb) -> String {
             out.push_str("</ul>\n");
         }
         if let Some(sch) = &cell.views.schematic {
-            let _ = writeln!(out, "<h3>Schematic (SPICE)</h3>\n<pre>{}</pre>", escape(sch));
+            let _ = writeln!(
+                out,
+                "<h3>Schematic (SPICE)</h3>\n<pre>{}</pre>",
+                escape(sch)
+            );
         }
         if let Some(beh) = &cell.views.behavioral {
-            let _ = writeln!(out, "<h3>Behavioral (AHDL)</h3>\n<pre>{}</pre>", escape(beh));
+            let _ = writeln!(
+                out,
+                "<h3>Behavioral (AHDL)</h3>\n<pre>{}</pre>",
+                escape(beh)
+            );
         }
         for data in &cell.views.simulation_data {
             let _ = writeln!(
@@ -127,7 +136,7 @@ fn escape(text: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cell::{Cell, CategoryPath};
+    use crate::cell::{CategoryPath, Cell};
     use crate::views::{CellViews, PortDirection, SymbolPort, SymbolView};
 
     fn db() -> CellDb {

@@ -1,7 +1,7 @@
 //! The Analog Cell-based Design Supporting System: registration (with
 //! view validation) and retrieval.
 
-use crate::cell::{Cell, CategoryPath};
+use crate::cell::{CategoryPath, Cell};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;

@@ -34,6 +34,6 @@ pub mod seed;
 pub mod store;
 pub mod views;
 
-pub use cell::{Cell, CategoryPath};
+pub use cell::{CategoryPath, Cell};
 pub use db::{CellDb, CellDbError};
 pub use search::{search, SearchQuery};

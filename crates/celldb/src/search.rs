@@ -115,9 +115,8 @@ mod tests {
                 ..Default::default()
             };
             if behavioral {
-                views.behavioral = Some(
-                    "module m(a, b) { input a; output b; analog { V(b) <- V(a); } }".into(),
-                );
+                views.behavioral =
+                    Some("module m(a, b) { input a; output b; analog { V(b) <- V(a); } }".into());
             }
             Cell::new(name, CategoryPath::new(lib, cat, sub), views)
         };

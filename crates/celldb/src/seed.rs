@@ -2,7 +2,7 @@
 //! tuner cells with documents, symbols, behavioral AHDL, transistor-level
 //! schematics and stored simulation data.
 
-use crate::cell::{Cell, CategoryPath};
+use crate::cell::{CategoryPath, Cell};
 use crate::db::{CellDb, Result};
 use crate::views::{CellViews, PortDirection, SimulationData, SymbolPort, SymbolView};
 
@@ -67,7 +67,13 @@ pub fn seed_library() -> Result<CellDb> {
                     name: "gain_vs_input".into(),
                     axis: "input level [V]".into(),
                     value: "gain [dB]".into(),
-                    points: vec![(0.05, 20.0), (0.1, 14.0), (0.3, 4.6), (0.5, 0.0), (1.0, -6.0)],
+                    points: vec![
+                        (0.05, 20.0),
+                        (0.1, 14.0),
+                        (0.3, 4.6),
+                        (0.5, 0.0),
+                        (1.0, -6.0),
+                    ],
                 }],
                 ..Default::default()
             },
@@ -207,7 +213,13 @@ pub fn seed_library() -> Result<CellDb> {
                     name: "irr_vs_phase_error".into(),
                     axis: "phase error [deg]".into(),
                     value: "IRR [dB]".into(),
-                    points: vec![(0.5, 43.6), (1.0, 40.0), (2.0, 34.8), (5.0, 27.1), (10.0, 21.1)],
+                    points: vec![
+                        (0.5, 43.6),
+                        (1.0, 40.0),
+                        (2.0, 34.8),
+                        (5.0, 27.1),
+                        (10.0, 21.1),
+                    ],
                 }],
                 ..Default::default()
             },
@@ -389,18 +401,13 @@ mod tests {
     #[test]
     fn behavioral_views_in_seed_compile() {
         let db = seed_library().unwrap();
-        let with_beh = db
-            .iter()
-            .filter(|c| c.views.behavioral.is_some())
-            .count();
+        let with_beh = db.iter().filter(|c| c.views.behavioral.is_some()).count();
         assert!(with_beh >= 5, "only {with_beh} behavioral views");
         // Registration already validated them; double-check one compiles
         // and instantiates.
         let qvco = db.get("QVCO1").unwrap();
-        let m = ahfic_ahdl::eval::CompiledModule::compile(
-            qvco.views.behavioral.as_ref().unwrap(),
-        )
-        .unwrap();
+        let m = ahfic_ahdl::eval::CompiledModule::compile(qvco.views.behavioral.as_ref().unwrap())
+            .unwrap();
         assert!(m.instantiate(&[("phase_err", 3.0)]).is_ok());
     }
 
@@ -408,9 +415,8 @@ mod tests {
     fn schematic_views_in_seed_simulate() {
         let db = seed_library().unwrap();
         let gca = db.get("GCA1").unwrap();
-        let ckt =
-            ahfic_spice::parse::parse_netlist(gca.views.schematic.as_ref().unwrap()).unwrap();
-        let prep = ahfic_spice::circuit::Prepared::compile(ckt).unwrap();
+        let ckt = ahfic_spice::parse::parse_netlist(gca.views.schematic.as_ref().unwrap()).unwrap();
+        let prep = ahfic_spice::circuit::Prepared::compile(&ckt).unwrap();
         let op = ahfic_spice::analysis::op(&prep, &Default::default());
         assert!(op.is_ok(), "{op:?}");
     }

@@ -46,7 +46,7 @@ impl CellDb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cell::{Cell, CategoryPath};
+    use crate::cell::{CategoryPath, Cell};
     use crate::views::{CellViews, SimulationData};
 
     fn sample_db() -> CellDb {

@@ -117,12 +117,7 @@ mod tests {
     fn generic_frontier_on_analytic_surface() {
         let gains = [0.01, 0.05];
         let phases: Vec<f64> = (1..=100).map(|k| k as f64 * 0.1).collect();
-        let frontier = feasible_frontier(
-            |g, p| irr_analytic_db(p, g),
-            &gains,
-            &phases,
-            30.0,
-        );
+        let frontier = feasible_frontier(|g, p| irr_analytic_db(p, g), &gains, &phases, 30.0);
         assert_eq!(frontier.len(), 2);
         // Grid frontier should approximate the closed-form inversion.
         for (g, p) in frontier {

@@ -31,7 +31,13 @@ pub struct CharacterizationBench {
 
 impl CharacterizationBench {
     /// Standard bench: sweep `f_ref/100 … f_max` with 60 points.
-    pub fn new(netlist: &str, input_source: &str, output_node: &str, f_ref: f64, f_max: f64) -> Self {
+    pub fn new(
+        netlist: &str,
+        input_source: &str,
+        output_node: &str,
+        f_ref: f64,
+        f_max: f64,
+    ) -> Self {
         CharacterizationBench {
             netlist: netlist.to_string(),
             input_source: input_source.to_string(),
@@ -65,6 +71,22 @@ pub struct BlockCharacterization {
 /// Propagates netlist/OP/AC errors; [`SpiceError::Measure`] when the
 /// output node does not exist.
 pub fn characterize(bench: &CharacterizationBench) -> Result<BlockCharacterization> {
+    characterize_with(bench, &Options::default())
+}
+
+/// [`characterize`] with explicit analysis options — notably a
+/// [`TraceHandle`](ahfic_trace::TraceHandle) — wrapping the whole
+/// extraction in a `charac` span.
+///
+/// # Errors
+///
+/// As [`characterize`].
+pub fn characterize_with(
+    bench: &CharacterizationBench,
+    opts: &Options,
+) -> Result<BlockCharacterization> {
+    let t = opts.trace.tracer();
+    let span = t.span("charac");
     let mut ckt = parse_netlist(&bench.netlist)?;
     ckt.set_ac(&bench.input_source, 1.0, 0.0)?;
     if ckt.find_node(&bench.output_node).is_none() {
@@ -73,12 +95,12 @@ pub fn characterize(bench: &CharacterizationBench) -> Result<BlockCharacterizati
             bench.output_node
         )));
     }
-    let prep = Prepared::compile(ckt)?;
-    let opts = Options::default();
-    let dc = op(&prep, &opts)?;
+    let prep = Prepared::compile(&ckt)?;
+    let dc = op(&prep, opts)?;
     let freqs = logspace(bench.f_ref / 100.0, bench.f_max, bench.points.max(8));
-    let acw = ac_sweep(&prep, &dc.x, &opts, &freqs)?;
+    let acw = ac_sweep(&prep, &dc.x, opts, &freqs)?;
     let c = ac_characterize(&acw, &format!("v({})", bench.output_node), bench.f_ref)?;
+    span.end();
     Ok(BlockCharacterization {
         gain: c.gain,
         gain_db: c.gain_db,
@@ -95,11 +117,7 @@ pub fn characterize(bench: &CharacterizationBench) -> Result<BlockCharacterizati
 /// # Errors
 ///
 /// Propagates parse/simulation/measurement failures.
-pub fn characterize_distortion(
-    bench: &CharacterizationBench,
-    drive: f64,
-    f0: f64,
-) -> Result<f64> {
+pub fn characterize_distortion(bench: &CharacterizationBench, drive: f64, f0: f64) -> Result<f64> {
     use ahfic_spice::analysis::{tran, TranParams};
     use ahfic_spice::circuit::ElementKind;
     use ahfic_spice::wave::SourceWave;
@@ -128,11 +146,15 @@ pub fn characterize_distortion(
             phase_deg: 0.0,
         },
     )?;
-    let prep = Prepared::compile(ckt)?;
+    let prep = Prepared::compile(&ckt)?;
     let opts = Options::default();
     // 12 periods, resolved to ~200 points per period.
     let period = 1.0 / f0;
-    let wave = tran(&prep, &opts, &TranParams::new(12.0 * period, period / 200.0))?;
+    let wave = tran(
+        &prep,
+        &opts,
+        &TranParams::new(12.0 * period, period / 200.0),
+    )?;
     ahfic_spice::measure::thd(&wave, &format!("v({})", bench.output_node), f0, 0.4)
 }
 
@@ -250,20 +272,14 @@ mod tests {
         let thd_large = characterize_distortion(&bench, 20e-3, 10e6).unwrap();
         // Exponential transfer: THD scales roughly with drive.
         assert!(thd_small < 0.05, "small-signal THD {thd_small}");
-        assert!(
-            thd_large > 4.0 * thd_small,
-            "{thd_large} vs {thd_small}"
-        );
+        assert!(thd_large > 4.0 * thd_small, "{thd_large} vs {thd_small}");
     }
 
     #[test]
     fn missing_output_node_is_error() {
         let mut bench = ce_bench();
         bench.output_node = "nonexistent".into();
-        assert!(matches!(
-            characterize(&bench),
-            Err(SpiceError::Measure(_))
-        ));
+        assert!(matches!(characterize(&bench), Err(SpiceError::Measure(_))));
     }
 
     #[test]

@@ -10,8 +10,9 @@
 use ahfic_ahdl::block::Block;
 use ahfic_ahdl::eval::CompiledModule;
 use ahfic_spice::circuit::BehavioralFn;
-use std::sync::Mutex;
+use ahfic_trace::TraceHandle;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Error converting an AHDL module into a behavioral source.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,6 +68,21 @@ pub fn ahdl_behavioral_fn(
     module: &CompiledModule,
     params: &[(&str, f64)],
 ) -> Result<BehavioralFn, CosimError> {
+    ahdl_behavioral_fn_traced(module, params, &TraceHandle::off())
+}
+
+/// [`ahdl_behavioral_fn`] with telemetry: emits a `cosim.wrap` event and
+/// a `cosim.controls` counter (number of controlling nodes) when the
+/// module is accepted.
+///
+/// # Errors
+///
+/// As [`ahdl_behavioral_fn`].
+pub fn ahdl_behavioral_fn_traced(
+    module: &CompiledModule,
+    params: &[(&str, f64)],
+    trace: &TraceHandle,
+) -> Result<BehavioralFn, CosimError> {
     if module.num_states() != 0 {
         return Err(CosimError::Stateful {
             module: module.name().to_string(),
@@ -82,11 +98,16 @@ pub fn ahdl_behavioral_fn(
     let inst = module
         .instantiate(params)
         .map_err(|e| CosimError::Instantiate(e.to_string()))?;
+    let t = trace.tracer();
+    t.event("cosim.wrap");
+    t.counter("cosim.controls", module.inputs().len() as f64);
     let cell = Mutex::new(inst);
     Ok(BehavioralFn::new(move |controls: &[f64]| {
         let mut out = [0.0];
         // Memoryless: time and dt are irrelevant.
-        cell.lock().expect("behavioral eval panicked").tick(0.0, 1.0, controls, &mut out);
+        cell.lock()
+            .expect("behavioral eval panicked")
+            .tick(0.0, 1.0, controls, &mut out);
         out[0]
     }))
 }
@@ -112,7 +133,7 @@ mod tests {
         ckt.vsource("V1", a, Circuit::gnd(), 3.0);
         ckt.behavioral_vsource("B1", b, Circuit::gnd(), &[a], f);
         ckt.resistor("RL", b, Circuit::gnd(), 1e3);
-        let prep = Prepared::compile(ckt).unwrap();
+        let prep = Prepared::compile(&ckt).unwrap();
         let r = op(&prep, &Options::default()).unwrap();
         let expect = 0.5 * (3.0f64 / 0.5).tanh();
         assert!((prep.voltage(&r.x, b) - expect).abs() < 1e-9);
@@ -134,7 +155,7 @@ mod tests {
         ckt.vsource("VB", b, Circuit::gnd(), -1.5);
         ckt.behavioral_vsource("B1", y, Circuit::gnd(), &[a, b], f);
         ckt.resistor("RL", y, Circuit::gnd(), 1e3);
-        let prep = Prepared::compile(ckt).unwrap();
+        let prep = Prepared::compile(&ckt).unwrap();
         let r = op(&prep, &Options::default()).unwrap();
         assert!((prep.voltage(&r.x, y) + 3.0).abs() < 1e-9);
     }

@@ -10,13 +10,15 @@
 
 use crate::budget::{balance_requirements, derive_balance_budget, BalanceSpec};
 use crate::hierarchy::{Design, DesignBlock};
-use crate::mixed::{mixed_level_study, MixedLevelReport};
+use crate::mixed::{mixed_level_study_traced, MixedLevelReport};
 use crate::spec::{Quantity, Requirement};
 use ahfic_celldb::search::{search, SearchQuery};
 use ahfic_celldb::CellDb;
 use ahfic_rf::plan::FrequencyPlan;
 use ahfic_rf::tuner::TunerConfig;
+use ahfic_trace::{TraceHandle, TraceSink};
 use std::fmt;
+use std::sync::Arc;
 
 /// Flow failure.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,6 +46,9 @@ pub struct TopDownFlow {
     /// Component mismatch assumed for the shifter reality check
     /// (fractional resistor error).
     pub shifter_mismatch: f64,
+    /// Telemetry handle; every stage of [`Self::run`] emits a
+    /// `flow.<stage>` span through it.
+    pub trace: TraceHandle,
 }
 
 impl TopDownFlow {
@@ -57,7 +62,14 @@ impl TopDownFlow {
             required_irr_db: 30.0,
             gain_candidates: vec![0.01, 0.03, 0.05, 0.07, 0.09],
             shifter_mismatch: 0.02,
+            trace: TraceHandle::off(),
         }
+    }
+
+    /// Installs a trace sink (chainable).
+    pub fn with_trace<S: TraceSink + 'static>(mut self, sink: &Arc<S>) -> Self {
+        self.trace = TraceHandle::new(sink);
+        self
     }
 }
 
@@ -99,25 +111,29 @@ impl TopDownFlow {
     pub fn run(&self, db: &CellDb) -> Result<FlowReport, FlowError> {
         let mut stages = Vec::new();
         let fail = |m: String| FlowError(m);
+        let t = self.trace.tracer();
 
         // Stage 1: system specification.
+        let span = t.span("flow.system-spec");
         let system_req = Requirement::at_least(Quantity::ImageRejectionDb, self.required_irr_db);
         stages.push(StageRecord {
             name: "system-spec",
             summary: format!("system designer requests {system_req}"),
             passed: true,
         });
+        span.end();
 
         // Stage 2: behavioral exploration — the ideal AHDL system must
         // have headroom, otherwise the architecture itself is wrong.
-        let ideal_irr =
-            ahfic_rf::image_rejection::measure_irr_db(
-                &self.plan,
-                &self.cfg,
-                &Default::default(),
-                Some(2e-6),
-            )
-            .map_err(|e| fail(format!("behavioral exploration failed: {e}")))?;
+        let span = t.span("flow.behavioral-exploration");
+        let ideal_irr = ahfic_rf::image_rejection::measure_irr_db_traced(
+            &self.plan,
+            &self.cfg,
+            &Default::default(),
+            Some(2e-6),
+            &self.trace,
+        )
+        .map_err(|e| fail(format!("behavioral exploration failed: {e}")))?;
         let headroom_ok = ideal_irr >= self.required_irr_db + 10.0;
         stages.push(StageRecord {
             name: "behavioral-exploration",
@@ -128,8 +144,10 @@ impl TopDownFlow {
             ),
             passed: headroom_ok,
         });
+        span.end();
 
         // Stage 3: block spec budgeting (Fig. 5 inversion).
+        let span = t.span("flow.spec-budgeting");
         let budgets = derive_balance_budget(self.required_irr_db, &self.gain_candidates);
         // Pick the loosest-gain candidate that still allows >= 1 deg of
         // phase budget (manufacturable).
@@ -152,9 +170,11 @@ impl TopDownFlow {
             },
             passed: chosen.is_some(),
         });
+        span.end();
         let chosen = chosen.ok_or_else(|| fail("budgeting found no feasible point".into()))?;
 
         // Stage 4: re-use from the cell database.
+        let span = t.span("flow.cell-reuse");
         let mut design = Design::new("double-super tuner");
         design.system_requirements.push(system_req);
         let mut reused_cells = Vec::new();
@@ -171,9 +191,7 @@ impl TopDownFlow {
                     block.require(req);
                 }
                 reused_cells.push(hit.cell.name.clone());
-                design
-                    .add_block(block)
-                    .map_err(|e| fail(e.to_string()))?;
+                design.add_block(block).map_err(|e| fail(e.to_string()))?;
             }
         }
         stages.push(StageRecord {
@@ -185,10 +203,13 @@ impl TopDownFlow {
             ),
             passed: reused_cells.len() >= 2,
         });
+        span.end();
 
         // Stage 5: component-level reality (mixed-level simulation).
-        let mixed = mixed_level_study(&self.plan, &self.cfg, self.shifter_mismatch)
-            .map_err(|e| fail(format!("mixed-level study failed: {e}")))?;
+        let span = t.span("flow.mixed-level");
+        let mixed =
+            mixed_level_study_traced(&self.plan, &self.cfg, self.shifter_mismatch, &self.trace)
+                .map_err(|e| fail(format!("mixed-level study failed: {e}")))?;
         let balance_ok = mixed.real_balance.phase_err_deg.abs() <= chosen.max_phase_err_deg
             && mixed.real_balance.gain_err.abs() <= chosen.gain_err;
         stages.push(StageRecord {
@@ -201,8 +222,10 @@ impl TopDownFlow {
             ),
             passed: balance_ok,
         });
+        span.end();
 
         // Stage 6: final system verification.
+        let span = t.span("flow.system-verification");
         let final_pass = mixed.real_irr_db >= self.required_irr_db;
         stages.push(StageRecord {
             name: "system-verification",
@@ -212,6 +235,7 @@ impl TopDownFlow {
             ),
             passed: final_pass,
         });
+        span.end();
 
         Ok(FlowReport {
             stages,

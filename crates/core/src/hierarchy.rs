@@ -78,8 +78,7 @@ impl BlockView {
             BlockView::Behavioral { ahdl, params } => {
                 let m = ahfic_ahdl::eval::CompiledModule::compile(ahdl)
                     .map_err(|e| DesignError::View(e.to_string()))?;
-                let refs: Vec<(&str, f64)> =
-                    params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                let refs: Vec<(&str, f64)> = params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
                 m.instantiate(&refs)
                     .map_err(|e| DesignError::View(e.to_string()))?;
                 Ok(())
@@ -326,10 +325,7 @@ mod tests {
         b.add_view(netlist_view()).unwrap();
         b.activate(ViewLevel::Transistor).unwrap();
         assert_eq!(b.active_level(), ViewLevel::Transistor);
-        assert!(matches!(
-            b.active_view(),
-            BlockView::Transistor { .. }
-        ));
+        assert!(matches!(b.active_view(), BlockView::Transistor { .. }));
         // And back.
         b.activate(ViewLevel::Behavioral).unwrap();
         assert_eq!(b.active_level(), ViewLevel::Behavioral);
@@ -369,18 +365,20 @@ mod tests {
     #[test]
     fn design_block_management() {
         let mut d = Design::new("tuner");
-        d.add_block(DesignBlock::new("A", amp_view()).unwrap()).unwrap();
-        d.add_block(DesignBlock::new("B", amp_view()).unwrap()).unwrap();
+        d.add_block(DesignBlock::new("A", amp_view()).unwrap())
+            .unwrap();
+        d.add_block(DesignBlock::new("B", amp_view()).unwrap())
+            .unwrap();
         assert!(d
             .add_block(DesignBlock::new("A", amp_view()).unwrap())
             .is_err());
         assert_eq!(d.blocks().len(), 2);
         assert_eq!(d.behavioral_count(), 2);
+        d.block_mut("A").unwrap().add_view(netlist_view()).unwrap();
         d.block_mut("A")
             .unwrap()
-            .add_view(netlist_view())
+            .activate(ViewLevel::Transistor)
             .unwrap();
-        d.block_mut("A").unwrap().activate(ViewLevel::Transistor).unwrap();
         assert_eq!(d.behavioral_count(), 1);
         assert!(d.block_mut("Z").is_err());
     }

@@ -22,6 +22,10 @@
 //! example (a CATV double-super tuner with a 30 dB image-rejection
 //! requirement) and produces a [`flow::FlowReport`].
 //!
+//! Every stage is observable: install a [`trace`] sink (for example
+//! [`trace::InMemorySink`]) via [`flow::TopDownFlow::with_trace`] and
+//! render the result with [`report::render_trace_summary`].
+//!
 //! # Example
 //!
 //! ```no_run
@@ -44,6 +48,9 @@ pub mod report;
 pub mod spec;
 pub mod yield_mc;
 
+pub use ahfic_trace as trace;
+
 pub use flow::{FlowReport, TopDownFlow};
-pub use hierarchy::{Design, DesignBlock, BlockView, ViewLevel};
+pub use hierarchy::{BlockView, Design, DesignBlock, ViewLevel};
+pub use report::{render_text, render_trace_summary};
 pub use spec::{Quantity, Requirement, SpecStatus};

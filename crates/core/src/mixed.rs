@@ -7,12 +7,13 @@
 //! phase/gain balance away from the ideal, and the system-level IRR
 //! degrades exactly along the paper's Fig. 5 surface.
 
-use ahfic_rf::image_rejection::{irr_analytic_db, measure_irr_db};
+use ahfic_rf::image_rejection::{irr_analytic_db, measure_irr_db_traced};
 use ahfic_rf::plan::FrequencyPlan;
 use ahfic_rf::tuner::{ImageRejectionErrors, TunerConfig};
 use ahfic_spice::analysis::{ac_sweep, op, Options};
 use ahfic_spice::circuit::{Circuit, Prepared};
 use ahfic_spice::error::Result;
+use ahfic_trace::TraceHandle;
 
 /// Balance errors extracted from a component-level 90° shifter.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -23,45 +24,97 @@ pub struct ShifterBalance {
     pub gain_err: f64,
 }
 
+/// A reusable RC-CR characterization bench: the quadrature network is
+/// compiled **once** and re-characterized at many mismatch values by
+/// retuning `R1` in place ([`Circuit::set_resistance`]) — no clone, no
+/// recompile per point. This is the hot path of the Monte-Carlo yield
+/// study.
+#[derive(Clone, Debug)]
+pub struct RcCrBench {
+    prep: Prepared,
+    opts: Options,
+    r_nom: f64,
+    f0: f64,
+}
+
+impl RcCrBench {
+    /// Builds and compiles the bench for design frequency `f0` and arm
+    /// capacitance `c`.
+    ///
+    /// The network: low-pass arm `R1/C1` (output `a`) and high-pass arm
+    /// `C2/R2` (output `b`). With `R1 C1 = R2 C2 = 1/(2*pi*f0)` the
+    /// outputs are exactly 90° apart with equal magnitude; component
+    /// mismatch breaks both balances.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist/compile errors.
+    pub fn new(f0: f64, c: f64) -> Result<Self> {
+        let r_nom = 1.0 / (2.0 * std::f64::consts::PI * f0 * c);
+        let mut ckt = Circuit::new();
+        let input = ckt.node("in");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("VIN", input, Circuit::gnd(), 0.0);
+        ckt.set_ac("VIN", 1.0, 0.0)?;
+        ckt.resistor("R1", input, a, r_nom);
+        ckt.capacitor("C1", a, Circuit::gnd(), c);
+        ckt.capacitor("C2", input, b, c);
+        ckt.resistor("R2", b, Circuit::gnd(), r_nom);
+        Ok(RcCrBench {
+            prep: Prepared::compile(&ckt)?,
+            opts: Options::default(),
+            r_nom,
+            f0,
+        })
+    }
+
+    /// Replaces the analysis options (chainable) — e.g. to install a
+    /// trace sink so every characterization's op/AC spans are recorded.
+    pub fn with_options(mut self, opts: Options) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Characterizes the network with a fractional `R1` error of
+    /// `r1_mismatch`, retuning the compiled circuit in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors; mismatch at or below -100% is a
+    /// netlist error (non-positive resistance).
+    pub fn characterize(&mut self, r1_mismatch: f64) -> Result<ShifterBalance> {
+        self.prep
+            .circuit
+            .set_resistance("R1", self.r_nom * (1.0 + r1_mismatch))?;
+        let dc = op(&self.prep, &self.opts)?;
+        let acw = ac_sweep(&self.prep, &dc.x, &self.opts, &[self.f0])?;
+        let va = acw.signal("v(a)")?[0];
+        let vb = acw.signal("v(b)")?[0];
+        let mut dphi = (vb.arg() - va.arg()).to_degrees();
+        while dphi > 180.0 {
+            dphi -= 360.0;
+        }
+        while dphi < -180.0 {
+            dphi += 360.0;
+        }
+        Ok(ShifterBalance {
+            phase_err_deg: dphi - 90.0,
+            gain_err: vb.abs() / va.abs() - 1.0,
+        })
+    }
+}
+
 /// Characterizes an RC-CR quadrature network at `f0` via AC analysis.
 ///
-/// The network: low-pass arm `R1/C1` (output `a`) and high-pass arm
-/// `C2/R2` (output `b`). With `R1 C1 = R2 C2 = 1/(2*pi*f0)` the outputs
-/// are exactly 90° apart with equal magnitude; component mismatch
-/// (`r1_mismatch`, fractional) breaks both balances.
+/// One-shot convenience over [`RcCrBench`]; sweeping many mismatch
+/// values should construct the bench once instead.
 ///
 /// # Errors
 ///
 /// Propagates simulation errors.
 pub fn characterize_rc_cr(f0: f64, c: f64, r1_mismatch: f64) -> Result<ShifterBalance> {
-    let r_nom = 1.0 / (2.0 * std::f64::consts::PI * f0 * c);
-    let mut ckt = Circuit::new();
-    let input = ckt.node("in");
-    let a = ckt.node("a");
-    let b = ckt.node("b");
-    ckt.vsource("VIN", input, Circuit::gnd(), 0.0);
-    ckt.set_ac("VIN", 1.0, 0.0)?;
-    ckt.resistor("R1", input, a, r_nom * (1.0 + r1_mismatch));
-    ckt.capacitor("C1", a, Circuit::gnd(), c);
-    ckt.capacitor("C2", input, b, c);
-    ckt.resistor("R2", b, Circuit::gnd(), r_nom);
-    let prep = Prepared::compile(ckt)?;
-    let opts = Options::default();
-    let dc = op(&prep, &opts)?;
-    let acw = ac_sweep(&prep, &dc.x, &opts, &[f0])?;
-    let va = acw.signal("v(a)")?[0];
-    let vb = acw.signal("v(b)")?[0];
-    let mut dphi = (vb.arg() - va.arg()).to_degrees();
-    while dphi > 180.0 {
-        dphi -= 360.0;
-    }
-    while dphi < -180.0 {
-        dphi += 360.0;
-    }
-    Ok(ShifterBalance {
-        phase_err_deg: dphi - 90.0,
-        gain_err: vb.abs() / va.abs() - 1.0,
-    })
+    RcCrBench::new(f0, c)?.characterize(r1_mismatch)
 }
 
 /// Result of the mixed-level study.
@@ -98,10 +151,30 @@ pub fn mixed_level_study(
     cfg: &TunerConfig,
     r1_mismatch: f64,
 ) -> Result<MixedLevelReport> {
+    mixed_level_study_traced(plan, cfg, r1_mismatch, &TraceHandle::off())
+}
+
+/// [`mixed_level_study`] with telemetry: the whole study runs inside a
+/// `mixed` span, the RC-CR characterization emits op/AC spans and the
+/// behavioral re-runs emit `ahdl.run` spans.
+///
+/// # Errors
+///
+/// As [`mixed_level_study`].
+pub fn mixed_level_study_traced(
+    plan: &FrequencyPlan,
+    cfg: &TunerConfig,
+    r1_mismatch: f64,
+    trace: &TraceHandle,
+) -> Result<MixedLevelReport> {
     use ahfic_spice::error::SpiceError;
-    let real_balance = characterize_rc_cr(plan.f2_if, 1e-12, r1_mismatch)?;
+    let t = trace.tracer();
+    let span = t.span("mixed");
+    let real_balance = RcCrBench::new(plan.f2_if, 1e-12)?
+        .with_options(Options::new().trace_handle(trace.clone()))
+        .characterize(r1_mismatch)?;
     let sim = |errors: ImageRejectionErrors| -> Result<f64> {
-        measure_irr_db(plan, cfg, &errors, Some(2e-6))
+        measure_irr_db_traced(plan, cfg, &errors, Some(2e-6), trace)
             .map_err(|e| SpiceError::Measure(format!("behavioral simulation failed: {e}")))
     };
     let ideal_irr_db = sim(ImageRejectionErrors::default())?;
@@ -111,6 +184,7 @@ pub fn mixed_level_study(
         shifter_phase_err_deg: real_balance.phase_err_deg,
     };
     let real_irr_db = sim(real_errors)?;
+    span.end();
     Ok(MixedLevelReport {
         real_balance,
         ideal_irr_db,

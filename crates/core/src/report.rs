@@ -1,6 +1,7 @@
-//! Text rendering of flow reports.
+//! Text rendering of flow reports and trace summaries.
 
 use crate::flow::FlowReport;
+use ahfic_trace::{summarize_top_level, TraceRecord};
 use std::fmt::Write as _;
 
 /// Renders a flow report as a plain-text summary table.
@@ -44,11 +45,52 @@ pub fn render_text(report: &FlowReport) -> String {
     out
 }
 
+/// Renders the top-level spans of a trace as a plain-text table: wall
+/// time plus the summed Newton-iteration, factorization and solve
+/// counters attributed to each span (nested spans roll up into their
+/// enclosing top-level span).
+pub fn render_trace_summary(records: &[TraceRecord]) -> String {
+    let spans = summarize_top_level(records);
+    let mut out = String::new();
+    let _ = writeln!(out, "== Trace summary ==");
+    if spans.is_empty() {
+        let _ = writeln!(out, "(no spans recorded)");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>8} {:>8} {:>8}",
+        "span", "wall ms", "newton", "factor", "solve"
+    );
+    for s in &spans {
+        let sum_suffix = |suffix: &str| -> i64 {
+            s.counters
+                .iter()
+                .filter(|(n, _)| n.ends_with(suffix))
+                .map(|(_, v)| v)
+                .sum::<f64>()
+                .round() as i64
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>10.2} {:>8} {:>8} {:>8}",
+            s.name,
+            s.wall_seconds * 1e3,
+            sum_suffix(".newton_iterations"),
+            sum_suffix(".factorizations"),
+            sum_suffix(".solves"),
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::flow::TopDownFlow;
     use ahfic_celldb::seed::seed_library;
+    use ahfic_trace::InMemorySink;
+    use std::sync::Arc;
 
     #[test]
     fn report_renders_all_stages() {
@@ -60,5 +102,33 @@ mod tests {
         assert!(text.contains("DESIGN MEETS SYSTEM SPEC"));
         assert!(text.contains("block budget"));
         assert_eq!(text.matches("PASS").count(), 6, "{text}");
+    }
+
+    #[test]
+    fn trace_summary_tabulates_flow_stages() {
+        let db = seed_library().unwrap();
+        let sink = Arc::new(InMemorySink::new());
+        TopDownFlow::paper_example()
+            .with_trace(&sink)
+            .run(&db)
+            .unwrap();
+        let text = render_trace_summary(&sink.records());
+        for stage in [
+            "flow.system-spec",
+            "flow.behavioral-exploration",
+            "flow.spec-budgeting",
+            "flow.cell-reuse",
+            "flow.mixed-level",
+            "flow.system-verification",
+        ] {
+            assert!(text.contains(stage), "{text}");
+        }
+        assert!(text.contains("newton"), "{text}");
+    }
+
+    #[test]
+    fn trace_summary_of_nothing_is_graceful() {
+        let text = render_trace_summary(&[]);
+        assert!(text.contains("no spans recorded"));
     }
 }

@@ -136,7 +136,12 @@ impl fmt::Display for Requirement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match (self.min, self.max) {
             (Some(lo), Some(hi)) => {
-                write!(f, "{} in [{lo}, {hi}] {}", self.quantity, self.quantity.unit())
+                write!(
+                    f,
+                    "{} in [{lo}, {hi}] {}",
+                    self.quantity,
+                    self.quantity.unit()
+                )
             }
             (Some(lo), None) => write!(f, "{} >= {lo} {}", self.quantity, self.quantity.unit()),
             (None, Some(hi)) => write!(f, "{} <= {hi} {}", self.quantity, self.quantity.unit()),

@@ -8,9 +8,11 @@
 //! balance through the system-level IRR relation, and scores it against
 //! the requirement.
 
-use crate::mixed::characterize_rc_cr;
+use crate::mixed::RcCrBench;
 use ahfic_rf::image_rejection::irr_analytic_db;
+use ahfic_spice::analysis::Options;
 use ahfic_spice::error::Result;
+use ahfic_trace::TraceHandle;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -66,14 +68,37 @@ impl YieldStudy {
     ///
     /// Panics if `samples == 0`.
     pub fn run(&self) -> Result<YieldResult> {
+        self.run_traced(&TraceHandle::off())
+    }
+
+    /// [`Self::run`] with telemetry: the whole study runs inside a
+    /// `yield_mc` span with a `yield_mc.samples` counter, and every
+    /// sample's op/AC spans land in the same sink.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn run_traced(&self, trace: &TraceHandle) -> Result<YieldResult> {
         assert!(self.samples > 0, "need at least one sample");
+        let t = trace.tracer();
+        let span = t.span("yield_mc");
+        // One compiled bench for the whole study; each sample only
+        // retunes R1 in place.
+        let mut bench = RcCrBench::new(self.f2_if, 1e-12)?
+            .with_options(Options::new().trace_handle(trace.clone()));
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut irr_db = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let mismatch = self.sigma_mismatch * standard_normal(&mut rng);
-            let balance = characterize_rc_cr(self.f2_if, 1e-12, mismatch)?;
+            let balance = bench.characterize(mismatch)?;
             irr_db.push(irr_analytic_db(balance.phase_err_deg, balance.gain_err));
         }
+        t.counter("yield_mc.samples", self.samples as f64);
+        span.end();
         let pass = irr_db
             .iter()
             .filter(|&&v| v >= self.required_irr_db)

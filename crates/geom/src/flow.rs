@@ -40,7 +40,10 @@ pub fn extract_shapes(ckt: &Circuit) -> Vec<(TransistorShape, usize)> {
 /// Runs the Fig. 10 flow over a circuit: every BJT model named after a
 /// shape is replaced by a freshly generated geometry-aware card
 /// (polarity preserved). Returns a report of what was regenerated.
-pub fn annotate_circuit(ckt: &mut Circuit, generator: &ModelGenerator) -> Vec<GeneratedModelReport> {
+pub fn annotate_circuit(
+    ckt: &mut Circuit,
+    generator: &ModelGenerator,
+) -> Vec<GeneratedModelReport> {
     let usage = extract_shapes(ckt);
     let mut reports = Vec::new();
     for (shape, count) in usage {
@@ -102,7 +105,7 @@ mod tests {
         assert!(after.cje > 0.0);
         assert_eq!(after.name, "N1.2-12D");
         // And the circuit still simulates.
-        let prep = ahfic_spice::circuit::Prepared::compile(ckt).unwrap();
+        let prep = ahfic_spice::circuit::Prepared::compile(&ckt).unwrap();
         let r = ahfic_spice::analysis::op(&prep, &Default::default()).unwrap();
         assert!(r.x.iter().all(|v| v.is_finite()));
     }

@@ -200,9 +200,8 @@ impl ModelGenerator {
     /// Emits a ready-to-`.include` SPICE model library with one card per
     /// shape — what the paper's generation program hands to SPICE.
     pub fn model_library(&self, shapes: &[TransistorShape]) -> String {
-        let mut out = String::from(
-            "* Geometry-aware bipolar model library (generated by ahfic-geom)\n",
-        );
+        let mut out =
+            String::from("* Geometry-aware bipolar model library (generated by ahfic-geom)\n");
         for shape in shapes {
             out.push_str(&format!(
                 "* {}: Ae = {:.2} um^2, {} emitter strip(s), {} base stripe(s)\n",

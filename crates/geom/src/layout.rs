@@ -77,7 +77,11 @@ impl DeviceGeometry {
         // contact is on one side only, w/(12l) when both sides carry
         // current; strips are in parallel.
         let base_sides: u32 = if shape.double_sided_base() { 2 } else { 1 };
-        let k = if base_sides == 2 { 1.0 / 12.0 } else { 1.0 / 3.0 };
+        let k = if base_sides == 2 {
+            1.0 / 12.0
+        } else {
+            1.0 / 3.0
+        };
         let rb_intrinsic_factor = k * (w / l) / ne;
 
         // Extrinsic: emitter-base gap sheet path, in parallel over every
@@ -173,8 +177,11 @@ mod tests {
     fn starved_multi_emitter_pays_detour() {
         let ok = geo("N1.2x2-6T"); // nb=3 >= ne+1, fully contacted
         let starved = geo("N1.2x2-6S"); // nb=1 < ne
-        assert_eq!(ok.rb_extrinsic_factor.partial_cmp(&starved.rb_extrinsic_factor),
-                   Some(std::cmp::Ordering::Less));
+        assert_eq!(
+            ok.rb_extrinsic_factor
+                .partial_cmp(&starved.rb_extrinsic_factor),
+            Some(std::cmp::Ordering::Less)
+        );
     }
 
     #[test]

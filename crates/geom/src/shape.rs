@@ -148,10 +148,7 @@ impl FromStr for TransistorShape {
             .ok_or_else(|| err("must start with N"))?;
         let (we_part, rest) = body.split_once('-').ok_or_else(|| err("missing `-`"))?;
         let (width_txt, strips) = match we_part.split_once(['x', 'X']) {
-            Some((w, n)) => (
-                w,
-                n.parse::<u32>().map_err(|_| err("bad strip count"))?,
-            ),
+            Some((w, n)) => (w, n.parse::<u32>().map_err(|_| err("bad strip count"))?),
             None => (we_part, 1),
         };
         let width: f64 = width_txt.parse().map_err(|_| err("bad emitter width"))?;

@@ -86,8 +86,8 @@ mod tests {
         let shape: TransistorShape = "N1.2-6D".parse().unwrap();
         let mut s = sampler(0.10, 7);
         let models = s.sample_models(&shape, 400);
-        let nominal = ModelGenerator::new(ProcessData::default(), MaskRules::default())
-            .generate(&shape);
+        let nominal =
+            ModelGenerator::new(ProcessData::default(), MaskRules::default()).generate(&shape);
         let logs: Vec<f64> = models.iter().map(|m| (m.is_ / nominal.is_).ln()).collect();
         let mean = logs.iter().sum::<f64>() / logs.len() as f64;
         let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / logs.len() as f64;
@@ -101,8 +101,8 @@ mod tests {
         let shape: TransistorShape = "N1.2-6D".parse().unwrap();
         let mut s = sampler(0.0, 9);
         let m = s.sample_model(&shape);
-        let nominal = ModelGenerator::new(ProcessData::default(), MaskRules::default())
-            .generate(&shape);
+        let nominal =
+            ModelGenerator::new(ProcessData::default(), MaskRules::default()).generate(&shape);
         assert_eq!(m, nominal);
     }
 }

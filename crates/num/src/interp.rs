@@ -60,7 +60,10 @@ pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
 /// Panics if `n < 2` or either endpoint is non-positive.
 pub fn logspace(a: f64, b: f64, n: usize) -> Vec<f64> {
     assert!(a > 0.0 && b > 0.0, "logspace endpoints must be positive");
-    linspace(a.ln(), b.ln(), n).into_iter().map(f64::exp).collect()
+    linspace(a.ln(), b.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
 }
 
 /// Parabolic (three-point) refinement of a peak location: given samples

@@ -241,11 +241,7 @@ mod tests {
 
     #[test]
     fn residual_small_on_fixed_system() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
         let b = [11.0, -16.0, 17.0];
         let x = solve(a.clone(), &b).unwrap();
         let r = a.mul_vec(&x);

@@ -158,8 +158,7 @@ impl<T: Scalar> CscMatrix<T> {
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.n, "dimension mismatch");
         let mut y = vec![T::ZERO; self.n];
-        for c in 0..self.n {
-            let xc = x[c];
+        for (c, &xc) in x.iter().enumerate() {
             if xc.modulus() != 0.0 {
                 for k in self.col_ptr[c]..self.col_ptr[c + 1] {
                     y[self.row_idx[k]] += self.values[k] * xc;
@@ -581,11 +580,7 @@ mod tests {
 
     #[test]
     fn refactor_tracks_new_values() {
-        let rows: &[&[f64]] = &[
-            &[4.0, -1.0, 0.0],
-            &[-1.0, 4.0, -1.0],
-            &[0.0, -1.0, 4.0],
-        ];
+        let rows: &[&[f64]] = &[&[4.0, -1.0, 0.0], &[-1.0, 4.0, -1.0], &[0.0, -1.0, 4.0]];
         let (mut m, slots) = csc_from_rows(rows);
         let mut lu = SparseLu::factor(&m).unwrap();
 

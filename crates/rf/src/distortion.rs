@@ -94,7 +94,11 @@ mod tests {
             r.im3,
             expect_im3
         );
-        assert!((r.fundamental - a).abs() / a < 0.02, "fund {}", r.fundamental);
+        assert!(
+            (r.fundamental - a).abs() / a < 0.02,
+            "fund {}",
+            r.fundamental
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::tuner::{build_image_rejection_tuner, drive_rf, ImageRejectionErrors, 
 use ahfic_ahdl::error::Result;
 use ahfic_ahdl::spectrum::tone_power;
 use ahfic_ahdl::system::System;
+use ahfic_trace::TraceHandle;
 
 /// Closed-form image-rejection ratio (dB) of a Hartley architecture with
 /// total quadrature phase error `phase_err_deg` and fractional gain
@@ -49,9 +50,26 @@ pub fn measure_irr_db(
     errors: &ImageRejectionErrors,
     duration: Option<f64>,
 ) -> Result<f64> {
+    measure_irr_db_traced(plan, cfg, errors, duration, &TraceHandle::off())
+}
+
+/// [`measure_irr_db`] with telemetry: the behavioral runs (wanted, then
+/// image channel) each emit an `ahdl.run` span into `trace`.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn measure_irr_db_traced(
+    plan: &FrequencyPlan,
+    cfg: &TunerConfig,
+    errors: &ImageRejectionErrors,
+    duration: Option<f64>,
+    trace: &TraceHandle,
+) -> Result<f64> {
     let duration = duration.unwrap_or(2e-6);
     let run = |freq: f64| -> Result<f64> {
         let mut sys = System::new();
+        sys.set_trace(trace.clone());
         let nets = build_image_rejection_tuner(&mut sys, plan, cfg, errors)?;
         drive_rf(&mut sys, &nets, "RFSRC", freq, 1.0)?;
         let probe = sys.find_net("if2").expect("tuner exposes if2");

@@ -81,7 +81,12 @@ pub fn measure_noise_figure(
     let stage_in = sys.net("stage_in");
     let out = sys.net("out");
     sys.add("TONE", SineSource::new(f0, 1.0), &[], &[tone])?;
-    sys.add("NSRC", GaussianNoise::new(source_noise_rms, 11), &[], &[src_noise])?;
+    sys.add(
+        "NSRC",
+        GaussianNoise::new(source_noise_rms, 11),
+        &[],
+        &[src_noise],
+    )?;
     sys.add("SUMIN", Adder::new(2), &[tone, src_noise], &[input])?;
     sys.add(
         "NSTAGE",

@@ -74,11 +74,26 @@ pub fn build_pll(sys: &mut System, cfg: &PllConfig) -> Result<PllNets> {
     let filt = sys.net("pll_filt");
     let control = sys.net("pll_ctrl");
 
-    sys.add("PLLREF", SineSource::new(cfg.f_ref, cfg.ampl), &[], &[reference])?;
+    sys.add(
+        "PLLREF",
+        SineSource::new(cfg.f_ref, cfg.ampl),
+        &[],
+        &[reference],
+    )?;
     sys.add("PLLPD", Mixer::new(1.0), &[reference, vco], &[pd])?;
-    sys.add("PLLLF", FirstOrderLp::new(cfg.loop_bw, suggested_fs(cfg)), &[pd], &[filt])?;
+    sys.add(
+        "PLLLF",
+        FirstOrderLp::new(cfg.loop_bw, suggested_fs(cfg)),
+        &[pd],
+        &[filt],
+    )?;
     sys.add("PLLGAIN", Gain::new(cfg.loop_gain), &[filt], &[control])?;
-    sys.add("PLLVCO", Vco::new(cfg.f0_vco, cfg.kvco, cfg.ampl), &[control], &[vco])?;
+    sys.add(
+        "PLLVCO",
+        Vco::new(cfg.f0_vco, cfg.kvco, cfg.ampl),
+        &[control],
+        &[vco],
+    )?;
     Ok(PllNets {
         reference,
         vco,
@@ -136,11 +151,7 @@ pub fn measure_lock(trace: &Trace, cfg: &PllConfig) -> Result<LockMeasurement> {
 pub fn run_pll(cfg: &PllConfig, duration: f64) -> Result<LockMeasurement> {
     let mut sys = System::new();
     let nets = build_pll(&mut sys, cfg)?;
-    let trace = sys.run_probed(
-        suggested_fs(cfg),
-        duration,
-        &[nets.vco, nets.control],
-    )?;
+    let trace = sys.run_probed(suggested_fs(cfg), duration, &[nets.vco, nets.control])?;
     measure_lock(&trace, cfg)
 }
 
@@ -175,7 +186,11 @@ mod tests {
         cfg.f0_vco = 4e6; // 6 MHz away with a ~4 MHz hold range
         cfg.loop_gain = 0.5; // shrink the hold range to ~0.5 MHz
         let lock = run_pll(&cfg, 150e-6).unwrap();
-        assert!(!lock.locked, "locked across {:.1e} Hz?!", cfg.f_ref - cfg.f0_vco);
+        assert!(
+            !lock.locked,
+            "locked across {:.1e} Hz?!",
+            cfg.f_ref - cfg.f0_vco
+        );
     }
 
     #[test]

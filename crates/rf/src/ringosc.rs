@@ -60,7 +60,10 @@ pub fn build_ring_oscillator(
     pair_model: &BjtModel,
     follower_model: &BjtModel,
 ) -> (Circuit, String, String) {
-    assert!(params.stages >= 3 && params.stages % 2 == 1, "need an odd stage count >= 3");
+    assert!(
+        params.stages >= 3 && params.stages % 2 == 1,
+        "need an odd stage count >= 3"
+    );
     let mut ckt = Circuit::new();
     let vcc = ckt.node("vcc");
     ckt.vsource("VCC", vcc, Circuit::gnd(), params.vcc);
@@ -148,11 +151,15 @@ pub fn measure_ring_frequency(
     // Differential probe: v(diff) = v(out+) - v(out-), realized with a
     // VCVS into a dummy load so the waveform carries it directly.
     let diff = ckt.node("diff");
-    let pp = ckt.find_node(&probe_p[2..probe_p.len() - 1]).expect("probe node");
-    let pn = ckt.find_node(&probe_n[2..probe_n.len() - 1]).expect("probe node");
+    let pp = ckt
+        .find_node(&probe_p[2..probe_p.len() - 1])
+        .expect("probe node");
+    let pn = ckt
+        .find_node(&probe_n[2..probe_n.len() - 1])
+        .expect("probe node");
     ckt.vcvs("Ediff", diff, Circuit::gnd(), pp, pn, 1.0);
     ckt.resistor("Rdiff", diff, Circuit::gnd(), 1e6);
-    let prep = Prepared::compile(ckt)?;
+    let prep = Prepared::compile(&ckt)?;
     let wave = tran(&prep, opts, &TranParams::new(params.t_stop, params.dt_max))?;
     oscillation_frequency(&wave, "v(diff)", 0.4)
 }
@@ -240,22 +247,26 @@ pub fn predict_from_stage_delay(
     ckt.bjt("Qfb", vcc, cn, outn, follower, 1.0);
     ckt.resistor("RFp", outp, Circuit::gnd(), params.follower_r);
     ckt.resistor("RFn", outn, Circuit::gnd(), params.follower_r);
-    let prep = Prepared::compile(ckt)?;
+    let prep = Prepared::compile(&ckt)?;
     let wave = tran(&prep, opts, &TranParams::new(8e-9, params.dt_max))?;
     let t = wave.axis();
     let vp = wave.signal("v(outp)")?;
     let vn = wave.signal("v(outn)")?;
     let diff: Vec<f64> = vp.iter().zip(vn.iter()).map(|(a, b)| a - b).collect();
     // Midpoint between initial and final settled differential levels.
-    let v0 = diff[t.iter().position(|&tt| tt >= t_edge).unwrap_or(0).saturating_sub(1)];
+    let v0 = diff[t
+        .iter()
+        .position(|&tt| tt >= t_edge)
+        .unwrap_or(0)
+        .saturating_sub(1)];
     let v1 = *diff.last().expect("non-empty");
     let vmid_cross = (v0 + v1) / 2.0;
     for k in 1..diff.len() {
         if t[k] <= t_edge {
             continue;
         }
-        let crossed = (diff[k - 1] - vmid_cross) * (diff[k] - vmid_cross) <= 0.0
-            && diff[k] != diff[k - 1];
+        let crossed =
+            (diff[k - 1] - vmid_cross) * (diff[k] - vmid_cross) <= 0.0 && diff[k] != diff[k - 1];
         if crossed {
             let frac = (vmid_cross - diff[k - 1]) / (diff[k] - diff[k - 1]);
             let t_cross = t[k - 1] + frac * (t[k] - t[k - 1]);

@@ -53,10 +53,7 @@ pub fn scan_conventional_tuner(
             peaks: node_peaks(&trace, node)?,
         });
     }
-    Ok(SpectrumScan {
-        plan: *plan,
-        nodes,
-    })
+    Ok(SpectrumScan { plan: *plan, nodes })
 }
 
 /// Sums a wanted tone and an image tone into the tuner's RF input.
@@ -73,8 +70,18 @@ pub fn inject_two_tone(
 ) -> Result<()> {
     let w = sys.net("rf_wanted_tone");
     let i = sys.net("rf_image_tone");
-    sys.add("RF1", SineSource::new(plan.rf_wanted, wanted_ampl), &[], &[w])?;
-    sys.add("RF2", SineSource::new(plan.rf_image(), image_ampl), &[], &[i])?;
+    sys.add(
+        "RF1",
+        SineSource::new(plan.rf_wanted, wanted_ampl),
+        &[],
+        &[w],
+    )?;
+    sys.add(
+        "RF2",
+        SineSource::new(plan.rf_image(), image_ampl),
+        &[],
+        &[i],
+    )?;
     sys.add("RFSUM", Adder::new(2), &[w, i], &[nets.rf_in])?;
     Ok(())
 }

@@ -72,8 +72,18 @@ pub fn build_conventional_tuner(
     let lo2 = sys.net("lo2");
     let if2 = sys.net("if2");
 
-    sys.add("LO1", SineSource::new(plan.f_up(), cfg.lo_ampl), &[], &[lo1])?;
-    sys.add("MIX1", Mixer::new(cfg.mixer_gain), &[rf_in, lo1], &[if1_raw])?;
+    sys.add(
+        "LO1",
+        SineSource::new(plan.f_up(), cfg.lo_ampl),
+        &[],
+        &[lo1],
+    )?;
+    sys.add(
+        "MIX1",
+        Mixer::new(cfg.mixer_gain),
+        &[rf_in, lo1],
+        &[if1_raw],
+    )?;
     // Center between wanted (1.3 GHz) and image (1.39 GHz) first IFs so
     // the filter treats both identically.
     let center = (plan.f1_if + plan.if1_image()) / 2.0;
@@ -83,7 +93,12 @@ pub fn build_conventional_tuner(
         &[if1_raw],
         &[if1],
     )?;
-    sys.add("LO2", SineSource::new(plan.f_down(), cfg.lo_ampl), &[], &[lo2])?;
+    sys.add(
+        "LO2",
+        SineSource::new(plan.f_down(), cfg.lo_ampl),
+        &[],
+        &[lo2],
+    )?;
     sys.add("MIX2", Mixer::new(cfg.mixer_gain), &[if1, lo2], &[if2])?;
     Ok(TunerNets { rf_in, if1, if2 })
 }
@@ -124,8 +139,18 @@ pub fn build_image_rejection_tuner(
     let arm_i_shift = sys.net("arm_i_shift");
     let if2 = sys.net("if2");
 
-    sys.add("LO1", SineSource::new(plan.f_up(), cfg.lo_ampl), &[], &[lo1])?;
-    sys.add("MIX1", Mixer::new(cfg.mixer_gain), &[rf_in, lo1], &[if1_raw])?;
+    sys.add(
+        "LO1",
+        SineSource::new(plan.f_up(), cfg.lo_ampl),
+        &[],
+        &[lo1],
+    )?;
+    sys.add(
+        "MIX1",
+        Mixer::new(cfg.mixer_gain),
+        &[rf_in, lo1],
+        &[if1_raw],
+    )?;
     let center = (plan.f1_if + plan.if1_image()) / 2.0;
     sys.add(
         "BPF1",
@@ -219,26 +244,14 @@ mod tests {
             build_image_rejection_tuner(&mut sys, &plan, &cfg, &ImageRejectionErrors::default())
                 .unwrap();
         drive_rf(&mut sys, &nets, "RF1", plan.rf_wanted, 1.0).unwrap();
-        let p_wanted = tone_power(
-            &sys.run(cfg.fs, 2e-6).unwrap(),
-            "if2",
-            plan.f2_if,
-            0.5,
-        )
-        .unwrap();
+        let p_wanted = tone_power(&sys.run(cfg.fs, 2e-6).unwrap(), "if2", plan.f2_if, 0.5).unwrap();
         // Image run.
         let mut sys = System::new();
         let nets =
             build_image_rejection_tuner(&mut sys, &plan, &cfg, &ImageRejectionErrors::default())
                 .unwrap();
         drive_rf(&mut sys, &nets, "RF2", plan.rf_image(), 1.0).unwrap();
-        let p_image = tone_power(
-            &sys.run(cfg.fs, 2e-6).unwrap(),
-            "if2",
-            plan.f2_if,
-            0.5,
-        )
-        .unwrap();
+        let p_image = tone_power(&sys.run(cfg.fs, 2e-6).unwrap(), "if2", plan.f2_if, 0.5).unwrap();
         let irr_db = 10.0 * (p_wanted / p_image).log10();
         assert!(irr_db > 45.0, "ideal IRR only {irr_db:.1} dB");
     }

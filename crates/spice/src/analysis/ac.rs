@@ -8,7 +8,7 @@ use crate::devices::bjt::eval_bjt;
 use crate::devices::diode::eval_diode;
 use crate::devices::junction::depletion;
 use crate::error::{Result, SpiceError};
-use crate::waveform::AcWaveform;
+use crate::wave::AcWaveform;
 use ahfic_num::Complex;
 
 struct CSys<'m, M> {
@@ -114,7 +114,10 @@ pub fn assemble_ac<M: MnaSink<Complex>>(
                 sys.transadmittance(p, n, cp, cn, re(*gm));
             }
             ElementKind::Cccs {
-                p, n, vsource, gain,
+                p,
+                n,
+                vsource,
+                gain,
             } => {
                 let j = prep.branch_slot(vsource).expect("validated");
                 let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
@@ -132,7 +135,10 @@ pub fn assemble_ac<M: MnaSink<Complex>>(
                 sys.add(k, j, re(-r));
             }
             ElementKind::BehavioralV {
-                p, n, controls, func,
+                p,
+                n,
+                controls,
+                func,
             } => {
                 // Small-signal: a multi-input VCVS with gains = partial
                 // derivatives at the operating point.
@@ -237,18 +243,26 @@ pub fn ac_sweep(
     if freqs.is_empty() {
         return Err(SpiceError::BadAnalysis("empty AC frequency list".into()));
     }
+    let tr = opts.trace.tracer();
+    let span = tr.span("ac");
     let n = prep.num_unknowns;
-    let sols = parallel_freq_map(n, opts.solver, freqs, |ws: &mut SolverWorkspace<Complex>, f| {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        loop {
-            assemble_ac(prep, x_op, opts, omega, &mut ws.kernel, &mut ws.rhs);
-            if !ws.finish_assembly() {
-                break;
+    let (sols, par) = parallel_freq_map(
+        n,
+        opts.solver,
+        tr.enabled(),
+        freqs,
+        |ws: &mut SolverWorkspace<Complex>, f| {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            loop {
+                assemble_ac(prep, x_op, opts, omega, &mut ws.kernel, &mut ws.rhs);
+                if !ws.finish_assembly() {
+                    break;
+                }
             }
-        }
-        ws.factor().map_err(|e| singular_unknown(prep, e))?;
-        Ok(ws.solve().to_vec())
-    })?;
+            ws.factor().map_err(|e| singular_unknown(prep, e))?;
+            Ok(ws.solve().to_vec())
+        },
+    )?;
     let mut out = AcWaveform::new();
     for name in &prep.unknown_names {
         out.push_signal(name);
@@ -256,6 +270,13 @@ pub fn ac_sweep(
     for (&f, sol) in freqs.iter().zip(&sols) {
         out.push_sample(f, sol);
     }
+    ahfic_trace::SweepStats {
+        points: freqs.len() as u64,
+        threads: par.threads as u64,
+    }
+    .emit(tr, "ac");
+    par.solver.emit(tr, "ac");
+    span.end();
     Ok(out)
 }
 
@@ -267,7 +288,7 @@ mod tests {
     use ahfic_num::interp::logspace;
 
     fn run_ac(ckt: Circuit, freqs: &[f64]) -> (Prepared, AcWaveform) {
-        let prep = Prepared::compile(ckt).unwrap();
+        let prep = Prepared::compile(&ckt).unwrap();
         let opts = Options::default();
         let r = op(&prep, &opts).unwrap();
         let w = ac_sweep(&prep, &r.x, &opts, freqs).unwrap();
@@ -330,7 +351,7 @@ mod tests {
         m.tf = 50e-12;
         let mi = c.add_bjt_model(m);
         c.bjt("Q1", col, b, Circuit::gnd(), mi, 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let opts = Options::default();
         let r = op(&prep, &opts).unwrap();
         let q = crate::analysis::op::bjt_operating(&prep, &r.x, &opts, "Q1").unwrap();
@@ -356,7 +377,7 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         c.resistor("R1", a, Circuit::gnd(), 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         assert!(ac_sweep(&prep, &[0.0], &Options::default(), &[]).is_err());
     }
 }

@@ -7,7 +7,7 @@ use crate::analysis::stamp::Options;
 use crate::circuit::Prepared;
 use crate::error::{Result, SpiceError};
 use crate::wave::SourceWave;
-use crate::waveform::Waveform;
+use crate::wave::Waveform;
 
 /// Sweeps the DC value of the named independent source over `values`,
 /// returning every unknown at each point (axis = swept value).
@@ -41,6 +41,8 @@ pub fn dc_sweep(
         }
     };
 
+    let tr = opts.trace.tracer();
+    let span = tr.span("dc");
     let mut out = Waveform::new(source);
     for name in &prep.unknown_names {
         out.push_signal(name);
@@ -64,6 +66,8 @@ pub fn dc_sweep(
         }
     }
     prep.circuit.set_source_wave(source, original)?;
+    tr.counter("dc.points", out.len() as f64);
+    span.end();
     result.map(|()| out)
 }
 
@@ -82,7 +86,7 @@ mod tests {
         c.vsource("V1", a, Circuit::gnd(), 0.0);
         c.resistor("R1", a, b, 1e3);
         c.resistor("R2", b, Circuit::gnd(), 1e3);
-        let mut prep = Prepared::compile(c).unwrap();
+        let mut prep = Prepared::compile(&c).unwrap();
         let w = dc_sweep(
             &mut prep,
             &Options::default(),
@@ -103,7 +107,7 @@ mod tests {
         c.vsource("V1", a, Circuit::gnd(), 0.0);
         let dm = c.add_diode_model(DiodeModel::default());
         c.diode("D1", a, Circuit::gnd(), dm, 1.0);
-        let mut prep = Prepared::compile(c).unwrap();
+        let mut prep = Prepared::compile(&c).unwrap();
         let vs = linspace(0.4, 0.7, 13);
         let w = dc_sweep(&mut prep, &Options::default(), "V1", &vs).unwrap();
         let i = w.signal("i(V1)").unwrap();
@@ -126,7 +130,7 @@ mod tests {
         let a = c.node("a");
         c.vsource("V1", a, Circuit::gnd(), 7.0);
         c.resistor("R1", a, Circuit::gnd(), 1e3);
-        let mut prep = Prepared::compile(c).unwrap();
+        let mut prep = Prepared::compile(&c).unwrap();
         dc_sweep(&mut prep, &Options::default(), "V1", &[1.0, 2.0]).unwrap();
         match &prep.circuit.elements()[0].kind {
             crate::circuit::ElementKind::Vsource { wave, .. } => {
@@ -142,7 +146,7 @@ mod tests {
         let a = c.node("a");
         c.vsource("V1", a, Circuit::gnd(), 1.0);
         c.resistor("R1", a, Circuit::gnd(), 1.0);
-        let mut prep = Prepared::compile(c).unwrap();
+        let mut prep = Prepared::compile(&c).unwrap();
         assert!(dc_sweep(&mut prep, &Options::default(), "V1", &[]).is_err());
         assert!(dc_sweep(&mut prep, &Options::default(), "R1", &[1.0]).is_err());
     }

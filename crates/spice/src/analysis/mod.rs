@@ -5,6 +5,7 @@ pub mod dc;
 pub mod noise;
 pub mod op;
 pub mod report;
+pub mod session;
 pub mod solver;
 pub mod stamp;
 pub mod tran;
@@ -14,6 +15,7 @@ pub use dc::dc_sweep;
 pub use noise::{noise_analysis, NoiseContribution, NoisePoint};
 pub use op::{bjt_operating, op, op_from, OpResult};
 pub use report::op_report;
+pub use session::Session;
 pub use solver::{SolverChoice, SolverWorkspace};
 pub use stamp::Options;
 pub use tran::{tran, TranParams};

@@ -76,10 +76,7 @@ fn collect_generators(prep: &Prepared, x_op: &[f64], opts: &Options) -> Result<V
             }
             ElementKind::Bjt { .. } => {
                 let q = bjt_operating(prep, x_op, opts, &el.name)?;
-                let idx = prep
-                    .circuit
-                    .find_element(&el.name)
-                    .expect("element exists");
+                let idx = prep.circuit.find_element(&el.name).expect("element exists");
                 let nodes = prep.bjt_nodes[idx].expect("bjt nodes");
                 let model = prep.scaled_bjt[idx].as_ref().expect("scaled model");
                 // Collector shot noise between internal collector and
@@ -129,10 +126,7 @@ fn collect_generators(prep: &Prepared, x_op: &[f64], opts: &Options) -> Result<V
             }
             ElementKind::Diode { p, n, .. } => {
                 // Shot noise of the junction current.
-                let idx = prep
-                    .circuit
-                    .find_element(&el.name)
-                    .expect("element exists");
+                let idx = prep.circuit.find_element(&el.name).expect("element exists");
                 let ai = prep.diode_internal[idx].unwrap_or(prep.slot_of(*p));
                 let vd = crate::circuit::read_slot(x_op, ai)
                     - crate::circuit::read_slot(x_op, prep.slot_of(*n));
@@ -172,53 +166,70 @@ pub fn noise_analysis(
             "noise output node cannot be ground".into(),
         ));
     }
+    let tr = opts.trace.tracer();
+    let span = tr.span("noise");
     let gens = collect_generators(prep, x_op, opts)?;
     let gens = &gens;
     let n = prep.num_unknowns;
     // Frequencies split across scoped worker threads; each factors its
     // workspace once per point and reuses the factors for every
     // generator's transfer-function solve.
-    parallel_freq_map(n, opts.solver, freqs, |ws: &mut SolverWorkspace<Complex>, f| {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        loop {
-            assemble_ac(prep, x_op, opts, omega, &mut ws.kernel, &mut ws.rhs);
-            if !ws.finish_assembly() {
-                break;
+    let (points, par) = parallel_freq_map(
+        n,
+        opts.solver,
+        tr.enabled(),
+        freqs,
+        |ws: &mut SolverWorkspace<Complex>, f| {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            loop {
+                assemble_ac(prep, x_op, opts, omega, &mut ws.kernel, &mut ws.rhs);
+                if !ws.finish_assembly() {
+                    break;
+                }
             }
-        }
-        ws.factor().map_err(|e| singular_unknown(prep, e))?;
-        let mut total = 0.0;
-        let mut contributions = Vec::with_capacity(gens.len());
-        for g in gens.iter() {
-            // Unit current from g.p to g.n.
-            ws.rhs.fill(Complex::ZERO);
-            if g.p != GROUND_SLOT {
-                ws.rhs[g.p] -= Complex::ONE;
+            ws.factor().map_err(|e| singular_unknown(prep, e))?;
+            let mut total = 0.0;
+            let mut contributions = Vec::with_capacity(gens.len());
+            for g in gens.iter() {
+                // Unit current from g.p to g.n.
+                ws.rhs.fill(Complex::ZERO);
+                if g.p != GROUND_SLOT {
+                    ws.rhs[g.p] -= Complex::ONE;
+                }
+                if g.n != GROUND_SLOT {
+                    ws.rhs[g.n] += Complex::ONE;
+                }
+                let sol = ws.solve();
+                let h2 = sol[out_slot].norm_sqr();
+                let density = h2 * g.psd;
+                total += density;
+                contributions.push(NoiseContribution {
+                    element: g.element.clone(),
+                    generator: g.label,
+                    output_density: density,
+                });
             }
-            if g.n != GROUND_SLOT {
-                ws.rhs[g.n] += Complex::ONE;
-            }
-            let sol = ws.solve();
-            let h2 = sol[out_slot].norm_sqr();
-            let density = h2 * g.psd;
-            total += density;
-            contributions.push(NoiseContribution {
-                element: g.element.clone(),
-                generator: g.label,
-                output_density: density,
+            contributions.sort_by(|a, b| {
+                b.output_density
+                    .partial_cmp(&a.output_density)
+                    .expect("finite densities")
             });
-        }
-        contributions.sort_by(|a, b| {
-            b.output_density
-                .partial_cmp(&a.output_density)
-                .expect("finite densities")
-        });
-        Ok(NoisePoint {
-            freq: f,
-            output_density: total,
-            contributions,
-        })
-    })
+            Ok(NoisePoint {
+                freq: f,
+                output_density: total,
+                contributions,
+            })
+        },
+    )?;
+    ahfic_trace::SweepStats {
+        points: freqs.len() as u64,
+        threads: par.threads as u64,
+    }
+    .emit(tr, "noise");
+    tr.counter("noise.generators", gens.len() as f64);
+    par.solver.emit(tr, "noise");
+    span.end();
+    Ok(points)
 }
 
 #[cfg(test)]
@@ -239,7 +250,7 @@ mod tests {
         c.vsource("V1", a, Circuit::gnd(), 1.0);
         c.resistor("R1", a, o, 2e3);
         c.resistor("R2", o, Circuit::gnd(), 3e3);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let opts = Options::default();
         let dc = op(&prep, &opts).unwrap();
         let pts = noise_analysis(&prep, &dc.x, &opts, o, &[1e3, 1e6]).unwrap();
@@ -265,12 +276,11 @@ mod tests {
         let o = c.node("o");
         c.resistor("R1", o, Circuit::gnd(), 10e3);
         c.capacitor("C1", o, Circuit::gnd(), 1e-9); // pole ~15.9 kHz
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let opts = Options::default();
         let dc = op(&prep, &opts).unwrap();
         let f_pole = 1.0 / (2.0 * std::f64::consts::PI * 10e3 * 1e-9);
-        let pts =
-            noise_analysis(&prep, &dc.x, &opts, o, &[f_pole / 100.0, 10.0 * f_pole]).unwrap();
+        let pts = noise_analysis(&prep, &dc.x, &opts, o, &[f_pole / 100.0, 10.0 * f_pole]).unwrap();
         let ratio = pts[1].output_density / pts[0].output_density;
         assert!((ratio - 1.0 / 101.0).abs() < 0.002, "ratio {ratio}");
     }
@@ -292,7 +302,7 @@ mod tests {
         m.tf = 16e-12;
         let mi = c.add_bjt_model(m);
         c.bjt("Q1", col, b, Circuit::gnd(), mi, 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let opts = Options::default();
         let dc = op(&prep, &opts).unwrap();
         let pts = noise_analysis(&prep, &dc.x, &opts, col, &[1e6]).unwrap();
@@ -315,7 +325,10 @@ mod tests {
         // Contributions are sorted descending and sum to the total.
         let sum: f64 = p.contributions.iter().map(|c| c.output_density).sum();
         assert!((sum - p.output_density).abs() / p.output_density < 1e-12);
-        assert!(p.contributions.windows(2).all(|w| w[0].output_density >= w[1].output_density));
+        assert!(p
+            .contributions
+            .windows(2)
+            .all(|w| w[0].output_density >= w[1].output_density));
     }
 
     #[test]
@@ -323,7 +336,7 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         c.resistor("R1", a, Circuit::gnd(), 1e3);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let opts = Options::default();
         let dc = op(&prep, &opts).unwrap();
         assert!(noise_analysis(&prep, &dc.x, &opts, NodeId::GROUND, &[1e3]).is_err());

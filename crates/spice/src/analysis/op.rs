@@ -2,10 +2,13 @@
 //! source stepping fallbacks.
 
 use crate::analysis::solver::{singular_unknown, SolverWorkspace};
-use crate::analysis::stamp::{assemble, converged, ChargeState, MnaSink, Mode, NonlinMemory, Options};
+use crate::analysis::stamp::{
+    assemble, converged, ChargeState, MnaSink, Mode, NonlinMemory, Options,
+};
 use crate::circuit::Prepared;
 use crate::devices::bjt::{eval_bjt, BjtOperating};
 use crate::error::{Result, SpiceError};
+use ahfic_trace::ContinuationStats;
 
 /// Converged operating point.
 #[derive(Clone, Debug)]
@@ -111,6 +114,32 @@ pub(crate) fn op_from_ws(
     x0: Option<&[f64]>,
     ws: &mut SolverWorkspace<f64>,
 ) -> Result<OpResult> {
+    let t = opts.trace.tracer();
+    if !t.enabled() {
+        let mut stats = ContinuationStats::default();
+        return op_strategies(prep, opts, x0, ws, &mut stats);
+    }
+    let span = t.span("op");
+    ws.set_timing(true);
+    let solver_before = ws.stats;
+    let mut stats = ContinuationStats::default();
+    let result = op_strategies(prep, opts, x0, ws, &mut stats);
+    stats.emit(t, "op");
+    ws.stats.delta(&solver_before).emit(t, "op");
+    span.end();
+    result
+}
+
+/// The continuation ladder behind every operating point: plain Newton,
+/// then gmin stepping, then source stepping. `stats` accumulates work
+/// across all stages regardless of which one converges.
+fn op_strategies(
+    prep: &Prepared,
+    opts: &Options,
+    x0: Option<&[f64]>,
+    ws: &mut SolverWorkspace<f64>,
+    stats: &mut ContinuationStats,
+) -> Result<OpResult> {
     let n = prep.num_unknowns;
     let zero = vec![0.0; n];
     let start = x0.unwrap_or(&zero);
@@ -121,10 +150,8 @@ pub(crate) fn op_from_ws(
     let mut total_iters = 0usize;
     match newton_solve(prep, opts, &mode, &mut mem, start, 0.0, ws, None) {
         Ok((x, it)) => {
-            return Ok(OpResult {
-                x,
-                iterations: it,
-            })
+            stats.newton_iterations += it as u64;
+            return Ok(OpResult { x, iterations: it });
         }
         Err(SpiceError::Singular { unknown }) => {
             // A structurally singular matrix will not be cured by source
@@ -132,9 +159,13 @@ pub(crate) fn op_from_ws(
             // try one damped pass before giving up.
             let mut mem = NonlinMemory::new(prep);
             if let Ok((x, it)) = newton_solve(prep, opts, &mode, &mut mem, start, 1e-9, ws, None) {
+                stats.newton_iterations += it as u64;
                 return Ok(OpResult { x, iterations: it });
             }
             return Err(SpiceError::Singular { unknown });
+        }
+        Err(SpiceError::NoConvergence { iterations, .. }) => {
+            stats.newton_iterations += iterations as u64;
         }
         Err(_) => {}
     }
@@ -145,9 +176,11 @@ pub(crate) fn op_from_ws(
     let gmin_ladder = [1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 0.0];
     let mut ladder_ok = true;
     for &g in &gmin_ladder {
+        stats.gmin_stages += 1;
         match newton_solve(prep, opts, &mode, &mut mem, &x, g, ws, None) {
             Ok((xs, it)) => {
                 total_iters += it;
+                stats.newton_iterations += it as u64;
                 x = xs;
             }
             Err(_) => {
@@ -174,9 +207,11 @@ pub(crate) fn op_from_ws(
         let mode = Mode::Dc {
             source_scale: target,
         };
+        stats.source_steps += 1;
         match newton_solve(prep, opts, &mode, &mut mem, &x, 0.0, ws, None) {
             Ok((xs, it)) => {
                 total_iters += it;
+                stats.newton_iterations += it as u64;
                 x = xs;
                 scale = target;
                 step = (step * 1.5).min(0.25);
@@ -249,7 +284,7 @@ mod tests {
         c.vsource("V1", a, Circuit::gnd(), 12.0);
         c.resistor("R1", a, b, 2e3);
         c.resistor("R2", b, Circuit::gnd(), 1e3);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let r = op(&prep, &opts()).unwrap();
         assert!((prep.voltage(&r.x, b) - 4.0).abs() < 1e-9);
     }
@@ -263,7 +298,7 @@ mod tests {
         c.resistor("R1", a, d, 1e3);
         let dm = c.add_diode_model(DiodeModel::default());
         c.diode("D1", d, Circuit::gnd(), dm, 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let r = op(&prep, &opts()).unwrap();
         let vd = prep.voltage(&r.x, d);
         assert!(vd > 0.55 && vd < 0.75, "vd = {vd}");
@@ -282,7 +317,7 @@ mod tests {
         c.resistor("R1", a, d, 1e3);
         let dm = c.add_diode_model(DiodeModel::default());
         c.diode("D1", d, Circuit::gnd(), dm, 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let r = op(&prep, &opts()).unwrap();
         // Essentially the full supply across the diode.
         assert!((prep.voltage(&r.x, d) + 5.0).abs() < 1e-2);
@@ -301,7 +336,7 @@ mod tests {
         m.bf = 100.0;
         let mi = c.add_bjt_model(m);
         c.bjt("Q1", col, b, Circuit::gnd(), mi, 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let r = op(&prep, &opts()).unwrap();
         let vb = prep.voltage(&r.x, b);
         let vc = prep.voltage(&r.x, col);
@@ -329,7 +364,7 @@ mod tests {
         let mi = c.add_bjt_model(m);
         // Emitter at VEE (the + rail), collector pulled to ground.
         c.bjt("Q1", col, b, vee, mi, 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let r = op(&prep, &opts()).unwrap();
         let vb = prep.voltage(&r.x, b);
         // Base sits one VEB below the emitter rail.
@@ -357,7 +392,7 @@ mod tests {
         m.cjc = 5e-14;
         let mi = c.add_bjt_model(m);
         c.bjt("Q1", col, b, e, mi, 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let r = op(&prep, &opts()).unwrap();
         let ve = prep.voltage(&r.x, e);
         // Emitter follower-ish: ve ~ 0.8 - 0.7 = ~0.1..0.2 V
@@ -372,7 +407,7 @@ mod tests {
         c.vsource("V1", a, Circuit::gnd(), 1.0);
         c.resistor("R1", a, Circuit::gnd(), 1e3);
         c.capacitor("C1", f, Circuit::gnd(), 1e-12);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         // DC: the capacitor is open, node `floating` has no DC path. The
         // engine should either flag it or pin it via diagonal gmin.
         match op(&prep, &opts()) {
@@ -395,7 +430,7 @@ mod tests {
         c.diode("D1", a, n1, dm, 1.0);
         c.diode("D2", n1, n2, dm, 1.0);
         c.diode("D3", n2, Circuit::gnd(), dm, 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let r = op(&prep, &opts()).unwrap();
         let v1 = prep.voltage(&r.x, n1);
         let v2 = prep.voltage(&r.x, n2);
@@ -412,7 +447,7 @@ mod tests {
         c.resistor("R1", a, d, 1e3);
         let dm = c.add_diode_model(DiodeModel::default());
         c.diode("D1", d, Circuit::gnd(), dm, 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let cold = op(&prep, &opts()).unwrap();
         let warm = op_from(&prep, &opts(), Some(&cold.x)).unwrap();
         assert!(warm.iterations <= cold.iterations);

@@ -75,7 +75,7 @@ mod tests {
         m.tf = 15e-12;
         let mi = c.add_bjt_model(m);
         c.bjt("Q1", col, b, Circuit::gnd(), mi, 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let opts = Options::default();
         let r = op(&prep, &opts).unwrap();
         let text = op_report(&prep, &r.x, &opts);
@@ -92,7 +92,7 @@ mod tests {
         let a = c.node("a");
         c.vsource("V1", a, Circuit::gnd(), 1.0);
         c.resistor("R1", a, Circuit::gnd(), 1e3);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let opts = Options::default();
         let r = op(&prep, &opts).unwrap();
         let text = op_report(&prep, &r.x, &opts);

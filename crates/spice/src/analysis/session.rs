@@ -1,0 +1,188 @@
+//! The analysis session: one compiled circuit, one set of options, all
+//! five analyses behind a single handle.
+//!
+//! [`Session`] is the coherent entry point the free functions
+//! ([`op`](crate::analysis::op()), [`dc_sweep`](crate::analysis::dc_sweep),
+//! [`ac_sweep`](crate::analysis::ac_sweep),
+//! [`noise_analysis`](crate::analysis::noise_analysis),
+//! [`tran`](crate::analysis::tran())) wrap: it owns the [`Prepared`]
+//! circuit and the [`Options`] — including the telemetry
+//! [`TraceHandle`](ahfic_trace::TraceHandle) — so callers configure once
+//! and run as many analyses as they need.
+
+use crate::analysis::ac::ac_sweep;
+use crate::analysis::dc::dc_sweep;
+use crate::analysis::noise::{noise_analysis, NoisePoint};
+use crate::analysis::op::{op_from, OpResult};
+use crate::analysis::stamp::Options;
+use crate::analysis::tran::{tran, TranParams};
+use crate::circuit::{Circuit, NodeId, Prepared};
+use crate::error::Result;
+use crate::wave::{AcWaveform, Waveform};
+
+/// A compiled circuit plus analysis options.
+///
+/// # Example
+///
+/// ```
+/// use ahfic_spice::prelude::*;
+///
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("in");
+/// let out = ckt.node("out");
+/// ckt.vsource("V1", vin, Circuit::gnd(), 10.0);
+/// ckt.resistor("R1", vin, out, 1e3);
+/// ckt.resistor("R2", out, Circuit::gnd(), 1e3);
+/// let sess = Session::compile(&ckt)?;
+/// let op = sess.op()?;
+/// assert!((sess.prepared().voltage(&op.x, out) - 5.0).abs() < 1e-9);
+/// # Ok::<(), ahfic_spice::error::SpiceError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Session {
+    prepared: Prepared,
+    options: Options,
+}
+
+impl Session {
+    /// Wraps an already-compiled circuit with default options.
+    pub fn new(prepared: Prepared) -> Self {
+        Session {
+            prepared,
+            options: Options::default(),
+        }
+    }
+
+    /// Compiles `circuit` and wraps it with default options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Prepared::compile`] netlist errors.
+    pub fn compile(circuit: &Circuit) -> Result<Self> {
+        Ok(Session::new(Prepared::compile(circuit)?))
+    }
+
+    /// Replaces the analysis options (chainable).
+    pub fn with_options(mut self, options: Options) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The compiled circuit.
+    pub fn prepared(&self) -> &Prepared {
+        &self.prepared
+    }
+
+    /// The analysis options in effect.
+    pub fn options(&self) -> &Options {
+        &self.options
+    }
+
+    /// Mutable access to the options (e.g. to install a trace sink after
+    /// construction).
+    pub fn options_mut(&mut self) -> &mut Options {
+        &mut self.options
+    }
+
+    /// Computes the DC operating point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::analysis::op()`].
+    pub fn op(&self) -> Result<OpResult> {
+        op_from(&self.prepared, &self.options, None)
+    }
+
+    /// Operating point warm-started from a previous solution.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::analysis::op_from`].
+    pub fn op_from(&self, x0: Option<&[f64]>) -> Result<OpResult> {
+        op_from(&self.prepared, &self.options, x0)
+    }
+
+    /// Sweeps the DC value of the named independent source.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::analysis::dc_sweep`].
+    pub fn dc(&mut self, source: &str, values: &[f64]) -> Result<Waveform> {
+        dc_sweep(&mut self.prepared, &self.options, source, values)
+    }
+
+    /// AC sweep around the operating point `x_op`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::analysis::ac_sweep`].
+    pub fn ac(&self, x_op: &[f64], freqs: &[f64]) -> Result<AcWaveform> {
+        ac_sweep(&self.prepared, x_op, &self.options, freqs)
+    }
+
+    /// Noise analysis at `output` around the operating point `x_op`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::analysis::noise_analysis`].
+    pub fn noise(&self, x_op: &[f64], output: NodeId, freqs: &[f64]) -> Result<Vec<NoisePoint>> {
+        noise_analysis(&self.prepared, x_op, &self.options, output, freqs)
+    }
+
+    /// Transient simulation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`crate::analysis::tran()`].
+    pub fn tran(&self, params: &TranParams) -> Result<Waveform> {
+        tran(&self.prepared, &self.options, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::SolverChoice;
+    use ahfic_trace::{InMemorySink, RecordKind};
+    use std::sync::Arc;
+
+    fn divider() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), 12.0);
+        c.resistor("R1", a, b, 2e3);
+        c.resistor("R2", b, Circuit::gnd(), 1e3);
+        c
+    }
+
+    #[test]
+    fn session_runs_op_and_dc() {
+        let ckt = divider();
+        let b = ckt.find_node("b").unwrap();
+        let mut sess = Session::compile(&ckt)
+            .unwrap()
+            .with_options(Options::new().solver(SolverChoice::Dense));
+        let r = sess.op().unwrap();
+        assert!((sess.prepared().voltage(&r.x, b) - 4.0).abs() < 1e-9);
+        let w = sess.dc("V1", &[3.0, 6.0]).unwrap();
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn session_trace_reaches_sink() {
+        let ckt = divider();
+        let sink = Arc::new(InMemorySink::new());
+        let sess = Session::compile(&ckt)
+            .unwrap()
+            .with_options(Options::new().trace(&sink));
+        sess.op().unwrap();
+        let recs = sink.records();
+        assert_eq!(recs[0].kind, RecordKind::SpanStart);
+        assert_eq!(recs[0].name, "op");
+        assert!(recs
+            .iter()
+            .any(|r| r.kind == RecordKind::Counter && r.name == "op.newton_iterations"));
+        assert_eq!(recs.last().unwrap().kind, RecordKind::SpanEnd);
+    }
+}

@@ -19,6 +19,8 @@ use crate::error::SpiceError;
 use ahfic_num::lu::{LuFactors, SingularMatrixError};
 use ahfic_num::sparse::{CscMatrix, SparseLu, TripletBuilder};
 use ahfic_num::{Matrix, Scalar};
+use ahfic_trace::SolverStats;
+use std::time::Instant;
 
 /// Linear-solver selection, set via
 /// [`Options::solver`](crate::analysis::stamp::Options::solver).
@@ -40,6 +42,10 @@ pub const AUTO_SPARSE_MIN_N: usize = 16;
 
 /// The matrix-side storage of a workspace: either a dense matrix or the
 /// sparse record/replay machinery.
+///
+/// One `Kernel` exists per analysis, so the dense/sparse size imbalance
+/// costs nothing; boxing would only add indirection on the hot path.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum Kernel<T: Scalar> {
     /// Dense backend: stamp into a [`Matrix`], refactor into a reused
     /// [`LuFactors`] buffer.
@@ -138,6 +144,11 @@ pub struct SolverWorkspace<T: Scalar> {
     /// Right-hand side, filled by the assemblers.
     pub(crate) rhs: Vec<T>,
     x: Vec<T>,
+    /// Factor/solve counters. The counts are plain integer adds and are
+    /// always maintained; wall times stay zero unless
+    /// [`SolverWorkspace::set_timing`] enabled clock reads.
+    pub stats: SolverStats,
+    timing: bool,
 }
 
 impl<T: Scalar> SolverWorkspace<T> {
@@ -170,12 +181,21 @@ impl<T: Scalar> SolverWorkspace<T> {
             kernel,
             rhs: vec![T::ZERO; n],
             x: Vec::with_capacity(n),
+            stats: SolverStats::default(),
+            timing: false,
         }
     }
 
     /// System dimension.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// Enables (or disables) wall-time accumulation in
+    /// [`SolverWorkspace::stats`]. Off by default so untraced analyses
+    /// never read the clock in their hot loops.
+    pub fn set_timing(&mut self, on: bool) {
+        self.timing = on;
     }
 
     /// Whether the sparse backend is active.
@@ -242,7 +262,13 @@ impl<T: Scalar> SolverWorkspace<T> {
     /// Returns [`SingularMatrixError`] when the matrix is singular to
     /// working precision (map with [`singular_unknown`] for reporting).
     pub fn factor(&mut self) -> Result<(), SingularMatrixError> {
-        match &mut self.kernel {
+        self.stats.factorizations += 1;
+        let started = if self.timing {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let result = match &mut self.kernel {
             Kernel::Dense { mat, lu } => match lu {
                 Some(f) => f.refactor_from(mat),
                 None => {
@@ -262,7 +288,11 @@ impl<T: Scalar> SolverWorkspace<T> {
                     }
                 }
             }
+        };
+        if let Some(t0) = started {
+            self.stats.factor_seconds += t0.elapsed().as_secs_f64();
         }
+        result
     }
 
     /// Solves against the current right-hand side using the stored
@@ -274,15 +304,26 @@ impl<T: Scalar> SolverWorkspace<T> {
     /// Panics if [`SolverWorkspace::factor`] has not succeeded since the
     /// last pattern change.
     pub fn solve(&mut self) -> &[T] {
+        self.stats.solves += 1;
+        let started = if self.timing {
+            Some(Instant::now())
+        } else {
+            None
+        };
         match &mut self.kernel {
             Kernel::Dense { lu, .. } => {
-                lu.as_ref().expect("factored").solve_into(&self.rhs, &mut self.x);
+                lu.as_ref()
+                    .expect("factored")
+                    .solve_into(&self.rhs, &mut self.x);
             }
             Kernel::Sparse { lu, .. } => {
                 self.x.clear();
                 self.x.extend_from_slice(&self.rhs);
                 lu.as_mut().expect("factored").solve_in_place(&mut self.x);
             }
+        }
+        if let Some(t0) = started {
+            self.stats.solve_seconds += t0.elapsed().as_secs_f64();
         }
         &self.x
     }
@@ -300,17 +341,31 @@ pub(crate) fn singular_unknown(prep: &Prepared, e: SingularMatrixError) -> Spice
     }
 }
 
+/// Aggregate work profile of one [`parallel_freq_map`] run, merged from
+/// every worker's private workspace.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct ParStats {
+    /// Worker threads actually spawned (1 for the inline path).
+    pub threads: usize,
+    /// Factor/solve counts and (if `timing`) wall times, summed over
+    /// workers.
+    pub solver: SolverStats,
+}
+
 /// Maps `work` over `points` (frequencies), splitting contiguous chunks
 /// across `std::thread::scope` workers. Each worker owns a private
 /// [`SolverWorkspace`], so within a chunk the symbolic pattern and factor
 /// storage are reused from point to point. Results come back in input
-/// order; the error at the lowest index wins.
+/// order; the error at the lowest index wins. `timing` turns on
+/// per-workspace factor/solve wall-time accumulation (reported merged in
+/// the returned [`ParStats`]).
 pub(crate) fn parallel_freq_map<T, R, F>(
     n: usize,
     choice: SolverChoice,
+    timing: bool,
     points: &[f64],
     work: F,
-) -> crate::error::Result<Vec<R>>
+) -> crate::error::Result<(Vec<R>, ParStats)>
 where
     T: Scalar,
     R: Send,
@@ -321,26 +376,57 @@ where
         .min(points.len().max(1));
     if threads <= 1 {
         let mut ws = SolverWorkspace::new(n, choice);
-        return points.iter().map(|&f| work(&mut ws, f)).collect();
+        ws.set_timing(timing);
+        let out: crate::error::Result<Vec<R>> = points.iter().map(|&f| work(&mut ws, f)).collect();
+        return out.map(|v| {
+            (
+                v,
+                ParStats {
+                    threads: 1,
+                    solver: ws.stats,
+                },
+            )
+        });
     }
     let chunk = points.len().div_ceil(threads);
     let mut results: Vec<Option<crate::error::Result<R>>> = Vec::with_capacity(points.len());
     results.resize_with(points.len(), || None);
+    let num_chunks = points.len().div_ceil(chunk);
+    let mut chunk_stats = vec![SolverStats::default(); num_chunks];
     let work = &work;
     std::thread::scope(|s| {
-        for (ps, rs) in points.chunks(chunk).zip(results.chunks_mut(chunk)) {
+        for ((ps, rs), stat) in points
+            .chunks(chunk)
+            .zip(results.chunks_mut(chunk))
+            .zip(chunk_stats.iter_mut())
+        {
             s.spawn(move || {
                 let mut ws = SolverWorkspace::new(n, choice);
+                ws.set_timing(timing);
                 for (&f, slot) in ps.iter().zip(rs.iter_mut()) {
                     *slot = Some(work(&mut ws, f));
                 }
+                *stat = ws.stats;
             });
         }
     });
-    results
+    let mut solver = SolverStats::default();
+    for st in &chunk_stats {
+        solver.merge(st);
+    }
+    let out: crate::error::Result<Vec<R>> = results
         .into_iter()
         .map(|r| r.expect("worker filled every slot"))
-        .collect()
+        .collect();
+    out.map(|v| {
+        (
+            v,
+            ParStats {
+                threads: num_chunks,
+                solver,
+            },
+        )
+    })
 }
 
 #[cfg(test)]
@@ -370,10 +456,7 @@ mod tests {
             ws.factor().unwrap();
             let x = ws.solve().to_vec();
             // Check against the dense solve of the same system.
-            let a = Matrix::from_rows(&[
-                &[2.0 * scale, 1.0],
-                &[1.0, 3.0 * scale + 1.0],
-            ]);
+            let a = Matrix::from_rows(&[&[2.0 * scale, 1.0], &[1.0, 3.0 * scale + 1.0]]);
             let expect = ahfic_num::lu::solve(a, &[1.0, 2.0]).unwrap();
             for k in 0..2 {
                 assert!((x[k] - expect[k]).abs() < 1e-12, "round {round}");
@@ -412,7 +495,8 @@ mod tests {
     fn auto_threshold() {
         let small: SolverWorkspace<f64> = SolverWorkspace::new(4, SolverChoice::Auto);
         assert!(!small.is_sparse());
-        let large: SolverWorkspace<f64> = SolverWorkspace::new(AUTO_SPARSE_MIN_N, SolverChoice::Auto);
+        let large: SolverWorkspace<f64> =
+            SolverWorkspace::new(AUTO_SPARSE_MIN_N, SolverChoice::Auto);
         assert!(large.is_sparse());
     }
 
@@ -420,25 +504,58 @@ mod tests {
     #[test]
     fn parallel_map_orders_results() {
         let points: Vec<f64> = (0..37).map(|k| k as f64).collect();
-        let out = parallel_freq_map::<f64, f64, _>(4, SolverChoice::Dense, &points, |ws, f| {
-            assert_eq!(ws.dim(), 4);
-            Ok(2.0 * f)
-        })
-        .unwrap();
+        let (out, stats) =
+            parallel_freq_map::<f64, f64, _>(4, SolverChoice::Dense, false, &points, |ws, f| {
+                assert_eq!(ws.dim(), 4);
+                Ok(2.0 * f)
+            })
+            .unwrap();
         assert_eq!(out.len(), 37);
+        assert!(stats.threads >= 1);
         for (k, v) in out.iter().enumerate() {
             assert_eq!(*v, 2.0 * k as f64);
         }
-        let err = parallel_freq_map::<f64, f64, _>(4, SolverChoice::Dense, &points, |_, f| {
-            if f >= 5.0 {
-                Err(SpiceError::Measure(format!("boom {f}")))
-            } else {
-                Ok(f)
-            }
-        });
+        let err =
+            parallel_freq_map::<f64, f64, _>(4, SolverChoice::Dense, false, &points, |_, f| {
+                if f >= 5.0 {
+                    Err(SpiceError::Measure(format!("boom {f}")))
+                } else {
+                    Ok(f)
+                }
+            });
         match err {
             Err(SpiceError::Measure(m)) => assert_eq!(m, "boom 5"),
             other => panic!("expected first error, got {other:?}"),
         }
+    }
+
+    /// Counters tick on every factor/solve; timing stays zero when off.
+    #[test]
+    fn workspace_stats_count_factor_and_solve() {
+        let mut ws: SolverWorkspace<f64> = SolverWorkspace::new(2, SolverChoice::Dense);
+        ws.kernel.reset();
+        ws.kernel.add(0, 0, 1.0);
+        ws.kernel.add(1, 1, 2.0);
+        ws.finish_assembly();
+        ws.rhs.copy_from_slice(&[1.0, 4.0]);
+        ws.factor().unwrap();
+        ws.solve();
+        ws.solve();
+        assert_eq!(ws.stats.factorizations, 1);
+        assert_eq!(ws.stats.solves, 2);
+        assert_eq!(ws.stats.factor_seconds, 0.0);
+        assert_eq!(ws.stats.solve_seconds, 0.0);
+
+        let mut ws: SolverWorkspace<f64> = SolverWorkspace::new(2, SolverChoice::Dense);
+        ws.set_timing(true);
+        ws.kernel.reset();
+        ws.kernel.add(0, 0, 1.0);
+        ws.kernel.add(1, 1, 2.0);
+        ws.finish_assembly();
+        ws.rhs.copy_from_slice(&[1.0, 4.0]);
+        ws.factor().unwrap();
+        ws.solve();
+        assert!(ws.stats.factor_seconds > 0.0);
+        assert!(ws.stats.solve_seconds > 0.0);
     }
 }

@@ -14,9 +14,22 @@ use crate::devices::diode::eval_diode;
 use crate::devices::junction::{depletion, pnjlim, vcrit};
 use crate::wave::SourceWave;
 use ahfic_num::{Matrix, Scalar};
+use ahfic_trace::{TraceHandle, TraceSink};
+use std::sync::Arc;
 
 /// Simulator tolerance and iteration options (SPICE names).
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`Options::new`] (or [`Options::default`]) and adjust fields through
+/// the chainable builder methods:
+///
+/// ```
+/// use ahfic_spice::analysis::{Options, SolverChoice};
+/// let opts = Options::new().solver(SolverChoice::Sparse).reltol(1e-4);
+/// assert_eq!(opts.solver, SolverChoice::Sparse);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct Options {
     /// Relative convergence tolerance.
     pub reltol: f64,
@@ -32,6 +45,9 @@ pub struct Options {
     pub vt: f64,
     /// Linear-solver backend (dense LU vs sparse LU with pattern reuse).
     pub solver: SolverChoice,
+    /// Telemetry destination; [`TraceHandle::off`] (the default) makes
+    /// every instrumentation point a single not-taken branch.
+    pub trace: TraceHandle,
 }
 
 impl Default for Options {
@@ -44,6 +60,7 @@ impl Default for Options {
             max_newton: 100,
             vt: crate::devices::junction::VT_300K,
             solver: SolverChoice::Auto,
+            trace: TraceHandle::off(),
         }
     }
 }
@@ -74,6 +91,11 @@ impl<T: Scalar> MnaSink<T> for Matrix<T> {
 }
 
 impl Options {
+    /// Default options; the starting point for the builder methods.
+    pub fn new() -> Self {
+        Options::default()
+    }
+
     /// Default options with the thermal voltage set for a junction
     /// temperature in °C (first-order temperature support: `kT/q` only;
     /// model parameters are not re-derated).
@@ -88,6 +110,60 @@ impl Options {
             vt: K_OVER_Q * (temp_c + 273.15),
             ..Options::default()
         }
+    }
+
+    /// Sets the relative convergence tolerance.
+    pub fn reltol(mut self, reltol: f64) -> Self {
+        self.reltol = reltol;
+        self
+    }
+
+    /// Sets the absolute voltage tolerance (V).
+    pub fn vntol(mut self, vntol: f64) -> Self {
+        self.vntol = vntol;
+        self
+    }
+
+    /// Sets the absolute current tolerance (A).
+    pub fn abstol(mut self, abstol: f64) -> Self {
+        self.abstol = abstol;
+        self
+    }
+
+    /// Sets the junction convergence-aid conductance (S).
+    pub fn gmin(mut self, gmin: f64) -> Self {
+        self.gmin = gmin;
+        self
+    }
+
+    /// Sets the maximum Newton iterations per solve.
+    pub fn max_newton(mut self, max_newton: usize) -> Self {
+        self.max_newton = max_newton;
+        self
+    }
+
+    /// Sets the thermal voltage kT/q (V).
+    pub fn vt(mut self, vt: f64) -> Self {
+        self.vt = vt;
+        self
+    }
+
+    /// Sets the linear-solver backend.
+    pub fn solver(mut self, solver: SolverChoice) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Routes telemetry to `sink` (shared ownership).
+    pub fn trace<S: TraceSink + 'static>(mut self, sink: &Arc<S>) -> Self {
+        self.trace = TraceHandle::new(sink);
+        self
+    }
+
+    /// Routes telemetry through an existing [`TraceHandle`].
+    pub fn trace_handle(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 }
 
@@ -295,7 +371,11 @@ pub fn assemble<M: MnaSink<f64>>(
                         let i_prev = x_prev[k];
                         let v_prev = read_slot(x_prev, p) - read_slot(x_prev, n);
                         sys.add(k, k, -l * a);
-                        let correction = if *a == 0.0 { 0.0 } else { -(l * a * i_prev + v_prev) };
+                        let correction = if *a == 0.0 {
+                            0.0
+                        } else {
+                            -(l * a * i_prev + v_prev)
+                        };
                         sys.rhs_add(k, correction);
                     }
                 }
@@ -330,7 +410,10 @@ pub fn assemble<M: MnaSink<f64>>(
                 sys.transadmittance(p, n, cp, cn, *gm);
             }
             ElementKind::Cccs {
-                p, n, vsource, gain,
+                p,
+                n,
+                vsource,
+                gain,
             } => {
                 let j = prep
                     .branch_slot(vsource)
@@ -352,7 +435,10 @@ pub fn assemble<M: MnaSink<f64>>(
                 sys.add(k, j, -r);
             }
             ElementKind::BehavioralV {
-                p, n, controls, func,
+                p,
+                n,
+                controls,
+                func,
             } => {
                 let k = prep.branch_of[idx].0.expect("behavioral branch");
                 let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
@@ -443,11 +529,7 @@ pub fn assemble<M: MnaSink<f64>>(
                 sys.add(nodes.ei, nodes.bi, -(gmf + gmr));
                 sys.add(nodes.ei, nodes.ei, gmf);
                 sys.add(nodes.ei, nodes.ci, gmr);
-                sys.current(
-                    nodes.ci,
-                    nodes.ei,
-                    sg * (op.it - gmf * vbe - gmr * vbc),
-                );
+                sys.current(nodes.ci, nodes.ei, sg * (op.it - gmf * vbe - gmr * vbc));
 
                 if let Mode::Tran { a, bank, .. } = mode {
                     let b0 = bank.base[idx];
@@ -538,7 +620,7 @@ mod tests {
 
     /// Assemble and directly solve a linear circuit in DC mode.
     fn solve_dc(ckt: Circuit) -> (Prepared, Vec<f64>) {
-        let prep = Prepared::compile(ckt).unwrap();
+        let prep = Prepared::compile(&ckt).unwrap();
         let n = prep.num_unknowns;
         let mut mat = Matrix::zeros(n, n);
         let mut rhs = vec![0.0; n];
@@ -667,7 +749,10 @@ mod tests {
         let m = DiodeModel::default();
         let i_cold = eval_diode(&m, 0.65, cold.vt, 0.0).id;
         let i_hot = eval_diode(&m, 0.65, hot.vt, 0.0).id;
-        assert!(i_cold > i_hot, "same V -> more current when cold (fixed IS)");
+        assert!(
+            i_cold > i_hot,
+            "same V -> more current when cold (fixed IS)"
+        );
     }
 
     #[test]
@@ -675,7 +760,7 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         c.resistor("R1", a, Circuit::gnd(), 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let opts = Options::default();
         assert!(converged(&prep, &[1.0], &[1.0 + 1e-7], &opts));
         assert!(!converged(&prep, &[1.0], &[1.01], &opts));

@@ -6,7 +6,8 @@ use crate::analysis::solver::SolverWorkspace;
 use crate::analysis::stamp::{assemble, ChargeBank, MnaSink, Mode, NonlinMemory, Options};
 use crate::circuit::{ElementKind, Prepared};
 use crate::error::{Result, SpiceError};
-use crate::waveform::Waveform;
+use crate::wave::Waveform;
+use ahfic_trace::TranStats;
 
 /// Transient analysis parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -59,6 +60,9 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
             "transient needs positive t_stop and dt_max".into(),
         ));
     }
+    let tr = opts.trace.tracer();
+    let span = tr.span("tran");
+    let mut stats = TranStats::default();
     let n = prep.num_unknowns;
 
     // Initial state.
@@ -79,6 +83,7 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
     // is fixed, so every Newton iteration after the first assembly
     // replays precomputed slots and refactors in place.
     let mut ws = SolverWorkspace::new(n, opts.solver);
+    ws.set_timing(tr.enabled());
 
     // Charge bank initialized at the starting solution (a = 0 turns the
     // companion into a pure charge evaluation with zero current).
@@ -135,9 +140,13 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
     // one, or keep float-noise duplicates of a femtosecond run apart.
     let bp_tol = params.t_stop * 1e-12;
     breakpoints.dedup_by(|a, b| (*a - *b).abs() <= bp_tol);
+    stats.breakpoints = breakpoints.len() as u64;
     let mut next_bp = 0usize;
 
-    let h_init = params.dt_init.unwrap_or(params.dt_max / 10.0).min(params.dt_max);
+    let h_init = params
+        .dt_init
+        .unwrap_or(params.dt_max / 10.0)
+        .min(params.dt_max);
     let h_min = (params.t_stop * 1e-12).max(1e-21);
     let mut h = h_init;
 
@@ -195,6 +204,8 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
             Some(&mut new_states),
         ) {
             Ok((x_new, iters)) => {
+                stats.accepted_steps += 1;
+                stats.newton_iterations += iters as u64;
                 // `new_states` was filled during the final Newton assembly
                 // (within convergence tolerance of `x_new`), so the step
                 // commits without a redundant full re-assembly.
@@ -215,6 +226,8 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
                 return Err(SpiceError::Singular { unknown });
             }
             Err(_) => {
+                stats.rejected_steps += 1;
+                stats.newton_iterations += opts.max_newton as u64;
                 h *= 0.25;
                 if h < h_min {
                     return Err(SpiceError::NoConvergence {
@@ -226,6 +239,9 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
             }
         }
     }
+    stats.emit(tr, "tran");
+    ws.stats.emit(tr, "tran");
+    span.end();
     Ok(wave)
 }
 
@@ -261,7 +277,7 @@ mod tests {
         );
         c.resistor("R1", a, out, 1e3);
         c.capacitor("C1", out, Circuit::gnd(), 1e-9);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let w = tran(&prep, &opts(), &TranParams::new(5e-6, 5e-9)).unwrap();
         let v = w.signal("v(out)").unwrap();
         let ts = w.axis();
@@ -289,7 +305,7 @@ mod tests {
         c.inductor("L1", a, Circuit::gnd(), 1e-6);
         c.resistor("Rdamp", a, Circuit::gnd(), 1e6);
         c.set_ic(a, 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
         let period = 1.0 / f0;
         let w = tran(
@@ -334,7 +350,7 @@ mod tests {
             },
         );
         c.resistor("R1", a, Circuit::gnd(), 50.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let w = tran(&prep, &opts(), &TranParams::new(3e-6, 5e-9)).unwrap();
         let v = w.signal("v(a)").unwrap();
         let max = v.iter().cloned().fold(f64::MIN, f64::max);
@@ -350,13 +366,8 @@ mod tests {
         c.capacitor("C1", a, Circuit::gnd(), 1e-9);
         c.resistor("R1", a, Circuit::gnd(), 1e3);
         c.set_ic(a, 2.0);
-        let prep = Prepared::compile(c).unwrap();
-        let w = tran(
-            &prep,
-            &opts(),
-            &TranParams::new(5e-6, 10e-9).with_uic(),
-        )
-        .unwrap();
+        let prep = Prepared::compile(&c).unwrap();
+        let w = tran(&prep, &opts(), &TranParams::new(5e-6, 10e-9).with_uic()).unwrap();
         let v = w.signal("v(a)").unwrap();
         assert!((v[0] - 2.0).abs() < 1e-12);
         // Decays with tau = 1 us.
@@ -370,7 +381,7 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         c.resistor("R1", a, Circuit::gnd(), 1.0);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         assert!(tran(&prep, &opts(), &TranParams::new(0.0, 1e-9)).is_err());
         assert!(tran(&prep, &opts(), &TranParams::new(1e-6, 0.0)).is_err());
     }
@@ -386,7 +397,7 @@ mod tests {
             SourceWave::Pwl(vec![(0.0, 0.0), (1e-6, 0.0), (1.001e-6, 1.0), (2e-6, 1.0)]),
         );
         c.resistor("R1", a, Circuit::gnd(), 1e3);
-        let prep = Prepared::compile(c).unwrap();
+        let prep = Prepared::compile(&c).unwrap();
         let w = tran(&prep, &opts(), &TranParams::new(2e-6, 0.5e-6)).unwrap();
         // The sharp edge between 1.0 us and 1.001 us must be resolved even
         // though dt_max is 0.5 us.

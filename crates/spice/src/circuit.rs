@@ -455,6 +455,32 @@ impl Circuit {
         }
     }
 
+    /// Changes the value of an existing resistor (used by mismatch
+    /// sweeps: the MNA pattern is unchanged, so a compiled circuit stays
+    /// valid).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Netlist`] if the element is missing, is not a
+    /// resistor, or `new_r` is not positive.
+    pub fn set_resistance(&mut self, name: &str, new_r: f64) -> Result<()> {
+        if new_r <= 0.0 {
+            return Err(SpiceError::Netlist(format!(
+                "resistor {name} must stay positive (got {new_r})"
+            )));
+        }
+        let idx = self
+            .find_element(name)
+            .ok_or_else(|| SpiceError::Netlist(format!("no element named {name}")))?;
+        match &mut self.elements[idx].kind {
+            ElementKind::Resistor { r, .. } => {
+                *r = new_r;
+                Ok(())
+            }
+            _ => Err(SpiceError::Netlist(format!("{name} is not a resistor"))),
+        }
+    }
+
     /// Adds a voltage-controlled voltage source.
     pub fn vcvs(
         &mut self,
@@ -709,13 +735,15 @@ pub fn scale_diode_model(m: &DiodeModel, area: f64) -> DiodeModel {
 pub const GROUND_SLOT: usize = usize::MAX;
 
 impl Prepared {
-    /// Compiles a circuit into its MNA unknown layout.
+    /// Compiles a circuit into its MNA unknown layout. The circuit is
+    /// borrowed (and cloned into the result), so sweep loops can compile
+    /// variants without giving up their working copy.
     ///
     /// # Errors
     ///
     /// Returns [`SpiceError::Netlist`] if a controlled source references a
     /// missing voltage source.
-    pub fn compile(circuit: Circuit) -> Result<Self> {
+    pub fn compile(circuit: &Circuit) -> Result<Self> {
         let n_ext = circuit.num_nodes() - 1; // excluding ground
         let mut unknown_names: Vec<String> = (1..circuit.num_nodes())
             .map(|i| format!("v({})", circuit.node_names[i]))
@@ -830,7 +858,7 @@ impl Prepared {
             scaled_bjt,
             scaled_diode,
             unknown_names,
-            circuit,
+            circuit: circuit.clone(),
         })
     }
 
@@ -900,7 +928,7 @@ mod tests {
         c.vsource("V1", a, Circuit::gnd(), 1.0);
         c.resistor("R1", a, b, 1e3);
         c.inductor("L1", b, Circuit::gnd(), 1e-9);
-        let p = Prepared::compile(c).unwrap();
+        let p = Prepared::compile(&c).unwrap();
         assert_eq!(p.num_voltage_unknowns, 2);
         assert_eq!(p.num_unknowns, 4); // 2 nodes + V branch + L branch
         assert_eq!(p.branch_slot("V1"), Some(2));
@@ -920,7 +948,7 @@ mod tests {
         // re = 0 -> no internal emitter node.
         let mi = c.add_bjt_model(m);
         c.bjt("Q1", cc, bb, ee, mi, 1.0);
-        let p = Prepared::compile(c).unwrap();
+        let p = Prepared::compile(&c).unwrap();
         // 3 external + 2 internal
         assert_eq!(p.num_voltage_unknowns, 5);
         let nodes = p.bjt_nodes[0].unwrap();
@@ -934,10 +962,7 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         c.cccs("F1", a, Circuit::gnd(), "Vmissing", 2.0);
-        assert!(matches!(
-            Prepared::compile(c),
-            Err(SpiceError::Netlist(_))
-        ));
+        assert!(matches!(Prepared::compile(&c), Err(SpiceError::Netlist(_))));
     }
 
     #[test]

@@ -93,7 +93,14 @@ impl BjtOperating {
 ///
 /// `vt` is the thermal voltage and `gmin` the convergence-aid conductance
 /// placed across both junctions.
-pub fn eval_bjt(model: &BjtModel, vbe: f64, vbc: f64, vcs: f64, vt: f64, gmin: f64) -> BjtOperating {
+pub fn eval_bjt(
+    model: &BjtModel,
+    vbe: f64,
+    vbc: f64,
+    vcs: f64,
+    vt: f64,
+    gmin: f64,
+) -> BjtOperating {
     let m = model;
     let nfvt = m.nf * vt;
     let nrvt = m.nr * vt;
@@ -132,8 +139,16 @@ pub fn eval_bjt(model: &BjtModel, vbe: f64, vbc: f64, vcs: f64, vt: f64, gmin: f
     }
     let s = (1.0 + 4.0 * q2).max(0.0).sqrt();
     let qb = q1 * (1.0 + s) / 2.0;
-    let dq1_dvbe = if m.var.is_finite() { q1 * q1 / m.var } else { 0.0 };
-    let dq1_dvbc = if m.vaf.is_finite() { q1 * q1 / m.vaf } else { 0.0 };
+    let dq1_dvbe = if m.var.is_finite() {
+        q1 * q1 / m.var
+    } else {
+        0.0
+    };
+    let dq1_dvbc = if m.vaf.is_finite() {
+        q1 * q1 / m.vaf
+    } else {
+        0.0
+    };
     let dqb_dvbe = dq1_dvbe * (1.0 + s) / 2.0 + q1 / s.max(1e-12) * dq2_dvbe;
     let dqb_dvbc = dq1_dvbc * (1.0 + s) / 2.0 + q1 / s.max(1e-12) * dq2_dvbc;
 

@@ -18,6 +18,10 @@
 //!   gain/bandwidth.
 //! - **Netlists**: a builder API ([`circuit::Circuit`]) and a SPICE deck
 //!   parser ([`parse::parse_netlist`]).
+//! - **Telemetry** ([`trace`]): install a [`trace::TraceSink`] via
+//!   [`analysis::Options::trace`] and every analysis emits spans and
+//!   work counters (Newton iterations, factorizations, step counts);
+//!   with no sink installed the instrumentation is a single branch.
 //!
 //! # Example
 //!
@@ -31,9 +35,9 @@
 //! ckt.vsource("V1", vin, Circuit::gnd(), 10.0);
 //! ckt.resistor("R1", vin, out, 1e3);
 //! ckt.resistor("R2", out, Circuit::gnd(), 1e3);
-//! let prep = Prepared::compile(ckt)?;
-//! let op = ahfic_spice::analysis::op(&prep, &Options::default())?;
-//! assert!((prep.voltage(&op.x, out) - 5.0).abs() < 1e-9);
+//! let sess = Session::compile(&ckt)?;
+//! let op = sess.op()?;
+//! assert!((sess.prepared().voltage(&op.x, out) - 5.0).abs() < 1e-9);
 //! # Ok::<(), ahfic_spice::error::SpiceError>(())
 //! ```
 
@@ -49,16 +53,19 @@ pub mod units;
 pub mod wave;
 pub mod waveform;
 
+pub use ahfic_trace as trace;
+
 /// Convenient glob import for typical use.
 pub mod prelude {
     pub use crate::analysis::{
-        ac_sweep, bjt_operating, dc_sweep, op, op_from, tran, Options, SolverChoice, TranParams,
+        ac_sweep, bjt_operating, dc_sweep, op, op_from, tran, Options, Session, SolverChoice,
+        TranParams,
     };
     pub use crate::circuit::{Circuit, NodeId, Prepared};
     pub use crate::error::SpiceError;
     pub use crate::model::{BjtModel, BjtPolarity, DiodeModel};
-    pub use crate::wave::SourceWave;
-    pub use crate::waveform::{AcWaveform, Waveform};
+    pub use crate::wave::{AcWaveform, SourceWave, Waveform};
+    pub use ahfic_trace::{InMemorySink, JsonLinesSink, NullSink, TraceHandle, TraceSink};
 }
 
 pub use circuit::{Circuit, NodeId, Prepared};

@@ -1,7 +1,7 @@
 //! AC gain / bandwidth extraction from frequency sweeps.
 
 use crate::error::{Result, SpiceError};
-use crate::waveform::AcWaveform;
+use crate::wave::AcWaveform;
 use ahfic_num::db::to_db_amplitude;
 use ahfic_num::interp::{first_crossing, lerp_at};
 
@@ -93,7 +93,9 @@ mod tests {
 
     #[test]
     fn finds_3db_point_of_one_pole() {
-        let freqs: Vec<f64> = (0..400).map(|k| 10f64.powf(3.0 + k as f64 * 0.01)).collect();
+        let freqs: Vec<f64> = (0..400)
+            .map(|k| 10f64.powf(3.0 + k as f64 * 0.01))
+            .collect();
         let w = one_pole(10.0, 1e5, &freqs);
         let c = characterize(&w, "v(out)", 1e3).unwrap();
         assert!((c.gain - 10.0).abs() < 1e-3);
@@ -126,7 +128,9 @@ mod tests {
 
     #[test]
     fn phase_at_pole_is_minus_45() {
-        let freqs: Vec<f64> = (0..200).map(|k| 10f64.powf(3.0 + k as f64 * 0.02)).collect();
+        let freqs: Vec<f64> = (0..200)
+            .map(|k| 10f64.powf(3.0 + k as f64 * 0.02))
+            .collect();
         let w = one_pole(1.0, 1e4, &freqs);
         let c = characterize(&w, "v(out)", 1e4).unwrap();
         assert!((c.phase_deg + 45.0).abs() < 1.0, "phase = {}", c.phase_deg);

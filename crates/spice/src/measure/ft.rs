@@ -47,7 +47,7 @@ pub fn ft_at_bias(model: &BjtModel, vce: f64, ic_target: f64, opts: &Options) ->
     ckt.set_ac("IB", 1.0, 0.0)?;
     let mi = ckt.add_bjt_model(model.clone());
     ckt.bjt("Q1", nc, nb, Circuit::gnd(), mi, 1.0);
-    let mut prep = Prepared::compile(ckt)?;
+    let mut prep = Prepared::compile(&ckt)?;
 
     // Secant iteration on log(ic) vs log(ib): the relation is close to
     // linear on those axes across both the ideal and high-injection
@@ -205,10 +205,7 @@ mod tests {
         let pts = ft_sweep(&rf_model(), 3.0, &currents, &opts);
         assert!(pts.len() >= 10, "only {} points", pts.len());
         let (ic_pk, ft_pk) = peak_ft(&pts).unwrap();
-        assert!(
-            ft_pk > 1e9 && ft_pk < 20e9,
-            "peak ft = {ft_pk:.3e}"
-        );
+        assert!(ft_pk > 1e9 && ft_pk < 20e9, "peak ft = {ft_pk:.3e}");
         // Peak should be at a moderate current, not at either end.
         assert!(ic_pk > currents[0] * 1.5 && ic_pk < currents[12] / 1.5);
         // Roll-off on both sides.
@@ -231,7 +228,7 @@ mod tests {
         ckt.isource("IB", Circuit::gnd(), nb, p.ib);
         let mi = ckt.add_bjt_model(model);
         ckt.bjt("Q1", nc, nb, Circuit::gnd(), mi, 1.0);
-        let prep = Prepared::compile(ckt).unwrap();
+        let prep = Prepared::compile(&ckt).unwrap();
         let r = crate::analysis::op(&prep, &opts).unwrap();
         let q = bjt_operating(&prep, &r.x, &opts, "Q1").unwrap();
         let est = q.ft();

@@ -1,7 +1,7 @@
 //! Oscillation-frequency measurement from transient waveforms.
 
 use crate::error::{Result, SpiceError};
-use crate::waveform::Waveform;
+use crate::wave::Waveform;
 
 /// Result of an oscillation measurement.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -94,7 +94,11 @@ mod tests {
     fn measures_pure_tone() {
         let w = synth(1e9, 50e9, 2000, 0.0);
         let m = oscillation_frequency(&w, "v(x)", 0.1).unwrap();
-        assert!((m.frequency - 1e9).abs() / 1e9 < 1e-4, "f = {}", m.frequency);
+        assert!(
+            (m.frequency - 1e9).abs() / 1e9 < 1e-4,
+            "f = {}",
+            m.frequency
+        );
         assert!(m.cycles >= 20);
         assert!((m.amplitude_pp - 2.0).abs() < 0.01);
     }

@@ -1,7 +1,7 @@
 //! Total harmonic distortion measurement on transient waveforms.
 
 use crate::error::{Result, SpiceError};
-use crate::waveform::Waveform;
+use crate::wave::Waveform;
 use ahfic_num::goertzel::tone_amplitude;
 
 /// Harmonic decomposition of a signal.

@@ -91,7 +91,6 @@ fn read_with_includes(path: &std::path::Path, depth: usize) -> Result<String> {
 }
 
 fn parse_cards(lines: Vec<(usize, String)>, ckt: &mut Circuit) -> Result<()> {
-
     // Pass 1: model cards (elements may reference models defined later).
     for (lineno, line) in &lines {
         if let Some(rest) = strip_directive(line, ".model") {
@@ -531,7 +530,7 @@ mod tests {
     fn parses_divider_and_solves() {
         let ckt =
             parse_netlist("* divider\nV1 in 0 DC 10\nR1 in out 1k\nR2 out 0 1k\n.end\n").unwrap();
-        let prep = Prepared::compile(ckt).unwrap();
+        let prep = Prepared::compile(&ckt).unwrap();
         let r = op(&prep, &Options::default()).unwrap();
         let out = prep.circuit.find_node("out").unwrap();
         assert!((prep.voltage(&r.x, out) - 5.0).abs() < 1e-9);
@@ -549,7 +548,7 @@ mod tests {
         assert_eq!(m.bf, 150.0);
         assert!((m.cje - 50e-15).abs() < 1e-20);
         assert!((m.tf - 12e-12).abs() < 1e-18);
-        let prep = Prepared::compile(ckt).unwrap();
+        let prep = Prepared::compile(&ckt).unwrap();
         let r = op(&prep, &Options::default()).unwrap();
         let b = prep.circuit.find_node("b").unwrap();
         assert!(prep.voltage(&r.x, b) > 0.5);
@@ -610,7 +609,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ckt.elements().len(), 10);
-        let prep = Prepared::compile(ckt).unwrap();
+        let prep = Prepared::compile(&ckt).unwrap();
         let r = op(&prep, &Options::default()).unwrap();
         let e = prep.circuit.find_node("e").unwrap();
         assert!((prep.voltage(&r.x, e) - 2.0).abs() < 1e-9);

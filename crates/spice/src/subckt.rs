@@ -34,9 +34,7 @@ const MAX_DEPTH: usize = 16;
 ///
 /// Returns [`SpiceError::Parse`] for malformed or unknown subcircuits,
 /// port-count mismatches and recursion beyond [`MAX_DEPTH`].
-pub(crate) fn expand_subcircuits(
-    lines: Vec<(usize, String)>,
-) -> Result<Vec<(usize, String)>> {
+pub(crate) fn expand_subcircuits(lines: Vec<(usize, String)>) -> Result<Vec<(usize, String)>> {
     // Pass 1: collect definitions (non-nested, as in SPICE2).
     let mut defs: HashMap<String, SubcktDef> = HashMap::new();
     let mut top: Vec<(usize, String)> = Vec::new();
@@ -156,7 +154,14 @@ fn expand_card(
         .collect();
     for (card_line, card) in &def.cards {
         let substituted = rewrite_nodes(card, &port_map, &inner_prefix, *card_line)?;
-        expand_card(&substituted, *card_line, &inner_prefix, defs, depth + 1, out)?;
+        expand_card(
+            &substituted,
+            *card_line,
+            &inner_prefix,
+            defs,
+            depth + 1,
+            out,
+        )?;
     }
     Ok(())
 }
@@ -294,7 +299,7 @@ mod tests {
         assert_eq!(ckt.elements().len(), 4);
         assert!(ckt.find_element("x1.R1").is_some());
         // `mid` was a port mapped to `out`; solve to be sure.
-        let prep = crate::circuit::Prepared::compile(ckt).unwrap();
+        let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
         let r = crate::analysis::op(&prep, &Default::default()).unwrap();
         let out = prep.circuit.find_node("out").unwrap();
         // 1k over (1k || 1meg): v = 10 * 999.001 / 1999.001.
@@ -319,7 +324,7 @@ mod tests {
         // Each instance gets its own `internal` node.
         assert!(ckt.find_node("x1.internal").is_some());
         assert!(ckt.find_node("x2.internal").is_some());
-        let prep = crate::circuit::Prepared::compile(ckt).unwrap();
+        let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
         let r = crate::analysis::op(&prep, &Default::default()).unwrap();
         // 4 V over 1k+1k+1k+1k+2k, out = 4 * 2/6.
         let out = prep.circuit.find_node("out").unwrap();
@@ -343,7 +348,7 @@ mod tests {
         .unwrap();
         assert!(ckt.find_element("x9.x1.R1").is_some());
         assert!(ckt.find_element("x9.x2.R1").is_some());
-        let prep = crate::circuit::Prepared::compile(ckt).unwrap();
+        let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
         let r = crate::analysis::op(&prep, &Default::default()).unwrap();
         // 1 V over 2k -> i(V1) = -0.5 mA.
         let i = r.x[prep.branch_slot("V1").unwrap()];
@@ -361,7 +366,7 @@ mod tests {
             ",
         )
         .unwrap();
-        let prep = crate::circuit::Prepared::compile(ckt).unwrap();
+        let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
         let r = crate::analysis::op(&prep, &Default::default()).unwrap();
         let i = r.x[prep.branch_slot("V1").unwrap()];
         assert!((i + 1e-3).abs() < 1e-9);
@@ -381,7 +386,7 @@ mod tests {
             ",
         )
         .unwrap();
-        let prep = crate::circuit::Prepared::compile(ckt).unwrap();
+        let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
         let r = crate::analysis::op(&prep, &Default::default()).unwrap();
         let c = prep.circuit.find_node("c").unwrap();
         let vc = prep.voltage(&r.x, c);
@@ -390,18 +395,21 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert!(parse_netlist(".subckt a p\nR1 p 0 1\n").is_err(), "unclosed");
+        assert!(
+            parse_netlist(".subckt a p\nR1 p 0 1\n").is_err(),
+            "unclosed"
+        );
         assert!(parse_netlist(".ends\n").is_err(), "stray .ends");
-        assert!(parse_netlist("X1 a b missing\nR1 a 0 1\n").is_err(), "unknown sub");
+        assert!(
+            parse_netlist("X1 a b missing\nR1 a 0 1\n").is_err(),
+            "unknown sub"
+        );
         assert!(
             parse_netlist(".subckt s a b\nR1 a b 1\n.ends\nX1 n1 s\n").is_err(),
             "port count mismatch"
         );
         // Recursion guard.
-        assert!(parse_netlist(
-            ".subckt s a b\nX1 a b s\n.ends\nX1 p q s\nR1 p 0 1\n"
-        )
-        .is_err());
+        assert!(parse_netlist(".subckt s a b\nX1 a b s\n.ends\nX1 p q s\nR1 p 0 1\n").is_err());
     }
 
     #[test]
@@ -418,7 +426,7 @@ mod tests {
             ",
         )
         .unwrap();
-        let prep = crate::circuit::Prepared::compile(ckt).unwrap();
+        let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
         let r = crate::analysis::op(&prep, &Default::default()).unwrap();
         // 1 mA through the sense source -> F injects 2 mA into x1.fout.
         let fout = prep.circuit.find_node("x1.fout").unwrap();

@@ -39,9 +39,7 @@ pub fn parse_value(text: &str) -> Option<f64> {
             || ((c == 'e' || c == 'E')
                 && seen_digit
                 && i + 1 < bytes.len()
-                && (bytes[i + 1].is_ascii_digit()
-                    || bytes[i + 1] == b'+'
-                    || bytes[i + 1] == b'-'));
+                && (bytes[i + 1].is_ascii_digit() || bytes[i + 1] == b'+' || bytes[i + 1] == b'-'));
         if c.is_ascii_digit() {
             seen_digit = true;
         }
@@ -177,10 +175,7 @@ mod tests {
             let s = format_value(v);
             let back = parse_value(&s).unwrap();
             let tol = 1e-3 * v.abs().max(1e-18);
-            assert!(
-                (back - v).abs() <= tol,
-                "{v} -> {s} -> {back}"
-            );
+            assert!((back - v).abs() <= tol, "{v} -> {s} -> {back}");
         }
     }
 }

@@ -1,5 +1,13 @@
-//! Time-domain waveforms for independent sources.
+//! Source waveforms and analysis result containers.
+//!
+//! This module holds both sides of a simulation's waveform story:
+//! [`SourceWave`] describes the stimulus an independent source applies
+//! over time, while [`Waveform`] and [`AcWaveform`] collect the sampled
+//! real/complex signals an analysis produces.
 
+use crate::error::{Result, SpiceError};
+use ahfic_num::Complex;
+use std::collections::HashMap;
 use std::f64::consts::PI;
 
 /// Transient shape of an independent voltage or current source.
@@ -64,10 +72,7 @@ impl SourceWave {
                     offset + ampl * phase0.sin()
                 } else {
                     let tt = t - delay;
-                    offset
-                        + ampl
-                            * (-damping * tt).exp()
-                            * (2.0 * PI * freq * tt + phase0).sin()
+                    offset + ampl * (-damping * tt).exp() * (2.0 * PI * freq * tt + phase0).sin()
                 }
             }
             SourceWave::Pulse {
@@ -175,6 +180,249 @@ impl SourceWave {
 impl Default for SourceWave {
     fn default() -> Self {
         SourceWave::Dc(0.0)
+    }
+}
+
+/// A set of named real signals sampled on a shared axis (time or sweep
+/// variable).
+///
+/// # Example
+///
+/// ```
+/// use ahfic_spice::wave::Waveform;
+/// let mut w = Waveform::new("t");
+/// w.push_signal("v(out)");
+/// w.push_sample(0.0, &[1.0]);
+/// w.push_sample(1e-9, &[2.0]);
+/// assert_eq!(w.signal("v(out)").unwrap(), &[1.0, 2.0]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Waveform {
+    axis_name: String,
+    axis: Vec<f64>,
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    data: Vec<Vec<f64>>,
+}
+
+impl Waveform {
+    /// Creates an empty waveform with the given axis name.
+    pub fn new(axis_name: &str) -> Self {
+        Waveform {
+            axis_name: axis_name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Registers a signal column (before pushing samples).
+    pub fn push_signal(&mut self, name: &str) -> usize {
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_ascii_lowercase(), id);
+        self.data.push(Vec::new());
+        id
+    }
+
+    /// Appends one sample row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the registered signal count.
+    pub fn push_sample(&mut self, axis_value: f64, values: &[f64]) {
+        assert_eq!(values.len(), self.data.len(), "sample width mismatch");
+        self.axis.push(axis_value);
+        for (col, &v) in self.data.iter_mut().zip(values.iter()) {
+            col.push(v);
+        }
+    }
+
+    /// Axis label.
+    pub fn axis_name(&self) -> &str {
+        &self.axis_name
+    }
+
+    /// The shared axis samples.
+    pub fn axis(&self) -> &[f64] {
+        &self.axis
+    }
+
+    /// Number of sample rows.
+    pub fn len(&self) -> usize {
+        self.axis.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.axis.is_empty()
+    }
+
+    /// Registered signal names.
+    pub fn signal_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// A signal by (case-insensitive) name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Measure`] when the signal does not exist.
+    pub fn signal(&self, name: &str) -> Result<&[f64]> {
+        self.index
+            .get(&name.to_ascii_lowercase())
+            .map(|&i| self.data[i].as_slice())
+            .ok_or_else(|| SpiceError::Measure(format!("no signal named {name}")))
+    }
+
+    /// Last value of a signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Measure`] when the signal is missing or empty.
+    pub fn last(&self, name: &str) -> Result<f64> {
+        self.signal(name)?
+            .last()
+            .copied()
+            .ok_or_else(|| SpiceError::Measure(format!("signal {name} is empty")))
+    }
+
+    /// Serializes the waveform as CSV (axis column first) for plotting in
+    /// external tools.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.axis_name);
+        for n in &self.names {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        for k in 0..self.len() {
+            out.push_str(&format!("{:e}", self.axis[k]));
+            for col in &self.data {
+                out.push_str(&format!(",{:e}", col[k]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Resamples a signal onto a uniform grid of `n` points spanning the
+    /// axis (linear interpolation) — the FFT front-end for transient data
+    /// recorded with adaptive steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Measure`] if the signal is missing or has
+    /// fewer than two samples.
+    pub fn resample_uniform(&self, name: &str, n: usize) -> Result<(f64, Vec<f64>)> {
+        let y = self.signal(name)?;
+        if y.len() < 2 || n < 2 {
+            return Err(SpiceError::Measure(format!(
+                "signal {name} has too few samples to resample"
+            )));
+        }
+        let t0 = self.axis[0];
+        let t1 = self.axis[self.axis.len() - 1];
+        let dt = (t1 - t0) / (n - 1) as f64;
+        let mut out = Vec::with_capacity(n);
+        let mut j = 0usize;
+        for k in 0..n {
+            let t = t0 + k as f64 * dt;
+            while j + 1 < self.axis.len() - 1 && self.axis[j + 1] < t {
+                j += 1;
+            }
+            let (ta, tb) = (self.axis[j], self.axis[j + 1]);
+            let (ya, yb) = (y[j], y[j + 1]);
+            let v = if tb > ta {
+                ya + (yb - ya) * ((t - ta) / (tb - ta)).clamp(0.0, 1.0)
+            } else {
+                yb
+            };
+            out.push(v);
+        }
+        Ok((1.0 / dt, out))
+    }
+}
+
+/// A set of named complex signals over a frequency axis (AC results).
+#[derive(Clone, Debug, Default)]
+pub struct AcWaveform {
+    freqs: Vec<f64>,
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    data: Vec<Vec<Complex>>,
+}
+
+impl AcWaveform {
+    /// Creates an empty AC waveform.
+    pub fn new() -> Self {
+        AcWaveform::default()
+    }
+
+    /// Registers a signal column.
+    pub fn push_signal(&mut self, name: &str) -> usize {
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_ascii_lowercase(), id);
+        self.data.push(Vec::new());
+        id
+    }
+
+    /// Appends one frequency point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the registered signal count.
+    pub fn push_sample(&mut self, freq: f64, values: &[Complex]) {
+        assert_eq!(values.len(), self.data.len(), "sample width mismatch");
+        self.freqs.push(freq);
+        for (col, &v) in self.data.iter_mut().zip(values.iter()) {
+            col.push(v);
+        }
+    }
+
+    /// Frequency axis (Hz).
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Number of frequency points.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// True if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// A complex signal by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::Measure`] when the signal does not exist.
+    pub fn signal(&self, name: &str) -> Result<&[Complex]> {
+        self.index
+            .get(&name.to_ascii_lowercase())
+            .map(|&i| self.data[i].as_slice())
+            .ok_or_else(|| SpiceError::Measure(format!("no signal named {name}")))
+    }
+
+    /// Magnitude of a signal at every frequency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing-signal errors from [`Self::signal`].
+    pub fn magnitude(&self, name: &str) -> Result<Vec<f64>> {
+        Ok(self.signal(name)?.iter().map(|z| z.abs()).collect())
+    }
+
+    /// Phase in degrees of a signal at every frequency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates missing-signal errors from [`Self::signal`].
+    pub fn phase_deg(&self, name: &str) -> Result<Vec<f64>> {
+        Ok(self.signal(name)?.iter().map(|z| z.arg_deg()).collect())
     }
 }
 
@@ -293,5 +541,65 @@ mod tests {
     fn breakpoints_respect_stop_time() {
         let w = SourceWave::Pwl(vec![(0.0, 0.0), (5.0, 1.0), (20.0, 0.0)]);
         assert_eq!(w.breakpoints(10.0), vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn waveform_round_trip() {
+        let mut w = Waveform::new("t");
+        w.push_signal("a");
+        w.push_signal("b");
+        w.push_sample(0.0, &[1.0, -1.0]);
+        w.push_sample(1.0, &[2.0, -2.0]);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.axis(), &[0.0, 1.0]);
+        assert_eq!(w.signal("A").unwrap(), &[1.0, 2.0]);
+        assert_eq!(w.last("b").unwrap(), -2.0);
+        assert!(w.signal("zz").is_err());
+    }
+
+    #[test]
+    fn csv_round_trips_by_eye() {
+        let mut w = Waveform::new("t");
+        w.push_signal("v(out)");
+        w.push_sample(0.0, &[1.5]);
+        w.push_sample(1e-9, &[-2.0]);
+        let csv = w.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("t,v(out)"));
+        assert_eq!(lines.next(), Some("0e0,1.5e0"));
+        assert_eq!(lines.next(), Some("1e-9,-2e0"));
+    }
+
+    #[test]
+    fn resample_linear_ramp_exactly() {
+        let mut w = Waveform::new("t");
+        w.push_signal("x");
+        // Non-uniform sampling of x(t) = 2 t
+        for &t in &[0.0, 0.1, 0.15, 0.4, 1.0] {
+            w.push_sample(t, &[2.0 * t]);
+        }
+        let (fs, y) = w.resample_uniform("x", 11).unwrap();
+        assert!((fs - 10.0).abs() < 1e-12);
+        for (k, v) in y.iter().enumerate() {
+            assert!((v - 0.2 * k as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ac_waveform_magnitude_phase() {
+        let mut w = AcWaveform::new();
+        w.push_signal("v(out)");
+        w.push_sample(1e3, &[Complex::new(0.0, 2.0)]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.magnitude("v(out)").unwrap(), vec![2.0]);
+        assert!((w.phase_deg("v(out)").unwrap()[0] - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn sample_width_checked() {
+        let mut w = Waveform::new("t");
+        w.push_signal("a");
+        w.push_sample(0.0, &[1.0, 2.0]);
     }
 }

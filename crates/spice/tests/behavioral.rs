@@ -20,7 +20,7 @@ fn linear_behavioral_source_acts_as_vcvs() {
         BehavioralFn::new(|v| 5.0 * v[0]),
     );
     ckt.resistor("RL", b, Circuit::gnd(), 1e3);
-    let prep = Prepared::compile(ckt).unwrap();
+    let prep = Prepared::compile(&ckt).unwrap();
     let r = op(&prep, &Options::default()).unwrap();
     assert!((prep.voltage(&r.x, b) - 10.0).abs() < 1e-9);
 }
@@ -40,7 +40,7 @@ fn nonlinear_behavioral_source_converges() {
         BehavioralFn::new(|v| (3.0 * v[0]).tanh()),
     );
     ckt.resistor("RL", b, Circuit::gnd(), 1e3);
-    let prep = Prepared::compile(ckt).unwrap();
+    let prep = Prepared::compile(&ckt).unwrap();
     let r = op(&prep, &Options::default()).unwrap();
     assert!((prep.voltage(&r.x, b) - (1.2f64).tanh()).abs() < 1e-9);
 }
@@ -71,7 +71,7 @@ fn two_control_mixer_in_transient() {
         BehavioralFn::new(|v| v[0] * v[1]),
     );
     ckt.resistor("RL", out, Circuit::gnd(), 1e3);
-    let prep = Prepared::compile(ckt).unwrap();
+    let prep = Prepared::compile(&ckt).unwrap();
     let wave = tran(&prep, &Options::default(), &TranParams::new(2e-6, 1e-9)).unwrap();
     let (fs, y) = wave.resample_uniform("v(out)", 4000).unwrap();
     let a_dif = ahfic_num::goertzel::tone_amplitude(&y, fs, 2e6).abs();
@@ -96,7 +96,7 @@ fn ac_linearizes_at_operating_point() {
         BehavioralFn::new(|v| v[0] * v[0]),
     );
     ckt.resistor("RL", b, Circuit::gnd(), 1e3);
-    let prep = Prepared::compile(ckt).unwrap();
+    let prep = Prepared::compile(&ckt).unwrap();
     let opts = Options::default();
     let dc = op(&prep, &opts).unwrap();
     assert!((prep.voltage(&dc.x, b) - 2.25).abs() < 1e-9);
@@ -130,7 +130,7 @@ fn behavioral_source_with_bjt_load_converges() {
     let mi = ckt.add_bjt_model(m);
     ckt.resistor("RC", vcc, col, 1e3);
     ckt.bjt("Q1", col, base, Circuit::gnd(), mi, 1.0);
-    let prep = Prepared::compile(ckt).unwrap();
+    let prep = Prepared::compile(&ckt).unwrap();
     let r = op(&prep, &Options::default()).unwrap();
     let vb = prep.voltage(&r.x, base);
     assert!((vb - (0.65 + 0.1 * 1.0f64.tanh())).abs() < 1e-9);

@@ -37,7 +37,7 @@ fn half_wave_rectifier_charges_and_ripples() {
     c.diode("D1", ac, out, dm, 1.0);
     c.capacitor("C1", out, Circuit::gnd(), 10e-6);
     c.resistor("RL", out, Circuit::gnd(), 10e3);
-    let prep = Prepared::compile(c).unwrap();
+    let prep = Prepared::compile(&c).unwrap();
     let w = tran(&prep, &opts(), &TranParams::new(10e-3, 5e-6)).unwrap();
     let v = w.signal("v(out)").unwrap();
     let t = w.axis();
@@ -92,7 +92,7 @@ fn bjt_switch_saturates_and_cuts_off() {
     c.resistor("RBB", b, bb, 10e3);
     c.resistor("RC", vcc, col, 1e3);
     c.bjt("Q1", col, bb, Circuit::gnd(), mi, 1.0);
-    let prep = Prepared::compile(c).unwrap();
+    let prep = Prepared::compile(&c).unwrap();
     let w = tran(&prep, &opts(), &TranParams::new(120e-9, 0.2e-9)).unwrap();
     let v = w.signal("v(c)").unwrap();
     let t = w.axis();
@@ -114,15 +114,10 @@ fn gummel_plot_shows_ideal_slope_and_knee() {
          VB b 0 0.5\nVC c 0 2\nQ1 c b 0 g\n",
     )
     .unwrap();
-    let mut prep = Prepared::compile(ckt).unwrap();
+    let mut prep = Prepared::compile(&ckt).unwrap();
     let vbes = linspace(0.45, 0.95, 26);
     let sweep = dc_sweep(&mut prep, &opts(), "VB", &vbes).unwrap();
-    let ic: Vec<f64> = sweep
-        .signal("i(VC)")
-        .unwrap()
-        .iter()
-        .map(|i| -i)
-        .collect();
+    let ic: Vec<f64> = sweep.signal("i(VC)").unwrap().iter().map(|i| -i).collect();
     // Low-injection slope: one decade per ~59.5 mV.
     let k1 = 2; // 0.49 V
     let k2 = 7; // 0.59 V
@@ -157,7 +152,7 @@ fn two_pole_rolloff_is_40db_per_decade() {
     c.vcvs("E1", buf, Circuit::gnd(), m, Circuit::gnd(), 1.0);
     c.resistor("R2", buf, o, 10e3);
     c.capacitor("C2", o, Circuit::gnd(), 1e-9); // pole at 15.9 kHz
-    let prep = Prepared::compile(c).unwrap();
+    let prep = Prepared::compile(&c).unwrap();
     let dc = op(&prep, &opts()).unwrap();
     let freqs = logspace(1e2, 1e8, 61);
     let w = ac_sweep(&prep, &dc.x, &opts(), &freqs).unwrap();
@@ -168,8 +163,7 @@ fn two_pole_rolloff_is_40db_per_decade() {
     // Asymptotic slope between 10 MHz and 100 MHz.
     let k10 = freqs.iter().position(|&f| f >= 1e7).unwrap();
     let k100 = freqs.len() - 1;
-    let slope_db = 20.0 * (mag[k100] / mag[k10]).log10()
-        / (freqs[k100] / freqs[k10]).log10();
+    let slope_db = 20.0 * (mag[k100] / mag[k10]).log10() / (freqs[k100] / freqs[k10]).log10();
     assert!((slope_db + 40.0).abs() < 1.5, "slope {slope_db} dB/dec");
 }
 
@@ -189,7 +183,7 @@ fn diff_pair_transfer_is_tanh_limited() {
          IT e 0 1m\n",
     )
     .unwrap();
-    let mut prep = Prepared::compile(ckt).unwrap();
+    let mut prep = Prepared::compile(&ckt).unwrap();
     let sweep = dc_sweep(&mut prep, &opts(), "VIP", &linspace(2.2, 2.8, 25)).unwrap();
     let cp = sweep.signal("v(cp)").unwrap();
     let cn = sweep.signal("v(cn)").unwrap();
@@ -223,17 +217,14 @@ fn diff_pair_transfer_is_tanh_limited() {
 /// exactly.
 #[test]
 fn subckt_expansion_matches_flat_netlist() {
-    let flat = parse_netlist(
-        "V1 in 0 3\nR1 in m 1k\nR2 m 0 2k\nC1 m 0 1p\n",
-    )
-    .unwrap();
+    let flat = parse_netlist("V1 in 0 3\nR1 in m 1k\nR2 m 0 2k\nC1 m 0 1p\n").unwrap();
     let hier = parse_netlist(
         ".subckt rdiv a b\nR1 a b 1k\n.ends\n\
          V1 in 0 3\nX1 in m rdiv\nR2 m 0 2k\nC1 m 0 1p\n",
     )
     .unwrap();
-    let pf = Prepared::compile(flat).unwrap();
-    let ph = Prepared::compile(hier).unwrap();
+    let pf = Prepared::compile(&flat).unwrap();
+    let ph = Prepared::compile(&hier).unwrap();
     let rf = op(&pf, &opts()).unwrap();
     let rh = op(&ph, &opts()).unwrap();
     let mf = pf.circuit.find_node("m").unwrap();

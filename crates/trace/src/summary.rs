@@ -1,0 +1,118 @@
+//! Aggregation of a flat record stream into per-top-level-span
+//! summaries (used by `ahfic::report::render_trace_summary` and the
+//! solver smoke bench).
+
+use crate::{RecordKind, TraceRecord};
+
+/// Aggregate view of one top-level (depth-0) span: its wall time plus
+/// every counter recorded while it was open, summed by name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanSummary {
+    /// Span name.
+    pub name: String,
+    /// Wall time from the matching `SpanEnd` record.
+    pub wall_seconds: f64,
+    /// `(counter name, summed value)` in first-seen order.
+    pub counters: Vec<(String, f64)>,
+}
+
+impl SpanSummary {
+    /// The summed value of `counter`, if it was recorded in this span.
+    pub fn counter(&self, counter: &str) -> Option<f64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == counter)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Walks a record stream (as produced by a single coordinator thread,
+/// so spans nest LIFO) and returns one [`SpanSummary`] per top-level
+/// span, in order of appearance. Counters inside nested spans are
+/// attributed to the enclosing top-level span; counters outside any
+/// span are dropped.
+pub fn summarize_top_level(records: &[TraceRecord]) -> Vec<SpanSummary> {
+    let mut out: Vec<SpanSummary> = Vec::new();
+    let mut depth = 0usize;
+    let mut current: Option<SpanSummary> = None;
+
+    for rec in records {
+        match rec.kind {
+            RecordKind::SpanStart => {
+                if depth == 0 {
+                    current = Some(SpanSummary {
+                        name: rec.name.clone(),
+                        wall_seconds: 0.0,
+                        counters: Vec::new(),
+                    });
+                }
+                depth += 1;
+            }
+            RecordKind::SpanEnd => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(mut s) = current.take() {
+                        s.wall_seconds = rec.value;
+                        out.push(s);
+                    }
+                }
+            }
+            RecordKind::Counter => {
+                if let Some(s) = current.as_mut() {
+                    match s.counters.iter_mut().find(|(n, _)| n == &rec.name) {
+                        Some((_, v)) => *v += rec.value,
+                        None => s.counters.push((rec.name.clone(), rec.value)),
+                    }
+                }
+            }
+            RecordKind::Event => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: RecordKind, name: &str, value: f64) -> TraceRecord {
+        TraceRecord::new(kind, name, value)
+    }
+
+    #[test]
+    fn nested_counters_attribute_to_top_level() {
+        let records = vec![
+            rec(RecordKind::SpanStart, "tran", 0.0),
+            rec(RecordKind::SpanStart, "op", 0.0),
+            rec(RecordKind::Counter, "op.newton_iterations", 5.0),
+            rec(RecordKind::SpanEnd, "op", 0.001),
+            rec(RecordKind::Counter, "tran.accepted_steps", 40.0),
+            rec(RecordKind::Counter, "tran.accepted_steps", 2.0),
+            rec(RecordKind::SpanEnd, "tran", 0.02),
+            rec(RecordKind::SpanStart, "ac", 0.0),
+            rec(RecordKind::Counter, "ac.points", 60.0),
+            rec(RecordKind::SpanEnd, "ac", 0.003),
+        ];
+        let sums = summarize_top_level(&records);
+        assert_eq!(sums.len(), 2);
+        assert_eq!(sums[0].name, "tran");
+        assert!((sums[0].wall_seconds - 0.02).abs() < 1e-15);
+        assert_eq!(sums[0].counter("tran.accepted_steps"), Some(42.0));
+        assert_eq!(sums[0].counter("op.newton_iterations"), Some(5.0));
+        assert_eq!(sums[1].name, "ac");
+        assert_eq!(sums[1].counter("ac.points"), Some(60.0));
+        assert_eq!(sums[1].counter("missing"), None);
+    }
+
+    #[test]
+    fn stray_counters_outside_spans_are_dropped() {
+        let records = vec![
+            rec(RecordKind::Counter, "loose", 1.0),
+            rec(RecordKind::SpanStart, "s", 0.0),
+            rec(RecordKind::SpanEnd, "s", 0.5),
+        ];
+        let sums = summarize_top_level(&records);
+        assert_eq!(sums.len(), 1);
+        assert!(sums[0].counters.is_empty());
+    }
+}

@@ -4,14 +4,18 @@
 //! Run with: `cargo run --release --example cell_reuse`
 
 use ahfic_celldb::catalog::render_markdown_index;
-use ahfic_celldb::cell::{Cell, CategoryPath};
+use ahfic_celldb::cell::{CategoryPath, Cell};
 use ahfic_celldb::search::{search, SearchQuery};
 use ahfic_celldb::seed::seed_library;
 use ahfic_celldb::views::CellViews;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = seed_library()?;
-    println!("seed library: {} cells\n{}", db.len(), render_markdown_index(&db));
+    println!(
+        "seed library: {} cells\n{}",
+        db.len(),
+        render_markdown_index(&db)
+    );
 
     // A designer registers today's block (views are validated!).
     let new_cell = Cell::new(

@@ -15,9 +15,15 @@ fn main() {
     let currents = logspace(0.05e-3, 30e-3, 19);
 
     println!("# Fig. 9 reproduction: fT vs Ic (VCE = 3 V)");
-    println!("# process fT ceiling: {:.2} GHz", generator.process().ft_ceiling() / 1e9);
+    println!(
+        "# process fT ceiling: {:.2} GHz",
+        generator.process().ft_ceiling() / 1e9
+    );
     println!();
-    println!("{:>10} | {:>12} {:>12} {:>12} {:>12}", "Ic [mA]", "N1.2-6D", "N1.2-12D", "N1.2-24D", "N1.2-48D");
+    println!(
+        "{:>10} | {:>12} {:>12} {:>12} {:>12}",
+        "Ic [mA]", "N1.2-6D", "N1.2-12D", "N1.2-24D", "N1.2-48D"
+    );
     println!("{}", "-".repeat(66));
 
     let shapes = TransistorShape::fig9_series();

@@ -13,8 +13,8 @@ use ahfic::cosim::ahdl_behavioral_fn;
 use ahfic_ahdl::eval::CompiledModule;
 use ahfic_geom::prelude::*;
 use ahfic_rf::ringosc::{measure_ring_frequency, RingOscParams};
-use ahfic_spice::analysis::{tran, Options, TranParams};
-use ahfic_spice::circuit::{Circuit, Prepared};
+use ahfic_spice::analysis::{Options, Session, TranParams};
+use ahfic_spice::circuit::Circuit;
 use ahfic_spice::measure::oscillation_frequency;
 use ahfic_spice::wave::SourceWave;
 
@@ -92,12 +92,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     let diff = ckt.node("diff");
-    let (pp, pn) = (ckt.node(&format!("op{}", n - 1)), ckt.node(&format!("on{}", n - 1)));
+    let (pp, pn) = (
+        ckt.node(&format!("op{}", n - 1)),
+        ckt.node(&format!("on{}", n - 1)),
+    );
     ckt.vcvs("Ediff", diff, Circuit::gnd(), pp, pn, 1.0);
     ckt.resistor("Rdiff", diff, Circuit::gnd(), 1e6);
 
-    let prep = Prepared::compile(ckt)?;
-    let wave = tran(&prep, &opts, &TranParams::new(params.t_stop, params.dt_max))?;
+    let sess = Session::compile(&ckt)?.with_options(opts);
+    let wave = sess.tran(&TranParams::new(params.t_stop, params.dt_max))?;
     let mixed = oscillation_frequency(&wave, "v(diff)", 0.4)?;
     println!(
         "mixed-level ring (AHDL followers): {:.3} GHz (swing {:.2} V)",

@@ -35,8 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n## fT spread of N1.2-12D at 1.5 mA over 8% process corners\n");
     let shape: TransistorShape = "N1.2-12D".parse()?;
-    let mut sampler =
-        ProcessSampler::new(ProcessData::default(), MaskRules::default(), 0.08, 2026);
+    let mut sampler = ProcessSampler::new(ProcessData::default(), MaskRules::default(), 0.08, 2026);
     let opts = Options::default();
     let mut fts = Vec::new();
     for k in 0..12 {

@@ -23,16 +23,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          RC vcc c 500
          Q1 c b 0 n",
     )?;
-    let prep = Prepared::compile(ckt)?;
-    let op = ahfic_spice::analysis::op(&prep, &Options::default())?;
+    let sess = Session::compile(&ckt)?;
+    let op = sess.op()?;
+    let prep = sess.prepared();
     let vout = prep.voltage(&op.x, prep.circuit.find_node("c").expect("node c"));
     println!("CE amplifier operating point: v(c) = {vout:.3} V");
-    let acw = ahfic_spice::analysis::ac_sweep(
-        &prep,
-        &op.x,
-        &Options::default(),
-        &ahfic_num::interp::logspace(1e6, 10e9, 31),
-    )?;
+    let acw = sess.ac(&op.x, &ahfic_num::interp::logspace(1e6, 10e9, 31))?;
     let gain = acw.magnitude("v(c)")?[0];
     println!("CE amplifier low-frequency gain: {gain:.1} V/V\n");
 
@@ -51,13 +47,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sys.add("amp", amp.instantiate(&[("gain", 5.0)])?, &[src], &[out])?;
     let trace = sys.run(100e6, 20e-6)?;
     let p = ahfic_ahdl::spectrum::tone_power(&trace, "out", 1e6, 0.5)?;
-    println!("behavioral amp output tone power: {:.4} V^2 (~{:.3} V amplitude)",
-        p, (2.0 * p).sqrt());
+    println!(
+        "behavioral amp output tone power: {:.4} V^2 (~{:.3} V amplitude)",
+        p,
+        (2.0 * p).sqrt()
+    );
 
     // 4. Re-use: find a proven cell in the library.
     let db = ahfic_celldb::seed::seed_library()?;
     let hits = ahfic_celldb::search(&db, &ahfic_celldb::SearchQuery::keywords("mixer"));
-    println!("\nlibrary offers {} mixer cells; best match: {}",
-        hits.len(), hits[0].cell.name);
+    println!(
+        "\nlibrary offers {} mixer cells; best match: {}",
+        hits.len(),
+        hits[0].cell.name
+    );
     Ok(())
 }

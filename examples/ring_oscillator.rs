@@ -15,7 +15,10 @@ fn main() {
     let opts = Options::default();
     let shapes = TransistorShape::fig8_catalogue();
 
-    println!("# Table 1 reproduction: 5-stage ring oscillator, tail = {:.1} mA", params.tail_current * 1e3);
+    println!(
+        "# Table 1 reproduction: 5-stage ring oscillator, tail = {:.1} mA",
+        params.tail_current * 1e3
+    );
     println!("# Diff-pair shapes swept; emitter followers fixed at N1.2-12D.");
     println!();
     println!(
@@ -24,8 +27,8 @@ fn main() {
     );
     println!("{}", "-".repeat(58));
 
-    let rows = table1_experiment(&params, &generator, &shapes, &opts)
-        .expect("ring oscillator simulation");
+    let rows =
+        table1_experiment(&params, &generator, &shapes, &opts).expect("ring oscillator simulation");
     let mut best: Option<&ahfic_rf::ringosc::RingOscRow> = None;
     for row in &rows {
         println!(

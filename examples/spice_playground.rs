@@ -1,12 +1,15 @@
 //! The circuit simulator as a standalone tool: parse a textual SPICE
-//! deck and run all four analyses on it.
+//! deck and run all four analyses on it through a single [`Session`],
+//! with telemetry recorded and rendered at the end.
 //!
 //! Run with: `cargo run --release --example spice_playground`
 
+use ahfic::report::render_trace_summary;
 use ahfic_num::interp::{linspace, logspace};
-use ahfic_spice::analysis::{ac_sweep, dc_sweep, op, tran, Options, TranParams};
-use ahfic_spice::circuit::Prepared;
+use ahfic_spice::analysis::{Options, Session, TranParams};
 use ahfic_spice::parse::parse_netlist;
+use ahfic_spice::trace::InMemorySink;
+use std::sync::Arc;
 
 const DECK: &str = "* differential pair with emitter follower output
 .model rf_npn NPN (IS=2e-16 BF=120 VAF=45 IKF=5m RB=90 RE=3 RC=25
@@ -25,14 +28,15 @@ RF out 0 2k
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ckt = parse_netlist(DECK)?;
-    let prep = Prepared::compile(ckt)?;
-    let opts = Options::default();
+    let sink = Arc::new(InMemorySink::new());
+    let mut sess = Session::compile(&ckt)?.with_options(Options::new().trace(&sink));
 
     // Operating point.
-    let dc = op(&prep, &opts)?;
+    let dc = sess.op()?;
     println!("## operating point");
     for name in ["v(cp)", "v(cn)", "v(tail)", "v(out)"] {
-        let idx = prep
+        let idx = sess
+            .prepared()
             .unknown_names
             .iter()
             .position(|n| n == name)
@@ -41,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // DC transfer: sweep the positive input.
-    let mut prep_sweep = prep.clone();
-    let sweep = dc_sweep(&mut prep_sweep, &opts, "VINP", &linspace(2.2, 2.8, 13))?;
+    let sweep = sess.dc("VINP", &linspace(2.2, 2.8, 13))?;
     println!("\n## DC transfer v(out) vs VINP");
     let vout = sweep.signal("v(out)")?;
     for (k, &vin) in sweep.axis().iter().enumerate() {
@@ -50,26 +53,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // AC: differential gain and bandwidth.
-    let acw = ac_sweep(&prep, &dc.x, &opts, &logspace(1e6, 20e9, 41))?;
+    let acw = sess.ac(&dc.x, &logspace(1e6, 20e9, 41))?;
     let c = ahfic_spice::measure::characterize(&acw, "v(cp)", 1e6)?;
-    println!("\n## AC: gain {:.2} dB, f_3dB = {:.2} GHz",
-        c.gain_db, c.bw_3db.unwrap_or(f64::NAN) / 1e9);
+    println!(
+        "\n## AC: gain {:.2} dB, f_3dB = {:.2} GHz",
+        c.gain_db,
+        c.bw_3db.unwrap_or(f64::NAN) / 1e9
+    );
 
     // Transient: 100 MHz drive.
-    let wave = tran(&prep, &opts, &TranParams::new(50e-9, 25e-12))?;
+    let wave = sess.tran(&TranParams::new(50e-9, 25e-12))?;
     let h = ahfic_spice::measure::harmonics(&wave, "v(cp)", 100e6, 5, 0.3)?;
-    println!("\n## transient: fundamental {:.1} mV at the collector, THD {:.1} dB",
-        h.amplitudes[0] * 1e3, h.thd_db());
+    println!(
+        "\n## transient: fundamental {:.1} mV at the collector, THD {:.1} dB",
+        h.amplitudes[0] * 1e3,
+        h.thd_db()
+    );
 
     // Noise: output density at the collector with a per-device breakdown.
-    let out_node = prep.circuit.find_node("cp").expect("node cp");
-    let noise = ahfic_spice::analysis::noise_analysis(&prep, &dc.x, &opts, out_node, &[100e6])?;
+    let out_node = sess.prepared().circuit.find_node("cp").expect("node cp");
+    let noise = sess.noise(&dc.x, out_node, &[100e6])?;
     let p = &noise[0];
-    println!("\n## noise at 100 MHz: {:.2} nV/rtHz at v(cp); top contributors:",
-        p.output_rms_density() * 1e9);
+    println!(
+        "\n## noise at 100 MHz: {:.2} nV/rtHz at v(cp); top contributors:",
+        p.output_rms_density() * 1e9
+    );
     for c in p.contributions.iter().take(4) {
-        println!("    {:<8} {:<10} {:.2} nV/rtHz",
-            c.element, c.generator, c.output_density.sqrt() * 1e9);
+        println!(
+            "    {:<8} {:<10} {:.2} nV/rtHz",
+            c.element,
+            c.generator,
+            c.output_density.sqrt() * 1e9
+        );
     }
+
+    // What did all of that cost? The trace knows.
+    println!("\n{}", render_trace_summary(&sink.records()));
     Ok(())
 }

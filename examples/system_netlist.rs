@@ -60,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pi,
         10.0 * (pw / pi).log10()
     );
-    println!("closed form for (2 deg, 3%): {:.1} dB",
-        ahfic_rf::image_rejection::irr_analytic_db(2.0, 0.03));
+    println!(
+        "closed form for (2 deg, 3%): {:.1} dB",
+        ahfic_rf::image_rejection::irr_analytic_db(2.0, 0.03)
+    );
     Ok(())
 }

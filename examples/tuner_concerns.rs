@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Distortion -------------------------------------------------
     println!("## 1. Distortion (two-tone test on the RF front-end)\n");
     let front_end = Polynomial::new(4.0, 0.0, -0.12); // gain 4, compressive
-    println!("{:>12} {:>14} {:>12} {:>12}", "drive [V]", "IM3 [dBc]", "IIP3 [V]", "analytic");
+    println!(
+        "{:>12} {:>14} {:>12} {:>12}",
+        "drive [V]", "IM3 [dBc]", "IIP3 [V]", "analytic"
+    );
     for a in [0.05, 0.1, 0.2, 0.4] {
         let r = two_tone_test(front_end, 1.00e6, 1.10e6, a, 64e6, 400e-6)?;
         println!(
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n## 3. Image (rejection of the Fig. 4 mixer)\n");
     let plan = FrequencyPlan::catv(500e6);
     let cfg = TunerConfig::for_plan(&plan);
-    println!("{:>12} {:>10} {:>12} {:>12}", "phase [deg]", "gain [%]", "IRR sim", "IRR analytic");
+    println!(
+        "{:>12} {:>10} {:>12} {:>12}",
+        "phase [deg]", "gain [%]", "IRR sim", "IRR analytic"
+    );
     for (p, g) in [(1.0, 0.01), (3.0, 0.03), (5.0, 0.05)] {
         let errors = ImageRejectionErrors {
             lo_phase_err_deg: p,

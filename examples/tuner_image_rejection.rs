@@ -25,8 +25,8 @@ fn main() {
     println!();
     println!("{}", "-".repeat(10 + gain_errors.len() * 18));
 
-    let points = fig5_sweep(&plan, &cfg, &phase_errors, &gain_errors, Some(2e-6))
-        .expect("fig5 sweep");
+    let points =
+        fig5_sweep(&plan, &cfg, &phase_errors, &gain_errors, Some(2e-6)).expect("fig5 sweep");
     for (pi, &p) in phase_errors.iter().enumerate() {
         print!("{p:>10.2}");
         for (gi, _) in gain_errors.iter().enumerate() {

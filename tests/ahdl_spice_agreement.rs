@@ -36,7 +36,7 @@ fn rc_step_response_matches_between_engines() {
     );
     ckt.resistor("R1", a, out, r);
     ckt.capacitor("C1", out, Circuit::gnd(), c);
-    let prep = Prepared::compile(ckt).unwrap();
+    let prep = Prepared::compile(&ckt).unwrap();
     let wave = tran(&prep, &Options::default(), &TranParams::new(4e-6, 2e-9)).unwrap();
     let spice_v = wave.signal("v(out)").unwrap();
     let spice_t = wave.axis();
@@ -87,7 +87,7 @@ fn phase_shifter_agrees_with_rc_cr_network() {
     ckt.capacitor("C1", lp, Circuit::gnd(), c);
     ckt.capacitor("C2", input, hp, c);
     ckt.resistor("R2", hp, Circuit::gnd(), r);
-    let prep = Prepared::compile(ckt).unwrap();
+    let prep = Prepared::compile(&ckt).unwrap();
     let opts = Options::default();
     let dc = op(&prep, &opts).unwrap();
     let acw = ac_sweep(&prep, &dc.x, &opts, &[f0]).unwrap();
@@ -120,7 +120,7 @@ fn ahdl_gain_matches_spice_vcvs() {
     ckt.vsource("V1", a, Circuit::gnd(), 0.4);
     ckt.vcvs("E1", b, Circuit::gnd(), a, Circuit::gnd(), gain);
     ckt.resistor("RL", b, Circuit::gnd(), 1e3);
-    let prep = Prepared::compile(ckt).unwrap();
+    let prep = Prepared::compile(&ckt).unwrap();
     let dc = op(&prep, &Options::default()).unwrap();
     let spice_out = prep.voltage(&dc.x, b);
 

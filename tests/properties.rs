@@ -48,7 +48,7 @@ proptest! {
         ckt.resistor("R1", b, Circuit::gnd(), rs[1]);
         ckt.resistor("R2", b, Circuit::gnd(), rs[2]);
         ckt.resistor("R3", a, Circuit::gnd(), rs[3]);
-        let prep = Prepared::compile(ckt).unwrap();
+        let prep = Prepared::compile(&ckt).unwrap();
         let r = op(&prep, &Options::default()).unwrap();
         let va = prep.voltage(&r.x, a);
         let vb = prep.voltage(&r.x, b);

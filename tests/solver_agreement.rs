@@ -26,14 +26,14 @@ proptest! {
     ) {
         let n = 24;
         let mut entries: Vec<(usize, usize, f64)> = Vec::new();
-        let mut stamp = |e: &mut Vec<(usize, usize, f64)>, a: usize, b: usize, g: f64| {
+        let stamp = |e: &mut Vec<(usize, usize, f64)>, a: usize, b: usize, g: f64| {
             e.push((a, a, g));
             e.push((b, b, g));
             e.push((a, b, -g));
             e.push((b, a, -g));
         };
-        for k in 0..n - 1 {
-            stamp(&mut entries, k, k + 1, gvals[k]);
+        for (k, &g) in gvals.iter().enumerate().take(n - 1) {
+            stamp(&mut entries, k, k + 1, g);
         }
         for (j, pair) in picks.chunks(2).enumerate() {
             if pair[0] != pair[1] {
@@ -122,7 +122,7 @@ fn image_rejection_frontend() -> Prepared {
     m.tf = 12e-12;
     let mi = c.add_bjt_model(m);
 
-    let mut path = |c: &mut Circuit, tag: &str| {
+    let path = |c: &mut Circuit, tag: &str| {
         let b = c.node(&format!("b{tag}"));
         let col = c.node(&format!("c{tag}"));
         let e = c.node(&format!("e{tag}"));
@@ -150,14 +150,11 @@ fn image_rejection_frontend() -> Prepared {
     c.resistor("RSI", oi, sum, 2e3);
     c.resistor("RSQ", oq, sum, 2e3);
     c.resistor("RL", sum, Circuit::gnd(), 1e3);
-    Prepared::compile(c).unwrap()
+    Prepared::compile(&c).unwrap()
 }
 
 fn opts_with(solver: SolverChoice) -> Options {
-    Options {
-        solver,
-        ..Options::default()
-    }
+    Options::new().solver(solver)
 }
 
 #[test]

@@ -91,7 +91,11 @@ fn run_one(label: &str, sample_count: usize, f: impl FnOnce(&mut Bencher)) {
     b.samples.sort_by(|a, c| a.partial_cmp(c).expect("finite"));
     let median = b.samples[b.samples.len() / 2];
     let best = b.samples[0];
-    println!("{label:<40} median {} best {}", fmt_ns(median), fmt_ns(best));
+    println!(
+        "{label:<40} median {} best {}",
+        fmt_ns(median),
+        fmt_ns(best)
+    );
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -204,9 +208,7 @@ mod tests {
     #[test]
     fn bencher_measures_something() {
         let mut c = Criterion::default();
-        c.bench_function("spin", |b| {
-            b.iter(|| (0..100u64).sum::<u64>())
-        });
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
     }
 
     #[test]

@@ -172,6 +172,7 @@ macro_rules! prop_assert_eq {
 
 #[cfg(test)]
 mod tests {
+    #[allow(unused_imports)]
     use crate::prelude::*;
 
     proptest! {
@@ -221,7 +222,10 @@ mod tests {
         let mut a = crate::test_runner::Runner::new("seed-test");
         let mut b = crate::test_runner::Runner::new("seed-test");
         for _ in 0..32 {
-            assert_eq!((0.0f64..1.0).sample(&mut a.rng), (0.0f64..1.0).sample(&mut b.rng));
+            assert_eq!(
+                (0.0f64..1.0).sample(&mut a.rng),
+                (0.0f64..1.0).sample(&mut b.rng)
+            );
         }
     }
 }

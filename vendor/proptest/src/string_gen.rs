@@ -284,7 +284,10 @@ mod tests {
     fn fragment_pattern_from_ahdl_tests() {
         let mut r = rng();
         for _ in 0..200 {
-            let s = generate(r"(V\(y\) <- V\(x\);|real t = 1;|if \(1\) \{\}|){0,3}", &mut r);
+            let s = generate(
+                r"(V\(y\) <- V\(x\);|real t = 1;|if \(1\) \{\}|){0,3}",
+                &mut r,
+            );
             // Concatenation of 0..=3 picks from the four branches.
             assert!(s.len() <= 3 * 13, "{s:?}");
         }

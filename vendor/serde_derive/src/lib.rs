@@ -163,9 +163,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => {
             let pairs: String = fields
                 .iter()
-                .map(|f| {
-                    format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),")
-                })
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
                 .collect();
             format!(
                 "impl serde::Serialize for {name} {{\n\

@@ -76,19 +76,35 @@ fn write_value(
         }
         Value::Str(s) => write_string(s, out),
         Value::Array(items) => {
-            write_seq(items.iter(), items.len(), '[', ']', indent, level, out, |item, out| {
-                write_value(item, indent, level + 1, out)
-            })?;
+            write_seq(
+                items.iter(),
+                items.len(),
+                '[',
+                ']',
+                indent,
+                level,
+                out,
+                |item, out| write_value(item, indent, level + 1, out),
+            )?;
         }
         Value::Object(pairs) => {
-            write_seq(pairs.iter(), pairs.len(), '{', '}', indent, level, out, |(k, val), out| {
-                write_string(k, out);
-                out.push(':');
-                if indent.is_some() {
-                    out.push(' ');
-                }
-                write_value(val, indent, level + 1, out)
-            })?;
+            write_seq(
+                pairs.iter(),
+                pairs.len(),
+                '{',
+                '}',
+                indent,
+                level,
+                out,
+                |(k, val), out| {
+                    write_string(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(val, indent, level + 1, out)
+                },
+            )?;
         }
     }
     Ok(())
