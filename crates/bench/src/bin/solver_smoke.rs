@@ -10,7 +10,7 @@
 //! itself: each suite runs with an [`InMemorySink`] installed and the
 //! per-analysis wall times, Newton iterations and factorization counts
 //! are read back out of the trace via
-//! [`summarize_top_level`](ahfic_spice::trace::summarize_top_level).
+//! [`summarize_top_level`].
 //! The final section measures the overhead of tracing into a
 //! [`NullSink`] against a fully disabled trace handle at the largest
 //! size.
@@ -24,7 +24,7 @@ use std::time::Instant;
 use ahfic_bench::standard_generator;
 use ahfic_num::interp::logspace;
 use ahfic_spice::analysis::{ac_sweep, op, tran, Options, SolverChoice, TranParams};
-use ahfic_spice::circuit::{Circuit, Prepared};
+use ahfic_spice::circuit::{Circuit, ElementKind, Prepared};
 use ahfic_spice::model::BjtModel;
 use ahfic_spice::trace::{summarize_top_level, InMemorySink, NullSink};
 use ahfic_spice::wave::SourceWave;
@@ -154,6 +154,63 @@ fn min_paired_suite_seconds(
     (best_a, best_b)
 }
 
+/// Newton-heavy Monte-Carlo load: `trials` cold operating points, each
+/// with every resistor redrawn uniformly within +/-20 % of nominal by a
+/// fixed-seed LCG (the same value sequence on every call, so paired
+/// timings compare identical work). Restores nominal values on exit.
+fn mc_op_seconds(prep: &mut Prepared, opts: &Options, trials: usize) -> f64 {
+    let nominal: Vec<(String, f64)> = prep
+        .circuit
+        .elements()
+        .iter()
+        .filter_map(|e| match e.kind {
+            ElementKind::Resistor { r, .. } => Some((e.name.clone(), r)),
+            _ => None,
+        })
+        .collect();
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let t0 = Instant::now();
+    for _ in 0..trials {
+        for (name, r) in &nominal {
+            let spread = 0.8 + 0.4 * next();
+            prep.circuit
+                .set_resistance(name, r * spread)
+                .expect("resistor exists");
+        }
+        op(prep, opts).expect("mc operating point");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    for (name, r) in &nominal {
+        prep.circuit.set_resistance(name, *r).expect("restore");
+    }
+    elapsed
+}
+
+/// Interleaved best-of-`reps` timing of the Monte-Carlo load for two
+/// option sets (same discipline as [`min_paired_suite_seconds`]).
+fn min_paired_mc_seconds(
+    prep: &mut Prepared,
+    a: &Options,
+    b: &Options,
+    trials: usize,
+    reps: usize,
+) -> (f64, f64) {
+    mc_op_seconds(prep, a, trials);
+    mc_op_seconds(prep, b, trials);
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        best_a = best_a.min(mc_op_seconds(prep, a, trials));
+        best_b = best_b.min(mc_op_seconds(prep, b, trials));
+    }
+    (best_a, best_b)
+}
+
 fn main() {
     let generator = standard_generator();
     let model = generator.generate(&"N1.2-12D".parse().expect("valid shape"));
@@ -228,17 +285,53 @@ fn main() {
         null_ms = null_s * 1e3,
     );
 
+    // Linear-stamp replay: the full suite must not regress with replay
+    // on, and the Newton-heavy Monte-Carlo load (repeated cold operating
+    // points) is where replaying the cached linear baseline pays off.
+    let replay_on = Options::new().solver(SolverChoice::Sparse);
+    let replay_off = Options::new()
+        .solver(SolverChoice::Sparse)
+        .linear_replay(false);
+    let (suite_on_s, suite_off_s) =
+        min_paired_suite_seconds(&prep, &replay_on, &replay_off, &tran_params, reps);
+    let mut prep = prep;
+    let mc_trials = 20;
+    let (mc_on_s, mc_off_s) =
+        min_paired_mc_seconds(&mut prep, &replay_on, &replay_off, mc_trials, 7);
+    println!(
+        "linear replay (36 stages, sparse): suite {on_ms:.1}ms on vs {off_ms:.1}ms off \
+         ({suite_speedup:.2}x); {mc_trials}-trial MC op {mc_on_ms:.1}ms on vs \
+         {mc_off_ms:.1}ms off ({mc_speedup:.2}x)",
+        on_ms = suite_on_s * 1e3,
+        off_ms = suite_off_s * 1e3,
+        suite_speedup = suite_off_s / suite_on_s,
+        mc_on_ms = mc_on_s * 1e3,
+        mc_off_ms = mc_off_s * 1e3,
+        mc_speedup = mc_off_s / mc_on_s,
+    );
+
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"solver_smoke\",\n  \"unit\": \"ms\",\n  \"sizes\": [\n",
             "{sizes}\n  ],\n",
             "  \"trace_overhead\": {{\"baseline_ms\": {base:.3}, \"null_sink_ms\": {null:.3}, ",
-            "\"overhead_pct\": {pct:.3}}}\n}}\n"
+            "\"overhead_pct\": {pct:.3}}},\n",
+            "  \"stamp_replay\": {{\"suite_on_ms\": {son:.3}, \"suite_off_ms\": {soff:.3}, ",
+            "\"suite_speedup\": {sx:.3},\n",
+            "                   \"mc_trials\": {mct}, \"mc_on_ms\": {mon:.3}, ",
+            "\"mc_off_ms\": {moff:.3}, \"mc_speedup\": {mx:.3}}}\n}}\n"
         ),
         sizes = json_sizes,
         base = base_s * 1e3,
         null = null_s * 1e3,
         pct = overhead_pct,
+        son = suite_on_s * 1e3,
+        soff = suite_off_s * 1e3,
+        sx = suite_off_s / suite_on_s,
+        mct = mc_trials,
+        mon = mc_on_s * 1e3,
+        moff = mc_off_s * 1e3,
+        mx = mc_off_s / mc_on_s,
     );
     std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
     println!("\nwrote BENCH_solver.json");

@@ -119,22 +119,24 @@ pub fn characterize_with(
 /// Propagates parse/simulation/measurement failures.
 pub fn characterize_distortion(bench: &CharacterizationBench, drive: f64, f0: f64) -> Result<f64> {
     use ahfic_spice::analysis::{tran, TranParams};
-    use ahfic_spice::circuit::ElementKind;
     use ahfic_spice::wave::SourceWave;
 
     let mut ckt = parse_netlist(&bench.netlist)?;
-    let idx = ckt
-        .find_element(&bench.input_source)
-        .ok_or_else(|| SpiceError::Measure(format!("no source {}", bench.input_source)))?;
-    let dc = match &ckt.elements()[idx].kind {
-        ElementKind::Vsource { wave, .. } | ElementKind::Isource { wave, .. } => wave.dc_value(),
-        _ => {
-            return Err(SpiceError::Measure(format!(
+    if ckt.find_element(&bench.input_source).is_none() {
+        return Err(SpiceError::Measure(format!(
+            "no source {}",
+            bench.input_source
+        )));
+    }
+    let dc = ckt
+        .source_wave(&bench.input_source)
+        .map(|w| w.dc_value())
+        .ok_or_else(|| {
+            SpiceError::Measure(format!(
                 "{} is not an independent source",
                 bench.input_source
-            )))
-        }
-    };
+            ))
+        })?;
     ckt.set_source_wave(
         &bench.input_source,
         SourceWave::Sin {

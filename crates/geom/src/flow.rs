@@ -23,14 +23,12 @@ pub struct GeneratedModelReport {
 /// names that parse as shape names), in first-appearance order.
 pub fn extract_shapes(ckt: &Circuit) -> Vec<(TransistorShape, usize)> {
     let mut found: Vec<(String, TransistorShape, usize)> = Vec::new();
-    for el in ckt.elements() {
-        if let ahfic_spice::circuit::ElementKind::Bjt { model, .. } = &el.kind {
-            let name = ckt.bjt_models[*model].name.clone();
-            if let Ok(shape) = name.parse::<TransistorShape>() {
-                match found.iter_mut().find(|(n, _, _)| *n == name) {
-                    Some(entry) => entry.2 += 1,
-                    None => found.push((name, shape, 1)),
-                }
+    for m in ckt.bjt_instance_models() {
+        let name = m.name.clone();
+        if let Ok(shape) = name.parse::<TransistorShape>() {
+            match found.iter_mut().find(|(n, _, _)| *n == name) {
+                Some(entry) => entry.2 += 1,
+                None => found.push((name, shape, 1)),
             }
         }
     }

@@ -2,57 +2,20 @@
 //! complex admittance system per frequency, solve.
 
 use crate::analysis::solver::{parallel_freq_map, singular_unknown, SolverWorkspace};
-use crate::analysis::stamp::{MnaSink, Options};
-use crate::circuit::{read_slot, ElementKind, Prepared, GROUND_SLOT};
-use crate::devices::bjt::eval_bjt;
-use crate::devices::diode::eval_diode;
-use crate::devices::junction::depletion;
+use crate::analysis::stamp::{MnaSink, Options, PatternProbe};
+use crate::circuit::Prepared;
+use crate::devices::{AcCtx, AcStamper};
 use crate::error::{Result, SpiceError};
 use crate::wave::AcWaveform;
 use ahfic_num::Complex;
 
-struct CSys<'m, M> {
-    mat: &'m mut M,
-    rhs: &'m mut [Complex],
-}
-
-impl<M: MnaSink<Complex>> CSys<'_, M> {
-    #[inline]
-    fn add(&mut self, r: usize, c: usize, v: Complex) {
-        if r != GROUND_SLOT && c != GROUND_SLOT {
-            self.mat.add(r, c, v);
-        }
-    }
-
-    #[inline]
-    fn rhs_add(&mut self, r: usize, v: Complex) {
-        if r != GROUND_SLOT {
-            self.rhs[r] += v;
-        }
-    }
-
-    fn admittance(&mut self, p: usize, n: usize, y: Complex) {
-        self.add(p, p, y);
-        self.add(n, n, y);
-        self.add(p, n, -y);
-        self.add(n, p, -y);
-    }
-
-    fn current(&mut self, p: usize, n: usize, i: Complex) {
-        self.rhs_add(p, -i);
-        self.rhs_add(n, i);
-    }
-
-    fn transadmittance(&mut self, p: usize, n: usize, cp: usize, cn: usize, y: Complex) {
-        self.add(p, cp, y);
-        self.add(p, cn, -y);
-        self.add(n, cp, -y);
-        self.add(n, cn, y);
-    }
-}
-
 /// Assembles the complex MNA system at angular frequency `omega`,
 /// linearized around the operating point `x_op`.
+///
+/// Every device contributes through
+/// [`crate::devices::Device::stamp_ac`]; the walk covers the linear
+/// partition first and then the nonlinear one, mirroring the real-valued
+/// assembly order so both declare identical sparsity patterns.
 pub fn assemble_ac<M: MnaSink<Complex>>(
     prep: &Prepared,
     x_op: &[f64],
@@ -63,163 +26,15 @@ pub fn assemble_ac<M: MnaSink<Complex>>(
 ) {
     mat.reset();
     rhs.fill(Complex::ZERO);
-    let mut sys = CSys { mat, rhs };
-    let jw = Complex::new(0.0, omega);
-    let re = Complex::from_re;
-
-    for (idx, el) in prep.circuit.elements().iter().enumerate() {
-        match &el.kind {
-            ElementKind::Resistor { p, n, r } => {
-                sys.admittance(prep.slot_of(*p), prep.slot_of(*n), re(1.0 / r));
-            }
-            ElementKind::Capacitor { p, n, c } => {
-                sys.admittance(prep.slot_of(*p), prep.slot_of(*n), jw * *c);
-            }
-            ElementKind::Inductor { p, n, l } => {
-                let k = prep.branch_of[idx].0.expect("inductor branch");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.add(p, k, Complex::ONE);
-                sys.add(n, k, -Complex::ONE);
-                sys.add(k, p, Complex::ONE);
-                sys.add(k, n, -Complex::ONE);
-                sys.add(k, k, -(jw * *l));
-            }
-            ElementKind::Vsource { p, n, ac, .. } => {
-                let k = prep.branch_of[idx].0.expect("vsource branch");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.add(p, k, Complex::ONE);
-                sys.add(n, k, -Complex::ONE);
-                sys.add(k, p, Complex::ONE);
-                sys.add(k, n, -Complex::ONE);
-                sys.rhs_add(k, Complex::from_polar(ac.mag, ac.phase_deg.to_radians()));
-            }
-            ElementKind::Isource { p, n, ac, .. } => {
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.current(p, n, Complex::from_polar(ac.mag, ac.phase_deg.to_radians()));
-            }
-            ElementKind::Vcvs { p, n, cp, cn, gain } => {
-                let k = prep.branch_of[idx].0.expect("vcvs branch");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                let (cp, cn) = (prep.slot_of(*cp), prep.slot_of(*cn));
-                sys.add(p, k, Complex::ONE);
-                sys.add(n, k, -Complex::ONE);
-                sys.add(k, p, Complex::ONE);
-                sys.add(k, n, -Complex::ONE);
-                sys.add(k, cp, re(-gain));
-                sys.add(k, cn, re(*gain));
-            }
-            ElementKind::Vccs { p, n, cp, cn, gm } => {
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                let (cp, cn) = (prep.slot_of(*cp), prep.slot_of(*cn));
-                sys.transadmittance(p, n, cp, cn, re(*gm));
-            }
-            ElementKind::Cccs {
-                p,
-                n,
-                vsource,
-                gain,
-            } => {
-                let j = prep.branch_slot(vsource).expect("validated");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.add(p, j, re(*gain));
-                sys.add(n, j, re(-gain));
-            }
-            ElementKind::Ccvs { p, n, vsource, r } => {
-                let k = prep.branch_of[idx].0.expect("ccvs branch");
-                let j = prep.branch_slot(vsource).expect("validated");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.add(p, k, Complex::ONE);
-                sys.add(n, k, -Complex::ONE);
-                sys.add(k, p, Complex::ONE);
-                sys.add(k, n, -Complex::ONE);
-                sys.add(k, j, re(-r));
-            }
-            ElementKind::BehavioralV {
-                p,
-                n,
-                controls,
-                func,
-            } => {
-                // Small-signal: a multi-input VCVS with gains = partial
-                // derivatives at the operating point.
-                let k = prep.branch_of[idx].0.expect("behavioral branch");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.add(p, k, Complex::ONE);
-                sys.add(n, k, -Complex::ONE);
-                sys.add(k, p, Complex::ONE);
-                sys.add(k, n, -Complex::ONE);
-                let slots: Vec<usize> = controls.iter().map(|&c| prep.slot_of(c)).collect();
-                let vc: Vec<f64> = slots.iter().map(|&s| read_slot(x_op, s)).collect();
-                for (i, &cs) in slots.iter().enumerate() {
-                    let d = func.derivative(&vc, i);
-                    sys.add(k, cs, re(-d));
-                }
-            }
-            ElementKind::Diode { p, n, .. } => {
-                let model = prep.scaled_diode[idx].as_ref().expect("scaled diode");
-                let (pa, nc) = (prep.slot_of(*p), prep.slot_of(*n));
-                let ai = prep.diode_internal[idx].unwrap_or(pa);
-                if ai != pa {
-                    sys.admittance(pa, ai, re(1.0 / model.rs));
-                }
-                let vd = read_slot(x_op, ai) - read_slot(x_op, nc);
-                let op = eval_diode(model, vd, opts.vt, opts.gmin);
-                sys.admittance(ai, nc, re(op.gd) + jw * op.cd);
-            }
-            ElementKind::Bjt { .. } => {
-                let model = prep.scaled_bjt[idx].as_ref().expect("scaled bjt");
-                let nodes = prep.bjt_nodes[idx].expect("bjt nodes");
-                let sg = model.polarity.sign();
-                let vbe = sg * (read_slot(x_op, nodes.bi) - read_slot(x_op, nodes.ei));
-                let vbc = sg * (read_slot(x_op, nodes.bi) - read_slot(x_op, nodes.ci));
-                let vcs = sg * (read_slot(x_op, nodes.s) - read_slot(x_op, nodes.ci));
-                let op = eval_bjt(model, vbe, vbc, vcs, opts.vt, opts.gmin);
-
-                if nodes.bi != nodes.b {
-                    sys.admittance(nodes.b, nodes.bi, re(1.0 / op.rbb.max(1e-3)));
-                }
-                if nodes.ci != nodes.c {
-                    sys.admittance(nodes.c, nodes.ci, re(1.0 / model.rc));
-                }
-                if nodes.ei != nodes.e {
-                    sys.admittance(nodes.e, nodes.ei, re(1.0 / model.re));
-                }
-
-                // Junction conductances + diffusion/depletion capacitances.
-                sys.admittance(nodes.bi, nodes.ei, re(op.gpi) + jw * op.cbe);
-                sys.admittance(nodes.bi, nodes.ci, re(op.gmu) + jw * op.cbc);
-                // Cross capacitance d(qbe)/d(vbc): current in b'-e' branch
-                // driven by vbc.
-                if op.cbe_bc != 0.0 {
-                    sys.transadmittance(nodes.bi, nodes.ei, nodes.bi, nodes.ci, jw * op.cbe_bc);
-                }
-                // Transport transconductances.
-                let gmf = re(op.gmf);
-                let gmr = re(op.gmr);
-                sys.add(nodes.ci, nodes.bi, gmf + gmr);
-                sys.add(nodes.ci, nodes.ei, -gmf);
-                sys.add(nodes.ci, nodes.ci, -gmr);
-                sys.add(nodes.ei, nodes.bi, -(gmf + gmr));
-                sys.add(nodes.ei, nodes.ei, gmf);
-                sys.add(nodes.ei, nodes.ci, gmr);
-                // External-base fraction of CJC.
-                let vbx = sg * (read_slot(x_op, nodes.b) - read_slot(x_op, nodes.ci));
-                let (_, cbx) = depletion(
-                    vbx,
-                    model.cjc * (1.0 - model.xcjc.clamp(0.0, 1.0)),
-                    model.vjc,
-                    model.mjc,
-                    model.fc,
-                );
-                if cbx > 0.0 {
-                    sys.admittance(nodes.b, nodes.ci, jw * cbx);
-                }
-                // Collector-substrate capacitance.
-                if op.ccs > 0.0 {
-                    sys.admittance(nodes.s, nodes.ci, jw * op.ccs);
-                }
-            }
-        }
+    let cx = AcCtx {
+        prep,
+        opts,
+        x_op,
+        omega,
+    };
+    let mut s = AcStamper::new(mat, rhs);
+    for d in prep.linear.iter().chain(&prep.nonlinear) {
+        prep.devices[*d].stamp_ac(&cx, &mut s);
     }
 }
 
@@ -246,6 +61,15 @@ pub fn ac_sweep(
     let tr = opts.trace.tracer();
     let span = tr.span("ac");
     let n = prep.num_unknowns;
+    // Device AC stamps are pattern-stable across frequency (conditional
+    // stamps key on model structure, not on omega), so one probe pass
+    // feeds every worker's symbolic analysis up front.
+    let pattern = {
+        let mut probe = PatternProbe::default();
+        let mut rhs = vec![Complex::ZERO; n];
+        assemble_ac(prep, x_op, opts, 1.0, &mut probe, &mut rhs);
+        probe.coords
+    };
     let (sols, par) = parallel_freq_map(
         n,
         opts.solver,
@@ -253,6 +77,9 @@ pub fn ac_sweep(
         freqs,
         |ws: &mut SolverWorkspace<Complex>, f| {
             let omega = 2.0 * std::f64::consts::PI * f;
+            if ws.needs_pattern() {
+                ws.preset_pattern(&pattern);
+            }
             loop {
                 assemble_ac(prep, x_op, opts, omega, &mut ws.kernel, &mut ws.rhs);
                 if !ws.finish_assembly() {

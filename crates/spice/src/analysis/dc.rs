@@ -27,19 +27,14 @@ pub fn dc_sweep(
     if values.is_empty() {
         return Err(SpiceError::BadAnalysis("empty DC sweep".into()));
     }
-    let idx = prep
+    if prep.circuit.find_element(source).is_none() {
+        return Err(SpiceError::Netlist(format!("no element named {source}")));
+    }
+    let original = prep
         .circuit
-        .find_element(source)
-        .ok_or_else(|| SpiceError::Netlist(format!("no element named {source}")))?;
-    let original = match &prep.circuit.elements()[idx].kind {
-        crate::circuit::ElementKind::Vsource { wave, .. }
-        | crate::circuit::ElementKind::Isource { wave, .. } => wave.clone(),
-        _ => {
-            return Err(SpiceError::Netlist(format!(
-                "{source} is not an independent source"
-            )))
-        }
-    };
+        .source_wave(source)
+        .cloned()
+        .ok_or_else(|| SpiceError::Netlist(format!("{source} is not an independent source")))?;
 
     let tr = opts.trace.tracer();
     let span = tr.span("dc");
@@ -132,12 +127,10 @@ mod tests {
         c.resistor("R1", a, Circuit::gnd(), 1e3);
         let mut prep = Prepared::compile(&c).unwrap();
         dc_sweep(&mut prep, &Options::default(), "V1", &[1.0, 2.0]).unwrap();
-        match &prep.circuit.elements()[0].kind {
-            crate::circuit::ElementKind::Vsource { wave, .. } => {
-                assert_eq!(*wave, SourceWave::Dc(7.0));
-            }
-            _ => panic!(),
-        }
+        assert_eq!(
+            prep.circuit.source_wave("V1").cloned(),
+            Some(SourceWave::Dc(7.0))
+        );
     }
 
     #[test]

@@ -1,25 +1,24 @@
 //! Small-signal noise analysis.
 //!
 //! Direct method: at each frequency the AC system is factored once, then
-//! every device noise generator (resistor thermal `4kT/R`, BJT collector
-//! and base shot `2qI`) is injected as a unit current source and its
-//! transfer to the output node computed; contributions add in power.
+//! every device noise generator (resistor thermal `4kT/R`, junction shot
+//! `2qI`, optional device flicker `KF·I^AF/f`) is injected as a unit
+//! current source and its transfer to the output node computed;
+//! contributions add in power.
 //!
-//! Flicker noise is not modelled (the paper's GHz-range concerns are far
-//! above any 1/f corner).
+//! Generators are enumerated by the devices themselves through
+//! [`crate::devices::Device::noise`]; this module only owns the transfer
+//! function machinery.
 
 use crate::analysis::ac::assemble_ac;
-use crate::analysis::op::bjt_operating;
 use crate::analysis::solver::{parallel_freq_map, singular_unknown, SolverWorkspace};
 use crate::analysis::stamp::Options;
-use crate::circuit::{ElementKind, NodeId, Prepared, GROUND_SLOT};
+use crate::circuit::{NodeId, Prepared, GROUND_SLOT};
+use crate::devices::{NoiseGenerator, OpCtx};
 use crate::error::{Result, SpiceError};
 use ahfic_num::Complex;
 
-/// Boltzmann constant (J/K).
-const KB: f64 = 1.380649e-23;
-/// Elementary charge (C).
-const Q: f64 = 1.602176634e-19;
+pub use crate::devices::{KB, Q};
 
 /// One device's contribution at one frequency.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,100 +49,18 @@ impl NoisePoint {
     }
 }
 
-/// A noise generator: a current source between two unknown slots with a
-/// white power spectral density (A²/Hz).
-struct Generator {
-    element: String,
-    label: &'static str,
-    p: usize,
-    n: usize,
-    psd: f64,
-}
-
-fn collect_generators(prep: &Prepared, x_op: &[f64], opts: &Options) -> Result<Vec<Generator>> {
+/// Enumerates every device's noise generators at the operating point.
+fn collect_generators(prep: &Prepared, x_op: &[f64], opts: &Options) -> Vec<NoiseGenerator> {
+    let cx = OpCtx {
+        prep,
+        opts,
+        x: x_op,
+    };
     let mut out = Vec::new();
-    let temp_k = opts.vt / (KB / Q);
-    for el in prep.circuit.elements() {
-        match &el.kind {
-            ElementKind::Resistor { p, n, r } => {
-                out.push(Generator {
-                    element: el.name.clone(),
-                    label: "thermal",
-                    p: prep.slot_of(*p),
-                    n: prep.slot_of(*n),
-                    psd: 4.0 * KB * temp_k / r,
-                });
-            }
-            ElementKind::Bjt { .. } => {
-                let q = bjt_operating(prep, x_op, opts, &el.name)?;
-                let idx = prep.circuit.find_element(&el.name).expect("element exists");
-                let nodes = prep.bjt_nodes[idx].expect("bjt nodes");
-                let model = prep.scaled_bjt[idx].as_ref().expect("scaled model");
-                // Collector shot noise between internal collector and
-                // emitter, base shot between internal base and emitter.
-                out.push(Generator {
-                    element: el.name.clone(),
-                    label: "shot-ic",
-                    p: nodes.ci,
-                    n: nodes.ei,
-                    psd: 2.0 * Q * q.ic.abs(),
-                });
-                out.push(Generator {
-                    element: el.name.clone(),
-                    label: "shot-ib",
-                    p: nodes.bi,
-                    n: nodes.ei,
-                    psd: 2.0 * Q * q.ib.abs(),
-                });
-                // Base-resistance thermal noise (bias-dependent rbb).
-                if nodes.bi != nodes.b && q.rbb > 0.0 {
-                    out.push(Generator {
-                        element: el.name.clone(),
-                        label: "thermal-rb",
-                        p: nodes.b,
-                        n: nodes.bi,
-                        psd: 4.0 * KB * temp_k / q.rbb,
-                    });
-                }
-                if nodes.ei != nodes.e && model.re > 0.0 {
-                    out.push(Generator {
-                        element: el.name.clone(),
-                        label: "thermal-re",
-                        p: nodes.e,
-                        n: nodes.ei,
-                        psd: 4.0 * KB * temp_k / model.re,
-                    });
-                }
-                if nodes.ci != nodes.c && model.rc > 0.0 {
-                    out.push(Generator {
-                        element: el.name.clone(),
-                        label: "thermal-rc",
-                        p: nodes.c,
-                        n: nodes.ci,
-                        psd: 4.0 * KB * temp_k / model.rc,
-                    });
-                }
-            }
-            ElementKind::Diode { p, n, .. } => {
-                // Shot noise of the junction current.
-                let idx = prep.circuit.find_element(&el.name).expect("element exists");
-                let ai = prep.diode_internal[idx].unwrap_or(prep.slot_of(*p));
-                let vd = crate::circuit::read_slot(x_op, ai)
-                    - crate::circuit::read_slot(x_op, prep.slot_of(*n));
-                let model = prep.scaled_diode[idx].as_ref().expect("scaled diode");
-                let dop = crate::devices::diode::eval_diode(model, vd, opts.vt, 0.0);
-                out.push(Generator {
-                    element: el.name.clone(),
-                    label: "shot-id",
-                    p: ai,
-                    n: prep.slot_of(*n),
-                    psd: 2.0 * Q * dop.id.abs(),
-                });
-            }
-            _ => {}
-        }
+    for d in prep.devices() {
+        d.noise(&cx, &mut out);
     }
-    Ok(out)
+    out
 }
 
 /// Runs a noise analysis: total and per-generator output noise density at
@@ -168,7 +85,7 @@ pub fn noise_analysis(
     }
     let tr = opts.trace.tracer();
     let span = tr.span("noise");
-    let gens = collect_generators(prep, x_op, opts)?;
+    let gens = collect_generators(prep, x_op, opts);
     let gens = &gens;
     let n = prep.num_unknowns;
     // Frequencies split across scoped worker threads; each factors its
@@ -201,7 +118,7 @@ pub fn noise_analysis(
                 }
                 let sol = ws.solve();
                 let h2 = sol[out_slot].norm_sqr();
-                let density = h2 * g.psd;
+                let density = h2 * g.psd(f);
                 total += density;
                 contributions.push(NoiseContribution {
                     element: g.element.clone(),
@@ -236,6 +153,7 @@ pub fn noise_analysis(
 mod tests {
     use super::*;
     use crate::analysis::op;
+    use crate::analysis::op::bjt_operating;
     use crate::circuit::Circuit;
     use crate::model::BjtModel;
 
@@ -329,6 +247,97 @@ mod tests {
             .contributions
             .windows(2)
             .all(|w| w[0].output_density >= w[1].output_density));
+    }
+
+    #[test]
+    fn flicker_noise_has_1_over_f_slope_and_is_off_by_default() {
+        use crate::model::DiodeModel;
+
+        let build = |kf: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let d = c.node("d");
+            c.vsource("V1", a, Circuit::gnd(), 5.0);
+            c.resistor("R1", a, d, 1e3);
+            let dm = c.add_diode_model(DiodeModel {
+                kf,
+                af: 1.0,
+                ..DiodeModel::default()
+            });
+            c.diode("D1", d, Circuit::gnd(), dm, 1.0);
+            (Prepared::compile(&c).unwrap(), d)
+        };
+
+        // KF defaults to zero: no flicker generator is emitted.
+        let (prep, out) = build(0.0);
+        let opts = Options::default();
+        let dc = op(&prep, &opts).unwrap();
+        let pts = noise_analysis(&prep, &dc.x, &opts, out, &[1.0]).unwrap();
+        assert!(pts[0]
+            .contributions
+            .iter()
+            .all(|c| c.generator != "flicker-id"));
+
+        // With KF set, the flicker contribution falls exactly as 1/f
+        // (the purely resistive transfer is frequency-flat here), while
+        // the shot contribution stays white.
+        let (prep, out) = build(1e-12);
+        let dc = op(&prep, &opts).unwrap();
+        let pts = noise_analysis(&prep, &dc.x, &opts, out, &[1.0, 10.0, 100.0]).unwrap();
+        let pick = |p: &NoisePoint, label: &str| {
+            p.contributions
+                .iter()
+                .find(|c| c.generator == label)
+                .unwrap()
+                .output_density
+        };
+        let f1 = pick(&pts[0], "flicker-id");
+        let f10 = pick(&pts[1], "flicker-id");
+        let f100 = pick(&pts[2], "flicker-id");
+        assert!(f1 > 0.0);
+        assert!((f1 / f10 - 10.0).abs() < 1e-9, "slope {}", f1 / f10);
+        assert!((f10 / f100 - 10.0).abs() < 1e-9);
+        let s1 = pick(&pts[0], "shot-id");
+        let s100 = pick(&pts[2], "shot-id");
+        assert!((s1 - s100).abs() / s1 < 1e-12, "shot noise must be white");
+    }
+
+    #[test]
+    fn bjt_flicker_attributed_to_base_current() {
+        let mut c = Circuit::new();
+        let vcc = c.node("vcc");
+        let bb = c.node("bb");
+        let b = c.node("b");
+        let col = c.node("c");
+        c.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+        // Bias through a base resistor: an ideal source directly on the
+        // base would short out the base-current noise.
+        c.vsource("VB", bb, Circuit::gnd(), 0.8);
+        c.resistor("RB", bb, b, 10e3);
+        c.resistor("RC", vcc, col, 1e3);
+        let mut m = BjtModel::named("nf");
+        m.bf = 120.0;
+        m.kf = 1e-12;
+        m.af = 1.0;
+        let mi = c.add_bjt_model(m);
+        c.bjt("Q1", col, b, Circuit::gnd(), mi, 1.0);
+        let prep = Prepared::compile(&c).unwrap();
+        let opts = Options::default();
+        let dc = op(&prep, &opts).unwrap();
+        let pts = noise_analysis(&prep, &dc.x, &opts, col, &[10.0, 100.0]).unwrap();
+        let flicker: Vec<f64> = pts
+            .iter()
+            .map(|p| {
+                p.contributions
+                    .iter()
+                    .find(|c| c.generator == "flicker-ib")
+                    .expect("flicker-ib present when KF > 0")
+                    .output_density
+            })
+            .collect();
+        // 1/f slope within the (slightly gain-shaped) transfer.
+        let ratio = flicker[0] / flicker[1];
+        assert!((ratio - 10.0).abs() / 10.0 < 0.02, "ratio {ratio}");
     }
 
     #[test]

@@ -3,10 +3,10 @@
 
 use crate::analysis::solver::{singular_unknown, SolverWorkspace};
 use crate::analysis::stamp::{
-    assemble, converged, ChargeState, MnaSink, Mode, NonlinMemory, Options,
+    converged, real_pattern, stamp_linear, stamp_nonlinear, MnaSink, Mode, NonlinMemory, Options,
 };
 use crate::circuit::Prepared;
-use crate::devices::bjt::{eval_bjt, BjtOperating};
+use crate::devices::{BjtOperating, OpCtx};
 use crate::error::{Result, SpiceError};
 use ahfic_trace::ContinuationStats;
 
@@ -24,9 +24,10 @@ pub struct OpResult {
 /// iteration loop beyond the returned solution vector.
 ///
 /// `diag_gmin` is added to every voltage-unknown diagonal (used by gmin
-/// stepping; `0.0` normally). In transient mode `new_charges` receives the
-/// charge states of the last assembly, which the caller commits once the
-/// step is accepted. Returns the solution and iteration count.
+/// stepping; `0.0` normally). With `opts.linear_replay` on, the linear
+/// partition (plus the gmin diagonal) is stamped once and replayed by
+/// `memcpy` on every subsequent iteration; only the nonlinear partition
+/// is re-stamped. Returns the solution and iteration count.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn newton_solve(
     prep: &Prepared,
@@ -36,26 +37,32 @@ pub(crate) fn newton_solve(
     x0: &[f64],
     diag_gmin: f64,
     ws: &mut SolverWorkspace<f64>,
-    mut new_charges: Option<&mut [ChargeState]>,
 ) -> Result<(Vec<f64>, usize)> {
     let mut x = x0.to_vec();
+    let replay = opts.linear_replay;
+    // The baseline depends on mode and diag_gmin, both fixed for the
+    // duration of this call but not across calls sharing the workspace.
+    ws.invalidate_checkpoint();
+    if ws.needs_pattern() {
+        let pat = real_pattern(prep, &x, opts, mode, prep.num_voltage_unknowns);
+        ws.preset_pattern(&pat);
+    }
     for iter in 1..=opts.max_newton {
         loop {
-            assemble(
-                prep,
-                &x,
-                opts,
-                mode,
-                mem,
-                &mut ws.kernel,
-                &mut ws.rhs,
-                new_charges.as_deref_mut(),
-            );
-            // Stamped even at 0.0 so the recorded sparse stamp sequence
-            // is identical across the OP strategies sharing a workspace.
-            for k in 0..prep.num_voltage_unknowns {
-                ws.kernel.add(k, k, diag_gmin);
+            if !(replay && ws.restore()) {
+                ws.kernel.reset();
+                ws.rhs.fill(0.0);
+                stamp_linear(prep, &x, opts, mode, &mut ws.kernel, &mut ws.rhs);
+                // Stamped even at 0.0 so the stamp sequence is identical
+                // across the OP strategies sharing a workspace.
+                for k in 0..prep.num_voltage_unknowns {
+                    ws.kernel.add(k, k, diag_gmin);
+                }
+                if replay {
+                    ws.checkpoint();
+                }
             }
+            stamp_nonlinear(prep, &x, opts, mode, mem, &mut ws.kernel, &mut ws.rhs);
             if !ws.finish_assembly() {
                 break;
             }
@@ -148,7 +155,7 @@ fn op_strategies(
     // 1. Plain Newton.
     let mut mem = NonlinMemory::new(prep);
     let mut total_iters = 0usize;
-    match newton_solve(prep, opts, &mode, &mut mem, start, 0.0, ws, None) {
+    match newton_solve(prep, opts, &mode, &mut mem, start, 0.0, ws) {
         Ok((x, it)) => {
             stats.newton_iterations += it as u64;
             return Ok(OpResult { x, iterations: it });
@@ -158,7 +165,7 @@ fn op_strategies(
             // stepping; gmin on the diagonal may cure floating nodes, so
             // try one damped pass before giving up.
             let mut mem = NonlinMemory::new(prep);
-            if let Ok((x, it)) = newton_solve(prep, opts, &mode, &mut mem, start, 1e-9, ws, None) {
+            if let Ok((x, it)) = newton_solve(prep, opts, &mode, &mut mem, start, 1e-9, ws) {
                 stats.newton_iterations += it as u64;
                 return Ok(OpResult { x, iterations: it });
             }
@@ -177,7 +184,7 @@ fn op_strategies(
     let mut ladder_ok = true;
     for &g in &gmin_ladder {
         stats.gmin_stages += 1;
-        match newton_solve(prep, opts, &mode, &mut mem, &x, g, ws, None) {
+        match newton_solve(prep, opts, &mode, &mut mem, &x, g, ws) {
             Ok((xs, it)) => {
                 total_iters += it;
                 stats.newton_iterations += it as u64;
@@ -208,7 +215,7 @@ fn op_strategies(
             source_scale: target,
         };
         stats.source_steps += 1;
-        match newton_solve(prep, opts, &mode, &mut mem, &x, 0.0, ws, None) {
+        match newton_solve(prep, opts, &mode, &mut mem, &x, 0.0, ws) {
             Ok((xs, it)) => {
                 total_iters += it;
                 stats.newton_iterations += it as u64;
@@ -254,16 +261,9 @@ pub fn bjt_operating(
         .circuit
         .find_element(name)
         .ok_or_else(|| SpiceError::Measure(format!("no element named {name}")))?;
-    let model = prep.scaled_bjt[idx]
-        .as_ref()
-        .ok_or_else(|| SpiceError::Measure(format!("{name} is not a BJT")))?;
-    let nodes = prep.bjt_nodes[idx].expect("bjt nodes");
-    let sg = model.polarity.sign();
-    let rd = |slot: usize| crate::circuit::read_slot(x, slot);
-    let vbe = sg * (rd(nodes.bi) - rd(nodes.ei));
-    let vbc = sg * (rd(nodes.bi) - rd(nodes.ci));
-    let vcs = sg * (rd(nodes.s) - rd(nodes.ci));
-    Ok(eval_bjt(model, vbe, vbc, vcs, opts.vt, opts.gmin))
+    prep.devices()[idx]
+        .bjt_operating(&OpCtx { prep, opts, x })
+        .ok_or_else(|| SpiceError::Measure(format!("{name} is not a BJT")))
 }
 
 #[cfg(test)]

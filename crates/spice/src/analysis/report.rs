@@ -1,9 +1,9 @@
 //! Human-readable operating-point reports (the `.op` printout of
 //! classic SPICE).
 
-use crate::analysis::op::bjt_operating;
 use crate::analysis::stamp::Options;
-use crate::circuit::{ElementKind, Prepared};
+use crate::circuit::Prepared;
+use crate::devices::OpCtx;
 use crate::units::format_value;
 use std::fmt::Write as _;
 
@@ -25,30 +25,31 @@ pub fn op_report(prep: &Prepared, x: &[f64], opts: &Options) -> String {
         }
     }
     let mut header_done = false;
-    for el in prep.circuit.elements() {
-        if let ElementKind::Bjt { .. } = el.kind {
-            if !header_done {
-                let _ = writeln!(out, "-- bipolar transistors --");
-                let _ = writeln!(
-                    out,
-                    "  {:<10} {:>10} {:>10} {:>10} {:>8} {:>10}",
-                    "name", "ic", "ib", "vbe", "beta", "ft"
-                );
-                header_done = true;
-            }
-            if let Ok(q) = bjt_operating(prep, x, opts, &el.name) {
-                let _ = writeln!(
-                    out,
-                    "  {:<10} {:>9}A {:>9}A {:>9}V {:>8.1} {:>9}Hz",
-                    el.name,
-                    format_value(q.ic),
-                    format_value(q.ib),
-                    format_value(q.vbe),
-                    q.beta_dc(),
-                    format_value(q.ft())
-                );
-            }
+    let cx = OpCtx { prep, opts, x };
+    for d in prep.devices() {
+        let Some(q) = d.bjt_operating(&cx) else {
+            continue;
+        };
+        if !header_done {
+            let _ = writeln!(out, "-- bipolar transistors --");
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>10} {:>10} {:>10} {:>8} {:>10}",
+                "name", "ic", "ib", "vbe", "beta", "ft"
+            );
+            header_done = true;
         }
+        let name = &prep.circuit.elements()[d.index()].name;
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>9}A {:>9}A {:>9}V {:>8.1} {:>9}Hz",
+            name,
+            format_value(q.ic),
+            format_value(q.ib),
+            format_value(q.vbe),
+            q.beta_dc(),
+            format_value(q.ft())
+        );
     }
     out
 }

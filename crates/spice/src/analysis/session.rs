@@ -2,9 +2,9 @@
 //! five analyses behind a single handle.
 //!
 //! [`Session`] is the coherent entry point the free functions
-//! ([`op`](crate::analysis::op()), [`dc_sweep`](crate::analysis::dc_sweep),
-//! [`ac_sweep`](crate::analysis::ac_sweep),
-//! [`noise_analysis`](crate::analysis::noise_analysis),
+//! ([`op`](crate::analysis::op()), [`dc_sweep`],
+//! [`ac_sweep`],
+//! [`noise_analysis`],
 //! [`tran`](crate::analysis::tran())) wrap: it owns the [`Prepared`]
 //! circuit and the [`Options`] — including the telemetry
 //! [`TraceHandle`](ahfic_trace::TraceHandle) — so callers configure once

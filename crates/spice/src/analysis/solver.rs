@@ -3,7 +3,7 @@
 //! timesteps, and frequency points.
 //!
 //! The workspace's kernel implements
-//! [`MnaSink`](crate::analysis::stamp::MnaSink), so the stamp assemblers
+//! [`MnaSink`], so the stamp assemblers
 //! write into it directly. The dense backend accumulates into a
 //! [`Matrix`] and refactors in place; the sparse backend records the
 //! stamp's `(row, col)` call sequence on the first assembly, compiles it
@@ -52,6 +52,8 @@ pub(crate) enum Kernel<T: Scalar> {
     Dense {
         mat: Matrix<T>,
         lu: Option<LuFactors<T>>,
+        /// Checkpointed matrix values (linear-baseline replay).
+        base: Option<Matrix<T>>,
     },
     /// Sparse backend with slot replay.
     Sparse {
@@ -70,6 +72,10 @@ pub(crate) enum Kernel<T: Scalar> {
         /// A replayed stamp disagreed with the recorded sequence.
         mismatch: bool,
         lu: Option<SparseLu<T>>,
+        /// Checkpointed CSC values (linear-baseline replay).
+        base_vals: Vec<T>,
+        /// Stamp cursor captured alongside `base_vals`.
+        base_cursor: usize,
     },
 }
 
@@ -144,6 +150,10 @@ pub struct SolverWorkspace<T: Scalar> {
     /// Right-hand side, filled by the assemblers.
     pub(crate) rhs: Vec<T>,
     x: Vec<T>,
+    /// Checkpointed right-hand side (linear-baseline replay).
+    base_rhs: Vec<T>,
+    /// Whether the checkpoint matches the current pattern and inputs.
+    base_valid: bool,
     /// Factor/solve counters. The counts are plain integer adds and are
     /// always maintained; wall times stay zero unless
     /// [`SolverWorkspace::set_timing`] enabled clock reads.
@@ -169,11 +179,14 @@ impl<T: Scalar> SolverWorkspace<T> {
                 cursor: 0,
                 mismatch: false,
                 lu: None,
+                base_vals: Vec::new(),
+                base_cursor: 0,
             }
         } else {
             Kernel::Dense {
                 mat: Matrix::zeros(n, n),
                 lu: None,
+                base: None,
             }
         };
         SolverWorkspace {
@@ -181,6 +194,8 @@ impl<T: Scalar> SolverWorkspace<T> {
             kernel,
             rhs: vec![T::ZERO; n],
             x: Vec::with_capacity(n),
+            base_rhs: vec![T::ZERO; n],
+            base_valid: false,
             stats: SolverStats::default(),
             timing: false,
         }
@@ -211,7 +226,7 @@ impl<T: Scalar> SolverWorkspace<T> {
     /// the worst case.
     pub fn finish_assembly(&mut self) -> bool {
         let n = self.n;
-        match &mut self.kernel {
+        let changed = match &mut self.kernel {
             Kernel::Dense { .. } => false,
             Kernel::Sparse {
                 recording,
@@ -222,6 +237,7 @@ impl<T: Scalar> SolverWorkspace<T> {
                 cursor,
                 mismatch,
                 lu,
+                ..
             } => {
                 if *recording {
                     let mut tb = TripletBuilder::new(n);
@@ -248,7 +264,137 @@ impl<T: Scalar> SolverWorkspace<T> {
                     false
                 }
             }
+        };
+        if changed {
+            // The checkpoint was taken against the old pattern.
+            self.base_valid = false;
         }
+        changed
+    }
+
+    /// Whether the sparse backend still needs its stamp pattern — either
+    /// recorded on a first assembly pass or handed over up front via
+    /// [`SolverWorkspace::preset_pattern`]. Always `false` for dense.
+    pub fn needs_pattern(&self) -> bool {
+        matches!(
+            self.kernel,
+            Kernel::Sparse {
+                recording: true,
+                csc: None,
+                ..
+            }
+        )
+    }
+
+    /// Installs a known stamp `(row, col)` sequence, compiling the sparse
+    /// pattern directly so the first assembly replays through value slots
+    /// instead of running a triplet-recording pass. No-op for dense.
+    pub fn preset_pattern(&mut self, pattern: &[(usize, usize)]) {
+        let n = self.n;
+        if let Kernel::Sparse {
+            recording,
+            coords,
+            slots,
+            csc,
+            cursor,
+            mismatch,
+            lu,
+            ..
+        } = &mut self.kernel
+        {
+            let mut tb = TripletBuilder::new(n);
+            for &(r, c) in pattern {
+                tb.add(r, c);
+            }
+            let (m, sl) = tb.compile::<T>();
+            coords.clear();
+            coords.extend_from_slice(pattern);
+            *slots = sl;
+            *csc = Some(m);
+            *recording = false;
+            *cursor = 0;
+            *mismatch = false;
+            *lu = None;
+            self.base_valid = false;
+        }
+    }
+
+    /// Snapshots the current matrix values and right-hand side as the
+    /// linear baseline. During a sparse recording pass there is nothing
+    /// to snapshot yet, so the checkpoint is marked invalid and the next
+    /// full assembly re-establishes it.
+    pub fn checkpoint(&mut self) {
+        match &mut self.kernel {
+            Kernel::Dense { mat, base, .. } => {
+                match base {
+                    Some(b) => b.as_mut_slice().copy_from_slice(mat.as_slice()),
+                    None => *base = Some(mat.clone()),
+                }
+                self.base_rhs.copy_from_slice(&self.rhs);
+                self.base_valid = true;
+            }
+            Kernel::Sparse {
+                recording,
+                csc,
+                cursor,
+                base_vals,
+                base_cursor,
+                ..
+            } => {
+                if *recording {
+                    self.base_valid = false;
+                    return;
+                }
+                let m = csc.as_mut().expect("compiled pattern");
+                base_vals.clear();
+                base_vals.extend_from_slice(m.values_mut());
+                *base_cursor = *cursor;
+                self.base_rhs.copy_from_slice(&self.rhs);
+                self.base_valid = true;
+            }
+        }
+    }
+
+    /// Rewinds matrix and right-hand side to the last
+    /// [`SolverWorkspace::checkpoint`]. Returns `false` (and touches
+    /// nothing) when no valid checkpoint exists — the caller must then
+    /// assemble the baseline in full.
+    pub fn restore(&mut self) -> bool {
+        if !self.base_valid {
+            return false;
+        }
+        match &mut self.kernel {
+            Kernel::Dense { mat, base, .. } => {
+                let b = base.as_ref().expect("valid checkpoint has a base");
+                mat.as_mut_slice().copy_from_slice(b.as_slice());
+            }
+            Kernel::Sparse {
+                recording,
+                csc,
+                cursor,
+                mismatch,
+                base_vals,
+                base_cursor,
+                ..
+            } => {
+                if *recording {
+                    return false;
+                }
+                let m = csc.as_mut().expect("compiled pattern");
+                m.values_mut().copy_from_slice(base_vals);
+                *cursor = *base_cursor;
+                *mismatch = false;
+            }
+        }
+        self.rhs.copy_from_slice(&self.base_rhs);
+        true
+    }
+
+    /// Drops the linear-baseline checkpoint. Call whenever the inputs
+    /// the baseline was stamped from (source values, mode, timestep) may
+    /// have changed.
+    pub fn invalidate_checkpoint(&mut self) {
+        self.base_valid = false;
     }
 
     /// Factors the assembled matrix, reusing prior symbolic work and
@@ -260,7 +406,7 @@ impl<T: Scalar> SolverWorkspace<T> {
     /// # Errors
     ///
     /// Returns [`SingularMatrixError`] when the matrix is singular to
-    /// working precision (map with [`singular_unknown`] for reporting).
+    /// working precision (map with `singular_unknown` for reporting).
     pub fn factor(&mut self) -> Result<(), SingularMatrixError> {
         self.stats.factorizations += 1;
         let started = if self.timing {
@@ -269,7 +415,7 @@ impl<T: Scalar> SolverWorkspace<T> {
             None
         };
         let result = match &mut self.kernel {
-            Kernel::Dense { mat, lu } => match lu {
+            Kernel::Dense { mat, lu, .. } => match lu {
                 Some(f) => f.refactor_from(mat),
                 None => {
                     *lu = Some(LuFactors::factor(mat.clone())?);
@@ -526,6 +672,60 @@ mod tests {
         match err {
             Err(SpiceError::Measure(m)) => assert_eq!(m, "boom 5"),
             other => panic!("expected first error, got {other:?}"),
+        }
+    }
+
+    /// Checkpoint/restore rewinds matrix and rhs to the linear baseline,
+    /// and `preset_pattern` skips the sparse recording pass entirely.
+    #[test]
+    fn checkpoint_restore_replays_baseline() {
+        // (choice, preset): the sparse backend is exercised both with a
+        // declared pattern and with first-pass recording.
+        for (choice, preset) in [
+            (SolverChoice::Dense, false),
+            (SolverChoice::Sparse, true),
+            (SolverChoice::Sparse, false),
+        ] {
+            let mut ws: SolverWorkspace<f64> = SolverWorkspace::new(2, choice);
+            if preset {
+                assert!(ws.needs_pattern());
+                ws.preset_pattern(&[(0, 0), (0, 1), (1, 0), (1, 1), (1, 1)]);
+                assert!(!ws.needs_pattern());
+            }
+            assert!(!ws.restore(), "no checkpoint yet");
+            for round in 0..3 {
+                let g = 1.0 + round as f64; // stands in for the nonlinear part
+                loop {
+                    if !ws.restore() {
+                        ws.kernel.reset();
+                        ws.kernel.add(0, 0, 2.0);
+                        ws.kernel.add(0, 1, -1.0);
+                        ws.kernel.add(1, 0, -1.0);
+                        ws.kernel.add(1, 1, 1.0);
+                        ws.rhs.copy_from_slice(&[1.0, 0.0]);
+                        ws.checkpoint();
+                    }
+                    ws.kernel.add(1, 1, g);
+                    ws.rhs[1] += g;
+                    if !ws.finish_assembly() {
+                        break;
+                    }
+                }
+                ws.factor().unwrap();
+                let x = ws.solve().to_vec();
+                let a = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 1.0 + g]]);
+                let expect = ahfic_num::lu::solve(a, &[1.0, g]).unwrap();
+                for k in 0..2 {
+                    assert!(
+                        (x[k] - expect[k]).abs() < 1e-12,
+                        "{choice:?} preset={preset} round {round}: {} vs {}",
+                        x[k],
+                        expect[k]
+                    );
+                }
+            }
+            ws.invalidate_checkpoint();
+            assert!(!ws.restore(), "invalidated checkpoint must not restore");
         }
     }
 

@@ -1,18 +1,19 @@
 //! MNA assembly shared by the operating-point, DC-sweep and transient
 //! engines.
 //!
-//! The assembler walks the element list and stamps the linearized
-//! companion of every device into a dense real matrix/RHS pair. Nonlinear
-//! devices (diode, BJT) are linearized at the candidate solution with
-//! SPICE-style junction-voltage limiting; charge-storage elements get
-//! trapezoidal companion models in transient mode.
+//! Assembly walks the compiled device list (see [`crate::devices`]): the
+//! **linear** partition is stamped by [`stamp_linear`] (cacheable — its
+//! stamps never depend on the solution vector), the **nonlinear**
+//! partition by [`stamp_nonlinear`] (re-evaluated at every candidate
+//! solution with SPICE-style junction-voltage limiting). [`assemble`]
+//! runs both back to back; the Newton loop splits them so the linear
+//! baseline is replayed by `memcpy` instead of re-stamped.
+//! `real_pattern` runs the same walk through a `PatternProbe` to
+//! declare the sparsity pattern to the solver up front.
 
 use crate::analysis::solver::SolverChoice;
-use crate::circuit::{read_slot, ElementKind, Prepared, GROUND_SLOT};
-use crate::devices::bjt::eval_bjt;
-use crate::devices::diode::eval_diode;
-use crate::devices::junction::{depletion, pnjlim, vcrit};
-use crate::wave::SourceWave;
+use crate::circuit::Prepared;
+use crate::devices::{RealCtx, RealStamper};
 use ahfic_num::{Matrix, Scalar};
 use ahfic_trace::{TraceHandle, TraceSink};
 use std::sync::Arc;
@@ -45,6 +46,11 @@ pub struct Options {
     pub vt: f64,
     /// Linear-solver backend (dense LU vs sparse LU with pattern reuse).
     pub solver: SolverChoice,
+    /// Cache the linear-device stamps once per Newton solve and replay
+    /// them by `memcpy` each iteration (on by default). Off forces a
+    /// full re-stamp every iteration; both paths produce bit-identical
+    /// results because the stamp order is unchanged.
+    pub linear_replay: bool,
     /// Telemetry destination; [`TraceHandle::off`] (the default) makes
     /// every instrumentation point a single not-taken branch.
     pub trace: TraceHandle,
@@ -60,6 +66,7 @@ impl Default for Options {
             max_newton: 100,
             vt: crate::devices::junction::VT_300K,
             solver: SolverChoice::Auto,
+            linear_replay: true,
             trace: TraceHandle::off(),
         }
     }
@@ -71,7 +78,7 @@ impl Default for Options {
 /// trait, so the same stamping code fills either a dense [`Matrix`] or the
 /// sparse slot-replay workspace of
 /// [`crate::analysis::solver::SolverWorkspace`]. Callers guarantee indices
-/// are in range and not [`GROUND_SLOT`].
+/// are in range and not [`crate::circuit::GROUND_SLOT`].
 pub trait MnaSink<T: Scalar> {
     /// Zeroes every value, keeping structure and allocations.
     fn reset(&mut self);
@@ -87,6 +94,26 @@ impl<T: Scalar> MnaSink<T> for Matrix<T> {
     #[inline]
     fn add(&mut self, r: usize, c: usize, v: T) {
         self.add_at(r, c, v);
+    }
+}
+
+/// Records the coordinate sequence of an assembly pass without storing
+/// values: feeds the declared MNA pattern to the sparse solver's
+/// symbolic analysis before the first numeric assembly.
+#[derive(Default)]
+pub(crate) struct PatternProbe {
+    /// `(row, col)` of every stamp, in stamp order.
+    pub coords: Vec<(usize, usize)>,
+}
+
+impl<T: Scalar> MnaSink<T> for PatternProbe {
+    fn reset(&mut self) {
+        self.coords.clear();
+    }
+
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, _v: T) {
+        self.coords.push((r, c));
     }
 }
 
@@ -154,6 +181,13 @@ impl Options {
         self
     }
 
+    /// Enables or disables the linear-stamp replay cache in the Newton
+    /// loop.
+    pub fn linear_replay(mut self, on: bool) -> Self {
+        self.linear_replay = on;
+        self
+    }
+
     /// Routes telemetry to `sink` (shared ownership).
     pub fn trace<S: TraceSink + 'static>(mut self, sink: &Arc<S>) -> Self {
         self.trace = TraceHandle::new(sink);
@@ -186,19 +220,15 @@ pub struct ChargeBank {
 }
 
 impl ChargeBank {
-    /// Allocates zeroed charge slots for every storage element.
+    /// Allocates zeroed charge slots for every storage device, as
+    /// declared by [`crate::devices::Device::charge_slots`].
     pub fn new(prep: &Prepared) -> Self {
         let mut base = vec![usize::MAX; prep.circuit.elements().len()];
         let mut next = 0usize;
-        for (idx, el) in prep.circuit.elements().iter().enumerate() {
-            let n = match el.kind {
-                ElementKind::Capacitor { .. } => 1,
-                ElementKind::Diode { .. } => 1,
-                ElementKind::Bjt { .. } => 4,
-                _ => 0,
-            };
+        for d in prep.devices() {
+            let n = d.charge_slots();
             if n > 0 {
-                base[idx] = next;
+                base[d.index()] = next;
                 next += n;
             }
         }
@@ -257,64 +287,63 @@ pub enum Mode<'a> {
     },
 }
 
-struct Sys<'m, M> {
-    mat: &'m mut M,
-    rhs: &'m mut [f64],
-}
-
-impl<M: MnaSink<f64>> Sys<'_, M> {
-    #[inline]
-    fn add(&mut self, r: usize, c: usize, v: f64) {
-        if r != GROUND_SLOT && c != GROUND_SLOT {
-            self.mat.add(r, c, v);
-        }
-    }
-
-    #[inline]
-    fn rhs_add(&mut self, r: usize, v: f64) {
-        if r != GROUND_SLOT {
-            self.rhs[r] += v;
-        }
-    }
-
-    /// Conductance `g` between unknowns `p` and `n`.
-    fn conductance(&mut self, p: usize, n: usize, g: f64) {
-        self.add(p, p, g);
-        self.add(n, n, g);
-        self.add(p, n, -g);
-        self.add(n, p, -g);
-    }
-
-    /// Constant current `i` flowing from `p` to `n` (through the element).
-    fn current(&mut self, p: usize, n: usize, i: f64) {
-        self.rhs_add(p, -i);
-        self.rhs_add(n, i);
-    }
-
-    /// Current `g * (v(cp) - v(cn))` flowing from `p` to `n`.
-    fn transadmittance(&mut self, p: usize, n: usize, cp: usize, cn: usize, g: f64) {
-        self.add(p, cp, g);
-        self.add(p, cn, -g);
-        self.add(n, cp, -g);
-        self.add(n, cn, g);
+/// Stamps the linear device partition. These stamps depend on `mode`
+/// (source values, companion coefficients) but never on `x`, so within
+/// one Newton solve the result is a constant baseline.
+pub fn stamp_linear<M: MnaSink<f64>>(
+    prep: &Prepared,
+    x: &[f64],
+    opts: &Options,
+    mode: &Mode,
+    mat: &mut M,
+    rhs: &mut [f64],
+) {
+    let cx = RealCtx {
+        prep,
+        opts,
+        mode,
+        x,
+    };
+    let mut mem_unused = NonlinMemory {
+        bjt: Vec::new(),
+        diode: Vec::new(),
+        limited: false,
+    };
+    let mut s = RealStamper::new(mat, rhs);
+    for &i in &prep.linear {
+        prep.devices[i].stamp_real(&cx, &mut mem_unused, &mut s);
     }
 }
 
-fn source_value(wave: &SourceWave, mode: &Mode) -> f64 {
-    match mode {
-        Mode::Dc { source_scale } => wave.dc_value() * source_scale,
-        Mode::Tran { time, .. } => wave.eval(*time),
+/// Stamps the nonlinear device partition, linearized at `x`. Resets and
+/// updates `mem.limited`.
+pub fn stamp_nonlinear<M: MnaSink<f64>>(
+    prep: &Prepared,
+    x: &[f64],
+    opts: &Options,
+    mode: &Mode,
+    mem: &mut NonlinMemory,
+    mat: &mut M,
+    rhs: &mut [f64],
+) {
+    mem.limited = false;
+    let cx = RealCtx {
+        prep,
+        opts,
+        mode,
+        x,
+    };
+    let mut s = RealStamper::new(mat, rhs);
+    for &i in &prep.nonlinear {
+        prep.devices[i].stamp_real(&cx, mem, &mut s);
     }
 }
 
-/// Assembles the linearized MNA system at candidate solution `x`.
+/// Assembles the full linearized MNA system at candidate solution `x`:
+/// reset, linear partition, then nonlinear partition.
 ///
 /// `mem` carries junction-limiting memory between Newton iterations and
-/// reports whether limiting fired. In transient mode `new_charges` (when
-/// provided, sized like `bank.states`) receives the charge/current pair of
-/// every storage element evaluated at `x`, which the engine commits once
-/// the step is accepted.
-#[allow(clippy::too_many_arguments)]
+/// reports whether limiting fired.
 pub fn assemble<M: MnaSink<f64>>(
     prep: &Prepared,
     x: &[f64],
@@ -323,276 +352,66 @@ pub fn assemble<M: MnaSink<f64>>(
     mem: &mut NonlinMemory,
     mat: &mut M,
     rhs: &mut [f64],
-    mut new_charges: Option<&mut [ChargeState]>,
 ) {
     mat.reset();
     rhs.fill(0.0);
-    mem.limited = false;
-    let mut sys = Sys { mat, rhs };
-    let gmin = opts.gmin;
-    let vt = opts.vt;
+    stamp_linear(prep, x, opts, mode, mat, rhs);
+    stamp_nonlinear(prep, x, opts, mode, mem, mat, rhs);
+}
 
-    for (idx, el) in prep.circuit.elements().iter().enumerate() {
-        match &el.kind {
-            ElementKind::Resistor { p, n, r } => {
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.conductance(p, n, 1.0 / r);
-            }
-            ElementKind::Capacitor { p, n, c } => {
-                if let Mode::Tran { a, bank, .. } = mode {
-                    let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                    let v = read_slot(x, p) - read_slot(x, n);
-                    let st = bank.states[bank.base[idx]];
-                    let q = c * v;
-                    let i = a * (q - st.q) - st.i;
-                    let geq = a * c;
-                    sys.conductance(p, n, geq);
-                    sys.current(p, n, i - geq * v);
-                    if let Some(nc) = new_charges.as_deref_mut() {
-                        nc[bank.base[idx]] = ChargeState { q, i };
-                    }
-                }
-            }
-            ElementKind::Inductor { p, n, l } => {
-                let k = prep.branch_of[idx].0.expect("inductor branch");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.add(p, k, 1.0);
-                sys.add(n, k, -1.0);
-                sys.add(k, p, 1.0);
-                sys.add(k, n, -1.0);
-                match mode {
-                    Mode::Dc { .. } => {
-                        // Short: v(p) - v(n) = 0 (plus a tiny series
-                        // resistance to avoid singular source loops).
-                        sys.add(k, k, -1e-9);
-                    }
-                    Mode::Tran { a, x_prev, .. } => {
-                        // v = L di/dt, trapezoidal companion.
-                        let i_prev = x_prev[k];
-                        let v_prev = read_slot(x_prev, p) - read_slot(x_prev, n);
-                        sys.add(k, k, -l * a);
-                        let correction = if *a == 0.0 {
-                            0.0
-                        } else {
-                            -(l * a * i_prev + v_prev)
-                        };
-                        sys.rhs_add(k, correction);
-                    }
-                }
-            }
-            ElementKind::Vsource { p, n, wave, .. } => {
-                let k = prep.branch_of[idx].0.expect("vsource branch");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.add(p, k, 1.0);
-                sys.add(n, k, -1.0);
-                sys.add(k, p, 1.0);
-                sys.add(k, n, -1.0);
-                sys.rhs_add(k, source_value(wave, mode));
-            }
-            ElementKind::Isource { p, n, wave, .. } => {
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.current(p, n, source_value(wave, mode));
-            }
-            ElementKind::Vcvs { p, n, cp, cn, gain } => {
-                let k = prep.branch_of[idx].0.expect("vcvs branch");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                let (cp, cn) = (prep.slot_of(*cp), prep.slot_of(*cn));
-                sys.add(p, k, 1.0);
-                sys.add(n, k, -1.0);
-                sys.add(k, p, 1.0);
-                sys.add(k, n, -1.0);
-                sys.add(k, cp, -gain);
-                sys.add(k, cn, *gain);
-            }
-            ElementKind::Vccs { p, n, cp, cn, gm } => {
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                let (cp, cn) = (prep.slot_of(*cp), prep.slot_of(*cn));
-                sys.transadmittance(p, n, cp, cn, *gm);
-            }
-            ElementKind::Cccs {
-                p,
-                n,
-                vsource,
-                gain,
-            } => {
-                let j = prep
-                    .branch_slot(vsource)
-                    .expect("validated at compile time");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.add(p, j, *gain);
-                sys.add(n, j, -gain);
-            }
-            ElementKind::Ccvs { p, n, vsource, r } => {
-                let k = prep.branch_of[idx].0.expect("ccvs branch");
-                let j = prep
-                    .branch_slot(vsource)
-                    .expect("validated at compile time");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.add(p, k, 1.0);
-                sys.add(n, k, -1.0);
-                sys.add(k, p, 1.0);
-                sys.add(k, n, -1.0);
-                sys.add(k, j, -r);
-            }
-            ElementKind::BehavioralV {
-                p,
-                n,
-                controls,
-                func,
-            } => {
-                let k = prep.branch_of[idx].0.expect("behavioral branch");
-                let (p, n) = (prep.slot_of(*p), prep.slot_of(*n));
-                sys.add(p, k, 1.0);
-                sys.add(n, k, -1.0);
-                sys.add(k, p, 1.0);
-                sys.add(k, n, -1.0);
-                let slots: Vec<usize> = controls.iter().map(|&c| prep.slot_of(c)).collect();
-                let vc: Vec<f64> = slots.iter().map(|&s| read_slot(x, s)).collect();
-                let f0 = func.eval(&vc);
-                let mut rhs_val = f0;
-                for (i, &cs) in slots.iter().enumerate() {
-                    let d = func.derivative(&vc, i);
-                    sys.add(k, cs, -d);
-                    rhs_val -= d * vc[i];
-                }
-                sys.rhs_add(k, rhs_val);
-            }
-            ElementKind::Diode { p, n, .. } => {
-                let model = prep.scaled_diode[idx].as_ref().expect("scaled diode");
-                let (pa, nc) = (prep.slot_of(*p), prep.slot_of(*n));
-                let ai = prep.diode_internal[idx].unwrap_or(pa);
-                if ai != pa {
-                    sys.conductance(pa, ai, 1.0 / model.rs);
-                }
-                let vd_raw = read_slot(x, ai) - read_slot(x, nc);
-                let nvt = model.n * vt;
-                let vc = vcrit(model.is_, nvt);
-                let vd = pnjlim(vd_raw, mem.diode[idx], nvt, vc);
-                if (vd - vd_raw).abs() > 1e-15 {
-                    mem.limited = true;
-                }
-                mem.diode[idx] = vd;
-                let op = eval_diode(model, vd, vt, gmin);
-                sys.conductance(ai, nc, op.gd);
-                sys.current(ai, nc, op.id - op.gd * vd);
-                if let Mode::Tran { a, bank, .. } = mode {
-                    let st = bank.states[bank.base[idx]];
-                    let i = a * (op.qd - st.q) - st.i;
-                    let geq = a * op.cd;
-                    sys.conductance(ai, nc, geq);
-                    sys.current(ai, nc, i - geq * vd);
-                    if let Some(ncs) = new_charges.as_deref_mut() {
-                        ncs[bank.base[idx]] = ChargeState { q: op.qd, i };
-                    }
-                }
-            }
-            ElementKind::Bjt { .. } => {
-                let model = prep.scaled_bjt[idx].as_ref().expect("scaled bjt");
-                let nodes = prep.bjt_nodes[idx].expect("bjt nodes");
-                let sg = model.polarity.sign();
-                let vbe_raw = sg * (read_slot(x, nodes.bi) - read_slot(x, nodes.ei));
-                let vbc_raw = sg * (read_slot(x, nodes.bi) - read_slot(x, nodes.ci));
-                let vcs = sg * (read_slot(x, nodes.s) - read_slot(x, nodes.ci));
-                let nfvt = model.nf * vt;
-                let nrvt = model.nr * vt;
-                let (vbe_old, vbc_old) = mem.bjt[idx];
-                let vbe = pnjlim(vbe_raw, vbe_old, nfvt, vcrit(model.is_, nfvt));
-                let vbc = pnjlim(vbc_raw, vbc_old, nrvt, vcrit(model.is_, nrvt));
-                if (vbe - vbe_raw).abs() > 1e-15 || (vbc - vbc_raw).abs() > 1e-15 {
-                    mem.limited = true;
-                }
-                mem.bjt[idx] = (vbe, vbc);
-                let op = eval_bjt(model, vbe, vbc, vcs, vt, gmin);
+/// Runs the Newton full-pass stamp sequence (linear partition, one
+/// diagonal gmin slot per voltage row, nonlinear partition) through a
+/// probe and returns the coordinate list, ready for
+/// [`crate::analysis::solver::SolverWorkspace::preset_pattern`].
+///
+/// Uses scratch junction memory so probing never disturbs the real
+/// Newton limiting state.
+pub(crate) fn real_pattern(
+    prep: &Prepared,
+    x: &[f64],
+    opts: &Options,
+    mode: &Mode,
+    diag_rows: usize,
+) -> Vec<(usize, usize)> {
+    let mut probe = PatternProbe::default();
+    let mut rhs = vec![0.0; prep.num_unknowns];
+    let mut mem = NonlinMemory::new(prep);
+    stamp_linear(prep, x, opts, mode, &mut probe, &mut rhs);
+    for k in 0..diag_rows {
+        MnaSink::<f64>::add(&mut probe, k, k, 0.0);
+    }
+    rhs.fill(0.0);
+    stamp_nonlinear(prep, x, opts, mode, &mut mem, &mut probe, &mut rhs);
+    probe.coords
+}
 
-                // Parasitic resistances external->internal.
-                if nodes.bi != nodes.b {
-                    sys.conductance(nodes.b, nodes.bi, 1.0 / op.rbb.max(1e-3));
-                }
-                if nodes.ci != nodes.c {
-                    sys.conductance(nodes.c, nodes.ci, 1.0 / model.rc);
-                }
-                if nodes.ei != nodes.e {
-                    sys.conductance(nodes.e, nodes.ei, 1.0 / model.re);
-                }
-
-                // Base-emitter diode.
-                sys.conductance(nodes.bi, nodes.ei, op.gpi);
-                sys.current(nodes.bi, nodes.ei, sg * (op.ibe - op.gpi * vbe));
-                // Base-collector diode.
-                sys.conductance(nodes.bi, nodes.ci, op.gmu);
-                sys.current(nodes.bi, nodes.ci, sg * (op.ibc - op.gmu * vbc));
-                // Transport current ci -> ei with two controlling voltages.
-                let (gmf, gmr) = (op.gmf, op.gmr);
-                sys.add(nodes.ci, nodes.bi, gmf + gmr);
-                sys.add(nodes.ci, nodes.ei, -gmf);
-                sys.add(nodes.ci, nodes.ci, -gmr);
-                sys.add(nodes.ei, nodes.bi, -(gmf + gmr));
-                sys.add(nodes.ei, nodes.ei, gmf);
-                sys.add(nodes.ei, nodes.ci, gmr);
-                sys.current(nodes.ci, nodes.ei, sg * (op.it - gmf * vbe - gmr * vbc));
-
-                if let Mode::Tran { a, bank, .. } = mode {
-                    let b0 = bank.base[idx];
-                    // qbe between bi-ei, controlled by vbe and (weakly) vbc.
-                    {
-                        let st = bank.states[b0];
-                        let i = a * (op.qbe - st.q) - st.i;
-                        let (gbe, gx) = (a * op.cbe, a * op.cbe_bc);
-                        sys.add(nodes.bi, nodes.bi, gbe + gx);
-                        sys.add(nodes.bi, nodes.ei, -gbe);
-                        sys.add(nodes.bi, nodes.ci, -gx);
-                        sys.add(nodes.ei, nodes.bi, -(gbe + gx));
-                        sys.add(nodes.ei, nodes.ei, gbe);
-                        sys.add(nodes.ei, nodes.ci, gx);
-                        sys.current(nodes.bi, nodes.ei, sg * (i - gbe * vbe - gx * vbc));
-                        if let Some(ncs) = new_charges.as_deref_mut() {
-                            ncs[b0] = ChargeState { q: op.qbe, i };
-                        }
-                    }
-                    // qbc between bi-ci.
-                    {
-                        let st = bank.states[b0 + 1];
-                        let i = a * (op.qbc - st.q) - st.i;
-                        let geq = a * op.cbc;
-                        sys.conductance(nodes.bi, nodes.ci, geq);
-                        sys.current(nodes.bi, nodes.ci, sg * (i - geq * vbc));
-                        if let Some(ncs) = new_charges.as_deref_mut() {
-                            ncs[b0 + 1] = ChargeState { q: op.qbc, i };
-                        }
-                    }
-                    // qbx: external-base fraction of CJC between b and ci.
-                    {
-                        let vbx = sg * (read_slot(x, nodes.b) - read_slot(x, nodes.ci));
-                        let (qbx, cbx) = depletion(
-                            vbx,
-                            model.cjc * (1.0 - model.xcjc.clamp(0.0, 1.0)),
-                            model.vjc,
-                            model.mjc,
-                            model.fc,
-                        );
-                        let st = bank.states[b0 + 2];
-                        let i = a * (qbx - st.q) - st.i;
-                        let geq = a * cbx;
-                        sys.conductance(nodes.b, nodes.ci, geq);
-                        sys.current(nodes.b, nodes.ci, sg * (i - geq * vbx));
-                        if let Some(ncs) = new_charges.as_deref_mut() {
-                            ncs[b0 + 2] = ChargeState { q: qbx, i };
-                        }
-                    }
-                    // qcs between s and ci.
-                    {
-                        let st = bank.states[b0 + 3];
-                        let i = a * (op.qcs - st.q) - st.i;
-                        let geq = a * op.ccs;
-                        sys.conductance(nodes.s, nodes.ci, geq);
-                        sys.current(nodes.s, nodes.ci, sg * (i - geq * vcs));
-                        if let Some(ncs) = new_charges.as_deref_mut() {
-                            ncs[b0 + 3] = ChargeState { q: op.qcs, i };
-                        }
-                    }
-                }
-            }
+/// Recomputes every storage device's charge state at solution `x` into
+/// `states` (sized like the bank's state vector). No matrix assembly
+/// happens; this is how the transient engine initializes charges and
+/// commits them after an accepted step.
+pub fn update_all_charges(
+    prep: &Prepared,
+    x: &[f64],
+    opts: &Options,
+    mode: &Mode,
+    states: &mut [ChargeState],
+) {
+    let Mode::Tran { bank, .. } = mode else {
+        return;
+    };
+    let cx = RealCtx {
+        prep,
+        opts,
+        mode,
+        x,
+    };
+    for d in prep.devices() {
+        let n = d.charge_slots();
+        if n == 0 {
+            continue;
         }
+        let b = bank.base[d.index()];
+        d.update_charges(&cx, &mut states[b..b + n]);
     }
 }
 
@@ -635,7 +454,6 @@ mod tests {
             &mut mem,
             &mut mat,
             &mut rhs,
-            None,
         );
         let sol = lu::solve(mat, &rhs).unwrap();
         (prep, sol)
@@ -764,5 +582,28 @@ mod tests {
         let opts = Options::default();
         assert!(converged(&prep, &[1.0], &[1.0 + 1e-7], &opts));
         assert!(!converged(&prep, &[1.0], &[1.01], &opts));
+    }
+
+    #[test]
+    fn pattern_probe_matches_assembly_coords() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), 1.0);
+        c.resistor("R1", a, b, 1e3);
+        c.resistor("R2", b, Circuit::gnd(), 1e3);
+        let prep = Prepared::compile(&c).unwrap();
+        let opts = Options::default();
+        let mode = Mode::Dc { source_scale: 1.0 };
+        let x = vec![0.0; prep.num_unknowns];
+        let pat = real_pattern(&prep, &x, &opts, &mode, prep.num_voltage_unknowns);
+        // Two resistors (4 stamps each, minus ground drops), one source
+        // (4 branch stamps minus ground drops), plus one diagonal slot
+        // per voltage row.
+        assert!(pat.len() >= prep.num_unknowns);
+        assert!(pat.contains(&(0, 0)));
+        for &(r, c) in &pat {
+            assert!(r < prep.num_unknowns && c < prep.num_unknowns);
+        }
     }
 }

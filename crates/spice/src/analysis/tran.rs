@@ -3,8 +3,8 @@
 
 use crate::analysis::op::{newton_solve, op};
 use crate::analysis::solver::SolverWorkspace;
-use crate::analysis::stamp::{assemble, ChargeBank, MnaSink, Mode, NonlinMemory, Options};
-use crate::circuit::{ElementKind, Prepared};
+use crate::analysis::stamp::{update_all_charges, ChargeBank, Mode, NonlinMemory, Options};
+use crate::circuit::Prepared;
 use crate::error::{Result, SpiceError};
 use crate::wave::Waveform;
 use ahfic_trace::TranStats;
@@ -97,43 +97,17 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
             bank: &bank,
             x_prev: &x,
         };
-        loop {
-            assemble(
-                prep,
-                &x,
-                opts,
-                &mode,
-                &mut mem,
-                &mut ws.kernel,
-                &mut ws.rhs,
-                Some(&mut fresh),
-            );
-            // Match the Newton loop's diagonal-gmin stamps (value 0 here)
-            // so the recorded sparse pattern covers both sequences.
-            for k in 0..prep.num_voltage_unknowns {
-                ws.kernel.add(k, k, 0.0);
-            }
-            if !ws.finish_assembly() {
-                break;
-            }
-        }
+        update_all_charges(prep, &x, opts, &mode, &mut fresh);
         bank.states = fresh;
     }
 
-    // Source breakpoints.
-    let mut breakpoints: Vec<f64> = prep
-        .circuit
-        .elements()
-        .iter()
-        .filter_map(|el| match &el.kind {
-            ElementKind::Vsource { wave, .. } | ElementKind::Isource { wave, .. } => {
-                Some(wave.breakpoints(params.t_stop))
-            }
-            _ => None,
-        })
-        .flatten()
-        .filter(|&t| t > 0.0)
-        .collect();
+    // Breakpoints declared by the devices themselves (independent
+    // sources report their waveform corners).
+    let mut breakpoints: Vec<f64> = Vec::new();
+    for d in prep.devices() {
+        d.breakpoints(&prep.circuit, params.t_stop, &mut breakpoints);
+    }
+    breakpoints.retain(|&t| t > 0.0);
     breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
     // Merge tolerance relative to the simulated span: an absolute 1e-15
     // would treat distinct nanosecond-scale breakpoints of a long run as
@@ -193,22 +167,13 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
             bank: &bank,
             x_prev: &x_prev,
         };
-        match newton_solve(
-            prep,
-            opts,
-            &mode,
-            &mut mem,
-            &x_prev,
-            0.0,
-            &mut ws,
-            Some(&mut new_states),
-        ) {
+        match newton_solve(prep, opts, &mode, &mut mem, &x_prev, 0.0, &mut ws) {
             Ok((x_new, iters)) => {
                 stats.accepted_steps += 1;
                 stats.newton_iterations += iters as u64;
-                // `new_states` was filled during the final Newton assembly
-                // (within convergence tolerance of `x_new`), so the step
-                // commits without a redundant full re-assembly.
+                // Commit charges at the accepted solution; a pure charge
+                // evaluation per storage device, no matrix assembly.
+                update_all_charges(prep, &x_new, opts, &mode, &mut new_states);
                 bank.states.copy_from_slice(&new_states);
                 x = x_new;
                 t = t_new;

@@ -5,6 +5,7 @@
 //! unknown (node voltages, then branch currents) a dense index and creates
 //! the internal nodes implied by device parasitic resistances.
 
+use crate::devices::{build_devices, Device};
 use crate::error::{Result, SpiceError};
 use crate::model::{BjtModel, DiodeModel};
 use crate::wave::SourceWave;
@@ -256,6 +257,18 @@ pub enum ElementKind {
         /// Area multiplier (SPICE `AREA` scaling).
         area: f64,
     },
+    /// Mutual-inductor coupling (`K` card) between two named inductors:
+    /// `M = k * sqrt(L1 * L2)`. Adds no unknowns of its own; it stamps
+    /// cross terms onto the coupled inductors' branch rows. Validated at
+    /// compile time (both names must be inductors, `|k| <= 1`).
+    MutualInd {
+        /// Name of the first coupled inductor.
+        l1: String,
+        /// Name of the second coupled inductor.
+        l2: String,
+        /// Coupling coefficient, `-1 <= k <= 1`.
+        k: f64,
+    },
 }
 
 /// A complete circuit: nodes, models, elements and initial conditions.
@@ -373,6 +386,20 @@ impl Circuit {
     pub fn inductor(&mut self, name: &str, p: NodeId, n: NodeId, l: f64) -> usize {
         assert!(l > 0.0, "inductor {name} must be positive");
         self.push_element(name, ElementKind::Inductor { p, n, l })
+    }
+
+    /// Adds a mutual-inductor coupling (`K` card) between two named
+    /// inductors. References are resolved — and `|k| <= 1` enforced — at
+    /// [`Prepared::compile`] time, so the inductors may be added later.
+    pub fn mutual(&mut self, name: &str, l1: &str, l2: &str, k: f64) -> usize {
+        self.push_element(
+            name,
+            ElementKind::MutualInd {
+                l1: l1.to_string(),
+                l2: l2.to_string(),
+                k,
+            },
+        )
     }
 
     /// Adds a DC voltage source.
@@ -636,6 +663,25 @@ impl Circuit {
         )
     }
 
+    /// Waveform of a named independent source, or `None` if the element
+    /// is missing or not a V/I source.
+    pub fn source_wave(&self, name: &str) -> Option<&SourceWave> {
+        let idx = self.find_element(name)?;
+        match &self.elements[idx].kind {
+            ElementKind::Vsource { wave, .. } | ElementKind::Isource { wave, .. } => Some(wave),
+            _ => None,
+        }
+    }
+
+    /// Iterates over the model cards referenced by the circuit's BJT
+    /// elements, one entry per instance, in insertion order.
+    pub fn bjt_instance_models(&self) -> impl Iterator<Item = &BjtModel> + '_ {
+        self.elements.iter().filter_map(|el| match &el.kind {
+            ElementKind::Bjt { model, .. } => Some(&self.bjt_models[*model]),
+            _ => None,
+        })
+    }
+
     /// Declares an initial condition `v(node) = value` for UIC transient
     /// starts.
     pub fn set_ic(&mut self, node: NodeId, value: f64) {
@@ -683,16 +729,20 @@ pub struct Prepared {
     pub num_unknowns: usize,
     /// Per-element branch-current slot.
     pub branch_of: Vec<BranchSlot>,
-    /// Per-element BJT node map (only meaningful for BJT elements).
-    pub(crate) bjt_nodes: Vec<Option<BjtNodes>>,
-    /// Per-element diode internal anode slot (for RS), only for diodes.
-    pub(crate) diode_internal: Vec<Option<usize>>,
     /// Per-element area-scaled BJT model copies.
     pub(crate) scaled_bjt: Vec<Option<BjtModel>>,
     /// Per-element area-scaled diode model copies.
     pub(crate) scaled_diode: Vec<Option<DiodeModel>>,
     /// Names for every unknown (diagnostics).
     pub unknown_names: Vec<String>,
+    /// Per-element compiled device objects, index-aligned with
+    /// [`Circuit::elements`]. All analysis dispatch walks this list.
+    pub(crate) devices: Vec<Arc<dyn Device>>,
+    /// Indices (into `devices`) of devices whose real stamp is
+    /// solution-independent: cached in the Newton replay baseline.
+    pub(crate) linear: Vec<usize>,
+    /// Indices of devices re-stamped every Newton iteration.
+    pub(crate) nonlinear: Vec<usize>,
 }
 
 /// Area-scales a BJT model card: currents and capacitances multiply by
@@ -748,13 +798,6 @@ impl Prepared {
         let mut unknown_names: Vec<String> = (1..circuit.num_nodes())
             .map(|i| format!("v({})", circuit.node_names[i]))
             .collect();
-        let node_slot = |n: NodeId| -> usize {
-            if n.is_ground() {
-                GROUND_SLOT
-            } else {
-                n.0 - 1
-            }
-        };
 
         let mut next = n_ext;
         let mut bjt_nodes = vec![None; circuit.elements.len()];
@@ -849,26 +892,32 @@ impl Prepared {
             }
         }
 
+        // Compile every element into its device object (validates K-card
+        // references along the way).
+        let set = build_devices(circuit, &branch_of, &bjt_nodes, &diode_internal)?;
+
         Ok(Prepared {
             num_voltage_unknowns,
             num_unknowns: next,
             branch_of,
-            bjt_nodes,
-            diode_internal,
             scaled_bjt,
             scaled_diode,
             unknown_names,
+            devices: set.devices,
+            linear: set.linear,
+            nonlinear: set.nonlinear,
             circuit: circuit.clone(),
         })
     }
 
+    /// Compiled device objects, one per element, in insertion order.
+    pub fn devices(&self) -> &[Arc<dyn Device>] {
+        &self.devices
+    }
+
     /// Unknown slot of an external node (`GROUND_SLOT` for ground).
     pub fn slot_of(&self, n: NodeId) -> usize {
-        if n.is_ground() {
-            GROUND_SLOT
-        } else {
-            n.0 - 1
-        }
+        node_slot(n)
     }
 
     /// Branch-current slot of a named element, if it has one.
@@ -885,6 +934,16 @@ impl Prepared {
         } else {
             x[s]
         }
+    }
+}
+
+/// Unknown slot of an external node (`GROUND_SLOT` for ground).
+#[inline]
+pub(crate) fn node_slot(n: NodeId) -> usize {
+    if n.is_ground() {
+        GROUND_SLOT
+    } else {
+        n.0 - 1
     }
 }
 
@@ -951,10 +1010,10 @@ mod tests {
         let p = Prepared::compile(&c).unwrap();
         // 3 external + 2 internal
         assert_eq!(p.num_voltage_unknowns, 5);
-        let nodes = p.bjt_nodes[0].unwrap();
-        assert_ne!(nodes.ci, nodes.c);
-        assert_ne!(nodes.bi, nodes.b);
-        assert_eq!(nodes.ei, nodes.e);
+        let names = &p.unknown_names;
+        assert!(names.iter().any(|n| n == "v(Q1.ci)"));
+        assert!(names.iter().any(|n| n == "v(Q1.bi)"));
+        assert!(!names.iter().any(|n| n == "v(Q1.ei)"));
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Behavioral (arbitrary-function) voltage source `B`: nonlinear in the
+//! controlling node voltages, linearized by first-order Taylor expansion
+//! each Newton iteration.
+
+use super::{AcCtx, AcStamper, Device, RealCtx, RealStamper};
+use crate::analysis::stamp::NonlinMemory;
+use crate::circuit::{read_slot, ElementKind};
+use ahfic_num::Complex;
+
+/// Behavioral voltage source with a branch-current unknown `k` and a
+/// list of controlling unknown slots.
+#[derive(Debug)]
+pub(crate) struct BehavioralSource {
+    pub idx: usize,
+    pub p: usize,
+    pub n: usize,
+    pub k: usize,
+    pub controls: Vec<usize>,
+}
+
+impl Device for BehavioralSource {
+    fn index(&self) -> usize {
+        self.idx
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {
+        let ElementKind::BehavioralV { func, .. } = &cx.prep.circuit.elements()[self.idx].kind
+        else {
+            unreachable!("behavioral device on non-behavioral element")
+        };
+        s.add(self.p, self.k, 1.0);
+        s.add(self.n, self.k, -1.0);
+        s.add(self.k, self.p, 1.0);
+        s.add(self.k, self.n, -1.0);
+        let vc: Vec<f64> = self.controls.iter().map(|&c| read_slot(cx.x, c)).collect();
+        let f0 = func.eval(&vc);
+        let mut rhs_val = f0;
+        for (i, &cs) in self.controls.iter().enumerate() {
+            let d = func.derivative(&vc, i);
+            s.add(self.k, cs, -d);
+            rhs_val -= d * vc[i];
+        }
+        s.rhs_add(self.k, rhs_val);
+    }
+
+    fn stamp_ac(&self, cx: &AcCtx, s: &mut AcStamper) {
+        let ElementKind::BehavioralV { func, .. } = &cx.prep.circuit.elements()[self.idx].kind
+        else {
+            unreachable!("behavioral device on non-behavioral element")
+        };
+        s.add(self.p, self.k, Complex::ONE);
+        s.add(self.n, self.k, -Complex::ONE);
+        s.add(self.k, self.p, Complex::ONE);
+        s.add(self.k, self.n, -Complex::ONE);
+        let vc: Vec<f64> = self
+            .controls
+            .iter()
+            .map(|&c| read_slot(cx.x_op, c))
+            .collect();
+        for (i, &cs) in self.controls.iter().enumerate() {
+            let d = func.derivative(&vc, i);
+            s.add(self.k, cs, Complex::from_re(-d));
+        }
+    }
+}

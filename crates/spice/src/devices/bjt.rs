@@ -1,4 +1,5 @@
-//! Gummel–Poon bipolar transistor evaluation.
+//! Gummel–Poon bipolar transistor: model evaluation and the [`Device`]
+//! implementation.
 //!
 //! [`eval_bjt`] computes terminal currents, the full Newton Jacobian,
 //! stored charges and incremental capacitances at a junction-voltage pair.
@@ -7,8 +8,12 @@
 //! after (conductances and capacitances are invariant under that
 //! transformation).
 
-use crate::devices::junction::{depletion, diode_current, limexp};
+use super::{AcCtx, AcStamper, Device, NoiseGenerator, OpCtx, RealCtx, RealStamper, KB, Q};
+use crate::analysis::stamp::{ChargeState, Mode, NonlinMemory};
+use crate::circuit::{read_slot, BjtNodes, Prepared};
+use crate::devices::junction::{depletion, diode_current, limexp, pnjlim, vcrit};
 use crate::model::BjtModel;
+use ahfic_num::Complex;
 
 /// Complete Gummel–Poon operating state at a `(vbe, vbc, vcs)` triple.
 ///
@@ -258,6 +263,274 @@ pub fn eval_bjt(
         cbx,
         ccs,
         rbb,
+    }
+}
+
+/// Compiled BJT: external and internal node slots.
+#[derive(Debug)]
+pub(crate) struct BjtInstance {
+    pub idx: usize,
+    pub nodes: BjtNodes,
+}
+
+impl BjtInstance {
+    fn model<'a>(&self, prep: &'a Prepared) -> &'a BjtModel {
+        prep.scaled_bjt[self.idx]
+            .as_ref()
+            .expect("bjt element has a scaled model")
+    }
+
+    /// Junction voltages `(vbe, vbc, vcs)` in normalized NPN polarity.
+    fn junction_voltages(&self, model: &BjtModel, x: &[f64]) -> (f64, f64, f64) {
+        let nd = &self.nodes;
+        let sg = model.polarity.sign();
+        let vbe = sg * (read_slot(x, nd.bi) - read_slot(x, nd.ei));
+        let vbc = sg * (read_slot(x, nd.bi) - read_slot(x, nd.ci));
+        let vcs = sg * (read_slot(x, nd.s) - read_slot(x, nd.ci));
+        (vbe, vbc, vcs)
+    }
+}
+
+impl Device for BjtInstance {
+    fn index(&self) -> usize {
+        self.idx
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn charge_slots(&self) -> usize {
+        4
+    }
+
+    fn stamp_real(&self, cx: &RealCtx, mem: &mut NonlinMemory, s: &mut RealStamper) {
+        let model = self.model(cx.prep);
+        let nd = self.nodes;
+        let sg = model.polarity.sign();
+        let (vbe_raw, vbc_raw, vcs) = self.junction_voltages(model, cx.x);
+        let (old_vbe, old_vbc) = mem.bjt[self.idx];
+        let nfvt = model.nf * cx.opts.vt;
+        let nrvt = model.nr * cx.opts.vt;
+        let vbe = pnjlim(vbe_raw, old_vbe, nfvt, vcrit(model.is_, nfvt));
+        let vbc = pnjlim(vbc_raw, old_vbc, nrvt, vcrit(model.is_, nrvt));
+        if (vbe - vbe_raw).abs() > 1e-15 || (vbc - vbc_raw).abs() > 1e-15 {
+            mem.limited = true;
+        }
+        mem.bjt[self.idx] = (vbe, vbc);
+        let op = eval_bjt(model, vbe, vbc, vcs, cx.opts.vt, cx.opts.gmin);
+
+        // Parasitic terminal resistances into the internal nodes.
+        if nd.bi != nd.b {
+            s.conductance(nd.b, nd.bi, 1.0 / op.rbb.max(1e-3));
+        }
+        if nd.ci != nd.c {
+            s.conductance(nd.c, nd.ci, 1.0 / model.rc);
+        }
+        if nd.ei != nd.e {
+            s.conductance(nd.e, nd.ei, 1.0 / model.re);
+        }
+
+        // B-E and B-C junction linearizations.
+        s.conductance(nd.bi, nd.ei, op.gpi);
+        s.current(nd.bi, nd.ei, sg * (op.ibe - op.gpi * vbe));
+        s.conductance(nd.bi, nd.ci, op.gmu);
+        s.current(nd.bi, nd.ci, sg * (op.ibc - op.gmu * vbc));
+
+        // Transport current from collector to emitter.
+        s.add(nd.ci, nd.bi, op.gmf + op.gmr);
+        s.add(nd.ci, nd.ei, -op.gmf);
+        s.add(nd.ci, nd.ci, -op.gmr);
+        s.add(nd.ei, nd.bi, -(op.gmf + op.gmr));
+        s.add(nd.ei, nd.ei, op.gmf);
+        s.add(nd.ei, nd.ci, op.gmr);
+        s.current(nd.ci, nd.ei, sg * (op.it - op.gmf * vbe - op.gmr * vbc));
+
+        if let Mode::Tran { a, bank, .. } = cx.mode {
+            let b0 = bank.base[self.idx];
+            // qbe with the cross term d(qbe)/d(vbc).
+            let st = bank.states[b0];
+            let i = a * (op.qbe - st.q) - st.i;
+            let gbe = a * op.cbe;
+            let gx = a * op.cbe_bc;
+            s.add(nd.bi, nd.bi, gbe + gx);
+            s.add(nd.bi, nd.ei, -gbe);
+            s.add(nd.bi, nd.ci, -gx);
+            s.add(nd.ei, nd.bi, -(gbe + gx));
+            s.add(nd.ei, nd.ei, gbe);
+            s.add(nd.ei, nd.ci, gx);
+            s.current(nd.bi, nd.ei, sg * (i - gbe * vbe - gx * vbc));
+            // qbc (internal B'-C').
+            let st = bank.states[b0 + 1];
+            let i = a * (op.qbc - st.q) - st.i;
+            let geq = a * op.cbc;
+            s.conductance(nd.bi, nd.ci, geq);
+            s.current(nd.bi, nd.ci, sg * (i - geq * vbc));
+            // qbx: external-base fraction of the B-C depletion charge,
+            // evaluated at the true external-base voltage.
+            let vbx = sg * (read_slot(cx.x, nd.b) - read_slot(cx.x, nd.ci));
+            let xcjc = model.xcjc.clamp(0.0, 1.0);
+            let (qbx, cbx) = depletion(
+                vbx,
+                model.cjc * (1.0 - xcjc),
+                model.vjc,
+                model.mjc,
+                model.fc,
+            );
+            let st = bank.states[b0 + 2];
+            let i = a * (qbx - st.q) - st.i;
+            s.conductance(nd.b, nd.ci, a * cbx);
+            s.current(nd.b, nd.ci, sg * (i - a * cbx * vbx));
+            // qcs.
+            let st = bank.states[b0 + 3];
+            let i = a * (op.qcs - st.q) - st.i;
+            let geq = a * op.ccs;
+            s.conductance(nd.s, nd.ci, geq);
+            s.current(nd.s, nd.ci, sg * (i - geq * vcs));
+        }
+    }
+
+    fn update_charges(&self, cx: &RealCtx, out: &mut [ChargeState]) {
+        let Mode::Tran { a, bank, .. } = cx.mode else {
+            return;
+        };
+        let model = self.model(cx.prep);
+        let nd = self.nodes;
+        let sg = model.polarity.sign();
+        let (vbe, vbc, vcs) = self.junction_voltages(model, cx.x);
+        let op = eval_bjt(model, vbe, vbc, vcs, cx.opts.vt, cx.opts.gmin);
+        let vbx = sg * (read_slot(cx.x, nd.b) - read_slot(cx.x, nd.ci));
+        let xcjc = model.xcjc.clamp(0.0, 1.0);
+        let (qbx, _) = depletion(
+            vbx,
+            model.cjc * (1.0 - xcjc),
+            model.vjc,
+            model.mjc,
+            model.fc,
+        );
+        let b0 = bank.base[self.idx];
+        for (slot, q) in [op.qbe, op.qbc, qbx, op.qcs].into_iter().enumerate() {
+            let st = bank.states[b0 + slot];
+            out[slot] = ChargeState {
+                q,
+                i: a * (q - st.q) - st.i,
+            };
+        }
+    }
+
+    fn stamp_ac(&self, cx: &AcCtx, s: &mut AcStamper) {
+        let model = self.model(cx.prep);
+        let nd = self.nodes;
+        let sg = model.polarity.sign();
+        let jw = Complex::new(0.0, cx.omega);
+        let (vbe, vbc, vcs) = self.junction_voltages(model, cx.x_op);
+        let op = eval_bjt(model, vbe, vbc, vcs, cx.opts.vt, cx.opts.gmin);
+
+        if nd.bi != nd.b {
+            s.admittance(nd.b, nd.bi, Complex::from_re(1.0 / op.rbb.max(1e-3)));
+        }
+        if nd.ci != nd.c {
+            s.admittance(nd.c, nd.ci, Complex::from_re(1.0 / model.rc));
+        }
+        if nd.ei != nd.e {
+            s.admittance(nd.e, nd.ei, Complex::from_re(1.0 / model.re));
+        }
+
+        s.admittance(nd.bi, nd.ei, Complex::from_re(op.gpi) + jw * op.cbe);
+        s.admittance(nd.bi, nd.ci, Complex::from_re(op.gmu) + jw * op.cbc);
+        // Cross capacitance d(qbe)/d(vbc): structurally present exactly
+        // when the bias-dependent transit time has a VBC dependence.
+        if model.tf > 0.0 && model.xtf > 0.0 && model.vtf.is_finite() {
+            s.transadmittance(nd.bi, nd.ei, nd.bi, nd.ci, jw * op.cbe_bc);
+        }
+
+        s.add(nd.ci, nd.bi, Complex::from_re(op.gmf + op.gmr));
+        s.add(nd.ci, nd.ei, Complex::from_re(-op.gmf));
+        s.add(nd.ci, nd.ci, Complex::from_re(-op.gmr));
+        s.add(nd.ei, nd.bi, Complex::from_re(-(op.gmf + op.gmr)));
+        s.add(nd.ei, nd.ei, Complex::from_re(op.gmf));
+        s.add(nd.ei, nd.ci, Complex::from_re(op.gmr));
+
+        let xcjc = model.xcjc.clamp(0.0, 1.0);
+        if model.cjc * (1.0 - xcjc) > 0.0 {
+            let vbx = sg * (read_slot(cx.x_op, nd.b) - read_slot(cx.x_op, nd.ci));
+            let (_, cbx) = depletion(
+                vbx,
+                model.cjc * (1.0 - xcjc),
+                model.vjc,
+                model.mjc,
+                model.fc,
+            );
+            s.admittance(nd.b, nd.ci, jw * cbx);
+        }
+        if model.cjs > 0.0 {
+            s.admittance(nd.s, nd.ci, jw * op.ccs);
+        }
+    }
+
+    fn noise(&self, cx: &OpCtx, out: &mut Vec<NoiseGenerator>) {
+        let model = self.model(cx.prep);
+        let nd = self.nodes;
+        let name = &cx.prep.circuit.elements()[self.idx].name;
+        let (vbe, vbc, vcs) = self.junction_voltages(model, cx.x);
+        let op = eval_bjt(model, vbe, vbc, vcs, cx.opts.vt, cx.opts.gmin);
+        let four_kt = 4.0 * KB * cx.temp_k();
+        out.push(NoiseGenerator::white(
+            name,
+            "shot-ic",
+            nd.ci,
+            nd.ei,
+            2.0 * Q * op.ic.abs(),
+        ));
+        out.push(NoiseGenerator::white(
+            name,
+            "shot-ib",
+            nd.bi,
+            nd.ei,
+            2.0 * Q * op.ib.abs(),
+        ));
+        if nd.bi != nd.b && op.rbb > 0.0 {
+            out.push(NoiseGenerator::white(
+                name,
+                "thermal-rb",
+                nd.b,
+                nd.bi,
+                four_kt / op.rbb,
+            ));
+        }
+        if nd.ei != nd.e && model.re > 0.0 {
+            out.push(NoiseGenerator::white(
+                name,
+                "thermal-re",
+                nd.e,
+                nd.ei,
+                four_kt / model.re,
+            ));
+        }
+        if nd.ci != nd.c && model.rc > 0.0 {
+            out.push(NoiseGenerator::white(
+                name,
+                "thermal-rc",
+                nd.c,
+                nd.ci,
+                four_kt / model.rc,
+            ));
+        }
+        if model.kf > 0.0 {
+            out.push(NoiseGenerator::flicker(
+                name,
+                "flicker-ib",
+                nd.bi,
+                nd.ei,
+                model.kf * op.ib.abs().powf(model.af),
+            ));
+        }
+    }
+
+    fn bjt_operating(&self, cx: &OpCtx) -> Option<BjtOperating> {
+        let model = self.model(cx.prep);
+        let (vbe, vbc, vcs) = self.junction_voltages(model, cx.x);
+        Some(eval_bjt(model, vbe, vbc, vcs, cx.opts.vt, cx.opts.gmin))
     }
 }
 

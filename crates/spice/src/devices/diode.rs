@@ -1,6 +1,9 @@
-//! Junction diode evaluation.
+//! Junction diode: model evaluation and the [`Device`] implementation.
 
-use crate::devices::junction::{depletion, diode_current, limexp};
+use super::{AcCtx, AcStamper, Device, NoiseGenerator, OpCtx, RealCtx, RealStamper, Q};
+use crate::analysis::stamp::{ChargeState, Mode, NonlinMemory};
+use crate::circuit::read_slot;
+use crate::devices::junction::{depletion, diode_current, limexp, pnjlim, vcrit};
 use crate::model::DiodeModel;
 
 /// Operating state of a diode at junction voltage `vd`.
@@ -36,6 +39,115 @@ pub fn eval_diode(model: &DiodeModel, vd: f64, vt: f64, gmin: f64) -> DiodeOpera
     let qd = model.tt * idiff + qj;
     let cd = model.tt * (model.is_ / nvt) * (vd / nvt).min(80.0).exp() + cj;
     DiodeOperating { vd, id, gd, qd, cd }
+}
+
+/// Compiled diode: anode, optional internal node (series resistance)
+/// and cathode slots.
+#[derive(Debug)]
+pub(crate) struct DiodeInstance {
+    pub idx: usize,
+    pub anode: usize,
+    pub internal: usize,
+    pub cathode: usize,
+}
+
+impl DiodeInstance {
+    fn model<'a>(&self, cx_prep: &'a crate::circuit::Prepared) -> &'a DiodeModel {
+        cx_prep.scaled_diode[self.idx]
+            .as_ref()
+            .expect("diode element has a scaled model")
+    }
+}
+
+impl Device for DiodeInstance {
+    fn index(&self) -> usize {
+        self.idx
+    }
+
+    fn is_nonlinear(&self) -> bool {
+        true
+    }
+
+    fn charge_slots(&self) -> usize {
+        1
+    }
+
+    fn stamp_real(&self, cx: &RealCtx, mem: &mut NonlinMemory, s: &mut RealStamper) {
+        let model = self.model(cx.prep);
+        if self.internal != self.anode {
+            s.conductance(self.anode, self.internal, 1.0 / model.rs);
+        }
+        let vd_raw = read_slot(cx.x, self.internal) - read_slot(cx.x, self.cathode);
+        let nvt = model.n * cx.opts.vt;
+        let vd = pnjlim(vd_raw, mem.diode[self.idx], nvt, vcrit(model.is_, nvt));
+        if (vd - vd_raw).abs() > 1e-15 {
+            mem.limited = true;
+        }
+        mem.diode[self.idx] = vd;
+        let op = eval_diode(model, vd, cx.opts.vt, cx.opts.gmin);
+        s.conductance(self.internal, self.cathode, op.gd);
+        s.current(self.internal, self.cathode, op.id - op.gd * vd);
+        if let Mode::Tran { a, bank, .. } = cx.mode {
+            let st = bank.states[bank.base[self.idx]];
+            let i = a * (op.qd - st.q) - st.i;
+            let geq = a * op.cd;
+            s.conductance(self.internal, self.cathode, geq);
+            s.current(self.internal, self.cathode, i - geq * vd);
+        }
+    }
+
+    fn update_charges(&self, cx: &RealCtx, out: &mut [ChargeState]) {
+        let Mode::Tran { a, bank, .. } = cx.mode else {
+            return;
+        };
+        let model = self.model(cx.prep);
+        let vd = read_slot(cx.x, self.internal) - read_slot(cx.x, self.cathode);
+        let op = eval_diode(model, vd, cx.opts.vt, cx.opts.gmin);
+        let st = bank.states[bank.base[self.idx]];
+        out[0] = ChargeState {
+            q: op.qd,
+            i: a * (op.qd - st.q) - st.i,
+        };
+    }
+
+    fn stamp_ac(&self, cx: &AcCtx, s: &mut AcStamper) {
+        use ahfic_num::Complex;
+        let model = self.model(cx.prep);
+        let jw = Complex::new(0.0, cx.omega);
+        if self.internal != self.anode {
+            s.admittance(self.anode, self.internal, Complex::from_re(1.0 / model.rs));
+        }
+        let vd = read_slot(cx.x_op, self.internal) - read_slot(cx.x_op, self.cathode);
+        let op = eval_diode(model, vd, cx.opts.vt, cx.opts.gmin);
+        s.admittance(
+            self.internal,
+            self.cathode,
+            Complex::from_re(op.gd) + jw * op.cd,
+        );
+    }
+
+    fn noise(&self, cx: &OpCtx, out: &mut Vec<NoiseGenerator>) {
+        let model = self.model(cx.prep);
+        let name = &cx.prep.circuit.elements()[self.idx].name;
+        let vd = read_slot(cx.x, self.internal) - read_slot(cx.x, self.cathode);
+        let op = eval_diode(model, vd, cx.opts.vt, 0.0);
+        out.push(NoiseGenerator::white(
+            name,
+            "shot-id",
+            self.internal,
+            self.cathode,
+            2.0 * Q * op.id.abs(),
+        ));
+        if model.kf > 0.0 {
+            out.push(NoiseGenerator::flicker(
+                name,
+                "flicker-id",
+                self.internal,
+                self.cathode,
+                model.kf * op.id.abs().powf(model.af),
+            ));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,233 @@
+//! Mutual-inductor coupling (`K` card): `K1 L1 L2 k` couples two
+//! inductors with mutual inductance `M = k * sqrt(L1 * L2)`.
+//!
+//! The branch equations become `v1 = L1 di1/dt + M di2/dt` (and
+//! symmetrically for `v2`). The inductors themselves stamp their own
+//! self terms; this device only adds the cross terms, so it composes
+//! with any number of couplings sharing an inductor. It lives entirely
+//! under `devices/` — no analysis code knows it exists.
+
+use super::{AcCtx, AcStamper, Device, RealCtx, RealStamper};
+use crate::analysis::stamp::{Mode, NonlinMemory};
+use crate::circuit::{Circuit, ElementKind};
+use ahfic_num::Complex;
+
+/// Cross-coupling between two inductor branches. `i1`/`i2` are the
+/// element indices of the coupled inductors (inductance is read at
+/// stamp time), `k1`/`k2` their branch-current slots.
+#[derive(Debug)]
+pub(crate) struct MutualInductor {
+    pub idx: usize,
+    pub i1: usize,
+    pub i2: usize,
+    pub k1: usize,
+    pub k2: usize,
+}
+
+impl MutualInductor {
+    /// Mutual inductance `M = k * sqrt(L1 * L2)` at current element
+    /// values.
+    fn m(&self, circuit: &Circuit) -> f64 {
+        let ElementKind::MutualInd { k, .. } = circuit.elements()[self.idx].kind else {
+            unreachable!("mutual device on non-mutual element")
+        };
+        let l_of = |i: usize| -> f64 {
+            let ElementKind::Inductor { l, .. } = circuit.elements()[i].kind else {
+                unreachable!("coupled element is not an inductor")
+            };
+            l
+        };
+        k * (l_of(self.i1) * l_of(self.i2)).sqrt()
+    }
+}
+
+impl Device for MutualInductor {
+    fn index(&self) -> usize {
+        self.idx
+    }
+
+    fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {
+        match cx.mode {
+            // The inductor branch rows are already DC shorts; coupling
+            // contributes nothing at DC.
+            Mode::Dc { .. } => {}
+            Mode::Tran { a, x_prev, .. } => {
+                // Trapezoidal companion of the cross term M di/dt, matching
+                // the inductor's own -L*a / -(L*a*i_prev + v_prev) stamp.
+                let m = self.m(&cx.prep.circuit);
+                s.add(self.k1, self.k2, -m * a);
+                s.add(self.k2, self.k1, -m * a);
+                let (r1, r2) = if *a == 0.0 {
+                    (0.0, 0.0)
+                } else {
+                    (-(m * a * x_prev[self.k2]), -(m * a * x_prev[self.k1]))
+                };
+                s.rhs_add(self.k1, r1);
+                s.rhs_add(self.k2, r2);
+            }
+        }
+    }
+
+    fn stamp_ac(&self, cx: &AcCtx, s: &mut AcStamper) {
+        let jwm = Complex::new(0.0, cx.omega * self.m(&cx.prep.circuit));
+        s.add(self.k1, self.k2, -jwm);
+        s.add(self.k2, self.k1, -jwm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::{ac_sweep, op, tran, Options, TranParams};
+    use crate::circuit::{Circuit, NodeId, Prepared};
+    use crate::error::SpiceError;
+    use crate::wave::SourceWave;
+    use ahfic_num::interp::linspace;
+
+    /// Two identical parallel LC tanks, inductively coupled, the first
+    /// driven through a source resistor. Returns (circuit, in, out).
+    fn coupled_tanks(k: f64) -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new();
+        let src = c.node("src");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", src, Circuit::gnd(), 0.0);
+        c.set_ac("V1", 1.0, 0.0).unwrap();
+        c.resistor("RS", src, a, 2e3);
+        c.inductor("L1", a, Circuit::gnd(), 1e-6);
+        c.capacitor("C1", a, Circuit::gnd(), 1e-9);
+        c.inductor("L2", b, Circuit::gnd(), 1e-6);
+        c.capacitor("C2", b, Circuit::gnd(), 1e-9);
+        c.resistor("RL", b, Circuit::gnd(), 2e3);
+        c.mutual("K1", "L1", "L2", k);
+        (c, a, b)
+    }
+
+    #[test]
+    fn dc_op_sees_no_coupling() {
+        // At DC both inductors are shorts; coupling must not disturb the
+        // operating point or make the matrix singular.
+        let (c, a, b) = coupled_tanks(0.5);
+        let prep = Prepared::compile(&c).unwrap();
+        let r = op(&prep, &Options::default()).unwrap();
+        assert!(prep.voltage(&r.x, a).abs() < 1e-12);
+        assert!(prep.voltage(&r.x, b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ac_response_splits_into_two_resonances() {
+        // Overcoupled identical tanks: the single resonance at
+        // f0 = 1/(2 pi sqrt(LC)) splits into f0/sqrt(1 +/- k).
+        let k = 0.3;
+        let (c, _, _) = coupled_tanks(k);
+        let prep = Prepared::compile(&c).unwrap();
+        let opts = Options::default();
+        let x_op = op(&prep, &opts).unwrap().x;
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
+        let f_lo = f0 / (1.0f64 + k).sqrt();
+        let f_hi = f0 / (1.0f64 - k).sqrt();
+        let freqs = linspace(0.6 * f0, 1.5 * f0, 901);
+        let w = ac_sweep(&prep, &x_op, &opts, &freqs).unwrap();
+        let mag = w.magnitude("v(b)").unwrap();
+        let mut peaks = Vec::new();
+        for i in 1..mag.len() - 1 {
+            if mag[i] > mag[i - 1] && mag[i] > mag[i + 1] {
+                peaks.push(freqs[i]);
+            }
+        }
+        assert_eq!(peaks.len(), 2, "expected a double-humped response");
+        assert!(
+            (peaks[0] - f_lo).abs() / f_lo < 0.01,
+            "lower peak {:.4e} vs {:.4e}",
+            peaks[0],
+            f_lo
+        );
+        assert!(
+            (peaks[1] - f_hi).abs() / f_hi < 0.01,
+            "upper peak {:.4e} vs {:.4e}",
+            peaks[1],
+            f_hi
+        );
+    }
+
+    #[test]
+    fn tran_steady_state_matches_ac_transfer() {
+        // Drive the coupled tanks with a sine at the lower split
+        // resonance; the settled transient amplitude at the secondary
+        // must match the AC magnitude at the same frequency.
+        let k = 0.3;
+        let (mut c, _, _) = coupled_tanks(k);
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
+        let f_drive = f0 / (1.0f64 + k).sqrt();
+        c.set_source_wave(
+            "V1",
+            SourceWave::Sin {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: f_drive,
+                delay: 0.0,
+                damping: 0.0,
+                phase_deg: 0.0,
+            },
+        )
+        .unwrap();
+        let prep = Prepared::compile(&c).unwrap();
+        let opts = Options::default();
+        let x_op = op(&prep, &opts).unwrap().x;
+        let expect = ac_sweep(&prep, &x_op, &opts, &[f_drive])
+            .unwrap()
+            .magnitude("v(b)")
+            .unwrap()[0];
+        let period = 1.0 / f_drive;
+        // Long enough for the tank transients to ring down.
+        let w = tran(
+            &prep,
+            &opts,
+            &TranParams::new(400.0 * period, period / 60.0),
+        )
+        .unwrap();
+        let v = w.signal("v(b)").unwrap();
+        let ts = w.axis();
+        let tail_start = ts.last().unwrap() - 10.0 * period;
+        let amp = ts
+            .iter()
+            .zip(v)
+            .filter(|(t, _)| **t >= tail_start)
+            .map(|(_, v)| v.abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            (amp - expect).abs() / expect < 0.05,
+            "tran amplitude {amp:.4} vs AC {expect:.4}"
+        );
+    }
+
+    #[test]
+    fn coupling_to_non_inductor_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, Circuit::gnd(), 1e3);
+        c.inductor("L1", a, Circuit::gnd(), 1e-6);
+        c.mutual("K1", "L1", "R1", 0.5);
+        assert!(matches!(Prepared::compile(&c), Err(SpiceError::Netlist(_))));
+    }
+
+    #[test]
+    fn coupling_coefficient_out_of_range_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.inductor("L1", a, Circuit::gnd(), 1e-6);
+        c.inductor("L2", b, Circuit::gnd(), 1e-6);
+        c.resistor("R1", a, b, 1.0);
+        c.mutual("K1", "L1", "L2", 1.5);
+        assert!(matches!(Prepared::compile(&c), Err(SpiceError::Netlist(_))));
+    }
+
+    #[test]
+    fn self_coupling_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.inductor("L1", a, Circuit::gnd(), 1e-6);
+        c.mutual("K1", "L1", "L1", 0.5);
+        assert!(matches!(Prepared::compile(&c), Err(SpiceError::Netlist(_))));
+    }
+}

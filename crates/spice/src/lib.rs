@@ -4,15 +4,21 @@
 //! a modified-nodal-analysis simulator with the device set and analyses
 //! needed to reproduce the DAC'96 high-frequency bipolar design flow:
 //!
-//! - **Devices**: R, C, L, independent V/I sources (DC/SIN/PULSE/PWL),
-//!   all four controlled sources (E/G/F/H), junction diodes and full
-//!   Gummel–Poon BJTs with internal `RB`/`RE`/`RC` nodes, bias-dependent
-//!   base resistance, depletion + diffusion charge storage and the
-//!   `XTF/VTF/ITF` transit-time model that produces realistic fT roll-off.
+//! - **Devices** ([`devices`]): R, C, L, mutual-inductor coupling (K),
+//!   independent V/I sources (DC/SIN/PULSE/PWL), all four controlled
+//!   sources (E/G/F/H), junction diodes and full Gummel–Poon BJTs with
+//!   internal `RB`/`RE`/`RC` nodes, bias-dependent base resistance,
+//!   depletion + diffusion charge storage, the `XTF/VTF/ITF`
+//!   transit-time model that produces realistic fT roll-off, and
+//!   optional `KF`/`AF` flicker noise. Every element implements the one
+//!   [`devices::Device`] stamp contract; analyses walk the compiled
+//!   device list and never match on element kinds.
 //! - **Analyses**: Newton operating point with gmin/source stepping
-//!   ([`analysis::op()`]), DC sweeps ([`analysis::dc_sweep`]), complex AC
-//!   sweeps ([`analysis::ac_sweep`]) and adaptive trapezoidal transient
-//!   ([`analysis::tran()`]).
+//!   ([`analysis::op()`]) and a linear/nonlinear stamp split that
+//!   replays cached linear stamps across iterations, DC sweeps
+//!   ([`analysis::dc_sweep`]), complex AC sweeps
+//!   ([`analysis::ac_sweep`]), noise ([`analysis::noise_analysis`]) and
+//!   adaptive trapezoidal transient ([`analysis::tran()`]).
 //! - **Measurements** ([`measure`]): fT extraction from `|h21|`
 //!   extrapolation, oscillation frequency from zero crossings, THD, AC
 //!   gain/bandwidth.
@@ -51,7 +57,6 @@ pub mod parse;
 pub mod subckt;
 pub mod units;
 pub mod wave;
-pub mod waveform;
 
 pub use ahfic_trace as trace;
 

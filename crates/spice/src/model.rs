@@ -105,6 +105,10 @@ pub struct BjtModel {
     pub mjs: f64,
     /// Forward-bias depletion capacitance coefficient. `FC`.
     pub fc: f64,
+    /// Flicker-noise coefficient (A^(2-AF)). `KF`; `0` disables 1/f noise.
+    pub kf: f64,
+    /// Flicker-noise current exponent. `AF`.
+    pub af: f64,
 }
 
 impl Default for BjtModel {
@@ -148,6 +152,8 @@ impl Default for BjtModel {
             vjs: 0.75,
             mjs: 0.0,
             fc: 0.5,
+            kf: 0.0,
+            af: 1.0,
         }
     }
 }
@@ -222,6 +228,8 @@ impl BjtModel {
         put("VJS", self.vjs, d.vjs);
         put("MJS", self.mjs, d.mjs);
         put("FC", self.fc, d.fc);
+        put("KF", self.kf, d.kf);
+        put("AF", self.af, d.af);
         format!(".model {} {kind} ({})", self.name, parts.join(" "))
     }
 }
@@ -255,6 +263,10 @@ pub struct DiodeModel {
     pub fc: f64,
     /// Reverse breakdown voltage (V, positive number); infinite disables.
     pub bv: f64,
+    /// Flicker-noise coefficient (A^(2-AF)). `KF`; `0` disables 1/f noise.
+    pub kf: f64,
+    /// Flicker-noise current exponent. `AF`.
+    pub af: f64,
 }
 
 impl Default for DiodeModel {
@@ -270,6 +282,8 @@ impl Default for DiodeModel {
             tt: 0.0,
             fc: 0.5,
             bv: f64::INFINITY,
+            kf: 0.0,
+            af: 1.0,
         }
     }
 }

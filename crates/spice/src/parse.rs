@@ -275,6 +275,8 @@ fn apply_bjt_param(m: &mut BjtModel, key: &str, v: f64, line: usize) -> Result<(
         "VJS" => m.vjs = v,
         "MJS" => m.mjs = v,
         "FC" => m.fc = v,
+        "KF" => m.kf = v,
+        "AF" => m.af = v,
         _ => return Err(perr(line, format!("unknown BJT parameter {key}"))),
     }
     Ok(())
@@ -291,6 +293,8 @@ fn apply_diode_param(m: &mut DiodeModel, key: &str, v: f64, line: usize) -> Resu
         "TT" => m.tt = v,
         "FC" => m.fc = v,
         "BV" => m.bv = v,
+        "KF" => m.kf = v,
+        "AF" => m.af = v,
         _ => return Err(perr(line, format!("unknown diode parameter {key}"))),
     }
     Ok(())
@@ -458,6 +462,17 @@ fn parse_element(ckt: &mut Circuit, line_text: &str, line: usize) -> Result<()> 
                 ckt.vccs(&name, p, n, cp, cn, g);
             }
         }
+        'K' => {
+            // K1 L1 L2 k — mutual coupling between two inductors.
+            if toks.len() < 4 {
+                return Err(perr(
+                    line,
+                    format!("{name}: needs two inductors and a coefficient"),
+                ));
+            }
+            let k = need_value(&toks[3], line, "coupling coefficient")?;
+            ckt.mutual(&name, &toks[1], &toks[2], k);
+        }
         'F' | 'H' => {
             if toks.len() < 5 {
                 return Err(perr(
@@ -613,6 +628,39 @@ mod tests {
         let r = op(&prep, &Options::default()).unwrap();
         let e = prep.circuit.find_node("e").unwrap();
         assert!((prep.voltage(&r.x, e) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_mutual_inductor_card() {
+        let ckt = parse_netlist(
+            "V1 a 0 DC 0 AC 1\nRS a p 50\nL1 p 0 1u\nL2 s 0 1u\nRL s 0 50\nK1 L1 L2 0.8\n",
+        )
+        .unwrap();
+        match &ckt.elements()[5].kind {
+            ElementKind::MutualInd { l1, l2, k } => {
+                assert_eq!(l1, "L1");
+                assert_eq!(l2, "L2");
+                assert_eq!(*k, 0.8);
+            }
+            _ => panic!("not a mutual inductor"),
+        }
+        // Compiles: the K card's references resolve.
+        Prepared::compile(&ckt).unwrap();
+        assert!(parse_netlist("K1 L1\n").is_err());
+    }
+
+    #[test]
+    fn parses_flicker_noise_params() {
+        let ckt = parse_netlist(
+            ".model nm NPN (IS=1e-16 KF=1e-12 AF=1.2)\n\
+             .model dm D (IS=1e-14 KF=2e-13)\n\
+             Q1 c b 0 nm\nD1 a 0 dm\n",
+        )
+        .unwrap();
+        assert_eq!(ckt.bjt_models[0].kf, 1e-12);
+        assert_eq!(ckt.bjt_models[0].af, 1.2);
+        assert_eq!(ckt.diode_models[0].kf, 2e-13);
+        assert_eq!(ckt.diode_models[0].af, 1.0);
     }
 
     #[test]

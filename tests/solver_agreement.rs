@@ -87,6 +87,118 @@ proptest! {
     }
 }
 
+/// Randomized RLC + BJT amplifier chain for replay agreement tests:
+/// `muls` perturbs every passive around its nominal value, `stages`
+/// sets the chain depth. Stages get collector LC tanks; with two or
+/// more stages the first two tank inductors are mutually coupled.
+fn replay_test_circuit(muls: &[f64], stages: usize) -> Prepared {
+    let mut c = Circuit::new();
+    let vcc = c.node("vcc");
+    let vin = c.node("vin");
+    c.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+    c.vsource_wave(
+        "VIN",
+        vin,
+        Circuit::gnd(),
+        SourceWave::Sin {
+            offset: 0.0,
+            ampl: 5e-3,
+            freq: 200e6,
+            delay: 0.0,
+            damping: 0.0,
+            phase_deg: 0.0,
+        },
+    );
+    c.set_ac("VIN", 1.0, 0.0).unwrap();
+    let mut m = BjtModel::named("rnpn");
+    m.bf = 80.0;
+    m.rb = 90.0;
+    m.re = 1.2;
+    m.rc = 18.0;
+    m.cje = 50e-15;
+    m.cjc = 30e-15;
+    m.tf = 10e-12;
+    let mi = c.add_bjt_model(m);
+    let dm = c.add_diode_model(ahfic_spice::DiodeModel::default());
+
+    let mut drive = vin;
+    for i in 0..stages {
+        let f = &muls[8 * i..8 * i + 8];
+        let b = c.node(&format!("b{i}"));
+        let col = c.node(&format!("c{i}"));
+        let e = c.node(&format!("e{i}"));
+        let tank = c.node(&format!("t{i}"));
+        c.resistor(&format!("RB1_{i}"), vcc, b, 47e3 * f[0]);
+        c.resistor(&format!("RB2_{i}"), b, Circuit::gnd(), 10e3 * f[1]);
+        c.capacitor(&format!("CIN{i}"), drive, b, 10e-12 * f[2]);
+        c.resistor(&format!("RC{i}"), vcc, col, 1e3 * f[3]);
+        c.resistor(&format!("RE{i}"), e, Circuit::gnd(), 220.0 * f[4]);
+        c.capacitor(&format!("CE{i}"), e, Circuit::gnd(), 20e-12 * f[5]);
+        c.bjt(&format!("Q{i}"), col, b, e, mi, 1.0);
+        // Collector LC tank plus a normally-reverse-biased clamp diode.
+        c.inductor(&format!("LT{i}"), col, tank, 50e-9 * f[6]);
+        c.capacitor(&format!("CT{i}"), tank, Circuit::gnd(), 5e-12 * f[7]);
+        c.resistor(&format!("RT{i}"), tank, Circuit::gnd(), 5e3);
+        c.diode(&format!("DC{i}"), col, vcc, dm, 1.0);
+        drive = col;
+    }
+    if stages >= 2 {
+        c.mutual("K1", "LT0", "LT1", 0.2);
+    }
+    Prepared::compile(&c).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The linear-replay Newton path must be bit-identical to the full
+    /// re-stamp path: same stamp order, same baseline values, so every
+    /// op/AC/transient result matches to the last ULP.
+    #[test]
+    fn linear_replay_is_bit_identical_to_full_restamp(
+        muls in proptest::collection::vec(0.5f64..2.0, 24),
+        stages in 1u32..4,
+    ) {
+        let prep = replay_test_circuit(&muls, stages as usize);
+        let on = Options::new().linear_replay(true);
+        let off = Options::new().linear_replay(false);
+
+        let r_on = op(&prep, &on).unwrap();
+        let r_off = op(&prep, &off).unwrap();
+        prop_assert_eq!(r_on.iterations, r_off.iterations);
+        for (a, b) in r_on.x.iter().zip(&r_off.x) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let freqs = [1e6, 100e6, 1e9];
+        let w_on = ac_sweep(&prep, &r_on.x, &on, &freqs).unwrap();
+        let w_off = ac_sweep(&prep, &r_off.x, &off, &freqs).unwrap();
+        for name in &prep.unknown_names {
+            let son = w_on.signal(name).unwrap();
+            let soff = w_off.signal(name).unwrap();
+            for (a, b) in son.iter().zip(soff) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+
+        let params = TranParams::new(10e-9, 0.1e-9);
+        let t_on = tran(&prep, &on, &params).unwrap();
+        let t_off = tran(&prep, &off, &params).unwrap();
+        prop_assert_eq!(t_on.axis().len(), t_off.axis().len());
+        for (a, b) in t_on.axis().iter().zip(t_off.axis()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for name in &prep.unknown_names {
+            let son = t_on.signal(name).unwrap();
+            let soff = t_off.signal(name).unwrap();
+            for (a, b) in son.iter().zip(soff) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+}
+
 /// Transistor-level Hartley image-rejection front end: quadrature BJT
 /// transconductor paths into an RC/CR phase shifter and a resistive
 /// summer — the SPICE-level counterpart of the Fig. 5 tuner.

@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 use std::ops::Range;
 
-/// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+/// Length specification for [`vec()`]: a fixed `usize` or a `Range<usize>`.
 pub trait IntoSizeRange {
     /// Draws a length.
     fn sample_len(&self, rng: &mut StdRng) -> usize;
@@ -28,7 +28,7 @@ pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, 
     VecStrategy { element, len }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S, L> {
     element: S,
     len: L,
