@@ -23,9 +23,9 @@ use std::time::Instant;
 
 use ahfic_bench::standard_generator;
 use ahfic_num::interp::logspace;
-use ahfic_spice::analysis::{ac_sweep, op, tran, Options, SolverChoice, TranParams};
+use ahfic_spice::analysis::{ac_sweep, op, tran, LadderConfig, Options, SolverChoice, TranParams};
 use ahfic_spice::circuit::{Circuit, ElementKind, Prepared};
-use ahfic_spice::model::BjtModel;
+use ahfic_spice::model::{BjtModel, DiodeModel};
 use ahfic_spice::trace::{summarize_top_level, InMemorySink, NullSink};
 use ahfic_spice::wave::SourceWave;
 
@@ -211,6 +211,92 @@ fn min_paired_mc_seconds(
     (best_a, best_b)
 }
 
+/// Current-driven avalanche diode: the junction walks from 0 V deep
+/// into reverse breakdown, which neither gmin loading nor source
+/// scaling can shorten (same corpus as `tests/robustness.rs`).
+fn avalanche_current_drive() -> Prepared {
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    let dm = c.add_diode_model(DiodeModel {
+        bv: 6.0,
+        ..DiodeModel::default()
+    });
+    c.isource("I1", Circuit::gnd(), a, 1.0);
+    c.diode("D1", Circuit::gnd(), a, dm, 1.0);
+    c.resistor("RSH", a, Circuit::gnd(), 1e9);
+    Prepared::compile(&c).expect("compile")
+}
+
+/// Three series zeners forced into breakdown by a current source.
+fn zener_stack_current_drive() -> Prepared {
+    let mut c = Circuit::new();
+    let dm = c.add_diode_model(DiodeModel {
+        bv: 6.0,
+        ..DiodeModel::default()
+    });
+    let top = c.node("top");
+    c.isource("I1", Circuit::gnd(), top, 0.5);
+    c.resistor("RSH", top, Circuit::gnd(), 1e9);
+    let mut prev = top;
+    for k in 0..3 {
+        let nxt = if k == 2 {
+            Circuit::gnd()
+        } else {
+            c.node(&format!("m{k}"))
+        };
+        c.diode(&format!("DZ{k}"), nxt, prev, dm, 1.0);
+        prev = nxt;
+    }
+    Prepared::compile(&c).expect("compile")
+}
+
+struct LadderProbe {
+    name: &'static str,
+    legacy_converged: bool,
+    legacy_iterations: usize,
+    full_converged: bool,
+    full_iterations: usize,
+    rungs_attempted: f64,
+    damped_iterations: f64,
+    gmin_stages: f64,
+    source_steps: f64,
+    ptran_steps: f64,
+}
+
+/// Runs one hard-start circuit against the legacy (gmin/source only)
+/// and full continuation ladders at a tight Newton budget, reading the
+/// per-rung work back out of the trace counters.
+fn ladder_probe(name: &'static str, prep: &Prepared, budget: usize) -> LadderProbe {
+    let legacy = op(
+        prep,
+        &Options::new()
+            .max_newton(budget)
+            .ladder(LadderConfig::legacy()),
+    );
+    let sink = Arc::new(InMemorySink::new());
+    let full = op(prep, &Options::new().max_newton(budget).trace(&sink));
+    let spans = summarize_top_level(&sink.take());
+    let counter = |n: &str| {
+        spans
+            .iter()
+            .find(|s| s.name == "op")
+            .and_then(|s| s.counter(n))
+            .unwrap_or(0.0)
+    };
+    LadderProbe {
+        name,
+        legacy_converged: legacy.is_ok(),
+        legacy_iterations: legacy.map(|r| r.iterations).unwrap_or(0),
+        full_converged: full.is_ok(),
+        full_iterations: full.as_ref().map(|r| r.iterations).unwrap_or(0),
+        rungs_attempted: counter("op.rungs_attempted"),
+        damped_iterations: counter("op.damped_iterations"),
+        gmin_stages: counter("op.gmin_stages"),
+        source_steps: counter("op.source_steps"),
+        ptran_steps: counter("op.ptran_steps"),
+    }
+}
+
 fn main() {
     let generator = standard_generator();
     let model = generator.generate(&"N1.2-12D".parse().expect("valid shape"));
@@ -310,6 +396,100 @@ fn main() {
         mc_speedup = mc_off_s / mc_on_s,
     );
 
+    // Convergence ladder on the hard-start corpus: circuits the
+    // gmin/source-only ladder cannot solve under a tight Newton budget,
+    // with the winning rung identified by its step counters — plus the
+    // evidence that an easy circuit pays nothing for the extra rungs.
+    let ladder_budget = 25;
+    let probes = [
+        ladder_probe(
+            "avalanche_current_drive",
+            &avalanche_current_drive(),
+            ladder_budget,
+        ),
+        ladder_probe(
+            "zener_stack_current_drive",
+            &zener_stack_current_drive(),
+            ladder_budget,
+        ),
+    ];
+    println!("\n# Convergence ladder (hard starts, max_newton = {ladder_budget})");
+    println!(
+        "{:<26} {:>7} {:>7} {:>6} {:>7} {:>7} {:>7} {:>7}",
+        "circuit", "legacy", "full", "rungs", "damped", "gmin", "source", "ptran"
+    );
+    let mut json_ladder = String::new();
+    for (i, p) in probes.iter().enumerate() {
+        println!(
+            "{:<26} {:>7} {:>7} {:>6.0} {:>7.0} {:>7.0} {:>7.0} {:>7.0}",
+            p.name,
+            if p.legacy_converged { "ok" } else { "FAIL" },
+            if p.full_converged {
+                format!("{} it", p.full_iterations)
+            } else {
+                "FAIL".into()
+            },
+            p.rungs_attempted,
+            p.damped_iterations,
+            p.gmin_stages,
+            p.source_steps,
+            p.ptran_steps,
+        );
+        if i > 0 {
+            json_ladder.push_str(",\n");
+        }
+        write!(
+            json_ladder,
+            concat!(
+                "    {{\"name\": \"{}\", \"legacy_converged\": {}, \"legacy_iterations\": {}, ",
+                "\"full_converged\": {}, \"full_iterations\": {},\n",
+                "     \"rungs_attempted\": {:.0}, \"damped_iterations\": {:.0}, ",
+                "\"gmin_stages\": {:.0}, \"source_steps\": {:.0}, \"ptran_steps\": {:.0}}}"
+            ),
+            p.name,
+            p.legacy_converged,
+            p.legacy_iterations,
+            p.full_converged,
+            p.full_iterations,
+            p.rungs_attempted,
+            p.damped_iterations,
+            p.gmin_stages,
+            p.source_steps,
+            p.ptran_steps,
+        )
+        .expect("write to string");
+    }
+
+    // Easy-circuit overhead: repeated cold operating points on the
+    // 4-stage chain, legacy ladder vs full ladder, best-of interleaved.
+    let easy = amplifier_chain(4, &model);
+    let legacy_opts = Options::new()
+        .solver(SolverChoice::Sparse)
+        .ladder(LadderConfig::legacy());
+    let full_opts = Options::new().solver(SolverChoice::Sparse);
+    let easy_trials = 200;
+    let time_ops = |opts: &Options| {
+        let t0 = Instant::now();
+        for _ in 0..easy_trials {
+            op(&easy, opts).expect("easy operating point");
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    time_ops(&legacy_opts);
+    time_ops(&full_opts);
+    let (mut easy_legacy_s, mut easy_full_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..7 {
+        easy_legacy_s = easy_legacy_s.min(time_ops(&legacy_opts));
+        easy_full_s = easy_full_s.min(time_ops(&full_opts));
+    }
+    let easy_overhead_pct = (easy_full_s / easy_legacy_s - 1.0) * 100.0;
+    println!(
+        "easy-circuit ladder overhead ({easy_trials} cold ops, best of 7): \
+         {legacy_ms:.1}ms legacy vs {full_ms:.1}ms full ({easy_overhead_pct:+.2}%)",
+        legacy_ms = easy_legacy_s * 1e3,
+        full_ms = easy_full_s * 1e3,
+    );
+
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"solver_smoke\",\n  \"unit\": \"ms\",\n  \"sizes\": [\n",
@@ -319,7 +499,10 @@ fn main() {
             "  \"stamp_replay\": {{\"suite_on_ms\": {son:.3}, \"suite_off_ms\": {soff:.3}, ",
             "\"suite_speedup\": {sx:.3},\n",
             "                   \"mc_trials\": {mct}, \"mc_on_ms\": {mon:.3}, ",
-            "\"mc_off_ms\": {moff:.3}, \"mc_speedup\": {mx:.3}}}\n}}\n"
+            "\"mc_off_ms\": {moff:.3}, \"mc_speedup\": {mx:.3}}},\n",
+            "  \"convergence_ladder\": {{\"max_newton\": {lbud}, \"hard_starts\": [\n{ladder}\n  ],\n",
+            "    \"easy_overhead\": {{\"trials\": {etr}, \"legacy_ms\": {eleg:.3}, ",
+            "\"full_ms\": {efull:.3}, \"overhead_pct\": {eo:.3}}}}}\n}}\n"
         ),
         sizes = json_sizes,
         base = base_s * 1e3,
@@ -332,6 +515,12 @@ fn main() {
         mon = mc_on_s * 1e3,
         moff = mc_off_s * 1e3,
         mx = mc_off_s / mc_on_s,
+        lbud = ladder_budget,
+        ladder = json_ladder,
+        etr = easy_trials,
+        eleg = easy_legacy_s * 1e3,
+        efull = easy_full_s * 1e3,
+        eo = easy_overhead_pct,
     );
     std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
     println!("\nwrote BENCH_solver.json");

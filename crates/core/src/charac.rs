@@ -68,7 +68,7 @@ pub struct BlockCharacterization {
 ///
 /// # Errors
 ///
-/// Propagates netlist/OP/AC errors; [`SpiceError::Measure`] when the
+/// Propagates netlist/OP/AC errors; [`ahfic_spice::SpiceError::Measure`] when the
 /// output node does not exist.
 pub fn characterize(bench: &CharacterizationBench) -> Result<BlockCharacterization> {
     characterize_with(bench, &Options::default())
@@ -108,6 +108,59 @@ pub fn characterize_with(
         bw_3db: c.bw_3db,
         f_ref: bench.f_ref,
     })
+}
+
+/// Outcome of [`characterize_batch`]: per-bench results in input order,
+/// with solver failures recorded instead of aborting the batch.
+#[derive(Clone, Debug)]
+pub struct BatchCharacterization {
+    /// Successful characterizations, keyed by bench index.
+    pub results: Vec<(usize, BlockCharacterization)>,
+    /// Benches whose OP or AC analysis failed; the batch continued
+    /// without them.
+    pub failures: Vec<crate::robust::SampleFailure>,
+}
+
+impl BatchCharacterization {
+    /// Benches attempted, converged or not.
+    pub fn attempted(&self) -> usize {
+        self.results.len() + self.failures.len()
+    }
+}
+
+/// Characterizes every bench in `benches`, continuing past per-bench
+/// solver failures: a hard-start bias network in one corner must not
+/// abort the other corners. Failure counts are emitted as
+/// `charac.batch_failures` when tracing is on.
+///
+/// # Errors
+///
+/// [`ahfic_spice::SpiceError::Measure`] only if **every** bench failed; otherwise
+/// failures land in [`BatchCharacterization::failures`].
+pub fn characterize_batch(
+    benches: &[CharacterizationBench],
+    opts: &Options,
+) -> Result<BatchCharacterization> {
+    let t = opts.trace.tracer();
+    let span = t.span("charac_batch");
+    let mut results = Vec::new();
+    let mut failures = Vec::new();
+    for (i, bench) in benches.iter().enumerate() {
+        match characterize_with(bench, opts) {
+            Ok(c) => results.push((i, c)),
+            Err(e) => failures.push(crate::robust::SampleFailure::new(
+                i,
+                format!("bench output {}", bench.output_node),
+                e,
+            )),
+        }
+    }
+    t.counter("charac.batch_failures", failures.len() as f64);
+    span.end();
+    if results.is_empty() && !benches.is_empty() {
+        return Err(crate::robust::all_failed_error("benches", &failures));
+    }
+    Ok(BatchCharacterization { results, failures })
 }
 
 /// Distortion characterization of the same bench: drives the input
@@ -275,6 +328,35 @@ mod tests {
         // Exponential transfer: THD scales roughly with drive.
         assert!(thd_small < 0.05, "small-signal THD {thd_small}");
         assert!(thd_large > 4.0 * thd_small, "{thd_large} vs {thd_small}");
+    }
+
+    #[test]
+    fn batch_continues_past_injected_failure() {
+        use ahfic_spice::analysis::{FaultInjector, FaultKind, LadderConfig};
+        use std::sync::Arc;
+        let benches = vec![ce_bench(), ce_bench(), ce_bench()];
+        // Kill the very first OP solve; with the recovery ladder off the
+        // first bench fails while the other two characterize normally.
+        let inj = Arc::new(FaultInjector::once(FaultKind::NoConvergence, 0, 1));
+        let no_ladder = LadderConfig {
+            damping: false,
+            gmin_stepping: false,
+            source_stepping: false,
+            ptran: false,
+        };
+        let opts = Options::new().fault_injector(&inj).ladder(no_ladder);
+        let b = characterize_batch(&benches, &opts).unwrap();
+        assert_eq!(b.attempted(), 3);
+        assert_eq!(b.failures.len(), 1, "{:?}", b.failures);
+        assert_eq!(b.failures[0].index, 0);
+        assert_eq!(b.results.len(), 2);
+        assert!(b.results.iter().all(|(_, c)| c.gain > 5.0));
+    }
+
+    #[test]
+    fn empty_batch_is_ok_and_empty() {
+        let b = characterize_batch(&[], &Options::default()).unwrap();
+        assert_eq!(b.attempted(), 0);
     }
 
     #[test]

@@ -105,6 +105,9 @@ pub fn ahdl_behavioral_fn_traced(
     Ok(BehavioralFn::new(move |controls: &[f64]| {
         let mut out = [0.0];
         // Memoryless: time and dt are irrelevant.
+        // A poisoned mutex means a previous tick panicked; propagating
+        // the panic is the only sound option for an opaque closure.
+        #[allow(clippy::expect_used)]
         cell.lock()
             .expect("behavioral eval panicked")
             .tick(0.0, 1.0, controls, &mut out);

@@ -38,6 +38,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// Batch studies must degrade gracefully, never panic: `unwrap`/`expect`
+// in non-test code warns (CI promotes warnings to errors), with local
+// `#[allow]`s where an invariant genuinely guarantees success.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod budget;
 pub mod charac;
 pub mod cosim;
@@ -45,6 +50,7 @@ pub mod flow;
 pub mod hierarchy;
 pub mod mixed;
 pub mod report;
+pub mod robust;
 pub mod spec;
 pub mod yield_mc;
 

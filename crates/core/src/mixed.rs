@@ -193,6 +193,56 @@ pub fn mixed_level_study_traced(
     })
 }
 
+/// Outcome of [`mixed_level_sweep`]: per-point shifter balances with
+/// solver failures recorded instead of aborting the sweep.
+#[derive(Clone, Debug)]
+pub struct MixedSweepResult {
+    /// `(mismatch, balance)` for every point that converged, in sweep
+    /// order.
+    pub points: Vec<(f64, ShifterBalance)>,
+    /// Sweep points whose characterization failed; the sweep continued
+    /// without them.
+    pub failures: Vec<crate::robust::SampleFailure>,
+}
+
+/// Characterizes the RC-CR shifter at every mismatch in `mismatches`
+/// on one compiled bench, continuing past per-point solver failures
+/// (recorded in [`MixedSweepResult::failures`] and counted as
+/// `mixed.sweep_failures` when tracing is on).
+///
+/// # Errors
+///
+/// Netlist/compile errors, or [`ahfic_spice::SpiceError::Measure`]
+/// (via [`crate::robust`]) if **every** point failed.
+pub fn mixed_level_sweep(
+    f0: f64,
+    c: f64,
+    mismatches: &[f64],
+    opts: &Options,
+) -> Result<MixedSweepResult> {
+    let t = opts.trace.tracer();
+    let span = t.span("mixed_sweep");
+    let mut bench = RcCrBench::new(f0, c)?.with_options(opts.clone());
+    let mut points = Vec::with_capacity(mismatches.len());
+    let mut failures = Vec::new();
+    for (i, &m) in mismatches.iter().enumerate() {
+        match bench.characterize(m) {
+            Ok(b) => points.push((m, b)),
+            Err(e) => failures.push(crate::robust::SampleFailure::new(
+                i,
+                format!("mismatch {m:+.4}"),
+                e,
+            )),
+        }
+    }
+    t.counter("mixed.sweep_failures", failures.len() as f64);
+    span.end();
+    if points.is_empty() && !mismatches.is_empty() {
+        return Err(crate::robust::all_failed_error("sweep points", &failures));
+    }
+    Ok(MixedSweepResult { points, failures })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +268,30 @@ mod tests {
         let plus = characterize_rc_cr(45e6, 1e-12, 0.05).unwrap();
         let minus = characterize_rc_cr(45e6, 1e-12, -0.05).unwrap();
         assert!(plus.phase_err_deg * minus.phase_err_deg < 0.0);
+    }
+
+    #[test]
+    fn sweep_records_failures_and_continues() {
+        use ahfic_spice::analysis::{FaultInjector, FaultKind, LadderConfig};
+        use std::sync::Arc;
+        let mismatches = [-0.05, 0.0, 0.05, 0.10];
+        // Fail the second point's OP deterministically.
+        let inj = Arc::new(FaultInjector::once(FaultKind::NoConvergence, 1, 1));
+        let no_ladder = LadderConfig {
+            damping: false,
+            gmin_stepping: false,
+            source_stepping: false,
+            ptran: false,
+        };
+        let opts = Options::new().fault_injector(&inj).ladder(no_ladder);
+        let r = mixed_level_sweep(45e6, 1e-12, &mismatches, &opts).unwrap();
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+        assert_eq!(r.failures[0].index, 1);
+        assert_eq!(r.points.len(), 3);
+        // Clean sweep sees every point and matches the one-shot helper.
+        let clean = mixed_level_sweep(45e6, 1e-12, &mismatches, &Options::default()).unwrap();
+        assert_eq!(clean.points.len(), 4);
+        assert!(clean.failures.is_empty());
     }
 
     #[test]

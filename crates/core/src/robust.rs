@@ -1,0 +1,88 @@
+//! Shared failure-recording types for batch studies that degrade
+//! gracefully.
+//!
+//! Monte-Carlo yield runs, characterization batches and mixed-level
+//! sweeps all share the same robustness contract: a solver failure on
+//! one sample is recorded and the run continues, instead of the first
+//! hard-start aborting hundreds of healthy samples. These types carry
+//! what failed and why, so reports can show failure counts next to the
+//! statistics computed over the samples that did converge.
+
+use ahfic_spice::error::SpiceError;
+use std::fmt;
+
+/// One failed sample (or sweep point) of a batch study.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleFailure {
+    /// Zero-based index of the sample in draw/sweep order.
+    pub index: usize,
+    /// What the sample was (mismatch value, sweep point, bench name).
+    pub label: String,
+    /// The typed solver error that killed it.
+    pub error: SpiceError,
+}
+
+impl SampleFailure {
+    /// Builds a failure record.
+    pub fn new(index: usize, label: impl Into<String>, error: SpiceError) -> Self {
+        SampleFailure {
+            index,
+            label: label.into(),
+            error,
+        }
+    }
+}
+
+impl fmt::Display for SampleFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sample {} ({}): {}", self.index, self.label, self.error)
+    }
+}
+
+/// Summarizes a failure list for error messages: total count plus the
+/// first failure's detail.
+pub(crate) fn all_failed_error(what: &str, failures: &[SampleFailure]) -> SpiceError {
+    let first = failures
+        .first()
+        .map(|f| f.to_string())
+        .unwrap_or_else(|| "no samples attempted".into());
+    SpiceError::Measure(format!(
+        "all {} {what} failed; first failure: {first}",
+        failures.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_index_label_and_error() {
+        let f = SampleFailure::new(
+            7,
+            "mismatch +0.12",
+            SpiceError::NoConvergence {
+                analysis: "op",
+                iterations: 400,
+                time: None,
+                report: None,
+            },
+        );
+        let s = f.to_string();
+        assert!(s.contains("sample 7"), "{s}");
+        assert!(s.contains("mismatch +0.12"), "{s}");
+        assert!(s.contains("failed to converge"), "{s}");
+    }
+
+    #[test]
+    fn all_failed_summary_counts_and_quotes_first() {
+        let failures = vec![
+            SampleFailure::new(0, "a", SpiceError::Netlist("x".into())),
+            SampleFailure::new(1, "b", SpiceError::Netlist("y".into())),
+        ];
+        let e = all_failed_error("samples", &failures);
+        let s = e.to_string();
+        assert!(s.contains("all 2 samples failed"), "{s}");
+        assert!(s.contains("sample 0"), "{s}");
+    }
+}

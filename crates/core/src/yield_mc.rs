@@ -9,6 +9,7 @@
 //! the requirement.
 
 use crate::mixed::RcCrBench;
+use crate::robust::{all_failed_error, SampleFailure};
 use ahfic_rf::image_rejection::irr_analytic_db;
 use ahfic_spice::analysis::Options;
 use ahfic_spice::error::Result;
@@ -45,16 +46,33 @@ impl YieldStudy {
 }
 
 /// Outcome of a yield study.
+///
+/// Statistics are computed over the samples whose characterization
+/// converged to a finite IRR; solver failures and non-finite values are
+/// recorded instead of aborting the run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct YieldResult {
-    /// Per-sample IRR (dB), in draw order.
+    /// Per-sample IRR (dB) of the successful samples, in draw order.
     pub irr_db: Vec<f64>,
-    /// Fraction of samples meeting the requirement.
+    /// Fraction of successful samples meeting the requirement.
     pub yield_frac: f64,
     /// Mean IRR (dB).
     pub mean_db: f64,
     /// 5th-percentile IRR (dB) — the "slow corner" number.
     pub p5_db: f64,
+    /// Samples whose SPICE characterization failed (solver error); the
+    /// run continued without them.
+    pub failures: Vec<SampleFailure>,
+    /// Samples that converged but produced a non-finite IRR, excluded
+    /// from the statistics.
+    pub non_finite: usize,
+}
+
+impl YieldResult {
+    /// Total samples attempted, converged or not.
+    pub fn attempted(&self) -> usize {
+        self.irr_db.len() + self.failures.len() + self.non_finite
+    }
 }
 
 impl YieldStudy {
@@ -72,8 +90,9 @@ impl YieldStudy {
     }
 
     /// [`Self::run`] with telemetry: the whole study runs inside a
-    /// `yield_mc` span with a `yield_mc.samples` counter, and every
-    /// sample's op/AC spans land in the same sink.
+    /// `yield_mc` span with `yield_mc.samples` / `.failed_samples` /
+    /// `.non_finite_samples` counters, and every sample's op/AC spans
+    /// land in the same sink.
     ///
     /// # Errors
     ///
@@ -83,35 +102,77 @@ impl YieldStudy {
     ///
     /// Panics if `samples == 0`.
     pub fn run_traced(&self, trace: &TraceHandle) -> Result<YieldResult> {
+        self.run_with_options(Options::new().trace_handle(trace.clone()))
+    }
+
+    /// [`Self::run_traced`] with full control over the analysis options
+    /// (solver choice, convergence-ladder configuration, fault
+    /// injection). Per-sample solver failures do not abort the study:
+    /// they are recorded in [`YieldResult::failures`] and the
+    /// statistics are computed over the samples that converged.
+    ///
+    /// # Errors
+    ///
+    /// Netlist/compile errors, or [`ahfic_spice::SpiceError::Measure`] if **every**
+    /// sample failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn run_with_options(&self, opts: Options) -> Result<YieldResult> {
         assert!(self.samples > 0, "need at least one sample");
-        let t = trace.tracer();
+        let t = opts.trace.tracer();
         let span = t.span("yield_mc");
         // One compiled bench for the whole study; each sample only
         // retunes R1 in place.
-        let mut bench = RcCrBench::new(self.f2_if, 1e-12)?
-            .with_options(Options::new().trace_handle(trace.clone()));
+        let mut bench = RcCrBench::new(self.f2_if, 1e-12)?.with_options(opts.clone());
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut irr_db = Vec::with_capacity(self.samples);
-        for _ in 0..self.samples {
+        let mut failures: Vec<SampleFailure> = Vec::new();
+        let mut non_finite = 0usize;
+        for i in 0..self.samples {
             let mismatch = self.sigma_mismatch * standard_normal(&mut rng);
-            let balance = bench.characterize(mismatch)?;
-            irr_db.push(irr_analytic_db(balance.phase_err_deg, balance.gain_err));
+            match bench.characterize(mismatch) {
+                Ok(balance) => {
+                    let irr = irr_analytic_db(balance.phase_err_deg, balance.gain_err);
+                    if irr.is_finite() {
+                        irr_db.push(irr);
+                    } else {
+                        non_finite += 1;
+                    }
+                }
+                Err(e) => {
+                    failures.push(SampleFailure::new(i, format!("mismatch {mismatch:+.4}"), e));
+                }
+            }
         }
         t.counter("yield_mc.samples", self.samples as f64);
+        t.counter("yield_mc.failed_samples", failures.len() as f64);
+        t.counter("yield_mc.non_finite_samples", non_finite as f64);
         span.end();
+        if irr_db.is_empty() {
+            if failures.is_empty() {
+                return Err(ahfic_spice::error::SpiceError::Measure(format!(
+                    "all {non_finite} yield samples produced a non-finite IRR"
+                )));
+            }
+            return Err(all_failed_error("yield samples", &failures));
+        }
         let pass = irr_db
             .iter()
             .filter(|&&v| v >= self.required_irr_db)
             .count();
         let mean_db = irr_db.iter().sum::<f64>() / irr_db.len() as f64;
         let mut sorted = irr_db.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite IRR"));
+        sorted.sort_by(f64::total_cmp);
         let p5_db = sorted[(sorted.len() as f64 * 0.05) as usize];
         Ok(YieldResult {
             yield_frac: pass as f64 / irr_db.len() as f64,
             mean_db,
             p5_db,
             irr_db,
+            failures,
+            non_finite,
         })
     }
 }
@@ -162,6 +223,38 @@ mod tests {
         let a = YieldStudy::paper_example(0.05).run().unwrap();
         let b = YieldStudy::paper_example(0.05).run().unwrap();
         assert_eq!(a.irr_db, b.irr_db);
+    }
+
+    #[test]
+    fn injected_failures_degrade_gracefully() {
+        use ahfic_spice::analysis::{FaultInjector, FaultKind, LadderConfig};
+        use std::sync::Arc;
+        // Force every 7th OP solve to report non-convergence, with the
+        // recovery ladder disabled so the failure reaches the sample
+        // level: those samples must be recorded as failures, everything
+        // else must still produce statistics.
+        let inj = Arc::new(FaultInjector::recurring(FaultKind::NoConvergence, 3, 7));
+        let no_ladder = LadderConfig {
+            damping: false,
+            gmin_stepping: false,
+            source_stepping: false,
+            ptran: false,
+        };
+        let study = YieldStudy {
+            samples: 40,
+            ..YieldStudy::paper_example(0.05)
+        };
+        let r = study
+            .run_with_options(Options::new().fault_injector(&inj).ladder(no_ladder))
+            .unwrap();
+        assert!(!r.failures.is_empty(), "injector never fired");
+        assert_eq!(r.attempted(), 40);
+        assert_eq!(r.irr_db.len() + r.failures.len() + r.non_finite, 40);
+        assert!((0.0..=1.0).contains(&r.yield_frac));
+        // The clean run sees strictly more samples.
+        let clean = study.run().unwrap();
+        assert!(clean.failures.is_empty());
+        assert!(clean.irr_db.len() > r.irr_db.len());
     }
 
     #[test]

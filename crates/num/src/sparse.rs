@@ -129,6 +129,11 @@ impl<T: Scalar> CscMatrix<T> {
         self.row_idx.len()
     }
 
+    /// Read access to the value array (indexed by compile-time slots).
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
     /// Mutable access to the value array (indexed by compile-time slots).
     pub fn values_mut(&mut self) -> &mut [T] {
         &mut self.values

@@ -1,21 +1,34 @@
 //! Circuit analyses: operating point, DC sweep, AC sweep, transient.
+//!
+//! The numerical hot paths are annotated to warn on `unwrap`/`expect`
+//! outside tests: a malformed netlist or a pathological circuit must
+//! surface as a typed [`SpiceError`](crate::error::SpiceError), never a
+//! panic. The few remaining `expect`s carry local `#[allow]`s with the
+//! invariant that justifies them.
 
 pub mod ac;
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod dc;
+pub mod fault;
 pub mod noise;
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod op;
 pub mod report;
 pub mod session;
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod solver;
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod stamp;
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod tran;
 
 pub use ac::ac_sweep;
 pub use dc::dc_sweep;
+pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultTrigger};
 pub use noise::{noise_analysis, NoiseContribution, NoisePoint};
 pub use op::{bjt_operating, op, op_from, OpResult};
 pub use report::op_report;
 pub use session::Session;
 pub use solver::{SolverChoice, SolverWorkspace};
-pub use stamp::Options;
+pub use stamp::{LadderConfig, Options};
 pub use tran::{tran, TranParams};

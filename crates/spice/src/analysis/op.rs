@@ -1,13 +1,15 @@
-//! DC operating-point analysis: Newton–Raphson with gmin stepping and
-//! source stepping fallbacks.
+//! DC operating-point analysis: Newton–Raphson backed by a
+//! convergence-recovery ladder — adaptive damping, gmin stepping,
+//! source stepping, and a pseudo-transient homotopy as last resort.
 
 use crate::analysis::solver::{singular_unknown, SolverWorkspace};
 use crate::analysis::stamp::{
-    converged, real_pattern, stamp_linear, stamp_nonlinear, MnaSink, Mode, NonlinMemory, Options,
+    real_pattern, stamp_linear, stamp_nonlinear, worst_unknowns, MnaSink, Mode, NonlinMemory,
+    Options,
 };
 use crate::circuit::Prepared;
 use crate::devices::{BjtOperating, OpCtx};
-use crate::error::{Result, SpiceError};
+use crate::error::{ConvergenceReport, Result, RungReport, SpiceError, WorstUnknown};
 use ahfic_trace::ContinuationStats;
 
 /// Converged operating point.
@@ -19,29 +21,101 @@ pub struct OpResult {
     pub iterations: usize,
 }
 
+/// Per-call Newton configuration: the knobs the continuation ladder
+/// turns between rungs.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct NewtonCfg<'a> {
+    /// Conductance added to every voltage-unknown diagonal (gmin
+    /// stepping, ptran anchor strength; `0.0` normally).
+    pub diag_gmin: f64,
+    /// Pseudo-transient anchor: when set, `diag_gmin * anchor[k]` is
+    /// added to the right-hand side of every voltage row, turning the
+    /// diagonal conductance into a backward-Euler companion of an
+    /// artificial capacitor to the anchor voltage.
+    pub anchor: Option<&'a [f64]>,
+    /// Initial fraction of the Newton update applied (1.0 = full step).
+    pub damping: f64,
+    /// Adapt the damping factor from iterate behaviour: halve it when
+    /// the scaled update grows, regrow toward 1.0 while it shrinks.
+    pub adaptive: bool,
+}
+
+impl NewtonCfg<'static> {
+    /// Plain full-step Newton.
+    pub fn plain() -> Self {
+        NewtonCfg {
+            diag_gmin: 0.0,
+            anchor: None,
+            damping: 1.0,
+            adaptive: false,
+        }
+    }
+
+    /// Plain Newton with a diagonal gmin (gmin-stepping stages).
+    pub fn with_gmin(diag_gmin: f64) -> Self {
+        NewtonCfg {
+            diag_gmin,
+            ..NewtonCfg::plain()
+        }
+    }
+
+    /// Adaptive damped Newton (the ladder's second rung).
+    pub fn damped() -> Self {
+        NewtonCfg {
+            adaptive: true,
+            ..NewtonCfg::plain()
+        }
+    }
+}
+
+/// Floor for the adaptive damping factor.
+const ALPHA_MIN: f64 = 1.0 / 64.0;
+
+/// Iterations spent before a [`SpiceError`] was produced (0 when the
+/// error does not carry a count).
+fn error_iterations(e: &SpiceError) -> usize {
+    match e {
+        SpiceError::NoConvergence { iterations, .. } => *iterations,
+        _ => 0,
+    }
+}
+
+/// Worst-unknown diagnostics attached to a Newton failure (empty when
+/// the error carries none).
+fn error_worst(e: &SpiceError) -> Vec<WorstUnknown> {
+    e.convergence_report()
+        .map(|r| r.worst.clone())
+        .unwrap_or_default()
+}
+
 /// Runs one Newton solve in the given mode, reusing `ws` for assembly,
 /// factorization, and solution buffers — no heap allocation inside the
 /// iteration loop beyond the returned solution vector.
 ///
-/// `diag_gmin` is added to every voltage-unknown diagonal (used by gmin
-/// stepping; `0.0` normally). With `opts.linear_replay` on, the linear
-/// partition (plus the gmin diagonal) is stamped once and replayed by
-/// `memcpy` on every subsequent iteration; only the nonlinear partition
-/// is re-stamped. Returns the solution and iteration count.
-#[allow(clippy::too_many_arguments)]
+/// With `opts.linear_replay` on, the linear partition (plus the
+/// `cfg.diag_gmin` diagonal and optional ptran anchor) is stamped once
+/// and replayed by `memcpy` on every subsequent iteration; only the
+/// nonlinear partition is re-stamped. Every iteration passes a NaN/Inf
+/// guard over the assembled system and, when installed, polls the fault
+/// injector. Returns the solution and iteration count.
 pub(crate) fn newton_solve(
     prep: &Prepared,
     opts: &Options,
     mode: &Mode,
     mem: &mut NonlinMemory,
     x0: &[f64],
-    diag_gmin: f64,
     ws: &mut SolverWorkspace<f64>,
+    cfg: &NewtonCfg,
 ) -> Result<(Vec<f64>, usize)> {
     let mut x = x0.to_vec();
     let replay = opts.linear_replay;
-    // The baseline depends on mode and diag_gmin, both fixed for the
-    // duration of this call but not across calls sharing the workspace.
+    let injector = opts.faults.get();
+    let solve_idx = injector.map(|f| f.begin_solve());
+    let mut alpha = cfg.damping.clamp(ALPHA_MIN, 1.0);
+    let mut prev_metric = f64::INFINITY;
+    // The baseline depends on mode, diag_gmin and anchor, all fixed for
+    // the duration of this call but not across calls sharing the
+    // workspace.
     ws.invalidate_checkpoint();
     if ws.needs_pattern() {
         let pat = real_pattern(prep, &x, opts, mode, prep.num_voltage_unknowns);
@@ -56,7 +130,13 @@ pub(crate) fn newton_solve(
                 // Stamped even at 0.0 so the stamp sequence is identical
                 // across the OP strategies sharing a workspace.
                 for k in 0..prep.num_voltage_unknowns {
-                    ws.kernel.add(k, k, diag_gmin);
+                    ws.kernel.add(k, k, cfg.diag_gmin);
+                }
+                if let Some(anchor) = cfg.anchor {
+                    let nv = prep.num_voltage_unknowns;
+                    for (r, a) in ws.rhs[..nv].iter_mut().zip(anchor) {
+                        *r += cfg.diag_gmin * a;
+                    }
                 }
                 if replay {
                     ws.checkpoint();
@@ -67,38 +147,99 @@ pub(crate) fn newton_solve(
                 break;
             }
         }
+        if let (Some(f), Some(idx)) = (injector, solve_idx) {
+            match f.poll(idx, iter) {
+                Some(crate::analysis::fault::FaultKind::NanStamp) => ws.poison_nan(),
+                Some(crate::analysis::fault::FaultKind::SingularMatrix) => ws.poison_singular(),
+                Some(crate::analysis::fault::FaultKind::NoConvergence) => {
+                    return Err(SpiceError::NoConvergence {
+                        analysis: "newton",
+                        iterations: iter,
+                        time: None,
+                        report: None,
+                    });
+                }
+                None => {}
+            }
+        }
+        if !ws.assembly_finite() {
+            return Err(SpiceError::NonFinite {
+                analysis: "newton",
+                context: format!("poisoned stamp in assembled system at iteration {iter}"),
+            });
+        }
         ws.factor().map_err(|e| singular_unknown(prep, e))?;
         let x_new = ws.solve();
         if x_new.iter().any(|v| !v.is_finite()) {
-            return Err(SpiceError::NoConvergence {
+            return Err(SpiceError::NonFinite {
                 analysis: "newton",
-                iterations: iter,
-                time: None,
+                context: format!("non-finite solution at iteration {iter}"),
             });
         }
-        let done = converged(prep, &x, x_new, opts) && !mem.limited;
-        x.copy_from_slice(x_new);
-        if done {
+        // Scaled size of the full (undamped) update: <= 1 means every
+        // unknown moved within tolerance.
+        let mut metric = 0.0f64;
+        for k in 0..prep.num_unknowns {
+            let tol_abs = if k < prep.num_voltage_unknowns {
+                opts.vntol
+            } else {
+                opts.abstol
+            };
+            let tol = opts.reltol * x_new[k].abs().max(x[k].abs()) + tol_abs;
+            metric = metric.max((x_new[k] - x[k]).abs() / tol);
+        }
+        if metric <= 1.0 && mem.limited == 0 {
+            x.copy_from_slice(x_new);
             return Ok((x, iter));
         }
+        if iter == opts.max_newton {
+            // Final iteration failed: rank the offenders for the report.
+            let worst = worst_unknowns(prep, &x, x_new, opts, 3);
+            return Err(SpiceError::NoConvergence {
+                analysis: "newton",
+                iterations: opts.max_newton,
+                time: None,
+                report: Some(Box::new(ConvergenceReport {
+                    rungs: Vec::new(),
+                    worst,
+                })),
+            });
+        }
+        if cfg.adaptive {
+            // Shrink the step fraction while the iteration is getting
+            // worse, regrow it while it makes progress.
+            if metric > prev_metric {
+                alpha = (alpha * 0.5).max(ALPHA_MIN);
+            } else {
+                alpha = (alpha * 1.6).min(1.0);
+            }
+            prev_metric = metric;
+        }
+        if alpha >= 1.0 {
+            x.copy_from_slice(x_new);
+        } else {
+            for k in 0..prep.num_unknowns {
+                x[k] += alpha * (x_new[k] - x[k]);
+            }
+        }
     }
-    Err(SpiceError::NoConvergence {
-        analysis: "newton",
-        iterations: opts.max_newton,
-        time: None,
-    })
+    unreachable!("loop returns on its final iteration");
 }
 
 /// Computes the DC operating point.
 ///
-/// Strategy: plain Newton from a zero start; on failure, gmin stepping
-/// (a conductance from every node to ground, progressively relaxed);
-/// on failure, source stepping (all sources ramped from 10 % to 100 %).
+/// Strategy: plain Newton from a zero start; on failure, adaptive
+/// damped Newton; then gmin stepping (a conductance from every node to
+/// ground, progressively relaxed); then source stepping (all sources
+/// ramped from 10 % to 100 %); and finally a pseudo-transient homotopy.
+/// Rungs can be disabled individually through [`Options::ladder`].
 ///
 /// # Errors
 ///
 /// [`SpiceError::Singular`] for structurally singular circuits,
-/// [`SpiceError::NoConvergence`] when every strategy fails.
+/// [`SpiceError::NoConvergence`] (carrying a
+/// [`ConvergenceReport`]) when every
+/// strategy fails.
 pub fn op(prep: &Prepared, opts: &Options) -> Result<OpResult> {
     op_from(prep, opts, None)
 }
@@ -138,8 +279,10 @@ pub(crate) fn op_from_ws(
 }
 
 /// The continuation ladder behind every operating point: plain Newton,
-/// then gmin stepping, then source stepping. `stats` accumulates work
-/// across all stages regardless of which one converges.
+/// adaptive damping, gmin stepping, source stepping, pseudo-transient.
+/// `stats` accumulates work across all rungs regardless of which one
+/// converges; on total failure the returned error carries a
+/// [`ConvergenceReport`] describing every rung attempted.
 fn op_strategies(
     prep: &Prepared,
     opts: &Options,
@@ -151,11 +294,26 @@ fn op_strategies(
     let zero = vec![0.0; n];
     let start = x0.unwrap_or(&zero);
     let mode = Mode::Dc { source_scale: 1.0 };
+    let mut rungs: Vec<RungReport> = Vec::new();
+    let mut worst: Vec<WorstUnknown> = Vec::new();
+    let mut total_iters = 0usize;
+    // Records a failed rung and keeps the most recent worst-unknown
+    // ranking for the final report.
+    let fail = |rungs: &mut Vec<RungReport>,
+                worst: &mut Vec<WorstUnknown>,
+                r: RungReport,
+                e: &SpiceError| {
+        let w = error_worst(e);
+        if !w.is_empty() {
+            *worst = w;
+        }
+        rungs.push(r);
+    };
 
     // 1. Plain Newton.
+    stats.rungs_attempted += 1;
     let mut mem = NonlinMemory::new(prep);
-    let mut total_iters = 0usize;
-    match newton_solve(prep, opts, &mode, &mut mem, start, 0.0, ws) {
+    match newton_solve(prep, opts, &mode, &mut mem, start, ws, &NewtonCfg::plain()) {
         Ok((x, it)) => {
             stats.newton_iterations += it as u64;
             return Ok(OpResult { x, iterations: it });
@@ -165,84 +323,308 @@ fn op_strategies(
             // stepping; gmin on the diagonal may cure floating nodes, so
             // try one damped pass before giving up.
             let mut mem = NonlinMemory::new(prep);
-            if let Ok((x, it)) = newton_solve(prep, opts, &mode, &mut mem, start, 1e-9, ws) {
+            let cfg = NewtonCfg::with_gmin(1e-9);
+            if let Ok((x, it)) = newton_solve(prep, opts, &mode, &mut mem, start, ws, &cfg) {
                 stats.newton_iterations += it as u64;
                 return Ok(OpResult { x, iterations: it });
             }
             return Err(SpiceError::Singular { unknown });
         }
-        Err(SpiceError::NoConvergence { iterations, .. }) => {
-            stats.newton_iterations += iterations as u64;
-        }
-        Err(_) => {}
-    }
-
-    // 2. Gmin stepping.
-    let mut x = start.to_vec();
-    let mut mem = NonlinMemory::new(prep);
-    let gmin_ladder = [1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 0.0];
-    let mut ladder_ok = true;
-    for &g in &gmin_ladder {
-        stats.gmin_stages += 1;
-        match newton_solve(prep, opts, &mode, &mut mem, &x, g, ws) {
-            Ok((xs, it)) => {
-                total_iters += it;
-                stats.newton_iterations += it as u64;
-                x = xs;
+        Err(e) => {
+            let it = error_iterations(&e);
+            total_iters += it;
+            stats.newton_iterations += it as u64;
+            if matches!(e, SpiceError::NonFinite { .. }) {
+                stats.nonfinite_recoveries += 1;
             }
-            Err(_) => {
-                ladder_ok = false;
-                break;
-            }
+            fail(
+                &mut rungs,
+                &mut worst,
+                RungReport::failed("newton", it, 1),
+                &e,
+            );
         }
     }
-    if ladder_ok {
-        return Ok(OpResult {
-            x,
-            iterations: total_iters,
-        });
-    }
 
-    // 3. Source stepping.
-    let mut x = vec![0.0; n];
-    let mut mem = NonlinMemory::new(prep);
-    let mut scale = 0.0f64;
-    let mut step = 0.1f64;
-    let mut failures = 0usize;
-    while scale < 1.0 {
-        let target = (scale + step).min(1.0);
-        let mode = Mode::Dc {
-            source_scale: target,
-        };
-        stats.source_steps += 1;
-        match newton_solve(prep, opts, &mode, &mut mem, &x, 0.0, ws) {
-            Ok((xs, it)) => {
-                total_iters += it;
+    // 2. Adaptive damped Newton: full Jacobian, fractional updates.
+    if opts.ladder.damping {
+        stats.rungs_attempted += 1;
+        let mut mem = NonlinMemory::new(prep);
+        match newton_solve(prep, opts, &mode, &mut mem, start, ws, &NewtonCfg::damped()) {
+            Ok((x, it)) => {
                 stats.newton_iterations += it as u64;
-                x = xs;
-                scale = target;
-                step = (step * 1.5).min(0.25);
+                stats.damped_iterations += it as u64;
+                return Ok(OpResult {
+                    x,
+                    iterations: total_iters + it,
+                });
             }
             Err(e) => {
-                failures += 1;
-                step *= 0.25;
-                if failures > 12 || step < 1e-5 {
-                    return Err(match e {
-                        SpiceError::Singular { .. } => e,
-                        _ => SpiceError::NoConvergence {
-                            analysis: "op",
-                            iterations: total_iters,
-                            time: None,
-                        },
-                    });
+                let it = error_iterations(&e);
+                total_iters += it;
+                stats.newton_iterations += it as u64;
+                stats.damped_iterations += it as u64;
+                if matches!(e, SpiceError::NonFinite { .. }) {
+                    stats.nonfinite_recoveries += 1;
+                }
+                fail(
+                    &mut rungs,
+                    &mut worst,
+                    RungReport::failed("damped", it, 1),
+                    &e,
+                );
+            }
+        }
+    }
+
+    // 3. Gmin stepping.
+    if opts.ladder.gmin_stepping {
+        stats.rungs_attempted += 1;
+        let mut x = start.to_vec();
+        let mut mem = NonlinMemory::new(prep);
+        let gmin_ladder = [1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 0.0];
+        let mut rung_iters = 0usize;
+        let mut stages = 0usize;
+        let mut stalled: Option<SpiceError> = None;
+        for &g in &gmin_ladder {
+            stats.gmin_stages += 1;
+            stages += 1;
+            match newton_solve(
+                prep,
+                opts,
+                &mode,
+                &mut mem,
+                &x,
+                ws,
+                &NewtonCfg::with_gmin(g),
+            ) {
+                Ok((xs, it)) => {
+                    rung_iters += it;
+                    stats.newton_iterations += it as u64;
+                    x = xs;
+                }
+                Err(e) => {
+                    rung_iters += error_iterations(&e);
+                    stats.newton_iterations += error_iterations(&e) as u64;
+                    if matches!(e, SpiceError::NonFinite { .. }) {
+                        stats.nonfinite_recoveries += 1;
+                    }
+                    stalled = Some(e);
+                    break;
+                }
+            }
+        }
+        total_iters += rung_iters;
+        match stalled {
+            None => {
+                return Ok(OpResult {
+                    x,
+                    iterations: total_iters,
+                })
+            }
+            Some(e) => {
+                let mut r = RungReport::failed("gmin", rung_iters, stages);
+                r.detail = format!("stalled at stage {stages} of {}", gmin_ladder.len());
+                fail(&mut rungs, &mut worst, r, &e);
+            }
+        }
+    }
+
+    // 4. Source stepping.
+    if opts.ladder.source_stepping {
+        stats.rungs_attempted += 1;
+        let mut x = vec![0.0; n];
+        let mut mem = NonlinMemory::new(prep);
+        let mut scale = 0.0f64;
+        let mut step = 0.1f64;
+        let mut failures = 0usize;
+        let mut rung_iters = 0usize;
+        let mut steps = 0usize;
+        let mut gave_up: Option<SpiceError> = None;
+        while scale < 1.0 {
+            let target = (scale + step).min(1.0);
+            let mode = Mode::Dc {
+                source_scale: target,
+            };
+            stats.source_steps += 1;
+            steps += 1;
+            match newton_solve(prep, opts, &mode, &mut mem, &x, ws, &NewtonCfg::plain()) {
+                Ok((xs, it)) => {
+                    rung_iters += it;
+                    stats.newton_iterations += it as u64;
+                    x = xs;
+                    scale = target;
+                    step = (step * 1.5).min(0.25);
+                }
+                Err(e) => {
+                    rung_iters += error_iterations(&e);
+                    stats.newton_iterations += error_iterations(&e) as u64;
+                    if matches!(e, SpiceError::NonFinite { .. }) {
+                        stats.nonfinite_recoveries += 1;
+                    }
+                    failures += 1;
+                    step *= 0.25;
+                    if failures > 12 || step < 1e-5 {
+                        gave_up = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        total_iters += rung_iters;
+        match gave_up {
+            None => {
+                return Ok(OpResult {
+                    x,
+                    iterations: total_iters,
+                })
+            }
+            Some(e) => {
+                let mut r = RungReport::failed("source", rung_iters, steps);
+                r.detail = format!("stalled at scale {scale:.3}");
+                fail(&mut rungs, &mut worst, r, &e);
+            }
+        }
+    }
+
+    // 5. Pseudo-transient homotopy: artificial capacitors from every
+    // node to an anchor, relaxed toward zero.
+    if opts.ladder.ptran {
+        stats.rungs_attempted += 1;
+        match ptran_homotopy(prep, opts, &mode, start, ws, stats) {
+            Ok((x, it)) => {
+                total_iters += it;
+                return Ok(OpResult {
+                    x,
+                    iterations: total_iters,
+                });
+            }
+            Err((r, e, it)) => {
+                total_iters += it;
+                fail(&mut rungs, &mut worst, r, &e);
+            }
+        }
+    }
+
+    Err(SpiceError::NoConvergence {
+        analysis: "op",
+        iterations: total_iters,
+        time: None,
+        report: Some(Box::new(ConvergenceReport { rungs, worst })),
+    })
+}
+
+/// Pseudo-transient homotopy: each step solves the circuit with an
+/// artificial conductance `g` from every voltage unknown to its value
+/// at the previous step (a backward-Euler companion of a grounded
+/// capacitor). `g` relaxes toward zero — fast while steps converge
+/// easily, backing off when they fail — until the anchor no longer
+/// binds and a plain-Newton polish confirms the true solution.
+///
+/// Returns `(solution, iterations)` or `(rung report, last error,
+/// iterations)` so the caller can fold the failure into its ladder
+/// report.
+#[allow(clippy::type_complexity)]
+fn ptran_homotopy(
+    prep: &Prepared,
+    opts: &Options,
+    mode: &Mode,
+    start: &[f64],
+    ws: &mut SolverWorkspace<f64>,
+    stats: &mut ContinuationStats,
+) -> std::result::Result<(Vec<f64>, usize), (RungReport, SpiceError, usize)> {
+    const G_START: f64 = 1.0;
+    const G_STOP: f64 = 1e-12;
+    const G_MAX: f64 = 1e6;
+    const MAX_STEPS: usize = 400;
+    const MAX_CONSECUTIVE_FAILURES: usize = 6;
+
+    let mut anchor = start.to_vec();
+    let mut g = G_START;
+    let mut rung_iters = 0usize;
+    let mut steps = 0usize;
+    let mut consecutive_failures = 0usize;
+    let mut mem = NonlinMemory::new(prep);
+    let mut last_err = SpiceError::NoConvergence {
+        analysis: "ptran",
+        iterations: 0,
+        time: None,
+        report: None,
+    };
+
+    while steps < MAX_STEPS {
+        steps += 1;
+        stats.ptran_steps += 1;
+        let cfg = NewtonCfg {
+            diag_gmin: g,
+            anchor: Some(&anchor),
+            damping: 1.0,
+            adaptive: true,
+        };
+        let attempt = newton_solve(prep, opts, mode, &mut mem, &anchor, ws, &cfg);
+        match attempt {
+            Ok((x, it)) => {
+                rung_iters += it;
+                stats.newton_iterations += it as u64;
+                consecutive_failures = 0;
+                let moved = anchor
+                    .iter()
+                    .zip(&x)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f64, f64::max);
+                anchor = x;
+                if g <= G_STOP {
+                    // Anchor has essentially no strength left: polish
+                    // with plain Newton to certify the real circuit.
+                    let mut mem = NonlinMemory::new(prep);
+                    match newton_solve(
+                        prep,
+                        opts,
+                        mode,
+                        &mut mem,
+                        &anchor,
+                        ws,
+                        &NewtonCfg::damped(),
+                    ) {
+                        Ok((x, it)) => {
+                            rung_iters += it;
+                            stats.newton_iterations += it as u64;
+                            return Ok((x, rung_iters));
+                        }
+                        Err(e) => {
+                            rung_iters += error_iterations(&e);
+                            stats.newton_iterations += error_iterations(&e) as u64;
+                            if matches!(e, SpiceError::NonFinite { .. }) {
+                                stats.nonfinite_recoveries += 1;
+                            }
+                            last_err = e;
+                            break;
+                        }
+                    }
+                }
+                // Relax faster when the step barely moved the solution.
+                let fast = it <= 5 && moved < 0.5;
+                g *= if fast { 0.2 } else { 0.5 };
+            }
+            Err(e) => {
+                rung_iters += error_iterations(&e);
+                stats.newton_iterations += error_iterations(&e) as u64;
+                if matches!(e, SpiceError::NonFinite { .. }) {
+                    stats.nonfinite_recoveries += 1;
+                }
+                consecutive_failures += 1;
+                g *= 10.0;
+                last_err = e;
+                if consecutive_failures > MAX_CONSECUTIVE_FAILURES || g > G_MAX {
+                    break;
                 }
             }
         }
     }
-    Ok(OpResult {
-        x,
-        iterations: total_iters,
-    })
+
+    let mut r = RungReport::failed("ptran", rung_iters, steps);
+    r.detail = format!("stopped at g = {g:.1e}");
+    Err((r, last_err, rung_iters))
 }
 
 /// Re-evaluates the Gummel–Poon state of a named BJT at a converged

@@ -79,6 +79,11 @@ pub(crate) enum Kernel<T: Scalar> {
     },
 }
 
+// The `expect`s below encode the kernel's own state machine (a pattern
+// exists once recording finished, factors exist after `factor()`), not
+// user input; a violation is a bug in this module, so panicking is the
+// correct response and the lint is silenced for these impls.
+#[allow(clippy::expect_used)]
 impl<T: Scalar> MnaSink<T> for Kernel<T> {
     fn reset(&mut self) {
         match self {
@@ -161,6 +166,8 @@ pub struct SolverWorkspace<T: Scalar> {
     timing: bool,
 }
 
+// Same state-machine invariants as the `MnaSink` impl above.
+#[allow(clippy::expect_used)]
 impl<T: Scalar> SolverWorkspace<T> {
     /// Allocates a workspace for an `n`-unknown system.
     pub fn new(n: usize, choice: SolverChoice) -> Self {
@@ -475,6 +482,54 @@ impl<T: Scalar> SolverWorkspace<T> {
     }
 }
 
+impl SolverWorkspace<f64> {
+    /// NaN/Inf guard: whether every assembled matrix value and
+    /// right-hand-side entry is finite. Called once per Newton iteration
+    /// after assembly — a linear scan of the stored values, negligible
+    /// next to the factorization — so a poisoned stamp (zero-valued
+    /// part, overflowing model, injected fault) is caught before it can
+    /// corrupt the factors and send Newton iterating on garbage.
+    pub fn assembly_finite(&self) -> bool {
+        let mat_ok = match &self.kernel {
+            Kernel::Dense { mat, .. } => mat.as_slice().iter().all(|v| v.is_finite()),
+            Kernel::Sparse { csc, .. } => csc
+                .as_ref()
+                .is_none_or(|m| m.values().iter().all(|v| v.is_finite())),
+        };
+        mat_ok && self.rhs.iter().all(|v| v.is_finite())
+    }
+
+    /// Fault-injection hook: overwrites one assembled matrix value with
+    /// NaN, as a model evaluation gone wrong would.
+    pub(crate) fn poison_nan(&mut self) {
+        match &mut self.kernel {
+            Kernel::Dense { mat, .. } => {
+                if let Some(v) = mat.as_mut_slice().first_mut() {
+                    *v = f64::NAN;
+                }
+            }
+            Kernel::Sparse { csc, .. } => {
+                if let Some(v) = csc.as_mut().and_then(|m| m.values_mut().first_mut()) {
+                    *v = f64::NAN;
+                }
+            }
+        }
+    }
+
+    /// Fault-injection hook: zeroes the assembled matrix so the next
+    /// factorization genuinely breaks down as singular.
+    pub(crate) fn poison_singular(&mut self) {
+        match &mut self.kernel {
+            Kernel::Dense { mat, .. } => mat.as_mut_slice().fill(0.0),
+            Kernel::Sparse { csc, .. } => {
+                if let Some(m) = csc.as_mut() {
+                    m.clear_values();
+                }
+            }
+        }
+    }
+}
+
 /// Maps a linear-solver breakdown to [`SpiceError::Singular`] with the
 /// name of the offending unknown.
 pub(crate) fn singular_unknown(prep: &Prepared, e: SingularMatrixError) -> SpiceError {
@@ -505,6 +560,9 @@ pub(crate) struct ParStats {
 /// order; the error at the lowest index wins. `timing` turns on
 /// per-workspace factor/solve wall-time accumulation (reported merged in
 /// the returned [`ParStats`]).
+// Every slot is filled before the scope joins; a `None` is a bug here,
+// not a recoverable condition.
+#[allow(clippy::expect_used)]
 pub(crate) fn parallel_freq_map<T, R, F>(
     n: usize,
     choice: SolverChoice,

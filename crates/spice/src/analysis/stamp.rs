@@ -11,12 +11,55 @@
 //! `real_pattern` runs the same walk through a `PatternProbe` to
 //! declare the sparsity pattern to the solver up front.
 
+use crate::analysis::fault::{FaultHandle, FaultInjector};
 use crate::analysis::solver::SolverChoice;
 use crate::circuit::Prepared;
 use crate::devices::{RealCtx, RealStamper};
 use ahfic_num::{Matrix, Scalar};
 use ahfic_trace::{TraceHandle, TraceSink};
 use std::sync::Arc;
+
+/// Which rungs of the operating-point continuation ladder are armed.
+///
+/// The full ladder (the default) runs, in order: plain Newton, adaptive
+/// damped Newton, gmin stepping, source stepping, pseudo-transient
+/// homotopy. Disabling rungs is mainly useful for benchmarking the
+/// ladder itself and for reproducing legacy behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LadderConfig {
+    /// Adaptive damped-Newton retry after plain Newton fails.
+    pub damping: bool,
+    /// Gmin stepping (diagonal conductance relaxed over decades).
+    pub gmin_stepping: bool,
+    /// Source stepping (all sources ramped from zero).
+    pub source_stepping: bool,
+    /// Pseudo-transient homotopy, the last resort.
+    pub ptran: bool,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            damping: true,
+            gmin_stepping: true,
+            source_stepping: true,
+            ptran: true,
+        }
+    }
+}
+
+impl LadderConfig {
+    /// The pre-damping/ptran ladder: plain Newton, gmin stepping, source
+    /// stepping only. Kept for comparisons and benchmarks.
+    pub fn legacy() -> Self {
+        LadderConfig {
+            damping: false,
+            gmin_stepping: true,
+            source_stepping: true,
+            ptran: false,
+        }
+    }
+}
 
 /// Simulator tolerance and iteration options (SPICE names).
 ///
@@ -54,6 +97,11 @@ pub struct Options {
     /// Telemetry destination; [`TraceHandle::off`] (the default) makes
     /// every instrumentation point a single not-taken branch.
     pub trace: TraceHandle,
+    /// Continuation-ladder rung selection for hard operating points.
+    pub ladder: LadderConfig,
+    /// Deterministic fault injection; [`FaultHandle::off`] (the default)
+    /// makes every poll site a single not-taken branch.
+    pub faults: FaultHandle,
 }
 
 impl Default for Options {
@@ -68,6 +116,8 @@ impl Default for Options {
             solver: SolverChoice::Auto,
             linear_replay: true,
             trace: TraceHandle::off(),
+            ladder: LadderConfig::default(),
+            faults: FaultHandle::off(),
         }
     }
 }
@@ -199,6 +249,20 @@ impl Options {
         self.trace = trace;
         self
     }
+
+    /// Selects which continuation-ladder rungs are armed.
+    pub fn ladder(mut self, ladder: LadderConfig) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Installs a deterministic fault injector (shared ownership) — see
+    /// [`crate::analysis::fault`]. Off by default and zero-cost when
+    /// unset.
+    pub fn fault_injector(mut self, injector: &Arc<FaultInjector>) -> Self {
+        self.faults = FaultHandle::new(injector);
+        self
+    }
 }
 
 /// Stored charge and its branch current for one charge element slot.
@@ -246,8 +310,14 @@ pub struct NonlinMemory {
     pub bjt: Vec<(f64, f64)>,
     /// `vd` per element (meaningful for diodes).
     pub diode: Vec<f64>,
-    /// Whether any junction was limited during the last assembly.
-    pub limited: bool,
+    /// Number of junctions whose Newton update was pnjlim-limited during
+    /// the last assembly (0 = every junction took its full step). The
+    /// per-junction count replaces the old all-or-nothing flag: the
+    /// continuation ladder reads it both as a convergence veto and as a
+    /// diagnostic of *how much* limiting is still happening.
+    pub limited: u32,
+    /// Largest voltage shift pnjlim applied during the last assembly (V).
+    pub max_limit_shift: f64,
 }
 
 impl NonlinMemory {
@@ -257,8 +327,25 @@ impl NonlinMemory {
         NonlinMemory {
             bjt: vec![(0.0, 0.0); n],
             diode: vec![0.0; n],
-            limited: false,
+            limited: 0,
+            max_limit_shift: 0.0,
         }
+    }
+
+    /// Records one pnjlim intervention that moved a junction voltage by
+    /// `shift` volts. Called by device stamps.
+    #[inline]
+    pub fn note_limited(&mut self, shift: f64) {
+        self.limited += 1;
+        if shift > self.max_limit_shift {
+            self.max_limit_shift = shift;
+        }
+    }
+
+    /// Whether the last assembly limited any junction.
+    #[inline]
+    pub fn any_limited(&self) -> bool {
+        self.limited > 0
     }
 }
 
@@ -307,7 +394,8 @@ pub fn stamp_linear<M: MnaSink<f64>>(
     let mut mem_unused = NonlinMemory {
         bjt: Vec::new(),
         diode: Vec::new(),
-        limited: false,
+        limited: 0,
+        max_limit_shift: 0.0,
     };
     let mut s = RealStamper::new(mat, rhs);
     for &i in &prep.linear {
@@ -326,7 +414,8 @@ pub fn stamp_nonlinear<M: MnaSink<f64>>(
     mat: &mut M,
     rhs: &mut [f64],
 ) {
-    mem.limited = false;
+    mem.limited = 0;
+    mem.max_limit_shift = 0.0;
     let cx = RealCtx {
         prep,
         opts,
@@ -429,6 +518,51 @@ pub fn converged(prep: &Prepared, x_old: &[f64], x_new: &[f64], opts: &Options) 
         }
     }
     true
+}
+
+/// Ranks the unknowns whose last Newton update exceeded tolerance the
+/// most, named for [`crate::error::ConvergenceReport`] diagnostics.
+/// Only called on failure paths.
+pub(crate) fn worst_unknowns(
+    prep: &Prepared,
+    x_old: &[f64],
+    x_new: &[f64],
+    opts: &Options,
+    top: usize,
+) -> Vec<crate::error::WorstUnknown> {
+    let mut ranked: Vec<(f64, usize, f64, f64)> = (0..prep.num_unknowns)
+        .map(|k| {
+            let tol_abs = if k < prep.num_voltage_unknowns {
+                opts.vntol
+            } else {
+                opts.abstol
+            };
+            let tol = opts.reltol * x_new[k].abs().max(x_old[k].abs()) + tol_abs;
+            let delta = (x_new[k] - x_old[k]).abs();
+            // Non-finite iterates rank worst of all.
+            let score = if delta.is_finite() {
+                delta / tol
+            } else {
+                f64::INFINITY
+            };
+            (score, k, delta, tol)
+        })
+        .filter(|&(score, ..)| score > 1.0 || !score.is_finite())
+        .collect();
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+    ranked
+        .into_iter()
+        .take(top)
+        .map(|(_, k, delta, tol)| crate::error::WorstUnknown {
+            name: prep
+                .unknown_names
+                .get(k)
+                .cloned()
+                .unwrap_or_else(|| format!("#{k}")),
+            delta,
+            tol,
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Transient analysis: trapezoidal integration with Newton at every step,
 //! source breakpoints, and iteration-count step control.
 
-use crate::analysis::op::{newton_solve, op};
+use crate::analysis::op::{newton_solve, op, NewtonCfg};
 use crate::analysis::solver::SolverWorkspace;
 use crate::analysis::stamp::{update_all_charges, ChargeBank, Mode, NonlinMemory, Options};
 use crate::circuit::Prepared;
@@ -108,7 +108,7 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
         d.breakpoints(&prep.circuit, params.t_stop, &mut breakpoints);
     }
     breakpoints.retain(|&t| t > 0.0);
-    breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    breakpoints.sort_by(|a, b| a.total_cmp(b));
     // Merge tolerance relative to the simulated span: an absolute 1e-15
     // would treat distinct nanosecond-scale breakpoints of a long run as
     // one, or keep float-noise duplicates of a femtosecond run apart.
@@ -132,6 +132,7 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
 
     let mut t = 0.0f64;
     let mut steps = 0usize;
+    let mut singular_streak = 0usize;
     let mut new_states = bank.states.clone();
     while t < params.t_stop - 1e-15 * params.t_stop {
         steps += 1;
@@ -140,6 +141,7 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
                 analysis: "tran",
                 iterations: steps,
                 time: Some(t),
+                report: None,
             });
         }
         // Clip the step to the stop time and the next breakpoint.
@@ -167,10 +169,19 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
             bank: &bank,
             x_prev: &x_prev,
         };
-        match newton_solve(prep, opts, &mode, &mut mem, &x_prev, 0.0, &mut ws) {
+        match newton_solve(
+            prep,
+            opts,
+            &mode,
+            &mut mem,
+            &x_prev,
+            &mut ws,
+            &NewtonCfg::plain(),
+        ) {
             Ok((x_new, iters)) => {
                 stats.accepted_steps += 1;
                 stats.newton_iterations += iters as u64;
+                singular_streak = 0;
                 // Commit charges at the accepted solution; a pure charge
                 // evaluation per storage device, no matrix assembly.
                 update_all_charges(prep, &x_new, opts, &mode, &mut new_states);
@@ -188,17 +199,29 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
                 }
             }
             Err(SpiceError::Singular { unknown }) => {
-                return Err(SpiceError::Singular { unknown });
+                // A singular factorization mid-run is usually transient
+                // (an unlucky operating point or an injected fault), so
+                // reject the step and retry smaller a bounded number of
+                // times before concluding the circuit is structurally
+                // broken.
+                singular_streak += 1;
+                stats.rejected_steps += 1;
+                h *= 0.25;
+                if singular_streak > 3 || h < h_min {
+                    return Err(SpiceError::Singular { unknown });
+                }
             }
             Err(_) => {
                 stats.rejected_steps += 1;
                 stats.newton_iterations += opts.max_newton as u64;
+                singular_streak = 0;
                 h *= 0.25;
                 if h < h_min {
                     return Err(SpiceError::NoConvergence {
                         analysis: "tran",
                         iterations: steps,
                         time: Some(t),
+                        report: None,
                     });
                 }
             }

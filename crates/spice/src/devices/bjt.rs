@@ -314,8 +314,13 @@ impl Device for BjtInstance {
         let nrvt = model.nr * cx.opts.vt;
         let vbe = pnjlim(vbe_raw, old_vbe, nfvt, vcrit(model.is_, nfvt));
         let vbc = pnjlim(vbc_raw, old_vbc, nrvt, vcrit(model.is_, nrvt));
-        if (vbe - vbe_raw).abs() > 1e-15 || (vbc - vbc_raw).abs() > 1e-15 {
-            mem.limited = true;
+        let be_shift = (vbe - vbe_raw).abs();
+        if be_shift > 1e-15 {
+            mem.note_limited(be_shift);
+        }
+        let bc_shift = (vbc - vbc_raw).abs();
+        if bc_shift > 1e-15 {
+            mem.note_limited(bc_shift);
         }
         mem.bjt[self.idx] = (vbe, vbc);
         let op = eval_bjt(model, vbe, vbc, vcs, cx.opts.vt, cx.opts.gmin);

@@ -80,8 +80,9 @@ impl Device for DiodeInstance {
         let vd_raw = read_slot(cx.x, self.internal) - read_slot(cx.x, self.cathode);
         let nvt = model.n * cx.opts.vt;
         let vd = pnjlim(vd_raw, mem.diode[self.idx], nvt, vcrit(model.is_, nvt));
-        if (vd - vd_raw).abs() > 1e-15 {
-            mem.limited = true;
+        let shift = (vd - vd_raw).abs();
+        if shift > 1e-15 {
+            mem.note_limited(shift);
         }
         mem.diode[self.idx] = vd;
         let op = eval_diode(model, vd, cx.opts.vt, cx.opts.gmin);

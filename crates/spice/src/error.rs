@@ -2,6 +2,109 @@
 
 use std::fmt;
 
+/// One unknown's contribution to a failed convergence check: how far the
+/// last Newton update moved it relative to its tolerance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorstUnknown {
+    /// Unknown name (`v(node)` or `i(element)`).
+    pub name: String,
+    /// Magnitude of the last Newton update for this unknown.
+    pub delta: f64,
+    /// Convergence tolerance the update was checked against.
+    pub tol: f64,
+}
+
+impl WorstUnknown {
+    /// How many times over tolerance the update was (`>1` = unconverged).
+    pub fn excess(&self) -> f64 {
+        if self.tol > 0.0 {
+            self.delta / self.tol
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One rung of the operating-point continuation ladder, as attempted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RungReport {
+    /// Rung name: `"newton"`, `"damped"`, `"gmin"`, `"source"`, `"ptran"`.
+    pub rung: &'static str,
+    /// Newton iterations spent inside this rung.
+    pub iterations: usize,
+    /// Continuation steps taken (gmin stages, source steps, ptran steps;
+    /// 0 for single-solve rungs).
+    pub steps: usize,
+    /// Whether the rung produced a converged solution.
+    pub converged: bool,
+    /// Free-form detail (where a stepping rung stalled, what poisoned a
+    /// stamp, …). Empty when there is nothing to add.
+    pub detail: String,
+}
+
+impl RungReport {
+    /// A failed rung with no extra detail.
+    pub fn failed(rung: &'static str, iterations: usize, steps: usize) -> Self {
+        RungReport {
+            rung,
+            iterations,
+            steps,
+            converged: false,
+            detail: String::new(),
+        }
+    }
+}
+
+/// Structured post-mortem of a failed operating-point solve: which
+/// ladder rungs ran, how much work each spent, and which unknowns were
+/// still moving when the last rung gave up.
+///
+/// Attached to [`SpiceError::NoConvergence`] and rendered by its
+/// `Display`; the same data is surfaced as `op.rungs_attempted` /
+/// `op.*` counters through `ahfic-trace`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConvergenceReport {
+    /// Every rung attempted, in ladder order.
+    pub rungs: Vec<RungReport>,
+    /// Worst-residual unknowns (largest tolerance excess first) at the
+    /// final failed Newton iteration.
+    pub worst: Vec<WorstUnknown>,
+}
+
+impl ConvergenceReport {
+    /// Total Newton iterations across all rungs.
+    pub fn total_iterations(&self) -> usize {
+        self.rungs.iter().map(|r| r.iterations).sum()
+    }
+}
+
+impl fmt::Display for ConvergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rungs:")?;
+        for r in &self.rungs {
+            write!(
+                f,
+                " {}({} it{}{})",
+                r.rung,
+                r.iterations,
+                if r.steps > 0 {
+                    format!(", {} steps", r.steps)
+                } else {
+                    String::new()
+                },
+                if r.converged { ", ok" } else { "" }
+            )?;
+        }
+        if !self.worst.is_empty() {
+            write!(f, "; worst unknowns:")?;
+            for w in &self.worst {
+                write!(f, " {} (|dx|={:.3e}, tol={:.3e})", w.name, w.delta, w.tol)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Error produced while building, parsing or simulating a circuit.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SpiceError {
@@ -13,7 +116,7 @@ pub enum SpiceError {
         unknown: String,
     },
     /// Newton iteration failed to converge in the allotted iterations even
-    /// after gmin and source stepping.
+    /// after the full continuation ladder.
     NoConvergence {
         /// Analysis that failed (`"op"`, `"tran"`, …).
         analysis: &'static str,
@@ -21,6 +124,19 @@ pub enum SpiceError {
         iterations: usize,
         /// Simulation time at failure for transient analyses.
         time: Option<f64>,
+        /// Structured rung-by-rung diagnostics, when the continuation
+        /// ladder produced them (`None` for inner solves and transient
+        /// steps).
+        report: Option<Box<ConvergenceReport>>,
+    },
+    /// A NaN or infinity appeared in the assembled MNA system — a
+    /// poisoned stamp (zero-valued part, overflowing model evaluation,
+    /// or injected fault) caught before it could corrupt the solve.
+    NonFinite {
+        /// Analysis in which the guard fired (`"op"`, `"tran"`, …).
+        analysis: &'static str,
+        /// What was poisoned (matrix, right-hand side, solution).
+        context: String,
     },
     /// Netlist text could not be parsed.
     Parse {
@@ -38,6 +154,17 @@ pub enum SpiceError {
     Measure(String),
 }
 
+impl SpiceError {
+    /// The [`ConvergenceReport`] attached to a [`SpiceError::NoConvergence`],
+    /// if any.
+    pub fn convergence_report(&self) -> Option<&ConvergenceReport> {
+        match self {
+            SpiceError::NoConvergence { report, .. } => report.as_deref(),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -48,16 +175,26 @@ impl fmt::Display for SpiceError {
                 analysis,
                 iterations,
                 time,
-            } => match time {
-                Some(t) => write!(
-                    f,
-                    "{analysis} analysis failed to converge after {iterations} iterations at t={t:.4e}s"
-                ),
-                None => write!(
-                    f,
-                    "{analysis} analysis failed to converge after {iterations} iterations"
-                ),
-            },
+                report,
+            } => {
+                match time {
+                    Some(t) => write!(
+                        f,
+                        "{analysis} analysis failed to converge after {iterations} iterations at t={t:.4e}s"
+                    )?,
+                    None => write!(
+                        f,
+                        "{analysis} analysis failed to converge after {iterations} iterations"
+                    )?,
+                }
+                if let Some(r) = report {
+                    write!(f, " ({r})")?;
+                }
+                Ok(())
+            }
+            SpiceError::NonFinite { analysis, context } => {
+                write!(f, "non-finite value in {analysis} analysis: {context}")
+            }
             SpiceError::Parse { line, message } => {
                 write!(f, "netlist parse error at line {line}: {message}")
             }
@@ -87,12 +224,14 @@ mod tests {
             analysis: "op",
             iterations: 100,
             time: None,
+            report: None,
         };
         assert!(e.to_string().contains("op"));
         let e = SpiceError::NoConvergence {
             analysis: "tran",
             iterations: 7,
             time: Some(1e-9),
+            report: None,
         };
         assert!(e.to_string().contains("t=1.0000e-9"));
         let e = SpiceError::Parse {
@@ -100,6 +239,51 @@ mod tests {
             message: "bad token".into(),
         };
         assert!(e.to_string().contains("line 3"));
+        let e = SpiceError::NonFinite {
+            analysis: "op",
+            context: "NaN in assembled matrix".into(),
+        };
+        assert!(e.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn convergence_report_renders_rungs_and_worst() {
+        let report = ConvergenceReport {
+            rungs: vec![
+                RungReport {
+                    rung: "newton",
+                    iterations: 100,
+                    steps: 0,
+                    converged: false,
+                    detail: String::new(),
+                },
+                RungReport {
+                    rung: "source",
+                    iterations: 250,
+                    steps: 13,
+                    converged: false,
+                    detail: "stalled at scale 0.4".into(),
+                },
+            ],
+            worst: vec![WorstUnknown {
+                name: "v(out)".into(),
+                delta: 1.5,
+                tol: 1e-6,
+            }],
+        };
+        assert_eq!(report.total_iterations(), 350);
+        let e = SpiceError::NoConvergence {
+            analysis: "op",
+            iterations: 350,
+            time: None,
+            report: Some(Box::new(report.clone())),
+        };
+        let s = e.to_string();
+        assert!(s.contains("newton(100 it)"), "{s}");
+        assert!(s.contains("source(250 it, 13 steps)"), "{s}");
+        assert!(s.contains("v(out)"), "{s}");
+        assert!(e.convergence_report() == Some(&report));
+        assert!((report.worst[0].excess() - 1.5e6).abs() / 1.5e6 < 1e-9);
     }
 
     #[test]

@@ -63,11 +63,11 @@ pub use ahfic_trace as trace;
 /// Convenient glob import for typical use.
 pub mod prelude {
     pub use crate::analysis::{
-        ac_sweep, bjt_operating, dc_sweep, op, op_from, tran, Options, Session, SolverChoice,
-        TranParams,
+        ac_sweep, bjt_operating, dc_sweep, op, op_from, tran, FaultInjector, FaultKind,
+        LadderConfig, Options, Session, SolverChoice, TranParams,
     };
     pub use crate::circuit::{Circuit, NodeId, Prepared};
-    pub use crate::error::SpiceError;
+    pub use crate::error::{ConvergenceReport, RungReport, SpiceError, WorstUnknown};
     pub use crate::model::{BjtModel, BjtPolarity, DiodeModel};
     pub use crate::wave::{AcWaveform, SourceWave, Waveform};
     pub use ahfic_trace::{InMemorySink, JsonLinesSink, NullSink, TraceHandle, TraceSink};

@@ -73,7 +73,11 @@ fn read_with_includes(path: &std::path::Path, depth: usize) -> Result<String> {
     for line in text.lines() {
         let trimmed = line.trim();
         if trimmed.to_ascii_lowercase().starts_with(".include") {
-            let target = trimmed[8..].trim().trim_matches(['"', '\'']);
+            let target = trimmed
+                .get(".include".len()..)
+                .unwrap_or("")
+                .trim()
+                .trim_matches(['"', '\'']);
             if target.is_empty() {
                 return Err(SpiceError::Parse {
                     line: 0,
@@ -146,7 +150,7 @@ fn join_continuations(text: &str) -> Vec<(usize, String)> {
 fn strip_directive<'a>(line: &'a str, directive: &str) -> Option<&'a str> {
     let lower = line.to_ascii_lowercase();
     if lower.starts_with(directive) {
-        Some(line[directive.len()..].trim_start())
+        line.get(directive.len()..).map(str::trim_start)
     } else {
         None
     }
@@ -417,6 +421,13 @@ fn parse_element(ckt: &mut Circuit, line_text: &str, line: usize) -> Result<()> 
         .and_then(|seg| seg.chars().next())
         .ok_or_else(|| perr(line, format!("malformed element name `{name}`")))?
         .to_ascii_uppercase();
+    // The `Circuit` builder enforces its invariants (positive values,
+    // unique names) with panics — a fine contract for programmatic
+    // construction, but netlist text is untrusted input and must come
+    // back as a typed error instead.
+    if ckt.find_element(&name).is_some() {
+        return Err(perr(line, format!("duplicate element name `{name}`")));
+    }
     match first {
         'R' | 'C' | 'L' => {
             if toks.len() < 4 {
@@ -425,6 +436,21 @@ fn parse_element(ckt: &mut Circuit, line_text: &str, line: usize) -> Result<()> 
             let p = ckt.node(&toks[1]);
             let n = ckt.node(&toks[2]);
             let v = need_value(&toks[3], line, "element value")?;
+            match first {
+                'R' if v <= 0.0 => {
+                    return Err(perr(line, format!("{name}: resistance must be positive")));
+                }
+                'C' if v < 0.0 => {
+                    return Err(perr(
+                        line,
+                        format!("{name}: capacitance must be non-negative"),
+                    ));
+                }
+                'L' if v <= 0.0 => {
+                    return Err(perr(line, format!("{name}: inductance must be positive")));
+                }
+                _ => {}
+            }
             match first {
                 'R' => ckt.resistor(&name, p, n, v),
                 'C' => ckt.capacitor(&name, p, n, v),

@@ -208,8 +208,7 @@ fn rewrite_nodes(
     let letter = toks[0]
         .chars()
         .next()
-        .expect("non-empty")
-        .to_ascii_uppercase();
+        .map_or(' ', |c| c.to_ascii_uppercase());
     if letter == '.' {
         return Err(SpiceError::Parse {
             line: lineno,
@@ -262,8 +261,7 @@ fn prefix_names(card: &str, prefix: &str) -> Result<String> {
     let letter = toks[0]
         .chars()
         .next()
-        .expect("non-empty")
-        .to_ascii_uppercase();
+        .map_or(' ', |c| c.to_ascii_uppercase());
     let mut out: Vec<String> = Vec::with_capacity(toks.len());
     out.push(format!("{prefix}{}", toks[0]));
     for (k, tok) in toks.iter().enumerate().skip(1) {

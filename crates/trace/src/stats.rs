@@ -61,15 +61,27 @@ impl SolverStats {
 pub struct ContinuationStats {
     /// Total Newton iterations across all attempts and stages.
     pub newton_iterations: u64,
+    /// Iterations spent in the adaptive damped-Newton rung (0 when it
+    /// never ran).
+    pub damped_iterations: u64,
     /// Gmin-ladder stages visited (0 when plain Newton converged).
     pub gmin_stages: u64,
     /// Source-stepping steps taken (0 unless source stepping ran).
     pub source_steps: u64,
+    /// Pseudo-transient homotopy steps taken (0 unless ptran ran).
+    pub ptran_steps: u64,
+    /// Times the NaN/Inf assembly guard fired and the ladder recovered
+    /// by escalating instead of iterating on garbage.
+    pub nonfinite_recoveries: u64,
+    /// Ladder rungs attempted (1 = plain Newton sufficed).
+    pub rungs_attempted: u64,
 }
 
 impl ContinuationStats {
-    /// Emits `<prefix>.newton_iterations`, `.gmin_stages`,
-    /// `.source_steps`. No-op when the tracer is disabled.
+    /// Emits `<prefix>.newton_iterations`, `.damped_iterations`,
+    /// `.gmin_stages`, `.source_steps`, `.ptran_steps`,
+    /// `.nonfinite_recoveries`, `.rungs_attempted`. No-op when the
+    /// tracer is disabled.
     pub fn emit(&self, t: Tracer<'_>, prefix: &str) {
         if !t.enabled() {
             return;
@@ -78,8 +90,21 @@ impl ContinuationStats {
             &format!("{prefix}.newton_iterations"),
             self.newton_iterations as f64,
         );
+        t.counter(
+            &format!("{prefix}.damped_iterations"),
+            self.damped_iterations as f64,
+        );
         t.counter(&format!("{prefix}.gmin_stages"), self.gmin_stages as f64);
         t.counter(&format!("{prefix}.source_steps"), self.source_steps as f64);
+        t.counter(&format!("{prefix}.ptran_steps"), self.ptran_steps as f64);
+        t.counter(
+            &format!("{prefix}.nonfinite_recoveries"),
+            self.nonfinite_recoveries as f64,
+        );
+        t.counter(
+            &format!("{prefix}.rungs_attempted"),
+            self.rungs_attempted as f64,
+        );
     }
 }
 
@@ -176,15 +201,16 @@ mod tests {
         ContinuationStats {
             newton_iterations: 11,
             gmin_stages: 2,
-            source_steps: 0,
+            ..ContinuationStats::default()
         }
         .emit(handle.tracer(), "op");
         let recs = sink.records();
-        assert_eq!(recs.len(), 3);
+        assert_eq!(recs.len(), 7);
         assert!(recs.iter().all(|r| r.kind == RecordKind::Counter));
         assert_eq!(recs[0].name, "op.newton_iterations");
         assert_eq!(recs[0].value, 11.0);
-        assert_eq!(recs[1].name, "op.gmin_stages");
+        assert_eq!(recs[2].name, "op.gmin_stages");
+        assert_eq!(recs[2].value, 2.0);
     }
 
     #[test]
