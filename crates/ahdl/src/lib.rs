@@ -27,6 +27,11 @@
 //! [`system::System`], which schedules the dataflow graph and produces a
 //! [`probe::Trace`] for spectral measurement ([`spectrum`]).
 
+// A malformed input must surface as a typed error, never a panic:
+// `unwrap`/`expect` in non-test code warns (CI promotes warnings to
+// errors), with local `#[allow]`s where an invariant guarantees success.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
 pub mod block;
 pub mod blocks;

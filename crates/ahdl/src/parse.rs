@@ -402,6 +402,8 @@ impl Parser {
                 }
                 let state = self.next_state();
                 let mut it = args.into_iter();
+                // Non-emptiness checked two lines up.
+                #[allow(clippy::expect_used)]
                 let arg = Box::new(it.next().expect("checked length"));
                 let initial = it.next().map(Box::new);
                 Ok(Expr::Idt {
@@ -424,6 +426,8 @@ impl Parser {
                 if args.len() != 2 {
                     return self.err("delay(expr, seconds) takes two arguments");
                 }
+                // Length checked to be exactly 2 just above.
+                #[allow(clippy::expect_used)]
                 let seconds_expr = args.pop().expect("two args");
                 let seconds = const_eval(&seconds_expr)
                     .filter(|&s| s >= 0.0)

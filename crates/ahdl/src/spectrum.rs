@@ -69,7 +69,7 @@ pub fn peaks(freqs: &[f64], amps: &[f64], min_amplitude: f64) -> Vec<(f64, f64)>
             out.push((freqs[k], amps[k]));
         }
     }
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
     out
 }
 

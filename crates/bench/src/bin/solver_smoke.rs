@@ -25,6 +25,7 @@ use ahfic_bench::standard_generator;
 use ahfic_num::interp::logspace;
 use ahfic_spice::analysis::{ac_sweep, op, tran, LadderConfig, Options, SolverChoice, TranParams};
 use ahfic_spice::circuit::{Circuit, ElementKind, Prepared};
+use ahfic_spice::lint::LintPolicy;
 use ahfic_spice::model::{BjtModel, DiodeModel};
 use ahfic_spice::trace::{summarize_top_level, InMemorySink, NullSink};
 use ahfic_spice::wave::SourceWave;
@@ -250,6 +251,144 @@ fn zener_stack_current_drive() -> Prepared {
     Prepared::compile(&c).expect("compile")
 }
 
+/// Transistor-level Hartley image-rejection front end (the Fig. 5
+/// tuner deck of `tests/solver_agreement.rs`), returned uncompiled so
+/// the pre-flight verification can be timed inside the compile.
+fn image_rejection_frontend_circuit() -> Circuit {
+    let mut c = Circuit::new();
+    let vcc = c.node("vcc");
+    let vin = c.node("vin");
+    c.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+    c.vsource_wave(
+        "VRF",
+        vin,
+        Circuit::gnd(),
+        SourceWave::Sin {
+            offset: 0.0,
+            ampl: 10e-3,
+            freq: 100e6,
+            delay: 0.0,
+            damping: 0.0,
+            phase_deg: 0.0,
+        },
+    );
+    c.set_ac("VRF", 1.0, 0.0).expect("VRF exists");
+    let mut m = BjtModel::named("rfnpn");
+    m.bf = 90.0;
+    m.rb = 120.0;
+    m.re = 1.5;
+    m.rc = 25.0;
+    m.cje = 60e-15;
+    m.cjc = 40e-15;
+    m.tf = 12e-12;
+    let mi = c.add_bjt_model(m);
+    let path = |c: &mut Circuit, tag: &str| {
+        let b = c.node(&format!("b{tag}"));
+        let col = c.node(&format!("c{tag}"));
+        let e = c.node(&format!("e{tag}"));
+        c.resistor(&format!("RB1{tag}"), vcc, b, 47e3);
+        c.resistor(&format!("RB2{tag}"), b, Circuit::gnd(), 10e3);
+        c.capacitor(&format!("CIN{tag}"), vin, b, 10e-12);
+        c.resistor(&format!("RC{tag}"), vcc, col, 1e3);
+        c.resistor(&format!("RE{tag}"), e, Circuit::gnd(), 220.0);
+        c.capacitor(&format!("CE{tag}"), e, Circuit::gnd(), 20e-12);
+        c.bjt(&format!("Q{tag}"), col, b, e, mi, 1.0);
+        col
+    };
+    let ci = path(&mut c, "i");
+    let cq = path(&mut c, "q");
+    let oi = c.node("oi");
+    let oq = c.node("oq");
+    let sum = c.node("sum");
+    c.capacitor("CPI", ci, oi, 2e-12);
+    c.resistor("RPI", oi, Circuit::gnd(), 800.0);
+    c.resistor("RPQ", cq, oq, 800.0);
+    c.capacitor("CPQ", oq, Circuit::gnd(), 2e-12);
+    c.resistor("RSI", oi, sum, 2e3);
+    c.resistor("RSQ", oq, sum, 2e3);
+    c.resistor("RL", sum, Circuit::gnd(), 1e3);
+    c
+}
+
+struct LintPreflightStats {
+    n_unknowns: usize,
+    compile_deny_us: f64,
+    compile_off_us: f64,
+    first_analysis_deny_us: f64,
+    first_analysis_off_us: f64,
+    overhead_pct: f64,
+}
+
+/// Measures the pre-flight verification cost on the image-rejection
+/// tuner deck. Raw compile time with lint on ([`LintPolicy::Deny`],
+/// the default) versus off isolates the cost of the pass itself; the
+/// compile-to-first-analysis turnaround — compile, operating point,
+/// the AC sweep, and the short transient this deck is characterized
+/// with in `tests/solver_agreement.rs` — is what a designer actually
+/// waits for after editing the netlist. The headline `overhead_pct` is
+/// the compile-time delta over that turnaround: the lint runs once per
+/// compile, never per solve, so that ratio is the fraction of every
+/// edit-simulate cycle spent on verification. All timings are
+/// interleaved best-of-`reps` (the minimum is the noise-resistant
+/// estimator), with enough runs per sample to make a microsecond-scale
+/// delta resolvable.
+fn lint_preflight_probe(reps: usize, iters: usize) -> LintPreflightStats {
+    let ckt = image_rejection_frontend_circuit();
+    let opts = Options::new().solver(SolverChoice::Sparse);
+    let freqs = logspace(10e6, 1e9, 60);
+    let tran_params = TranParams::new(50e-9, 0.2e-9);
+    let n_unknowns = Prepared::compile_with(&ckt, LintPolicy::Off)
+        .expect("compile")
+        .num_unknowns;
+    // Compile is microseconds; 20x more runs per sample than the
+    // analysis loop keeps its timing floor comparable.
+    let compile_iters = iters * 20;
+    let time_compile = |policy: LintPolicy| {
+        let t0 = Instant::now();
+        for _ in 0..compile_iters {
+            let prep = Prepared::compile_with(&ckt, policy).expect("compile");
+            std::hint::black_box(&prep);
+        }
+        t0.elapsed().as_secs_f64() / compile_iters as f64
+    };
+    let time_first_analysis = |policy: LintPolicy| {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            let prep = Prepared::compile_with(&ckt, policy).expect("compile");
+            let dc = op(&prep, &opts).expect("operating point");
+            let wave = ac_sweep(&prep, &dc.x, &opts, &freqs).expect("ac sweep");
+            std::hint::black_box(&wave);
+            let tr = tran(&prep, &opts, &tran_params).expect("transient");
+            std::hint::black_box(&tr);
+        }
+        t0.elapsed().as_secs_f64() / iters as f64
+    };
+    // Warm outside the timed window, then interleave A/B so drift hits
+    // both sides equally.
+    time_compile(LintPolicy::Deny);
+    time_compile(LintPolicy::Off);
+    let (mut cd, mut co) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        cd = cd.min(time_compile(LintPolicy::Deny));
+        co = co.min(time_compile(LintPolicy::Off));
+    }
+    time_first_analysis(LintPolicy::Deny);
+    time_first_analysis(LintPolicy::Off);
+    let (mut ad, mut ao) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        ad = ad.min(time_first_analysis(LintPolicy::Deny));
+        ao = ao.min(time_first_analysis(LintPolicy::Off));
+    }
+    LintPreflightStats {
+        n_unknowns,
+        compile_deny_us: cd * 1e6,
+        compile_off_us: co * 1e6,
+        first_analysis_deny_us: ad * 1e6,
+        first_analysis_off_us: ao * 1e6,
+        overhead_pct: (cd - co) / ao * 100.0,
+    }
+}
+
 struct LadderProbe {
     name: &'static str,
     legacy_converged: bool,
@@ -300,6 +439,26 @@ fn ladder_probe(name: &'static str, prep: &Prepared, budget: usize) -> LadderPro
 fn main() {
     let generator = standard_generator();
     let model = generator.generate(&"N1.2-12D".parse().expect("valid shape"));
+
+    // Pre-flight verification overhead first, on a quiet heap: the
+    // static lint pass runs inside every `compile`, so its budget is
+    // measured on the deck a designer actually iterates on — the
+    // image-rejection tuner front end — as raw compile time and as
+    // compile-to-first-analysis (OP + AC sweep) turnaround, lint on
+    // (default Deny policy) versus off.
+    let lint = lint_preflight_probe(15, 50);
+    println!(
+        "pre-flight lint overhead (image-rejection tuner, n = {n}, best of 15): \
+         compile {cd:.1}us deny vs {co:.1}us off; \
+         first analysis {ad:.1}us deny vs {ao:.1}us off; \
+         lint cost / turnaround = {pct:+.2}%\n",
+        n = lint.n_unknowns,
+        cd = lint.compile_deny_us,
+        co = lint.compile_off_us,
+        ad = lint.first_analysis_deny_us,
+        ao = lint.first_analysis_off_us,
+        pct = lint.overhead_pct,
+    );
 
     let mut json_sizes = String::new();
     println!("# Solver smoke: dense vs sparse on the amplifier-chain netlist family");
@@ -502,7 +661,12 @@ fn main() {
             "\"mc_off_ms\": {moff:.3}, \"mc_speedup\": {mx:.3}}},\n",
             "  \"convergence_ladder\": {{\"max_newton\": {lbud}, \"hard_starts\": [\n{ladder}\n  ],\n",
             "    \"easy_overhead\": {{\"trials\": {etr}, \"legacy_ms\": {eleg:.3}, ",
-            "\"full_ms\": {efull:.3}, \"overhead_pct\": {eo:.3}}}}}\n}}\n"
+            "\"full_ms\": {efull:.3}, \"overhead_pct\": {eo:.3}}}}},\n",
+            "  \"lint_preflight\": {{\"deck\": \"image_rejection_frontend\", ",
+            "\"n_unknowns\": {ln},\n",
+            "    \"compile_deny_us\": {lcd:.3}, \"compile_off_us\": {lco:.3},\n",
+            "    \"first_analysis_deny_us\": {lad:.3}, \"first_analysis_off_us\": {lao:.3}, ",
+            "\"overhead_pct\": {lpct:.3}}}\n}}\n"
         ),
         sizes = json_sizes,
         base = base_s * 1e3,
@@ -521,6 +685,12 @@ fn main() {
         eleg = easy_legacy_s * 1e3,
         efull = easy_full_s * 1e3,
         eo = easy_overhead_pct,
+        ln = lint.n_unknowns,
+        lcd = lint.compile_deny_us,
+        lco = lint.compile_off_us,
+        lad = lint.first_analysis_deny_us,
+        lao = lint.first_analysis_off_us,
+        lpct = lint.overhead_pct,
     );
     std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
     println!("\nwrote BENCH_solver.json");

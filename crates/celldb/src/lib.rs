@@ -26,6 +26,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// A malformed input must surface as a typed error, never a panic:
+// `unwrap`/`expect` in non-test code warns (CI promotes warnings to
+// errors), with local `#[allow]`s where an invariant guarantees success.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod catalog;
 pub mod cell;
 pub mod db;

@@ -94,8 +94,7 @@ pub fn search<'a>(db: &'a CellDb, query: &SearchQuery) -> Vec<SearchHit<'a>> {
         .collect();
     hits.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .unwrap()
+            .total_cmp(&a.score)
             .then_with(|| a.cell.name.cmp(&b.cell.name))
     });
     hits

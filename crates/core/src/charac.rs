@@ -354,6 +354,36 @@ mod tests {
     }
 
     #[test]
+    fn batch_skips_lint_rejected_bench_and_records_it() {
+        // The middle bench's output node hangs behind a capacitor: the
+        // pre-flight verification rejects the deck at compile time, and
+        // the batch must record that as a per-bench failure instead of
+        // aborting the healthy corners.
+        let mut broken = ce_bench();
+        broken.netlist = "VIN in 0 1\nR1 in mid 1k\nR2 mid 0 1k\nC1 mid out 1p\n".into();
+        broken.output_node = "out".into();
+        let benches = vec![ce_bench(), broken, ce_bench()];
+        let b = characterize_batch(&benches, &Options::default()).unwrap();
+        assert_eq!(b.attempted(), 3);
+        assert_eq!(b.failures.len(), 1, "{:?}", b.failures);
+        assert_eq!(b.failures[0].index, 1);
+        assert!(
+            matches!(
+                b.failures[0].error,
+                ahfic_spice::error::SpiceError::LintFailed(_)
+            ),
+            "{:?}",
+            b.failures[0].error
+        );
+        assert!(
+            b.failures[0].error.to_string().contains("floating"),
+            "{}",
+            b.failures[0].error
+        );
+        assert_eq!(b.results.len(), 2);
+    }
+
+    #[test]
     fn empty_batch_is_ok_and_empty() {
         let b = characterize_batch(&[], &Options::default()).unwrap();
         assert_eq!(b.attempted(), 0);

@@ -76,6 +76,37 @@ impl RcCrBench {
         self
     }
 
+    /// Characterizes the bench with `R1` catastrophically open — a
+    /// manufacturing open defect. Without `R1` the low-pass output `a`
+    /// is reachable only through `C1`, so the variant deck never gets
+    /// near the solver: the pre-flight lint rejects it at compile time
+    /// with [`ahfic_spice::error::SpiceError::LintFailed`] naming the
+    /// floating node. Always returns that typed error; batch drivers
+    /// use it to model defective Monte-Carlo samples, which they record
+    /// as per-sample failures instead of aborting the study.
+    ///
+    /// # Errors
+    ///
+    /// Always [`ahfic_spice::error::SpiceError::LintFailed`].
+    pub fn characterize_open_r1(&self) -> Result<ShifterBalance> {
+        let mut ckt = Circuit::new();
+        let input = ckt.node("in");
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource("VIN", input, Circuit::gnd(), 0.0);
+        ckt.set_ac("VIN", 1.0, 0.0)?;
+        // R1 open: the low-pass arm loses its series element.
+        ckt.capacitor("C1", a, Circuit::gnd(), 1e-12);
+        ckt.capacitor("C2", input, b, 1e-12);
+        ckt.resistor("R2", b, Circuit::gnd(), self.r_nom);
+        match Prepared::compile(&ckt) {
+            Err(e) => Err(e),
+            Ok(_) => Err(ahfic_spice::error::SpiceError::Measure(
+                "open-R1 defect deck unexpectedly passed pre-flight verification".into(),
+            )),
+        }
+    }
+
     /// Characterizes the network with a fractional `R1` error of
     /// `r1_mismatch`, retuning the compiled circuit in place.
     ///

@@ -30,6 +30,14 @@ pub struct YieldStudy {
     pub samples: usize,
     /// RNG seed (reproducible).
     pub seed: u64,
+    /// Probability that a sample is a catastrophic open-`R1` defect
+    /// (manufacturing open) instead of a parametric mismatch draw. A
+    /// defective sample's deck fails pre-flight verification
+    /// ([`ahfic_spice::error::SpiceError::LintFailed`]) and is recorded
+    /// as a per-sample failure; the study continues. `0.0` (the
+    /// default) draws no defects and leaves the mismatch RNG stream —
+    /// and therefore existing seeded results — untouched.
+    pub open_defect_prob: f64,
 }
 
 impl YieldStudy {
@@ -41,6 +49,7 @@ impl YieldStudy {
             f2_if: 45e6,
             samples: 200,
             seed: 1996,
+            open_defect_prob: 0.0,
         }
     }
 }
@@ -132,7 +141,17 @@ impl YieldStudy {
         let mut non_finite = 0usize;
         for i in 0..self.samples {
             let mismatch = self.sigma_mismatch * standard_normal(&mut rng);
-            match bench.characterize(mismatch) {
+            // Only consume defect randomness when defects are enabled,
+            // so `open_defect_prob: 0.0` reproduces pre-existing seeded
+            // streams exactly.
+            let defective =
+                self.open_defect_prob > 0.0 && rng.random::<f64>() < self.open_defect_prob;
+            let outcome = if defective {
+                bench.characterize_open_r1()
+            } else {
+                bench.characterize(mismatch)
+            };
+            match outcome {
                 Ok(balance) => {
                     let irr = irr_analytic_db(balance.phase_err_deg, balance.gain_err);
                     if irr.is_finite() {
@@ -142,7 +161,12 @@ impl YieldStudy {
                     }
                 }
                 Err(e) => {
-                    failures.push(SampleFailure::new(i, format!("mismatch {mismatch:+.4}"), e));
+                    let label = if defective {
+                        "open-R1 defect".to_string()
+                    } else {
+                        format!("mismatch {mismatch:+.4}")
+                    };
+                    failures.push(SampleFailure::new(i, label, e));
                 }
             }
         }
@@ -255,6 +279,48 @@ mod tests {
         let clean = study.run().unwrap();
         assert!(clean.failures.is_empty());
         assert!(clean.irr_db.len() > r.irr_db.len());
+    }
+
+    #[test]
+    fn open_defects_are_lint_rejected_and_recorded_not_fatal() {
+        let study = YieldStudy {
+            samples: 40,
+            open_defect_prob: 0.3,
+            ..YieldStudy::paper_example(0.05)
+        };
+        let r = study.run().unwrap();
+        // Defective samples show up as recorded failures carrying the
+        // pre-flight LintFailed error; the healthy samples still
+        // produce statistics.
+        assert!(!r.failures.is_empty(), "30% defect rate over 40 samples");
+        assert!(!r.irr_db.is_empty());
+        assert_eq!(r.attempted(), 40);
+        for f in &r.failures {
+            assert_eq!(f.label, "open-R1 defect");
+            assert!(
+                matches!(f.error, ahfic_spice::error::SpiceError::LintFailed(_)),
+                "{:?}",
+                f.error
+            );
+            assert!(f.error.to_string().contains("floating"), "{}", f.error);
+        }
+        // Defect draws are part of the seeded stream: reproducible.
+        let again = study.run().unwrap();
+        assert_eq!(r.irr_db, again.irr_db);
+        assert_eq!(r.failures.len(), again.failures.len());
+    }
+
+    #[test]
+    fn zero_defect_prob_reproduces_the_defect_free_stream() {
+        let base = YieldStudy {
+            samples: 30,
+            ..YieldStudy::paper_example(0.05)
+        };
+        let with_field = YieldStudy {
+            open_defect_prob: 0.0,
+            ..base
+        };
+        assert_eq!(base.run().unwrap().irr_db, with_field.run().unwrap().irr_db);
     }
 
     #[test]

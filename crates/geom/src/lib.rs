@@ -27,6 +27,11 @@
 //! # Ok::<(), ahfic_geom::shape::ParseShapeError>(())
 //! ```
 
+// A malformed input must surface as a typed error, never a panic:
+// `unwrap`/`expect` in non-test code warns (CI promotes warnings to
+// errors), with local `#[allow]`s where an invariant guarantees success.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod area_factor;
 pub mod flow;
 pub mod generate;

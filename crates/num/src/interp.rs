@@ -16,7 +16,7 @@ pub fn lerp_at(xs: &[f64], ys: &[f64], x: f64) -> f64 {
     if x >= xs[xs.len() - 1] {
         return ys[ys.len() - 1];
     }
-    let i = match xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+    let i = match xs.binary_search_by(|v| v.total_cmp(&x)) {
         Ok(i) => return ys[i],
         Err(i) => i,
     };

@@ -33,6 +33,11 @@
 //! assert!((j * j + Complex::ONE).abs() < 1e-15);
 //! ```
 
+// A malformed input must surface as a typed error, never a panic:
+// `unwrap`/`expect` in non-test code warns (CI promotes warnings to
+// errors), with local `#[allow]`s where an invariant guarantees success.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod complex;
 pub mod db;
 pub mod fft;

@@ -53,6 +53,8 @@ pub fn two_tone_test(
     sys.add("T2", SineSource::new(f2, a_in), &[], &[t2])?;
     sys.add("SUM", Adder::new(2), &[t1, t2], &[input])?;
     sys.add("DUT", stage, &[input], &[out])?;
+    // Registered by the `sys.add("DUT", ...)` call just above.
+    #[allow(clippy::expect_used)]
     let probe = sys.find_net("out").expect("net exists");
     let trace = sys.run_probed(fs, duration, &[probe])?;
 

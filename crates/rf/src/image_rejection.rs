@@ -72,6 +72,8 @@ pub fn measure_irr_db_traced(
         sys.set_trace(trace.clone());
         let nets = build_image_rejection_tuner(&mut sys, plan, cfg, errors)?;
         drive_rf(&mut sys, &nets, "RFSRC", freq, 1.0)?;
+        // `build_image_rejection_tuner` always registers the if2 net.
+        #[allow(clippy::expect_used)]
         let probe = sys.find_net("if2").expect("tuner exposes if2");
         let trace = sys.run_probed(cfg.fs, duration, &[probe])?;
         tone_power(&trace, "if2", plan.f2_if, 0.5)

@@ -10,6 +10,11 @@
 //! - [`ringosc`] — the Fig. 11 / Table 1 five-stage ECL ring oscillator
 //!   on the transistor-level simulator.
 
+// A malformed input must surface as a typed error, never a panic:
+// `unwrap`/`expect` in non-test code warns (CI promotes warnings to
+// errors), with local `#[allow]`s where an invariant guarantees success.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod distortion;
 pub mod image_rejection;
 pub mod noise;

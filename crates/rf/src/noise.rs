@@ -96,6 +96,8 @@ pub fn measure_noise_figure(
     )?;
     sys.add("SUMST", Adder::new(2), &[input, stage_noise], &[stage_in])?;
     sys.add("DUT", stage, &[stage_in], &[out])?;
+    // Both nets were registered by the `sys.add` calls just above.
+    #[allow(clippy::expect_used)]
     let probes = [
         sys.find_net("input").expect("net"),
         sys.find_net("out").expect("net"),

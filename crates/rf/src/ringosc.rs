@@ -151,9 +151,13 @@ pub fn measure_ring_frequency(
     // Differential probe: v(diff) = v(out+) - v(out-), realized with a
     // VCVS into a dummy load so the waveform carries it directly.
     let diff = ckt.node("diff");
+    // The probe names come from `build_ring_oscillator`, which interned
+    // both nodes in the circuit it returned.
+    #[allow(clippy::expect_used)]
     let pp = ckt
         .find_node(&probe_p[2..probe_p.len() - 1])
         .expect("probe node");
+    #[allow(clippy::expect_used)]
     let pn = ckt
         .find_node(&probe_n[2..probe_n.len() - 1])
         .expect("probe node");
@@ -177,6 +181,8 @@ pub fn table1_experiment(
     shapes: &[TransistorShape],
     opts: &Options,
 ) -> Result<Vec<RingOscRow>> {
+    // Literal shape code, validated by the parser at compile-test time.
+    #[allow(clippy::expect_used)]
     let follower = generator.generate(&"N1.2-12D".parse().expect("valid shape"));
     let mut rows = Vec::new();
     for shape in shapes {
@@ -259,6 +265,8 @@ pub fn predict_from_stage_delay(
         .position(|&tt| tt >= t_edge)
         .unwrap_or(0)
         .saturating_sub(1)];
+    // A successful transient always produces at least one sample.
+    #[allow(clippy::expect_used)]
     let v1 = *diff.last().expect("non-empty");
     let vmid_cross = (v0 + v1) / 2.0;
     for k in 1..diff.len() {

@@ -27,7 +27,7 @@ pub use dc::dc_sweep;
 pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultTrigger};
 pub use noise::{noise_analysis, NoiseContribution, NoisePoint};
 pub use op::{bjt_operating, op, op_from, OpResult};
-pub use report::op_report;
+pub use report::{lint_report, op_report};
 pub use session::Session;
 pub use solver::{SolverChoice, SolverWorkspace};
 pub use stamp::{LadderConfig, Options};

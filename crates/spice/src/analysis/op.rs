@@ -328,6 +328,14 @@ fn op_strategies(
                 stats.newton_iterations += it as u64;
                 return Ok(OpResult { x, iterations: it });
             }
+            // Post-mortem: when the circuit was compiled with lint off
+            // (or the defect is value-induced), re-run the static
+            // checks so the error names the structural cause instead of
+            // just the pivot column.
+            let report = crate::lint::lint_prepared(prep);
+            if report.has_errors() {
+                return Err(SpiceError::LintFailed(Box::new(report)));
+            }
             return Err(SpiceError::Singular { unknown });
         }
         Err(e) => {
@@ -789,12 +797,27 @@ mod tests {
         c.vsource("V1", a, Circuit::gnd(), 1.0);
         c.resistor("R1", a, Circuit::gnd(), 1e3);
         c.capacitor("C1", f, Circuit::gnd(), 1e-12);
-        let prep = Prepared::compile(&c).unwrap();
-        // DC: the capacitor is open, node `floating` has no DC path. The
-        // engine should either flag it or pin it via diagonal gmin.
+        // DC: the capacitor is open, node `floating` has no DC path.
+        // The default compile rejects it up front, by name.
+        match Prepared::compile(&c) {
+            Err(SpiceError::LintFailed(report)) => {
+                assert!(report.has_errors());
+                assert!(
+                    report.to_string().contains("floating"),
+                    "diagnostic should name the node: {report}"
+                );
+            }
+            other => panic!("expected a lint rejection, got {other:?}"),
+        }
+        // With lint off, the engine should either flag it (the singular
+        // post-mortem re-runs the static checks) or pin it via gmin.
+        let prep = Prepared::compile_with(&c, crate::lint::LintPolicy::Off).unwrap();
         match op(&prep, &opts()) {
             Ok(r) => assert!(prep.voltage(&r.x, f).abs() < 1e-6),
             Err(SpiceError::Singular { unknown }) => assert!(unknown.contains("floating")),
+            Err(SpiceError::LintFailed(report)) => {
+                assert!(report.to_string().contains("floating"), "{report}")
+            }
             Err(e) => panic!("unexpected error {e}"),
         }
     }

@@ -1,9 +1,10 @@
 //! Human-readable operating-point reports (the `.op` printout of
-//! classic SPICE).
+//! classic SPICE) and pre-flight lint rendering.
 
 use crate::analysis::stamp::Options;
 use crate::circuit::Prepared;
 use crate::devices::OpCtx;
+use crate::lint::{LintReport, LintSeverity};
 use crate::units::format_value;
 use std::fmt::Write as _;
 
@@ -50,6 +51,46 @@ pub fn op_report(prep: &Prepared, x: &[f64], opts: &Options) -> String {
             q.beta_dc(),
             format_value(q.ft())
         );
+    }
+    out
+}
+
+/// Renders a pre-flight verification report, one finding per line:
+///
+/// ```text
+/// == pre-flight verification: 1 error, 1 warning ==
+///   error[floating-node]: node(s) f have no DC path to ground …
+///       nodes: f    elements: C1 (line 4)
+/// ```
+pub fn lint_report(report: &LintReport) -> String {
+    let mut out = String::new();
+    let (errors, warnings) = (report.errors().count(), report.warnings().count());
+    let _ = writeln!(
+        out,
+        "== pre-flight verification: {errors} error(s), {warnings} warning(s) =="
+    );
+    for d in &report.diagnostics {
+        let sev = match d.severity {
+            LintSeverity::Error => "error",
+            LintSeverity::Warning => "warning",
+        };
+        let _ = writeln!(out, "  {sev}[{}]: {}", d.code, d.message);
+        if !d.nodes.is_empty() || !d.elements.is_empty() {
+            let _ = writeln!(
+                out,
+                "      nodes: {}    elements: {}",
+                if d.nodes.is_empty() {
+                    "-".to_string()
+                } else {
+                    d.nodes.join(", ")
+                },
+                if d.elements.is_empty() {
+                    "-".to_string()
+                } else {
+                    d.elements.join(", ")
+                }
+            );
+        }
     }
     out
 }

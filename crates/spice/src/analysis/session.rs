@@ -18,6 +18,8 @@ use crate::analysis::stamp::Options;
 use crate::analysis::tran::{tran, TranParams};
 use crate::circuit::{Circuit, NodeId, Prepared};
 use crate::error::Result;
+#[allow(unused_imports)] // doc links
+use crate::lint::LintPolicy;
 use crate::wave::{AcWaveform, Waveform};
 
 /// A compiled circuit plus analysis options.
@@ -60,6 +62,26 @@ impl Session {
     /// Propagates [`Prepared::compile`] netlist errors.
     pub fn compile(circuit: &Circuit) -> Result<Self> {
         Ok(Session::new(Prepared::compile(circuit)?))
+    }
+
+    /// Compiles `circuit` under the given options: the pre-flight lint
+    /// pass runs with `options.lint` ([`LintPolicy::Deny`] by default —
+    /// error-severity findings fail compilation; warnings are available
+    /// through [`Session::lint_warnings`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Prepared::compile_with`] errors, including
+    /// [`crate::error::SpiceError::LintFailed`].
+    pub fn compile_with(circuit: &Circuit, options: Options) -> Result<Self> {
+        let prepared = Prepared::compile_with(circuit, options.lint)?;
+        Ok(Session { prepared, options })
+    }
+
+    /// Warning-severity findings of the pre-flight lint pass (all
+    /// findings when compiled under [`LintPolicy::Warn`]).
+    pub fn lint_warnings(&self) -> &[crate::lint::LintDiagnostic] {
+        &self.prepared.lint_warnings
     }
 
     /// Replaces the analysis options (chainable).

@@ -15,6 +15,7 @@ use crate::analysis::fault::{FaultHandle, FaultInjector};
 use crate::analysis::solver::SolverChoice;
 use crate::circuit::Prepared;
 use crate::devices::{RealCtx, RealStamper};
+use crate::lint::LintPolicy;
 use ahfic_num::{Matrix, Scalar};
 use ahfic_trace::{TraceHandle, TraceSink};
 use std::sync::Arc;
@@ -102,6 +103,10 @@ pub struct Options {
     /// Deterministic fault injection; [`FaultHandle::off`] (the default)
     /// makes every poll site a single not-taken branch.
     pub faults: FaultHandle,
+    /// Pre-flight static verification policy applied by
+    /// [`Session::compile_with`](crate::analysis::Session::compile_with)
+    /// (default: [`LintPolicy::Deny`]).
+    pub lint: LintPolicy,
 }
 
 impl Default for Options {
@@ -118,6 +123,7 @@ impl Default for Options {
             trace: TraceHandle::off(),
             ladder: LadderConfig::default(),
             faults: FaultHandle::off(),
+            lint: LintPolicy::default(),
         }
     }
 }
@@ -261,6 +267,13 @@ impl Options {
     /// unset.
     pub fn fault_injector(mut self, injector: &Arc<FaultInjector>) -> Self {
         self.faults = FaultHandle::new(injector);
+        self
+    }
+
+    /// Sets the pre-flight lint policy used when compiling through a
+    /// [`Session`](crate::analysis::Session).
+    pub fn lint(mut self, lint: LintPolicy) -> Self {
+        self.lint = lint;
         self
     }
 }

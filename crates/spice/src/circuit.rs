@@ -7,6 +7,7 @@
 
 use crate::devices::{build_devices, Device};
 use crate::error::{Result, SpiceError};
+use crate::lint::{LintDiagnostic, LintPolicy};
 use crate::model::{BjtModel, DiodeModel};
 use crate::wave::SourceWave;
 use std::collections::HashMap;
@@ -291,6 +292,9 @@ pub struct Circuit {
     node_lookup: HashMap<String, NodeId>,
     elements: Vec<Element>,
     element_lookup: HashMap<String, usize>,
+    /// 1-based netlist line each element came from, index-aligned with
+    /// `elements`; `None` for builder-API circuits.
+    element_lines: Vec<Option<usize>>,
     /// Registered BJT model cards.
     pub bjt_models: Vec<BjtModel>,
     /// Registered diode model cards.
@@ -363,7 +367,19 @@ impl Circuit {
         let idx = self.elements.len();
         self.element_lookup.insert(key, idx);
         self.elements.push(Element { name, kind });
+        self.element_lines.push(None);
         idx
+    }
+
+    /// Records the 1-based netlist line an element was parsed from, so
+    /// lint diagnostics can point back into the deck.
+    pub fn set_element_line(&mut self, idx: usize, line: usize) {
+        self.element_lines[idx] = Some(line);
+    }
+
+    /// Netlist line provenance of an element, when known.
+    pub fn element_line(&self, idx: usize) -> Option<usize> {
+        self.element_lines.get(idx).copied().flatten()
     }
 
     /// Adds a resistor.
@@ -743,6 +759,10 @@ pub struct Prepared {
     pub(crate) linear: Vec<usize>,
     /// Indices of devices re-stamped every Newton iteration.
     pub(crate) nonlinear: Vec<usize>,
+    /// Warning-severity findings of the pre-flight lint pass (all
+    /// findings under [`LintPolicy::Warn`]; empty under
+    /// [`LintPolicy::Off`]).
+    pub lint_warnings: Vec<LintDiagnostic>,
 }
 
 /// Area-scales a BJT model card: currents and capacitances multiply by
@@ -792,8 +812,34 @@ impl Prepared {
     /// # Errors
     ///
     /// Returns [`SpiceError::Netlist`] if a controlled source references a
-    /// missing voltage source.
+    /// missing voltage source, or [`SpiceError::LintFailed`] when the
+    /// pre-flight static verification pass (run under its default
+    /// [`LintPolicy::Deny`]) finds error-severity structural defects.
+    /// Use [`Prepared::compile_with`] to select another policy.
     pub fn compile(circuit: &Circuit) -> Result<Self> {
+        Self::compile_with(circuit, LintPolicy::default())
+    }
+
+    /// Compiles a circuit with an explicit pre-flight lint policy:
+    /// [`LintPolicy::Deny`] fails on error-severity findings,
+    /// [`LintPolicy::Warn`] carries everything on
+    /// [`Prepared::lint_warnings`], [`LintPolicy::Off`] skips the pass.
+    pub fn compile_with(circuit: &Circuit, lint: LintPolicy) -> Result<Self> {
+        let mut prep = Self::compile_unchecked(circuit)?;
+        if lint == LintPolicy::Off {
+            return Ok(prep);
+        }
+        let report = crate::lint::lint_prepared(&prep);
+        if lint == LintPolicy::Deny && report.has_errors() {
+            return Err(SpiceError::LintFailed(Box::new(report)));
+        }
+        prep.lint_warnings = report.diagnostics;
+        Ok(prep)
+    }
+
+    /// The compile pipeline proper: unknown layout, device build, no
+    /// lint.
+    fn compile_unchecked(circuit: &Circuit) -> Result<Self> {
         let n_ext = circuit.num_nodes() - 1; // excluding ground
         let mut unknown_names: Vec<String> = (1..circuit.num_nodes())
             .map(|i| format!("v({})", circuit.node_names[i]))
@@ -907,6 +953,7 @@ impl Prepared {
             linear: set.linear,
             nonlinear: set.nonlinear,
             circuit: circuit.clone(),
+            lint_warnings: Vec::new(),
         })
     }
 
@@ -1007,7 +1054,9 @@ mod tests {
         // re = 0 -> no internal emitter node.
         let mi = c.add_bjt_model(m);
         c.bjt("Q1", cc, bb, ee, mi, 1.0);
-        let p = Prepared::compile(&c).unwrap();
+        // A lone BJT is (deliberately) floating; bypass the pre-flight
+        // lint to inspect the compiled layout.
+        let p = Prepared::compile_with(&c, LintPolicy::Off).unwrap();
         // 3 external + 2 internal
         assert_eq!(p.num_voltage_unknowns, 5);
         let names = &p.unknown_names;

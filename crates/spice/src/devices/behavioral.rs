@@ -2,9 +2,9 @@
 //! controlling node voltages, linearized by first-order Taylor expansion
 //! each Newton iteration.
 
-use super::{AcCtx, AcStamper, Device, RealCtx, RealStamper};
+use super::{AcCtx, AcStamper, Device, EdgeKind, RealCtx, RealStamper, TopologyEdge};
 use crate::analysis::stamp::NonlinMemory;
-use crate::circuit::{read_slot, ElementKind};
+use crate::circuit::{read_slot, ElementKind, GROUND_SLOT};
 use ahfic_num::Complex;
 
 /// Behavioral voltage source with a branch-current unknown `k` and a
@@ -25,6 +25,14 @@ impl Device for BehavioralSource {
 
     fn is_nonlinear(&self) -> bool {
         true
+    }
+
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        out.push(TopologyEdge::new(self.p, self.n, EdgeKind::VoltageDef));
+        // Controls are single node voltages sensed against ground.
+        for &c in &self.controls {
+            out.push(TopologyEdge::new(c, GROUND_SLOT, EdgeKind::Sense));
+        }
     }
 
     fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {

@@ -8,7 +8,10 @@
 //! after (conductances and capacitances are invariant under that
 //! transformation).
 
-use super::{AcCtx, AcStamper, Device, NoiseGenerator, OpCtx, RealCtx, RealStamper, KB, Q};
+use super::{
+    AcCtx, AcStamper, Device, EdgeKind, NoiseGenerator, OpCtx, RealCtx, RealStamper, TopologyEdge,
+    KB, Q,
+};
 use crate::analysis::stamp::{ChargeState, Mode, NonlinMemory};
 use crate::circuit::{read_slot, BjtNodes, Prepared};
 use crate::devices::junction::{depletion, diode_current, limexp, pnjlim, vcrit};
@@ -298,6 +301,22 @@ impl Device for BjtInstance {
 
     fn is_nonlinear(&self) -> bool {
         true
+    }
+
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        let nd = &self.nodes;
+        // Parasitic-resistance segments exist only when the internal
+        // node was split off the terminal.
+        for (ext, int) in [(nd.c, nd.ci), (nd.b, nd.bi), (nd.e, nd.ei)] {
+            if ext != int {
+                out.push(TopologyEdge::new(ext, int, EdgeKind::Conductive));
+            }
+        }
+        // Both junctions conduct at DC (gmin-loaded exponentials).
+        out.push(TopologyEdge::new(nd.bi, nd.ei, EdgeKind::Conductive));
+        out.push(TopologyEdge::new(nd.bi, nd.ci, EdgeKind::Conductive));
+        // The substrate junction is charge storage only.
+        out.push(TopologyEdge::new(nd.s, nd.ci, EdgeKind::Capacitive));
     }
 
     fn charge_slots(&self) -> usize {

@@ -1,6 +1,9 @@
 //! Junction diode: model evaluation and the [`Device`] implementation.
 
-use super::{AcCtx, AcStamper, Device, NoiseGenerator, OpCtx, RealCtx, RealStamper, Q};
+use super::{
+    AcCtx, AcStamper, Device, EdgeKind, NoiseGenerator, OpCtx, RealCtx, RealStamper, TopologyEdge,
+    Q,
+};
 use crate::analysis::stamp::{ChargeState, Mode, NonlinMemory};
 use crate::circuit::read_slot;
 use crate::devices::junction::{depletion, diode_current, limexp, pnjlim, vcrit};
@@ -66,6 +69,23 @@ impl Device for DiodeInstance {
 
     fn is_nonlinear(&self) -> bool {
         true
+    }
+
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        // The junction always conducts at DC (gmin-loaded exponential);
+        // the series-resistance segment exists only with an internal node.
+        if self.internal != self.anode {
+            out.push(TopologyEdge::new(
+                self.anode,
+                self.internal,
+                EdgeKind::Conductive,
+            ));
+        }
+        out.push(TopologyEdge::new(
+            self.internal,
+            self.cathode,
+            EdgeKind::Conductive,
+        ));
     }
 
     fn charge_slots(&self) -> usize {

@@ -2,7 +2,9 @@
 //! sources. Their real stamps never depend on the solution vector, so
 //! the Newton loop caches them in the replay baseline.
 
-use super::{AcCtx, AcStamper, Device, NoiseGenerator, OpCtx, RealCtx, RealStamper};
+use super::{
+    AcCtx, AcStamper, Device, EdgeKind, NoiseGenerator, OpCtx, RealCtx, RealStamper, TopologyEdge,
+};
 use crate::analysis::stamp::{ChargeState, Mode, NonlinMemory};
 use crate::circuit::{read_slot, Circuit, ElementKind};
 use crate::devices::KB;
@@ -55,6 +57,10 @@ impl Device for Resistor {
         self.idx
     }
 
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        out.push(TopologyEdge::new(self.p, self.n, EdgeKind::Conductive));
+    }
+
     fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {
         s.conductance(self.p, self.n, 1.0 / self.r(&cx.prep.circuit));
     }
@@ -95,6 +101,10 @@ impl Capacitor {
 impl Device for Capacitor {
     fn index(&self) -> usize {
         self.idx
+    }
+
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        out.push(TopologyEdge::new(self.p, self.n, EdgeKind::Capacitive));
     }
 
     fn charge_slots(&self) -> usize {
@@ -157,6 +167,10 @@ impl Device for Inductor {
         self.idx
     }
 
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        out.push(TopologyEdge::new(self.p, self.n, EdgeKind::Inductive));
+    }
+
     fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {
         let l = self.l(&cx.prep.circuit);
         branch_rows(s, self.p, self.n, self.k);
@@ -201,6 +215,10 @@ impl Device for VoltageSource {
         self.idx
     }
 
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        out.push(TopologyEdge::new(self.p, self.n, EdgeKind::VoltageDef));
+    }
+
     fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {
         let ElementKind::Vsource { wave, .. } = &cx.prep.circuit.elements()[self.idx].kind else {
             unreachable!("vsource device on non-vsource element")
@@ -238,6 +256,10 @@ pub(crate) struct CurrentSource {
 impl Device for CurrentSource {
     fn index(&self) -> usize {
         self.idx
+    }
+
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        out.push(TopologyEdge::new(self.p, self.n, EdgeKind::CurrentForcing));
     }
 
     fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {
@@ -290,6 +312,11 @@ impl Device for Vcvs {
         self.idx
     }
 
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        out.push(TopologyEdge::new(self.p, self.n, EdgeKind::VoltageDef));
+        out.push(TopologyEdge::new(self.cp, self.cn, EdgeKind::Sense));
+    }
+
     fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {
         let gain = self.gain(&cx.prep.circuit);
         branch_rows(s, self.p, self.n, self.k);
@@ -327,6 +354,11 @@ impl Vccs {
 impl Device for Vccs {
     fn index(&self) -> usize {
         self.idx
+    }
+
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        out.push(TopologyEdge::new(self.p, self.n, EdgeKind::CurrentForcing));
+        out.push(TopologyEdge::new(self.cp, self.cn, EdgeKind::Sense));
     }
 
     fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {
@@ -368,6 +400,10 @@ impl Device for Cccs {
         self.idx
     }
 
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        out.push(TopologyEdge::new(self.p, self.n, EdgeKind::CurrentForcing));
+    }
+
     fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {
         let gain = self.gain(&cx.prep.circuit);
         s.add(self.p, self.j, gain);
@@ -403,6 +439,10 @@ impl Ccvs {
 impl Device for Ccvs {
     fn index(&self) -> usize {
         self.idx
+    }
+
+    fn topology(&self, out: &mut Vec<TopologyEdge>) {
+        out.push(TopologyEdge::new(self.p, self.n, EdgeKind::VoltageDef));
     }
 
     fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {

@@ -247,6 +247,58 @@ impl NoiseGenerator {
     }
 }
 
+/// How one element edge participates in the static topology graph the
+/// pre-flight lint pass ([`crate::lint`]) analyzes.
+///
+/// The classification is about *structure*, not values: it answers
+/// "does this element provide a DC path / define a voltage / force a
+/// current between its terminals", which is what ground reachability,
+/// voltage-loop and current-cutset analysis need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// A resistive DC path between the terminals (resistor, junction).
+    Conductive,
+    /// A branch-current element that pins the voltage across its
+    /// terminals (V, E, H, B sources). Conducts DC, and loops of these
+    /// are structurally singular.
+    VoltageDef,
+    /// An inductor branch: conducts DC like a voltage-definition branch
+    /// but carries a tiny series resistance in the DC stamp, so pure
+    /// inductor loops are solvable (with absurd currents) rather than
+    /// singular.
+    Inductive,
+    /// A current-forcing element (I, G, F): no DC path between the
+    /// terminals, and a cutset of these over-determines KCL.
+    CurrentForcing,
+    /// A capacitor: open at DC, so it conducts nothing for ground
+    /// reachability, but it is a deliberate connection — a node reached
+    /// only through capacitors is floating at DC.
+    Capacitive,
+    /// A sensing-only connection (controlled-source control pins): no
+    /// current flows, but the node is referenced on purpose, so it does
+    /// not count as dangling.
+    Sense,
+}
+
+/// One edge a device contributes to the lint topology graph, in unknown
+/// slots (either side may be [`GROUND_SLOT`]).
+#[derive(Clone, Copy, Debug)]
+pub struct TopologyEdge {
+    /// First terminal slot.
+    pub a: usize,
+    /// Second terminal slot.
+    pub b: usize,
+    /// Structural role of the connection.
+    pub kind: EdgeKind,
+}
+
+impl TopologyEdge {
+    /// Convenience constructor.
+    pub fn new(a: usize, b: usize, kind: EdgeKind) -> Self {
+        TopologyEdge { a, b, kind }
+    }
+}
+
 /// The per-element contract every analysis dispatches through.
 ///
 /// Implementations read their element values from
@@ -270,6 +322,12 @@ pub trait Device: Send + Sync + fmt::Debug {
     fn charge_slots(&self) -> usize {
         0
     }
+
+    /// Appends this device's edges to the lint topology graph, in
+    /// unknown slots ([`GROUND_SLOT`] for grounded terminals). Required:
+    /// every device must declare how it connects its terminals so the
+    /// pre-flight static checks stay complete as devices are added.
+    fn topology(&self, out: &mut Vec<TopologyEdge>);
 
     /// Stamps the real-valued (DC or transient-companion) linearization
     /// at `cx.x` into `s`.

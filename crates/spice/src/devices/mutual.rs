@@ -7,7 +7,7 @@
 //! with any number of couplings sharing an inductor. It lives entirely
 //! under `devices/` — no analysis code knows it exists.
 
-use super::{AcCtx, AcStamper, Device, RealCtx, RealStamper};
+use super::{AcCtx, AcStamper, Device, RealCtx, RealStamper, TopologyEdge};
 use crate::analysis::stamp::{Mode, NonlinMemory};
 use crate::circuit::{Circuit, ElementKind};
 use ahfic_num::Complex;
@@ -45,6 +45,10 @@ impl Device for MutualInductor {
     fn index(&self) -> usize {
         self.idx
     }
+
+    // Coupling touches only the two inductor branch equations; the
+    // inductors themselves declare the node connectivity.
+    fn topology(&self, _out: &mut Vec<TopologyEdge>) {}
 
     fn stamp_real(&self, cx: &RealCtx, _mem: &mut NonlinMemory, s: &mut RealStamper) {
         match cx.mode {

@@ -1,5 +1,6 @@
 //! Error types for circuit construction and simulation.
 
+use crate::lint::LintReport;
 use std::fmt;
 
 /// One unknown's contribution to a failed convergence check: how far the
@@ -145,6 +146,10 @@ pub enum SpiceError {
         /// Description of the problem.
         message: String,
     },
+    /// The pre-flight static verification pass found error-severity
+    /// defects (floating nodes, voltage-source loops, current-source
+    /// cutsets, …) under [`crate::lint::LintPolicy::Deny`].
+    LintFailed(Box<LintReport>),
     /// The netlist is structurally invalid (unknown model, bad node, …).
     Netlist(String),
     /// An analysis was asked for something impossible (empty sweep, zero
@@ -160,6 +165,15 @@ impl SpiceError {
     pub fn convergence_report(&self) -> Option<&ConvergenceReport> {
         match self {
             SpiceError::NoConvergence { report, .. } => report.as_deref(),
+            _ => None,
+        }
+    }
+
+    /// The [`LintReport`] attached to a [`SpiceError::LintFailed`], if
+    /// any.
+    pub fn lint_report(&self) -> Option<&LintReport> {
+        match self {
+            SpiceError::LintFailed(report) => Some(report),
             _ => None,
         }
     }
@@ -197,6 +211,13 @@ impl fmt::Display for SpiceError {
             }
             SpiceError::Parse { line, message } => {
                 write!(f, "netlist parse error at line {line}: {message}")
+            }
+            SpiceError::LintFailed(report) => {
+                write!(
+                    f,
+                    "pre-flight verification failed ({} error(s)): {report}",
+                    report.errors().count()
+                )
             }
             SpiceError::Netlist(msg) => write!(f, "invalid netlist: {msg}"),
             SpiceError::BadAnalysis(msg) => write!(f, "invalid analysis request: {msg}"),

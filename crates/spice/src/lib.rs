@@ -51,6 +51,7 @@ pub mod analysis;
 pub mod circuit;
 pub mod devices;
 pub mod error;
+pub mod lint;
 pub mod measure;
 pub mod model;
 pub mod parse;
@@ -68,6 +69,7 @@ pub mod prelude {
     };
     pub use crate::circuit::{Circuit, NodeId, Prepared};
     pub use crate::error::{ConvergenceReport, RungReport, SpiceError, WorstUnknown};
+    pub use crate::lint::{LintCode, LintDiagnostic, LintPolicy, LintReport, LintSeverity};
     pub use crate::model::{BjtModel, BjtPolarity, DiodeModel};
     pub use crate::wave::{AcWaveform, SourceWave, Waveform};
     pub use ahfic_trace::{InMemorySink, JsonLinesSink, NullSink, TraceHandle, TraceSink};

@@ -1,0 +1,506 @@
+//! Topology-graph checks of the pre-flight pass: ground reachability,
+//! voltage-source / inductor loops, current-source cutsets, dangling
+//! pins and value sanity.
+//!
+//! All checks run on the [`TopologyEdge`](crate::devices::TopologyEdge)
+//! set the compiled devices declare, in unknown slots, with ground
+//! mapped to one extra virtual vertex so union-find stays dense.
+
+use super::{
+    element_label, join_capped, node_label, LintCode, LintDiagnostic, LintSeverity, TaggedEdge,
+};
+use crate::circuit::{ElementKind, Prepared, GROUND_SLOT};
+use crate::devices::EdgeKind;
+use std::collections::BTreeMap;
+
+/// Path-compressed union-find over dense vertex indices.
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    /// Makes every vertex its own set again, keeping the allocation.
+    pub fn reset(&mut self) {
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i;
+        }
+    }
+
+    pub fn find(&mut self, mut v: usize) -> usize {
+        while self.parent[v] != v {
+            self.parent[v] = self.parent[self.parent[v]];
+            v = self.parent[v];
+        }
+        v
+    }
+
+    /// Unions the sets of `a` and `b`; returns `false` if they were
+    /// already joined (the new edge closes a cycle).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+/// `true` for edge kinds that carry DC current between their terminals.
+fn conducts_dc(kind: EdgeKind) -> bool {
+    matches!(
+        kind,
+        EdgeKind::Conductive | EdgeKind::VoltageDef | EdgeKind::Inductive
+    )
+}
+
+/// Runs every graph check, appending findings to `out`.
+pub(crate) fn check(prep: &Prepared, edges: &[TaggedEdge], out: &mut Vec<LintDiagnostic>) {
+    let n = prep.num_voltage_unknowns;
+    let gnd = n;
+    let slot = |s: usize| if s == GROUND_SLOT { gnd } else { s };
+    // One union-find shared by every check that needs one (reset between
+    // uses): this pass runs on every compile, so it avoids re-allocating.
+    let mut uf = UnionFind::new(n + 1);
+
+    check_ground_reachability(prep, edges, n, gnd, slot, &mut uf, out);
+    check_voltage_loops(prep, edges, n, gnd, slot, &mut uf, out);
+    check_dangling_pins(prep, edges, n, slot, out);
+    check_values(prep, out);
+}
+
+/// Ground reachability: every voltage unknown needs a DC path to
+/// ground. Islands are classified as current-source cutsets when a
+/// current source feeds them, plain floating nodes otherwise; a circuit
+/// with no ground connection at all gets one summary diagnostic naming
+/// the accepted ground spellings.
+fn check_ground_reachability(
+    prep: &Prepared,
+    edges: &[TaggedEdge],
+    n: usize,
+    gnd: usize,
+    slot: impl Fn(usize) -> usize,
+    uf: &mut UnionFind,
+    out: &mut Vec<LintDiagnostic>,
+) {
+    for te in edges {
+        if conducts_dc(te.edge.kind) {
+            uf.union(slot(te.edge.a), slot(te.edge.b));
+        }
+    }
+
+    let ground_touched = edges.iter().any(|te| {
+        te.edge.kind != EdgeKind::Sense && (te.edge.a == GROUND_SLOT || te.edge.b == GROUND_SLOT)
+    });
+    if !ground_touched && n > 0 {
+        let nodes: Vec<String> = (0..n).map(|s| node_label(prep, s)).collect();
+        out.push(LintDiagnostic {
+            code: LintCode::NoGround,
+            severity: LintSeverity::Error,
+            elements: Vec::new(),
+            message: format!(
+                "no element connects to the ground node; every circuit needs a DC \
+                 reference (accepted ground node names: `0`, `gnd`) — {} node(s) \
+                 are adrift: {}",
+                nodes.len(),
+                join_capped(&nodes, 6)
+            ),
+            nodes,
+        });
+        return;
+    }
+
+    // Group non-ground-component slots into islands by union-find root.
+    let ground_root = uf.find(gnd);
+    let mut islands: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for s in 0..n {
+        let r = uf.find(s);
+        if r != ground_root {
+            islands.entry(r).or_default().push(s);
+        }
+    }
+
+    for members in islands.values() {
+        let mut in_island = vec![false; n];
+        for &s in members {
+            in_island[s] = true;
+        }
+        let touches = |s: usize| s != GROUND_SLOT && in_island[s];
+        let mut feeders: Vec<String> = Vec::new();
+        let mut incident: Vec<String> = Vec::new();
+        for te in edges {
+            if !(touches(te.edge.a) || touches(te.edge.b)) {
+                continue;
+            }
+            let label = element_label(prep, te.elem);
+            if te.edge.kind == EdgeKind::CurrentForcing {
+                if !feeders.contains(&label) {
+                    feeders.push(label);
+                }
+            } else if !incident.contains(&label) {
+                incident.push(label);
+            }
+        }
+        let nodes: Vec<String> = members.iter().map(|&s| node_label(prep, s)).collect();
+        if feeders.is_empty() {
+            out.push(LintDiagnostic {
+                code: LintCode::FloatingNode,
+                severity: LintSeverity::Error,
+                message: format!(
+                    "node(s) {} have no DC path to ground{}",
+                    join_capped(&nodes, 6),
+                    if incident.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" (touched only by {})", join_capped(&incident, 6))
+                    }
+                ),
+                elements: incident,
+                nodes,
+            });
+        } else {
+            out.push(LintDiagnostic {
+                code: LintCode::CurrentCutset,
+                severity: LintSeverity::Error,
+                message: format!(
+                    "current source(s) {} force current into node(s) {} which have \
+                     no DC return path to ground: KCL there is over-determined",
+                    join_capped(&feeders, 6),
+                    join_capped(&nodes, 6)
+                ),
+                elements: feeders,
+                nodes,
+            });
+        }
+    }
+}
+
+/// Voltage-definition loop detection: walks V/E/H/B and inductor edges
+/// in element order over a spanning forest; any edge that closes a
+/// cycle is a loop of branch-current elements. A cycle made purely of
+/// voltage-definition branches is structurally singular (the branch
+/// columns are linearly dependent); a cycle containing at least one
+/// inductor is numerically survivable through the inductor's internal
+/// series resistance and is reported as a warning.
+fn check_voltage_loops(
+    prep: &Prepared,
+    edges: &[TaggedEdge],
+    n: usize,
+    gnd: usize,
+    slot: impl Fn(usize) -> usize,
+    uf: &mut UnionFind,
+    out: &mut Vec<LintDiagnostic>,
+) {
+    // Pass 1: voltage-definition edges only. Any V/E/H/B edge closing a
+    // cycle inside this forest closes a loop made purely of
+    // voltage-definition branches — the fatal kind — no matter what
+    // other (inductive) paths exist between the same nodes. A single
+    // combined forest would mask e.g. two parallel V sources whenever
+    // an inductor happened to connect their nodes first.
+    let mut fatal = std::collections::HashSet::new();
+    let mut tree: Vec<(usize, usize, usize, EdgeKind)> = Vec::new();
+    uf.reset();
+    for te in edges {
+        if te.edge.kind != EdgeKind::VoltageDef {
+            continue;
+        }
+        let (a, b) = (slot(te.edge.a), slot(te.edge.b));
+        if a == b {
+            fatal.insert(te.elem);
+            report_loop(prep, &[(te.elem, te.edge.kind)], &[a], gnd, out);
+            continue;
+        }
+        if uf.union(a, b) {
+            tree.push((a, b, te.elem, te.edge.kind));
+            continue;
+        }
+        // The edge closes a cycle: recover the tree path from a to b.
+        let (path_elems, path_nodes) = tree_path(&tree, n + 1, a, b);
+        let mut cycle = path_elems;
+        cycle.push((te.elem, te.edge.kind));
+        fatal.insert(te.elem);
+        report_loop(prep, &cycle, &path_nodes, gnd, out);
+        // Deliberately not unioned: the forest stays a forest so each
+        // extra loop-closing element yields its own diagnostic.
+    }
+
+    // Pass 2: voltage-definition and inductive edges together. Cycles
+    // here that were not already reported as fatal contain at least one
+    // inductor and are survivable (warning): the loop current is limited
+    // by the inductor's internal series resistance.
+    uf.reset();
+    tree.clear();
+    for te in edges {
+        if !matches!(te.edge.kind, EdgeKind::VoltageDef | EdgeKind::Inductive) {
+            continue;
+        }
+        if fatal.contains(&te.elem) {
+            continue;
+        }
+        let (a, b) = (slot(te.edge.a), slot(te.edge.b));
+        if a == b {
+            report_loop(prep, &[(te.elem, te.edge.kind)], &[a], gnd, out);
+            continue;
+        }
+        if uf.union(a, b) {
+            tree.push((a, b, te.elem, te.edge.kind));
+            continue;
+        }
+        let (path_elems, path_nodes) = tree_path(&tree, n + 1, a, b);
+        let mut cycle = path_elems;
+        cycle.push((te.elem, te.edge.kind));
+        report_loop(prep, &cycle, &path_nodes, gnd, out);
+    }
+}
+
+/// BFS through the spanning forest from `a` to `b`; returns the
+/// elements and vertices along the path. The adjacency is materialized
+/// here, on the already-doomed diagnosis path, so the clean-compile
+/// path pays only one flat `Vec` of tree edges.
+fn tree_path(
+    tree: &[(usize, usize, usize, EdgeKind)],
+    n_vertices: usize,
+    a: usize,
+    b: usize,
+) -> (Vec<(usize, EdgeKind)>, Vec<usize>) {
+    let mut adj: Vec<Vec<(usize, usize, EdgeKind)>> = vec![Vec::new(); n_vertices];
+    for &(u, v, elem, kind) in tree {
+        adj[u].push((v, elem, kind));
+        adj[v].push((u, elem, kind));
+    }
+    let mut prev: Vec<Option<(usize, usize, EdgeKind)>> = vec![None; adj.len()];
+    let mut seen = vec![false; adj.len()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[a] = true;
+    queue.push_back(a);
+    while let Some(v) = queue.pop_front() {
+        if v == b {
+            break;
+        }
+        for &(w, elem, kind) in &adj[v] {
+            if !seen[w] {
+                seen[w] = true;
+                prev[w] = Some((v, elem, kind));
+                queue.push_back(w);
+            }
+        }
+    }
+    let mut elems = Vec::new();
+    let mut nodes = vec![b];
+    let mut v = b;
+    while v != a {
+        let (p, elem, kind) = prev[v].expect("path exists inside one tree component");
+        elems.push((elem, kind));
+        nodes.push(p);
+        v = p;
+    }
+    (elems, nodes)
+}
+
+/// Emits the diagnostic for one detected loop.
+fn report_loop(
+    prep: &Prepared,
+    cycle: &[(usize, EdgeKind)],
+    vertices: &[usize],
+    gnd: usize,
+    out: &mut Vec<LintDiagnostic>,
+) {
+    let pure_vdef = cycle.iter().all(|&(_, k)| k == EdgeKind::VoltageDef);
+    let elements: Vec<String> = cycle.iter().map(|&(e, _)| element_label(prep, e)).collect();
+    let nodes: Vec<String> = vertices
+        .iter()
+        .map(|&v| {
+            if v == gnd {
+                "0".to_string()
+            } else {
+                node_label(prep, v)
+            }
+        })
+        .collect();
+    if pure_vdef {
+        out.push(LintDiagnostic {
+            code: LintCode::VsourceLoop,
+            severity: LintSeverity::Error,
+            message: format!(
+                "voltage-defining element(s) {} form a loop through node(s) {}: \
+                 their branch equations are linearly dependent and the MNA matrix \
+                 is singular",
+                join_capped(&elements, 6),
+                join_capped(&nodes, 6)
+            ),
+            elements,
+            nodes,
+        });
+    } else {
+        out.push(LintDiagnostic {
+            code: LintCode::InductorLoop,
+            severity: LintSeverity::Warning,
+            message: format!(
+                "element(s) {} form a DC short loop through node(s) {}: the loop \
+                 current is limited only by the inductor's internal 1 nOhm series \
+                 resistance and will be absurdly large",
+                join_capped(&elements, 6),
+                join_capped(&nodes, 6)
+            ),
+            elements,
+            nodes,
+        });
+    }
+}
+
+/// Flags external nodes touched by exactly one element terminal.
+/// Degree-0 nodes are already floating islands; degree-1 nodes are
+/// solvable (the dangling branch carries no current) but almost always
+/// a mis-wired or misspelled connection — classically a subcircuit pin
+/// left unconnected.
+fn check_dangling_pins(
+    prep: &Prepared,
+    edges: &[TaggedEdge],
+    n: usize,
+    slot: impl Fn(usize) -> usize,
+    out: &mut Vec<LintDiagnostic>,
+) {
+    let n_ext = prep.circuit.num_nodes().saturating_sub(1).min(n);
+    let mut degree = vec![0usize; n_ext];
+    let mut only_elem = vec![usize::MAX; n_ext];
+    for te in edges {
+        if te.edge.kind == EdgeKind::Sense {
+            continue;
+        }
+        let (a, b) = (slot(te.edge.a), slot(te.edge.b));
+        if a == b {
+            continue;
+        }
+        for v in [a, b] {
+            if v < n_ext {
+                degree[v] += 1;
+                only_elem[v] = te.elem;
+            }
+        }
+    }
+    for v in 0..n_ext {
+        if degree[v] == 1 {
+            let node = node_label(prep, v);
+            let elem = element_label(prep, only_elem[v]);
+            out.push(LintDiagnostic {
+                code: LintCode::DanglingPin,
+                severity: LintSeverity::Warning,
+                message: format!(
+                    "node {node} is connected to only one element ({elem}); the \
+                     dangling branch carries no current — likely an unconnected \
+                     pin or a misspelled node name"
+                ),
+                elements: vec![elem],
+                nodes: vec![node],
+            });
+        }
+    }
+}
+
+/// Value-sanity screens: part values the parser accepts syntactically
+/// but the stamps cannot survive (or that silently do nothing).
+fn check_values(prep: &Prepared, out: &mut Vec<LintDiagnostic>) {
+    for (idx, el) in prep.circuit.elements().iter().enumerate() {
+        let label = || vec![element_label(prep, idx)];
+        let diag = |code, severity, message: String, elements: Vec<String>| LintDiagnostic {
+            code,
+            severity,
+            message,
+            elements,
+            nodes: Vec::new(),
+        };
+        match &el.kind {
+            ElementKind::Resistor { r, .. } => {
+                if *r == 0.0 || !r.is_finite() {
+                    out.push(diag(
+                        LintCode::ValueSanity,
+                        LintSeverity::Error,
+                        format!(
+                            "{} has resistance {r:e} Ohm: the conductance stamp \
+                             1/R is not finite",
+                            element_label(prep, idx)
+                        ),
+                        label(),
+                    ));
+                } else if *r < 0.0 {
+                    out.push(diag(
+                        LintCode::ValueSanity,
+                        LintSeverity::Warning,
+                        format!(
+                            "{} has negative resistance {r:e} Ohm",
+                            element_label(prep, idx)
+                        ),
+                        label(),
+                    ));
+                }
+            }
+            ElementKind::Capacitor { c, .. } => {
+                if !c.is_finite() {
+                    out.push(diag(
+                        LintCode::ValueSanity,
+                        LintSeverity::Error,
+                        format!(
+                            "{} has non-finite capacitance {c:e} F",
+                            element_label(prep, idx)
+                        ),
+                        label(),
+                    ));
+                } else if *c <= 0.0 {
+                    out.push(diag(
+                        LintCode::ValueSanity,
+                        LintSeverity::Warning,
+                        format!(
+                            "{} has capacitance {c:e} F: the element stores no \
+                             charge",
+                            element_label(prep, idx)
+                        ),
+                        label(),
+                    ));
+                }
+            }
+            ElementKind::Inductor { l, .. } => {
+                if !l.is_finite() {
+                    out.push(diag(
+                        LintCode::ValueSanity,
+                        LintSeverity::Error,
+                        format!(
+                            "{} has non-finite inductance {l:e} H",
+                            element_label(prep, idx)
+                        ),
+                        label(),
+                    ));
+                } else if *l <= 0.0 {
+                    out.push(diag(
+                        LintCode::ValueSanity,
+                        LintSeverity::Warning,
+                        format!(
+                            "{} has inductance {l:e} H: the branch degenerates to \
+                             a DC short",
+                            element_label(prep, idx)
+                        ),
+                        label(),
+                    ));
+                }
+            }
+            ElementKind::MutualInd { k, .. } if *k == 0.0 => {
+                out.push(diag(
+                    LintCode::ValueSanity,
+                    LintSeverity::Warning,
+                    format!(
+                        "{} has zero coupling coefficient: the K card has no \
+                         effect",
+                        element_label(prep, idx)
+                    ),
+                    label(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}

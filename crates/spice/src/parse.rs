@@ -428,6 +428,9 @@ fn parse_element(ckt: &mut Circuit, line_text: &str, line: usize) -> Result<()> 
     if ckt.find_element(&name).is_some() {
         return Err(perr(line, format!("duplicate element name `{name}`")));
     }
+    // Whatever the arm below adds gets this card's line number, so lint
+    // diagnostics can point back into the deck.
+    let first_new = ckt.elements().len();
     match first {
         'R' | 'C' | 'L' => {
             if toks.len() < 4 {
@@ -557,6 +560,9 @@ fn parse_element(ckt: &mut Circuit, line_text: &str, line: usize) -> Result<()> 
                 format!("unsupported element letter `{other}` in {name}"),
             ))
         }
+    }
+    for idx in first_new..ckt.elements().len() {
+        ckt.set_element_line(idx, line);
     }
     Ok(())
 }

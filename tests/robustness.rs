@@ -9,6 +9,7 @@
 use ahfic_spice::analysis::{op, FaultInjector, FaultKind, LadderConfig, Options};
 use ahfic_spice::circuit::{Circuit, Prepared};
 use ahfic_spice::error::SpiceError;
+use ahfic_spice::lint::{LintCode, LintPolicy};
 use ahfic_spice::model::{BjtModel, DiodeModel};
 use ahfic_spice::parse::parse_netlist;
 use ahfic_spice::trace::{InMemorySink, RecordKind, TraceRecord};
@@ -386,6 +387,136 @@ fn unset_injector_means_no_fault_bookkeeping() {
 }
 
 // ---------------------------------------------------------------------------
+// Pre-flight lint corpus: each structural defect class produces its typed
+// diagnostic at compile time, naming nodes and elements with deck line
+// numbers — never an anonymous singular-matrix failure out of the LU.
+// ---------------------------------------------------------------------------
+
+/// Decks whose defect is an error under [`LintPolicy::Deny`]: compilation
+/// must fail with [`SpiceError::LintFailed`] carrying the expected code.
+const LINT_ERROR_DECKS: &[(&str, &str, LintCode, &str)] = &[
+    (
+        "vsource_loop",
+        "V1 a 0 5\nV2 a 0 3\nR1 a 0 1k\n.end\n",
+        LintCode::VsourceLoop,
+        "V2 (line 2)",
+    ),
+    (
+        "floating_island",
+        "* f and g only reachable through C1\n\
+         V1 in 0 5\nR1 in 0 1k\nC1 in f 1p\nR2 f g 1k\n.end\n",
+        LintCode::FloatingNode,
+        "R2 (line 5)",
+    ),
+    (
+        "current_source_cutset",
+        "* 1 mA forced into a node with no DC return\n\
+         I1 0 a 1m\nC1 a 0 1p\n.end\n",
+        LintCode::CurrentCutset,
+        "I1 (line 2)",
+    ),
+    (
+        "no_ground_anywhere",
+        "V1 a b 5\nR1 a b 1k\n.end\n",
+        LintCode::NoGround,
+        "",
+    ),
+];
+
+/// Decks whose defect is a warning: compilation succeeds under the default
+/// policy and the diagnostic rides on the compiled circuit.
+const LINT_WARNING_DECKS: &[(&str, &str, LintCode, &str)] = &[
+    (
+        "inductor_loop",
+        "* DC short across an ideal source\n\
+         V1 in 0 5\nL1 in 0 1u\nR1 in 0 1k\n.end\n",
+        LintCode::InductorLoop,
+        "L1 (line 3)",
+    ),
+    (
+        "dangling_pin",
+        "* node d touched by one terminal only\n\
+         V1 in 0 5\nR1 in 0 1k\nR2 in d 1k\n.end\n",
+        LintCode::DanglingPin,
+        "R2 (line 4)",
+    ),
+];
+
+#[test]
+fn lint_error_decks_fail_compile_with_named_diagnostics() {
+    for (name, deck, code, element) in LINT_ERROR_DECKS {
+        let ckt = parse_netlist(deck).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        match Prepared::compile(&ckt) {
+            Err(SpiceError::LintFailed(report)) => {
+                let diag = report
+                    .diagnostics
+                    .iter()
+                    .find(|d| d.code == *code)
+                    .unwrap_or_else(|| panic!("{name}: no {code:?} in {report:?}"));
+                assert!(
+                    !diag.nodes.is_empty(),
+                    "{name}: diagnostic names no nodes: {diag:?}"
+                );
+                if !element.is_empty() {
+                    assert!(
+                        diag.elements.iter().any(|e| e == element),
+                        "{name}: expected element {element:?} in {:?}",
+                        diag.elements
+                    );
+                }
+                // The rendered report must carry the kebab code.
+                let rendered = ahfic_spice::analysis::lint_report(&report);
+                assert!(rendered.contains(code.as_str()), "{name}: {rendered}");
+            }
+            other => panic!("{name}: expected LintFailed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn lint_warning_decks_compile_and_carry_diagnostics() {
+    for (name, deck, code, element) in LINT_WARNING_DECKS {
+        let ckt = parse_netlist(deck).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        let prep = Prepared::compile(&ckt)
+            .unwrap_or_else(|e| panic!("{name}: warning-only deck failed compile: {e}"));
+        let diag = prep
+            .lint_warnings
+            .iter()
+            .find(|d| d.code == *code)
+            .unwrap_or_else(|| panic!("{name}: no {code:?} in {:?}", prep.lint_warnings));
+        assert!(
+            diag.elements.iter().any(|e| e == element),
+            "{name}: expected element {element:?} in {:?}",
+            diag.elements
+        );
+        // Warning decks must still solve (they are degenerate, not singular).
+        let r = op(&prep, &Options::default());
+        assert!(r.is_ok(), "{name}: {r:?}");
+    }
+}
+
+#[test]
+fn lint_policy_warn_lets_pathological_decks_reach_the_solver() {
+    // Under `Warn` the same error decks compile; the solver then either
+    // converges or fails with a typed error — never a panic.
+    for (name, deck, _, _) in LINT_ERROR_DECKS {
+        let ckt = parse_netlist(deck).unwrap();
+        let prep = Prepared::compile_with(&ckt, LintPolicy::Warn)
+            .unwrap_or_else(|e| panic!("{name}: Warn policy must not fail compile: {e}"));
+        assert!(
+            !prep.lint_warnings.is_empty(),
+            "{name}: Warn policy must still carry the findings"
+        );
+        match op(&prep, &Options::default()) {
+            Ok(r) => assert!(r.x.iter().all(|v| v.is_finite()), "{name}"),
+            Err(e) => {
+                let _ = format!("{name}: {e}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Property: random RLC+BJT circuits never report NaN.
 // ---------------------------------------------------------------------------
 
@@ -442,6 +573,58 @@ proptest! {
             }
             Err(e) => {
                 // Typed failure is acceptable; it must render.
+                let _ = format!("{e}");
+            }
+        }
+    }
+
+    /// The pre-flight pass is sound: a random linear deck that survives
+    /// lint under the default `Deny` policy never dies in the LU with a
+    /// `Singular` error. Positive-only part values mean no numerical
+    /// cancellation, so structural nonsingularity (what the matching
+    /// backstop certifies) is the whole story.
+    #[test]
+    fn lint_clean_linear_decks_never_hit_singular_lu(
+        kinds in proptest::collection::vec(0u8..5, 1..12),
+        a_idx in proptest::collection::vec(0usize..5, 12),
+        b_idx in proptest::collection::vec(0usize..5, 12),
+        vals in proptest::collection::vec(0.1f64..1e3, 12),
+    ) {
+        let mut c = Circuit::new();
+        let mut nodes = vec![Circuit::gnd()];
+        nodes.extend((1..5).map(|k| c.node(&format!("n{k}"))));
+        for (j, &k) in kinds.iter().enumerate() {
+            let (a, b) = (nodes[a_idx[j]], nodes[b_idx[j]]);
+            if a == b {
+                continue;
+            }
+            match k {
+                0 => { c.resistor(&format!("R{j}"), a, b, vals[j] * 1e3); }
+                1 => { c.capacitor(&format!("C{j}"), a, b, vals[j] * 1e-12); }
+                2 => { c.inductor(&format!("L{j}"), a, b, vals[j] * 1e-9); }
+                3 => { c.vsource(&format!("V{j}"), a, b, vals[j]); }
+                _ => { c.isource(&format!("I{j}"), a, b, vals[j] * 1e-3); }
+            }
+        }
+        match Prepared::compile(&c) {
+            Ok(prep) => match op(&prep, &Options::default()) {
+                Ok(r) => {
+                    prop_assert!(r.x.iter().all(|v| v.is_finite()));
+                }
+                Err(SpiceError::Singular { unknown }) => {
+                    prop_assert!(
+                        false,
+                        "lint-clean deck still hit a singular LU near {unknown}"
+                    );
+                }
+                Err(e) => {
+                    // Other typed failures (e.g. non-convergence) are
+                    // outside the lint contract; they must render.
+                    let _ = format!("{e}");
+                }
+            },
+            Err(e) => {
+                // Lint rejection (or any typed compile error) is a pass.
                 let _ = format!("{e}");
             }
         }
