@@ -212,6 +212,59 @@ fn min_paired_mc_seconds(
     (best_a, best_b)
 }
 
+struct BatchedYieldStats {
+    samples: usize,
+    seq_s: f64,
+    bat_s: f64,
+}
+
+impl BatchedYieldStats {
+    fn seq_sps(&self) -> f64 {
+        self.samples as f64 / self.seq_s
+    }
+    fn bat_sps(&self) -> f64 {
+        self.samples as f64 / self.bat_s
+    }
+    fn speedup(&self) -> f64 {
+        self.seq_s / self.bat_s
+    }
+}
+
+/// Monte-Carlo yield throughput, sequential vs the batched variant
+/// engine (SoA lanes, SIMD stamp replay, pooled chunks), interleaved
+/// best-of-`reps`. The sequential side runs today's default path; the
+/// batched side only flips `Options::batch` on.
+fn batched_yield_probe(samples: usize, reps: usize) -> BatchedYieldStats {
+    use ahfic::yield_mc::YieldStudy;
+    use ahfic_spice::analysis::BatchMode;
+    let study = YieldStudy {
+        samples,
+        ..YieldStudy::paper_example(0.05)
+    };
+    let seq = Options::default();
+    let bat = Options::new().batch(BatchMode::Auto);
+    let time = |opts: &Options| {
+        let t0 = Instant::now();
+        let r = study
+            .run_with_options(opts.clone())
+            .expect("yield study converges");
+        std::hint::black_box(&r);
+        t0.elapsed().as_secs_f64()
+    };
+    time(&seq);
+    time(&bat);
+    let (mut ss, mut bs) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        ss = ss.min(time(&seq));
+        bs = bs.min(time(&bat));
+    }
+    BatchedYieldStats {
+        samples,
+        seq_s: ss,
+        bat_s: bs,
+    }
+}
+
 /// Current-driven avalanche diode: the junction walks from 0 V deep
 /// into reverse breakdown, which neither gmin loading nor source
 /// scaling can shorten (same corpus as `tests/robustness.rs`).
@@ -555,6 +608,59 @@ fn main() {
         mc_speedup = mc_off_s / mc_on_s,
     );
 
+    // Batched variant engine: Monte-Carlo yield throughput with the
+    // sequential per-sample path versus the SoA-lane batched engine,
+    // at a small and a large study size. The batched side must never
+    // be slower — CI runs this binary, so the assert below is the
+    // regression gate.
+    let batched_runs = [
+        batched_yield_probe(1_000, 5),
+        batched_yield_probe(10_000, 3),
+    ];
+    println!(
+        "\n# Batched variant engine (yield_mc, simd = {:?})",
+        ahfic_num::simd::simd_level()
+    );
+    println!(
+        "{:<9} {:>12} {:>12} {:>14} {:>14} {:>9}",
+        "samples", "seq", "batched", "seq sps", "batched sps", "speedup"
+    );
+    let mut json_batched = String::new();
+    for (i, b) in batched_runs.iter().enumerate() {
+        println!(
+            "{:<9} {:>10.1}ms {:>10.1}ms {:>14.0} {:>14.0} {:>8.2}x",
+            b.samples,
+            b.seq_s * 1e3,
+            b.bat_s * 1e3,
+            b.seq_sps(),
+            b.bat_sps(),
+            b.speedup(),
+        );
+        if i > 0 {
+            json_batched.push_str(",\n");
+        }
+        write!(
+            json_batched,
+            concat!(
+                "    {{\"samples\": {}, \"seq_ms\": {:.3}, \"batched_ms\": {:.3}, ",
+                "\"seq_sps\": {:.0}, \"batched_sps\": {:.0}, \"speedup\": {:.3}}}"
+            ),
+            b.samples,
+            b.seq_s * 1e3,
+            b.bat_s * 1e3,
+            b.seq_sps(),
+            b.bat_sps(),
+            b.speedup(),
+        )
+        .expect("write to string");
+    }
+    assert!(
+        batched_runs[1].speedup() >= 1.0,
+        "batched yield path regressed below the sequential path: {:.2}x at {} samples",
+        batched_runs[1].speedup(),
+        batched_runs[1].samples,
+    );
+
     // Convergence ladder on the hard-start corpus: circuits the
     // gmin/source-only ladder cannot solve under a tight Newton budget,
     // with the winning rung identified by its step counters — plus the
@@ -659,6 +765,8 @@ fn main() {
             "\"suite_speedup\": {sx:.3},\n",
             "                   \"mc_trials\": {mct}, \"mc_on_ms\": {mon:.3}, ",
             "\"mc_off_ms\": {moff:.3}, \"mc_speedup\": {mx:.3}}},\n",
+            "  \"batched\": {{\"simd\": \"{simd:?}\", \"auto_lanes\": {lanes}, \"runs\": [\n",
+            "{batched}\n  ]}},\n",
             "  \"convergence_ladder\": {{\"max_newton\": {lbud}, \"hard_starts\": [\n{ladder}\n  ],\n",
             "    \"easy_overhead\": {{\"trials\": {etr}, \"legacy_ms\": {eleg:.3}, ",
             "\"full_ms\": {efull:.3}, \"overhead_pct\": {eo:.3}}}}},\n",
@@ -679,6 +787,11 @@ fn main() {
         mon = mc_on_s * 1e3,
         moff = mc_off_s * 1e3,
         mx = mc_off_s / mc_on_s,
+        simd = ahfic_num::simd::simd_level(),
+        lanes = ahfic_spice::analysis::BatchMode::Auto
+            .lanes()
+            .unwrap_or(1),
+        batched = json_batched,
         lbud = ladder_budget,
         ladder = json_ladder,
         etr = easy_trials,

@@ -145,8 +145,29 @@ pub fn characterize_batch(
     let span = t.span("charac_batch");
     let mut results = Vec::new();
     let mut failures = Vec::new();
-    for (i, bench) in benches.iter().enumerate() {
-        match characterize_with(bench, opts) {
+    let threads = opts.resolved_threads();
+    let outcomes: Vec<Result<BlockCharacterization>> =
+        if opts.batch.lanes().is_some() && threads > 1 {
+            // Benches are independent netlists with distinct patterns,
+            // so batching happens across threads rather than lanes: the
+            // work-stealing pool keeps every core busy even when bench
+            // costs are wildly uneven (lint-rejected decks return
+            // immediately).
+            ahfic_spice::analysis::sample_pool_map(
+                threads,
+                benches.len(),
+                1,
+                |_| (),
+                |(), i| characterize_with(&benches[i], opts),
+            )
+        } else {
+            benches
+                .iter()
+                .map(|bench| characterize_with(bench, opts))
+                .collect()
+        };
+    for (i, (bench, outcome)) in benches.iter().zip(outcomes).enumerate() {
+        match outcome {
             Ok(c) => results.push((i, c)),
             Err(e) => failures.push(crate::robust::SampleFailure::new(
                 i,
@@ -302,6 +323,28 @@ mod tests {
         assert!((c.phase_deg.abs() - 180.0).abs() < 5.0, "{}", c.phase_deg);
         let bw = c.bw_3db.expect("bandwidth inside sweep");
         assert!(bw > 50e6 && bw < 20e9, "bw {bw:.3e}");
+    }
+
+    /// Pooled batch characterization (batch mode + explicit thread
+    /// budget) reproduces the sequential batch bit for bit, including
+    /// the failure bookkeeping for a lint-rejected corner.
+    #[test]
+    fn pooled_batch_matches_sequential() {
+        use ahfic_spice::analysis::BatchMode;
+        let mut broken = ce_bench();
+        broken.netlist = "VIN in 0 1\nR1 in mid 1k\nR2 mid 0 1k\nC1 mid out 1p\n".into();
+        broken.output_node = "out".into();
+        let benches = [ce_bench(), broken, ce_bench()];
+        let seq = characterize_batch(&benches, &Options::default()).unwrap();
+        let pooled_opts = Options::new().batch(BatchMode::Auto).threads(2);
+        let pooled = characterize_batch(&benches, &pooled_opts).unwrap();
+        assert_eq!(seq.results.len(), pooled.results.len());
+        assert_eq!(seq.failures.len(), pooled.failures.len());
+        for ((si, sc), (pi, pc)) in seq.results.iter().zip(&pooled.results) {
+            assert_eq!(si, pi);
+            assert_eq!(sc, pc);
+        }
+        assert_eq!(seq.failures[0].index, pooled.failures[0].index);
     }
 
     #[test]

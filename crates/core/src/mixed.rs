@@ -10,9 +10,11 @@
 use ahfic_rf::image_rejection::{irr_analytic_db, measure_irr_db_traced};
 use ahfic_rf::plan::FrequencyPlan;
 use ahfic_rf::tuner::{ImageRejectionErrors, TunerConfig};
-use ahfic_spice::analysis::{ac_sweep, op, Options};
+use ahfic_spice::analysis::{
+    ac_sweep, op, sample_pool_map, BatchedAcEngine, BatchedOpEngine, Options,
+};
 use ahfic_spice::circuit::{Circuit, Prepared};
-use ahfic_spice::error::Result;
+use ahfic_spice::error::{Result, SpiceError};
 use ahfic_trace::TraceHandle;
 
 /// Balance errors extracted from a component-level 90° shifter.
@@ -122,17 +124,111 @@ impl RcCrBench {
         let acw = ac_sweep(&self.prep, &dc.x, &self.opts, &[self.f0])?;
         let va = acw.signal("v(a)")?[0];
         let vb = acw.signal("v(b)")?[0];
-        let mut dphi = (vb.arg() - va.arg()).to_degrees();
-        while dphi > 180.0 {
-            dphi -= 360.0;
-        }
-        while dphi < -180.0 {
-            dphi += 360.0;
-        }
-        Ok(ShifterBalance {
-            phase_err_deg: dphi - 90.0,
-            gain_err: vb.abs() / va.abs() - 1.0,
-        })
+        Ok(balance_from(va, vb))
+    }
+
+    /// Characterizes many mismatch values at once through the batched
+    /// variant engine: one [`BatchedOpEngine`] and one
+    /// [`BatchedAcEngine`] amortize pattern compilation and symbolic
+    /// factorization over lanes of up to `lanes` variants, and chunks
+    /// are spread over a work-stealing sample pool sized by
+    /// [`Options::threads`]. Results come back in input order and agree
+    /// with per-point [`RcCrBench::characterize`] calls; per-point
+    /// failures are per-slot `Err`s, never aborts.
+    pub fn characterize_many(
+        &self,
+        mismatches: &[f64],
+        lanes: usize,
+    ) -> Vec<Result<ShifterBalance>> {
+        let lanes = lanes.max(1);
+        let (slot_a, slot_b) = match (
+            self.prep.circuit.find_node("a"),
+            self.prep.circuit.find_node("b"),
+        ) {
+            (Some(a), Some(b)) => (self.prep.slot_of(a), self.prep.slot_of(b)),
+            _ => {
+                return mismatches
+                    .iter()
+                    .map(|_| Err(SpiceError::Measure("RC-CR bench nodes missing".into())))
+                    .collect()
+            }
+        };
+        let nchunks = mismatches.len().div_ceil(lanes);
+        let threads = self.opts.resolved_threads();
+        let chunks: Vec<Vec<Result<ShifterBalance>>> = sample_pool_map(
+            threads,
+            nchunks,
+            1,
+            |_| {
+                (
+                    self.clone(),
+                    BatchedOpEngine::new(lanes),
+                    BatchedAcEngine::new(lanes),
+                )
+            },
+            |(bench, ope, ace), ci| {
+                let lo = ci * lanes;
+                let hi = mismatches.len().min(lo + lanes);
+                bench.characterize_chunk(ope, ace, &mismatches[lo..hi], slot_a, slot_b)
+            },
+        );
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// One lane-batch of characterizations: batched operating points,
+    /// then the batched single-frequency AC solve for the lanes whose
+    /// operating point converged.
+    fn characterize_chunk(
+        &mut self,
+        ope: &mut BatchedOpEngine,
+        ace: &mut BatchedAcEngine,
+        mismatches: &[f64],
+        slot_a: usize,
+        slot_b: usize,
+    ) -> Vec<Result<ShifterBalance>> {
+        let r_nom = self.r_nom;
+        let ops = ope.run(&mut self.prep, &self.opts, mismatches.len(), |p, i| {
+            p.circuit
+                .set_resistance("R1", r_nom * (1.0 + mismatches[i]))
+        });
+        let acs = {
+            let items: Vec<(usize, &[f64])> = ops
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.as_ref().ok().map(|o| (i, o.x.as_slice())))
+                .collect();
+            ace.run(&mut self.prep, &self.opts, self.f0, &items, |p, i| {
+                p.circuit
+                    .set_resistance("R1", r_nom * (1.0 + mismatches[i]))
+            })
+        };
+        let mut ac_iter = acs.into_iter();
+        ops.into_iter()
+            .map(|r| match r {
+                Err(e) => Err(e),
+                Ok(_) => match ac_iter.next() {
+                    Some(Ok(sol)) => Ok(balance_from(sol[slot_a], sol[slot_b])),
+                    Some(Err(e)) => Err(e),
+                    None => Err(SpiceError::Measure("batched AC result missing".into())),
+                },
+            })
+            .collect()
+    }
+}
+
+/// Phase/gain balance of the two quadrature outputs, relative to the
+/// ideal 90° split with equal magnitude.
+fn balance_from(va: ahfic_num::Complex, vb: ahfic_num::Complex) -> ShifterBalance {
+    let mut dphi = (vb.arg() - va.arg()).to_degrees();
+    while dphi > 180.0 {
+        dphi -= 360.0;
+    }
+    while dphi < -180.0 {
+        dphi += 360.0;
+    }
+    ShifterBalance {
+        phase_err_deg: dphi - 90.0,
+        gain_err: vb.abs() / va.abs() - 1.0,
     }
 }
 
@@ -256,14 +352,31 @@ pub fn mixed_level_sweep(
     let mut bench = RcCrBench::new(f0, c)?.with_options(opts.clone());
     let mut points = Vec::with_capacity(mismatches.len());
     let mut failures = Vec::new();
-    for (i, &m) in mismatches.iter().enumerate() {
-        match bench.characterize(m) {
-            Ok(b) => points.push((m, b)),
-            Err(e) => failures.push(crate::robust::SampleFailure::new(
-                i,
-                format!("mismatch {m:+.4}"),
-                e,
-            )),
+    if let Some(lanes) = opts.batch.lanes() {
+        for (i, (&m, r)) in mismatches
+            .iter()
+            .zip(bench.characterize_many(mismatches, lanes))
+            .enumerate()
+        {
+            match r {
+                Ok(b) => points.push((m, b)),
+                Err(e) => failures.push(crate::robust::SampleFailure::new(
+                    i,
+                    format!("mismatch {m:+.4}"),
+                    e,
+                )),
+            }
+        }
+    } else {
+        for (i, &m) in mismatches.iter().enumerate() {
+            match bench.characterize(m) {
+                Ok(b) => points.push((m, b)),
+                Err(e) => failures.push(crate::robust::SampleFailure::new(
+                    i,
+                    format!("mismatch {m:+.4}"),
+                    e,
+                )),
+            }
         }
     }
     t.counter("mixed.sweep_failures", failures.len() as f64);
@@ -323,6 +436,37 @@ mod tests {
         let clean = mixed_level_sweep(45e6, 1e-12, &mismatches, &Options::default()).unwrap();
         assert_eq!(clean.points.len(), 4);
         assert!(clean.failures.is_empty());
+    }
+
+    /// The batched sweep path agrees with the sequential path point
+    /// for point, across batch widths and with failures present.
+    #[test]
+    fn batched_sweep_matches_sequential() {
+        use ahfic_spice::analysis::BatchMode;
+        let mismatches = [-0.08, -0.02, 0.0, 0.03, 0.07, 0.12, 0.20];
+        let seq = mixed_level_sweep(45e6, 1e-12, &mismatches, &Options::default()).unwrap();
+        for lanes in [1usize, 3, 8] {
+            let opts = Options::new().batch(BatchMode::Lanes(lanes));
+            let bat = mixed_level_sweep(45e6, 1e-12, &mismatches, &opts).unwrap();
+            assert_eq!(bat.points.len(), seq.points.len(), "lanes={lanes}");
+            assert!(bat.failures.is_empty());
+            for (k, ((ms, s), (mb, b))) in seq.points.iter().zip(&bat.points).enumerate() {
+                assert_eq!(ms, mb);
+                assert!(
+                    (s.phase_err_deg - b.phase_err_deg).abs()
+                        <= 1e-9 * s.phase_err_deg.abs().max(1e-9),
+                    "lanes={lanes} point {k}: {} vs {}",
+                    s.phase_err_deg,
+                    b.phase_err_deg
+                );
+                assert!(
+                    (s.gain_err - b.gain_err).abs() <= 1e-9 * s.gain_err.abs().max(1e-9),
+                    "lanes={lanes} point {k}: {} vs {}",
+                    s.gain_err,
+                    b.gain_err
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! balance through the system-level IRR relation, and scores it against
 //! the requirement.
 
-use crate::mixed::RcCrBench;
+use crate::mixed::{RcCrBench, ShifterBalance};
 use crate::robust::{all_failed_error, SampleFailure};
 use ahfic_rf::image_rejection::irr_analytic_db;
 use ahfic_spice::analysis::Options;
@@ -28,15 +28,19 @@ pub struct YieldStudy {
     pub f2_if: f64,
     /// Number of Monte-Carlo samples.
     pub samples: usize,
-    /// RNG seed (reproducible).
+    /// RNG seed (reproducible). Every sample derives its own child
+    /// stream from `(seed, sample index)` via a splitmix64 hash, so
+    /// sample `i`'s draws are identical whatever the total sample
+    /// count, the defect setting, or the execution order (sequential or
+    /// batched).
     pub seed: u64,
     /// Probability that a sample is a catastrophic open-`R1` defect
     /// (manufacturing open) instead of a parametric mismatch draw. A
     /// defective sample's deck fails pre-flight verification
     /// ([`ahfic_spice::error::SpiceError::LintFailed`]) and is recorded
-    /// as a per-sample failure; the study continues. `0.0` (the
-    /// default) draws no defects and leaves the mismatch RNG stream —
-    /// and therefore existing seeded results — untouched.
+    /// as a per-sample failure; the study continues. Because every
+    /// sample draws from its own child stream, enabling defects never
+    /// perturbs another sample's mismatch draw.
     pub open_defect_prob: f64,
 }
 
@@ -135,39 +139,69 @@ impl YieldStudy {
         // One compiled bench for the whole study; each sample only
         // retunes R1 in place.
         let mut bench = RcCrBench::new(self.f2_if, 1e-12)?.with_options(opts.clone());
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Pre-draw every sample's parameters from its own child stream:
+        // sample i's draws depend only on (seed, i), never on the
+        // defect setting, the total sample count, or execution order.
+        let draws: Vec<(f64, bool)> = (0..self.samples)
+            .map(|i| {
+                let mut rng = sample_rng(self.seed, i as u64);
+                let mismatch = self.sigma_mismatch * standard_normal(&mut rng);
+                let defective =
+                    self.open_defect_prob > 0.0 && rng.random::<f64>() < self.open_defect_prob;
+                (mismatch, defective)
+            })
+            .collect();
         let mut irr_db = Vec::with_capacity(self.samples);
         let mut failures: Vec<SampleFailure> = Vec::new();
         let mut non_finite = 0usize;
-        for i in 0..self.samples {
-            let mismatch = self.sigma_mismatch * standard_normal(&mut rng);
-            // Only consume defect randomness when defects are enabled,
-            // so `open_defect_prob: 0.0` reproduces pre-existing seeded
-            // streams exactly.
-            let defective =
-                self.open_defect_prob > 0.0 && rng.random::<f64>() < self.open_defect_prob;
-            let outcome = if defective {
-                bench.characterize_open_r1()
-            } else {
-                bench.characterize(mismatch)
-            };
-            match outcome {
-                Ok(balance) => {
-                    let irr = irr_analytic_db(balance.phase_err_deg, balance.gain_err);
-                    if irr.is_finite() {
-                        irr_db.push(irr);
-                    } else {
-                        non_finite += 1;
-                    }
+        let mut record = |i: usize,
+                          mismatch: f64,
+                          defective: bool,
+                          outcome: Result<ShifterBalance>| match outcome {
+            Ok(balance) => {
+                let irr = irr_analytic_db(balance.phase_err_deg, balance.gain_err);
+                if irr.is_finite() {
+                    irr_db.push(irr);
+                } else {
+                    non_finite += 1;
                 }
-                Err(e) => {
-                    let label = if defective {
-                        "open-R1 defect".to_string()
-                    } else {
-                        format!("mismatch {mismatch:+.4}")
-                    };
-                    failures.push(SampleFailure::new(i, label, e));
-                }
+            }
+            Err(e) => {
+                let label = if defective {
+                    "open-R1 defect".to_string()
+                } else {
+                    format!("mismatch {mismatch:+.4}")
+                };
+                failures.push(SampleFailure::new(i, label, e));
+            }
+        };
+        if let Some(lanes) = opts.batch.lanes() {
+            // Batched path: the healthy samples run through the batched
+            // variant engine (and its sample pool) in draw order, while
+            // defective decks are lint-rejected one by one exactly as
+            // in the sequential path.
+            let params: Vec<f64> = draws.iter().filter(|d| !d.1).map(|d| d.0).collect();
+            let mut healthy = bench.characterize_many(&params, lanes).into_iter();
+            for (i, &(mismatch, defective)) in draws.iter().enumerate() {
+                let outcome = if defective {
+                    bench.characterize_open_r1()
+                } else {
+                    healthy.next().unwrap_or_else(|| {
+                        Err(ahfic_spice::error::SpiceError::Measure(
+                            "batched yield sample result missing".into(),
+                        ))
+                    })
+                };
+                record(i, mismatch, defective, outcome);
+            }
+        } else {
+            for (i, &(mismatch, defective)) in draws.iter().enumerate() {
+                let outcome = if defective {
+                    bench.characterize_open_r1()
+                } else {
+                    bench.characterize(mismatch)
+                };
+                record(i, mismatch, defective, outcome);
             }
         }
         t.counter("yield_mc.samples", self.samples as f64);
@@ -199,6 +233,22 @@ impl YieldStudy {
             non_finite,
         })
     }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash used to derive
+/// statistically independent child seeds from `(study seed, sample
+/// index)`.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Child RNG for one Monte-Carlo sample: depends only on the study seed
+/// and the sample index, making per-sample draws order-independent.
+fn sample_rng(seed: u64, index: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(index)))
 }
 
 fn standard_normal(rng: &mut StdRng) -> f64 {
@@ -321,6 +371,74 @@ mod tests {
             ..base
         };
         assert_eq!(base.run().unwrap().irr_db, with_field.run().unwrap().irr_db);
+    }
+
+    /// Per-sample child streams make draws order-independent: a short
+    /// study is a strict prefix of a longer one, and enabling defects
+    /// leaves the surviving samples' IRRs untouched.
+    #[test]
+    fn per_sample_streams_are_order_independent() {
+        let short = YieldStudy {
+            samples: 10,
+            ..YieldStudy::paper_example(0.05)
+        }
+        .run()
+        .unwrap();
+        let long = YieldStudy {
+            samples: 30,
+            ..YieldStudy::paper_example(0.05)
+        }
+        .run()
+        .unwrap();
+        assert_eq!(short.irr_db[..], long.irr_db[..10]);
+        // With defects enabled, the non-defective samples draw exactly
+        // the same mismatches: their IRRs match the defect-free run at
+        // the surviving indices.
+        let defects = YieldStudy {
+            samples: 30,
+            open_defect_prob: 0.25,
+            ..YieldStudy::paper_example(0.05)
+        }
+        .run()
+        .unwrap();
+        assert!(!defects.failures.is_empty(), "25% defects over 30 samples");
+        let failed: std::collections::HashSet<usize> =
+            defects.failures.iter().map(|f| f.index).collect();
+        let surviving: Vec<f64> = long
+            .irr_db
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !failed.contains(i))
+            .map(|(_, &v)| v)
+            .collect();
+        assert_eq!(defects.irr_db, surviving);
+    }
+
+    /// The batched engine reproduces the sequential study: same draw
+    /// order, same failure indices, statistics equal to far below the
+    /// Newton tolerance.
+    #[test]
+    fn batched_study_matches_sequential_statistics() {
+        use ahfic_spice::analysis::BatchMode;
+        let study = YieldStudy {
+            samples: 64,
+            open_defect_prob: 0.15,
+            ..YieldStudy::paper_example(0.1)
+        };
+        let seq = study.run().unwrap();
+        let bat = study
+            .run_with_options(Options::new().batch(BatchMode::Lanes(8)))
+            .unwrap();
+        assert_eq!(seq.irr_db.len(), bat.irr_db.len());
+        let seq_failed: Vec<usize> = seq.failures.iter().map(|f| f.index).collect();
+        let bat_failed: Vec<usize> = bat.failures.iter().map(|f| f.index).collect();
+        assert_eq!(seq_failed, bat_failed);
+        for (s, b) in seq.irr_db.iter().zip(&bat.irr_db) {
+            assert!((s - b).abs() <= 1e-5 * s.abs().max(1.0), "{s} vs {b}");
+        }
+        assert!((seq.mean_db - bat.mean_db).abs() <= 1e-5 * seq.mean_db.abs().max(1.0));
+        assert!((seq.p5_db - bat.p5_db).abs() <= 1e-5 * seq.p5_db.abs().max(1.0));
+        assert_eq!(seq.yield_frac, bat.yield_frac);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 // errors), with local `#[allow]`s where an invariant guarantees success.
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod batched;
 pub mod complex;
 pub mod db;
 pub mod fft;
@@ -46,12 +47,15 @@ pub mod interp;
 pub mod lu;
 pub mod matrix;
 pub mod scalar;
+pub mod simd;
 pub mod sparse;
 pub mod stats;
 pub mod window;
 
+pub use batched::{BatchedLuSolver, CpuBatchedLu};
 pub use complex::Complex;
 pub use lu::LuFactors;
 pub use matrix::Matrix;
 pub use scalar::Scalar;
+pub use simd::{LaneKernels, SimdLevel};
 pub use sparse::{CscMatrix, SparseLu, TripletBuilder};

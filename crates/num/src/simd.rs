@@ -1,0 +1,430 @@
+//! Lane-parallel kernels for the batched variant engine.
+//!
+//! The batched solvers in [`crate::batched`] keep N circuit variants'
+//! numbers side by side ("lanes") and sweep all of them through the same
+//! elimination schedule. The inner loops then become elementwise
+//! operations over short contiguous lane blocks, which is exactly the
+//! shape SIMD units want. This module provides those kernels with
+//! runtime feature dispatch:
+//!
+//! - AVX2 on `x86_64` when the CPU supports it,
+//! - a portable scalar fallback everywhere else,
+//! - an `AHFIC_SIMD=scalar` environment override so CI (and bug
+//!   hunters) can force the fallback on AVX2 hardware.
+//!
+//! # Determinism contract
+//!
+//! Every kernel is **bit-identical** between the scalar and AVX2 paths.
+//! That is only possible because the kernels stick to operations the
+//! vector unit implements with the same IEEE-754 semantics as scalar
+//! code: add, subtract, multiply, divide, abs (sign-bit mask) and
+//! compare-select. In particular there is **no FMA**: `dst -= a * b` is
+//! compiled as an explicit multiply followed by a subtract in both
+//! paths. The scalar fallback mirrors `vmaxpd` semantics
+//! (`if new > acc { acc = new }`, second operand wins on NaN) so even
+//! degenerate inputs reduce identically.
+
+use crate::scalar::Scalar;
+use crate::Complex;
+use std::sync::OnceLock;
+
+/// Instruction set selected for the lane kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar loops.
+    Scalar,
+    /// 256-bit AVX2 vectors (x86_64 only).
+    Avx2,
+}
+
+/// The lane-kernel dispatch level for this process.
+///
+/// Detected once and cached: AVX2 if the CPU reports it, unless the
+/// `AHFIC_SIMD` environment variable is set to `scalar` (any other
+/// value is ignored and detection proceeds normally).
+pub fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        if std::env::var("AHFIC_SIMD").as_deref() == Ok("scalar") {
+            return SimdLevel::Scalar;
+        }
+        detect()
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> SimdLevel {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        SimdLevel::Avx2
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> SimdLevel {
+    SimdLevel::Scalar
+}
+
+/// `dst[i] -= a[i] * b[i]` over the common length.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn sub_mul(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_eq!(dst.len(), a.len(), "lane length mismatch");
+    assert_eq!(dst.len(), b.len(), "lane length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_level() == SimdLevel::Avx2 {
+        // SAFETY: AVX2 support was verified by `simd_level`.
+        unsafe { sub_mul_avx2(dst, a, b) };
+        return;
+    }
+    sub_mul_scalar(dst, a, b);
+}
+
+/// `dst[i] = num[i] / den[i]` over the common length.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn div(dst: &mut [f64], num: &[f64], den: &[f64]) {
+    assert_eq!(dst.len(), num.len(), "lane length mismatch");
+    assert_eq!(dst.len(), den.len(), "lane length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_level() == SimdLevel::Avx2 {
+        // SAFETY: AVX2 support was verified by `simd_level`.
+        unsafe { div_avx2(dst, num, den) };
+        return;
+    }
+    div_scalar(dst, num, den);
+}
+
+/// Newton convergence-metric reduction over a contiguous block:
+/// `max_i |x_new[i] - x_old[i]| / (reltol * max(|x_new[i]|, |x_old[i]|) + tol_abs)`.
+///
+/// Returns 0.0 for empty input. The reduction uses `vmaxpd` semantics,
+/// so a NaN ratio propagates into the result (callers guard finiteness
+/// upstream, as the sequential Newton loop does).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn conv_metric(x_new: &[f64], x_old: &[f64], reltol: f64, tol_abs: f64) -> f64 {
+    assert_eq!(x_new.len(), x_old.len(), "lane length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_level() == SimdLevel::Avx2 {
+        // SAFETY: AVX2 support was verified by `simd_level`.
+        return unsafe { conv_metric_avx2(x_new, x_old, reltol, tol_abs) };
+    }
+    conv_metric_scalar(x_new, x_old, reltol, tol_abs)
+}
+
+/// `vmaxpd(acc, v)`: keep `acc` only when it compares greater; the
+/// second operand wins ties and NaNs, exactly like the AVX2 instruction.
+#[inline]
+fn maxpd(acc: f64, v: f64) -> f64 {
+    if acc > v {
+        acc
+    } else {
+        v
+    }
+}
+
+pub(crate) fn sub_mul_scalar(dst: &mut [f64], a: &[f64], b: &[f64]) {
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d -= x * y;
+    }
+}
+
+pub(crate) fn div_scalar(dst: &mut [f64], num: &[f64], den: &[f64]) {
+    for ((d, &x), &y) in dst.iter_mut().zip(num).zip(den) {
+        *d = x / y;
+    }
+}
+
+pub(crate) fn conv_metric_scalar(x_new: &[f64], x_old: &[f64], reltol: f64, tol_abs: f64) -> f64 {
+    let mut m = 0.0f64;
+    for (&xn, &xo) in x_new.iter().zip(x_old) {
+        let diff = (xn - xo).abs();
+        let tol = reltol * maxpd(xn.abs(), xo.abs()) + tol_abs;
+        m = maxpd(m, diff / tol);
+    }
+    m
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::maxpd;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// Clears the sign bit of each lane (IEEE abs, exact).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn abs_pd(v: __m256d) -> __m256d {
+        _mm256_andnot_pd(_mm256_set1_pd(-0.0), v)
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and all slices share a length.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn sub_mul_avx2(dst: &mut [f64], a: &[f64], b: &[f64]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm256_loadu_pd(dst.as_ptr().add(i));
+            let av = _mm256_loadu_pd(a.as_ptr().add(i));
+            let bv = _mm256_loadu_pd(b.as_ptr().add(i));
+            // Multiply then subtract — no FMA, to stay bit-identical
+            // with the scalar fallback.
+            let prod = _mm256_mul_pd(av, bv);
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_sub_pd(d, prod));
+            i += 4;
+        }
+        while i < n {
+            dst[i] -= a[i] * b[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and all slices share a length.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn div_avx2(dst: &mut [f64], num: &[f64], den: &[f64]) {
+        let n = dst.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let nv = _mm256_loadu_pd(num.as_ptr().add(i));
+            let dv = _mm256_loadu_pd(den.as_ptr().add(i));
+            _mm256_storeu_pd(dst.as_mut_ptr().add(i), _mm256_div_pd(nv, dv));
+            i += 4;
+        }
+        while i < n {
+            dst[i] = num[i] / den[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available and both slices share a length.
+    #[target_feature(enable = "avx2")]
+    pub(crate) unsafe fn conv_metric_avx2(
+        x_new: &[f64],
+        x_old: &[f64],
+        reltol: f64,
+        tol_abs: f64,
+    ) -> f64 {
+        let n = x_new.len();
+        let rt = _mm256_set1_pd(reltol);
+        let ta = _mm256_set1_pd(tol_abs);
+        let mut acc = _mm256_setzero_pd();
+        let mut i = 0;
+        while i + 4 <= n {
+            let xn = _mm256_loadu_pd(x_new.as_ptr().add(i));
+            let xo = _mm256_loadu_pd(x_old.as_ptr().add(i));
+            let diff = abs_pd(_mm256_sub_pd(xn, xo));
+            let mag = _mm256_max_pd(abs_pd(xn), abs_pd(xo));
+            let tol = _mm256_add_pd(_mm256_mul_pd(rt, mag), ta);
+            acc = _mm256_max_pd(acc, _mm256_div_pd(diff, tol));
+            i += 4;
+        }
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        // Reduce in lane order with the same maxpd rule the vector loop
+        // used, so the scalar tail and the horizontal fold agree with
+        // the pure-scalar path bit for bit.
+        let mut m = 0.0f64;
+        for &l in &lanes {
+            m = maxpd(m, l);
+        }
+        while i < n {
+            let diff = (x_new[i] - x_old[i]).abs();
+            let tol = reltol * maxpd(x_new[i].abs(), x_old[i].abs()) + tol_abs;
+            m = maxpd(m, diff / tol);
+            i += 1;
+        }
+        m
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{conv_metric_avx2, div_avx2, sub_mul_avx2};
+
+/// Elementwise lane operations a scalar type must provide so the
+/// batched LU sweeps can run over it.
+///
+/// The `f64` implementation dispatches to the SIMD kernels above; the
+/// [`Complex`] implementation uses plain loops (a complex multiply is
+/// not a single vector op, and the AC solves are dominated by assembly
+/// anyway). Both obey the same arithmetic contract: multiply **then**
+/// subtract, no fused operations.
+pub trait LaneKernels: Scalar {
+    /// `dst[i] -= a[i] * b[i]`.
+    fn lanes_sub_mul(dst: &mut [Self], a: &[Self], b: &[Self]);
+
+    /// `dst[i] = num[i] / den[i]`.
+    fn lanes_div(dst: &mut [Self], num: &[Self], den: &[Self]);
+}
+
+impl LaneKernels for f64 {
+    #[inline]
+    fn lanes_sub_mul(dst: &mut [f64], a: &[f64], b: &[f64]) {
+        sub_mul(dst, a, b);
+    }
+
+    #[inline]
+    fn lanes_div(dst: &mut [f64], num: &[f64], den: &[f64]) {
+        div(dst, num, den);
+    }
+}
+
+impl LaneKernels for Complex {
+    fn lanes_sub_mul(dst: &mut [Complex], a: &[Complex], b: &[Complex]) {
+        assert_eq!(dst.len(), a.len(), "lane length mismatch");
+        assert_eq!(dst.len(), b.len(), "lane length mismatch");
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d -= x * y;
+        }
+    }
+
+    fn lanes_div(dst: &mut [Complex], num: &[Complex], den: &[Complex]) {
+        assert_eq!(dst.len(), num.len(), "lane length mismatch");
+        assert_eq!(dst.len(), den.len(), "lane length mismatch");
+        for ((d, &x), &y) in dst.iter_mut().zip(num).zip(den) {
+            *d = x / y;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wiggle(n: usize, seed: u64) -> Vec<f64> {
+        // Deterministic, sign-varying, wide-dynamic-range values.
+        (0..n)
+            .map(|i| {
+                let k = (seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64)
+                    % 1000) as f64;
+                (k - 500.0) * (1.5f64).powi((i % 40) as i32 - 20)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scalar_and_dispatched_sub_mul_agree_bitwise() {
+        for n in [0usize, 1, 3, 4, 7, 8, 17, 64] {
+            let a = wiggle(n, 1);
+            let b = wiggle(n, 2);
+            let mut d1 = wiggle(n, 3);
+            let mut d2 = d1.clone();
+            sub_mul_scalar(&mut d1, &a, &b);
+            sub_mul(&mut d2, &a, &b);
+            assert_eq!(
+                d1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                d2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_and_dispatched_div_agree_bitwise() {
+        for n in [0usize, 1, 5, 12, 64] {
+            let num = wiggle(n, 4);
+            let mut den = wiggle(n, 5);
+            for v in &mut den {
+                if *v == 0.0 {
+                    *v = 1.0;
+                }
+            }
+            let mut d1 = vec![0.0; n];
+            let mut d2 = vec![0.0; n];
+            div_scalar(&mut d1, &num, &den);
+            div(&mut d2, &num, &den);
+            assert_eq!(
+                d1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                d2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_and_dispatched_conv_metric_agree_bitwise() {
+        for n in [0usize, 1, 4, 6, 33] {
+            let xn = wiggle(n, 6);
+            let xo = wiggle(n, 7);
+            let m1 = conv_metric_scalar(&xn, &xo, 1e-3, 1e-9);
+            let m2 = conv_metric(&xn, &xo, 1e-3, 1e-9);
+            assert_eq!(m1.to_bits(), m2.to_bits(), "n={n}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_paths_are_bit_identical_to_scalar() {
+        // Direct comparison that does not depend on the process-wide
+        // dispatch decision (which AHFIC_SIMD may have pinned).
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        for n in [1usize, 4, 7, 16, 63] {
+            let a = wiggle(n, 11);
+            let b = wiggle(n, 12);
+            let mut d1 = wiggle(n, 13);
+            let mut d2 = d1.clone();
+            sub_mul_scalar(&mut d1, &a, &b);
+            // SAFETY: AVX2 presence checked above.
+            unsafe { sub_mul_avx2(&mut d2, &a, &b) };
+            assert_eq!(
+                d1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                d2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+
+            let mut q1 = vec![0.0; n];
+            let mut q2 = vec![0.0; n];
+            let mut den = wiggle(n, 14);
+            for v in &mut den {
+                if *v == 0.0 {
+                    *v = 2.0;
+                }
+            }
+            div_scalar(&mut q1, &a, &den);
+            // SAFETY: AVX2 presence checked above.
+            unsafe { div_avx2(&mut q2, &a, &den) };
+            assert_eq!(q1, q2);
+
+            let m1 = conv_metric_scalar(&a, &b, 1e-3, 1e-12);
+            // SAFETY: AVX2 presence checked above.
+            let m2 = unsafe { conv_metric_avx2(&a, &b, 1e-3, 1e-12) };
+            assert_eq!(m1.to_bits(), m2.to_bits());
+        }
+    }
+
+    #[test]
+    fn complex_lane_kernels_match_scalar_ops() {
+        let a: Vec<Complex> = (0..9)
+            .map(|i| Complex::new(i as f64, -0.5 * i as f64))
+            .collect();
+        let b: Vec<Complex> = (0..9).map(|i| Complex::new(1.0 + i as f64, 0.25)).collect();
+        let mut d: Vec<Complex> = (0..9).map(|i| Complex::new(0.5, i as f64)).collect();
+        let expect: Vec<Complex> = d
+            .iter()
+            .zip(a.iter().zip(&b))
+            .map(|(&d, (&a, &b))| d - a * b)
+            .collect();
+        Complex::lanes_sub_mul(&mut d, &a, &b);
+        assert_eq!(d, expect);
+        let mut q = vec![Complex::ZERO; 9];
+        Complex::lanes_div(&mut q, &a, &b);
+        for i in 0..9 {
+            assert_eq!(q[i], a[i] / b[i]);
+        }
+    }
+}

@@ -112,10 +112,10 @@ impl TripletBuilder {
 /// `values` changes between assemblies.
 #[derive(Clone, Debug)]
 pub struct CscMatrix<T> {
-    n: usize,
-    col_ptr: Vec<usize>,
-    row_idx: Vec<usize>,
-    values: Vec<T>,
+    pub(crate) n: usize,
+    pub(crate) col_ptr: Vec<usize>,
+    pub(crate) row_idx: Vec<usize>,
+    pub(crate) values: Vec<T>,
 }
 
 impl<T: Scalar> CscMatrix<T> {
@@ -161,8 +161,23 @@ impl<T: Scalar> CscMatrix<T> {
     ///
     /// Panics if `x.len() != self.n()`.
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(x.len(), self.n, "dimension mismatch");
         let mut y = vec![T::ZERO; self.n];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product `A x` into a caller-provided buffer,
+    /// avoiding the per-call allocation of [`CscMatrix::mul_vec`] — the
+    /// variant used on hot paths such as the batched Newton residual
+    /// check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.n()` or `y.len() != self.n()`.
+    pub fn mul_vec_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        assert_eq!(y.len(), self.n, "dimension mismatch");
+        y.fill(T::ZERO);
         for (c, &xc) in x.iter().enumerate() {
             if xc.modulus() != 0.0 {
                 for k in self.col_ptr[c]..self.col_ptr[c + 1] {
@@ -170,16 +185,15 @@ impl<T: Scalar> CscMatrix<T> {
                 }
             }
         }
-        y
     }
 }
 
 /// Absolute pivot floor (matches the dense solver).
-const PIVOT_EPS: f64 = 1e-300;
+pub(crate) const PIVOT_EPS: f64 = 1e-300;
 
 /// Relative threshold under which a replayed pivot is considered degraded
 /// and [`SparseLu::refactor`] asks for a fresh factorization instead.
-const REFACTOR_PIVOT_REL: f64 = 1e-12;
+pub(crate) const REFACTOR_PIVOT_REL: f64 = 1e-12;
 
 /// Diagonal-preference threshold: the structural diagonal is kept as pivot
 /// whenever it is within this factor of the best column entry, so the
@@ -196,25 +210,25 @@ const UNSET: usize = usize::MAX;
 /// [`SparseLu::solve_in_place`].
 #[derive(Clone, Debug)]
 pub struct SparseLu<T> {
-    n: usize,
+    pub(crate) n: usize,
     /// Column preorder: factor column `k` is original column `q[k]`.
-    q: Vec<usize>,
+    pub(crate) q: Vec<usize>,
     /// `pinv[orig_row]` = pivot position of that row.
-    pinv: Vec<usize>,
+    pub(crate) pinv: Vec<usize>,
     /// `L` columns (unit diagonal implicit); row indices are pivot
     /// positions, ascending within each column.
-    l_colptr: Vec<usize>,
-    l_rows: Vec<usize>,
-    l_vals: Vec<T>,
+    pub(crate) l_colptr: Vec<usize>,
+    pub(crate) l_rows: Vec<usize>,
+    pub(crate) l_vals: Vec<T>,
     /// Strict upper part of `U` by column; row indices are pivot positions
     /// `< k`, ascending.
-    u_colptr: Vec<usize>,
-    u_rows: Vec<usize>,
-    u_vals: Vec<T>,
+    pub(crate) u_colptr: Vec<usize>,
+    pub(crate) u_rows: Vec<usize>,
+    pub(crate) u_vals: Vec<T>,
     /// `U` diagonal (the pivots).
-    diag: Vec<T>,
+    pub(crate) diag: Vec<T>,
     /// Dense scatter workspace, zero between operations.
-    work: Vec<T>,
+    pub(crate) work: Vec<T>,
 }
 
 impl<T: Scalar> SparseLu<T> {

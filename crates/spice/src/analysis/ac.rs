@@ -74,6 +74,7 @@ pub fn ac_sweep(
         n,
         opts.solver,
         tr.enabled(),
+        opts.threads,
         freqs,
         |ws: &mut SolverWorkspace<Complex>, f| {
             let omega = 2.0 * std::f64::consts::PI * f;

@@ -1,0 +1,979 @@
+//! Batched variant engine: solve N parameter variants of one circuit in
+//! lockstep over a shared sparsity pattern.
+//!
+//! Monte-Carlo yield studies, corner characterization, and DC sweeps all
+//! solve the *same* matrix structure over and over with different values
+//! (a retuned resistor, a scaled source). The sequential path pays the
+//! full per-sample overhead each time: a fresh workspace, a pattern
+//! probe, symbolic analysis, and a pivot search. The batched engine
+//! amortizes all of it: one pattern compile, one symbolic factorization
+//! on a reference lane, and [`CpuBatchedLu`] numeric refactor/solve
+//! sweeps over structure-of-arrays value lanes (SIMD-friendly, see
+//! `ahfic_num::simd`).
+//!
+//! Correctness over speed: any lane that steps outside the batched fast
+//! path — a stamp-sequence mismatch, a degraded pivot, a non-finite
+//! value, an injected fault, a residual that will not shrink, or plain
+//! non-convergence — is transparently re-run through the ordinary
+//! sequential solver, so batch results degrade to sequential results,
+//! never to wrong answers. With a single lane the batched arithmetic
+//! replays the sequential sparse path bit for bit.
+
+use crate::analysis::ac::assemble_ac;
+use crate::analysis::fault::FaultKind;
+use crate::analysis::op::{op_from, OpResult};
+use crate::analysis::solver::{singular_unknown, SolverWorkspace};
+use crate::analysis::stamp::{
+    real_pattern, stamp_linear, stamp_nonlinear, MnaSink, Mode, NonlinMemory, Options, PatternProbe,
+};
+use crate::circuit::Prepared;
+use crate::error::{Result, SpiceError};
+use ahfic_num::simd;
+use ahfic_num::sparse::{CscMatrix, TripletBuilder};
+use ahfic_num::{BatchedLuSolver, Complex, CpuBatchedLu, LaneKernels, Scalar};
+
+/// Relative residual threshold of the batched fast path: a lane whose
+/// post-solve residual `||A x - b||_inf` exceeds this fraction of the
+/// system magnitude is handed back to the sequential solver. Healthy
+/// shared-pattern factorizations sit many orders of magnitude below.
+const RESID_REL: f64 = 1e-7;
+
+/// An [`MnaSink`] that routes one variant lane's stamps into the shared
+/// structure-of-arrays value storage of a [`BatchedWorkspace`].
+///
+/// Stamps are replayed against the recorded `(row, col)` sequence; any
+/// divergence (a variant with different structure) raises `mismatch`
+/// instead of corrupting a neighbour lane.
+struct LaneSink<'a, T: Scalar> {
+    coords: &'a [(usize, usize)],
+    slots: &'a [usize],
+    /// Slot-major SoA values: slot `s` of lane `b` at `s * lanes + b`.
+    vals: &'a mut [T],
+    lanes: usize,
+    lane: usize,
+    cursor: usize,
+    mismatch: bool,
+}
+
+impl<T: Scalar> MnaSink<T> for LaneSink<'_, T> {
+    fn reset(&mut self) {
+        for block in self.vals.chunks_exact_mut(self.lanes) {
+            block[self.lane] = T::ZERO;
+        }
+        self.cursor = 0;
+        self.mismatch = false;
+    }
+
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: T) {
+        if self.cursor < self.slots.len() && self.coords[self.cursor] == (r, c) {
+            self.vals[self.slots[self.cursor] * self.lanes + self.lane] += v;
+            self.cursor += 1;
+        } else {
+            self.mismatch = true;
+        }
+    }
+}
+
+/// Shared-pattern SoA storage for N variant lanes of one MNA system:
+/// the compiled sparsity pattern, slot-major matrix values, lane-major
+/// right-hand sides and solutions, and the batched LU backend.
+///
+/// This is the data layout underneath [`BatchedOpEngine`] and
+/// [`BatchedAcEngine`]; it is generic over the scalar so the real
+/// (operating-point) and complex (AC) engines share one implementation.
+pub struct BatchedWorkspace<T: Scalar + LaneKernels> {
+    n: usize,
+    lanes: usize,
+    /// `(row, col)` of every stamp, in stamp order.
+    coords: Vec<(usize, usize)>,
+    /// CSC value slot of the k-th stamp.
+    slots: Vec<usize>,
+    /// Compiled pattern; its value array doubles as a one-lane gather
+    /// scratch for reference factorization and residual checks.
+    pattern: CscMatrix<T>,
+    /// Matrix values, slot-major SoA: `vals[slot * lanes + lane]`.
+    vals: Vec<T>,
+    /// Right-hand sides, lane-major: `rhs[lane * n + row]`.
+    rhs: Vec<T>,
+    /// Row-major SoA solve buffer: `soa[row * lanes + lane]`.
+    soa: Vec<T>,
+    /// Solutions, lane-major: `sol[lane * n + row]`.
+    sol: Vec<T>,
+    /// Residual scratch (one lane).
+    resid: Vec<T>,
+    /// Per-lane refactor health, written by `refactor_lanes`.
+    ok: Vec<bool>,
+    blu: Option<CpuBatchedLu<T>>,
+}
+
+impl<T: Scalar + LaneKernels> BatchedWorkspace<T> {
+    fn new(n: usize, lanes: usize, pattern_coords: &[(usize, usize)]) -> Self {
+        let mut tb = TripletBuilder::new(n);
+        for &(r, c) in pattern_coords {
+            tb.add(r, c);
+        }
+        let (pattern, slots) = tb.compile::<T>();
+        let nnz = pattern.values().len();
+        BatchedWorkspace {
+            n,
+            lanes,
+            coords: pattern_coords.to_vec(),
+            slots,
+            pattern,
+            vals: vec![T::ZERO; nnz * lanes],
+            rhs: vec![T::ZERO; n * lanes],
+            soa: vec![T::ZERO; n * lanes],
+            sol: vec![T::ZERO; n * lanes],
+            resid: vec![T::ZERO; n],
+            ok: vec![false; lanes],
+            blu: None,
+        }
+    }
+
+    /// One lane's right-hand side.
+    fn rhs_lane(&self, lane: usize) -> &[T] {
+        &self.rhs[lane * self.n..(lane + 1) * self.n]
+    }
+
+    /// One lane's solution from the last `solve_lanes`.
+    fn sol_lane(&self, lane: usize) -> &[T] {
+        &self.sol[lane * self.n..(lane + 1) * self.n]
+    }
+
+    /// Copies one lane's matrix values into the pattern's value array.
+    fn gather(&mut self, lane: usize) {
+        let lanes = self.lanes;
+        for (s, pv) in self.pattern.values_mut().iter_mut().enumerate() {
+            *pv = self.vals[s * lanes + lane];
+        }
+    }
+
+    /// Whether every matrix value and right-hand-side entry of one lane
+    /// is finite.
+    fn lane_finite(&self, lane: usize) -> bool {
+        self.vals[lane..]
+            .iter()
+            .step_by(self.lanes)
+            .all(|v| v.modulus().is_finite())
+            && self.rhs_lane(lane).iter().all(|v| v.modulus().is_finite())
+    }
+
+    /// Whether one lane's last solution is finite.
+    fn sol_finite(&self, lane: usize) -> bool {
+        self.sol_lane(lane).iter().all(|v| v.modulus().is_finite())
+    }
+
+    /// Full reference factorization of `lane`, establishing the pivot
+    /// order and symbolic pattern every other lane replays. The lane's
+    /// factor values are bit-identical to a sequential
+    /// `SparseLu::factor` of the same matrix.
+    fn factor_reference(&mut self, lane: usize) -> bool {
+        self.gather(lane);
+        match CpuBatchedLu::new(&self.pattern, self.lanes, lane) {
+            Ok(blu) => {
+                self.blu = Some(blu);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Numeric refactorization of every lane; `self.ok` reports per-lane
+    /// health afterwards. `skip` preserves the freshly seeded reference
+    /// lane's factor values (and its health) untouched.
+    fn refactor_lanes(&mut self, skip: Option<usize>) {
+        let BatchedWorkspace {
+            pattern,
+            vals,
+            ok,
+            blu,
+            ..
+        } = self;
+        if let Some(blu) = blu.as_mut() {
+            ok.fill(true);
+            blu.refactor(pattern, vals, ok, skip);
+            if let Some(r) = skip {
+                // The skipped lane carries a successful full
+                // factorization; a spurious replay-health flag from the
+                // shared sweep must not demote it.
+                ok[r] = true;
+            }
+        } else {
+            ok.fill(false);
+        }
+    }
+
+    /// Solves every lane against the current right-hand sides; results
+    /// land in `sol`. Degraded lanes produce garbage in their own lane
+    /// only.
+    fn solve_lanes(&mut self) {
+        transpose_to_soa(&self.rhs, &mut self.soa, self.n, self.lanes);
+        if let Some(blu) = self.blu.as_mut() {
+            blu.solve_in_place(&mut self.soa);
+        }
+        transpose_from_soa(&self.soa, &mut self.sol, self.n, self.lanes);
+    }
+
+    /// Post-solve health check: the lane's residual `||A x - b||_inf`
+    /// must be a tiny fraction of the system magnitude. Catches
+    /// accuracy loss from replaying the reference lane's pivot order on
+    /// a variant it fits poorly. `NaN` fails the check.
+    fn residual_ok(&mut self, lane: usize) -> bool {
+        self.gather(lane);
+        let n = self.n;
+        let xl = &self.sol[lane * n..(lane + 1) * n];
+        self.pattern.mul_vec_into(xl, &mut self.resid);
+        let rl = &self.rhs[lane * n..(lane + 1) * n];
+        let mut err = 0.0f64;
+        let mut scale = 0.0f64;
+        for (a, b) in self.resid.iter().zip(rl) {
+            let e = (*a - *b).modulus();
+            if e > err {
+                err = e;
+            }
+            scale = scale.max(a.modulus()).max(b.modulus());
+        }
+        // `err <= bound` (not `err > bound`) so NaN falls out.
+        err <= RESID_REL * scale
+    }
+}
+
+fn transpose_to_soa<T: Scalar>(lane_major: &[T], soa: &mut [T], n: usize, lanes: usize) {
+    for lane in 0..lanes {
+        for (k, v) in lane_major[lane * n..(lane + 1) * n].iter().enumerate() {
+            soa[k * lanes + lane] = *v;
+        }
+    }
+}
+
+fn transpose_from_soa<T: Scalar>(soa: &[T], lane_major: &mut [T], n: usize, lanes: usize) {
+    for lane in 0..lanes {
+        for (k, v) in lane_major[lane * n..(lane + 1) * n].iter_mut().enumerate() {
+            *v = soa[k * lanes + lane];
+        }
+    }
+}
+
+/// How one variant lane of an in-flight batch is disposed.
+enum LaneState {
+    /// Still iterating in the batch.
+    Active,
+    /// Converged in the batch at the recorded iteration.
+    Done(OpResult),
+    /// Terminal error that no solver retry can fix (the tune closure
+    /// itself failed — e.g. a lint-rejected defect deck).
+    Failed(SpiceError),
+    /// Left the batched fast path; re-run sequentially afterwards.
+    Fallback,
+}
+
+/// Newton-solve state carried next to a real-valued
+/// [`BatchedWorkspace`]: lane iterates and the linear-baseline
+/// checkpoint replayed by `memcpy` each iteration.
+struct OpState {
+    /// Lane-major iterates.
+    x: Vec<f64>,
+    /// Checkpointed matrix values after the linear partition (plus
+    /// convergence diagonals) of every lane was stamped.
+    base_vals: Vec<f64>,
+    base_rhs: Vec<f64>,
+    /// Stamp cursor at the checkpoint; the nonlinear restamp of every
+    /// lane resumes here.
+    base_cursor: usize,
+}
+
+/// Batched DC operating-point engine: runs plain Newton on up to
+/// `lanes` parameter variants in lockstep over one shared pattern and
+/// one [`CpuBatchedLu`].
+///
+/// Each variant is installed by a caller-provided tune closure (e.g.
+/// [`crate::circuit::Circuit::set_resistance`]) invoked with the sample
+/// index before that lane is stamped — every iteration, so tuned
+/// parameters may feed nonlinear stamps too. Lanes converge and freeze
+/// individually; lanes that leave the fast path (see the module docs)
+/// are re-solved with the sequential [`op_from`] ladder, so results
+/// match the sequential path's semantics sample for sample.
+///
+/// The engine is tied to one [`Prepared`] circuit structure; reusing it
+/// after the unknown count changes re-probes the pattern automatically.
+pub struct BatchedOpEngine {
+    lanes: usize,
+    persist_factor: bool,
+    ws: Option<BatchedWorkspace<f64>>,
+    op: Option<OpState>,
+}
+
+impl BatchedOpEngine {
+    /// Engine with independent samples: every chunk refactors from a
+    /// fresh reference factorization, matching the sequential path's
+    /// fresh-workspace-per-sample semantics (Monte-Carlo, corners).
+    pub fn new(lanes: usize) -> Self {
+        BatchedOpEngine {
+            lanes: lanes.max(1),
+            persist_factor: false,
+            ws: None,
+            op: None,
+        }
+    }
+
+    /// Engine for chained sweeps: the reference factorization persists
+    /// across chunks (and across [`BatchedOpEngine::run_from`] calls),
+    /// matching a sequential sweep's shared-workspace refactor chain.
+    pub fn new_persistent(lanes: usize) -> Self {
+        BatchedOpEngine {
+            persist_factor: true,
+            ..BatchedOpEngine::new(lanes)
+        }
+    }
+
+    /// Configured lane width.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Solves operating points for samples `0..count`, all started from
+    /// zero. Equivalent to, and interchangeable with, calling
+    /// `tune(prep, i)` then [`crate::analysis::op()`] per sample.
+    pub fn run<F>(
+        &mut self,
+        prep: &mut Prepared,
+        opts: &Options,
+        count: usize,
+        tune: F,
+    ) -> Vec<Result<OpResult>>
+    where
+        F: FnMut(&mut Prepared, usize) -> Result<()>,
+    {
+        self.run_from(prep, opts, count, None, tune)
+    }
+
+    /// [`BatchedOpEngine::run`] warm-started from `x0` (used by sweeps:
+    /// pass the previous chunk's last solution).
+    pub fn run_from<F>(
+        &mut self,
+        prep: &mut Prepared,
+        opts: &Options,
+        count: usize,
+        x0: Option<&[f64]>,
+        mut tune: F,
+    ) -> Vec<Result<OpResult>>
+    where
+        F: FnMut(&mut Prepared, usize) -> Result<()>,
+    {
+        if self.ws.as_ref().is_some_and(|w| w.n != prep.num_unknowns) {
+            self.ws = None;
+            self.op = None;
+        }
+        let tr = opts.trace.tracer();
+        let span = tr.span("op_batch");
+        let mut fallbacks = 0usize;
+        let mut out = Vec::with_capacity(count);
+        let mut start = 0;
+        while start < count {
+            let b = self.lanes.min(count - start);
+            self.run_chunk(
+                prep,
+                opts,
+                start,
+                b,
+                x0,
+                &mut tune,
+                &mut out,
+                &mut fallbacks,
+            );
+            start += b;
+        }
+        if tr.enabled() {
+            tr.counter("op_batch.samples", count as f64);
+            tr.counter("op_batch.fallbacks", fallbacks as f64);
+        }
+        span.end();
+        out
+    }
+
+    /// One lockstep Newton run over lanes `start..start + b`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_chunk<F>(
+        &mut self,
+        prep: &mut Prepared,
+        opts: &Options,
+        start: usize,
+        b: usize,
+        x0: Option<&[f64]>,
+        tune: &mut F,
+        out: &mut Vec<Result<OpResult>>,
+        fallbacks: &mut usize,
+    ) where
+        F: FnMut(&mut Prepared, usize) -> Result<()>,
+    {
+        let mode = Mode::Dc { source_scale: 1.0 };
+        let lanes = self.lanes;
+        if !self.persist_factor {
+            // Independent samples: each chunk re-establishes its own
+            // reference factorization, like a fresh sequential
+            // workspace per sample.
+            if let Some(ws) = self.ws.as_mut() {
+                ws.blu = None;
+            }
+        }
+        let injector = opts.faults.get();
+        let mut solve_idx: Vec<Option<u64>> = vec![None; b];
+        let mut mems: Vec<NonlinMemory> = (0..b).map(|_| NonlinMemory::new(prep)).collect();
+        let mut states: Vec<LaneState> = Vec::with_capacity(b);
+
+        // Tune and stamp each lane's linear baseline while its variant
+        // parameters are installed in `prep`.
+        let mut base_cursor: Option<usize> = None;
+        for (lane, lane_solve_idx) in solve_idx.iter_mut().enumerate() {
+            if let Err(e) = tune(prep, start + lane) {
+                states.push(LaneState::Failed(e));
+                continue;
+            }
+            if self.ws.is_none() {
+                let zeros = vec![0.0; prep.num_unknowns];
+                let pat = real_pattern(prep, &zeros, opts, &mode, prep.num_voltage_unknowns);
+                self.ws = Some(BatchedWorkspace::new(prep.num_unknowns, lanes, &pat));
+                self.op = Some(OpState {
+                    x: vec![0.0; prep.num_unknowns * lanes],
+                    base_vals: Vec::new(),
+                    base_rhs: Vec::new(),
+                    base_cursor: 0,
+                });
+            }
+            let (Some(ws), Some(ops)) = (self.ws.as_mut(), self.op.as_mut()) else {
+                unreachable!("workspace created above");
+            };
+            let n = ws.n;
+            let xs = &mut ops.x[lane * n..(lane + 1) * n];
+            match x0 {
+                Some(v) => xs.copy_from_slice(v),
+                None => xs.fill(0.0),
+            }
+            let mut sink = LaneSink {
+                coords: &ws.coords,
+                slots: &ws.slots,
+                vals: &mut ws.vals,
+                lanes,
+                lane,
+                cursor: 0,
+                mismatch: false,
+            };
+            sink.reset();
+            let rl = &mut ws.rhs[lane * n..(lane + 1) * n];
+            rl.fill(0.0);
+            stamp_linear(prep, xs, opts, &mode, &mut sink, rl);
+            // Convergence-aid diagonals, stamped even at 0.0 so the
+            // cursor sequence matches the sequential plain-Newton rung.
+            for k in 0..prep.num_voltage_unknowns {
+                sink.add(k, k, 0.0);
+            }
+            let same_shape = !sink.mismatch && base_cursor.is_none_or(|c| c == sink.cursor);
+            if !same_shape {
+                states.push(LaneState::Fallback);
+                continue;
+            }
+            base_cursor = Some(sink.cursor);
+            *lane_solve_idx = injector.map(|f| f.begin_solve());
+            states.push(LaneState::Active);
+        }
+        let Some(ws) = self.ws.as_mut() else {
+            // No lane tuned successfully and nothing was ever probed:
+            // every state is Failed (or Fallback, resolved below).
+            for (lane, state) in states.into_iter().enumerate() {
+                out.push(resolve_lane_seq(
+                    state, prep, opts, start, lane, x0, tune, fallbacks,
+                ));
+            }
+            return;
+        };
+        let Some(ops) = self.op.as_mut() else {
+            unreachable!("op state exists whenever the workspace does");
+        };
+        let n = ws.n;
+        let nv = prep.num_voltage_unknowns;
+        ops.base_vals.clear();
+        ops.base_vals.extend_from_slice(&ws.vals);
+        ops.base_rhs.clear();
+        ops.base_rhs.extend_from_slice(&ws.rhs);
+        ops.base_cursor = base_cursor.unwrap_or(0);
+
+        let mut iter = 0;
+        while iter < opts.max_newton && states.iter().any(|s| matches!(s, LaneState::Active)) {
+            iter += 1;
+            // Linear-baseline replay: one memcpy instead of restamping
+            // every lane's linear partition.
+            ws.vals.copy_from_slice(&ops.base_vals);
+            ws.rhs.copy_from_slice(&ops.base_rhs);
+            let total_stamps = ws.coords.len();
+            for (lane, state) in states.iter_mut().enumerate() {
+                if !matches!(state, LaneState::Active) {
+                    continue;
+                }
+                if let Err(e) = tune(prep, start + lane) {
+                    *state = LaneState::Failed(e);
+                    continue;
+                }
+                let mut sink = LaneSink {
+                    coords: &ws.coords,
+                    slots: &ws.slots,
+                    vals: &mut ws.vals,
+                    lanes,
+                    lane,
+                    cursor: ops.base_cursor,
+                    mismatch: false,
+                };
+                let xs = &ops.x[lane * n..(lane + 1) * n];
+                let rl = &mut ws.rhs[lane * n..(lane + 1) * n];
+                stamp_nonlinear(prep, xs, opts, &mode, &mut mems[lane], &mut sink, rl);
+                if sink.mismatch || sink.cursor != total_stamps {
+                    *state = LaneState::Fallback;
+                    continue;
+                }
+                if let (Some(f), Some(idx)) = (injector, solve_idx[lane]) {
+                    match f.poll(idx, iter) {
+                        Some(FaultKind::NanStamp) => {
+                            // Poison this lane's first value; the finite
+                            // guard below demotes it, like the
+                            // sequential NaN guard raises NonFinite.
+                            ws.vals[lane] = f64::NAN;
+                        }
+                        Some(FaultKind::SingularMatrix) => {
+                            for block in ws.vals.chunks_exact_mut(lanes) {
+                                block[lane] = 0.0;
+                            }
+                        }
+                        Some(FaultKind::NoConvergence) => {
+                            *state = LaneState::Fallback;
+                            continue;
+                        }
+                        None => {}
+                    }
+                }
+                if !ws.lane_finite(lane) {
+                    *state = LaneState::Fallback;
+                }
+            }
+
+            // Reference factorization (first healthy iteration of the
+            // chunk), then lane-wise numeric refactor.
+            let mut ref_lane = None;
+            if ws.blu.is_none() {
+                while let Some(r) = states.iter().position(|s| matches!(s, LaneState::Active)) {
+                    if ws.factor_reference(r) {
+                        ref_lane = Some(r);
+                        break;
+                    }
+                    // Singular reference candidate: the sequential
+                    // ladder (gmin retry, lint post-mortem) owns it.
+                    states[r] = LaneState::Fallback;
+                }
+                if ref_lane.is_none() {
+                    break;
+                }
+            }
+            ws.refactor_lanes(ref_lane);
+            for (lane, state) in states.iter_mut().enumerate() {
+                if matches!(state, LaneState::Active) && !ws.ok[lane] {
+                    *state = LaneState::Fallback;
+                }
+            }
+            if !states.iter().any(|s| matches!(s, LaneState::Active)) {
+                break;
+            }
+
+            ws.solve_lanes();
+
+            for (lane, state) in states.iter_mut().enumerate() {
+                if !matches!(state, LaneState::Active) {
+                    continue;
+                }
+                if !ws.sol_finite(lane) || !ws.residual_ok(lane) {
+                    *state = LaneState::Fallback;
+                    continue;
+                }
+                let xs = &ops.x[lane * n..(lane + 1) * n];
+                let xn = ws.sol_lane(lane);
+                let mv = simd::conv_metric(&xn[..nv], &xs[..nv], opts.reltol, opts.vntol);
+                let mi = simd::conv_metric(&xn[nv..], &xs[nv..], opts.reltol, opts.abstol);
+                let metric = if mv > mi { mv } else { mi };
+                if metric <= 1.0 && mems[lane].limited == 0 {
+                    *state = LaneState::Done(OpResult {
+                        x: xn.to_vec(),
+                        iterations: iter,
+                    });
+                } else if iter == opts.max_newton {
+                    // Plain Newton is out of budget; the sequential
+                    // ladder's stronger rungs take over.
+                    *state = LaneState::Fallback;
+                } else {
+                    ops.x[lane * n..(lane + 1) * n]
+                        .copy_from_slice(&ws.sol[lane * n..(lane + 1) * n]);
+                }
+            }
+        }
+
+        for (lane, state) in states.into_iter().enumerate() {
+            out.push(resolve_lane_seq(
+                state, prep, opts, start, lane, x0, tune, fallbacks,
+            ));
+        }
+    }
+}
+
+/// Resolves one lane's final disposition, re-running fallback lanes
+/// through the sequential ladder.
+#[allow(clippy::too_many_arguments)]
+fn resolve_lane_seq<F>(
+    state: LaneState,
+    prep: &mut Prepared,
+    opts: &Options,
+    start: usize,
+    lane: usize,
+    x0: Option<&[f64]>,
+    tune: &mut F,
+    fallbacks: &mut usize,
+) -> Result<OpResult>
+where
+    F: FnMut(&mut Prepared, usize) -> Result<()>,
+{
+    match state {
+        LaneState::Done(r) => Ok(r),
+        LaneState::Failed(e) => Err(e),
+        LaneState::Active | LaneState::Fallback => {
+            *fallbacks += 1;
+            tune(prep, start + lane)?;
+            op_from(prep, opts, x0)
+        }
+    }
+}
+
+/// Batched single-frequency AC engine: assembles and solves the complex
+/// small-signal system of up to `lanes` variants in lockstep.
+///
+/// Mirrors [`crate::analysis::ac_sweep`] at one frequency per variant
+/// batch — the yield study's post-operating-point characterization.
+/// Lanes that leave the fast path are re-solved with a fresh sequential
+/// [`SolverWorkspace`], exactly as `ac_sweep` would.
+pub struct BatchedAcEngine {
+    lanes: usize,
+    ws: Option<BatchedWorkspace<Complex>>,
+}
+
+impl BatchedAcEngine {
+    /// Engine with `lanes` variant lanes.
+    pub fn new(lanes: usize) -> Self {
+        BatchedAcEngine {
+            lanes: lanes.max(1),
+            ws: None,
+        }
+    }
+
+    /// Solves the AC system at `freq` (Hz) for every `(sample_index,
+    /// operating_point)` item, returning full solution vectors in item
+    /// order (index into them with
+    /// [`crate::circuit::Prepared::slot_of`]).
+    pub fn run<F>(
+        &mut self,
+        prep: &mut Prepared,
+        opts: &Options,
+        freq: f64,
+        items: &[(usize, &[f64])],
+        mut tune: F,
+    ) -> Vec<Result<Vec<Complex>>>
+    where
+        F: FnMut(&mut Prepared, usize) -> Result<()>,
+    {
+        if self.ws.as_ref().is_some_and(|w| w.n != prep.num_unknowns) {
+            self.ws = None;
+        }
+        let omega = 2.0 * std::f64::consts::PI * freq;
+        let lanes = self.lanes;
+        let mut out: Vec<Result<Vec<Complex>>> = Vec::with_capacity(items.len());
+        for chunk in items.chunks(lanes) {
+            self.run_ac_chunk(prep, opts, omega, chunk, &mut tune, &mut out);
+        }
+        out
+    }
+
+    fn run_ac_chunk<F>(
+        &mut self,
+        prep: &mut Prepared,
+        opts: &Options,
+        omega: f64,
+        chunk: &[(usize, &[f64])],
+        tune: &mut F,
+        out: &mut Vec<Result<Vec<Complex>>>,
+    ) where
+        F: FnMut(&mut Prepared, usize) -> Result<()>,
+    {
+        let lanes = self.lanes;
+        // Fresh reference factorization per chunk: sequential AC solves
+        // each sample in its own workspace.
+        if let Some(ws) = self.ws.as_mut() {
+            ws.blu = None;
+        }
+        // Per-lane disposition: Ok(solution) once solved, Err for
+        // terminal failures; None while pending or for fallback lanes.
+        let mut done: Vec<Option<Result<Vec<Complex>>>> = Vec::with_capacity(chunk.len());
+        let mut active = vec![false; chunk.len()];
+        for (lane, &(idx, x_op)) in chunk.iter().enumerate() {
+            if let Err(e) = tune(prep, idx) {
+                done.push(Some(Err(e)));
+                continue;
+            }
+            if self.ws.is_none() {
+                let mut probe = PatternProbe::default();
+                let mut rhs = vec![Complex::ZERO; prep.num_unknowns];
+                assemble_ac(prep, x_op, opts, 1.0, &mut probe, &mut rhs);
+                self.ws = Some(BatchedWorkspace::new(
+                    prep.num_unknowns,
+                    lanes,
+                    &probe.coords,
+                ));
+            }
+            let Some(ws) = self.ws.as_mut() else {
+                unreachable!("workspace created above");
+            };
+            let n = ws.n;
+            let total = ws.coords.len();
+            let mut sink = LaneSink {
+                coords: &ws.coords,
+                slots: &ws.slots,
+                vals: &mut ws.vals,
+                lanes,
+                lane,
+                cursor: 0,
+                mismatch: false,
+            };
+            let rl = &mut ws.rhs[lane * n..(lane + 1) * n];
+            assemble_ac(prep, x_op, opts, omega, &mut sink, rl);
+            if sink.mismatch || sink.cursor != total {
+                done.push(None); // structure mismatch: fallback
+                continue;
+            }
+            active[lane] = true;
+            done.push(None);
+        }
+
+        if let Some(ws) = self.ws.as_mut() {
+            let mut ref_lane = None;
+            while let Some(r) = active.iter().position(|&a| a) {
+                if ws.factor_reference(r) {
+                    ref_lane = Some(r);
+                    break;
+                }
+                active[r] = false; // singular reference: fallback
+            }
+            if ref_lane.is_some() {
+                ws.refactor_lanes(ref_lane);
+                for (lane, a) in active.iter_mut().enumerate() {
+                    if *a && !ws.ok[lane] {
+                        *a = false;
+                    }
+                }
+                ws.solve_lanes();
+                for (lane, slot) in done.iter_mut().enumerate() {
+                    if !active[lane] || slot.is_some() {
+                        continue;
+                    }
+                    if ws.sol_finite(lane) && ws.residual_ok(lane) {
+                        *slot = Some(Ok(ws.sol_lane(lane).to_vec()));
+                    }
+                }
+            }
+        }
+
+        // Fallback lanes: the plain sequential AC solve, one fresh
+        // workspace each, mirroring `ac_sweep`'s inner loop.
+        for (lane, slot) in done.into_iter().enumerate() {
+            let (idx, x_op) = chunk[lane];
+            out.push(match slot {
+                Some(r) => r,
+                None => match tune(prep, idx) {
+                    Err(e) => Err(e),
+                    Ok(()) => sequential_ac_solve(prep, opts, omega, x_op),
+                },
+            });
+        }
+    }
+}
+
+/// One sequential complex solve at `omega`, identical to the body of
+/// `ac_sweep`'s per-frequency worker.
+fn sequential_ac_solve(
+    prep: &Prepared,
+    opts: &Options,
+    omega: f64,
+    x_op: &[f64],
+) -> Result<Vec<Complex>> {
+    let mut ws = SolverWorkspace::<Complex>::new(prep.num_unknowns, opts.solver);
+    loop {
+        assemble_ac(prep, x_op, opts, omega, &mut ws.kernel, &mut ws.rhs);
+        if !ws.finish_assembly() {
+            break;
+        }
+    }
+    ws.factor().map_err(|e| singular_unknown(prep, e))?;
+    Ok(ws.solve().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::op::op;
+    use crate::analysis::solver::SolverChoice;
+    use crate::analysis::stamp::BatchMode;
+    use crate::circuit::Circuit;
+
+    /// An RC divider with a tunable series resistor: linear, so plain
+    /// Newton converges in one iteration and lane agreement is exact.
+    fn divider() -> (Prepared, f64) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let out = c.node("out");
+        c.vsource("V1", a, Circuit::gnd(), 1.0);
+        c.set_ac("V1", 1.0, 0.0).unwrap();
+        c.resistor("R1", a, out, 1e3);
+        c.resistor("R2", out, Circuit::gnd(), 1e3);
+        c.capacitor("C1", out, Circuit::gnd(), 1e-9);
+        (Prepared::compile(&c).unwrap(), 1e3)
+    }
+
+    /// A common-emitter BJT stage with a tunable collector resistor:
+    /// genuinely nonlinear, several Newton iterations.
+    fn bjt_stage() -> Prepared {
+        let mut c = Circuit::new();
+        let vcc = c.node("vcc");
+        let b = c.node("b");
+        let col = c.node("c");
+        c.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+        c.vsource("VB", b, Circuit::gnd(), 0.7);
+        c.resistor("RC", vcc, col, 1e3);
+        let mi = c.add_bjt_model(crate::model::BjtModel::named("n1"));
+        c.bjt("Q1", col, b, Circuit::gnd(), mi, 1.0);
+        Prepared::compile(&c).unwrap()
+    }
+
+    /// Batch size 1 on the sparse backend reproduces the sequential
+    /// operating point bit for bit.
+    #[test]
+    fn single_lane_matches_sequential_bitwise() {
+        let mut prep = bjt_stage();
+        let opts = Options::new().solver(SolverChoice::Sparse);
+        let scales = [0.5, 1.0, 2.0, 7.5];
+        let mut engine = BatchedOpEngine::new(1);
+        let batched = engine.run(&mut prep, &opts, scales.len(), |p, i| {
+            p.circuit.set_resistance("RC", 1e3 * scales[i])
+        });
+        for (i, r) in batched.iter().enumerate() {
+            prep.circuit.set_resistance("RC", 1e3 * scales[i]).unwrap();
+            let seq = op(&prep, &opts).unwrap();
+            let b = r.as_ref().unwrap();
+            assert_eq!(b.iterations, seq.iterations, "sample {i}");
+            assert_eq!(b.x, seq.x, "sample {i}");
+        }
+    }
+
+    /// Multi-lane batches agree with the sequential path to far below
+    /// the Newton tolerance on a nonlinear deck.
+    #[test]
+    fn multi_lane_matches_sequential_tightly() {
+        let mut prep = bjt_stage();
+        let opts = Options::new().solver(SolverChoice::Sparse);
+        let scales: Vec<f64> = (0..11).map(|k| 0.5 + 0.2 * k as f64).collect();
+        for lanes in [2, 3, 8] {
+            let mut engine = BatchedOpEngine::new(lanes);
+            let batched = engine.run(&mut prep, &opts, scales.len(), |p, i| {
+                p.circuit.set_resistance("RC", 1e3 * scales[i])
+            });
+            for (i, r) in batched.iter().enumerate() {
+                prep.circuit.set_resistance("RC", 1e3 * scales[i]).unwrap();
+                let seq = op(&prep, &opts).unwrap();
+                let b = r.as_ref().unwrap();
+                for (bv, sv) in b.x.iter().zip(&seq.x) {
+                    assert!(
+                        (bv - sv).abs() <= 1e-9 * sv.abs().max(1.0),
+                        "lanes={lanes} sample {i}: {bv} vs {sv}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A lane whose tune closure fails (defective sample) reports its
+    /// error without disturbing its batch neighbours.
+    #[test]
+    fn failed_tune_is_contained() {
+        let (mut prep, r) = divider();
+        let opts = Options::new().solver(SolverChoice::Sparse);
+        let mut engine = BatchedOpEngine::new(4);
+        let res = engine.run(&mut prep, &opts, 4, |p, i| {
+            if i == 2 {
+                // Non-positive resistance: a netlist error.
+                p.circuit.set_resistance("R1", -1.0)
+            } else {
+                p.circuit.set_resistance("R1", r * (1.0 + 0.1 * i as f64))
+            }
+        });
+        assert!(res[2].is_err());
+        for (i, out) in res.iter().enumerate() {
+            if i != 2 {
+                let got = out.as_ref().unwrap();
+                prep.circuit
+                    .set_resistance("R1", r * (1.0 + 0.1 * i as f64))
+                    .unwrap();
+                let seq = op(&prep, &opts).unwrap();
+                for (gv, sv) in got.x.iter().zip(&seq.x) {
+                    assert!(
+                        (gv - sv).abs() <= 1e-12 * sv.abs().max(1.0),
+                        "sample {i}: {gv} vs {sv}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The AC engine matches `ac_sweep` on every lane, including a
+    /// tune-failed one.
+    #[test]
+    fn ac_engine_matches_ac_sweep() {
+        use crate::analysis::ac::ac_sweep;
+        let (mut prep, r) = divider();
+        let opts = Options::new().solver(SolverChoice::Sparse);
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let dc = op(&prep, &opts).unwrap();
+        let mut engine = BatchedAcEngine::new(3);
+        let items: Vec<(usize, &[f64])> = (0..5).map(|i| (i, dc.x.as_slice())).collect();
+        let res = engine.run(&mut prep, &opts, f0, &items, |p, i| {
+            if i == 4 {
+                p.circuit.set_resistance("R1", -1.0)
+            } else {
+                p.circuit.set_resistance("R1", r * (1.0 + 0.05 * i as f64))
+            }
+        });
+        assert!(res[4].is_err());
+        let out_slot = prep.slot_of(prep.circuit.find_node("out").unwrap());
+        for (i, got) in res.iter().take(4).enumerate() {
+            prep.circuit
+                .set_resistance("R1", r * (1.0 + 0.05 * i as f64))
+                .unwrap();
+            let w = ac_sweep(&prep, &dc.x, &opts, &[f0]).unwrap();
+            let want = w.signal("v(out)").unwrap()[0];
+            let gv = got.as_ref().unwrap()[out_slot];
+            assert!(
+                (gv - want).modulus() < 1e-12,
+                "sample {i}: {gv:?} vs {want:?}"
+            );
+        }
+    }
+
+    /// BatchMode::lanes resolves Off/Auto/Lanes as documented.
+    #[test]
+    fn batch_mode_lane_resolution() {
+        assert_eq!(BatchMode::Off.lanes(), None);
+        assert!(BatchMode::Auto.lanes().unwrap() >= 2);
+        assert_eq!(BatchMode::Lanes(5).lanes(), Some(5));
+        assert_eq!(BatchMode::Lanes(0).lanes(), Some(1));
+    }
+}

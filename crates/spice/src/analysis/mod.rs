@@ -8,11 +8,15 @@
 
 pub mod ac;
 #[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+pub mod batched;
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod dc;
 pub mod fault;
 pub mod noise;
 #[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod op;
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+pub mod pool;
 pub mod report;
 pub mod session;
 #[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
@@ -23,12 +27,14 @@ pub mod stamp;
 pub mod tran;
 
 pub use ac::ac_sweep;
+pub use batched::{BatchedAcEngine, BatchedOpEngine, BatchedWorkspace};
 pub use dc::dc_sweep;
 pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultTrigger};
 pub use noise::{noise_analysis, NoiseContribution, NoisePoint};
 pub use op::{bjt_operating, op, op_from, OpResult};
+pub use pool::sample_pool_map;
 pub use report::{lint_report, op_report};
 pub use session::Session;
 pub use solver::{SolverChoice, SolverWorkspace};
-pub use stamp::{LadderConfig, Options};
+pub use stamp::{BatchMode, LadderConfig, Options};
 pub use tran::{tran, TranParams};

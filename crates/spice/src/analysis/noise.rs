@@ -95,6 +95,7 @@ pub fn noise_analysis(
         n,
         opts.solver,
         tr.enabled(),
+        opts.threads,
         freqs,
         |ws: &mut SolverWorkspace<Complex>, f| {
             let omega = 2.0 * std::f64::consts::PI * f;

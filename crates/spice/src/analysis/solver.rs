@@ -559,7 +559,9 @@ pub(crate) struct ParStats {
 /// storage are reused from point to point. Results come back in input
 /// order; the error at the lowest index wins. `timing` turns on
 /// per-workspace factor/solve wall-time accumulation (reported merged in
-/// the returned [`ParStats`]).
+/// the returned [`ParStats`]). `threads` is the caller's worker budget
+/// ([`Options::threads`](crate::analysis::Options::threads) semantics:
+/// `0` = auto-detect from available parallelism).
 // Every slot is filled before the scope joins; a `None` is a bug here,
 // not a recoverable condition.
 #[allow(clippy::expect_used)]
@@ -567,6 +569,7 @@ pub(crate) fn parallel_freq_map<T, R, F>(
     n: usize,
     choice: SolverChoice,
     timing: bool,
+    threads: usize,
     points: &[f64],
     work: F,
 ) -> crate::error::Result<(Vec<R>, ParStats)>
@@ -575,9 +578,12 @@ where
     R: Send,
     F: Fn(&mut SolverWorkspace<T>, f64) -> crate::error::Result<R> + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |c| c.get())
-        .min(points.len().max(1));
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |c| c.get())
+    } else {
+        threads
+    }
+    .min(points.len().max(1));
     if threads <= 1 {
         let mut ws = SolverWorkspace::new(n, choice);
         ws.set_timing(timing);
@@ -709,7 +715,7 @@ mod tests {
     fn parallel_map_orders_results() {
         let points: Vec<f64> = (0..37).map(|k| k as f64).collect();
         let (out, stats) =
-            parallel_freq_map::<f64, f64, _>(4, SolverChoice::Dense, false, &points, |ws, f| {
+            parallel_freq_map::<f64, f64, _>(4, SolverChoice::Dense, false, 0, &points, |ws, f| {
                 assert_eq!(ws.dim(), 4);
                 Ok(2.0 * f)
             })
@@ -719,8 +725,15 @@ mod tests {
         for (k, v) in out.iter().enumerate() {
             assert_eq!(*v, 2.0 * k as f64);
         }
+        // An explicit budget of one thread must take the inline path.
+        let (_, pinned) =
+            parallel_freq_map::<f64, f64, _>(4, SolverChoice::Dense, false, 1, &points, |_, f| {
+                Ok(f)
+            })
+            .unwrap();
+        assert_eq!(pinned.threads, 1);
         let err =
-            parallel_freq_map::<f64, f64, _>(4, SolverChoice::Dense, false, &points, |_, f| {
+            parallel_freq_map::<f64, f64, _>(4, SolverChoice::Dense, false, 0, &points, |_, f| {
                 if f >= 5.0 {
                     Err(SpiceError::Measure(format!("boom {f}")))
                 } else {

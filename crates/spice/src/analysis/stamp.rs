@@ -107,6 +107,50 @@ pub struct Options {
     /// [`Session::compile_with`](crate::analysis::Session::compile_with)
     /// (default: [`LintPolicy::Deny`]).
     pub lint: LintPolicy,
+    /// Batched variant execution for the study drivers (Monte-Carlo
+    /// yield, batch characterization, mixed-level and DC sweeps). Off
+    /// (the default) runs today's sequential path; see [`BatchMode`].
+    pub batch: BatchMode,
+    /// Worker-thread budget for `parallel` analyses (AC/noise frequency
+    /// fan-out and the batched sample pool). `0` (the default) means
+    /// auto-detect from [`std::thread::available_parallelism`]; `1`
+    /// pins everything on the calling thread for deterministic
+    /// debugging and CI.
+    pub threads: usize,
+}
+
+/// Batched-execution mode for variant studies ([`Options::batch`]).
+///
+/// When enabled, the study drivers solve groups of variants side by
+/// side over one shared sparse pattern (structure-of-arrays values,
+/// SIMD lane kernels), falling back to the sequential path per sample
+/// whenever a lane misbehaves. `Lanes(1)` runs the batched engine with
+/// a single lane, which reproduces the sequential **sparse** solver
+/// bit for bit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Sequential execution (today's path) — the default.
+    #[default]
+    Off,
+    /// Batched execution with a heuristic lane count.
+    Auto,
+    /// Batched execution with an explicit lane count (clamped to ≥ 1).
+    Lanes(usize),
+}
+
+/// Lane count used by [`BatchMode::Auto`].
+const AUTO_LANES: usize = 8;
+
+impl BatchMode {
+    /// The number of SoA lanes this mode asks for, or `None` when
+    /// batching is off.
+    pub fn lanes(self) -> Option<usize> {
+        match self {
+            BatchMode::Off => None,
+            BatchMode::Auto => Some(AUTO_LANES),
+            BatchMode::Lanes(n) => Some(n.max(1)),
+        }
+    }
 }
 
 impl Default for Options {
@@ -124,6 +168,8 @@ impl Default for Options {
             ladder: LadderConfig::default(),
             faults: FaultHandle::off(),
             lint: LintPolicy::default(),
+            batch: BatchMode::Off,
+            threads: 0,
         }
     }
 }
@@ -275,6 +321,29 @@ impl Options {
     pub fn lint(mut self, lint: LintPolicy) -> Self {
         self.lint = lint;
         self
+    }
+
+    /// Selects batched variant execution for the study drivers.
+    pub fn batch(mut self, batch: BatchMode) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the worker-thread budget (`0` = auto-detect).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker-thread count: the explicit
+    /// [`Options::threads`] value, or the machine's available
+    /// parallelism when unset.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |c| c.get())
+        } else {
+            self.threads
+        }
     }
 }
 
