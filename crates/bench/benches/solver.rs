@@ -2,7 +2,7 @@
 //! the Gummel–Poon evaluation hot path.
 
 use ahfic_num::{lu::LuFactors, Matrix};
-use ahfic_spice::analysis::{op, Options};
+use ahfic_spice::analysis::{Options, Session};
 use ahfic_spice::circuit::{Circuit, Prepared};
 use ahfic_spice::devices::bjt::eval_bjt;
 use ahfic_spice::model::BjtModel;
@@ -27,9 +27,9 @@ fn bench_solver(c: &mut Criterion) {
     let opts = Options::default();
     let mut group = c.benchmark_group("mna-op");
     for &n in &[10usize, 40, 160] {
-        let prep = ladder(n);
-        group.bench_with_input(BenchmarkId::new("ladder", n), &prep, |b, prep| {
-            b.iter(|| black_box(op(prep, &opts).unwrap().x[0]))
+        let sess = Session::new(ladder(n)).with_options(opts.clone());
+        group.bench_with_input(BenchmarkId::new("ladder", n), &sess, |b, sess| {
+            b.iter(|| black_box(sess.op().unwrap().x()[0]))
         });
     }
     group.finish();

@@ -23,7 +23,8 @@ use std::time::Instant;
 
 use ahfic_bench::standard_generator;
 use ahfic_num::interp::logspace;
-use ahfic_spice::analysis::{ac_sweep, op, tran, LadderConfig, Options, SolverChoice, TranParams};
+use ahfic_serve::{JobQueue, JobRequest, JobSpec, QueueConfig};
+use ahfic_spice::analysis::{LadderConfig, Options, Session, SolverChoice, TranParams};
 use ahfic_spice::circuit::{Circuit, ElementKind, Prepared};
 use ahfic_spice::lint::LintPolicy;
 use ahfic_spice::model::{BjtModel, DiodeModel};
@@ -87,11 +88,11 @@ impl Timings {
 
 /// Runs op + transient + AC once, returning all three analysis results
 /// (used both for the instrumented suites and the overhead probe).
-fn run_once(prep: &Prepared, opts: &Options, tran_params: &TranParams) {
-    let dc = op(prep, opts).expect("operating point");
-    tran(prep, opts, tran_params).expect("transient");
+fn run_once(sess: &Session, tran_params: &TranParams) {
+    let dc = sess.op().expect("operating point");
+    sess.tran(tran_params).expect("transient");
     let freqs = logspace(1e6, 1e10, 60);
-    ac_sweep(prep, &dc.x, opts, &freqs).expect("ac sweep");
+    sess.ac(dc.x(), &freqs).expect("ac sweep");
 }
 
 /// Runs the suite with an in-memory trace sink and reads timings and
@@ -99,7 +100,8 @@ fn run_once(prep: &Prepared, opts: &Options, tran_params: &TranParams) {
 fn run_suite(prep: &Prepared, solver: SolverChoice, tran_params: &TranParams) -> Timings {
     let sink = Arc::new(InMemorySink::new());
     let opts = Options::new().solver(solver).trace(&sink);
-    run_once(prep, &opts, tran_params);
+    let sess = Session::new(prep.clone()).with_options(opts);
+    run_once(&sess, tran_params);
 
     let spans = summarize_top_level(&sink.take());
     let wall_ms = |name: &str| {
@@ -140,8 +142,9 @@ fn min_paired_suite_seconds(
     reps: usize,
 ) -> (f64, f64) {
     let time_one = |opts: &Options| {
+        let sess = Session::new(prep.clone()).with_options(opts.clone());
         let t0 = Instant::now();
-        run_once(prep, opts, tran_params);
+        run_once(&sess, tran_params);
         t0.elapsed().as_secs_f64()
     };
     // Warm caches and branch predictors outside the timed window.
@@ -176,21 +179,19 @@ fn mc_op_seconds(prep: &mut Prepared, opts: &Options, trials: usize) -> f64 {
             .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
+    let mut sess = Session::new(prep.clone()).with_options(opts.clone());
     let t0 = Instant::now();
     for _ in 0..trials {
         for (name, r) in &nominal {
             let spread = 0.8 + 0.4 * next();
-            prep.circuit
+            sess.prepared_mut()
+                .circuit
                 .set_resistance(name, r * spread)
                 .expect("resistor exists");
         }
-        op(prep, opts).expect("mc operating point");
+        sess.op().expect("mc operating point");
     }
-    let elapsed = t0.elapsed().as_secs_f64();
-    for (name, r) in &nominal {
-        prep.circuit.set_resistance(name, *r).expect("restore");
-    }
-    elapsed
+    t0.elapsed().as_secs_f64()
 }
 
 /// Interleaved best-of-`reps` timing of the Monte-Carlo load for two
@@ -407,11 +408,11 @@ fn lint_preflight_probe(reps: usize, iters: usize) -> LintPreflightStats {
     let time_first_analysis = |policy: LintPolicy| {
         let t0 = Instant::now();
         for _ in 0..iters {
-            let prep = Prepared::compile_with(&ckt, policy).expect("compile");
-            let dc = op(&prep, &opts).expect("operating point");
-            let wave = ac_sweep(&prep, &dc.x, &opts, &freqs).expect("ac sweep");
+            let sess = Session::compile_with(&ckt, opts.clone().lint(policy)).expect("compile");
+            let dc = sess.op().expect("operating point");
+            let wave = sess.ac(dc.x(), &freqs).expect("ac sweep");
             std::hint::black_box(&wave);
-            let tr = tran(&prep, &opts, &tran_params).expect("transient");
+            let tr = sess.tran(&tran_params).expect("transient");
             std::hint::black_box(&tr);
         }
         t0.elapsed().as_secs_f64() / iters as f64
@@ -442,6 +443,74 @@ fn lint_preflight_probe(reps: usize, iters: usize) -> LintPreflightStats {
     }
 }
 
+struct ServingStats {
+    jobs: usize,
+    recompile_s: f64,
+    shared_s: f64,
+    hits: u64,
+    compiles: u64,
+}
+
+impl ServingStats {
+    fn amortization(&self) -> f64 {
+        self.recompile_s / self.shared_s
+    }
+
+    fn jobs_per_sec(&self) -> f64 {
+        self.jobs as f64 / self.shared_s
+    }
+}
+
+/// Serving-layer compile amortization: a `jobs`-deep queue re-running
+/// operating points on the image-rejection tuner deck — the deck a
+/// parameter tuner hammers — through the shared [`JobQueue`] cache,
+/// against the naive front end that recompiles the netlist and solves a
+/// cold operating point per request. Both sides run single-threaded so
+/// the ratio isolates what the cache and the per-deck warm-start hint
+/// buy, with no parallel speedup mixed in. Interleaved best-of-`reps`;
+/// a fresh queue per rep so every rep pays the one real compile.
+fn serving_probe(jobs: usize, reps: usize) -> ServingStats {
+    let ckt = image_rejection_frontend_circuit();
+    let opts = Options::new().solver(SolverChoice::Sparse);
+    let time_recompile = || {
+        let t0 = Instant::now();
+        for _ in 0..jobs {
+            let sess = Session::compile_with(&ckt, opts.clone()).expect("compile");
+            sess.op().expect("cold operating point");
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let time_shared = || {
+        let requests: Vec<JobRequest> = (0..jobs)
+            .map(|_| JobRequest::new(ckt.clone(), JobSpec::Op).options(opts.clone()))
+            .collect();
+        let queue = JobQueue::new(QueueConfig::new().threads(1));
+        let t0 = Instant::now();
+        let reports = queue.run(requests);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(reports.iter().all(ahfic_serve::JobReport::is_ok));
+        let stats = queue.cache_stats();
+        (dt, stats.hits(), stats.compiles())
+    };
+    time_recompile();
+    time_shared();
+    let (mut recompile_s, mut shared_s) = (f64::INFINITY, f64::INFINITY);
+    let (mut hits, mut compiles) = (0, 0);
+    for _ in 0..reps {
+        recompile_s = recompile_s.min(time_recompile());
+        let (dt, h, c) = time_shared();
+        shared_s = shared_s.min(dt);
+        (hits, compiles) = (h, c);
+    }
+    ServingStats {
+        jobs,
+        recompile_s,
+        shared_s,
+        hits,
+        compiles,
+    }
+}
+
 struct LadderProbe {
     name: &'static str,
     legacy_converged: bool,
@@ -459,14 +528,19 @@ struct LadderProbe {
 /// and full continuation ladders at a tight Newton budget, reading the
 /// per-rung work back out of the trace counters.
 fn ladder_probe(name: &'static str, prep: &Prepared, budget: usize) -> LadderProbe {
-    let legacy = op(
-        prep,
-        &Options::new()
-            .max_newton(budget)
-            .ladder(LadderConfig::legacy()),
-    );
+    let sess = Session::new(prep.clone());
+    let legacy = sess
+        .clone()
+        .with_options(
+            Options::new()
+                .max_newton(budget)
+                .ladder(LadderConfig::legacy()),
+        )
+        .op();
     let sink = Arc::new(InMemorySink::new());
-    let full = op(prep, &Options::new().max_newton(budget).trace(&sink));
+    let full = sess
+        .with_options(Options::new().max_newton(budget).trace(&sink))
+        .op();
     let spans = summarize_top_level(&sink.take());
     let counter = |n: &str| {
         spans
@@ -734,9 +808,10 @@ fn main() {
     let full_opts = Options::new().solver(SolverChoice::Sparse);
     let easy_trials = 200;
     let time_ops = |opts: &Options| {
+        let sess = Session::new(easy.clone()).with_options(opts.clone());
         let t0 = Instant::now();
         for _ in 0..easy_trials {
-            op(&easy, opts).expect("easy operating point");
+            sess.op().expect("easy operating point");
         }
         t0.elapsed().as_secs_f64()
     };
@@ -753,6 +828,28 @@ fn main() {
          {legacy_ms:.1}ms legacy vs {full_ms:.1}ms full ({easy_overhead_pct:+.2}%)",
         legacy_ms = easy_legacy_s * 1e3,
         full_ms = easy_full_s * 1e3,
+    );
+
+    // Serving layer: compile amortization across a job queue hammering
+    // one deck. The assert is the CI regression gate for the shared
+    // cache + warm-start path.
+    let serving = serving_probe(64, 7);
+    println!(
+        "\n# Serving layer (image-rejection tuner deck, {jobs} op jobs, 1 thread, best of 7)\n\
+         per-job recompile {rec_ms:.2}ms vs shared cache {sh_ms:.2}ms \
+         ({amort:.1}x amortization, {jps:.0} jobs/s, {hits} hits / {compiles} compile)",
+        jobs = serving.jobs,
+        rec_ms = serving.recompile_s * 1e3,
+        sh_ms = serving.shared_s * 1e3,
+        amort = serving.amortization(),
+        jps = serving.jobs_per_sec(),
+        hits = serving.hits,
+        compiles = serving.compiles,
+    );
+    assert!(
+        serving.amortization() >= 5.0,
+        "shared-cache serving fell below the 5x amortization floor: {:.2}x",
+        serving.amortization(),
     );
 
     let json = format!(
@@ -774,7 +871,12 @@ fn main() {
             "\"n_unknowns\": {ln},\n",
             "    \"compile_deny_us\": {lcd:.3}, \"compile_off_us\": {lco:.3},\n",
             "    \"first_analysis_deny_us\": {lad:.3}, \"first_analysis_off_us\": {lao:.3}, ",
-            "\"overhead_pct\": {lpct:.3}}}\n}}\n"
+            "\"overhead_pct\": {lpct:.3}}},\n",
+            "  \"serving\": {{\"deck\": \"image_rejection_frontend\", \"jobs\": {sj}, ",
+            "\"threads\": 1,\n",
+            "    \"recompile_ms\": {srec:.3}, \"shared_ms\": {ssh:.3}, ",
+            "\"amortization\": {samort:.3}, \"jobs_per_sec\": {sjps:.0},\n",
+            "    \"cache_hits\": {shits}, \"cache_compiles\": {scomp}}}\n}}\n"
         ),
         sizes = json_sizes,
         base = base_s * 1e3,
@@ -804,6 +906,13 @@ fn main() {
         lad = lint.first_analysis_deny_us,
         lao = lint.first_analysis_off_us,
         lpct = lint.overhead_pct,
+        sj = serving.jobs,
+        srec = serving.recompile_s * 1e3,
+        ssh = serving.shared_s * 1e3,
+        samort = serving.amortization(),
+        sjps = serving.jobs_per_sec(),
+        shits = serving.hits,
+        scomp = serving.compiles,
     );
     std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
     println!("\nwrote BENCH_solver.json");

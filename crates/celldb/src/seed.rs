@@ -416,8 +416,8 @@ mod tests {
         let db = seed_library().unwrap();
         let gca = db.get("GCA1").unwrap();
         let ckt = ahfic_spice::parse::parse_netlist(gca.views.schematic.as_ref().unwrap()).unwrap();
-        let prep = ahfic_spice::circuit::Prepared::compile(&ckt).unwrap();
-        let op = ahfic_spice::analysis::op(&prep, &Default::default());
+        let sess = ahfic_spice::analysis::Session::compile(&ckt).unwrap();
+        let op = sess.op();
         assert!(op.is_ok(), "{op:?}");
     }
 

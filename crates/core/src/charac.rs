@@ -5,8 +5,7 @@
 use ahfic_ahdl::block::Block;
 use ahfic_ahdl::blocks::filter::FirstOrderLp;
 use ahfic_num::interp::logspace;
-use ahfic_spice::analysis::{ac_sweep, op, Options};
-use ahfic_spice::circuit::Prepared;
+use ahfic_spice::analysis::{Options, Session};
 use ahfic_spice::error::{Result, SpiceError};
 use ahfic_spice::measure::characterize as ac_characterize;
 use ahfic_spice::parse::parse_netlist;
@@ -95,10 +94,10 @@ pub fn characterize_with(
             bench.output_node
         )));
     }
-    let prep = Prepared::compile(&ckt)?;
-    let dc = op(&prep, opts)?;
+    let sess = Session::compile(&ckt)?.with_options(opts.clone());
+    let dc = sess.op()?;
     let freqs = logspace(bench.f_ref / 100.0, bench.f_max, bench.points.max(8));
-    let acw = ac_sweep(&prep, &dc.x, opts, &freqs)?;
+    let acw = sess.ac(dc.x(), &freqs)?;
     let c = ac_characterize(&acw, &format!("v({})", bench.output_node), bench.f_ref)?;
     span.end();
     Ok(BlockCharacterization {
@@ -192,7 +191,7 @@ pub fn characterize_batch(
 ///
 /// Propagates parse/simulation/measurement failures.
 pub fn characterize_distortion(bench: &CharacterizationBench, drive: f64, f0: f64) -> Result<f64> {
-    use ahfic_spice::analysis::{tran, TranParams};
+    use ahfic_spice::analysis::TranParams;
     use ahfic_spice::wave::SourceWave;
 
     let mut ckt = parse_netlist(&bench.netlist)?;
@@ -222,15 +221,12 @@ pub fn characterize_distortion(bench: &CharacterizationBench, drive: f64, f0: f6
             phase_deg: 0.0,
         },
     )?;
-    let prep = Prepared::compile(&ckt)?;
-    let opts = Options::default();
+    let sess = Session::compile(&ckt)?;
     // 12 periods, resolved to ~200 points per period.
     let period = 1.0 / f0;
-    let wave = tran(
-        &prep,
-        &opts,
-        &TranParams::new(12.0 * period, period / 200.0),
-    )?;
+    let wave = sess
+        .tran(&TranParams::new(12.0 * period, period / 200.0))?
+        .into_wave();
     ahfic_spice::measure::thd(&wave, &format!("v({})", bench.output_node), f0, 0.4)
 }
 

@@ -118,8 +118,8 @@ pub fn ahdl_behavioral_fn_traced(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ahfic_spice::analysis::{op, Options};
-    use ahfic_spice::circuit::{Circuit, Prepared};
+    use ahfic_spice::analysis::Session;
+    use ahfic_spice::circuit::Circuit;
 
     #[test]
     fn ahdl_limiter_inside_spice_netlist() {
@@ -136,10 +136,10 @@ mod tests {
         ckt.vsource("V1", a, Circuit::gnd(), 3.0);
         ckt.behavioral_vsource("B1", b, Circuit::gnd(), &[a], f);
         ckt.resistor("RL", b, Circuit::gnd(), 1e3);
-        let prep = Prepared::compile(&ckt).unwrap();
-        let r = op(&prep, &Options::default()).unwrap();
+        let sess = Session::compile(&ckt).unwrap();
+        let r = sess.op().unwrap();
         let expect = 0.5 * (3.0f64 / 0.5).tanh();
-        assert!((prep.voltage(&r.x, b) - expect).abs() < 1e-9);
+        assert!((sess.prepared().voltage(r.x(), b) - expect).abs() < 1e-9);
     }
 
     #[test]
@@ -158,9 +158,9 @@ mod tests {
         ckt.vsource("VB", b, Circuit::gnd(), -1.5);
         ckt.behavioral_vsource("B1", y, Circuit::gnd(), &[a, b], f);
         ckt.resistor("RL", y, Circuit::gnd(), 1e3);
-        let prep = Prepared::compile(&ckt).unwrap();
-        let r = op(&prep, &Options::default()).unwrap();
-        assert!((prep.voltage(&r.x, y) + 3.0).abs() < 1e-9);
+        let sess = Session::compile(&ckt).unwrap();
+        let r = sess.op().unwrap();
+        assert!((sess.prepared().voltage(r.x(), y) + 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -10,9 +10,7 @@
 use ahfic_rf::image_rejection::{irr_analytic_db, measure_irr_db_traced};
 use ahfic_rf::plan::FrequencyPlan;
 use ahfic_rf::tuner::{ImageRejectionErrors, TunerConfig};
-use ahfic_spice::analysis::{
-    ac_sweep, op, sample_pool_map, BatchedAcEngine, BatchedOpEngine, Options,
-};
+use ahfic_spice::analysis::{sample_pool_map, BatchedAcEngine, BatchedOpEngine, Options, Session};
 use ahfic_spice::circuit::{Circuit, Prepared};
 use ahfic_spice::error::{Result, SpiceError};
 use ahfic_trace::TraceHandle;
@@ -33,8 +31,7 @@ pub struct ShifterBalance {
 /// study.
 #[derive(Clone, Debug)]
 pub struct RcCrBench {
-    prep: Prepared,
-    opts: Options,
+    sess: Session,
     r_nom: f64,
     f0: f64,
 }
@@ -64,8 +61,7 @@ impl RcCrBench {
         ckt.capacitor("C2", input, b, c);
         ckt.resistor("R2", b, Circuit::gnd(), r_nom);
         Ok(RcCrBench {
-            prep: Prepared::compile(&ckt)?,
-            opts: Options::default(),
+            sess: Session::compile(&ckt)?,
             r_nom,
             f0,
         })
@@ -74,7 +70,7 @@ impl RcCrBench {
     /// Replaces the analysis options (chainable) — e.g. to install a
     /// trace sink so every characterization's op/AC spans are recorded.
     pub fn with_options(mut self, opts: Options) -> Self {
-        self.opts = opts;
+        self.sess = self.sess.with_options(opts);
         self
     }
 
@@ -117,11 +113,10 @@ impl RcCrBench {
     /// Propagates simulation errors; mismatch at or below -100% is a
     /// netlist error (non-positive resistance).
     pub fn characterize(&mut self, r1_mismatch: f64) -> Result<ShifterBalance> {
-        self.prep
-            .circuit
-            .set_resistance("R1", self.r_nom * (1.0 + r1_mismatch))?;
-        let dc = op(&self.prep, &self.opts)?;
-        let acw = ac_sweep(&self.prep, &dc.x, &self.opts, &[self.f0])?;
+        let r1 = self.r_nom * (1.0 + r1_mismatch);
+        self.sess.prepared_mut().circuit.set_resistance("R1", r1)?;
+        let dc = self.sess.op()?;
+        let acw = self.sess.ac(dc.x(), &[self.f0])?;
         let va = acw.signal("v(a)")?[0];
         let vb = acw.signal("v(b)")?[0];
         Ok(balance_from(va, vb))
@@ -141,11 +136,9 @@ impl RcCrBench {
         lanes: usize,
     ) -> Vec<Result<ShifterBalance>> {
         let lanes = lanes.max(1);
-        let (slot_a, slot_b) = match (
-            self.prep.circuit.find_node("a"),
-            self.prep.circuit.find_node("b"),
-        ) {
-            (Some(a), Some(b)) => (self.prep.slot_of(a), self.prep.slot_of(b)),
+        let prep = self.sess.prepared();
+        let (slot_a, slot_b) = match (prep.circuit.find_node("a"), prep.circuit.find_node("b")) {
+            (Some(a), Some(b)) => (prep.slot_of(a), prep.slot_of(b)),
             _ => {
                 return mismatches
                     .iter()
@@ -154,7 +147,7 @@ impl RcCrBench {
             }
         };
         let nchunks = mismatches.len().div_ceil(lanes);
-        let threads = self.opts.resolved_threads();
+        let threads = self.sess.options().resolved_threads();
         let chunks: Vec<Vec<Result<ShifterBalance>>> = sample_pool_map(
             threads,
             nchunks,
@@ -187,7 +180,9 @@ impl RcCrBench {
         slot_b: usize,
     ) -> Vec<Result<ShifterBalance>> {
         let r_nom = self.r_nom;
-        let ops = ope.run(&mut self.prep, &self.opts, mismatches.len(), |p, i| {
+        let f0 = self.f0;
+        let opts = self.sess.options().clone();
+        let ops = ope.run(self.sess.prepared_mut(), &opts, mismatches.len(), |p, i| {
             p.circuit
                 .set_resistance("R1", r_nom * (1.0 + mismatches[i]))
         });
@@ -197,7 +192,7 @@ impl RcCrBench {
                 .enumerate()
                 .filter_map(|(i, r)| r.as_ref().ok().map(|o| (i, o.x.as_slice())))
                 .collect();
-            ace.run(&mut self.prep, &self.opts, self.f0, &items, |p, i| {
+            ace.run(self.sess.prepared_mut(), &opts, f0, &items, |p, i| {
                 p.circuit
                     .set_resistance("R1", r_nom * (1.0 + mismatches[i]))
             })

@@ -103,9 +103,11 @@ mod tests {
         assert!(after.cje > 0.0);
         assert_eq!(after.name, "N1.2-12D");
         // And the circuit still simulates.
-        let prep = ahfic_spice::circuit::Prepared::compile(&ckt).unwrap();
-        let r = ahfic_spice::analysis::op(&prep, &Default::default()).unwrap();
-        assert!(r.x.iter().all(|v| v.is_finite()));
+        let r = ahfic_spice::analysis::Session::compile(&ckt)
+            .unwrap()
+            .op()
+            .unwrap();
+        assert!(r.x().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use ahfic_geom::generate::ModelGenerator;
 use ahfic_geom::shape::TransistorShape;
-use ahfic_spice::analysis::{tran, Options, TranParams};
-use ahfic_spice::circuit::{Circuit, NodeId, Prepared};
+use ahfic_spice::analysis::{Options, Session, TranParams};
+use ahfic_spice::circuit::{Circuit, NodeId};
 use ahfic_spice::error::Result;
 use ahfic_spice::measure::{oscillation_frequency, OscMeasurement};
 use ahfic_spice::model::BjtModel;
@@ -163,8 +163,10 @@ pub fn measure_ring_frequency(
         .expect("probe node");
     ckt.vcvs("Ediff", diff, Circuit::gnd(), pp, pn, 1.0);
     ckt.resistor("Rdiff", diff, Circuit::gnd(), 1e6);
-    let prep = Prepared::compile(&ckt)?;
-    let wave = tran(&prep, opts, &TranParams::new(params.t_stop, params.dt_max))?;
+    let sess = Session::compile(&ckt)?.with_options(opts.clone());
+    let wave = sess
+        .tran(&TranParams::new(params.t_stop, params.dt_max))?
+        .into_wave();
     oscillation_frequency(&wave, "v(diff)", 0.4)
 }
 
@@ -253,8 +255,10 @@ pub fn predict_from_stage_delay(
     ckt.bjt("Qfb", vcc, cn, outn, follower, 1.0);
     ckt.resistor("RFp", outp, Circuit::gnd(), params.follower_r);
     ckt.resistor("RFn", outn, Circuit::gnd(), params.follower_r);
-    let prep = Prepared::compile(&ckt)?;
-    let wave = tran(&prep, opts, &TranParams::new(8e-9, params.dt_max))?;
+    let sess = Session::compile(&ckt)?.with_options(opts.clone());
+    let wave = sess
+        .tran(&TranParams::new(8e-9, params.dt_max))?
+        .into_wave();
     let t = wave.axis();
     let vp = wave.signal("v(outp)")?;
     let vn = wave.signal("v(outn)")?;

@@ -1,0 +1,643 @@
+//! Simulation-as-a-service front end: netlists in, typed results out.
+//!
+//! [`JobQueue`] turns the AHFIC SPICE engine into a multi-tenant
+//! service inside one process. A batch of [`JobRequest`]s — each a deck
+//! (builder [`Circuit`] or raw netlist text), an analysis
+//! [`JobSpec`], and per-job [`Options`] — fans out over the
+//! work-stealing sample pool; every worker checks its deck out of one
+//! shared [`PreparedCache`], so N jobs on the same circuit compile it
+//! once and share the `Arc<Prepared>`.
+//!
+//! The serving contract:
+//!
+//! - **Typed outcomes, never panics.** Each job returns a
+//!   [`JobReport`] whose outcome is either a [`JobOutput`] or a
+//!   [`SampleFailure`] carrying the job index, label, and the typed
+//!   [`SpiceError`] that killed it — parse errors, lint rejections, and
+//!   solver failures all degrade the same way.
+//! - **Cooperative cancellation.** Install a
+//!   [`CancelToken`] in a job's
+//!   options; the engine polls it at Newton-iteration and
+//!   timestep boundaries. A cancelled transient returns a typed
+//!   *partial* result (status [`TranStatus::Cancelled`]), not an error.
+//! - **Resource budgets.** A per-job
+//!   [`Budget`] bounds Newton
+//!   iterations, wall-steps, and batch lanes; exhaustion degrades to a
+//!   typed partial (transient) or a `BudgetExhausted` failure (op).
+//! - **Incremental streaming.** With
+//!   [`Options::stream_every`](ahfic_spice::analysis::Options::stream_every)
+//!   set and a [`JsonLinesSink`](ahfic_trace::JsonLinesSink) installed,
+//!   transient jobs emit `progress.tran.*` records chunk by chunk while
+//!   they run.
+//! - **Warm-start reuse.** Each cache entry remembers the last
+//!   converged operating point; later jobs on the same deck start
+//!   Newton from it instead of a cold continuation-ladder climb. This
+//!   is where most of the shared-cache throughput multiple comes from.
+
+use ahfic::robust::SampleFailure;
+use ahfic_spice::analysis::{sample_pool_map, Options, Session, TranParams, TranResult};
+use ahfic_spice::cache::{CacheStats, DeckKey, PreparedCache};
+use ahfic_spice::circuit::Circuit;
+use ahfic_spice::error::SpiceError;
+use ahfic_spice::parse::parse_netlist;
+use ahfic_spice::wave::{AcWaveform, Waveform};
+use ahfic_trace::TraceHandle;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Upper bound on sessions a single worker parks for deck reuse; past
+/// this a worker is clearly sweeping distinct decks and reuse buys
+/// nothing.
+const MAX_PARKED_SESSIONS: usize = 64;
+
+pub use ahfic_spice::analysis::noise::NoisePoint;
+pub use ahfic_spice::analysis::OpResult;
+pub use ahfic_spice::analysis::{Budget, CancelToken, StreamPolicy, TranStatus};
+
+/// The deck a job runs on: an already-built circuit or raw netlist
+/// text parsed when the job executes (a parse failure becomes that
+/// job's typed failure, never an abort of the batch).
+// A request holds exactly one deck for its whole lifetime; boxing the
+// circuit would add an indirection per job without shrinking anything
+// that is ever stored in bulk.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum DeckSource {
+    /// A circuit built through the [`Circuit`] API.
+    Circuit(Circuit),
+    /// SPICE netlist text, parsed on the worker.
+    Netlist(String),
+}
+
+impl From<Circuit> for DeckSource {
+    fn from(c: Circuit) -> Self {
+        DeckSource::Circuit(c)
+    }
+}
+
+impl From<String> for DeckSource {
+    fn from(s: String) -> Self {
+        DeckSource::Netlist(s)
+    }
+}
+
+impl From<&str> for DeckSource {
+    fn from(s: &str) -> Self {
+        DeckSource::Netlist(s.to_string())
+    }
+}
+
+/// Which analysis a job runs.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum JobSpec {
+    /// DC operating point.
+    Op,
+    /// DC transfer sweep of the named source over the given values.
+    Dc {
+        /// Independent source to sweep.
+        source: String,
+        /// Swept values.
+        values: Vec<f64>,
+    },
+    /// AC sweep (operating point computed implicitly).
+    Ac {
+        /// Sweep frequencies (Hz).
+        freqs: Vec<f64>,
+    },
+    /// Noise analysis at the named output node (operating point
+    /// computed implicitly).
+    Noise {
+        /// Output node name.
+        output: String,
+        /// Analysis frequencies (Hz).
+        freqs: Vec<f64>,
+    },
+    /// Transient simulation.
+    Tran(TranParams),
+}
+
+/// One unit of work for the queue.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    deck: DeckSource,
+    spec: JobSpec,
+    options: Options,
+    label: String,
+}
+
+impl JobRequest {
+    /// A job running `spec` on `deck` under default options.
+    pub fn new(deck: impl Into<DeckSource>, spec: JobSpec) -> Self {
+        JobRequest {
+            deck: deck.into(),
+            spec,
+            options: Options::default(),
+            label: String::new(),
+        }
+    }
+
+    /// Replaces the job's analysis options — solver choice, lint
+    /// policy, trace sink, cancel handle, budget, stream policy
+    /// (chainable).
+    pub fn options(mut self, options: Options) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attaches a human-readable label carried into the report and any
+    /// failure (chainable).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+/// A successful job's typed result.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum JobOutput {
+    /// Operating-point solution.
+    Op(OpResult),
+    /// DC sweep waveform.
+    Dc(Waveform),
+    /// AC sweep waveform.
+    Ac(AcWaveform),
+    /// Noise spectrum.
+    Noise(Vec<NoisePoint>),
+    /// Transient result — inspect
+    /// [`status()`](ahfic_spice::analysis::TranResult::status): a
+    /// cancelled or budget-exhausted run still lands here, with the
+    /// partial waveform.
+    Tran(TranResult),
+}
+
+impl JobOutput {
+    /// The transient result, if this job ran a transient.
+    pub fn as_tran(&self) -> Option<&TranResult> {
+        match self {
+            JobOutput::Tran(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The operating-point result, if this job ran an OP.
+    pub fn as_op(&self) -> Option<&OpResult> {
+        match self {
+            JobOutput::Op(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Everything the queue reports back for one job.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct JobReport {
+    /// Zero-based position of the job in the submitted batch.
+    pub index: usize,
+    /// The label given at submission.
+    pub label: String,
+    /// The typed result, or the typed failure that killed the job.
+    pub outcome: Result<JobOutput, SampleFailure>,
+    /// Whether the deck came out of the shared cache already compiled.
+    pub cache_hit: bool,
+}
+
+impl JobReport {
+    /// Zero-based position of the job in the submitted batch.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The label given at submission.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The typed result, or the typed failure that killed the job.
+    pub fn outcome(&self) -> &Result<JobOutput, SampleFailure> {
+        &self.outcome
+    }
+
+    /// Whether the deck came out of the shared cache already compiled.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Whether the job produced a result.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// Queue tuning knobs.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct QueueConfig {
+    /// Worker threads; 0 resolves to the machine's parallelism.
+    pub threads: usize,
+    /// Compiled-deck cache capacity (decks, not bytes).
+    pub cache_capacity: usize,
+    /// Trace handle for queue-level telemetry (`job.done`,
+    /// `job.failed` counters and the cache's hit/miss/evict stream).
+    pub trace: TraceHandle,
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        QueueConfig {
+            threads: 0,
+            cache_capacity: 64,
+            trace: TraceHandle::off(),
+        }
+    }
+}
+
+impl QueueConfig {
+    /// Default configuration: auto thread count, 64-deck cache, no
+    /// tracing.
+    pub fn new() -> Self {
+        QueueConfig::default()
+    }
+
+    /// Sets the worker thread count (0 = auto, 1 = inline).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the compiled-deck cache capacity (clamped to ≥ 1).
+    pub fn cache_capacity(mut self, decks: usize) -> Self {
+        self.cache_capacity = decks.max(1);
+        self
+    }
+
+    /// Routes queue and cache telemetry to `trace`.
+    pub fn trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// A concurrent simulation job queue over one shared compile cache.
+///
+/// ```
+/// use ahfic_serve::{JobQueue, JobRequest, JobSpec, QueueConfig};
+/// use ahfic_spice::circuit::Circuit;
+///
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.vsource("V1", a, Circuit::gnd(), 2.0);
+/// ckt.resistor("R1", a, Circuit::gnd(), 1e3);
+///
+/// let queue = JobQueue::new(QueueConfig::new().threads(2));
+/// let jobs = (0..4)
+///     .map(|i| JobRequest::new(ckt.clone(), JobSpec::Op).label(format!("job {i}")))
+///     .collect();
+/// let reports = queue.run(jobs);
+/// assert!(reports.iter().all(|r| r.is_ok()));
+/// // One compile served all four jobs.
+/// assert_eq!(queue.cache_stats().compiles(), 1);
+/// ```
+#[derive(Debug)]
+pub struct JobQueue {
+    cache: Arc<PreparedCache>,
+    config: QueueConfig,
+}
+
+impl JobQueue {
+    /// A queue with its own cache sized by `config.cache_capacity`.
+    pub fn new(config: QueueConfig) -> Self {
+        let cache = Arc::new(PreparedCache::with_trace(
+            config.cache_capacity,
+            config.trace.clone(),
+        ));
+        JobQueue { cache, config }
+    }
+
+    /// A queue sharing an existing cache (e.g. with other queues or
+    /// with direct [`Session::compile_cached`] users).
+    pub fn with_cache(cache: Arc<PreparedCache>, config: QueueConfig) -> Self {
+        JobQueue { cache, config }
+    }
+
+    /// The shared compile cache.
+    pub fn cache(&self) -> &Arc<PreparedCache> {
+        &self.cache
+    }
+
+    /// Compile-cache effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs a batch of jobs across the worker pool, returning one
+    /// report per job in submission order.
+    ///
+    /// Workers claim jobs through an atomic cursor (work stealing), so
+    /// a slow transient does not serialize the queue behind it. This
+    /// call never fails as a whole: per-job errors come back as typed
+    /// failures inside the reports.
+    pub fn run(&self, jobs: Vec<JobRequest>) -> Vec<JobReport> {
+        let n = jobs.len();
+        let tr = self.config.trace.tracer();
+        let span = tr.span("serve.batch");
+        let reports: Vec<JobReport> = sample_pool_map(
+            self.config.threads,
+            n,
+            1,
+            |_| HashMap::new(),
+            |sessions, i| self.run_one_with(i, &jobs[i], sessions),
+        );
+        tr.counter("serve.jobs", n as f64);
+        tr.counter(
+            "serve.failed",
+            reports.iter().filter(|r| !r.is_ok()).count() as f64,
+        );
+        span.end();
+        reports
+    }
+
+    /// Runs one job synchronously on the caller's thread (still
+    /// through the shared cache).
+    pub fn run_one(&self, index: usize, job: &JobRequest) -> JobReport {
+        self.run_one_with(index, job, &mut HashMap::new())
+    }
+
+    /// [`JobQueue::run_one`] against a worker-local session pool keyed
+    /// by deck content, so consecutive jobs on one deck keep the
+    /// session's warmed Newton workspace alongside the cache's
+    /// operating-point hint.
+    fn run_one_with(
+        &self,
+        index: usize,
+        job: &JobRequest,
+        sessions: &mut HashMap<DeckKey, Session>,
+    ) -> JobReport {
+        let fail = |e: SpiceError| {
+            self.config.trace.tracer().counter("job.failed", 1.0);
+            JobReport {
+                index,
+                label: job.label.clone(),
+                outcome: Err(SampleFailure::new(index, job.label.clone(), e)),
+                cache_hit: false,
+            }
+        };
+        let parsed;
+        let circuit: &Circuit = match &job.deck {
+            DeckSource::Circuit(c) => c,
+            DeckSource::Netlist(text) => match parse_netlist(text) {
+                Ok(c) => {
+                    parsed = c;
+                    &parsed
+                }
+                Err(e) => return fail(e),
+            },
+        };
+        let deck = match self.cache.get_or_compile(circuit, job.options.lint) {
+            Ok(d) => d,
+            Err(e) => return fail(e),
+        };
+        let cache_hit = deck.was_hit();
+        // Check out this worker's parked session for the deck (fresh if
+        // none); the job's own options always replace whatever the
+        // previous job left installed.
+        let key = deck.key();
+        let mut sess = match sessions.remove(&key) {
+            Some(s) => s.with_options(job.options.clone()),
+            None => Session::from_arc(deck.prepared_arc()).with_options(job.options.clone()),
+        };
+        let warm = deck.op_hint();
+        // Solve the implicit operating point once for the specs that
+        // need one, warm-started from the deck's last converged
+        // solution; park the fresh solution back on the cache entry.
+        let op_for = |sess: &Session| {
+            let r = sess.op_from(warm.as_deref())?;
+            deck.store_op_hint(r.x());
+            Ok::<_, SpiceError>(r)
+        };
+        let outcome = match &job.spec {
+            JobSpec::Op => op_for(&sess).map(JobOutput::Op),
+            JobSpec::Dc { source, values } => sess.dc(source, values).map(JobOutput::Dc),
+            JobSpec::Ac { freqs } => op_for(&sess)
+                .and_then(|r| sess.ac(r.x(), freqs))
+                .map(JobOutput::Ac),
+            JobSpec::Noise { output, freqs } => match sess.prepared().circuit.find_node(output) {
+                None => Err(SpiceError::Netlist(format!("no node named {output}"))),
+                Some(node) => op_for(&sess)
+                    .and_then(|r| sess.noise(r.x(), node, freqs))
+                    .map(JobOutput::Noise),
+            },
+            JobSpec::Tran(params) => sess.tran(params).map(JobOutput::Tran),
+        };
+        // Park the session for the worker's next job on this deck. A DC
+        // sweep copies the shared deck on write, so its session is
+        // dropped rather than parked with a diverged copy; the pool is
+        // bounded so a worker churning through many decks cannot hoard
+        // memory.
+        if !matches!(job.spec, JobSpec::Dc { .. }) && sessions.len() < MAX_PARKED_SESSIONS {
+            sessions.insert(key, sess);
+        }
+        let tr = self.config.trace.tracer();
+        match outcome {
+            Ok(out) => {
+                tr.counter("job.done", 1.0);
+                JobReport {
+                    index,
+                    label: job.label.clone(),
+                    outcome: Ok(out),
+                    cache_hit,
+                }
+            }
+            Err(e) => {
+                tr.counter("job.failed", 1.0);
+                JobReport {
+                    index,
+                    label: job.label.clone(),
+                    outcome: Err(SampleFailure::new(index, job.label.clone(), e)),
+                    cache_hit,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahfic_spice::analysis::{Budget, CancelToken};
+    use ahfic_trace::InMemorySink;
+
+    fn divider(r2: f64) -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("V1", a, Circuit::gnd(), 2.0);
+        c.resistor("R1", a, b, 1e3);
+        c.resistor("R2", b, Circuit::gnd(), r2);
+        c
+    }
+
+    fn rc_tran_deck() -> Circuit {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let out = c.node("out");
+        c.vsource_wave(
+            "V1",
+            a,
+            Circuit::gnd(),
+            ahfic_spice::wave::SourceWave::Sin {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 1e6,
+                delay: 0.0,
+                damping: 0.0,
+                phase_deg: 0.0,
+            },
+        );
+        c.resistor("R1", a, out, 1e3);
+        c.capacitor("C1", out, Circuit::gnd(), 1e-9);
+        c
+    }
+
+    #[test]
+    fn batch_shares_one_compile_and_keeps_order() {
+        let queue = JobQueue::new(QueueConfig::new().threads(4));
+        let jobs: Vec<JobRequest> = (0..16)
+            .map(|i| JobRequest::new(divider(1e3), JobSpec::Op).label(format!("j{i}")))
+            .collect();
+        let reports = queue.run(jobs);
+        assert_eq!(reports.len(), 16);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(r.label(), format!("j{i}"));
+            assert!(r.is_ok(), "{:?}", r.outcome);
+        }
+        assert_eq!(queue.cache_stats().compiles(), 1);
+        assert!(reports.iter().filter(|r| r.cache_hit()).count() >= 15);
+    }
+
+    #[test]
+    fn netlist_in_typed_results_out() {
+        let good = "* divider\nV1 a 0 2.0\nR1 a b 1k\nR2 b 0 1k\n.end\n";
+        let bad = "* broken\nR1 a b notanumber\n.end\n";
+        let queue = JobQueue::new(QueueConfig::new().threads(1));
+        let reports = queue.run(vec![
+            JobRequest::new(good, JobSpec::Op).label("good"),
+            JobRequest::new(bad, JobSpec::Op).label("bad"),
+        ]);
+        assert!(reports[0].is_ok());
+        let failure = reports[1].outcome().as_ref().unwrap_err();
+        assert_eq!(failure.index, 1);
+        assert_eq!(failure.label, "bad");
+    }
+
+    #[test]
+    fn mixed_specs_return_matching_outputs() {
+        let queue = JobQueue::new(QueueConfig::new().threads(2));
+        let reports = queue.run(vec![
+            JobRequest::new(divider(1e3), JobSpec::Op),
+            JobRequest::new(
+                divider(1e3),
+                JobSpec::Dc {
+                    source: "V1".into(),
+                    values: vec![1.0, 2.0, 3.0],
+                },
+            ),
+            JobRequest::new(rc_tran_deck(), JobSpec::Tran(TranParams::new(2e-6, 10e-9))),
+        ]);
+        assert!(matches!(
+            reports[0].outcome().as_ref().unwrap(),
+            JobOutput::Op(_)
+        ));
+        match reports[1].outcome().as_ref().unwrap() {
+            JobOutput::Dc(w) => assert_eq!(w.len(), 3),
+            other => panic!("expected Dc, got {other:?}"),
+        }
+        let t = reports[2].outcome().as_ref().unwrap().as_tran().unwrap();
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn cancelled_job_degrades_to_typed_partial() {
+        let token = CancelToken::new();
+        token.cancel();
+        let queue = JobQueue::new(QueueConfig::new().threads(1));
+        // `with_uic` skips the initial operating point, so the
+        // pre-cancelled token is seen at the first timestep boundary
+        // and the job degrades to a typed partial instead of an error.
+        let reports = queue.run(vec![JobRequest::new(
+            rc_tran_deck(),
+            JobSpec::Tran(TranParams::new(2e-6, 10e-9).with_uic()),
+        )
+        .options(Options::new().cancel_token(&token))]);
+        let t = reports[0].outcome().as_ref().unwrap().as_tran().unwrap();
+        assert!(
+            matches!(t.status(), TranStatus::Cancelled { .. }),
+            "{:?}",
+            t.status()
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_a_typed_failure_for_op() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::gnd(), 0.7);
+        let dm = c.add_diode_model(ahfic_spice::model::DiodeModel::default());
+        c.diode("D1", a, Circuit::gnd(), dm, 1.0);
+        let queue = JobQueue::new(QueueConfig::new().threads(1));
+        let reports = queue.run(vec![JobRequest::new(c, JobSpec::Op)
+            .label("starved")
+            .options(
+                Options::new()
+                    .max_newton(1)
+                    .budget(Budget::unlimited().max_newton(1)),
+            )]);
+        let failure = reports[0].outcome().as_ref().unwrap_err();
+        assert!(failure.error.is_abort(), "{:?}", failure.error);
+    }
+
+    #[test]
+    fn queue_trace_counts_jobs() {
+        let sink = Arc::new(InMemorySink::new());
+        let queue = JobQueue::new(QueueConfig::new().threads(1).trace(TraceHandle::new(&sink)));
+        queue.run(vec![
+            JobRequest::new(divider(1e3), JobSpec::Op),
+            JobRequest::new("R1 a b notanumber\n", JobSpec::Op),
+        ]);
+        let recs = sink.records();
+        let total = |name: &str| {
+            recs.iter()
+                .filter(|r| r.name == name)
+                .map(|r| r.value)
+                .sum::<f64>()
+        };
+        assert_eq!(total("job.done"), 1.0);
+        assert_eq!(total("job.failed"), 1.0);
+        assert_eq!(total("serve.jobs"), 2.0);
+        // The cache reports through the same handle.
+        assert_eq!(total("cache.miss"), 1.0);
+    }
+
+    #[test]
+    fn warm_start_hint_cuts_second_job_iterations() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::gnd(), 0.75);
+        let dm = c.add_diode_model(ahfic_spice::model::DiodeModel::default());
+        c.diode("D1", a, Circuit::gnd(), dm, 1.0);
+        c.resistor("R1", a, Circuit::gnd(), 10e3);
+        let queue = JobQueue::new(QueueConfig::new().threads(1));
+        let first = queue.run_one(0, &JobRequest::new(c.clone(), JobSpec::Op));
+        let second = queue.run_one(1, &JobRequest::new(c, JobSpec::Op));
+        let iters = |r: &JobReport| r.outcome().as_ref().unwrap().as_op().unwrap().iterations();
+        assert!(
+            iters(&second) <= iters(&first),
+            "warm start must not cost iterations: {} vs {}",
+            iters(&second),
+            iters(&first)
+        );
+    }
+}

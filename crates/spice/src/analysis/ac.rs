@@ -49,7 +49,20 @@ pub fn assemble_ac<M: MnaSink<Complex>>(
 ///
 /// [`SpiceError::BadAnalysis`] for an empty frequency list,
 /// [`SpiceError::Singular`] if the admittance matrix is singular.
+#[deprecated(note = "use Session::ac — Session is the primary analysis entry point")]
 pub fn ac_sweep(
+    prep: &Prepared,
+    x_op: &[f64],
+    opts: &Options,
+    freqs: &[f64],
+) -> Result<AcWaveform> {
+    ac_sweep_impl(prep, x_op, opts, freqs)
+}
+
+/// Crate-internal canonical AC-sweep entry (what
+/// [`Session::ac`](crate::analysis::Session::ac) and the deprecated
+/// free [`ac_sweep`] both call).
+pub(crate) fn ac_sweep_impl(
     prep: &Prepared,
     x_op: &[f64],
     opts: &Options,
@@ -111,9 +124,20 @@ pub fn ac_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::op::op;
+    use crate::analysis::op::op_eval as op;
     use crate::circuit::Circuit;
     use ahfic_num::interp::logspace;
+
+    /// Test shim over the canonical entry (shadows the deprecated free
+    /// function of the same name).
+    fn ac_sweep(
+        prep: &Prepared,
+        x_op: &[f64],
+        opts: &Options,
+        freqs: &[f64],
+    ) -> Result<AcWaveform> {
+        ac_sweep_impl(prep, x_op, opts, freqs)
+    }
 
     fn run_ac(ckt: Circuit, freqs: &[f64]) -> (Prepared, AcWaveform) {
         let prep = Prepared::compile(&ckt).unwrap();

@@ -21,7 +21,7 @@
 
 use crate::analysis::ac::assemble_ac;
 use crate::analysis::fault::FaultKind;
-use crate::analysis::op::{op_from, OpResult};
+use crate::analysis::op::{op_from_eval as op_from, OpResult};
 use crate::analysis::solver::{singular_unknown, SolverWorkspace};
 use crate::analysis::stamp::{
     real_pattern, stamp_linear, stamp_nonlinear, MnaSink, Mode, NonlinMemory, Options, PatternProbe,
@@ -292,7 +292,7 @@ struct OpState {
 /// index before that lane is stamped — every iteration, so tuned
 /// parameters may feed nonlinear stamps too. Lanes converge and freeze
 /// individually; lanes that leave the fast path (see the module docs)
-/// are re-solved with the sequential [`op_from`] ladder, so results
+/// are re-solved with the sequential `op_from` ladder, so results
 /// match the sequential path's semantics sample for sample.
 ///
 /// The engine is tied to one [`Prepared`] circuit structure; reusing it
@@ -821,7 +821,7 @@ fn sequential_ac_solve(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::op::op;
+    use crate::analysis::op::op_eval as op;
     use crate::analysis::solver::SolverChoice;
     use crate::analysis::stamp::BatchMode;
     use crate::circuit::Circuit;
@@ -938,7 +938,7 @@ mod tests {
     /// tune-failed one.
     #[test]
     fn ac_engine_matches_ac_sweep() {
-        use crate::analysis::ac::ac_sweep;
+        use crate::analysis::ac::ac_sweep_impl as ac_sweep;
         let (mut prep, r) = divider();
         let opts = Options::new().solver(SolverChoice::Sparse);
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);

@@ -1,0 +1,286 @@
+//! Cooperative cancellation and per-job resource budgets.
+//!
+//! The serving layer hands every analysis a [`CancelToken`] and a
+//! [`Budget`] through [`Options`](crate::analysis::Options): the token is
+//! polled at Newton-iteration and transient-timestep boundaries (never
+//! inside a factorization), so a cancelled job stops within one solver
+//! step; the budget bounds how much work one job may burn before it is
+//! degraded to a typed report instead of starving its worker thread.
+//!
+//! Both are zero-cost when unset: the default [`CancelHandle::off`] and
+//! [`Budget::unlimited`] make every poll site a single not-taken branch,
+//! mirroring the `TraceHandle`/`FaultHandle` pattern.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation flag shared between a job's submitter and
+/// the analysis running it.
+///
+/// Clones observe the same flag; [`CancelToken::cancel`] is sticky
+/// (there is no un-cancel). Install it into analysis options with
+/// [`Options::cancel_token`](crate::analysis::Options::cancel_token).
+///
+/// ```
+/// use ahfic_spice::analysis::CancelToken;
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Analyses observe it at their next Newton
+    /// iteration or timestep boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// An options-ready handle observing this token.
+    pub fn handle(&self) -> CancelHandle {
+        CancelHandle {
+            inner: Some(Arc::clone(&self.flag)),
+        }
+    }
+}
+
+/// Shared handle to an optional [`CancelToken`], stored inside
+/// [`Options`](crate::analysis::Options).
+///
+/// Equality compares only whether cancellation is wired up (mirroring
+/// `TraceHandle`/`FaultHandle`), so `Options` keeps a useful
+/// `PartialEq`.
+#[derive(Clone, Default)]
+pub struct CancelHandle {
+    inner: Option<Arc<AtomicBool>>,
+}
+
+impl CancelHandle {
+    /// A disabled handle: every poll site is a single not-taken branch.
+    pub const fn off() -> Self {
+        CancelHandle { inner: None }
+    }
+
+    /// Wraps a token for installation into options.
+    pub fn new(token: &CancelToken) -> Self {
+        token.handle()
+    }
+
+    /// Whether a token is installed.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Whether cancellation has been requested (`false` when no token is
+    /// installed).
+    #[inline]
+    pub fn cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(flag) => flag.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for CancelHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelHandle")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl PartialEq for CancelHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.enabled() == other.enabled()
+    }
+}
+
+/// Per-analysis resource budget, enforced at solver boundaries.
+///
+/// Limits degrade a runaway job to a typed
+/// [`SpiceError::BudgetExhausted`](crate::error::SpiceError::BudgetExhausted)
+/// (or, for transients, a partial
+/// [`TranResult`](crate::analysis::TranResult)) instead of letting it
+/// monopolize a serving worker. The struct is `#[non_exhaustive]`:
+/// construct it with [`Budget::unlimited`] and tighten through the
+/// builder methods.
+///
+/// ```
+/// use ahfic_spice::analysis::Budget;
+/// let b = Budget::unlimited().max_newton(500).max_steps(10_000);
+/// assert_eq!(b.max_newton, Some(500));
+/// assert_eq!(b.max_lanes, None);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Budget {
+    /// Cumulative Newton-iteration cap per analysis call (summed across
+    /// continuation rungs and transient steps). `None` = unlimited.
+    pub max_newton: Option<u64>,
+    /// Cap on transient steps attempted (accepted plus rejected).
+    /// `None` = unlimited.
+    pub max_steps: Option<u64>,
+    /// Cap on batched-engine SoA lanes, clamping
+    /// [`BatchMode`](crate::analysis::BatchMode) requests. `None` =
+    /// unlimited.
+    pub max_lanes: Option<usize>,
+}
+
+impl Budget {
+    /// No limits — the default.
+    pub const fn unlimited() -> Self {
+        Budget {
+            max_newton: None,
+            max_steps: None,
+            max_lanes: None,
+        }
+    }
+
+    /// Caps cumulative Newton iterations per analysis call.
+    pub fn max_newton(mut self, limit: u64) -> Self {
+        self.max_newton = Some(limit);
+        self
+    }
+
+    /// Caps transient steps attempted (accepted plus rejected).
+    pub fn max_steps(mut self, limit: u64) -> Self {
+        self.max_steps = Some(limit);
+        self
+    }
+
+    /// Caps batched-engine lane requests.
+    pub fn max_lanes(mut self, limit: usize) -> Self {
+        self.max_lanes = Some(limit.max(1));
+        self
+    }
+
+    /// Whether any limit is set.
+    pub fn limited(&self) -> bool {
+        self.max_newton.is_some() || self.max_steps.is_some() || self.max_lanes.is_some()
+    }
+
+    /// Clamps a requested lane count to the budget.
+    #[inline]
+    pub fn clamp_lanes(&self, lanes: usize) -> usize {
+        match self.max_lanes {
+            None => lanes,
+            Some(cap) => lanes.min(cap),
+        }
+    }
+
+    /// Whether `spent` Newton iterations exceed the cap.
+    #[inline]
+    pub(crate) fn newton_exhausted(&self, spent: u64) -> Option<u64> {
+        match self.max_newton {
+            Some(limit) if spent >= limit => Some(limit),
+            _ => None,
+        }
+    }
+
+    /// Whether `spent` transient steps exceed the cap.
+    #[inline]
+    pub(crate) fn steps_exhausted(&self, spent: u64) -> Option<u64> {
+        match self.max_steps {
+            Some(limit) if spent >= limit => Some(limit),
+            _ => None,
+        }
+    }
+}
+
+/// Incremental-progress streaming policy for long transients
+/// ([`Options::stream`](crate::analysis::Options::stream)).
+///
+/// When enabled (and a trace sink is installed), the transient engine
+/// emits a `progress.tran.*` record chunk every N accepted steps over
+/// the ordinary trace path, so a `JsonLinesSink` client observes a long
+/// run live instead of waiting for the final waveform.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StreamPolicy {
+    /// No progress records — the default.
+    #[default]
+    Off,
+    /// Emit a progress chunk every `n` accepted steps (clamped to ≥ 1).
+    EverySteps(usize),
+}
+
+impl StreamPolicy {
+    /// The accepted-step cadence, or `None` when streaming is off.
+    pub fn every(self) -> Option<usize> {
+        match self {
+            StreamPolicy::Off => None,
+            StreamPolicy::EverySteps(n) => Some(n.max(1)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled() && !c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled() && c.is_cancelled());
+    }
+
+    #[test]
+    fn handle_off_never_reports_cancelled() {
+        let h = CancelHandle::off();
+        assert!(!h.enabled());
+        assert!(!h.cancelled());
+        assert_eq!(h, CancelHandle::default());
+    }
+
+    #[test]
+    fn handle_observes_token() {
+        let t = CancelToken::new();
+        let h = CancelHandle::new(&t);
+        assert!(h.enabled() && !h.cancelled());
+        t.cancel();
+        assert!(h.cancelled());
+        assert_ne!(h, CancelHandle::off());
+        assert!(format!("{h:?}").contains("enabled: true"));
+    }
+
+    #[test]
+    fn budget_builders_and_checks() {
+        let b = Budget::unlimited();
+        assert!(!b.limited());
+        assert_eq!(b.newton_exhausted(u64::MAX), None);
+        assert_eq!(b.clamp_lanes(64), 64);
+        let b = b.max_newton(10).max_steps(5).max_lanes(4);
+        assert!(b.limited());
+        assert_eq!(b.newton_exhausted(9), None);
+        assert_eq!(b.newton_exhausted(10), Some(10));
+        assert_eq!(b.steps_exhausted(5), Some(5));
+        assert_eq!(b.clamp_lanes(64), 4);
+        assert_eq!(Budget::unlimited().max_lanes(0).clamp_lanes(64), 1);
+    }
+
+    #[test]
+    fn stream_policy_cadence() {
+        assert_eq!(StreamPolicy::Off.every(), None);
+        assert_eq!(StreamPolicy::EverySteps(8).every(), Some(8));
+        assert_eq!(StreamPolicy::EverySteps(0).every(), Some(1));
+        assert_eq!(StreamPolicy::default(), StreamPolicy::Off);
+    }
+}

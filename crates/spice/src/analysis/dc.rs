@@ -19,7 +19,20 @@ use crate::wave::Waveform;
 ///
 /// [`SpiceError::BadAnalysis`] for an empty sweep; netlist errors if the
 /// source does not exist; OP failures at any point.
+#[deprecated(note = "use Session::dc — Session is the primary analysis entry point")]
 pub fn dc_sweep(
+    prep: &mut Prepared,
+    opts: &Options,
+    source: &str,
+    values: &[f64],
+) -> Result<Waveform> {
+    dc_sweep_impl(prep, opts, source, values)
+}
+
+/// Crate-internal canonical DC-sweep entry (what
+/// [`Session::dc`](crate::analysis::Session::dc) and the deprecated
+/// free [`dc_sweep`] both call).
+pub(crate) fn dc_sweep_impl(
     prep: &mut Prepared,
     opts: &Options,
     source: &str,
@@ -44,7 +57,7 @@ pub fn dc_sweep(
         out.push_signal(name);
     }
     let mut result = Ok(());
-    if let Some(lanes) = opts.batch.lanes() {
+    if let Some(lanes) = opts.batch.lanes().map(|l| opts.budget.clamp_lanes(l)) {
         // Batched path: chunks of up to `lanes` points solved in
         // lockstep over one shared pattern and factor chain. Each chunk
         // warm-starts from the previous chunk's last solution, so a
@@ -101,6 +114,17 @@ mod tests {
     use crate::circuit::Circuit;
     use crate::model::DiodeModel;
     use ahfic_num::interp::linspace;
+
+    /// Test shim over the canonical entry (shadows the deprecated free
+    /// function of the same name).
+    fn dc_sweep(
+        prep: &mut Prepared,
+        opts: &Options,
+        source: &str,
+        values: &[f64],
+    ) -> Result<Waveform> {
+        dc_sweep_impl(prep, opts, source, values)
+    }
 
     #[test]
     fn linear_sweep_is_proportional() {

@@ -10,6 +10,8 @@ pub mod ac;
 #[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod batched;
 #[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+pub mod control;
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod dc;
 pub mod fault;
 pub mod noise;
@@ -26,15 +28,24 @@ pub mod stamp;
 #[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod tran;
 
+#[allow(deprecated)]
 pub use ac::ac_sweep;
 pub use batched::{BatchedAcEngine, BatchedOpEngine, BatchedWorkspace};
+pub use control::{Budget, CancelHandle, CancelToken, StreamPolicy};
+#[allow(deprecated)]
 pub use dc::dc_sweep;
 pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultTrigger};
-pub use noise::{noise_analysis, NoiseContribution, NoisePoint};
-pub use op::{bjt_operating, op, op_from, OpResult};
+#[allow(deprecated)]
+pub use noise::noise_analysis;
+pub use noise::{NoiseContribution, NoisePoint};
+pub use op::{bjt_operating, OpResult};
+#[allow(deprecated)]
+pub use op::{op, op_from};
 pub use pool::sample_pool_map;
 pub use report::{lint_report, op_report};
 pub use session::Session;
 pub use solver::{SolverChoice, SolverWorkspace};
 pub use stamp::{BatchMode, LadderConfig, Options};
-pub use tran::{tran, TranParams};
+#[allow(deprecated)]
+pub use tran::tran;
+pub use tran::{TranParams, TranResult, TranStatus};

@@ -21,7 +21,10 @@ use ahfic_num::Complex;
 pub use crate::devices::{KB, Q};
 
 /// One device's contribution at one frequency.
+///
+/// `#[non_exhaustive]`: constructed only by the analysis.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct NoiseContribution {
     /// Element name.
     pub element: String,
@@ -31,8 +34,28 @@ pub struct NoiseContribution {
     pub output_density: f64,
 }
 
+impl NoiseContribution {
+    /// Element name.
+    pub fn element(&self) -> &str {
+        &self.element
+    }
+
+    /// Generator label (`thermal`, `shot-ic`, `shot-ib`, …).
+    pub fn generator(&self) -> &'static str {
+        self.generator
+    }
+
+    /// Contribution to the output noise voltage density (V²/Hz).
+    pub fn output_density(&self) -> f64 {
+        self.output_density
+    }
+}
+
 /// Noise at one frequency point.
+///
+/// `#[non_exhaustive]`: constructed only by the analysis.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub struct NoisePoint {
     /// Frequency (Hz).
     pub freq: f64,
@@ -46,6 +69,21 @@ impl NoisePoint {
     /// RMS output noise voltage density (V/√Hz).
     pub fn output_rms_density(&self) -> f64 {
         self.output_density.sqrt()
+    }
+
+    /// Frequency (Hz).
+    pub fn freq(&self) -> f64 {
+        self.freq
+    }
+
+    /// Total output noise voltage density (V²/Hz).
+    pub fn output_density(&self) -> f64 {
+        self.output_density
+    }
+
+    /// Per-generator breakdown, largest first.
+    pub fn contributions(&self) -> &[NoiseContribution] {
+        &self.contributions
     }
 }
 
@@ -70,7 +108,21 @@ fn collect_generators(prep: &Prepared, x_op: &[f64], opts: &Options) -> Vec<Nois
 ///
 /// [`SpiceError::Measure`] for a ground output node; propagates AC
 /// assembly/solve failures.
+#[deprecated(note = "use Session::noise — Session is the primary analysis entry point")]
 pub fn noise_analysis(
+    prep: &Prepared,
+    x_op: &[f64],
+    opts: &Options,
+    output: NodeId,
+    freqs: &[f64],
+) -> Result<Vec<NoisePoint>> {
+    noise_impl(prep, x_op, opts, output, freqs)
+}
+
+/// Crate-internal canonical noise entry (what
+/// [`Session::noise`](crate::analysis::Session::noise) and the
+/// deprecated free [`noise_analysis`] both call).
+pub(crate) fn noise_impl(
     prep: &Prepared,
     x_op: &[f64],
     opts: &Options,
@@ -153,10 +205,22 @@ pub fn noise_analysis(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::op;
     use crate::analysis::op::bjt_operating;
+    use crate::analysis::op::op_eval as op;
     use crate::circuit::Circuit;
     use crate::model::BjtModel;
+
+    /// Test shim over the canonical entry (shadows the deprecated free
+    /// function of the same name).
+    fn noise_analysis(
+        prep: &Prepared,
+        x_op: &[f64],
+        opts: &Options,
+        output: NodeId,
+        freqs: &[f64],
+    ) -> Result<Vec<NoisePoint>> {
+        noise_impl(prep, x_op, opts, output, freqs)
+    }
 
     #[test]
     fn resistor_divider_noise_matches_4ktr_parallel() {

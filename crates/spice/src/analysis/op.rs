@@ -13,12 +13,34 @@ use crate::error::{ConvergenceReport, Result, RungReport, SpiceError, WorstUnkno
 use ahfic_trace::ContinuationStats;
 
 /// Converged operating point.
+///
+/// `#[non_exhaustive]`: more diagnostic fields may grow here; construct
+/// one only through the analysis entry points and read it through the
+/// fields or the accessor methods.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct OpResult {
     /// Solution vector (node voltages then branch currents).
     pub x: Vec<f64>,
     /// Newton iterations spent (total across continuation stages).
     pub iterations: usize,
+}
+
+impl OpResult {
+    /// The solution vector (node voltages then branch currents).
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Consumes the result, returning the solution vector.
+    pub fn into_x(self) -> Vec<f64> {
+        self.x
+    }
+
+    /// Newton iterations spent (total across continuation stages).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
 }
 
 /// Per-call Newton configuration: the knobs the continuation ladder
@@ -88,6 +110,22 @@ fn error_worst(e: &SpiceError) -> Vec<WorstUnknown> {
         .unwrap_or_default()
 }
 
+/// Errors out with a typed [`SpiceError::BudgetExhausted`] once `spent`
+/// cumulative Newton iterations cross the per-call budget, so a hard
+/// deck degrades to a report between continuation stages instead of
+/// burning the whole ladder.
+fn budget_gate(opts: &Options, spent: usize) -> Result<()> {
+    match opts.budget.newton_exhausted(spent as u64) {
+        None => Ok(()),
+        Some(limit) => Err(SpiceError::BudgetExhausted {
+            analysis: "op",
+            resource: "newton_iterations",
+            limit,
+            spent: spent as u64,
+        }),
+    }
+}
+
 /// Runs one Newton solve in the given mode, reusing `ws` for assembly,
 /// factorization, and solution buffers — no heap allocation inside the
 /// iteration loop beyond the returned solution vector.
@@ -122,6 +160,15 @@ pub(crate) fn newton_solve(
         ws.preset_pattern(&pat);
     }
     for iter in 1..=opts.max_newton {
+        // Cooperative-cancellation poll: one not-taken branch when no
+        // token is installed, and the only place an OP-family solve can
+        // be cancelled (never inside a factorization).
+        if opts.cancel.cancelled() {
+            return Err(SpiceError::Cancelled {
+                analysis: "newton",
+                time: None,
+            });
+        }
         loop {
             if !(replay && ws.restore()) {
                 ws.kernel.reset();
@@ -240,8 +287,9 @@ pub(crate) fn newton_solve(
 /// [`SpiceError::NoConvergence`] (carrying a
 /// [`ConvergenceReport`]) when every
 /// strategy fails.
+#[deprecated(note = "use Session::op — Session is the primary analysis entry point")]
 pub fn op(prep: &Prepared, opts: &Options) -> Result<OpResult> {
-    op_from(prep, opts, None)
+    op_eval(prep, opts)
 }
 
 /// Operating point warm-started from a previous solution (used by sweeps).
@@ -249,7 +297,25 @@ pub fn op(prep: &Prepared, opts: &Options) -> Result<OpResult> {
 /// # Errors
 ///
 /// Same as [`op`].
+#[deprecated(note = "use Session::op_from — Session is the primary analysis entry point")]
 pub fn op_from(prep: &Prepared, opts: &Options, x0: Option<&[f64]>) -> Result<OpResult> {
+    op_from_eval(prep, opts, x0)
+}
+
+/// Crate-internal canonical operating-point entry (what [`Session::op`]
+/// and the deprecated free [`op`] both call).
+///
+/// [`Session::op`]: crate::analysis::Session::op
+pub(crate) fn op_eval(prep: &Prepared, opts: &Options) -> Result<OpResult> {
+    op_from_eval(prep, opts, None)
+}
+
+/// Crate-internal warm-started operating point.
+pub(crate) fn op_from_eval(
+    prep: &Prepared,
+    opts: &Options,
+    x0: Option<&[f64]>,
+) -> Result<OpResult> {
     let mut ws = SolverWorkspace::new(prep.num_unknowns, opts.solver);
     op_from_ws(prep, opts, x0, &mut ws)
 }
@@ -324,9 +390,13 @@ fn op_strategies(
             // try one damped pass before giving up.
             let mut mem = NonlinMemory::new(prep);
             let cfg = NewtonCfg::with_gmin(1e-9);
-            if let Ok((x, it)) = newton_solve(prep, opts, &mode, &mut mem, start, ws, &cfg) {
-                stats.newton_iterations += it as u64;
-                return Ok(OpResult { x, iterations: it });
+            match newton_solve(prep, opts, &mode, &mut mem, start, ws, &cfg) {
+                Ok((x, it)) => {
+                    stats.newton_iterations += it as u64;
+                    return Ok(OpResult { x, iterations: it });
+                }
+                Err(e) if e.is_abort() => return Err(e),
+                Err(_) => {}
             }
             // Post-mortem: when the circuit was compiled with lint off
             // (or the defect is value-induced), re-run the static
@@ -339,6 +409,9 @@ fn op_strategies(
             return Err(SpiceError::Singular { unknown });
         }
         Err(e) => {
+            if e.is_abort() {
+                return Err(e);
+            }
             let it = error_iterations(&e);
             total_iters += it;
             stats.newton_iterations += it as u64;
@@ -353,6 +426,7 @@ fn op_strategies(
             );
         }
     }
+    budget_gate(opts, total_iters)?;
 
     // 2. Adaptive damped Newton: full Jacobian, fractional updates.
     if opts.ladder.damping {
@@ -368,6 +442,9 @@ fn op_strategies(
                 });
             }
             Err(e) => {
+                if e.is_abort() {
+                    return Err(e);
+                }
                 let it = error_iterations(&e);
                 total_iters += it;
                 stats.newton_iterations += it as u64;
@@ -383,6 +460,7 @@ fn op_strategies(
                 );
             }
         }
+        budget_gate(opts, total_iters)?;
     }
 
     // 3. Gmin stepping.
@@ -412,6 +490,9 @@ fn op_strategies(
                     x = xs;
                 }
                 Err(e) => {
+                    if e.is_abort() {
+                        return Err(e);
+                    }
                     rung_iters += error_iterations(&e);
                     stats.newton_iterations += error_iterations(&e) as u64;
                     if matches!(e, SpiceError::NonFinite { .. }) {
@@ -421,6 +502,7 @@ fn op_strategies(
                     break;
                 }
             }
+            budget_gate(opts, total_iters + rung_iters)?;
         }
         total_iters += rung_iters;
         match stalled {
@@ -465,6 +547,9 @@ fn op_strategies(
                     step = (step * 1.5).min(0.25);
                 }
                 Err(e) => {
+                    if e.is_abort() {
+                        return Err(e);
+                    }
                     rung_iters += error_iterations(&e);
                     stats.newton_iterations += error_iterations(&e) as u64;
                     if matches!(e, SpiceError::NonFinite { .. }) {
@@ -478,6 +563,7 @@ fn op_strategies(
                     }
                 }
             }
+            budget_gate(opts, total_iters + rung_iters)?;
         }
         total_iters += rung_iters;
         match gave_up {
@@ -499,7 +585,7 @@ fn op_strategies(
     // node to an anchor, relaxed toward zero.
     if opts.ladder.ptran {
         stats.rungs_attempted += 1;
-        match ptran_homotopy(prep, opts, &mode, start, ws, stats) {
+        match ptran_homotopy(prep, opts, &mode, start, ws, stats, total_iters) {
             Ok((x, it)) => {
                 total_iters += it;
                 return Ok(OpResult {
@@ -509,6 +595,9 @@ fn op_strategies(
             }
             Err((r, e, it)) => {
                 total_iters += it;
+                if e.is_abort() {
+                    return Err(e);
+                }
                 fail(&mut rungs, &mut worst, r, &e);
             }
         }
@@ -532,7 +621,7 @@ fn op_strategies(
 /// Returns `(solution, iterations)` or `(rung report, last error,
 /// iterations)` so the caller can fold the failure into its ladder
 /// report.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::result_large_err)]
 fn ptran_homotopy(
     prep: &Prepared,
     opts: &Options,
@@ -540,6 +629,7 @@ fn ptran_homotopy(
     start: &[f64],
     ws: &mut SolverWorkspace<f64>,
     stats: &mut ContinuationStats,
+    base_iters: usize,
 ) -> std::result::Result<(Vec<f64>, usize), (RungReport, SpiceError, usize)> {
     const G_START: f64 = 1.0;
     const G_STOP: f64 = 1e-12;
@@ -561,6 +651,10 @@ fn ptran_homotopy(
     };
 
     while steps < MAX_STEPS {
+        if let Err(e) = budget_gate(opts, base_iters + rung_iters) {
+            last_err = e;
+            break;
+        }
         steps += 1;
         stats.ptran_steps += 1;
         let cfg = NewtonCfg {
@@ -615,6 +709,10 @@ fn ptran_homotopy(
                 g *= if fast { 0.2 } else { 0.5 };
             }
             Err(e) => {
+                if e.is_abort() {
+                    last_err = e;
+                    break;
+                }
                 rung_iters += error_iterations(&e);
                 stats.newton_iterations += error_iterations(&e) as u64;
                 if matches!(e, SpiceError::NonFinite { .. }) {
@@ -664,6 +762,16 @@ mod tests {
 
     fn opts() -> Options {
         Options::default()
+    }
+
+    /// Test shims over the canonical entries (shadow the deprecated
+    /// free functions of the same names).
+    fn op(prep: &Prepared, o: &Options) -> Result<OpResult> {
+        op_eval(prep, o)
+    }
+
+    fn op_from(prep: &Prepared, o: &Options, x0: Option<&[f64]>) -> Result<OpResult> {
+        op_from_eval(prep, o, x0)
     }
 
     #[test]
@@ -841,6 +949,56 @@ mod tests {
         let v2 = prep.voltage(&r.x, n2);
         assert!((v1 - 1.4).abs() < 0.1, "v1 = {v1}");
         assert!((v2 - 0.7).abs() < 0.05, "v2 = {v2}");
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_op() {
+        use crate::analysis::control::CancelToken;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::gnd(), 1.0);
+        c.resistor("R1", a, Circuit::gnd(), 1e3);
+        let prep = Prepared::compile(&c).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let o = Options::default().cancel_token(&token);
+        match op(&prep, &o) {
+            Err(SpiceError::Cancelled { .. }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // The same options without the cancel still solve.
+        assert!(op(&prep, &Options::default()).is_ok());
+    }
+
+    #[test]
+    fn newton_budget_degrades_to_typed_report() {
+        use crate::analysis::control::Budget;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let d = c.node("d");
+        c.vsource("V1", a, Circuit::gnd(), 5.0);
+        c.resistor("R1", a, d, 1e3);
+        let dm = c.add_diode_model(DiodeModel::default());
+        c.diode("D1", d, Circuit::gnd(), dm, 1.0);
+        let prep = Prepared::compile(&c).unwrap();
+        // One Newton iteration is not enough for a cold diode solve, so
+        // the ladder would normally walk further rungs; the budget stops
+        // it right after the first rung with a typed error.
+        let o = Options::default()
+            .max_newton(1)
+            .budget(Budget::unlimited().max_newton(1));
+        match op(&prep, &o) {
+            Err(SpiceError::BudgetExhausted {
+                analysis, resource, ..
+            }) => {
+                assert_eq!(analysis, "op");
+                assert_eq!(resource, "newton_iterations");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // A generous budget does not perturb the solve.
+        let o = Options::default().budget(Budget::unlimited().max_newton(10_000));
+        assert!(op(&prep, &o).is_ok());
     }
 
     #[test]

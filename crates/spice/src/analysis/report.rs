@@ -98,7 +98,7 @@ pub fn lint_report(report: &LintReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::op;
+    use crate::analysis::op::op_eval as op;
     use crate::circuit::Circuit;
     use crate::model::BjtModel;
 

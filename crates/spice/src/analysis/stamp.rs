@@ -11,6 +11,7 @@
 //! `real_pattern` runs the same walk through a `PatternProbe` to
 //! declare the sparsity pattern to the solver up front.
 
+use crate::analysis::control::{Budget, CancelHandle, CancelToken, StreamPolicy};
 use crate::analysis::fault::{FaultHandle, FaultInjector};
 use crate::analysis::solver::SolverChoice;
 use crate::circuit::Prepared;
@@ -117,6 +118,17 @@ pub struct Options {
     /// pins everything on the calling thread for deterministic
     /// debugging and CI.
     pub threads: usize,
+    /// Cooperative cancellation; [`CancelHandle::off`] (the default)
+    /// makes every poll site a single not-taken branch. Polled at
+    /// Newton-iteration and transient-timestep boundaries.
+    pub cancel: CancelHandle,
+    /// Per-analysis resource budget (Newton iterations, transient
+    /// steps, batch lanes). Unlimited by default; see
+    /// [`Budget`].
+    pub budget: Budget,
+    /// Incremental transient-progress streaming over the trace path.
+    /// Off by default; see [`StreamPolicy`].
+    pub stream: StreamPolicy,
 }
 
 /// Batched-execution mode for variant studies ([`Options::batch`]).
@@ -170,6 +182,9 @@ impl Default for Options {
             lint: LintPolicy::default(),
             batch: BatchMode::Off,
             threads: 0,
+            cancel: CancelHandle::off(),
+            budget: Budget::unlimited(),
+            stream: StreamPolicy::Off,
         }
     }
 }
@@ -332,6 +347,39 @@ impl Options {
     /// Sets the worker-thread budget (`0` = auto-detect).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Installs a cooperative [`CancelToken`], polled at every
+    /// Newton-iteration and transient-timestep boundary. Off by default
+    /// and zero-cost when unset.
+    pub fn cancel_token(mut self, token: &CancelToken) -> Self {
+        self.cancel = CancelHandle::new(token);
+        self
+    }
+
+    /// Installs an existing [`CancelHandle`].
+    pub fn cancel_handle(mut self, cancel: CancelHandle) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Sets the per-analysis resource [`Budget`].
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the transient-progress streaming policy.
+    pub fn stream(mut self, stream: StreamPolicy) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Streams a transient-progress chunk every `n` accepted steps
+    /// (shorthand for `stream(StreamPolicy::EverySteps(n))`).
+    pub fn stream_every(mut self, n: usize) -> Self {
+        self.stream = StreamPolicy::EverySteps(n);
         self
     }
 

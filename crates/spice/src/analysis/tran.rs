@@ -1,13 +1,21 @@
 //! Transient analysis: trapezoidal integration with Newton at every step,
 //! source breakpoints, and iteration-count step control.
+//!
+//! The engine returns a typed [`TranResult`]: a cancelled or
+//! budget-exhausted run yields the waveform integrated so far plus a
+//! [`TranStatus`] describing why it stopped, instead of discarding the
+//! partial work. With [`Options::stream`] enabled it also emits
+//! `progress.tran.*` records over the trace path at a fixed
+//! accepted-step cadence, so a `JsonLinesSink` client watches a long
+//! run live.
 
-use crate::analysis::op::{newton_solve, op, NewtonCfg};
+use crate::analysis::op::{newton_solve, op_eval, NewtonCfg};
 use crate::analysis::solver::SolverWorkspace;
 use crate::analysis::stamp::{update_all_charges, ChargeBank, Mode, NonlinMemory, Options};
 use crate::circuit::Prepared;
 use crate::error::{Result, SpiceError};
 use crate::wave::Waveform;
-use ahfic_trace::TranStats;
+use ahfic_trace::{Tracer, TranStats};
 
 /// Transient analysis parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -45,16 +53,118 @@ impl TranParams {
 /// Hard cap on accepted plus rejected steps, as a runaway guard.
 const MAX_STEPS: usize = 50_000_000;
 
-/// Runs a transient simulation, recording every unknown at every accepted
-/// timestep (signal names follow `Prepared::unknown_names`:
-/// `v(node)` / `i(element)`).
+/// Why a transient run stopped.
 ///
-/// # Errors
+/// `#[non_exhaustive]`: more stop reasons may grow here; match with a
+/// wildcard arm.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum TranStatus {
+    /// The run reached `t_stop`.
+    Complete,
+    /// A [`CancelToken`](crate::analysis::CancelToken) fired; the
+    /// waveform holds every step accepted before `t`.
+    Cancelled {
+        /// Simulation time of the last accepted step.
+        t: f64,
+    },
+    /// A [`Budget`](crate::analysis::Budget) limit fired.
+    BudgetExhausted {
+        /// Which limit (`"steps"`, `"newton_iterations"`).
+        resource: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// Simulation time of the last accepted step.
+        t: f64,
+    },
+}
+
+/// Typed result of a transient run: the integrated waveform plus why
+/// and where the run stopped.
 ///
-/// Propagates OP failures; returns [`SpiceError::NoConvergence`] when the
-/// timestep controller cannot find a converging step, and
-/// [`SpiceError::BadAnalysis`] for nonsensical parameters.
-pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Waveform> {
+/// Cancellation and budget exhaustion are *statuses*, not errors — the
+/// partial waveform is still returned so a serving client gets every
+/// step paid for. `#[non_exhaustive]`: construct only through the
+/// transient entry points.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct TranResult {
+    /// Accepted samples (axis = time), up to where the run stopped.
+    pub wave: Waveform,
+    /// Why the run stopped.
+    pub status: TranStatus,
+    /// Accepted timesteps.
+    pub accepted_steps: u64,
+    /// Rejected (re-tried) timesteps.
+    pub rejected_steps: u64,
+    /// Newton iterations spent across all steps.
+    pub newton_iterations: u64,
+}
+
+impl TranResult {
+    /// The integrated waveform (partial when the run was stopped).
+    pub fn wave(&self) -> &Waveform {
+        &self.wave
+    }
+
+    /// Consumes the result, returning the waveform.
+    pub fn into_wave(self) -> Waveform {
+        self.wave
+    }
+
+    /// Why the run stopped.
+    pub fn status(&self) -> &TranStatus {
+        &self.status
+    }
+
+    /// Whether the run reached `t_stop`.
+    pub fn is_complete(&self) -> bool {
+        self.status == TranStatus::Complete
+    }
+
+    /// Simulation time of the last accepted sample (0.0 for a run
+    /// stopped before its first step).
+    pub fn t_end(&self) -> f64 {
+        self.wave.axis().last().copied().unwrap_or(0.0)
+    }
+
+    /// Accepted timesteps.
+    pub fn accepted_steps(&self) -> u64 {
+        self.accepted_steps
+    }
+
+    /// Rejected (re-tried) timesteps.
+    pub fn rejected_steps(&self) -> u64 {
+        self.rejected_steps
+    }
+
+    /// Newton iterations spent across all steps.
+    pub fn newton_iterations(&self) -> u64 {
+        self.newton_iterations
+    }
+}
+
+/// Emits one incremental-progress chunk over the trace path (the
+/// streaming record schema documented in DESIGN.md): where the run is
+/// (`t`, fraction, accepted steps) and the latest accepted value of
+/// every signal.
+fn emit_progress(tr: Tracer<'_>, prep: &Prepared, t: f64, t_stop: f64, accepted: u64, x: &[f64]) {
+    tr.counter("progress.tran.t", t);
+    tr.counter("progress.tran.frac", (t / t_stop).min(1.0));
+    tr.counter("progress.tran.steps", accepted as f64);
+    for (name, &v) in prep.unknown_names.iter().zip(x) {
+        tr.counter(&format!("progress.tran.sig.{name}"), v);
+    }
+}
+
+/// The transient engine behind [`Session::tran`](crate::analysis::Session::tran)
+/// (and the deprecated free [`tran`]): trapezoidal integration with
+/// Newton at every step, returning a typed [`TranResult`].
+pub(crate) fn tran_impl(
+    prep: &Prepared,
+    opts: &Options,
+    params: &TranParams,
+) -> Result<TranResult> {
     if params.t_stop <= 0.0 || params.dt_max <= 0.0 {
         return Err(SpiceError::BadAnalysis(
             "transient needs positive t_stop and dt_max".into(),
@@ -76,7 +186,7 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
         }
         x0
     } else {
-        op(prep, opts)?.x
+        op_eval(prep, opts)?.x
     };
 
     // One workspace for the whole transient: the Tran-mode stamp sequence
@@ -134,7 +244,32 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
     let mut steps = 0usize;
     let mut singular_streak = 0usize;
     let mut new_states = bank.states.clone();
+    let mut status = TranStatus::Complete;
+    let stream_every = opts.stream.every();
     while t < params.t_stop - 1e-15 * params.t_stop {
+        // Timestep-boundary control points: cancellation and budgets are
+        // only ever observed here and inside the Newton loop, so a
+        // stopped run always ends on a consistent accepted state.
+        if opts.cancel.cancelled() {
+            status = TranStatus::Cancelled { t };
+            break;
+        }
+        if let Some(limit) = opts.budget.steps_exhausted(steps as u64) {
+            status = TranStatus::BudgetExhausted {
+                resource: "steps",
+                limit,
+                t,
+            };
+            break;
+        }
+        if let Some(limit) = opts.budget.newton_exhausted(stats.newton_iterations) {
+            status = TranStatus::BudgetExhausted {
+                resource: "newton_iterations",
+                limit,
+                t,
+            };
+            break;
+        }
         steps += 1;
         if steps > MAX_STEPS {
             return Err(SpiceError::NoConvergence {
@@ -189,6 +324,11 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
                 x = x_new;
                 t = t_new;
                 wave.push_sample(t, &x);
+                if let Some(every) = stream_every {
+                    if stats.accepted_steps % every as u64 == 0 {
+                        emit_progress(tr, prep, t, params.t_stop, stats.accepted_steps, &x);
+                    }
+                }
                 if hit_bp {
                     next_bp += 1;
                     h = h_init.min(params.dt_max);
@@ -211,6 +351,18 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
                     return Err(SpiceError::Singular { unknown });
                 }
             }
+            Err(e) if e.is_abort() => {
+                // Cancellation observed inside the Newton loop: the
+                // in-flight step is discarded, the waveform keeps every
+                // step accepted before it.
+                status = match e {
+                    SpiceError::BudgetExhausted {
+                        resource, limit, ..
+                    } => TranStatus::BudgetExhausted { resource, limit, t },
+                    _ => TranStatus::Cancelled { t },
+                };
+                break;
+            }
             Err(_) => {
                 stats.rejected_steps += 1;
                 stats.newton_iterations += opts.max_newton as u64;
@@ -227,10 +379,56 @@ pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Wave
             }
         }
     }
+    if stream_every.is_some() {
+        tr.event("progress.tran.done");
+    }
     stats.emit(tr, "tran");
     ws.stats.emit(tr, "tran");
     span.end();
-    Ok(wave)
+    Ok(TranResult {
+        wave,
+        status,
+        accepted_steps: stats.accepted_steps,
+        rejected_steps: stats.rejected_steps,
+        newton_iterations: stats.newton_iterations,
+    })
+}
+
+/// Runs a transient simulation, recording every unknown at every accepted
+/// timestep (signal names follow `Prepared::unknown_names`:
+/// `v(node)` / `i(element)`).
+///
+/// # Errors
+///
+/// Propagates OP failures; returns [`SpiceError::NoConvergence`] when the
+/// timestep controller cannot find a converging step, and
+/// [`SpiceError::BadAnalysis`] for nonsensical parameters. Unlike
+/// [`Session::tran`](crate::analysis::Session::tran), a cancelled or
+/// budget-exhausted run surfaces as an error here and the partial
+/// waveform is lost.
+#[deprecated(
+    note = "use Session::tran, which returns a typed TranResult with partial-run statuses"
+)]
+pub fn tran(prep: &Prepared, opts: &Options, params: &TranParams) -> Result<Waveform> {
+    let r = tran_impl(prep, opts, params)?;
+    match r.status {
+        TranStatus::Complete => Ok(r.wave),
+        TranStatus::Cancelled { t } => Err(SpiceError::Cancelled {
+            analysis: "tran",
+            time: Some(t),
+        }),
+        TranStatus::BudgetExhausted {
+            resource, limit, ..
+        } => Err(SpiceError::BudgetExhausted {
+            analysis: "tran",
+            resource,
+            limit,
+            spent: match resource {
+                "steps" => r.accepted_steps + r.rejected_steps,
+                _ => r.newton_iterations,
+            },
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +439,12 @@ mod tests {
 
     fn opts() -> Options {
         Options::default()
+    }
+
+    /// Test shim over the engine: the waveform of a complete run
+    /// (shadows the deprecated free function of the same name).
+    fn tran(prep: &Prepared, o: &Options, p: &TranParams) -> Result<Waveform> {
+        tran_impl(prep, o, p).map(TranResult::into_wave)
     }
 
     #[test]
@@ -372,6 +576,128 @@ mod tests {
         let prep = Prepared::compile(&c).unwrap();
         assert!(tran(&prep, &opts(), &TranParams::new(0.0, 1e-9)).is_err());
         assert!(tran(&prep, &opts(), &TranParams::new(1e-6, 0.0)).is_err());
+    }
+
+    /// RC circuit used by the cancellation/budget/streaming tests.
+    fn rc_fixture() -> Prepared {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let out = c.node("out");
+        c.vsource_wave(
+            "V1",
+            a,
+            Circuit::gnd(),
+            SourceWave::Sin {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 1e6,
+                delay: 0.0,
+                damping: 0.0,
+                phase_deg: 0.0,
+            },
+        );
+        c.resistor("R1", a, out, 1e3);
+        c.capacitor("C1", out, Circuit::gnd(), 1e-9);
+        Prepared::compile(&c).unwrap()
+    }
+
+    /// A sink that fires a cancel token the moment it sees the k-th
+    /// accepted-step progress record: a deterministic mid-run cancel.
+    struct CancelAtStep {
+        token: crate::analysis::control::CancelToken,
+        at: f64,
+    }
+
+    impl ahfic_trace::TraceSink for CancelAtStep {
+        fn record(&self, rec: ahfic_trace::TraceRecord) {
+            if rec.name == "progress.tran.steps" && rec.value >= self.at {
+                self.token.cancel();
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_mid_transient_returns_typed_partial() {
+        use crate::analysis::control::CancelToken;
+        use std::sync::Arc;
+        let prep = rc_fixture();
+        let token = CancelToken::new();
+        let sink = Arc::new(CancelAtStep {
+            token: token.clone(),
+            at: 20.0,
+        });
+        let o = Options::default()
+            .cancel_token(&token)
+            .stream_every(1)
+            .trace(&sink);
+        let r = tran_impl(&prep, &o, &TranParams::new(5e-6, 5e-9)).unwrap();
+        match r.status() {
+            TranStatus::Cancelled { t } => assert!(*t > 0.0 && *t < 5e-6),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(!r.is_complete());
+        // The cancel fired while accepting step 20; the engine may
+        // commit at most the step already in flight before observing it.
+        assert!(
+            r.accepted_steps() >= 20 && r.accepted_steps() <= 21,
+            "stopped after {} steps",
+            r.accepted_steps()
+        );
+        // Partial waveform: every accepted sample is present.
+        assert_eq!(r.wave().len(), r.accepted_steps() as usize + 1);
+        assert!((r.t_end() - r.wave().axis().last().unwrap()).abs() == 0.0);
+    }
+
+    #[test]
+    fn step_budget_returns_typed_partial() {
+        use crate::analysis::control::Budget;
+        let prep = rc_fixture();
+        let o = Options::default().budget(Budget::unlimited().max_steps(10));
+        let r = tran_impl(&prep, &o, &TranParams::new(5e-6, 5e-9)).unwrap();
+        match r.status() {
+            TranStatus::BudgetExhausted {
+                resource, limit, ..
+            } => {
+                assert_eq!(*resource, "steps");
+                assert_eq!(*limit, 10);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert_eq!(r.accepted_steps() + r.rejected_steps(), 10);
+        // The deprecated free function maps the same run to an error.
+        #[allow(deprecated)]
+        let e = super::tran(&prep, &o, &TranParams::new(5e-6, 5e-9)).unwrap_err();
+        assert!(e.is_abort(), "{e}");
+    }
+
+    #[test]
+    fn streaming_emits_progress_chunks() {
+        use ahfic_trace::InMemorySink;
+        use std::sync::Arc;
+        let prep = rc_fixture();
+        let sink = Arc::new(InMemorySink::new());
+        let o = Options::default().stream_every(8).trace(&sink);
+        let r = tran_impl(&prep, &o, &TranParams::new(1e-6, 5e-9)).unwrap();
+        assert!(r.is_complete());
+        let recs = sink.records();
+        let ts: Vec<f64> = recs
+            .iter()
+            .filter(|r| r.name == "progress.tran.t")
+            .map(|r| r.value)
+            .collect();
+        // One chunk per 8 accepted steps, monotonically advancing.
+        assert!(ts.len() >= 2, "{} chunks", ts.len());
+        assert!(ts.windows(2).all(|w| w[1] > w[0]));
+        assert!(recs.iter().any(|r| r.name == "progress.tran.sig.v(out)"));
+        assert!(recs.iter().any(|r| r.name == "progress.tran.done"));
+        // Off by default: no progress records without the policy.
+        let sink2 = Arc::new(InMemorySink::new());
+        let o2 = Options::default().trace(&sink2);
+        tran_impl(&prep, &o2, &TranParams::new(1e-6, 5e-9)).unwrap();
+        assert!(sink2
+            .records()
+            .iter()
+            .all(|r| !r.name.starts_with("progress.")));
     }
 
     #[test]

@@ -38,6 +38,14 @@ impl BehavioralFn {
         (self.0)(controls)
     }
 
+    /// Stable identity of the underlying shared closure (the address of
+    /// its allocation): what [`PartialEq`] compares and what deck
+    /// content hashing folds in for behavioral sources, since the
+    /// closure body itself cannot be hashed.
+    pub fn identity(&self) -> usize {
+        Arc::as_ptr(&self.0) as *const u8 as usize
+    }
+
     /// Partial derivative w.r.t. control `i`, by central differences.
     pub fn derivative(&self, controls: &[f64], i: usize) -> f64 {
         let h = 1e-6 * (1.0 + controls[i].abs());

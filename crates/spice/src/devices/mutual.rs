@@ -81,7 +81,7 @@ impl Device for MutualInductor {
 
 #[cfg(test)]
 mod tests {
-    use crate::analysis::{ac_sweep, op, tran, Options, TranParams};
+    use crate::analysis::{Session, TranParams};
     use crate::circuit::{Circuit, NodeId, Prepared};
     use crate::error::SpiceError;
     use crate::wave::SourceWave;
@@ -111,10 +111,10 @@ mod tests {
         // At DC both inductors are shorts; coupling must not disturb the
         // operating point or make the matrix singular.
         let (c, a, b) = coupled_tanks(0.5);
-        let prep = Prepared::compile(&c).unwrap();
-        let r = op(&prep, &Options::default()).unwrap();
-        assert!(prep.voltage(&r.x, a).abs() < 1e-12);
-        assert!(prep.voltage(&r.x, b).abs() < 1e-12);
+        let sess = Session::compile(&c).unwrap();
+        let r = sess.op().unwrap();
+        assert!(sess.prepared().voltage(r.x(), a).abs() < 1e-12);
+        assert!(sess.prepared().voltage(r.x(), b).abs() < 1e-12);
     }
 
     #[test]
@@ -123,14 +123,13 @@ mod tests {
         // f0 = 1/(2 pi sqrt(LC)) splits into f0/sqrt(1 +/- k).
         let k = 0.3;
         let (c, _, _) = coupled_tanks(k);
-        let prep = Prepared::compile(&c).unwrap();
-        let opts = Options::default();
-        let x_op = op(&prep, &opts).unwrap().x;
+        let sess = Session::compile(&c).unwrap();
+        let x_op = sess.op().unwrap().into_x();
         let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6f64 * 1e-9).sqrt());
         let f_lo = f0 / (1.0f64 + k).sqrt();
         let f_hi = f0 / (1.0f64 - k).sqrt();
         let freqs = linspace(0.6 * f0, 1.5 * f0, 901);
-        let w = ac_sweep(&prep, &x_op, &opts, &freqs).unwrap();
+        let w = sess.ac(&x_op, &freqs).unwrap();
         let mag = w.magnitude("v(b)").unwrap();
         let mut peaks = Vec::new();
         for i in 1..mag.len() - 1 {
@@ -174,21 +173,19 @@ mod tests {
             },
         )
         .unwrap();
-        let prep = Prepared::compile(&c).unwrap();
-        let opts = Options::default();
-        let x_op = op(&prep, &opts).unwrap().x;
-        let expect = ac_sweep(&prep, &x_op, &opts, &[f_drive])
+        let sess = Session::compile(&c).unwrap();
+        let x_op = sess.op().unwrap().into_x();
+        let expect = sess
+            .ac(&x_op, &[f_drive])
             .unwrap()
             .magnitude("v(b)")
             .unwrap()[0];
         let period = 1.0 / f_drive;
         // Long enough for the tank transients to ring down.
-        let w = tran(
-            &prep,
-            &opts,
-            &TranParams::new(400.0 * period, period / 60.0),
-        )
-        .unwrap();
+        let w = sess
+            .tran(&TranParams::new(400.0 * period, period / 60.0))
+            .unwrap()
+            .into_wave();
         let v = w.signal("v(b)").unwrap();
         let ts = w.axis();
         let tail_start = ts.last().unwrap() - 10.0 * period;

@@ -157,6 +157,27 @@ pub enum SpiceError {
     BadAnalysis(String),
     /// A measurement could not be extracted from simulation results.
     Measure(String),
+    /// The analysis was cooperatively cancelled through a
+    /// [`CancelToken`](crate::analysis::CancelToken), observed at a
+    /// Newton-iteration or timestep boundary.
+    Cancelled {
+        /// Analysis that was cancelled (`"op"`, `"tran"`, …).
+        analysis: &'static str,
+        /// Simulation time at cancellation for transient analyses.
+        time: Option<f64>,
+    },
+    /// A per-job resource [`Budget`](crate::analysis::Budget) limit was
+    /// reached before the analysis finished.
+    BudgetExhausted {
+        /// Analysis that ran out of budget (`"op"`, `"tran"`, …).
+        analysis: &'static str,
+        /// Which limit fired (`"newton_iterations"`, `"steps"`).
+        resource: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// Work actually spent when the limit fired.
+        spent: u64,
+    },
 }
 
 impl SpiceError {
@@ -176,6 +197,17 @@ impl SpiceError {
             SpiceError::LintFailed(report) => Some(report),
             _ => None,
         }
+    }
+
+    /// Whether this error is a deliberate abort (cancellation or budget
+    /// exhaustion) rather than a solver failure. Abort errors must
+    /// propagate immediately: the continuation ladder must not try
+    /// further rungs to "recover" from them.
+    pub fn is_abort(&self) -> bool {
+        matches!(
+            self,
+            SpiceError::Cancelled { .. } | SpiceError::BudgetExhausted { .. }
+        )
     }
 }
 
@@ -222,6 +254,19 @@ impl fmt::Display for SpiceError {
             SpiceError::Netlist(msg) => write!(f, "invalid netlist: {msg}"),
             SpiceError::BadAnalysis(msg) => write!(f, "invalid analysis request: {msg}"),
             SpiceError::Measure(msg) => write!(f, "measurement failed: {msg}"),
+            SpiceError::Cancelled { analysis, time } => match time {
+                Some(t) => write!(f, "{analysis} analysis cancelled at t={t:.4e}s"),
+                None => write!(f, "{analysis} analysis cancelled"),
+            },
+            SpiceError::BudgetExhausted {
+                analysis,
+                resource,
+                limit,
+                spent,
+            } => write!(
+                f,
+                "{analysis} analysis exhausted its {resource} budget ({spent} spent, limit {limit})"
+            ),
         }
     }
 }
@@ -265,6 +310,27 @@ mod tests {
             context: "NaN in assembled matrix".into(),
         };
         assert!(e.to_string().contains("non-finite"));
+        let e = SpiceError::Cancelled {
+            analysis: "tran",
+            time: Some(2.5e-9),
+        };
+        assert!(e.to_string().contains("cancelled at t=2.5000e-9"));
+        assert!(e.is_abort());
+        let e = SpiceError::Cancelled {
+            analysis: "op",
+            time: None,
+        };
+        assert!(e.to_string().contains("op analysis cancelled"));
+        let e = SpiceError::BudgetExhausted {
+            analysis: "op",
+            resource: "newton_iterations",
+            limit: 50,
+            spent: 53,
+        };
+        assert!(e.to_string().contains("newton_iterations budget"));
+        assert!(e.to_string().contains("limit 50"));
+        assert!(e.is_abort());
+        assert!(!SpiceError::Netlist("x".into()).is_abort());
     }
 
     #[test]

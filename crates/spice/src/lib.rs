@@ -13,12 +13,20 @@
 //!   optional `KF`/`AF` flicker noise. Every element implements the one
 //!   [`devices::Device`] stamp contract; analyses walk the compiled
 //!   device list and never match on element kinds.
-//! - **Analyses**: Newton operating point with gmin/source stepping
-//!   ([`analysis::op()`]) and a linear/nonlinear stamp split that
-//!   replays cached linear stamps across iterations, DC sweeps
-//!   ([`analysis::dc_sweep`]), complex AC sweeps
-//!   ([`analysis::ac_sweep`]), noise ([`analysis::noise_analysis`]) and
-//!   adaptive trapezoidal transient ([`analysis::tran()`]).
+//! - **Analyses** (all behind [`analysis::Session`]): Newton operating
+//!   point with gmin/source stepping ([`analysis::Session::op`]) and a
+//!   linear/nonlinear stamp split that replays cached linear stamps
+//!   across iterations, DC sweeps ([`analysis::Session::dc`]), complex
+//!   AC sweeps ([`analysis::Session::ac`]), noise
+//!   ([`analysis::Session::noise`]) and adaptive trapezoidal transient
+//!   ([`analysis::Session::tran`]). Analyses honor a cooperative
+//!   [`analysis::CancelToken`] and a per-run resource
+//!   [`analysis::Budget`], checked at Newton-iteration and timestep
+//!   boundaries.
+//! - **Compile cache** ([`cache`]): a content-addressed
+//!   [`cache::PreparedCache`] shares one compiled deck (`Arc`) across
+//!   concurrent sessions, with LRU eviction and hit/miss telemetry —
+//!   the substrate of the `ahfic-serve` job queue.
 //! - **Measurements** ([`measure`]): fT extraction from `|h21|`
 //!   extrapolation, oscillation frequency from zero crossings, THD, AC
 //!   gain/bandwidth.
@@ -43,11 +51,12 @@
 //! ckt.resistor("R2", out, Circuit::gnd(), 1e3);
 //! let sess = Session::compile(&ckt)?;
 //! let op = sess.op()?;
-//! assert!((sess.prepared().voltage(&op.x, out) - 5.0).abs() < 1e-9);
+//! assert!((sess.prepared().voltage(op.x(), out) - 5.0).abs() < 1e-9);
 //! # Ok::<(), ahfic_spice::error::SpiceError>(())
 //! ```
 
 pub mod analysis;
+pub mod cache;
 pub mod circuit;
 pub mod devices;
 pub mod error;
@@ -63,10 +72,13 @@ pub use ahfic_trace as trace;
 
 /// Convenient glob import for typical use.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use crate::analysis::{ac_sweep, dc_sweep, op, op_from, tran};
     pub use crate::analysis::{
-        ac_sweep, bjt_operating, dc_sweep, op, op_from, tran, FaultInjector, FaultKind,
-        LadderConfig, Options, Session, SolverChoice, TranParams,
+        bjt_operating, Budget, CancelToken, FaultInjector, FaultKind, LadderConfig, Options,
+        Session, SolverChoice, StreamPolicy, TranParams, TranResult, TranStatus,
     };
+    pub use crate::cache::PreparedCache;
     pub use crate::circuit::{Circuit, NodeId, Prepared};
     pub use crate::error::{ConvergenceReport, RungReport, SpiceError, WorstUnknown};
     pub use crate::lint::{LintCode, LintDiagnostic, LintPolicy, LintReport, LintSeverity};

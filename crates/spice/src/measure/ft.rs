@@ -6,7 +6,9 @@
 //! solve at a frequency inside the -20 dB/decade region; `fT` is then the
 //! gain-bandwidth extrapolation `f * |h21|(f)`.
 
-use crate::analysis::{ac_sweep, bjt_operating, op_from, Options};
+use crate::analysis::ac::ac_sweep_impl as ac_sweep;
+use crate::analysis::op::op_from_eval as op_from;
+use crate::analysis::{bjt_operating, Options};
 use crate::circuit::{Circuit, Prepared};
 use crate::error::{Result, SpiceError};
 use crate::model::BjtModel;
@@ -228,9 +230,9 @@ mod tests {
         ckt.isource("IB", Circuit::gnd(), nb, p.ib);
         let mi = ckt.add_bjt_model(model);
         ckt.bjt("Q1", nc, nb, Circuit::gnd(), mi, 1.0);
-        let prep = Prepared::compile(&ckt).unwrap();
-        let r = crate::analysis::op(&prep, &opts).unwrap();
-        let q = bjt_operating(&prep, &r.x, &opts, "Q1").unwrap();
+        let sess = crate::analysis::Session::compile(&ckt).unwrap();
+        let r = sess.op().unwrap();
+        let q = bjt_operating(sess.prepared(), r.x(), &opts, "Q1").unwrap();
         let est = q.ft();
         assert!(
             (p.ft - est).abs() / est < 0.35,

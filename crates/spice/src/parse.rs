@@ -570,7 +570,8 @@ fn parse_element(ckt: &mut Circuit, line_text: &str, line: usize) -> Result<()> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::{op, Options};
+    use crate::analysis::op::op_eval as op;
+    use crate::analysis::Options;
     use crate::circuit::{ElementKind, Prepared};
 
     #[test]

@@ -298,7 +298,7 @@ mod tests {
         assert!(ckt.find_element("x1.R1").is_some());
         // `mid` was a port mapped to `out`; solve to be sure.
         let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
-        let r = crate::analysis::op(&prep, &Default::default()).unwrap();
+        let r = crate::analysis::op::op_eval(&prep, &Default::default()).unwrap();
         let out = prep.circuit.find_node("out").unwrap();
         // 1k over (1k || 1meg): v = 10 * 999.001 / 1999.001.
         let expect = 10.0 * (1e3 * 1e6 / (1e3 + 1e6)) / (1e3 + 1e3 * 1e6 / (1e3 + 1e6));
@@ -323,7 +323,7 @@ mod tests {
         assert!(ckt.find_node("x1.internal").is_some());
         assert!(ckt.find_node("x2.internal").is_some());
         let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
-        let r = crate::analysis::op(&prep, &Default::default()).unwrap();
+        let r = crate::analysis::op::op_eval(&prep, &Default::default()).unwrap();
         // 4 V over 1k+1k+1k+1k+2k, out = 4 * 2/6.
         let out = prep.circuit.find_node("out").unwrap();
         assert!((prep.voltage(&r.x, out) - 4.0 * 2.0 / 6.0).abs() < 1e-9);
@@ -347,7 +347,7 @@ mod tests {
         assert!(ckt.find_element("x9.x1.R1").is_some());
         assert!(ckt.find_element("x9.x2.R1").is_some());
         let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
-        let r = crate::analysis::op(&prep, &Default::default()).unwrap();
+        let r = crate::analysis::op::op_eval(&prep, &Default::default()).unwrap();
         // 1 V over 2k -> i(V1) = -0.5 mA.
         let i = r.x[prep.branch_slot("V1").unwrap()];
         assert!((i + 0.5e-3).abs() < 1e-9);
@@ -365,7 +365,7 @@ mod tests {
         )
         .unwrap();
         let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
-        let r = crate::analysis::op(&prep, &Default::default()).unwrap();
+        let r = crate::analysis::op::op_eval(&prep, &Default::default()).unwrap();
         let i = r.x[prep.branch_slot("V1").unwrap()];
         assert!((i + 1e-3).abs() < 1e-9);
     }
@@ -385,7 +385,7 @@ mod tests {
         )
         .unwrap();
         let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
-        let r = crate::analysis::op(&prep, &Default::default()).unwrap();
+        let r = crate::analysis::op::op_eval(&prep, &Default::default()).unwrap();
         let c = prep.circuit.find_node("c").unwrap();
         let vc = prep.voltage(&r.x, c);
         assert!(vc < 5.0 && vc > 0.0, "vc = {vc}");
@@ -425,7 +425,7 @@ mod tests {
         )
         .unwrap();
         let prep = crate::circuit::Prepared::compile(&ckt).unwrap();
-        let r = crate::analysis::op(&prep, &Default::default()).unwrap();
+        let r = crate::analysis::op::op_eval(&prep, &Default::default()).unwrap();
         // 1 mA through the sense source -> F injects 2 mA into x1.fout.
         let fout = prep.circuit.find_node("x1.fout").unwrap();
         assert!((prep.voltage(&r.x, fout) - 2.0).abs() < 1e-6);

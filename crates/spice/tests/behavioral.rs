@@ -2,8 +2,8 @@
 //! mixed-level hook that embeds block-level behavior inside the circuit
 //! simulator.
 
-use ahfic_spice::analysis::{ac_sweep, op, tran, Options, TranParams};
-use ahfic_spice::circuit::{BehavioralFn, Circuit, Prepared};
+use ahfic_spice::analysis::{Session, TranParams};
+use ahfic_spice::circuit::{BehavioralFn, Circuit};
 use ahfic_spice::wave::SourceWave;
 
 #[test]
@@ -20,9 +20,9 @@ fn linear_behavioral_source_acts_as_vcvs() {
         BehavioralFn::new(|v| 5.0 * v[0]),
     );
     ckt.resistor("RL", b, Circuit::gnd(), 1e3);
-    let prep = Prepared::compile(&ckt).unwrap();
-    let r = op(&prep, &Options::default()).unwrap();
-    assert!((prep.voltage(&r.x, b) - 10.0).abs() < 1e-9);
+    let sess = Session::compile(&ckt).unwrap();
+    let r = sess.op().unwrap();
+    assert!((sess.prepared().voltage(r.x(), b) - 10.0).abs() < 1e-9);
 }
 
 #[test]
@@ -40,9 +40,9 @@ fn nonlinear_behavioral_source_converges() {
         BehavioralFn::new(|v| (3.0 * v[0]).tanh()),
     );
     ckt.resistor("RL", b, Circuit::gnd(), 1e3);
-    let prep = Prepared::compile(&ckt).unwrap();
-    let r = op(&prep, &Options::default()).unwrap();
-    assert!((prep.voltage(&r.x, b) - (1.2f64).tanh()).abs() < 1e-9);
+    let sess = Session::compile(&ckt).unwrap();
+    let r = sess.op().unwrap();
+    assert!((sess.prepared().voltage(r.x(), b) - (1.2f64).tanh()).abs() < 1e-9);
 }
 
 #[test]
@@ -71,8 +71,8 @@ fn two_control_mixer_in_transient() {
         BehavioralFn::new(|v| v[0] * v[1]),
     );
     ckt.resistor("RL", out, Circuit::gnd(), 1e3);
-    let prep = Prepared::compile(&ckt).unwrap();
-    let wave = tran(&prep, &Options::default(), &TranParams::new(2e-6, 1e-9)).unwrap();
+    let sess = Session::compile(&ckt).unwrap();
+    let wave = sess.tran(&TranParams::new(2e-6, 1e-9)).unwrap().into_wave();
     let (fs, y) = wave.resample_uniform("v(out)", 4000).unwrap();
     let a_dif = ahfic_num::goertzel::tone_amplitude(&y, fs, 2e6).abs();
     let a_sum = ahfic_num::goertzel::tone_amplitude(&y, fs, 18e6).abs();
@@ -96,11 +96,10 @@ fn ac_linearizes_at_operating_point() {
         BehavioralFn::new(|v| v[0] * v[0]),
     );
     ckt.resistor("RL", b, Circuit::gnd(), 1e3);
-    let prep = Prepared::compile(&ckt).unwrap();
-    let opts = Options::default();
-    let dc = op(&prep, &opts).unwrap();
-    assert!((prep.voltage(&dc.x, b) - 2.25).abs() < 1e-9);
-    let acw = ac_sweep(&prep, &dc.x, &opts, &[1e6]).unwrap();
+    let sess = Session::compile(&ckt).unwrap();
+    let dc = sess.op().unwrap();
+    assert!((sess.prepared().voltage(dc.x(), b) - 2.25).abs() < 1e-9);
+    let acw = sess.ac(dc.x(), &[1e6]).unwrap();
     let gain = acw.signal("v(b)").unwrap()[0].abs();
     assert!((gain - 3.0).abs() < 1e-4, "small-signal gain {gain}");
 }
@@ -130,10 +129,10 @@ fn behavioral_source_with_bjt_load_converges() {
     let mi = ckt.add_bjt_model(m);
     ckt.resistor("RC", vcc, col, 1e3);
     ckt.bjt("Q1", col, base, Circuit::gnd(), mi, 1.0);
-    let prep = Prepared::compile(&ckt).unwrap();
-    let r = op(&prep, &Options::default()).unwrap();
-    let vb = prep.voltage(&r.x, base);
+    let sess = Session::compile(&ckt).unwrap();
+    let r = sess.op().unwrap();
+    let vb = sess.prepared().voltage(r.x(), base);
     assert!((vb - (0.65 + 0.1 * 1.0f64.tanh())).abs() < 1e-9);
-    let vc = prep.voltage(&r.x, col);
+    let vc = sess.prepared().voltage(r.x(), col);
     assert!(vc > 0.1 && vc < 5.0, "vc = {vc}");
 }

@@ -3,15 +3,11 @@
 //! must take in stride.
 
 use ahfic_num::interp::{linspace, logspace};
-use ahfic_spice::analysis::{ac_sweep, dc_sweep, op, tran, Options, TranParams};
-use ahfic_spice::circuit::{Circuit, Prepared};
+use ahfic_spice::analysis::{Session, TranParams};
+use ahfic_spice::circuit::Circuit;
 use ahfic_spice::model::{BjtModel, DiodeModel};
 use ahfic_spice::parse::parse_netlist;
 use ahfic_spice::wave::SourceWave;
-
-fn opts() -> Options {
-    Options::default()
-}
 
 /// Half-wave rectifier with smoothing cap: the classic stiff transient
 /// (diode switching + large RC time constant).
@@ -37,8 +33,11 @@ fn half_wave_rectifier_charges_and_ripples() {
     c.diode("D1", ac, out, dm, 1.0);
     c.capacitor("C1", out, Circuit::gnd(), 10e-6);
     c.resistor("RL", out, Circuit::gnd(), 10e3);
-    let prep = Prepared::compile(&c).unwrap();
-    let w = tran(&prep, &opts(), &TranParams::new(10e-3, 5e-6)).unwrap();
+    let sess = Session::compile(&c).unwrap();
+    let w = sess
+        .tran(&TranParams::new(10e-3, 5e-6))
+        .unwrap()
+        .into_wave();
     let v = w.signal("v(out)").unwrap();
     let t = w.axis();
     // After a few cycles the output sits near the peak minus a diode drop.
@@ -92,8 +91,11 @@ fn bjt_switch_saturates_and_cuts_off() {
     c.resistor("RBB", b, bb, 10e3);
     c.resistor("RC", vcc, col, 1e3);
     c.bjt("Q1", col, bb, Circuit::gnd(), mi, 1.0);
-    let prep = Prepared::compile(&c).unwrap();
-    let w = tran(&prep, &opts(), &TranParams::new(120e-9, 0.2e-9)).unwrap();
+    let sess = Session::compile(&c).unwrap();
+    let w = sess
+        .tran(&TranParams::new(120e-9, 0.2e-9))
+        .unwrap()
+        .into_wave();
     let v = w.signal("v(c)").unwrap();
     let t = w.axis();
     let at = |time: f64| {
@@ -114,9 +116,9 @@ fn gummel_plot_shows_ideal_slope_and_knee() {
          VB b 0 0.5\nVC c 0 2\nQ1 c b 0 g\n",
     )
     .unwrap();
-    let mut prep = Prepared::compile(&ckt).unwrap();
+    let mut sess = Session::compile(&ckt).unwrap();
     let vbes = linspace(0.45, 0.95, 26);
-    let sweep = dc_sweep(&mut prep, &opts(), "VB", &vbes).unwrap();
+    let sweep = sess.dc("VB", &vbes).unwrap();
     let ic: Vec<f64> = sweep.signal("i(VC)").unwrap().iter().map(|i| -i).collect();
     // Low-injection slope: one decade per ~59.5 mV.
     let k1 = 2; // 0.49 V
@@ -152,10 +154,10 @@ fn two_pole_rolloff_is_40db_per_decade() {
     c.vcvs("E1", buf, Circuit::gnd(), m, Circuit::gnd(), 1.0);
     c.resistor("R2", buf, o, 10e3);
     c.capacitor("C2", o, Circuit::gnd(), 1e-9); // pole at 15.9 kHz
-    let prep = Prepared::compile(&c).unwrap();
-    let dc = op(&prep, &opts()).unwrap();
+    let sess = Session::compile(&c).unwrap();
+    let dc = sess.op().unwrap();
     let freqs = logspace(1e2, 1e8, 61);
-    let w = ac_sweep(&prep, &dc.x, &opts(), &freqs).unwrap();
+    let w = sess.ac(dc.x(), &freqs).unwrap();
     let mag = w.magnitude("v(o)").unwrap();
     for k in 1..mag.len() {
         assert!(mag[k] <= mag[k - 1] + 1e-12, "monotonic roll-off");
@@ -183,8 +185,8 @@ fn diff_pair_transfer_is_tanh_limited() {
          IT e 0 1m\n",
     )
     .unwrap();
-    let mut prep = Prepared::compile(&ckt).unwrap();
-    let sweep = dc_sweep(&mut prep, &opts(), "VIP", &linspace(2.2, 2.8, 25)).unwrap();
+    let mut sess = Session::compile(&ckt).unwrap();
+    let sweep = sess.dc("VIP", &linspace(2.2, 2.8, 25)).unwrap();
     let cp = sweep.signal("v(cp)").unwrap();
     let cn = sweep.signal("v(cn)").unwrap();
     // Fully steered at the ends: one side carries all the current.
@@ -223,11 +225,12 @@ fn subckt_expansion_matches_flat_netlist() {
          V1 in 0 3\nX1 in m rdiv\nR2 m 0 2k\nC1 m 0 1p\n",
     )
     .unwrap();
-    let pf = Prepared::compile(&flat).unwrap();
-    let ph = Prepared::compile(&hier).unwrap();
-    let rf = op(&pf, &opts()).unwrap();
-    let rh = op(&ph, &opts()).unwrap();
+    let sf = Session::compile(&flat).unwrap();
+    let sh = Session::compile(&hier).unwrap();
+    let rf = sf.op().unwrap();
+    let rh = sh.op().unwrap();
+    let (pf, ph) = (sf.prepared(), sh.prepared());
     let mf = pf.circuit.find_node("m").unwrap();
     let mh = ph.circuit.find_node("m").unwrap();
-    assert!((pf.voltage(&rf.x, mf) - ph.voltage(&rh.x, mh)).abs() < 1e-12);
+    assert!((pf.voltage(rf.x(), mf) - ph.voltage(rh.x(), mh)).abs() < 1e-12);
 }

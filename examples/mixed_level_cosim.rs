@@ -100,7 +100,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ckt.resistor("Rdiff", diff, Circuit::gnd(), 1e6);
 
     let sess = Session::compile(&ckt)?.with_options(opts);
-    let wave = sess.tran(&TranParams::new(params.t_stop, params.dt_max))?;
+    let wave = sess
+        .tran(&TranParams::new(params.t_stop, params.dt_max))?
+        .into_wave();
     let mixed = oscillation_frequency(&wave, "v(diff)", 0.4)?;
     println!(
         "mixed-level ring (AHDL followers): {:.3} GHz (swing {:.2} V)",

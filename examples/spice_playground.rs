@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Transient: 100 MHz drive.
-    let wave = sess.tran(&TranParams::new(50e-9, 25e-12))?;
+    let wave = sess.tran(&TranParams::new(50e-9, 25e-12))?.into_wave();
     let h = ahfic_spice::measure::harmonics(&wave, "v(cp)", 100e6, 5, 0.3)?;
     println!(
         "\n## transient: fundamental {:.1} mV at the collector, THD {:.1} dB",

@@ -9,11 +9,26 @@
 
 use ahfic::yield_mc::YieldStudy;
 use ahfic_num::interp::linspace;
-use ahfic_spice::analysis::{dc_sweep, op, BatchMode, BatchedOpEngine, Options, SolverChoice};
+use ahfic_spice::analysis::{BatchMode, BatchedOpEngine, OpResult, Options, Session, SolverChoice};
 use ahfic_spice::circuit::{Circuit, Prepared};
 use ahfic_spice::model::{BjtModel, DiodeModel};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
+
+// Thin shims over [`Session`] — the primary analysis entry point —
+// preserving this suite's free-function call shape.
+fn op(prep: &Prepared, opts: &Options) -> ahfic_spice::error::Result<OpResult> {
+    Session::new(prep.clone()).with_options(opts.clone()).op()
+}
+fn dc_sweep(
+    prep: &mut Prepared,
+    opts: &Options,
+    source: &str,
+    values: &[f64],
+) -> ahfic_spice::error::Result<ahfic_spice::wave::Waveform> {
+    let mut sess = Session::new(prep.clone()).with_options(opts.clone());
+    sess.dc(source, values)
+}
 
 /// Batch widths exercised everywhere: the degenerate single lane, a
 /// small odd width, a width that does not divide typical counts, and

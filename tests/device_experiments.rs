@@ -88,7 +88,9 @@ fn fig10_flow_annotates_netlist_end_to_end() {
     let m = &ckt.bjt_models[0];
     assert!(m.rb > 0.0 && m.cje > 0.0 && m.tf > 0.0);
     let prep = ahfic_spice::circuit::Prepared::compile(&ckt).unwrap();
-    let op = ahfic_spice::analysis::op(&prep, &Options::default()).unwrap();
+    let op = ahfic_spice::analysis::Session::new(prep.clone())
+        .op()
+        .unwrap();
     let q = ahfic_spice::analysis::bjt_operating(&prep, &op.x, &Options::default(), "Q1").unwrap();
     assert!(q.ic > 1e-4 && q.ic < 5e-3, "ic = {:.3e}", q.ic);
 }

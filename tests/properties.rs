@@ -3,10 +3,16 @@
 
 use ahfic_num::{lu, Matrix};
 use ahfic_rf::image_rejection::irr_analytic_db;
-use ahfic_spice::analysis::{op, Options};
+use ahfic_spice::analysis::{OpResult, Options, Session};
 use ahfic_spice::circuit::{Circuit, Prepared};
 use ahfic_spice::units::{format_value, parse_value};
 use proptest::prelude::*;
+
+// Thin shims over [`Session`] — the primary analysis entry point —
+// preserving this suite's free-function call shape.
+fn op(prep: &Prepared, opts: &Options) -> ahfic_spice::error::Result<OpResult> {
+    Session::new(prep.clone()).with_options(opts.clone()).op()
+}
 
 proptest! {
     /// LU solves random diagonally dominant systems to tight residuals.

@@ -6,7 +6,7 @@
 //! converged, finite solution. Never a panic, never a NaN in reported
 //! results.
 
-use ahfic_spice::analysis::{op, FaultInjector, FaultKind, LadderConfig, Options};
+use ahfic_spice::analysis::{FaultInjector, FaultKind, LadderConfig, OpResult, Options, Session};
 use ahfic_spice::circuit::{Circuit, Prepared};
 use ahfic_spice::error::SpiceError;
 use ahfic_spice::lint::{LintCode, LintPolicy};
@@ -15,6 +15,12 @@ use ahfic_spice::parse::parse_netlist;
 use ahfic_spice::trace::{InMemorySink, RecordKind, TraceRecord};
 use proptest::prelude::*;
 use std::sync::Arc;
+
+// Thin shims over [`Session`] — the primary analysis entry point —
+// preserving this suite's free-function call shape.
+fn op(prep: &Prepared, opts: &Options) -> ahfic_spice::error::Result<OpResult> {
+    Session::new(prep.clone()).with_options(opts.clone()).op()
+}
 
 fn counter(records: &[TraceRecord], name: &str) -> f64 {
     records

@@ -5,11 +5,37 @@
 
 use ahfic_num::sparse::{SparseLu, TripletBuilder};
 use ahfic_num::{lu::LuFactors, Matrix};
-use ahfic_spice::analysis::{ac_sweep, op, tran, Options, SolverChoice, TranParams};
+use ahfic_spice::analysis::{OpResult, Options, Session, SolverChoice, TranParams, TranResult};
 use ahfic_spice::circuit::{Circuit, Prepared};
 use ahfic_spice::wave::SourceWave;
 use ahfic_spice::BjtModel;
 use proptest::prelude::*;
+
+// Thin shims over [`Session`] — the primary analysis entry point —
+// preserving this suite's free-function call shape.
+fn op(prep: &Prepared, opts: &Options) -> ahfic_spice::error::Result<OpResult> {
+    Session::new(prep.clone()).with_options(opts.clone()).op()
+}
+fn ac_sweep(
+    prep: &Prepared,
+    x_op: &[f64],
+    opts: &Options,
+    freqs: &[f64],
+) -> ahfic_spice::error::Result<ahfic_spice::wave::AcWaveform> {
+    Session::new(prep.clone())
+        .with_options(opts.clone())
+        .ac(x_op, freqs)
+}
+fn tran(
+    prep: &Prepared,
+    opts: &Options,
+    params: &TranParams,
+) -> ahfic_spice::error::Result<ahfic_spice::wave::Waveform> {
+    Session::new(prep.clone())
+        .with_options(opts.clone())
+        .tran(params)
+        .map(TranResult::into_wave)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

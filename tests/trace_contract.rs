@@ -210,8 +210,8 @@ fn null_sink_results_are_bit_identical_to_untraced() {
     }
 
     let params = TranParams::new(5e-9, 0.2e-9);
-    let w_a = plain.tran(&params).unwrap();
-    let w_b = nulled.tran(&params).unwrap();
+    let w_a = plain.tran(&params).unwrap().into_wave();
+    let w_b = nulled.tran(&params).unwrap().into_wave();
     assert_eq!(w_a.axis().len(), w_b.axis().len());
     for (a, b) in w_a.axis().iter().zip(w_b.axis()) {
         assert_eq!(a.to_bits(), b.to_bits(), "time axis must be bit-identical");
