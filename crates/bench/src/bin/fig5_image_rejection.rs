@@ -2,9 +2,11 @@
 //! gain balance 1–9 % as the curve parameter (AHDL simulation vs closed
 //! form).
 
-use ahfic_rf::image_rejection::{fig5_sweep, max_phase_error_for_irr};
+use ahfic_rf::image_rejection::{fig5_sweep, irr_analytic_db, max_phase_error_for_irr};
+use ahfic_rf::mixer_tl::{measure_irr_transistor_db, HartleyMixerParams};
 use ahfic_rf::plan::FrequencyPlan;
 use ahfic_rf::tuner::TunerConfig;
+use ahfic_spice::analysis::Options;
 
 fn main() {
     let plan = FrequencyPlan::catv(500e6);
@@ -45,5 +47,26 @@ fn main() {
             ),
             None => println!("#   gain {:.0}%: 30 dB unreachable", g * 100.0),
         }
+    }
+
+    println!();
+    println!("# transistor-level Hartley mixer (shooting PSS + PAC conversion gain)");
+    println!(
+        "# {:>11} {:>7} {:>16} {:>13} {:>10}",
+        "phase [deg]", "gain", "transistor [dB]", "analytic [dB]", "delta"
+    );
+    for (e, g) in [(2.0, 0.0), (5.0, 0.0), (10.0, 0.0), (10.0, 0.05)] {
+        let params = HartleyMixerParams::default()
+            .phase_error_deg(e)
+            .gain_error(g);
+        let r = measure_irr_transistor_db(&params, &Options::new()).expect("mixer bench");
+        let analytic = irr_analytic_db(e, g);
+        println!(
+            "# {e:>11.1} {:>6.0}% {:>16.2} {:>13.2} {:>+10.2}",
+            g * 100.0,
+            r.irr_db,
+            analytic,
+            r.irr_db - analytic
+        );
     }
 }

@@ -23,8 +23,9 @@ use std::time::Instant;
 
 use ahfic_bench::standard_generator;
 use ahfic_num::interp::logspace;
+use ahfic_num::GmresOptions;
 use ahfic_serve::{JobQueue, JobRequest, JobSpec, QueueConfig};
-use ahfic_spice::analysis::{LadderConfig, Options, Session, SolverChoice, TranParams};
+use ahfic_spice::analysis::{LadderConfig, Options, PssParams, Session, SolverChoice, TranParams};
 use ahfic_spice::circuit::{Circuit, ElementKind, Prepared};
 use ahfic_spice::lint::LintPolicy;
 use ahfic_spice::model::{BjtModel, DiodeModel};
@@ -563,6 +564,140 @@ fn ladder_probe(name: &'static str, prep: &Prepared, budget: usize) -> LadderPro
     }
 }
 
+struct GmresProbe {
+    n: usize,
+    sparse_s: f64,
+    gmres_s: f64,
+    iters: f64,
+    restarts: f64,
+    precond_refactors: f64,
+    max_dv: f64,
+}
+
+/// GMRES+ILU(0) against sparse LU on the mid-size amplifier chain:
+/// operating point plus transient (the real-valued Newton path the
+/// iterative tier targets — the 10 GHz complex AC matrices are direct-
+/// solver territory, where ILU(0) loses its grip), paired best-of
+/// timing, Krylov work counters read from the trace, and the operating
+/// points compared unknown by unknown — the iterative tier must track
+/// the direct factorization to solver tolerance or the bench fails.
+fn gmres_probe(prep: &Prepared, tran_params: &TranParams, reps: usize) -> GmresProbe {
+    let gmres_choice = SolverChoice::Gmres(GmresOptions::default());
+    let sparse_opts = Options::new().solver(SolverChoice::Sparse);
+    let gmres_opts = Options::new().solver(gmres_choice);
+    let time_one = |opts: &Options| {
+        let sess = Session::new(prep.clone()).with_options(opts.clone());
+        let t0 = Instant::now();
+        sess.op().expect("operating point");
+        sess.tran(tran_params).expect("transient");
+        t0.elapsed().as_secs_f64()
+    };
+    time_one(&sparse_opts);
+    time_one(&gmres_opts);
+    let (mut sparse_s, mut gmres_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        sparse_s = sparse_s.min(time_one(&sparse_opts));
+        gmres_s = gmres_s.min(time_one(&gmres_opts));
+    }
+
+    // Krylov counters from one instrumented op + transient pass.
+    let sink = Arc::new(InMemorySink::new());
+    let sess =
+        Session::new(prep.clone()).with_options(Options::new().solver(gmres_choice).trace(&sink));
+    sess.op().expect("operating point");
+    sess.tran(tran_params).expect("transient");
+    let spans = summarize_top_level(&sink.take());
+    let sum = |name: &str| -> f64 { spans.iter().filter_map(|s| s.counter(name)).sum() };
+
+    let x_sparse = Session::new(prep.clone())
+        .with_options(sparse_opts)
+        .op()
+        .expect("sparse operating point")
+        .x()
+        .to_vec();
+    let x_gmres = sess.op().expect("gmres operating point");
+    let max_dv = x_sparse
+        .iter()
+        .zip(x_gmres.x())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    GmresProbe {
+        n: prep.num_unknowns,
+        sparse_s,
+        gmres_s,
+        iters: sum("solver.gmres.iters"),
+        restarts: sum("solver.gmres.restarts"),
+        precond_refactors: sum("solver.gmres.precond_refactors"),
+        max_dv,
+    }
+}
+
+struct PssProbe {
+    n: usize,
+    wall_s: f64,
+    shooting_iterations: u64,
+    gmres_iterations: u64,
+    newton_iterations: u64,
+    residual: f64,
+}
+
+/// Shooting-Newton periodic steady state on a diode rectifier whose
+/// ring-down time constant spans many drive periods — the deck where
+/// shooting beats brute-force transient. Converged status is the CI
+/// gate; wall time and iteration counts land in the JSON.
+fn pss_probe(reps: usize) -> PssProbe {
+    let mut c = Circuit::new();
+    let vin = c.node("vin");
+    let out = c.node("out");
+    c.vsource_wave(
+        "VIN",
+        vin,
+        Circuit::gnd(),
+        SourceWave::Sin {
+            offset: 0.0,
+            ampl: 2.0,
+            freq: 1e6,
+            delay: 0.0,
+            damping: 0.0,
+            phase_deg: 0.0,
+        },
+    );
+    let dm = c.add_diode_model(DiodeModel::default());
+    c.diode("D1", vin, out, dm, 1.0);
+    c.capacitor("CL", out, Circuit::gnd(), 2e-9);
+    c.resistor("RL", out, Circuit::gnd(), 1e3);
+    let sess = Session::compile(&c).expect("rectifier compiles");
+    // No warmup: start shooting straight from the operating point so the
+    // bench times the Newton-Krylov machinery, not plain time-marching.
+    let params = PssParams::new(1e-6, 256).warmup_periods(0);
+
+    let run = || sess.pss(&params).expect("rectifier pss");
+    run();
+    let mut wall_s = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = run();
+        wall_s = wall_s.min(t0.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    let r = result.expect("at least one rep ran");
+    assert!(
+        r.is_converged(),
+        "rectifier PSS failed to converge: {:?}",
+        r.status()
+    );
+    PssProbe {
+        n: sess.prepared().num_unknowns,
+        wall_s,
+        shooting_iterations: r.shooting_iterations,
+        gmres_iterations: r.gmres_iterations,
+        newton_iterations: r.newton_iterations,
+        residual: r.residual,
+    }
+}
+
 fn main() {
     let generator = standard_generator();
     let model = generator.generate(&"N1.2-12D".parse().expect("valid shape"));
@@ -852,6 +987,50 @@ fn main() {
         serving.amortization(),
     );
 
+    // Iterative tier: GMRES+ILU(0) vs sparse LU on the mid-size chain.
+    // The asserts are the CI regression gate — the Krylov path must
+    // actually run (nonzero iteration counters) and must agree with the
+    // direct factorization at the operating point.
+    let mid = amplifier_chain(12, &model);
+    let g = gmres_probe(&mid, &tran_params, 7);
+    println!(
+        "\n# Iterative tier (12 stages, n = {n}, op + tran, best of 7)\n\
+         gmres+ilu0 {gms:.1}ms vs sparse lu {sms:.1}ms; \
+         {it:.0} krylov iters, {rs:.0} restarts, {pf:.0} precond refactors; \
+         max |dV| vs sparse op = {dv:.2e}",
+        n = g.n,
+        gms = g.gmres_s * 1e3,
+        sms = g.sparse_s * 1e3,
+        it = g.iters,
+        rs = g.restarts,
+        pf = g.precond_refactors,
+        dv = g.max_dv,
+    );
+    assert!(
+        g.iters > 0.0,
+        "GMRES suite recorded no Krylov iterations — the iterative tier did not run"
+    );
+    assert!(
+        g.max_dv < 1e-6,
+        "GMRES operating point diverged from sparse LU by {:.2e} V",
+        g.max_dv,
+    );
+
+    // Periodic steady state: the shooting-Newton rectifier bench. A
+    // non-converged orbit fails the binary and therefore CI.
+    let p = pss_probe(7);
+    println!(
+        "# Shooting PSS (diode rectifier, n = {n}, best of 7)\n\
+         orbit in {ms:.1}ms: {sh} shooting iters, {gm} krylov matvecs, \
+         {nw} newton iters, weighted residual {res:.3e}",
+        n = p.n,
+        ms = p.wall_s * 1e3,
+        sh = p.shooting_iterations,
+        gm = p.gmres_iterations,
+        nw = p.newton_iterations,
+        res = p.residual,
+    );
+
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"solver_smoke\",\n  \"unit\": \"ms\",\n  \"sizes\": [\n",
@@ -876,7 +1055,13 @@ fn main() {
             "\"threads\": 1,\n",
             "    \"recompile_ms\": {srec:.3}, \"shared_ms\": {ssh:.3}, ",
             "\"amortization\": {samort:.3}, \"jobs_per_sec\": {sjps:.0},\n",
-            "    \"cache_hits\": {shits}, \"cache_compiles\": {scomp}}}\n}}\n"
+            "    \"cache_hits\": {shits}, \"cache_compiles\": {scomp}}},\n",
+            "  \"gmres\": {{\"deck\": \"amplifier_chain_12\", \"n\": {gn},\n",
+            "    \"sparse_ms\": {gsms:.3}, \"gmres_ms\": {ggms:.3}, \"iters\": {git:.0}, ",
+            "\"restarts\": {grs:.0}, \"precond_refactors\": {gpf:.0}, \"max_dv\": {gdv:.3e}}},\n",
+            "  \"pss\": {{\"deck\": \"diode_rectifier\", \"n\": {pn}, \"wall_ms\": {pms:.3},\n",
+            "    \"shooting_iterations\": {psh}, \"gmres_iterations\": {pgm}, ",
+            "\"newton_iterations\": {pnw}, \"residual\": {pres:.3e}}}\n}}\n"
         ),
         sizes = json_sizes,
         base = base_s * 1e3,
@@ -913,6 +1098,19 @@ fn main() {
         sjps = serving.jobs_per_sec(),
         shits = serving.hits,
         scomp = serving.compiles,
+        gn = g.n,
+        gsms = g.sparse_s * 1e3,
+        ggms = g.gmres_s * 1e3,
+        git = g.iters,
+        grs = g.restarts,
+        gpf = g.precond_refactors,
+        gdv = g.max_dv,
+        pn = p.n,
+        pms = p.wall_s * 1e3,
+        psh = p.shooting_iterations,
+        pgm = p.gmres_iterations,
+        pnw = p.newton_iterations,
+        pres = p.residual,
     );
     std::fs::write("BENCH_solver.json", &json).expect("write BENCH_solver.json");
     println!("\nwrote BENCH_solver.json");

@@ -1,0 +1,284 @@
+//! ILU(0): incomplete LU factorization on the matrix's own sparsity
+//! pattern, used as a right preconditioner for GMRES.
+//!
+//! The factorization never allocates fill-in — `L` and `U` live on
+//! exactly the nonzero positions of `A` — so it is cheap enough to
+//! refresh every Newton iteration (pure numeric work once the structure
+//! is built, mirroring the [`SparseLu::refactor`] contract).
+//!
+//! Two MNA-specific wrinkles shape the implementation:
+//!
+//! * Circuit matrices arrive in CSC (stamp-compile order), but ILU(0)'s
+//!   row-wise IKJ elimination wants CSR. The constructor builds a CSR
+//!   mirror once, with a position map back into the CSC value array so
+//!   refreshes are a single gather pass.
+//! * Voltage-source branch rows have *structurally zero* diagonals, so a
+//!   plain ILU(0) pivot would divide by zero. Pivots are kept in a
+//!   separate array with a unit fallback for missing/tiny diagonals —
+//!   safe here because the result is only a preconditioner: a weak pivot
+//!   costs GMRES iterations, never correctness.
+//!
+//! [`SparseLu::refactor`]: crate::sparse::SparseLu::refactor
+
+use crate::gmres::Preconditioner;
+use crate::scalar::Scalar;
+use crate::sparse::CscMatrix;
+
+/// Pivot magnitudes below this fall back to the unit pivot.
+const TINY_PIVOT: f64 = 1e-30;
+
+/// An ILU(0) factorization of a [`CscMatrix`], applied as `z = U⁻¹L⁻¹r`.
+#[derive(Clone, Debug)]
+pub struct Ilu0<T> {
+    n: usize,
+    /// CSR row extents into `col_idx`/`vals`.
+    row_ptr: Vec<usize>,
+    /// Column index per CSR entry, ascending within each row.
+    col_idx: Vec<usize>,
+    /// Factored values: strict lower part holds `L` (unit diagonal
+    /// implicit), upper part holds `U`.
+    vals: Vec<T>,
+    /// CSR position → CSC value index, for refreshes.
+    csc_map: Vec<usize>,
+    /// CSR position of each row's diagonal, `usize::MAX` if absent.
+    diag_pos: Vec<usize>,
+    /// Effective pivot per row (structural zeros replaced by one).
+    pivot: Vec<T>,
+}
+
+impl<T: Scalar> Ilu0<T> {
+    /// Builds the CSR mirror of `a`'s pattern and factors its values.
+    pub fn new(a: &CscMatrix<T>) -> Self {
+        let n = a.n();
+        let nnz = a.nnz();
+        let mut row_counts = vec![0usize; n];
+        for &r in &a.row_idx {
+            row_counts[r] += 1;
+        }
+        let mut row_ptr = vec![0usize; n + 1];
+        for i in 0..n {
+            row_ptr[i + 1] = row_ptr[i] + row_counts[i];
+        }
+        let mut next = row_ptr.clone();
+        let mut col_idx = vec![0usize; nnz];
+        let mut csc_map = vec![0usize; nnz];
+        // Walking columns in ascending order leaves each CSR row sorted
+        // by column, which the elimination below relies on.
+        for j in 0..n {
+            for k in a.col_ptr[j]..a.col_ptr[j + 1] {
+                let r = a.row_idx[k];
+                let pos = next[r];
+                next[r] += 1;
+                col_idx[pos] = j;
+                csc_map[pos] = k;
+            }
+        }
+        let mut diag_pos = vec![usize::MAX; n];
+        for i in 0..n {
+            let range = row_ptr[i]..row_ptr[i + 1];
+            if let Some(off) = col_idx[range.clone()].iter().position(|&c| c == i) {
+                diag_pos[i] = range.start + off;
+            }
+        }
+        let mut ilu = Ilu0 {
+            n,
+            row_ptr,
+            col_idx,
+            vals: vec![T::ZERO; nnz],
+            csc_map,
+            diag_pos,
+            pivot: vec![T::ONE; n],
+        };
+        ilu.refresh(a);
+        ilu
+    }
+
+    /// True when `a` has the same shape this factorization was built for.
+    /// (Pattern identity is the caller's contract — the solver tier
+    /// invalidates its preconditioner whenever the stamp pattern
+    /// recompiles.)
+    pub fn matches(&self, a: &CscMatrix<T>) -> bool {
+        a.n() == self.n && a.nnz() == self.vals.len()
+    }
+
+    /// Re-gathers `a`'s values through the CSC map and refactors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`'s shape differs from the matrix this was built for
+    /// (check [`Ilu0::matches`] first).
+    pub fn refresh(&mut self, a: &CscMatrix<T>) {
+        assert!(self.matches(a), "ILU pattern mismatch");
+        let avals = a.values();
+        for (v, &src) in self.vals.iter_mut().zip(&self.csc_map) {
+            *v = avals[src];
+        }
+        self.factor();
+    }
+
+    /// Row-wise IKJ elimination restricted to the existing pattern.
+    fn factor(&mut self) {
+        let n = self.n;
+        // Marker array: column → CSR position within the current row.
+        let mut iw = vec![usize::MAX; n];
+        for i in 0..n {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            for pos in lo..hi {
+                iw[self.col_idx[pos]] = pos;
+            }
+            for pos in lo..hi {
+                let k = self.col_idx[pos];
+                if k >= i {
+                    break;
+                }
+                // L(i,k) = a(i,k) / pivot(k); update the rest of row i
+                // against row k of U, dropping outside the pattern.
+                let lik = self.vals[pos] / self.pivot[k];
+                self.vals[pos] = lik;
+                let kd = self.diag_pos[k];
+                let kend = self.row_ptr[k + 1];
+                let kstart = if kd == usize::MAX {
+                    // No diagonal in row k: everything right of column k
+                    // belongs to U.
+                    let mut s = self.row_ptr[k];
+                    while s < kend && self.col_idx[s] <= k {
+                        s += 1;
+                    }
+                    s
+                } else {
+                    kd + 1
+                };
+                for kp in kstart..kend {
+                    let j = self.col_idx[kp];
+                    let tgt = iw[j];
+                    if tgt != usize::MAX {
+                        let ukj = self.vals[kp];
+                        let delta = lik * ukj;
+                        self.vals[tgt] -= delta;
+                    }
+                }
+            }
+            let d = if self.diag_pos[i] != usize::MAX {
+                self.vals[self.diag_pos[i]]
+            } else {
+                T::ZERO
+            };
+            self.pivot[i] = if d.modulus() > TINY_PIVOT { d } else { T::ONE };
+            for pos in lo..hi {
+                iw[self.col_idx[pos]] = usize::MAX;
+            }
+        }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for Ilu0<T> {
+    fn apply(&self, r: &[T], z: &mut [T]) {
+        debug_assert_eq!(r.len(), self.n);
+        debug_assert_eq!(z.len(), self.n);
+        // Forward solve L·y = r (unit diagonal).
+        for i in 0..self.n {
+            let mut acc = r[i];
+            for pos in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[pos];
+                if j >= i {
+                    break;
+                }
+                acc -= self.vals[pos] * z[j];
+            }
+            z[i] = acc;
+        }
+        // Backward solve U·z = y using the effective pivots.
+        for i in (0..self.n).rev() {
+            let mut acc = z[i];
+            for pos in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[pos];
+                if j > i {
+                    acc -= self.vals[pos] * z[j];
+                }
+            }
+            z[i] = acc / self.pivot[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gmres::{gmres, GmresOptions};
+    use crate::sparse::TripletBuilder;
+
+    /// Tridiagonal test matrix with a tunable diagonal.
+    fn tridiag(n: usize, diag: f64) -> CscMatrix<f64> {
+        let mut tb = TripletBuilder::new(n);
+        for i in 0..n {
+            tb.add(i, i);
+            if i + 1 < n {
+                tb.add(i, i + 1);
+                tb.add(i + 1, i);
+            }
+        }
+        let (mut csc, slots) = tb.compile::<f64>();
+        let mut si = slots.iter();
+        for i in 0..n {
+            csc.values_mut()[*si.next().unwrap()] = diag + 0.01 * i as f64;
+            if i + 1 < n {
+                csc.values_mut()[*si.next().unwrap()] = -1.0;
+                csc.values_mut()[*si.next().unwrap()] = -1.0;
+            }
+        }
+        csc
+    }
+
+    #[test]
+    fn exact_for_tridiagonal() {
+        // ILU(0) on a tridiagonal matrix is a *complete* LU (no fill
+        // exists to drop), so M⁻¹A = I and GMRES converges in one step.
+        let a = tridiag(10, 4.0);
+        let ilu = Ilu0::new(&a);
+        let b: Vec<f64> = (0..10).map(|i| 1.0 + i as f64).collect();
+        let mut x = vec![0.0; 10];
+        let out = gmres(&mut (&a), &ilu, &b, &mut x, &GmresOptions::default());
+        assert!(out.converged);
+        assert!(out.iterations <= 2, "expected ≈1 iter, got {out:?}");
+        let mut ax = vec![0.0; 10];
+        a.mul_vec_into(&x, &mut ax);
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn refresh_tracks_new_values() {
+        let a = tridiag(8, 4.0);
+        let mut ilu = Ilu0::new(&a);
+        let a2 = tridiag(8, 7.0);
+        assert!(ilu.matches(&a2));
+        ilu.refresh(&a2);
+        let b = vec![1.0; 8];
+        let mut x = vec![0.0; 8];
+        let out = gmres(&mut (&a2), &ilu, &b, &mut x, &GmresOptions::default());
+        assert!(out.converged && out.iterations <= 2, "{out:?}");
+    }
+
+    #[test]
+    fn zero_structural_diagonal_falls_back() {
+        // 2×2 MNA-style saddle: [[g, 1], [1, 0]] — the branch row has no
+        // diagonal. The preconditioner must stay finite and usable.
+        let mut tb = TripletBuilder::new(2);
+        tb.add(0, 0);
+        tb.add(0, 1);
+        tb.add(1, 0);
+        let (mut csc, slots) = tb.compile::<f64>();
+        csc.values_mut()[slots[0]] = 1e-3;
+        csc.values_mut()[slots[1]] = 1.0;
+        csc.values_mut()[slots[2]] = 1.0;
+        let ilu = Ilu0::new(&csc);
+        let b = [1.0, 2.0];
+        let mut x = vec![0.0; 2];
+        let out = gmres(&mut (&csc), &ilu, &b, &mut x, &GmresOptions::default());
+        assert!(out.converged, "{out:?}");
+        // True solution: x = [2, 1 − 2e-3].
+        assert!((x[0] - 2.0).abs() < 1e-8, "{x:?}");
+        assert!((x[1] - (1.0 - 2e-3)).abs() < 1e-8, "{x:?}");
+    }
+}

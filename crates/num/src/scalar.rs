@@ -21,6 +21,8 @@ pub trait Scalar:
     + AddAssign
     + SubAssign
     + Default
+    + Send
+    + Sync
     + 'static
 {
     /// Additive identity.
@@ -33,6 +35,11 @@ pub trait Scalar:
 
     /// Embeds a real number.
     fn from_f64(x: f64) -> Self;
+
+    /// Complex conjugate; the identity for real scalars. The Krylov tier
+    /// needs this for Hermitian inner products and Givens rotations that
+    /// stay correct over both fields.
+    fn conj(self) -> Self;
 }
 
 impl Scalar for f64 {
@@ -48,6 +55,11 @@ impl Scalar for f64 {
     fn from_f64(x: f64) -> f64 {
         x
     }
+
+    #[inline]
+    fn conj(self) -> f64 {
+        self
+    }
 }
 
 impl Scalar for Complex {
@@ -62,6 +74,11 @@ impl Scalar for Complex {
     #[inline]
     fn from_f64(x: f64) -> Complex {
         Complex::from_re(x)
+    }
+
+    #[inline]
+    fn conj(self) -> Complex {
+        Complex::conj(self)
     }
 }
 

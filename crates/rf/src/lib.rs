@@ -17,6 +17,7 @@
 
 pub mod distortion;
 pub mod image_rejection;
+pub mod mixer_tl;
 pub mod noise;
 pub mod plan;
 pub mod pll;
@@ -25,5 +26,6 @@ pub mod spectrum_scan;
 pub mod tuner;
 
 pub use image_rejection::{fig5_sweep, irr_analytic_db, measure_irr_db};
+pub use mixer_tl::{build_hartley_mixer, measure_irr_transistor_db, HartleyMixerParams};
 pub use plan::FrequencyPlan;
 pub use tuner::{build_conventional_tuner, build_image_rejection_tuner, TunerConfig};

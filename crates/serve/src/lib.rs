@@ -34,8 +34,12 @@
 //!   Newton from it instead of a cold continuation-ladder climb. This
 //!   is where most of the shared-cache throughput multiple comes from.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use ahfic::robust::SampleFailure;
-use ahfic_spice::analysis::{sample_pool_map, Options, Session, TranParams, TranResult};
+use ahfic_spice::analysis::{
+    sample_pool_map, Options, PssParams, PssResult, Session, TranParams, TranResult,
+};
 use ahfic_spice::cache::{CacheStats, DeckKey, PreparedCache};
 use ahfic_spice::circuit::Circuit;
 use ahfic_spice::error::SpiceError;
@@ -115,6 +119,12 @@ pub enum JobSpec {
     },
     /// Transient simulation.
     Tran(TranParams),
+    /// Periodic steady state by shooting Newton. Cancellation and
+    /// budget exhaustion are polled at shooting-iteration boundaries
+    /// (and inside each period integration at timestep boundaries);
+    /// both degrade to a typed partial result carrying the best orbit
+    /// found so far.
+    Pss(PssParams),
 }
 
 /// One unit of work for the queue.
@@ -170,6 +180,11 @@ pub enum JobOutput {
     /// cancelled or budget-exhausted run still lands here, with the
     /// partial waveform.
     Tran(TranResult),
+    /// Periodic-steady-state result — inspect
+    /// [`status()`](ahfic_spice::analysis::PssResult::status); a
+    /// cancelled or budget-exhausted run still lands here, with the
+    /// best orbit found so far.
+    Pss(PssResult),
 }
 
 impl JobOutput {
@@ -185,6 +200,14 @@ impl JobOutput {
     pub fn as_op(&self) -> Option<&OpResult> {
         match self {
             JobOutput::Op(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The periodic-steady-state result, if this job ran a PSS.
+    pub fn as_pss(&self) -> Option<&PssResult> {
+        match self {
+            JobOutput::Pss(r) => Some(r),
             _ => None,
         }
     }
@@ -430,6 +453,7 @@ impl JobQueue {
                     .map(JobOutput::Noise),
             },
             JobSpec::Tran(params) => sess.tran(params).map(JobOutput::Tran),
+            JobSpec::Pss(params) => sess.pss(params).map(JobOutput::Pss),
         };
         // Park the session for the worker's next job on this deck. A DC
         // sweep copies the shared deck on write, so its session is
@@ -578,6 +602,47 @@ mod tests {
             "{:?}",
             t.status()
         );
+    }
+
+    #[test]
+    fn pss_job_returns_converged_orbit() {
+        let queue = JobQueue::new(QueueConfig::new().threads(1));
+        let reports = queue.run(vec![JobRequest::new(
+            rc_tran_deck(),
+            JobSpec::Pss(PssParams::new(1e-6, 64)),
+        )
+        .label("pss")]);
+        let p = reports[0].outcome().as_ref().unwrap().as_pss().unwrap();
+        assert!(p.is_converged(), "{:?}", p.status());
+        assert!(p.wave().len() >= 65);
+    }
+
+    #[test]
+    fn cancelled_pss_job_degrades_to_typed_partial() {
+        use ahfic_spice::analysis::PssStatus;
+        let token = CancelToken::new();
+        token.cancel();
+        let queue = JobQueue::new(QueueConfig::new().threads(1));
+        let reports = queue.run(vec![JobRequest::new(
+            rc_tran_deck(),
+            JobSpec::Pss(PssParams::new(1e-6, 64).warmup_periods(0)),
+        )
+        .options(Options::new().cancel_token(&token))]);
+        // The pre-cancelled token is seen either at the initial
+        // operating point (typed failure) or at the first shooting
+        // boundary (typed partial); both are acceptable degradations,
+        // a panic or a bogus "converged" is not.
+        match reports[0].outcome() {
+            Ok(out) => {
+                let p = out.as_pss().unwrap();
+                assert!(
+                    matches!(p.status(), PssStatus::Cancelled { .. }),
+                    "{:?}",
+                    p.status()
+                );
+            }
+            Err(f) => assert!(f.error.is_abort(), "{:?}", f.error),
+        }
     }
 
     #[test]

@@ -101,7 +101,7 @@ pub(crate) fn ac_sweep_impl(
                 }
             }
             ws.factor().map_err(|e| singular_unknown(prep, e))?;
-            Ok(ws.solve().to_vec())
+            Ok(ws.solve().map_err(|e| singular_unknown(prep, e))?.to_vec())
         },
     )?;
     let mut out = AcWaveform::new();

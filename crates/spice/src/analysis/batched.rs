@@ -815,7 +815,7 @@ fn sequential_ac_solve(
         }
     }
     ws.factor().map_err(|e| singular_unknown(prep, e))?;
-    Ok(ws.solve().to_vec())
+    Ok(ws.solve().map_err(|e| singular_unknown(prep, e))?.to_vec())
 }
 
 #[cfg(test)]

@@ -18,7 +18,11 @@ pub mod noise;
 #[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod op;
 #[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+pub mod pac;
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 pub mod pool;
+#[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+pub mod pss;
 pub mod report;
 pub mod session;
 #[cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
@@ -41,7 +45,9 @@ pub use noise::{NoiseContribution, NoisePoint};
 pub use op::{bjt_operating, OpResult};
 #[allow(deprecated)]
 pub use op::{op, op_from};
+pub use pac::{PacParams, PacResult};
 pub use pool::sample_pool_map;
+pub use pss::{PssParams, PssResult, PssStatus};
 pub use report::{lint_report, op_report};
 pub use session::Session;
 pub use solver::{SolverChoice, SolverWorkspace};

@@ -169,7 +169,7 @@ pub(crate) fn noise_impl(
                 if g.n != GROUND_SLOT {
                     ws.rhs[g.n] += Complex::ONE;
                 }
-                let sol = ws.solve();
+                let sol = ws.solve().map_err(|e| singular_unknown(prep, e))?;
                 let h2 = sol[out_slot].norm_sqr();
                 let density = h2 * g.psd(f);
                 total += density;

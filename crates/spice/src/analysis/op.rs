@@ -216,7 +216,7 @@ pub(crate) fn newton_solve(
             });
         }
         ws.factor().map_err(|e| singular_unknown(prep, e))?;
-        let x_new = ws.solve();
+        let x_new = ws.solve().map_err(|e| singular_unknown(prep, e))?;
         if x_new.iter().any(|v| !v.is_finite()) {
             return Err(SpiceError::NonFinite {
                 analysis: "newton",

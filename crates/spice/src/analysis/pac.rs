@@ -1,0 +1,351 @@
+//! Periodic small-signal conversion gain on top of the shooting PSS.
+//!
+//! A mixer's conversion gain relates an input tone at `f_in` to an
+//! output component at a *different* frequency `f_out = |f_in − k·f_LO|`
+//! — ordinary AC analysis around a DC operating point cannot see it,
+//! because the frequency translation comes from the LO's periodic
+//! modulation of the operating point.
+//!
+//! This analysis measures it by a *difference transient* seeded from
+//! the periodic steady state:
+//!
+//! 1. solve the LO-only orbit with the shooting engine (the input
+//!    source is forced to zero during this phase),
+//! 2. re-enable the input as a small tone at `f_in` and integrate the
+//!    perturbed circuit from the orbit's start state on the *same*
+//!    fixed per-period grid, tiled over settle + measurement periods,
+//! 3. subtract the tiled PSS orbit sample-by-sample — everything the
+//!    LO does alone cancels exactly (same grid, same integrator, same
+//!    discretization error), leaving the small-signal response
+//!    `δy(t)`, and
+//! 4. project `δy` onto `e^{−j2πf_out t}` with a trapezoidal Fourier
+//!    integral over the measurement window.
+//!
+//! The window is validated to hold an integer number of both `f_in`
+//! and `f_out` cycles, so the projection has no leakage bias.
+
+use crate::analysis::pss::{pss_impl, PeriodIntegrator, PssParams, PssResult, PssStatus};
+use crate::analysis::stamp::Options;
+use crate::circuit::Prepared;
+use crate::error::{Result, SpiceError};
+use crate::wave::SourceWave;
+use ahfic_num::Complex;
+
+/// Periodic small-signal conversion-gain parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PacParams {
+    /// Name of the independent source carrying the small-signal input
+    /// tone. Its waveform is replaced for the duration of the analysis
+    /// (zeroed during the PSS phase, a sine during the measurement)
+    /// and restored afterwards.
+    pub source: String,
+    /// Output signal to measure, by waveform name (e.g. `"v(out)"`).
+    pub output: String,
+    /// Input tone amplitude (V or A, per the source kind). Keep it
+    /// small against the LO drive so the response stays linear.
+    pub amplitude: f64,
+    /// Input tone frequency (Hz).
+    pub freq_in: f64,
+    /// Output frequency to measure (Hz), e.g. the IF.
+    pub freq_out: f64,
+    /// LO periods in the measurement window. `freq_in` and `freq_out`
+    /// must complete an integer number of cycles in this window.
+    pub measure_periods: usize,
+    /// LO periods integrated (and discarded) before the window opens,
+    /// letting the small-signal transient settle onto its steady
+    /// response.
+    pub settle_periods: usize,
+}
+
+impl PacParams {
+    /// Conventional setup; 20 measurement periods after 10 settle
+    /// periods.
+    pub fn new(
+        source: impl Into<String>,
+        output: impl Into<String>,
+        amplitude: f64,
+        freq_in: f64,
+        freq_out: f64,
+    ) -> Self {
+        PacParams {
+            source: source.into(),
+            output: output.into(),
+            amplitude,
+            freq_in,
+            freq_out,
+            measure_periods: 20,
+            settle_periods: 10,
+        }
+    }
+
+    /// Sets the measurement window length (LO periods).
+    pub fn measure_periods(mut self, n: usize) -> Self {
+        self.measure_periods = n;
+        self
+    }
+
+    /// Sets the settle prefix length (LO periods).
+    pub fn settle_periods(mut self, n: usize) -> Self {
+        self.settle_periods = n;
+        self
+    }
+}
+
+/// Result of a periodic small-signal conversion-gain analysis.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct PacResult {
+    /// Complex conversion gain: output phasor at `freq_out` divided by
+    /// the input amplitude.
+    pub gain: Complex,
+    /// The LO-only periodic steady state the measurement was seeded
+    /// from.
+    pub pss: PssResult,
+}
+
+impl PacResult {
+    /// Conversion-gain magnitude.
+    pub fn gain_mag(&self) -> f64 {
+        self.gain.abs()
+    }
+
+    /// Conversion gain in dB (`20·log10`).
+    pub fn gain_db(&self) -> f64 {
+        20.0 * self.gain.abs().log10()
+    }
+}
+
+/// Checks that `freq` completes an integer (≥ 1) number of cycles in
+/// `window` seconds.
+fn check_commensurate(what: &str, freq: f64, window: f64) -> Result<()> {
+    let cycles = freq * window;
+    if cycles < 0.5 || (cycles - cycles.round()).abs() > 1e-6 * cycles.max(1.0) {
+        return Err(SpiceError::BadAnalysis(format!(
+            "pac: {what} ({freq} Hz) does not complete an integer number of \
+             cycles in the {window} s measurement window ({cycles} cycles)"
+        )));
+    }
+    Ok(())
+}
+
+/// The engine behind [`Session::pac`](crate::analysis::Session::pac):
+/// PSS, perturbed tiled transient, difference, Fourier projection.
+///
+/// Takes `&mut Prepared` because the input source's waveform is swapped
+/// out and back (values only — the compiled structure is untouched,
+/// exactly like a DC sweep).
+pub(crate) fn pac_impl(
+    prep: &mut Prepared,
+    opts: &Options,
+    pss_params: &PssParams,
+    params: &PacParams,
+) -> Result<PacResult> {
+    if params.amplitude <= 0.0 || params.freq_in <= 0.0 || params.freq_out <= 0.0 {
+        return Err(SpiceError::BadAnalysis(
+            "pac needs positive amplitude, freq_in and freq_out".into(),
+        ));
+    }
+    if params.measure_periods == 0 {
+        return Err(SpiceError::BadAnalysis(
+            "pac needs measure_periods >= 1".into(),
+        ));
+    }
+    let window = pss_params.period * params.measure_periods as f64;
+    check_commensurate("freq_in", params.freq_in, window)?;
+    check_commensurate("freq_out", params.freq_out, window)?;
+    let orig = prep
+        .circuit
+        .source_wave(&params.source)
+        .cloned()
+        .ok_or_else(|| SpiceError::Netlist(format!("no source named {}", params.source)))?;
+
+    let result = pac_body(prep, opts, pss_params, params);
+    // Restore the caller's waveform on every path before surfacing the
+    // outcome.
+    prep.circuit.set_source_wave(&params.source, orig)?;
+    result
+}
+
+fn pac_body(
+    prep: &mut Prepared,
+    opts: &Options,
+    pss_params: &PssParams,
+    params: &PacParams,
+) -> Result<PacResult> {
+    let tr = opts.trace.tracer();
+    let span = tr.span("pac");
+    // Phase 1: LO-only periodic steady state with the input silenced.
+    prep.circuit
+        .set_source_wave(&params.source, SourceWave::Dc(0.0))?;
+    let pss = pss_impl(prep, opts, pss_params)?;
+    match pss.status() {
+        PssStatus::Converged => {}
+        PssStatus::Cancelled { .. } => {
+            return Err(SpiceError::Cancelled {
+                analysis: "pac",
+                time: None,
+            })
+        }
+        PssStatus::BudgetExhausted {
+            resource, limit, ..
+        } => {
+            return Err(SpiceError::BudgetExhausted {
+                analysis: "pac",
+                resource,
+                limit: *limit,
+                spent: *limit,
+            })
+        }
+        // `PssStatus` is non_exhaustive; future variants must not
+        // silently pass as converged.
+        #[allow(unreachable_patterns)]
+        _ => {
+            return Err(SpiceError::NoConvergence {
+                analysis: "pac",
+                iterations: pss.shooting_iterations as usize,
+                time: None,
+                report: None,
+            })
+        }
+    }
+    let x_orbit = pss.x0();
+    let y_pss = pss.wave().signal(&params.output)?.to_vec();
+
+    // Phase 2: perturb and integrate on the tiled grid.
+    prep.circuit.set_source_wave(
+        &params.source,
+        SourceWave::Sin {
+            offset: 0.0,
+            ampl: params.amplitude,
+            freq: params.freq_in,
+            delay: 0.0,
+            damping: 0.0,
+            phase_deg: 0.0,
+        },
+    )?;
+    let mut integ = PeriodIntegrator::new(prep, opts, pss_params);
+    let period = pss_params.period;
+    let omega = 2.0 * std::f64::consts::PI * params.freq_out;
+    let mut x = x_orbit;
+    let mut acc = Complex::ZERO;
+    for p in 0..params.settle_periods + params.measure_periods {
+        // Period-boundary control points, mirroring the shooting loop.
+        if opts.cancel.cancelled() {
+            return Err(SpiceError::Cancelled {
+                analysis: "pac",
+                time: Some(p as f64 * period),
+            });
+        }
+        if let Some(limit) = opts.budget.steps_exhausted(integ.steps) {
+            return Err(SpiceError::BudgetExhausted {
+                analysis: "pac",
+                resource: "steps",
+                limit,
+                spent: integ.steps,
+            });
+        }
+        let t_offset = p as f64 * period;
+        if p < params.settle_periods {
+            x = integ.integrate(&x, t_offset, None)?;
+            continue;
+        }
+        let mut wave = integ.fresh_wave();
+        x = integ.integrate(&x, t_offset, Some(&mut wave))?;
+        let y = wave.signal(&params.output)?;
+        let ts = wave.axis();
+        // Phase 3+4 fused: per-interval trapezoid of
+        // δy(t)·e^{−jωt} over this period. The grid matches the PSS
+        // orbit's sample-for-sample, so the subtraction is exact.
+        let f_at = |k: usize| {
+            let dy = y[k] - y_pss[k];
+            let ph = -omega * ts[k];
+            Complex::new(dy * ph.cos(), dy * ph.sin())
+        };
+        let mut prev = f_at(0);
+        for k in 1..ts.len() {
+            let cur = f_at(k);
+            let h = ts[k] - ts[k - 1];
+            acc += (prev + cur).scale(0.5 * h);
+            prev = cur;
+        }
+    }
+    // X(f_out) = (2/T_win)·∫ δy·e^{−jωt} dt; gain = X / A_in.
+    let phasor = acc.scale(2.0 / (params.measure_periods as f64 * period));
+    let gain = phasor.scale(1.0 / params.amplitude);
+    tr.counter("pac.gain_mag", gain.abs());
+    span.end();
+    Ok(PacResult { gain, pss })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    /// Linear RC lowpass with a "LO" that does nothing (linear circuit:
+    /// no frequency translation) — conversion gain at f_in equals the
+    /// AC transfer magnitude, and the machinery (PSS seed, difference
+    /// transient, Fourier projection) is exercised end to end.
+    #[test]
+    fn linear_circuit_reproduces_ac_transfer() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.vsource_wave("VIN", inp, Circuit::gnd(), SourceWave::Dc(0.0));
+        c.resistor("R1", inp, out, 1e3);
+        c.capacitor("C1", out, Circuit::gnd(), 1e-9);
+        let mut prep = Prepared::compile(&c).unwrap();
+        let opts = Options::default();
+        // "LO" period 1 us; input tone at 2 MHz, measured at 2 MHz
+        // (k = 0 sideband: plain transfer).
+        let pss_params = PssParams::new(1e-6, 256);
+        let pac = PacParams::new("VIN", "v(out)", 0.01, 2e6, 2e6)
+            .measure_periods(10)
+            .settle_periods(10);
+        let r = pac_impl(&mut prep, &opts, &pss_params, &pac).unwrap();
+        let wrc = 2.0 * std::f64::consts::PI * 2e6 * 1e3 * 1e-9;
+        let expect = 1.0 / (1.0 + wrc * wrc).sqrt();
+        assert!(
+            (r.gain_mag() - expect).abs() < 0.02 * expect,
+            "gain {} vs analytic {expect}",
+            r.gain_mag()
+        );
+        // The input waveform was restored.
+        assert_eq!(
+            prep.circuit.source_wave("VIN").cloned(),
+            Some(SourceWave::Dc(0.0))
+        );
+    }
+
+    #[test]
+    fn rejects_leaky_window() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        c.vsource_wave("VIN", inp, Circuit::gnd(), SourceWave::Dc(0.0));
+        c.resistor("R1", inp, Circuit::gnd(), 1e3);
+        let mut prep = Prepared::compile(&c).unwrap();
+        let opts = Options::default();
+        // 1.37 MHz in a 10 us window: 13.7 cycles — not integer.
+        let pac = PacParams::new("VIN", "v(in)", 0.01, 1.37e6, 1.37e6).measure_periods(10);
+        let e = pac_impl(&mut prep, &opts, &PssParams::new(1e-6, 64), &pac).unwrap_err();
+        assert!(matches!(e, SpiceError::BadAnalysis(_)), "{e}");
+    }
+
+    #[test]
+    fn unknown_source_is_a_netlist_error() {
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        c.vsource_wave("VIN", inp, Circuit::gnd(), SourceWave::Dc(0.0));
+        c.resistor("R1", inp, Circuit::gnd(), 1e3);
+        let mut prep = Prepared::compile(&c).unwrap();
+        let pac = PacParams::new("VNOPE", "v(in)", 0.01, 1e6, 1e6);
+        let e = pac_impl(
+            &mut prep,
+            &Options::default(),
+            &PssParams::new(1e-6, 64),
+            &pac,
+        )
+        .unwrap_err();
+        assert!(matches!(e, SpiceError::Netlist(_)), "{e}");
+    }
+}

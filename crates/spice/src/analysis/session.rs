@@ -19,6 +19,8 @@ use crate::analysis::ac::ac_sweep_impl;
 use crate::analysis::dc::dc_sweep_impl;
 use crate::analysis::noise::{noise_impl, NoisePoint};
 use crate::analysis::op::{op_from_ws, OpResult};
+use crate::analysis::pac::{pac_impl, PacParams, PacResult};
+use crate::analysis::pss::{pss_impl, PssParams, PssResult};
 use crate::analysis::solver::{SolverChoice, SolverWorkspace};
 use crate::analysis::stamp::Options;
 use crate::analysis::tran::{tran_impl, TranParams, TranResult};
@@ -314,6 +316,44 @@ impl Session {
     /// exhaustion are *statuses* on the result, not errors.
     pub fn tran(&self, params: &TranParams) -> Result<TranResult> {
         tran_impl(&self.prepared, &self.options, params)
+    }
+
+    /// Periodic steady state by shooting Newton.
+    ///
+    /// Returns a [`PssResult`] whose status reports whether the
+    /// shooting iteration converged, was cancelled, or exhausted its
+    /// budget — the best orbit so far is still returned in the latter
+    /// two cases.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::SpiceError::BadAnalysis`] for nonsensical
+    /// parameters; initial-OP and inner solver failures;
+    /// [`crate::error::SpiceError::NoConvergence`] when the shooting
+    /// iteration stalls.
+    pub fn pss(&self, params: &PssParams) -> Result<PssResult> {
+        pss_impl(&self.prepared, &self.options, params)
+    }
+
+    /// Periodic small-signal conversion gain (PSS plus a difference
+    /// transient against the tiled orbit).
+    ///
+    /// Mutates the input source's waveform in place (restoring it
+    /// afterwards), so a deck shared with other sessions is copied on
+    /// first write.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Session::pss`], plus
+    /// [`crate::error::SpiceError::BadAnalysis`] when the measurement
+    /// window does not hold an integer number of input/output cycles.
+    pub fn pac(&mut self, pss_params: &PssParams, params: &PacParams) -> Result<PacResult> {
+        pac_impl(
+            Arc::make_mut(&mut self.prepared),
+            &self.options,
+            pss_params,
+            params,
+        )
     }
 }
 

@@ -16,15 +16,20 @@
 use crate::analysis::stamp::MnaSink;
 use crate::circuit::Prepared;
 use crate::error::SpiceError;
-use ahfic_num::lu::{LuFactors, SingularMatrixError};
-use ahfic_num::sparse::{CscMatrix, SparseLu, TripletBuilder};
-use ahfic_num::{Matrix, Scalar};
+use ahfic_num::solver::{
+    DenseLuSolver, GmresIluSolver, LinearSolveError, LinearSolver, SparseLuSolver, SystemRef,
+};
+use ahfic_num::sparse::{CscMatrix, TripletBuilder};
+use ahfic_num::{GmresOptions, Matrix, Scalar};
 use ahfic_trace::SolverStats;
 use std::time::Instant;
 
 /// Linear-solver selection, set via
 /// [`Options::solver`](crate::analysis::stamp::Options::solver).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// (`Eq` is deliberately absent: the GMRES variant carries an `f64`
+/// tolerance. `PartialEq` is all the workspace-reuse checks need.)
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum SolverChoice {
     /// Sparse at or above [`AUTO_SPARSE_MIN_N`] unknowns, dense below.
     #[default]
@@ -33,6 +38,10 @@ pub enum SolverChoice {
     Dense,
     /// Sparse LU with symbolic-pattern reuse regardless of system size.
     Sparse,
+    /// Restarted GMRES with ILU(0) preconditioning on the sparse kernel;
+    /// the knobs (restart length, relative tolerance, iteration budget)
+    /// ride along in the variant.
+    Gmres(GmresOptions),
 }
 
 /// Unknown count at which [`SolverChoice::Auto`] switches from dense to
@@ -47,15 +56,13 @@ pub const AUTO_SPARSE_MIN_N: usize = 16;
 /// costs nothing; boxing would only add indirection on the hot path.
 #[allow(clippy::large_enum_variant)]
 pub(crate) enum Kernel<T: Scalar> {
-    /// Dense backend: stamp into a [`Matrix`], refactor into a reused
-    /// [`LuFactors`] buffer.
+    /// Dense kernel: stamp into a [`Matrix`].
     Dense {
         mat: Matrix<T>,
-        lu: Option<LuFactors<T>>,
         /// Checkpointed matrix values (linear-baseline replay).
         base: Option<Matrix<T>>,
     },
-    /// Sparse backend with slot replay.
+    /// Sparse kernel with slot replay.
     Sparse {
         /// True while the current assembly records its stamp sequence.
         recording: bool,
@@ -71,12 +78,27 @@ pub(crate) enum Kernel<T: Scalar> {
         cursor: usize,
         /// A replayed stamp disagreed with the recorded sequence.
         mismatch: bool,
-        lu: Option<SparseLu<T>>,
         /// Checkpointed CSC values (linear-baseline replay).
         base_vals: Vec<T>,
         /// Stamp cursor captured alongside `base_vals`.
         base_cursor: usize,
     },
+}
+
+// Same state-machine reasoning as the `MnaSink` impl below: a missing
+// compiled pattern at system-view time is a sequencing bug.
+#[allow(clippy::expect_used)]
+impl<T: Scalar> Kernel<T> {
+    /// Borrowed [`SystemRef`] view of the assembled matrix for the
+    /// backend tier.
+    fn system(&self) -> SystemRef<'_, T> {
+        match self {
+            Kernel::Dense { mat, .. } => SystemRef::Dense(mat),
+            Kernel::Sparse { csc, .. } => {
+                SystemRef::Sparse(csc.as_ref().expect("assembled before factor"))
+            }
+        }
+    }
 }
 
 // The `expect`s below encode the kernel's own state machine (a pattern
@@ -147,11 +169,13 @@ impl<T: Scalar> MnaSink<T> for Kernel<T> {
 ///     if !ws.finish_assembly() { break; }   // true at most once per pattern
 /// }
 /// ws.factor()?;
-/// let x = ws.solve();                       // borrows ws until next use
+/// let x = ws.solve()?;                      // borrows ws until next use
 /// ```
 pub struct SolverWorkspace<T: Scalar> {
     n: usize,
     pub(crate) kernel: Kernel<T>,
+    /// Pluggable solve backend (dense LU, sparse LU, or GMRES+ILU).
+    backend: Box<dyn LinearSolver<T>>,
     /// Right-hand side, filled by the assemblers.
     pub(crate) rhs: Vec<T>,
     x: Vec<T>,
@@ -171,9 +195,11 @@ pub struct SolverWorkspace<T: Scalar> {
 impl<T: Scalar> SolverWorkspace<T> {
     /// Allocates a workspace for an `n`-unknown system.
     pub fn new(n: usize, choice: SolverChoice) -> Self {
+        // GMRES matvecs against the compiled CSC values, so it always
+        // rides the sparse kernel regardless of system size.
         let sparse = match choice {
             SolverChoice::Dense => false,
-            SolverChoice::Sparse => true,
+            SolverChoice::Sparse | SolverChoice::Gmres(_) => true,
             SolverChoice::Auto => n >= AUTO_SPARSE_MIN_N,
         };
         let kernel = if sparse {
@@ -185,20 +211,24 @@ impl<T: Scalar> SolverWorkspace<T> {
                 csc: None,
                 cursor: 0,
                 mismatch: false,
-                lu: None,
                 base_vals: Vec::new(),
                 base_cursor: 0,
             }
         } else {
             Kernel::Dense {
                 mat: Matrix::zeros(n, n),
-                lu: None,
                 base: None,
             }
+        };
+        let backend: Box<dyn LinearSolver<T>> = match choice {
+            SolverChoice::Gmres(opts) => Box::new(GmresIluSolver::new(opts)),
+            _ if sparse => Box::new(SparseLuSolver::new()),
+            _ => Box::new(DenseLuSolver::new()),
         };
         SolverWorkspace {
             n,
             kernel,
+            backend,
             rhs: vec![T::ZERO; n],
             x: Vec::with_capacity(n),
             base_rhs: vec![T::ZERO; n],
@@ -243,7 +273,6 @@ impl<T: Scalar> SolverWorkspace<T> {
                 csc,
                 cursor,
                 mismatch,
-                lu,
                 ..
             } => {
                 if *recording {
@@ -262,10 +291,9 @@ impl<T: Scalar> SolverWorkspace<T> {
                     false
                 } else if *mismatch || *cursor != slots.len() {
                     // The stamp sequence changed under a frozen pattern;
-                    // drop pattern and factors and re-record.
+                    // drop the pattern and re-record.
                     *recording = true;
                     *csc = None;
-                    *lu = None;
                     true
                 } else {
                     false
@@ -273,7 +301,9 @@ impl<T: Scalar> SolverWorkspace<T> {
             }
         };
         if changed {
-            // The checkpoint was taken against the old pattern.
+            // Cached factors and the checkpoint were built against the
+            // old pattern.
+            self.backend.invalidate();
             self.base_valid = false;
         }
         changed
@@ -305,7 +335,6 @@ impl<T: Scalar> SolverWorkspace<T> {
             csc,
             cursor,
             mismatch,
-            lu,
             ..
         } = &mut self.kernel
         {
@@ -321,8 +350,8 @@ impl<T: Scalar> SolverWorkspace<T> {
             *recording = false;
             *cursor = 0;
             *mismatch = false;
-            *lu = None;
             self.base_valid = false;
+            self.backend.invalidate();
         }
     }
 
@@ -404,81 +433,70 @@ impl<T: Scalar> SolverWorkspace<T> {
         self.base_valid = false;
     }
 
-    /// Factors the assembled matrix, reusing prior symbolic work and
-    /// factor storage: the dense backend refactors into its existing
-    /// buffers; the sparse backend replays the frozen pivot order and
-    /// fill pattern, falling back to a full re-pivot on the same pattern
-    /// if a replayed pivot degrades.
+    /// Prepares the backend against the assembled matrix: the direct
+    /// backends factor (reusing prior symbolic work and factor storage —
+    /// dense refactors in place, sparse replays the frozen pivot order
+    /// with a full re-pivot fallback); the iterative backend refreshes
+    /// its ILU(0) preconditioner.
     ///
     /// # Errors
     ///
-    /// Returns [`SingularMatrixError`] when the matrix is singular to
-    /// working precision (map with `singular_unknown` for reporting).
-    pub fn factor(&mut self) -> Result<(), SingularMatrixError> {
+    /// Returns [`LinearSolveError::Singular`] when a direct factorization
+    /// breaks down (map with `singular_unknown` for reporting).
+    pub fn factor(&mut self) -> Result<(), LinearSolveError> {
         self.stats.factorizations += 1;
         let started = if self.timing {
             Some(Instant::now())
         } else {
             None
         };
-        let result = match &mut self.kernel {
-            Kernel::Dense { mat, lu, .. } => match lu {
-                Some(f) => f.refactor_from(mat),
-                None => {
-                    *lu = Some(LuFactors::factor(mat.clone())?);
-                    Ok(())
-                }
-            },
-            Kernel::Sparse { csc, lu, .. } => {
-                let m = csc.as_ref().expect("assembled before factor");
-                match lu {
-                    Some(f) => f
-                        .refactor(m)
-                        .or_else(|_| SparseLu::factor(m).map(|nf| *f = nf)),
-                    None => {
-                        *lu = Some(SparseLu::factor(m)?);
-                        Ok(())
-                    }
-                }
-            }
-        };
+        let result = self.backend.prepare(self.kernel.system());
         if let Some(t0) = started {
             self.stats.factor_seconds += t0.elapsed().as_secs_f64();
         }
+        self.absorb_counters();
         result
     }
 
-    /// Solves against the current right-hand side using the stored
-    /// factors; the returned slice stays valid until the next workspace
+    /// Solves against the current right-hand side using the prepared
+    /// backend; the returned slice stays valid until the next workspace
     /// use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinearSolveError::NoConvergence`] when the iterative
+    /// backend exhausts its budget; the direct backends never fail here.
     ///
     /// # Panics
     ///
     /// Panics if [`SolverWorkspace::factor`] has not succeeded since the
     /// last pattern change.
-    pub fn solve(&mut self) -> &[T] {
+    pub fn solve(&mut self) -> Result<&[T], LinearSolveError> {
         self.stats.solves += 1;
         let started = if self.timing {
             Some(Instant::now())
         } else {
             None
         };
-        match &mut self.kernel {
-            Kernel::Dense { lu, .. } => {
-                lu.as_ref()
-                    .expect("factored")
-                    .solve_into(&self.rhs, &mut self.x);
-            }
-            Kernel::Sparse { lu, .. } => {
-                self.x.clear();
-                self.x.extend_from_slice(&self.rhs);
-                lu.as_mut().expect("factored").solve_in_place(&mut self.x);
-            }
-        }
+        let result = self
+            .backend
+            .solve(self.kernel.system(), &self.rhs, &mut self.x);
         if let Some(t0) = started {
             self.stats.solve_seconds += t0.elapsed().as_secs_f64();
         }
-        &self.x
+        self.absorb_counters();
+        result.map(|()| &*self.x)
+    }
+
+    /// Folds the backend's iteration counters into
+    /// [`SolverWorkspace::stats`].
+    fn absorb_counters(&mut self) {
+        let c = self.backend.take_counters();
+        if !c.is_zero() {
+            self.stats.gmres_iterations += c.gmres_iterations;
+            self.stats.gmres_restarts += c.gmres_restarts;
+            self.stats.precond_refactors += c.precond_refactors;
+        }
     }
 }
 
@@ -530,15 +548,24 @@ impl SolverWorkspace<f64> {
     }
 }
 
-/// Maps a linear-solver breakdown to [`SpiceError::Singular`] with the
-/// name of the offending unknown.
-pub(crate) fn singular_unknown(prep: &Prepared, e: SingularMatrixError) -> SpiceError {
-    SpiceError::Singular {
-        unknown: prep
-            .unknown_names
-            .get(e.column)
-            .cloned()
-            .unwrap_or_else(|| format!("#{}", e.column)),
+/// Maps a linear-solver breakdown to a [`SpiceError`]: direct-backend
+/// singularity carries the name of the offending unknown, iterative
+/// stagnation surfaces as a typed no-convergence.
+pub(crate) fn singular_unknown(prep: &Prepared, e: LinearSolveError) -> SpiceError {
+    match e {
+        LinearSolveError::Singular { column } => SpiceError::Singular {
+            unknown: prep
+                .unknown_names
+                .get(column)
+                .cloned()
+                .unwrap_or_else(|| format!("#{column}")),
+        },
+        LinearSolveError::NoConvergence { iterations, .. } => SpiceError::NoConvergence {
+            analysis: "gmres",
+            iterations,
+            time: None,
+            report: None,
+        },
     }
 }
 
@@ -664,7 +691,7 @@ mod tests {
                 }
             }
             ws.factor().unwrap();
-            let x = ws.solve().to_vec();
+            let x = ws.solve().unwrap().to_vec();
             // Check against the dense solve of the same system.
             let a = Matrix::from_rows(&[&[2.0 * scale, 1.0], &[1.0, 3.0 * scale + 1.0]]);
             let expect = ahfic_num::lu::solve(a, &[1.0, 2.0]).unwrap();
@@ -695,9 +722,45 @@ mod tests {
         assert!(!ws.finish_assembly());
         ws.rhs.copy_from_slice(&[2.0, 4.0]);
         ws.factor().unwrap();
-        let x = ws.solve();
+        let x = ws.solve().unwrap();
         assert!((x[1] - 2.0).abs() < 1e-12);
         assert!((x[0] - (2.0 - 5.0 * 2.0) / 2.0).abs() < 1e-12);
+    }
+
+    /// The GMRES backend rides the sparse kernel and reproduces the LU
+    /// solution through the same assembly lifecycle, ticking the Krylov
+    /// counters as it goes.
+    #[test]
+    fn gmres_choice_matches_sparse_lu() {
+        let choice = SolverChoice::Gmres(GmresOptions::default());
+        let mut ws: SolverWorkspace<f64> = SolverWorkspace::new(2, choice);
+        assert!(ws.is_sparse(), "GMRES forces the sparse kernel");
+        let mut reference: SolverWorkspace<f64> = SolverWorkspace::new(2, SolverChoice::Sparse);
+        for round in 0..3 {
+            let scale = 1.0 + round as f64;
+            for w in [&mut ws, &mut reference] {
+                loop {
+                    w.kernel.reset();
+                    w.kernel.add(0, 0, 4.0 * scale);
+                    w.kernel.add(0, 1, 1.0);
+                    w.kernel.add(1, 0, 1.0);
+                    w.kernel.add(1, 1, 3.0 * scale);
+                    w.rhs.copy_from_slice(&[1.0, 2.0]);
+                    if !w.finish_assembly() {
+                        break;
+                    }
+                }
+                w.factor().unwrap();
+            }
+            let xg = ws.solve().unwrap().to_vec();
+            let xs = reference.solve().unwrap().to_vec();
+            for k in 0..2 {
+                assert!((xg[k] - xs[k]).abs() < 1e-8, "round {round}");
+            }
+        }
+        assert!(ws.stats.gmres_iterations > 0, "{:?}", ws.stats);
+        assert_eq!(ws.stats.precond_refactors, 3, "{:?}", ws.stats);
+        assert_eq!(reference.stats.gmres_iterations, 0);
     }
 
     /// Auto picks dense for small systems and sparse for large ones.
@@ -783,7 +846,7 @@ mod tests {
                     }
                 }
                 ws.factor().unwrap();
-                let x = ws.solve().to_vec();
+                let x = ws.solve().unwrap().to_vec();
                 let a = Matrix::from_rows(&[&[2.0, -1.0], &[-1.0, 1.0 + g]]);
                 let expect = ahfic_num::lu::solve(a, &[1.0, g]).unwrap();
                 for k in 0..2 {
@@ -810,8 +873,8 @@ mod tests {
         ws.finish_assembly();
         ws.rhs.copy_from_slice(&[1.0, 4.0]);
         ws.factor().unwrap();
-        ws.solve();
-        ws.solve();
+        ws.solve().unwrap();
+        ws.solve().unwrap();
         assert_eq!(ws.stats.factorizations, 1);
         assert_eq!(ws.stats.solves, 2);
         assert_eq!(ws.stats.factor_seconds, 0.0);
@@ -825,7 +888,7 @@ mod tests {
         ws.finish_assembly();
         ws.rhs.copy_from_slice(&[1.0, 4.0]);
         ws.factor().unwrap();
-        ws.solve();
+        ws.solve().unwrap();
         assert!(ws.stats.factor_seconds > 0.0);
         assert!(ws.stats.solve_seconds > 0.0);
     }

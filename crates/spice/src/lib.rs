@@ -76,7 +76,8 @@ pub mod prelude {
     pub use crate::analysis::{ac_sweep, dc_sweep, op, op_from, tran};
     pub use crate::analysis::{
         bjt_operating, Budget, CancelToken, FaultInjector, FaultKind, LadderConfig, Options,
-        Session, SolverChoice, StreamPolicy, TranParams, TranResult, TranStatus,
+        PacParams, PacResult, PssParams, PssResult, PssStatus, Session, SolverChoice, StreamPolicy,
+        TranParams, TranResult, TranStatus,
     };
     pub use crate::cache::PreparedCache;
     pub use crate::circuit::{Circuit, NodeId, Prepared};

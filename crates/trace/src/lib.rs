@@ -39,10 +39,12 @@
 //! assert_eq!(records[2].kind, RecordKind::SpanEnd);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::Write;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 mod stats;
@@ -97,6 +99,14 @@ pub trait TraceSink: Send + Sync {
     fn record(&self, rec: TraceRecord);
 }
 
+/// Recovers a poisoned sink lock. A panicking recording thread must not
+/// disable telemetry for every other thread, and each record is pushed
+/// or written atomically under the lock, so the protected state stays
+/// coherent even after a panic mid-`record`.
+fn lock_sink<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A sink that discards everything. Used to measure the enabled-path
 /// overhead (clock reads and record construction) without storage costs.
 #[derive(Clone, Copy, Debug, Default)]
@@ -120,17 +130,17 @@ impl InMemorySink {
 
     /// A snapshot of everything recorded so far.
     pub fn records(&self) -> Vec<TraceRecord> {
-        self.records.lock().expect("sink poisoned").clone()
+        lock_sink(&self.records).clone()
     }
 
     /// Drains and returns everything recorded so far.
     pub fn take(&self) -> Vec<TraceRecord> {
-        std::mem::take(&mut *self.records.lock().expect("sink poisoned"))
+        std::mem::take(&mut *lock_sink(&self.records))
     }
 
     /// Number of buffered records.
     pub fn len(&self) -> usize {
-        self.records.lock().expect("sink poisoned").len()
+        lock_sink(&self.records).len()
     }
 
     /// True when nothing has been recorded.
@@ -141,7 +151,7 @@ impl InMemorySink {
 
 impl TraceSink for InMemorySink {
     fn record(&self, rec: TraceRecord) {
-        self.records.lock().expect("sink poisoned").push(rec);
+        lock_sink(&self.records).push(rec);
     }
 }
 
@@ -162,13 +172,13 @@ impl<W: Write + Send> JsonLinesSink<W> {
         }
     }
 
-    /// Consumes the sink, returning the writer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a recording thread panicked while holding the lock.
+    /// Consumes the sink, returning the writer. A poisoned lock is
+    /// recovered: complete records were fully written before any panic,
+    /// so the writer's contents are still line-coherent.
     pub fn into_inner(self) -> W {
-        self.out.into_inner().expect("sink poisoned")
+        self.out
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -180,15 +190,19 @@ impl JsonLinesSink<Vec<u8>> {
 
     /// The buffered JSON-lines text so far.
     pub fn contents(&self) -> String {
-        String::from_utf8(self.out.lock().expect("sink poisoned").clone())
-            .expect("JSON output is UTF-8")
+        String::from_utf8_lossy(&lock_sink(&self.out)).into_owned()
     }
 }
 
 impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
     fn record(&self, rec: TraceRecord) {
-        let line = serde_json::to_string(&rec).expect("record serializes");
-        let mut out = self.out.lock().expect("sink poisoned");
+        // `TraceRecord` is a flat struct of primitives and strings;
+        // serialization cannot fail, but if it ever did the right
+        // degradation for telemetry is to drop the record, not panic.
+        let Ok(line) = serde_json::to_string(&rec) else {
+            return;
+        };
+        let mut out = lock_sink(&self.out);
         let _ = out.write_all(line.as_bytes());
         let _ = out.write_all(b"\n");
     }

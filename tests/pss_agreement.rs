@@ -1,0 +1,249 @@
+//! Shooting-Newton periodic steady state pinned against brute-force
+//! transient ring-down, plus property tests pinning the GMRES+ILU(0)
+//! solver tier to sparse LU on randomized RLC + BJT decks.
+//!
+//! The PSS engine finds the periodic orbit directly; the reference is
+//! the same circuit integrated long enough for every natural time
+//! constant to die out. The two must land on the same waveform —
+//! sample-for-sample for the stiff rectifier (1 mV), fundamental
+//! amplitude for the weakly-damped coupled tank (0.1 dB).
+
+use ahfic_num::{Complex, GmresOptions};
+use ahfic_spice::analysis::{Options, PssParams, Session, SolverChoice, TranParams};
+use ahfic_spice::circuit::{Circuit, Prepared};
+use ahfic_spice::wave::{SourceWave, Waveform};
+use ahfic_spice::{BjtModel, DiodeModel};
+use proptest::prelude::*;
+
+/// Linear interpolation of an (irregularly sampled) transient signal.
+fn sample_at(ts: &[f64], ys: &[f64], t: f64) -> f64 {
+    let i = ts.partition_point(|&x| x < t).clamp(1, ts.len() - 1);
+    let (t0, t1) = (ts[i - 1], ts[i]);
+    let frac = if t1 > t0 {
+        ((t - t0) / (t1 - t0)).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    ys[i - 1] + frac * (ys[i] - ys[i - 1])
+}
+
+/// Fundamental phasor magnitude of `signal` over `[t_start, t_end]` by
+/// trapezoidal Fourier projection at `freq` (the window must hold an
+/// integer number of cycles for this to be leakage-free).
+fn fundamental_amplitude(
+    wave: &Waveform,
+    signal: &str,
+    freq: f64,
+    t_start: f64,
+    t_end: f64,
+) -> f64 {
+    let ts = wave.axis();
+    let ys = wave.signal(signal).expect("signal exists");
+    let w = 2.0 * std::f64::consts::PI * freq;
+    let f = |t: f64| {
+        let y = sample_at(ts, ys, t);
+        Complex::new(y * (w * t).cos(), -y * (w * t).sin())
+    };
+    // Integrate on the union of the window edges and the samples inside.
+    let mut acc = Complex::new(0.0, 0.0);
+    let mut prev_t = t_start;
+    let mut prev_f = f(t_start);
+    for &t in ts.iter().filter(|&&t| t > t_start && t < t_end) {
+        let cur = f(t);
+        acc += (prev_f + cur).scale(0.5 * (t - prev_t));
+        prev_t = t;
+        prev_f = cur;
+    }
+    let end = f(t_end);
+    acc += (prev_f + end).scale(0.5 * (t_end - prev_t));
+    acc.scale(2.0 / (t_end - t_start)).abs()
+}
+
+/// Half-wave rectifier whose ring-down time constant (RL·CL = 2 µs)
+/// spans many drive periods.
+fn rectifier() -> Circuit {
+    let mut c = Circuit::new();
+    let vin = c.node("vin");
+    let out = c.node("out");
+    c.vsource_wave(
+        "VIN",
+        vin,
+        Circuit::gnd(),
+        SourceWave::Sin {
+            offset: 0.0,
+            ampl: 2.0,
+            freq: 1e6,
+            delay: 0.0,
+            damping: 0.0,
+            phase_deg: 0.0,
+        },
+    );
+    let dm = c.add_diode_model(DiodeModel::default());
+    c.diode("D1", vin, out, dm, 1.0);
+    c.capacitor("CL", out, Circuit::gnd(), 2e-9);
+    c.resistor("RL", out, Circuit::gnd(), 1e3);
+    c
+}
+
+#[test]
+fn rectifier_pss_matches_ringdown_transient_to_a_millivolt() {
+    let period = 1e-6;
+    let sess = Session::compile(&rectifier()).expect("rectifier compiles");
+    let pss = sess
+        .pss(&PssParams::new(period, 256))
+        .expect("rectifier pss");
+    assert!(pss.is_converged(), "{:?}", pss.status());
+
+    // 40 µs = 20 ring-down time constants: the transient's last period
+    // is periodic to far below the comparison tolerance.
+    let t_stop = 40e-6;
+    let tran = sess
+        .tran(&TranParams::new(t_stop, 2e-9))
+        .expect("rectifier transient")
+        .into_wave();
+
+    let ts = tran.axis();
+    let vt = tran.signal("v(out)").expect("transient v(out)");
+    let grid = pss.wave().axis();
+    let vp = pss.wave().signal("v(out)").expect("pss v(out)");
+    let mut worst = 0.0f64;
+    for (k, &t) in grid.iter().enumerate() {
+        let reference = sample_at(ts, vt, t_stop - period + t);
+        worst = worst.max((vp[k] - reference).abs());
+    }
+    assert!(worst < 1e-3, "PSS vs ring-down worst error {worst:.2e} V");
+}
+
+/// Two capacitively-coupled 1 MHz LC tanks (Q ≈ 20 each), driven
+/// through a source resistor — the weakly-damped oscillatory deck where
+/// shooting-Newton earns its keep: the ring-down reference needs tens
+/// of periods to settle, the shooting iteration a handful of orbits.
+fn coupled_tank() -> Circuit {
+    let mut c = Circuit::new();
+    let vin = c.node("vin");
+    let t1 = c.node("t1");
+    let t2 = c.node("t2");
+    c.vsource_wave(
+        "VIN",
+        vin,
+        Circuit::gnd(),
+        SourceWave::Sin {
+            offset: 0.0,
+            ampl: 1.0,
+            freq: 1e6,
+            delay: 0.0,
+            damping: 0.0,
+            phase_deg: 0.0,
+        },
+    );
+    c.resistor("RS", vin, t1, 10e3);
+    // f0 = 1/(2*pi*sqrt(LC)) = 1 MHz; Rp/(w0*L) sets Q = 20.
+    let l = 25.33e-6;
+    let cap = 1e-9;
+    c.inductor("L1", t1, Circuit::gnd(), l);
+    c.capacitor("C1", t1, Circuit::gnd(), cap);
+    c.resistor("RP1", t1, Circuit::gnd(), 3.2e3);
+    c.capacitor("CC", t1, t2, 50e-12);
+    c.inductor("L2", t2, Circuit::gnd(), l);
+    c.capacitor("C2", t2, Circuit::gnd(), cap);
+    c.resistor("RP2", t2, Circuit::gnd(), 3.2e3);
+    c
+}
+
+#[test]
+fn coupled_tank_pss_amplitude_matches_ringdown_within_tenth_db() {
+    let period = 1e-6;
+    let freq = 1e6;
+    let sess = Session::compile(&coupled_tank()).expect("tank compiles");
+    let pss = sess
+        .pss(&PssParams::new(period, 512).warmup_periods(0))
+        .expect("tank pss");
+    assert!(pss.is_converged(), "{:?}", pss.status());
+
+    // Tank ring-down tau = 2Q/w0 ~ 6.4 us; 60 us ~ 9 tau leaves the
+    // startup transient ~40 dB below the 0.1 dB comparison floor.
+    let t_stop = 60e-6;
+    let tran = sess
+        .tran(&TranParams::new(t_stop, 2e-9))
+        .expect("tank transient")
+        .into_wave();
+
+    for node in ["v(t1)", "v(t2)"] {
+        let a_pss = fundamental_amplitude(pss.wave(), node, freq, 0.0, period);
+        let a_ring = fundamental_amplitude(&tran, node, freq, t_stop - 4.0 * period, t_stop);
+        let delta_db = 20.0 * (a_pss / a_ring).log10();
+        assert!(
+            delta_db.abs() < 0.1,
+            "{node}: PSS {a_pss:.6} V vs ring-down {a_ring:.6} V ({delta_db:+.4} dB)"
+        );
+    }
+}
+
+/// Randomized RLC + BJT amplifier chain (same family as the solver
+/// agreement suite): `muls` perturbs every passive around nominal.
+fn rlc_bjt_chain(muls: &[f64], stages: usize) -> Prepared {
+    let mut c = Circuit::new();
+    let vcc = c.node("vcc");
+    let vin = c.node("vin");
+    c.vsource("VCC", vcc, Circuit::gnd(), 5.0);
+    c.vsource("VIN", vin, Circuit::gnd(), 0.0);
+    let mut m = BjtModel::named("rnpn");
+    m.bf = 80.0;
+    m.rb = 90.0;
+    m.re = 1.2;
+    m.rc = 18.0;
+    m.cje = 50e-15;
+    m.cjc = 30e-15;
+    m.tf = 10e-12;
+    let mi = c.add_bjt_model(m);
+    let mut drive = vin;
+    for i in 0..stages {
+        let f = &muls[8 * i..8 * i + 8];
+        let b = c.node(&format!("b{i}"));
+        let col = c.node(&format!("c{i}"));
+        let e = c.node(&format!("e{i}"));
+        let tank = c.node(&format!("t{i}"));
+        c.resistor(&format!("RB1_{i}"), vcc, b, 47e3 * f[0]);
+        c.resistor(&format!("RB2_{i}"), b, Circuit::gnd(), 10e3 * f[1]);
+        c.capacitor(&format!("CIN{i}"), drive, b, 10e-12 * f[2]);
+        c.resistor(&format!("RC{i}"), vcc, col, 1e3 * f[3]);
+        c.resistor(&format!("RE{i}"), e, Circuit::gnd(), 220.0 * f[4]);
+        c.capacitor(&format!("CE{i}"), e, Circuit::gnd(), 20e-12 * f[5]);
+        c.bjt(&format!("Q{i}"), col, b, e, mi, 1.0);
+        c.inductor(&format!("LT{i}"), col, tank, 50e-9 * f[6]);
+        c.capacitor(&format!("CT{i}"), tank, Circuit::gnd(), 5e-12 * f[7]);
+        c.resistor(&format!("RT{i}"), tank, Circuit::gnd(), 5e3);
+        drive = col;
+    }
+    Prepared::compile(&c).expect("random deck compiles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The GMRES+ILU(0) tier must reproduce the sparse-LU operating
+    /// point on randomized RLC + BJT decks: same Newton path (the inner
+    /// solves are converged far below Newton's own tolerance), same
+    /// answer.
+    #[test]
+    fn gmres_matches_sparse_lu_on_random_rlc_bjt_decks(
+        muls in proptest::collection::vec(0.5f64..2.0, 24),
+        stages in 1u32..4,
+    ) {
+        let prep = rlc_bjt_chain(&muls, stages as usize);
+        let r_sparse = Session::new(prep.clone())
+            .with_options(Options::new().solver(SolverChoice::Sparse))
+            .op()
+            .unwrap();
+        let r_gmres = Session::new(prep)
+            .with_options(Options::new().solver(SolverChoice::Gmres(GmresOptions::default())))
+            .op()
+            .unwrap();
+        for (k, (a, b)) in r_sparse.x().iter().zip(r_gmres.x()).enumerate() {
+            prop_assert!(
+                (a - b).abs() < 1e-6 * (1.0 + a.abs()),
+                "unknown {k}: sparse {a} vs gmres {b}"
+            );
+        }
+    }
+}
