@@ -98,6 +98,10 @@ pub struct GmresOutcome {
     pub restarts: usize,
     /// Final relative residual `‖b − A·x‖ / ‖b‖` estimate.
     pub residual: f64,
+    /// True when the run bailed early because a full restart cycle made
+    /// no residual progress (preconditioner lost its grip) — iterating
+    /// further would only burn the matvec budget.
+    pub stagnated: bool,
 }
 
 fn norm<T: Scalar>(v: &[T]) -> f64 {
@@ -150,6 +154,7 @@ pub fn gmres<T: Scalar>(
         iterations: 0,
         restarts: 0,
         residual: 0.0,
+        stagnated: false,
     };
     if n == 0 {
         out.converged = true;
@@ -175,6 +180,7 @@ pub fn gmres<T: Scalar>(
     let mut g: Vec<T> = Vec::with_capacity(m + 1);
 
     let mut first_cycle = true;
+    let mut prev_cycle_rel = f64::INFINITY;
     loop {
         // True residual r = b − A·x.
         op.apply(x, &mut w);
@@ -188,6 +194,16 @@ pub fn gmres<T: Scalar>(
         if out.iterations >= opts.max_iters {
             return out;
         }
+        // Stagnation bail: a whole restart cycle that shaved less than
+        // 0.1% off the true residual means the Krylov space (as
+        // preconditioned) has nothing left to offer — stop here so the
+        // caller can fall back to a direct solve instead of burning the
+        // rest of the matvec budget on a plateau.
+        if out.residual >= prev_cycle_rel * 0.999 {
+            out.stagnated = true;
+            return out;
+        }
+        prev_cycle_rel = out.residual;
         if !first_cycle {
             out.restarts += 1;
         }

@@ -103,6 +103,9 @@ pub struct IterationCounters {
     pub gmres_restarts: u64,
     /// Preconditioner (re)factorizations.
     pub precond_refactors: u64,
+    /// Solves rescued by the direct-LU fallback after the Krylov
+    /// iteration stagnated or ran out of budget.
+    pub fallbacks: u64,
 }
 
 impl IterationCounters {
@@ -268,20 +271,81 @@ impl<T: Scalar> LinearOperator<T> for DenseOp<'_, T> {
 /// against the live system view. Dense systems are handled too —
 /// unpreconditioned, since ILU(0) is a sparse-pattern construct — so the
 /// backend never panics on kernel kind.
+///
+/// When the Krylov iteration stagnates (no residual progress over a
+/// restart cycle) or exhausts its matvec budget, the backend falls back
+/// to a direct LU solve of the same system — counted in
+/// [`IterationCounters::fallbacks`] — instead of surfacing
+/// [`LinearSolveError::NoConvergence`]. High-frequency AC matrices where
+/// ILU(0) loses its grip thereby degrade to direct-solver cost, not to a
+/// failed analysis. Disable with [`GmresIluSolver::without_fallback`] to
+/// observe the typed error.
 pub struct GmresIluSolver<T: Scalar> {
     opts: GmresOptions,
     ilu: Option<Ilu0<T>>,
     counters: IterationCounters,
+    fallback: bool,
+    sparse_fb: Option<SparseLu<T>>,
+    dense_fb: Option<LuFactors<T>>,
 }
 
 impl<T: Scalar> GmresIluSolver<T> {
-    /// Creates a backend with the given iteration knobs.
+    /// Creates a backend with the given iteration knobs and the direct
+    /// fallback armed.
     pub fn new(opts: GmresOptions) -> Self {
         GmresIluSolver {
             opts,
             ilu: None,
             counters: IterationCounters::default(),
+            fallback: true,
+            sparse_fb: None,
+            dense_fb: None,
         }
+    }
+
+    /// Disables the direct-LU rescue so a stalled iteration surfaces as
+    /// [`LinearSolveError::NoConvergence`].
+    pub fn without_fallback(mut self) -> Self {
+        self.fallback = false;
+        self
+    }
+
+    /// Direct-LU rescue for a solve the Krylov iteration gave up on.
+    ///
+    /// Factors from the *live* system view on every call (numeric replay
+    /// of a cached symbolic pattern when one exists), because `prepare`
+    /// may have refreshed the values since the last fallback.
+    fn direct_rescue(
+        &mut self,
+        a: SystemRef<'_, T>,
+        b: &[T],
+        x: &mut Vec<T>,
+    ) -> Result<(), LinearSolveError> {
+        match a {
+            SystemRef::Sparse(m) => {
+                match &mut self.sparse_fb {
+                    Some(f) => f
+                        .refactor(m)
+                        .or_else(|_| SparseLu::factor(m).map(|nf| *f = nf))?,
+                    slot => *slot = Some(SparseLu::factor(m)?),
+                }
+                x.clear();
+                x.extend_from_slice(b);
+                // Just installed above; the sequencing invariant is local.
+                #[allow(clippy::expect_used)]
+                self.sparse_fb.as_mut().expect("factored").solve_in_place(x);
+            }
+            SystemRef::Dense(m) => {
+                match &mut self.dense_fb {
+                    Some(f) => f.refactor_from(m)?,
+                    slot => *slot = Some(LuFactors::factor(m.clone())?),
+                }
+                #[allow(clippy::expect_used)]
+                self.dense_fb.as_ref().expect("factored").solve_into(b, x);
+            }
+        }
+        self.counters.fallbacks += 1;
+        Ok(())
     }
 }
 
@@ -323,6 +387,8 @@ impl<T: Scalar> LinearSolver<T> for GmresIluSolver<T> {
         self.counters.gmres_restarts += out.restarts as u64;
         if out.converged {
             Ok(())
+        } else if self.fallback {
+            self.direct_rescue(a, b, x)
         } else {
             Err(LinearSolveError::NoConvergence {
                 iterations: out.iterations,
@@ -333,6 +399,8 @@ impl<T: Scalar> LinearSolver<T> for GmresIluSolver<T> {
 
     fn invalidate(&mut self) {
         self.ilu = None;
+        self.sparse_fb = None;
+        self.dense_fb = None;
     }
 
     fn take_counters(&mut self) -> IterationCounters {
@@ -414,7 +482,8 @@ mod tests {
         assert!(matches!(err, LinearSolveError::Singular { .. }), "{err:?}");
     }
 
-    /// GMRES reports no-convergence with its iteration count.
+    /// With the rescue disarmed, GMRES reports no-convergence with its
+    /// iteration count.
     #[test]
     fn gmres_budget_exhaustion_is_typed() {
         let csc = spd_csc(30);
@@ -423,7 +492,8 @@ mod tests {
             restart: 2,
             tol: 1e-300, // unreachable target
             max_iters: 3,
-        });
+        })
+        .without_fallback();
         gm.prepare(SystemRef::Sparse(&csc)).unwrap();
         let mut x = Vec::new();
         let err = gm.solve(SystemRef::Sparse(&csc), &b, &mut x).unwrap_err();
@@ -431,5 +501,75 @@ mod tests {
             LinearSolveError::NoConvergence { iterations, .. } => assert!(iterations <= 3),
             other => panic!("expected NoConvergence, got {other:?}"),
         }
+    }
+
+    /// The default backend rescues the same stalled solve with a direct
+    /// factorization and counts it.
+    #[test]
+    fn gmres_fallback_rescues_stalled_solve() {
+        let n = 30;
+        let csc = spd_csc(n);
+        let b = vec![1.0; n];
+        let mut gm = GmresIluSolver::new(GmresOptions {
+            restart: 2,
+            tol: 1e-300, // unreachable target: every solve stalls
+            max_iters: 3,
+        });
+        gm.prepare(SystemRef::Sparse(&csc)).unwrap();
+        let mut x = Vec::new();
+        gm.solve(SystemRef::Sparse(&csc), &b, &mut x).unwrap();
+        let c = gm.take_counters();
+        assert_eq!(c.fallbacks, 1, "{c:?}");
+
+        // The rescued solution is the direct one.
+        let mut sl = SparseLuSolver::new();
+        sl.prepare(SystemRef::Sparse(&csc)).unwrap();
+        let mut xref = Vec::new();
+        sl.solve(SystemRef::Sparse(&csc), &b, &mut xref).unwrap();
+        for i in 0..n {
+            assert!((x[i] - xref[i]).abs() < 1e-12, "at {i}");
+        }
+
+        // Dense systems are rescued through the dense LU path.
+        let dense = dense_of(&csc);
+        let mut gmd = GmresIluSolver::new(GmresOptions {
+            restart: 2,
+            tol: 1e-300,
+            max_iters: 3,
+        });
+        gmd.prepare(SystemRef::Dense(&dense)).unwrap();
+        let mut xd = Vec::new();
+        gmd.solve(SystemRef::Dense(&dense), &b, &mut xd).unwrap();
+        assert_eq!(gmd.take_counters().fallbacks, 1);
+        for i in 0..n {
+            assert!((xd[i] - xref[i]).abs() < 1e-10, "dense rescue at {i}");
+        }
+    }
+
+    /// A full restart cycle with no residual progress bails out early
+    /// instead of burning the whole matvec budget.
+    #[test]
+    fn gmres_stagnation_bails_before_budget() {
+        let csc = spd_csc(30);
+        let b = vec![1.0; 30];
+        let mut x = vec![0.0; 30];
+        let mut op = &csc;
+        let out = gmres(
+            &mut op,
+            &IdentityPrecond,
+            &b,
+            &mut x,
+            &GmresOptions {
+                restart: 2,
+                tol: 1e-300,
+                max_iters: 100_000,
+            },
+        );
+        assert!(!out.converged);
+        assert!(out.stagnated, "{out:?}");
+        assert!(
+            out.iterations < 100_000,
+            "stagnation should cut the budget short: {out:?}"
+        );
     }
 }

@@ -547,6 +547,16 @@ impl BatchedOpEngine {
                             *state = LaneState::Fallback;
                             continue;
                         }
+                        // Serve-level faults keep their sequential
+                        // semantics: the panic unwinds to the supervised
+                        // worker boundary, the stall burns wall clock
+                        // against the deadline budget.
+                        Some(FaultKind::Panic) => {
+                            panic!("injected fault: device model panic at iteration {iter}");
+                        }
+                        Some(FaultKind::Stall { millis }) => {
+                            std::thread::sleep(std::time::Duration::from_millis(millis));
+                        }
                         None => {}
                     }
                 }

@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A cloneable cancellation flag shared between a job's submitter and
 /// the analysis running it.
@@ -95,6 +96,17 @@ impl CancelHandle {
             Some(flag) => flag.load(Ordering::Relaxed),
         }
     }
+
+    /// Requests cancellation through this handle (no-op when disabled).
+    ///
+    /// The serving layer uses this during `shutdown_and_drain` to stop
+    /// in-flight jobs past the drain deadline without needing the
+    /// original [`CancelToken`].
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.inner {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
 }
 
 impl std::fmt::Debug for CancelHandle {
@@ -108,6 +120,47 @@ impl std::fmt::Debug for CancelHandle {
 impl PartialEq for CancelHandle {
     fn eq(&self, other: &Self) -> bool {
         self.enabled() == other.enabled()
+    }
+}
+
+/// A wall-clock deadline: the instant the budget was armed plus the
+/// allowance, kept together so exhaustion reports both the configured
+/// limit and the time actually spent.
+///
+/// Created through [`Budget::max_wall`]; checked at the same
+/// Newton-iteration / timestep / shooting-iteration boundaries as the
+/// counter budgets, so a stuck solve degrades to a typed
+/// `BudgetExhausted` (resource `"wall_clock_ms"`) within one boundary
+/// instead of hanging a serving worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    start: Instant,
+    limit: Duration,
+}
+
+impl Deadline {
+    /// Arms a deadline `limit` from now.
+    pub fn within(limit: Duration) -> Self {
+        Deadline {
+            start: Instant::now(),
+            limit,
+        }
+    }
+
+    /// Whether the allowance has elapsed.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() >= self.limit
+    }
+
+    /// The configured allowance in milliseconds.
+    pub fn limit_ms(&self) -> u64 {
+        self.limit.as_millis().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Milliseconds elapsed since the deadline was armed.
+    pub fn spent_ms(&self) -> u64 {
+        self.start.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
     }
 }
 
@@ -140,6 +193,9 @@ pub struct Budget {
     /// [`BatchMode`](crate::analysis::BatchMode) requests. `None` =
     /// unlimited.
     pub max_lanes: Option<usize>,
+    /// Wall-clock deadline, checked at the same solver boundaries as the
+    /// counters above. `None` = unlimited.
+    pub deadline: Option<Deadline>,
 }
 
 impl Budget {
@@ -149,6 +205,7 @@ impl Budget {
             max_newton: None,
             max_steps: None,
             max_lanes: None,
+            deadline: None,
         }
     }
 
@@ -170,9 +227,21 @@ impl Budget {
         self
     }
 
+    /// Arms a wall-clock deadline `limit` from now. The clock starts
+    /// when this builder runs, not when the analysis does — arm it at
+    /// submission time to bound queueing plus compute, or just before
+    /// the call to bound compute alone.
+    pub fn max_wall(mut self, limit: Duration) -> Self {
+        self.deadline = Some(Deadline::within(limit));
+        self
+    }
+
     /// Whether any limit is set.
     pub fn limited(&self) -> bool {
-        self.max_newton.is_some() || self.max_steps.is_some() || self.max_lanes.is_some()
+        self.max_newton.is_some()
+            || self.max_steps.is_some()
+            || self.max_lanes.is_some()
+            || self.deadline.is_some()
     }
 
     /// Clamps a requested lane count to the budget.
@@ -198,6 +267,18 @@ impl Budget {
     pub(crate) fn steps_exhausted(&self, spent: u64) -> Option<u64> {
         match self.max_steps {
             Some(limit) if spent >= limit => Some(limit),
+            _ => None,
+        }
+    }
+
+    /// Whether the wall-clock deadline has passed, returning
+    /// `(limit_ms, spent_ms)` for the exhaustion report. A single
+    /// not-taken branch when no deadline is armed; reads the clock only
+    /// when one is.
+    #[inline]
+    pub(crate) fn wall_exhausted(&self) -> Option<(u64, u64)> {
+        match &self.deadline {
+            Some(d) if d.expired() => Some((d.limit_ms(), d.spent_ms())),
             _ => None,
         }
     }
@@ -274,6 +355,30 @@ mod tests {
         assert_eq!(b.steps_exhausted(5), Some(5));
         assert_eq!(b.clamp_lanes(64), 4);
         assert_eq!(Budget::unlimited().max_lanes(0).clamp_lanes(64), 1);
+    }
+
+    #[test]
+    fn wall_deadline_arms_and_expires() {
+        let b = Budget::unlimited();
+        assert_eq!(b.wall_exhausted(), None);
+        let b = b.max_wall(Duration::from_secs(3600));
+        assert!(b.limited());
+        assert_eq!(b.wall_exhausted(), None, "fresh hour-long budget");
+        let b = Budget::unlimited().max_wall(Duration::ZERO);
+        let (limit, _spent) = b.wall_exhausted().expect("zero allowance expires at once");
+        assert_eq!(limit, 0);
+        let d = Deadline::within(Duration::from_millis(1500));
+        assert_eq!(d.limit_ms(), 1500);
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn handle_cancel_is_a_noop_when_disabled() {
+        CancelHandle::off().cancel();
+        let t = CancelToken::new();
+        let h = CancelHandle::new(&t);
+        h.cancel();
+        assert!(t.is_cancelled(), "handle cancel reaches the shared token");
     }
 
     #[test]

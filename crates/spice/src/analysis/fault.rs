@@ -3,10 +3,12 @@
 //! A [`FaultInjector`] is installed through
 //! [`Options::fault_injector`](crate::analysis::Options::fault_injector)
 //! and consulted once per Newton iteration. It can poison the assembled
-//! system (NaN stamp), zero it (singular factorization), or abort the
-//! solve (forced non-convergence) at a precisely chosen point — the test
-//! harness that proves each recovery path in the continuation ladder
-//! actually fires. Unset (the default) it costs one not-taken branch per
+//! system (NaN stamp), zero it (singular factorization), abort the
+//! solve (forced non-convergence), panic (a device model blowing a
+//! debug assertion), or stall (a wedged solve) at a precisely chosen
+//! point — the test harness that proves each recovery path in the
+//! continuation ladder and the serving layer's supervision actually
+//! fires. Unset (the default) it costs one not-taken branch per
 //! iteration.
 //!
 //! Faults are targeted either exactly ([`FaultTrigger::At`]: the n-th
@@ -31,6 +33,18 @@ pub enum FaultKind {
     /// Abort the solve as if Newton had run out of iterations,
     /// exercising ladder escalation and step rejection.
     NoConvergence,
+    /// Panic at the poll site, standing in for a device model whose
+    /// debug assertion fires mid-stamp. Exercises the serving layer's
+    /// `catch_unwind` supervision — outside a supervised worker this
+    /// unwinds like any other library panic.
+    Panic,
+    /// Sleep `millis` at the poll site, standing in for a wedged solve
+    /// (stuck preconditioner, pathological model evaluation). Exercises
+    /// wall-clock [`Budget`](crate::analysis::Budget) deadlines.
+    Stall {
+        /// How long the injected stall sleeps, in milliseconds.
+        millis: u64,
+    },
 }
 
 /// When the injector fires.
@@ -184,7 +198,11 @@ impl FaultInjector {
 }
 
 /// SplitMix64 finalizer: a statistically solid stateless hash.
-fn splitmix64(mut z: u64) -> u64 {
+///
+/// Public because the serving layer reuses it for deterministic
+/// retry-backoff jitter — same seed, same schedule, no wall-clock or
+/// thread-timing dependence.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

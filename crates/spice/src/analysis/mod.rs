@@ -35,7 +35,7 @@ pub mod tran;
 #[allow(deprecated)]
 pub use ac::ac_sweep;
 pub use batched::{BatchedAcEngine, BatchedOpEngine, BatchedWorkspace};
-pub use control::{Budget, CancelHandle, CancelToken, StreamPolicy};
+pub use control::{Budget, CancelHandle, CancelToken, Deadline, StreamPolicy};
 #[allow(deprecated)]
 pub use dc::dc_sweep;
 pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultTrigger};

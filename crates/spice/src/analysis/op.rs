@@ -115,6 +115,14 @@ fn error_worst(e: &SpiceError) -> Vec<WorstUnknown> {
 /// deck degrades to a report between continuation stages instead of
 /// burning the whole ladder.
 fn budget_gate(opts: &Options, spent: usize) -> Result<()> {
+    if let Some((limit, spent_ms)) = opts.budget.wall_exhausted() {
+        return Err(SpiceError::BudgetExhausted {
+            analysis: "op",
+            resource: "wall_clock_ms",
+            limit,
+            spent: spent_ms,
+        });
+    }
     match opts.budget.newton_exhausted(spent as u64) {
         None => Ok(()),
         Some(limit) => Err(SpiceError::BudgetExhausted {
@@ -169,6 +177,16 @@ pub(crate) fn newton_solve(
                 time: None,
             });
         }
+        // Wall-clock deadline shares the cancellation poll site, so a
+        // stuck solve degrades within one Newton iteration.
+        if let Some((limit, spent)) = opts.budget.wall_exhausted() {
+            return Err(SpiceError::BudgetExhausted {
+                analysis: "newton",
+                resource: "wall_clock_ms",
+                limit,
+                spent,
+            });
+        }
         loop {
             if !(replay && ws.restore()) {
                 ws.kernel.reset();
@@ -205,6 +223,12 @@ pub(crate) fn newton_solve(
                         time: None,
                         report: None,
                     });
+                }
+                Some(crate::analysis::fault::FaultKind::Panic) => {
+                    panic!("injected fault: device model panic at iteration {iter}");
+                }
+                Some(crate::analysis::fault::FaultKind::Stall { millis }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
                 }
                 None => {}
             }

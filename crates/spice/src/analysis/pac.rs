@@ -244,6 +244,14 @@ fn pac_body(
                 spent: integ.steps,
             });
         }
+        if let Some((limit, spent)) = opts.budget.wall_exhausted() {
+            return Err(SpiceError::BudgetExhausted {
+                analysis: "pac",
+                resource: "wall_clock_ms",
+                limit,
+                spent,
+            });
+        }
         let t_offset = p as f64 * period;
         if p < params.settle_periods {
             x = integ.integrate(&x, t_offset, None)?;

@@ -112,7 +112,8 @@ pub enum PssStatus {
     },
     /// A [`Budget`](crate::analysis::Budget) limit fired.
     BudgetExhausted {
-        /// Which limit (`"steps"`, `"newton_iterations"`).
+        /// Which limit (`"steps"`, `"newton_iterations"`,
+        /// `"wall_clock_ms"`).
         resource: &'static str,
         /// The configured limit.
         limit: u64,
@@ -488,6 +489,14 @@ pub(crate) fn pss_impl(prep: &Prepared, opts: &Options, params: &PssParams) -> R
         if let Some(limit) = opts.budget.newton_exhausted(integ.newton_iterations) {
             status = Some(PssStatus::BudgetExhausted {
                 resource: "newton_iterations",
+                limit,
+                iterations: shooting_iters,
+            });
+            break;
+        }
+        if let Some((limit, _spent)) = opts.budget.wall_exhausted() {
+            status = Some(PssStatus::BudgetExhausted {
+                resource: "wall_clock_ms",
                 limit,
                 iterations: shooting_iters,
             });

@@ -496,6 +496,7 @@ impl<T: Scalar> SolverWorkspace<T> {
             self.stats.gmres_iterations += c.gmres_iterations;
             self.stats.gmres_restarts += c.gmres_restarts;
             self.stats.precond_refactors += c.precond_refactors;
+            self.stats.gmres_fallbacks += c.fallbacks;
         }
     }
 }

@@ -70,7 +70,8 @@ pub enum TranStatus {
     },
     /// A [`Budget`](crate::analysis::Budget) limit fired.
     BudgetExhausted {
-        /// Which limit (`"steps"`, `"newton_iterations"`).
+        /// Which limit (`"steps"`, `"newton_iterations"`,
+        /// `"wall_clock_ms"`).
         resource: &'static str,
         /// The configured limit.
         limit: u64,
@@ -265,6 +266,14 @@ pub(crate) fn tran_impl(
         if let Some(limit) = opts.budget.newton_exhausted(stats.newton_iterations) {
             status = TranStatus::BudgetExhausted {
                 resource: "newton_iterations",
+                limit,
+                t,
+            };
+            break;
+        }
+        if let Some((limit, _spent)) = opts.budget.wall_exhausted() {
+            status = TranStatus::BudgetExhausted {
+                resource: "wall_clock_ms",
                 limit,
                 t,
             };

@@ -654,6 +654,16 @@ impl CachedDeck {
         let mut hint = self.entry.hint.lock().expect("hint lock poisoned");
         *hint = Some(x.to_vec());
     }
+
+    /// Discards the warm-start hint so the next job on this deck cold
+    /// starts. The serving layer's retry path calls this before a second
+    /// attempt: a poisoned (e.g. non-finite) hint must not re-kill the
+    /// retry it caused.
+    pub fn clear_op_hint(&self) {
+        #[allow(clippy::expect_used)]
+        let mut hint = self.entry.hint.lock().expect("hint lock poisoned");
+        *hint = None;
+    }
 }
 
 #[cfg(test)]

@@ -171,7 +171,8 @@ pub enum SpiceError {
     BudgetExhausted {
         /// Analysis that ran out of budget (`"op"`, `"tran"`, …).
         analysis: &'static str,
-        /// Which limit fired (`"newton_iterations"`, `"steps"`).
+        /// Which limit fired (`"newton_iterations"`, `"steps"`,
+        /// `"wall_clock_ms"`).
         resource: &'static str,
         /// The configured limit.
         limit: u64,

@@ -25,6 +25,9 @@ pub struct SolverStats {
     /// ILU preconditioner (re)factorizations (zero unless the iterative
     /// backend ran).
     pub precond_refactors: u64,
+    /// Solves rescued by the direct-LU fallback after GMRES stagnated
+    /// or ran out of budget (zero unless the iterative backend ran).
+    pub gmres_fallbacks: u64,
 }
 
 impl SolverStats {
@@ -37,6 +40,7 @@ impl SolverStats {
         self.gmres_iterations += other.gmres_iterations;
         self.gmres_restarts += other.gmres_restarts;
         self.precond_refactors += other.precond_refactors;
+        self.gmres_fallbacks += other.gmres_fallbacks;
     }
 
     /// The work done since `earlier` was captured from the same
@@ -50,16 +54,17 @@ impl SolverStats {
             gmres_iterations: self.gmres_iterations - earlier.gmres_iterations,
             gmres_restarts: self.gmres_restarts - earlier.gmres_restarts,
             precond_refactors: self.precond_refactors - earlier.precond_refactors,
+            gmres_fallbacks: self.gmres_fallbacks - earlier.gmres_fallbacks,
         }
     }
 
     /// Emits `<prefix>.factorizations`, `.solves`, `.factor_seconds`,
     /// `.solve_seconds` counters. When the iterative backend did any work
     /// this also emits the fixed-name Krylov counters
-    /// `solver.gmres.iters`, `solver.gmres.restarts` and
-    /// `solver.gmres.precond_refactors` (conditional, so direct-solver
-    /// runs keep their exact record shape). No-op when the tracer is
-    /// disabled.
+    /// `solver.gmres.iters`, `solver.gmres.restarts`,
+    /// `solver.gmres.precond_refactors` and `solver.gmres.fallbacks`
+    /// (conditional, so direct-solver runs keep their exact record
+    /// shape). No-op when the tracer is disabled.
     pub fn emit(&self, t: Tracer<'_>, prefix: &str) {
         if !t.enabled() {
             return;
@@ -71,13 +76,18 @@ impl SolverStats {
         t.counter(&format!("{prefix}.solves"), self.solves as f64);
         t.counter(&format!("{prefix}.factor_seconds"), self.factor_seconds);
         t.counter(&format!("{prefix}.solve_seconds"), self.solve_seconds);
-        if self.gmres_iterations != 0 || self.gmres_restarts != 0 || self.precond_refactors != 0 {
+        if self.gmres_iterations != 0
+            || self.gmres_restarts != 0
+            || self.precond_refactors != 0
+            || self.gmres_fallbacks != 0
+        {
             t.counter("solver.gmres.iters", self.gmres_iterations as f64);
             t.counter("solver.gmres.restarts", self.gmres_restarts as f64);
             t.counter(
                 "solver.gmres.precond_refactors",
                 self.precond_refactors as f64,
             );
+            t.counter("solver.gmres.fallbacks", self.gmres_fallbacks as f64);
         }
     }
 }
@@ -215,6 +225,7 @@ mod tests {
             gmres_iterations: 4,
             gmres_restarts: 1,
             precond_refactors: 2,
+            gmres_fallbacks: 1,
         };
         let before = a;
         a.merge(&b);
@@ -243,11 +254,13 @@ mod tests {
         }
         .emit(handle.tracer(), "op");
         let recs = sink.records();
-        assert_eq!(recs.len(), 7);
+        assert_eq!(recs.len(), 8);
         assert_eq!(recs[4].name, "solver.gmres.iters");
         assert_eq!(recs[4].value, 9.0);
         assert_eq!(recs[6].name, "solver.gmres.precond_refactors");
         assert_eq!(recs[6].value, 3.0);
+        assert_eq!(recs[7].name, "solver.gmres.fallbacks");
+        assert_eq!(recs[7].value, 0.0);
     }
 
     #[test]
