@@ -98,9 +98,9 @@ pub struct GmresOutcome {
     pub restarts: usize,
     /// Final relative residual `‖b − A·x‖ / ‖b‖` estimate.
     pub residual: f64,
-    /// True when the run bailed early because a full restart cycle made
-    /// no residual progress (preconditioner lost its grip) — iterating
-    /// further would only burn the matvec budget.
+    /// True when the run bailed early because two consecutive restart
+    /// cycles made no residual progress (preconditioner lost its grip)
+    /// — iterating further would only burn the matvec budget.
     pub stagnated: bool,
 }
 
@@ -181,6 +181,7 @@ pub fn gmres<T: Scalar>(
 
     let mut first_cycle = true;
     let mut prev_cycle_rel = f64::INFINITY;
+    let mut stagnant_cycles = 0u32;
     loop {
         // True residual r = b − A·x.
         op.apply(x, &mut w);
@@ -194,14 +195,23 @@ pub fn gmres<T: Scalar>(
         if out.iterations >= opts.max_iters {
             return out;
         }
-        // Stagnation bail: a whole restart cycle that shaved less than
-        // 0.1% off the true residual means the Krylov space (as
-        // preconditioned) has nothing left to offer — stop here so the
-        // caller can fall back to a direct solve instead of burning the
-        // rest of the matvec budget on a plateau.
+        // Stagnation bail: two consecutive restart cycles that each
+        // shaved less than 0.1% off the true residual mean the Krylov
+        // space (as preconditioned) has nothing left to offer — stop
+        // here so the caller can fall back to a direct solve instead of
+        // burning the rest of the matvec budget on a plateau. One flat
+        // cycle is not enough: weakly preconditioned solves creeping
+        // toward tolerance can have a slow cycle while still making
+        // real progress, and must not be cut over to direct-LU cost
+        // (or a typed NoConvergence) prematurely.
         if out.residual >= prev_cycle_rel * 0.999 {
-            out.stagnated = true;
-            return out;
+            stagnant_cycles += 1;
+            if stagnant_cycles >= 2 {
+                out.stagnated = true;
+                return out;
+            }
+        } else {
+            stagnant_cycles = 0;
         }
         prev_cycle_rel = out.residual;
         if !first_cycle {

@@ -272,8 +272,9 @@ impl<T: Scalar> LinearOperator<T> for DenseOp<'_, T> {
 /// unpreconditioned, since ILU(0) is a sparse-pattern construct — so the
 /// backend never panics on kernel kind.
 ///
-/// When the Krylov iteration stagnates (no residual progress over a
-/// restart cycle) or exhausts its matvec budget, the backend falls back
+/// When the Krylov iteration stagnates (no residual progress over two
+/// consecutive restart cycles) or exhausts its matvec budget, the
+/// backend falls back
 /// to a direct LU solve of the same system — counted in
 /// [`IterationCounters::fallbacks`] — instead of surfacing
 /// [`LinearSolveError::NoConvergence`]. High-frequency AC matrices where
@@ -546,8 +547,8 @@ mod tests {
         }
     }
 
-    /// A full restart cycle with no residual progress bails out early
-    /// instead of burning the whole matvec budget.
+    /// Two consecutive restart cycles with no residual progress bail
+    /// out early instead of burning the whole matvec budget.
     #[test]
     fn gmres_stagnation_bails_before_budget() {
         let csc = spd_csc(30);

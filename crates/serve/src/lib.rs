@@ -489,7 +489,8 @@ impl JobReport {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct QueueStats {
-    /// Jobs accepted (batch or [`RunningQueue::submit`]).
+    /// Jobs accepted (batch or [`RunningQueue::submit`]). Shed jobs
+    /// count in [`QueueStats::shed`], not here, on both paths.
     pub submitted: u64,
     /// Jobs that returned a [`JobOutput`].
     pub completed: u64,
@@ -744,7 +745,6 @@ impl JobQueue {
     /// typed [`JobError::Shed`] reports, still in submission order.
     pub fn run(&self, jobs: Vec<JobRequest>) -> Vec<JobReport> {
         let n = jobs.len();
-        self.stats.submitted.fetch_add(n as u64, Ordering::Relaxed);
         let tr = self.config.trace.tracer();
         let span = tr.span("serve.batch");
         let capacity = self.config.capacity;
@@ -758,6 +758,11 @@ impl JobQueue {
         } else {
             ((0..n).collect(), Vec::new())
         };
+        // Count only admitted jobs, matching `RunningQueue::submit`:
+        // shed jobs land in `QueueStats::shed`, never in `submitted`.
+        self.stats
+            .submitted
+            .fetch_add(run_idx.len() as u64, Ordering::Relaxed);
         let mut slots: Vec<Option<JobReport>> = (0..n).map(|_| None).collect();
         for &i in &shed_idx {
             tr.counter("serve.shed", 1.0);
@@ -1129,11 +1134,25 @@ impl RunningQueue {
     fn worker_loop(shared: &QueueShared) {
         let mut sessions: HashMap<DeckKey, Session> = HashMap::new();
         loop {
-            let (id, mut job) = {
+            let (id, job) = {
                 let mut st = Self::lock(shared);
                 loop {
-                    if let Some(next) = st.pending.pop_front() {
-                        break next;
+                    if let Some((id, mut job)) = st.pending.pop_front() {
+                        // Every in-flight job must be cancellable so a
+                        // drain deadline can reach it; install a token
+                        // when the submitter didn't. The in-flight
+                        // registration happens in the same critical
+                        // section as the pop: a gap between them would
+                        // let `shutdown_and_drain` observe pending and
+                        // in_flight both empty, take the reports, and
+                        // lose this job's (or let its cancel sweep miss
+                        // the job entirely).
+                        if !job.options.cancel.enabled() {
+                            let token = CancelToken::new();
+                            job.options = job.options.clone().cancel_token(&token);
+                        }
+                        st.in_flight.push((id, job.options.cancel.clone()));
+                        break (id, job);
                     }
                     if !st.accepting {
                         return;
@@ -1146,18 +1165,6 @@ impl RunningQueue {
                     }
                 }
             };
-            // Every in-flight job must be cancellable so a drain
-            // deadline can reach it; install a token when the
-            // submitter didn't.
-            if !job.options.cancel.enabled() {
-                let token = CancelToken::new();
-                job.options = job.options.clone().cancel_token(&token);
-            }
-            let handle = job.options.cancel.clone();
-            {
-                let mut st = Self::lock(shared);
-                st.in_flight.push((id, handle));
-            }
             let report = shared.queue.run_one_with(id, &job, &mut sessions);
             {
                 let mut st = Self::lock(shared);

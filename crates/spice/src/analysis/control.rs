@@ -162,6 +162,11 @@ impl Deadline {
     pub fn spent_ms(&self) -> u64 {
         self.start.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
     }
+
+    /// The same allowance with the clock restarted now.
+    pub fn rearmed(&self) -> Self {
+        Deadline::within(self.limit)
+    }
 }
 
 /// Per-analysis resource budget, enforced at solver boundaries.
@@ -231,8 +236,34 @@ impl Budget {
     /// when this builder runs, not when the analysis does — arm it at
     /// submission time to bound queueing plus compute, or just before
     /// the call to bound compute alone.
+    ///
+    /// Because `Budget` is `Copy` and the deadline is armed here, one
+    /// budget cloned across a batch of jobs gives every job the *same*
+    /// start instant — late jobs in a long batch can be born already
+    /// expired. Build the budget per job, or re-start the clock with
+    /// [`Budget::rearmed`] when reusing one.
     pub fn max_wall(mut self, limit: Duration) -> Self {
         self.deadline = Some(Deadline::within(limit));
+        self
+    }
+
+    /// This budget with any wall-clock deadline re-armed from now,
+    /// keeping all counter limits. Use when one configured budget is
+    /// reused across jobs so each gets its own full wall allowance:
+    ///
+    /// ```
+    /// use ahfic_spice::analysis::Budget;
+    /// use std::time::Duration;
+    /// let template = Budget::unlimited()
+    ///     .max_newton(500)
+    ///     .max_wall(Duration::from_secs(5));
+    /// let per_job = template.rearmed(); // fresh 5 s, same Newton cap
+    /// assert_eq!(per_job.max_newton, Some(500));
+    /// ```
+    pub fn rearmed(mut self) -> Self {
+        if let Some(d) = &self.deadline {
+            self.deadline = Some(d.rearmed());
+        }
         self
     }
 
@@ -370,6 +401,28 @@ mod tests {
         let d = Deadline::within(Duration::from_millis(1500));
         assert_eq!(d.limit_ms(), 1500);
         assert!(!d.expired());
+    }
+
+    #[test]
+    fn rearmed_restarts_the_clock_and_keeps_counters() {
+        // An expired budget reused across jobs must come back alive.
+        let stale = Budget::unlimited()
+            .max_newton(500)
+            .max_wall(Duration::ZERO);
+        assert!(stale.wall_exhausted().is_some(), "born expired");
+        let fresh = stale.rearmed();
+        // Duration::ZERO re-arms to an immediately-expired deadline;
+        // use a real allowance to observe the restart.
+        let stale = Budget::unlimited()
+            .max_newton(500)
+            .max_wall(Duration::from_secs(3600));
+        let fresh2 = stale.rearmed();
+        assert_eq!(fresh2.wall_exhausted(), None, "clock restarted");
+        assert_eq!(fresh.max_newton, Some(500), "counter limits kept");
+        assert_eq!(fresh2.max_newton, Some(500));
+        // No deadline → rearmed is a no-op.
+        let plain = Budget::unlimited().max_newton(3);
+        assert_eq!(plain.rearmed(), plain);
     }
 
     #[test]
